@@ -1,0 +1,92 @@
+// Microbenchmarks for the neural-network substrate: the kernels on the DQN
+// hot path (batched GEMM, forward, forward+backward+Adam).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace {
+
+using namespace vnfm;
+using namespace vnfm::nn;
+
+void fill_random(Matrix& m, Rng& rng) {
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), out;
+  fill_random(a, rng);
+  fill_random(b, rng);
+  for (auto _ : state) {
+    matmul(a, b, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MlpForwardSingleRow(benchmark::State& state) {
+  MlpConfig config;
+  config.input_dim = 67;  // 8-node env feature size
+  config.hidden_dims = {64, 64};
+  config.output_dim = 9;
+  Mlp mlp(config);
+  Rng rng(2);
+  mlp.init(rng);
+  std::vector<float> input(config.input_dim, 0.3F);
+  for (auto _ : state) {
+    auto out = mlp.forward_row(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForwardSingleRow);
+
+void BM_MlpTrainStepBatch32(benchmark::State& state) {
+  MlpConfig config;
+  config.input_dim = 67;
+  config.hidden_dims = {64, 64};
+  config.output_dim = 9;
+  Mlp mlp(config);
+  Rng rng(3);
+  mlp.init(rng);
+  Adam adam(mlp.parameters(), {.learning_rate = 1e-3F});
+  Matrix x(32, config.input_dim), target(32, config.output_dim), y, grad;
+  fill_random(x, rng);
+  fill_random(target, rng);
+  for (auto _ : state) {
+    mlp.forward(x, y);
+    (void)huber_loss(y, target, grad);
+    mlp.zero_grad();
+    mlp.backward(grad);
+    adam.step();
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_MlpTrainStepBatch32);
+
+void BM_DuelingForwardBatch32(benchmark::State& state) {
+  MlpConfig config;
+  config.input_dim = 67;
+  config.hidden_dims = {64, 64};
+  config.output_dim = 9;
+  config.dueling = true;
+  Mlp mlp(config);
+  Rng rng(4);
+  mlp.init(rng);
+  Matrix x(32, config.input_dim), y;
+  fill_random(x, rng);
+  for (auto _ : state) {
+    mlp.forward(x, y);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DuelingForwardBatch32);
+
+}  // namespace

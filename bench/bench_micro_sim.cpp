@@ -1,0 +1,113 @@
+// Microbenchmarks for the simulator hot path: workload generation, chain
+// placement/commit, environment step + featurisation, and replay sampling.
+#include <benchmark/benchmark.h>
+
+#include "core/environment.hpp"
+#include "core/heuristics.hpp"
+#include "rl/replay.hpp"
+
+namespace {
+
+using namespace vnfm;
+
+void BM_WorkloadNext(benchmark::State& state) {
+  const auto topo = edgesim::make_world_topology({.node_count = 8});
+  const auto vnfs = edgesim::VnfCatalog::standard();
+  const auto sfcs = edgesim::SfcCatalog::standard(vnfs);
+  edgesim::WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 1});
+  edgesim::SimTime now = 0.0;
+  for (auto _ : state) {
+    const auto request = gen.next(now);
+    now = request.arrival_time;
+    benchmark::DoNotOptimize(request.rate_rps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadNext);
+
+void BM_ChainPlaceCommitExpire(benchmark::State& state) {
+  const auto topo = edgesim::make_world_topology({.node_count = 8});
+  const auto vnfs = edgesim::VnfCatalog::standard();
+  const auto sfcs = edgesim::SfcCatalog::standard(vnfs);
+  edgesim::ClusterState cluster(topo, vnfs, sfcs, {});
+  edgesim::WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 2});
+  edgesim::SimTime now = 0.0;
+  for (auto _ : state) {
+    auto request = gen.next(now);
+    request.duration_s = 30.0;
+    now = request.arrival_time;
+    cluster.advance_to(now);
+    cluster.start_chain(request);
+    bool ok = true;
+    while (ok && !cluster.pending_complete()) {
+      const auto type = cluster.pending_vnf_type();
+      ok = false;
+      for (const auto& node : topo.nodes()) {
+        if (cluster.can_serve(node.id, type, request.rate_rps)) {
+          cluster.place_next(node.id);
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      benchmark::DoNotOptimize(cluster.commit_chain().latency_ms);
+    } else {
+      cluster.abort_chain();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainPlaceCommitExpire);
+
+void BM_EnvStepWithFeaturization(benchmark::State& state) {
+  core::EnvOptions options;
+  options.topology.node_count = 8;
+  options.workload.global_arrival_rate = 5.0;
+  core::VnfEnv env(options);
+  env.reset(1);
+  core::GreedyLatencyManager manager;
+  for (auto _ : state) {
+    if (!env.has_pending_chain()) (void)env.begin_next_request();
+    const auto result = env.step(manager.select_action(env));
+    benchmark::DoNotOptimize(result.reward);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvStepWithFeaturization);
+
+void BM_ReplaySampleBatch32(benchmark::State& state) {
+  rl::ReplayBuffer buffer(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    rl::Transition t;
+    t.state.assign(67, 0.1F);
+    t.next_state.assign(67, 0.2F);
+    buffer.push(std::move(t));
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    auto batch = buffer.sample(32, rng);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ReplaySampleBatch32);
+
+void BM_PrioritizedReplaySampleBatch32(benchmark::State& state) {
+  rl::PrioritizedReplay replay({.capacity = 50'000});
+  for (int i = 0; i < 50'000; ++i) {
+    rl::Transition t;
+    t.state.assign(67, 0.1F);
+    t.next_state.assign(67, 0.2F);
+    replay.push(std::move(t));
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    auto sample = replay.sample(32, rng);
+    benchmark::DoNotOptimize(sample.indices.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PrioritizedReplaySampleBatch32);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Table II — per-policy summary at the reference load: every headline metric
+// in one table (cost, acceptance, latency, SLA violations, utilisation,
+// deployments, running cost, revenue).
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace vnfm;
+
+int main() {
+  const bench::Scale scale = bench::Scale::resolve();
+  const double rate = 3.0;
+  std::cout << "=== Table II: policy summary at rate " << rate << "/s ===\n\n";
+
+  core::VnfEnv env(bench::make_env_options(rate));
+  auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
+
+  rl::DqnConfig dueling_config = core::default_dqn_config(env, 31);
+  dueling_config.dueling = true;
+  auto dueling = bench::train_dqn(env, scale, dueling_config, "dueling_ddqn");
+
+  std::vector<bench::PolicyRow> rows;
+  rows.push_back({"dqn", core::evaluate_manager(env, *dqn, bench::eval_options(scale),
+                                                scale.eval_repeats)});
+  rows.push_back({"dueling_ddqn",
+                  core::evaluate_manager(env, *dueling, bench::eval_options(scale),
+                                         scale.eval_repeats)});
+  for (auto& baseline : bench::evaluate_baselines(env, scale))
+    rows.push_back(std::move(baseline));
+
+  const std::vector<std::string> header{
+      "policy",     "cost/req",  "accept%",    "mean_lat_ms", "p95_lat_ms",
+      "sla_viol%",  "util%",     "deployments", "running$",   "revenue$"};
+  AsciiTable table(header);
+  CsvWriter csv(bench::csv_path("table2_summary"), header);
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    const std::vector<double> values{r.cost_per_request,
+                                     100.0 * r.acceptance_ratio,
+                                     r.mean_latency_ms,
+                                     r.p95_latency_ms,
+                                     100.0 * r.sla_violation_ratio,
+                                     100.0 * r.mean_utilization,
+                                     static_cast<double>(r.deployments),
+                                     r.running_cost,
+                                     r.revenue};
+    table.add_row(row.policy, values);
+    std::vector<std::string> cells{row.policy};
+    for (const double v : values) cells.push_back(format_number(v));
+    csv.row(cells);
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}

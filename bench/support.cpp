@@ -1,0 +1,80 @@
+#include "support.hpp"
+
+#include "common/config.hpp"
+
+namespace vnfm::bench {
+
+Scale Scale::resolve() { return full_run_requested() ? full() : quick(); }
+
+core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes,
+                                  std::uint64_t seed) {
+  core::EnvOptions options;
+  options.topology.node_count = nodes;
+  options.workload.global_arrival_rate = arrival_rate;
+  options.workload.diurnal_amplitude = 0.6;
+  options.seed = seed;
+  return options;
+}
+
+core::EpisodeOptions eval_options(const Scale& scale) {
+  core::EpisodeOptions episode;
+  episode.duration_s = scale.eval_duration_s;
+  episode.training = false;
+  return episode;
+}
+
+std::unique_ptr<core::DqnManager> train_dqn(core::VnfEnv& env, const Scale& scale,
+                                            rl::DqnConfig config, const std::string& name) {
+  auto manager = std::make_unique<core::DqnManager>(env, config, name);
+  core::EpisodeOptions episode;
+  episode.duration_s = scale.train_duration_s;
+  core::train_manager(env, *manager, scale.train_episodes, episode);
+  return manager;
+}
+
+std::vector<PolicyRow> evaluate_baselines(core::VnfEnv& env, const Scale& scale) {
+  core::GreedyLatencyManager greedy;
+  core::MyopicCostManager myopic;
+  core::FirstFitManager first_fit;
+  core::StaticProvisionManager static_prov(2);
+  core::RandomManager random(7);
+  std::vector<core::Manager*> managers{&myopic, &greedy, &first_fit, &static_prov,
+                                       &random};
+  std::vector<PolicyRow> rows;
+  rows.reserve(managers.size());
+  for (core::Manager* manager : managers) {
+    rows.push_back({manager->name(),
+                    core::evaluate_manager(env, *manager, eval_options(scale),
+                                           scale.eval_repeats)});
+  }
+  return rows;
+}
+
+std::string csv_path(const std::string& bench_name) { return bench_name + ".csv"; }
+
+std::vector<double> sweep_rates(const Scale& scale) {
+  if (full_run_requested()) return {0.5, 1.0, 2.0, 3.0, 4.0, 6.0};
+  (void)scale;
+  return {1.0, 2.0, 4.0};
+}
+
+std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
+                                     const Scale& scale) {
+  std::vector<SweepRow> sweep;
+  sweep.reserve(rates.size());
+  for (const double rate : rates) {
+    core::VnfEnv env(make_env_options(rate));
+    auto dqn = train_dqn(env, scale, core::default_dqn_config(env), "dqn");
+    SweepRow row;
+    row.arrival_rate = rate;
+    row.policies.push_back(
+        {"dqn", core::evaluate_manager(env, *dqn, eval_options(scale),
+                                       scale.eval_repeats)});
+    for (auto& baseline : evaluate_baselines(env, scale))
+      row.policies.push_back(std::move(baseline));
+    sweep.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+}  // namespace vnfm::bench

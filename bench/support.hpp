@@ -1,0 +1,69 @@
+// Shared experiment plumbing for the figure/table reproduction binaries.
+//
+// Every bench binary prints an ASCII table (the paper's rows/series) and
+// writes a CSV next to the working directory. Default sizes finish in
+// seconds; set REPRO_FULL=1 for paper-scale runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/drl_manager.hpp"
+#include "core/environment.hpp"
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::bench {
+
+/// Experiment scale knobs, resolved from REPRO_FULL.
+struct Scale {
+  std::size_t train_episodes;
+  double train_duration_s;
+  double eval_duration_s;
+  std::size_t eval_repeats;
+
+  static Scale quick() { return {8, 500.0, 500.0, 2}; }
+  static Scale full() { return {60, 3600.0, 3600.0, 5}; }
+  static Scale resolve();
+};
+
+/// Standard environment for the evaluation: 8 geo-distributed nodes unless
+/// overridden, diurnal traffic on.
+core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
+                                  std::uint64_t seed = 1);
+
+/// Trains a fresh DQN manager on `env` and returns it ready for evaluation.
+std::unique_ptr<core::DqnManager> train_dqn(core::VnfEnv& env, const Scale& scale,
+                                            rl::DqnConfig config, const std::string& name);
+
+/// Default evaluation options derived from the scale.
+core::EpisodeOptions eval_options(const Scale& scale);
+
+/// One evaluated policy row.
+struct PolicyRow {
+  std::string policy;
+  core::EpisodeResult result;
+};
+
+/// Evaluates the full baseline zoo (greedy/myopic/first-fit/static/random)
+/// on `env`; the caller adds learning managers separately.
+std::vector<PolicyRow> evaluate_baselines(core::VnfEnv& env, const Scale& scale);
+
+/// Output path helper: "<name>.csv" in the current working directory.
+std::string csv_path(const std::string& bench_name);
+
+/// One arrival-rate point of the load sweep: the trained DQN plus baselines.
+struct SweepRow {
+  double arrival_rate = 0.0;
+  std::vector<PolicyRow> policies;  ///< first entry is the DQN
+};
+
+/// The arrival-rate sweep behind Figures 4-6: trains a DQN per rate, then
+/// evaluates it against the baseline zoo on held-out seeds.
+std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates, const Scale& scale);
+
+/// Default sweep rates for the current scale.
+std::vector<double> sweep_rates(const Scale& scale);
+
+}  // namespace vnfm::bench

@@ -1,0 +1,66 @@
+// Diurnal autoscaling scenario: trains the DQN manager on strongly diurnal
+// traffic and then replays a full simulated day, printing how the instance
+// footprint follows the sun across time zones.
+//
+//   ./diurnal_autoscaling [train_episodes=10] [arrival_rate=1.0]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/drl_manager.hpp"
+#include "core/runner.hpp"
+
+using namespace vnfm;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const int train_episodes = config.get_int("train_episodes", 10);
+  const double arrival_rate = config.get_double("arrival_rate", 1.0);
+
+  core::EnvOptions options;
+  options.topology.node_count = 8;
+  options.workload.global_arrival_rate = arrival_rate;
+  options.workload.diurnal_amplitude = 0.8;
+  options.seed = 2;
+  core::VnfEnv env(options);
+
+  core::DqnManager dqn(env, core::default_dqn_config(env));
+  core::EpisodeOptions train;
+  train.duration_s = 0.5 * edgesim::kSecondsPerHour;
+  std::cout << "Training DQN for " << train_episodes << " episodes on diurnal traffic...\n";
+  core::train_manager(env, dqn, static_cast<std::size_t>(train_episodes), train);
+
+  // Replay a full day and sample every two hours.
+  env.reset(777);
+  dqn.set_training(false);
+  std::cout << "\nReplaying one simulated day (amplitude 0.8, peak at 14:00 local):\n\n";
+  AsciiTable table({"utc_hour", "offered_rps", "instances", "mean_util%",
+                    "nyc_rate", "tokyo_rate"});
+  double next_sample = 0.0;
+  while (env.begin_next_request(edgesim::kSecondsPerDay)) {
+    core::StepResult r;
+    do {
+      r = env.step(dqn.select_action(env));
+    } while (!r.chain_done);
+    if (env.now() >= next_sample) {
+      double util = 0.0;
+      for (const auto& node : env.topology().nodes())
+        util += env.cluster().cpu_utilization(node.id);
+      util /= static_cast<double>(env.topology().node_count());
+      table.add_row(format_number(env.now() / edgesim::kSecondsPerHour),
+                    {env.workload().total_rate(env.now()),
+                     static_cast<double>(env.cluster().total_instance_count()),
+                     100.0 * util,
+                     env.workload().region_rate(edgesim::NodeId{0}, env.now()),
+                     env.workload().region_rate(edgesim::NodeId{2}, env.now())});
+      next_sample += 2.0 * edgesim::kSecondsPerHour;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n" << env.metrics().summary() << "\n";
+  std::cout << "\nThe instance count tracks the offered load curve: capacity is\n"
+               "released by the idle-timeout GC when a region's night begins and\n"
+               "re-deployed where the policy routes the next regional peak.\n";
+  return 0;
+}

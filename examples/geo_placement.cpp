@@ -1,0 +1,69 @@
+// Geo placement scenario: shows why geography dominates chain latency in a
+// geo-distributed edge. Places the same gaming chain (60 ms SLA) for a New
+// York user on every node of the world topology and prints the resulting
+// end-to-end latency, then lets each heuristic pick and compares.
+//
+//   ./geo_placement [nodes=8]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+
+using namespace vnfm;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const int nodes = config.get_int("nodes", 8);
+
+  core::EnvOptions options;
+  options.topology.node_count = static_cast<std::size_t>(nodes);
+  options.workload.global_arrival_rate = 1.0;
+  options.seed = 5;
+  core::VnfEnv env(options);
+
+  // Manually place one gaming chain per node using the cluster protocol.
+  std::cout << "Gaming chain (nat>firewall>ids, SLA 60 ms) for a New York user,\n"
+            << "placed entirely on each candidate node:\n\n";
+  AsciiTable table({"node", "latency_ms", "sla_ok"});
+  const auto& sfc = env.sfcs().by_name("gaming");
+  auto& cluster = env.mutable_cluster();
+  for (const auto& node : env.topology().nodes()) {
+    edgesim::Request request;
+    request.id = edgesim::RequestId{edgesim::index(node.id) + 1000};
+    request.source_region = edgesim::NodeId{0};  // new_york
+    request.sfc = sfc.id;
+    request.rate_rps = 4.0;
+    request.duration_s = 1.0;
+    cluster.start_chain(request);
+    while (!cluster.pending_complete()) cluster.place_next(node.id);
+    const auto placement = cluster.commit_chain();
+    table.add_row({node.name, format_number(placement.latency_ms),
+                   placement.sla_violated() ? "VIOLATED" : "ok"});
+  }
+  table.print(std::cout);
+
+  // Now compare heuristics over a real workload episode.
+  std::cout << "\nHeuristic comparison over a 20-minute episode:\n\n";
+  core::EpisodeOptions episode;
+  episode.duration_s = 1200.0;
+  episode.training = false;
+
+  core::GreedyLatencyManager greedy;
+  core::FirstFitManager first_fit;
+  core::MyopicCostManager myopic;
+  AsciiTable results({"policy", "mean_lat_ms", "sla_viol%", "deployments", "cost/req"});
+  for (core::Manager* manager :
+       std::vector<core::Manager*>{&greedy, &myopic, &first_fit}) {
+    const auto r = core::run_episode(env, *manager, episode);
+    results.add_row(manager->name(),
+                    {r.mean_latency_ms, 100.0 * r.sla_violation_ratio,
+                     static_cast<double>(r.deployments), r.cost_per_request});
+  }
+  results.print(std::cout);
+  std::cout << "\nNote how latency-blind consolidation (first_fit) saves deployments\n"
+               "but ships New York gamers to whatever node has free slots.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vnfm {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    config.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not a number: " + *value);
+  }
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  try {
+    return std::stoi(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not an int: " + *value);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  return *value == "1" || *value == "true" || *value == "yes" || *value == "on";
+}
+
+bool full_run_requested() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+}  // namespace vnfm

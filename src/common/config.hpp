@@ -1,0 +1,41 @@
+// Tiny key=value configuration store with typed accessors.
+//
+// Used by examples and bench binaries to override experiment parameters from
+// the command line ("key=value" arguments) or the environment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace vnfm {
+
+/// String-keyed configuration with typed getters and defaults.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; ignores tokens without '='.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return values_.count(key) > 0; }
+
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+/// True when the environment requests full-length (paper-scale) runs.
+[[nodiscard]] bool full_run_requested();
+
+}  // namespace vnfm

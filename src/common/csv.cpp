@@ -1,0 +1,46 @@
+#include "common/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vnfm {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != arity_) throw std::invalid_argument("CSV row arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format_number(values[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_) throw std::invalid_argument("CSV row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace vnfm

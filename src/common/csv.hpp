@@ -1,0 +1,34 @@
+// Minimal CSV writer used by bench binaries to dump figure/table series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vnfm {
+
+/// Writes one CSV file with a fixed header; values are formatted with
+/// enough precision to round-trip doubles. Throws on I/O failure at open.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void row(const std::vector<double>& values);
+  /// Appends one row of preformatted cells (for mixed text/number tables).
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly (trailing-zero trimmed, 6 significant digits).
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace vnfm

@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace vnfm {
+
+void RunningStat::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+QuantileSketch::QuantileSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed ? seed : 1) {}
+
+void QuantileSketch::add(double x) {
+  ++total_;
+  if (capacity_ == 0 || sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Reservoir sampling keeps each seen value with equal probability.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const std::size_t slot = rng_state_ % total_;
+  if (slot < capacity_) sample_[slot] = x;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (sample_.empty()) throw std::runtime_error("quantile of empty sketch");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(idx);
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+std::vector<double> QuantileSketch::sorted_sample() const {
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram range");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge guard
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+}  // namespace vnfm

@@ -1,0 +1,98 @@
+// Streaming statistics used by the simulator metrics and experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace vnfm {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average; alpha is the weight of new samples.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.1) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Sample reservoir with exact quantiles; bounded memory via reservoir
+/// sampling once capacity is reached (capacity 0 means unbounded).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = 0, std::uint64_t seed = 1);
+
+  void add(double x);
+  /// Quantile in [0, 1] by linear interpolation over the retained sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  /// Sorted copy of the retained sample (for CDF dumps).
+  [[nodiscard]] std::vector<double> sorted_sample() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::size_t total_ = 0;
+  std::vector<double> sample_;
+};
+
+/// Fixed-bin histogram over [lo, hi); under/overflow tracked separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vnfm

@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace vnfm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) throw std::invalid_argument("table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(format_number(v));
+  add_row(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace vnfm

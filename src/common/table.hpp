@@ -1,0 +1,29 @@
+// ASCII table rendering for the benchmark harness (paper-style rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vnfm {
+
+/// Accumulates rows of strings and prints an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience for numeric rows; first cell is a label.
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vnfm

@@ -1,0 +1,136 @@
+#include "core/drl_manager.hpp"
+
+#include <stdexcept>
+
+namespace vnfm::core {
+
+rl::DqnConfig default_dqn_config(const VnfEnv& env, std::uint64_t seed) {
+  rl::DqnConfig config;
+  // State/action dims require a live decision point to size the featuriser;
+  // construct from static layout instead: per-node block + catalogs + globals.
+  config.state_dim = env.topology().node_count() * 6 + env.vnfs().size() +
+                     env.sfcs().size() + 8;
+  config.action_dim = static_cast<std::size_t>(env.action_count());
+  config.hidden_dims = {64, 64};
+  config.learning_rate = 1e-3F;
+  config.gamma = 0.9F;
+  config.batch_size = 32;
+  config.replay_capacity = 50'000;
+  config.min_replay_before_training = 500;
+  config.train_period = 4;
+  config.target_update_period = 250;
+  config.double_dqn = true;
+  config.dueling = false;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 0.05;
+  config.epsilon_decay_steps = 15'000;
+  config.seed = seed;
+  return config;
+}
+
+DqnManager::DqnManager(const VnfEnv& env, rl::DqnConfig config, std::string name)
+    : name_(std::move(name)) {
+  if (config.state_dim == 0) config.state_dim = default_dqn_config(env).state_dim;
+  if (config.action_dim == 0) config.action_dim = default_dqn_config(env).action_dim;
+  agent_ = std::make_unique<rl::DqnAgent>(config);
+}
+
+int DqnManager::select_action(VnfEnv& env) {
+  if (training_) return agent_->act(env.features(), env.action_mask());
+  return agent_->act_greedy(env.features(), env.action_mask());
+}
+
+void DqnManager::observe(const TransitionView& t) {
+  if (!training_) return;
+  rl::Transition transition;
+  transition.state.assign(t.state.begin(), t.state.end());
+  transition.action = t.action;
+  transition.reward = t.reward;
+  transition.done = t.done;
+  if (t.done) {
+    // Terminal: the next state is never bootstrapped from; store zeros so
+    // the replay entry has a consistent shape.
+    transition.next_state.assign(t.state.size(), 0.0F);
+  } else {
+    transition.next_state.assign(t.next_state.begin(), t.next_state.end());
+    transition.next_valid.assign(t.next_mask.begin(), t.next_mask.end());
+  }
+  const auto loss = agent_->observe(std::move(transition));
+  if (loss) last_loss_ = *loss;
+}
+
+void DqnManager::set_training(bool training) {
+  training_ = training;
+  agent_->set_exploration_enabled(training);
+}
+
+ReinforceManager::ReinforceManager(const VnfEnv& env, rl::ReinforceConfig config) {
+  if (config.state_dim == 0) config.state_dim = default_dqn_config(env).state_dim;
+  if (config.action_dim == 0)
+    config.action_dim = static_cast<std::size_t>(env.action_count());
+  agent_ = std::make_unique<rl::ReinforceAgent>(config);
+}
+
+int ReinforceManager::select_action(VnfEnv& env) {
+  if (training_) return agent_->act(env.features(), env.action_mask());
+  return agent_->act_greedy(env.features(), env.action_mask());
+}
+
+void ReinforceManager::observe(const TransitionView& t) {
+  if (!training_) return;
+  agent_->record_reward(t.reward);
+}
+
+void ReinforceManager::on_chain_end(VnfEnv& env) {
+  (void)env;
+  if (!training_) return;
+  agent_->finish_episode();
+}
+
+void ReinforceManager::set_training(bool training) { training_ = training; }
+
+A2cManager::A2cManager(const VnfEnv& env, rl::ActorCriticConfig config) {
+  if (config.state_dim == 0) config.state_dim = default_dqn_config(env).state_dim;
+  if (config.action_dim == 0)
+    config.action_dim = static_cast<std::size_t>(env.action_count());
+  agent_ = std::make_unique<rl::ActorCriticAgent>(config);
+}
+
+int A2cManager::select_action(VnfEnv& env) {
+  if (training_) return agent_->act(env.features(), env.action_mask());
+  return agent_->act_greedy(env.features(), env.action_mask());
+}
+
+void A2cManager::observe(const TransitionView& t) {
+  if (!training_) return;
+  (void)agent_->learn(t.reward, t.next_state, t.done);
+}
+
+void A2cManager::set_training(bool training) { training_ = training; }
+
+TabularManager::TabularManager(const VnfEnv& env, rl::TabularQConfig config,
+                               std::size_t buckets)
+    : buckets_(buckets) {
+  if (config.action_dim == 0)
+    config.action_dim = static_cast<std::size_t>(env.action_count());
+  agent_ = std::make_unique<rl::TabularQAgent>(config);
+}
+
+int TabularManager::select_action(VnfEnv& env) {
+  const auto coarse = env.coarse_features();
+  const auto key = rl::TabularQAgent::discretize(coarse, buckets_);
+  if (training_) return agent_->act(key, env.action_mask());
+  return agent_->act_greedy(key, env.action_mask());
+}
+
+void TabularManager::observe(const TransitionView& t) {
+  if (!training_) return;
+  const auto key = rl::TabularQAgent::discretize(t.coarse_state, buckets_);
+  const auto next_key =
+      t.done ? 0 : rl::TabularQAgent::discretize(t.next_coarse_state, buckets_);
+  agent_->update(key, t.action, t.reward, next_key, t.done, t.next_mask);
+}
+
+void TabularManager::set_training(bool training) { training_ = training; }
+
+}  // namespace vnfm::core

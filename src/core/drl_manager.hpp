@@ -1,0 +1,100 @@
+// Learning managers: the paper's DQN-based VNF manager plus the REINFORCE
+// and tabular Q-learning comparators.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/manager.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/dqn.hpp"
+#include "rl/policy_gradient.hpp"
+#include "rl/tabular.hpp"
+
+namespace vnfm::core {
+
+/// The paper's core contribution: a DQN agent deciding per-VNF placement.
+/// Each chain is treated as a bounded sub-episode for bootstrapping (the
+/// terminal flag is set at chain commit/reject).
+class DqnManager : public Manager {
+ public:
+  /// Fills state/action dims from the environment; other fields of `config`
+  /// (learning rate, double/dueling, replay, epsilon) are caller-controlled.
+  DqnManager(const VnfEnv& env, rl::DqnConfig config, std::string name = "dqn");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void observe(const TransitionView& transition) override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] rl::DqnAgent& agent() noexcept { return *agent_; }
+  [[nodiscard]] const rl::DqnAgent& agent() const noexcept { return *agent_; }
+  [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+
+  void save(std::ostream& os) const { agent_->save(os); }
+  void load(std::istream& is) { agent_->load(is); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<rl::DqnAgent> agent_;
+  bool training_ = true;
+  double last_loss_ = 0.0;
+};
+
+/// REINFORCE policy-gradient manager; updates at every chain end.
+class ReinforceManager : public Manager {
+ public:
+  ReinforceManager(const VnfEnv& env, rl::ReinforceConfig config);
+
+  [[nodiscard]] std::string name() const override { return "reinforce"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void observe(const TransitionView& transition) override;
+  void on_chain_end(VnfEnv& env) override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] rl::ReinforceAgent& agent() noexcept { return *agent_; }
+
+ private:
+  std::unique_ptr<rl::ReinforceAgent> agent_;
+  bool training_ = true;
+};
+
+/// Online one-step advantage actor-critic manager (A2C-style).
+class A2cManager : public Manager {
+ public:
+  A2cManager(const VnfEnv& env, rl::ActorCriticConfig config);
+
+  [[nodiscard]] std::string name() const override { return "actor_critic"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void observe(const TransitionView& transition) override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] rl::ActorCriticAgent& agent() noexcept { return *agent_; }
+
+ private:
+  std::unique_ptr<rl::ActorCriticAgent> agent_;
+  bool training_ = true;
+};
+
+/// Tabular Q-learning over the environment's coarse feature hash.
+class TabularManager : public Manager {
+ public:
+  TabularManager(const VnfEnv& env, rl::TabularQConfig config, std::size_t buckets = 4);
+
+  [[nodiscard]] std::string name() const override { return "tabular_q"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void observe(const TransitionView& transition) override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] rl::TabularQAgent& agent() noexcept { return *agent_; }
+
+ private:
+  std::unique_ptr<rl::TabularQAgent> agent_;
+  std::size_t buckets_;
+  bool training_ = true;
+};
+
+/// Convenience factory: DQN config tuned for this environment's scale.
+[[nodiscard]] rl::DqnConfig default_dqn_config(const VnfEnv& env, std::uint64_t seed = 7);
+
+}  // namespace vnfm::core

@@ -1,0 +1,227 @@
+#include "core/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vnfm::core {
+
+using edgesim::NodeId;
+using edgesim::Request;
+using edgesim::SimTime;
+using edgesim::VnfTypeId;
+
+namespace {
+
+// Feature normalisation constants; all features are clamped to [0, 1].
+constexpr double kLatencyNormMs = 200.0;
+constexpr double kProcDelayNormMs = 10.0;
+constexpr double kInstanceCountNorm = 8.0;
+constexpr double kResidualCapacityNorm = 4.0;  // in units of one instance
+constexpr double kRateNormRps = 15.0;
+constexpr double kDurationNormS = 1200.0;
+constexpr std::size_t kPerNodeFeatures = 6;
+
+float clamp01(double v) noexcept {
+  return static_cast<float>(std::clamp(v, 0.0, 1.0));
+}
+
+}  // namespace
+
+VnfEnv::VnfEnv(EnvOptions options)
+    : options_(options),
+      topology_(edgesim::make_world_topology(options.topology)),
+      vnfs_(edgesim::VnfCatalog::standard()),
+      sfcs_(edgesim::SfcCatalog::standard(vnfs_)),
+      metrics_(options.cost) {
+  rebuild();
+}
+
+void VnfEnv::rebuild() {
+  edgesim::WorkloadOptions workload_options = options_.workload;
+  workload_options.seed = options_.seed ^ (episode_seed_ * 0x9E3779B97F4A7C15ULL + 1);
+  workload_ = std::make_unique<edgesim::WorkloadGenerator>(topology_, sfcs_, workload_options);
+  cluster_ = std::make_unique<edgesim::ClusterState>(topology_, vnfs_, sfcs_,
+                                                     options_.cluster);
+  metrics_ = edgesim::MetricsCollector(options_.cost);
+  pending_deploy_cost_ = 0.0;
+  pending_nodes_.clear();
+}
+
+void VnfEnv::reset(std::uint64_t episode_seed) {
+  episode_seed_ = episode_seed;
+  rebuild();
+}
+
+int VnfEnv::action_count() const noexcept {
+  return static_cast<int>(topology_.node_count()) + 1;
+}
+
+int VnfEnv::reject_action() const noexcept {
+  return static_cast<int>(topology_.node_count());
+}
+
+bool VnfEnv::begin_next_request(double horizon_s) {
+  if (cluster_->has_pending_chain())
+    throw std::logic_error("begin_next_request with a chain pending");
+  const Request request = workload_->next(cluster_->now());
+  if (request.arrival_time > horizon_s) {
+    cluster_->advance_to(horizon_s);
+    metrics_.on_running_cost(cluster_->drain_running_cost());
+    return false;
+  }
+  cluster_->advance_to(request.arrival_time);
+  metrics_.on_running_cost(cluster_->drain_running_cost());
+  metrics_.sample_utilization(*cluster_);
+  metrics_.on_arrival();
+  cluster_->start_chain(request);
+  pending_deploy_cost_ = 0.0;
+  pending_charged_cost_ = 0.0;
+  pending_nodes_.clear();
+  refresh_decision_state();
+  return true;
+}
+
+double VnfEnv::prev_hop_latency_ms(NodeId node) const {
+  const Request& request = cluster_->pending_request();
+  if (pending_nodes_.empty())
+    return topology_.user_latency_ms(request.source_region, node);
+  return topology_.latency_ms(pending_nodes_.back(), node);
+}
+
+void VnfEnv::refresh_decision_state() {
+  const std::size_t n = topology_.node_count();
+  const Request& request = cluster_->pending_request();
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  const edgesim::VnfType& vnf = vnfs_.type(type);
+  const edgesim::SfcTemplate& sfc = sfcs_.sfc(request.sfc);
+  const std::size_t max_len = sfcs_.max_chain_length();
+
+  features_.clear();
+  features_.reserve(n * kPerNodeFeatures + vnfs_.size() + sfcs_.size() + 8);
+  mask_.assign(static_cast<std::size_t>(action_count()), 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    const edgesim::EdgeNode& edge = topology_.node(node);
+    features_.push_back(clamp01(cluster_->cpu_utilization(node)));
+    features_.push_back(clamp01(cluster_->mem_used(node) / edge.mem_capacity_gb));
+    features_.push_back(clamp01(
+        static_cast<double>(cluster_->instance_count(node, type)) / kInstanceCountNorm));
+    features_.push_back(clamp01(cluster_->residual_capacity_rps(node, type) /
+                                (kResidualCapacityNorm * vnf.capacity_rps)));
+    const double proc = cluster_->estimated_proc_delay_ms(node, type, request.rate_rps);
+    features_.push_back(clamp01(std::isfinite(proc) ? proc / kProcDelayNormMs : 1.0));
+    features_.push_back(clamp01(prev_hop_latency_ms(node) / kLatencyNormMs));
+    const bool link_ok =
+        pending_nodes_.empty() ||
+        cluster_->can_link(pending_nodes_.back(), node, request.rate_rps);
+    mask_[i] = (cluster_->can_serve(node, type, request.rate_rps) && link_ok) ? 1 : 0;
+  }
+  mask_.back() = 1;  // reject is always allowed
+
+  // VNF type one-hot.
+  for (std::size_t v = 0; v < vnfs_.size(); ++v)
+    features_.push_back(v == edgesim::index(type) ? 1.0F : 0.0F);
+  // SFC one-hot.
+  for (std::size_t s = 0; s < sfcs_.size(); ++s)
+    features_.push_back(s == edgesim::index(request.sfc) ? 1.0F : 0.0F);
+
+  const std::size_t position = cluster_->pending_position();
+  features_.push_back(clamp01(static_cast<double>(position) / static_cast<double>(max_len)));
+  features_.push_back(clamp01(static_cast<double>(sfc.chain.size() - position) /
+                              static_cast<double>(max_len)));
+  features_.push_back(clamp01(request.rate_rps / kRateNormRps));
+  features_.push_back(
+      clamp01((sfc.sla_latency_ms - cluster_->pending_latency_ms()) / sfc.sla_latency_ms));
+  const double day_angle =
+      2.0 * std::numbers::pi * std::fmod(cluster_->now(), edgesim::kSecondsPerDay) /
+      edgesim::kSecondsPerDay;
+  features_.push_back(static_cast<float>(0.5 + 0.5 * std::sin(day_angle)));
+  features_.push_back(static_cast<float>(0.5 + 0.5 * std::cos(day_angle)));
+  features_.push_back(clamp01(request.duration_s / kDurationNormS));
+  features_.push_back(clamp01(workload_->total_rate(cluster_->now()) /
+                              workload_->peak_total_rate()));
+}
+
+StepResult VnfEnv::step(int action) {
+  if (!cluster_->has_pending_chain()) throw std::logic_error("step without pending chain");
+  if (action < 0 || action >= action_count()) throw std::out_of_range("action out of range");
+  if (!mask_.at(static_cast<std::size_t>(action)))
+    throw std::invalid_argument("step with invalid (masked) action");
+
+  const edgesim::CostModel& cost = options_.cost;
+  StepResult result;
+
+  if (action == reject_action()) {
+    cluster_->abort_chain();
+    metrics_.on_reject();
+    // Rejecting refunds the per-hop costs already charged for placements
+    // that are now rolled back, so the chain's summed reward is exactly
+    // -rejection_cost regardless of where in the chain the reject happened.
+    result.reward = static_cast<float>(
+        (pending_charged_cost_ - cost.rejection_cost()) * options_.reward_scale);
+    result.chain_done = true;
+    result.accepted = false;
+    pending_charged_cost_ = 0.0;
+    pending_nodes_.clear();
+    return result;
+  }
+
+  const NodeId node{static_cast<std::uint32_t>(action)};
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  const edgesim::PlaceStepResult placed = cluster_->place_next(node);
+  pending_nodes_.push_back(node);
+
+  double step_cost = 0.0;
+  if (placed.deployed_new) {
+    const double deploy = vnfs_.type(type).deploy_cost;
+    pending_deploy_cost_ += deploy;
+    step_cost += cost.w_deploy * deploy;
+    result.deployed_new = true;
+  }
+  step_cost +=
+      cost.w_latency_per_ms * (placed.hop_latency_ms + placed.proc_latency_ms);
+
+  if (cluster_->pending_complete()) {
+    const edgesim::ChainPlacement placement = cluster_->commit_chain();
+    const edgesim::SfcTemplate& sfc = sfcs_.sfc(placement.sfc);
+    // Terminal costs not yet charged on per-hop steps: the return-path
+    // latency, the SLA penalty, and the admission revenue.
+    const double return_path_ms = topology_.user_latency_ms(
+        placement.source_region, placement.nodes.back());
+    step_cost += cost.w_latency_per_ms * return_path_ms;
+    if (placement.sla_violated()) step_cost += cost.w_sla_violation;
+    step_cost -= cost.w_revenue * sfc.revenue;
+    metrics_.on_accept(placement, pending_deploy_cost_, sfc.revenue);
+    result.chain_done = true;
+    result.accepted = true;
+    pending_nodes_.clear();
+  } else {
+    refresh_decision_state();
+  }
+  pending_charged_cost_ += step_cost;
+  result.reward = static_cast<float>(-step_cost * options_.reward_scale);
+  return result;
+}
+
+std::vector<float> VnfEnv::coarse_features() const {
+  const Request& request = cluster_->pending_request();
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  std::vector<float> coarse;
+  coarse.reserve(5);
+  coarse.push_back(static_cast<float>(edgesim::index(type)) /
+                   static_cast<float>(vnfs_.size()));
+  coarse.push_back(static_cast<float>(cluster_->pending_position()) /
+                   static_cast<float>(sfcs_.max_chain_length()));
+  coarse.push_back(static_cast<float>(edgesim::index(request.source_region)) /
+                   static_cast<float>(topology_.node_count()));
+  coarse.push_back(clamp01(cluster_->cpu_utilization(request.source_region)));
+  double mean_util = 0.0;
+  for (const auto& node : topology_.nodes()) mean_util += cluster_->cpu_utilization(node.id);
+  coarse.push_back(clamp01(mean_util / static_cast<double>(topology_.node_count())));
+  return coarse;
+}
+
+}  // namespace vnfm::core

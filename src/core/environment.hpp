@@ -1,0 +1,123 @@
+// The MDP the DRL VNF manager acts in.
+//
+// VnfEnv embeds the sequential chain-placement decision process into the
+// continuing edge-system trajectory: every arriving SFC request opens a
+// sub-episode with one decision per chain VNF; the action space is
+// {place on node 0..N-1, REJECT}. The environment owns the workload
+// generator, the cluster state, the featuriser, the reward model, and the
+// metrics, so managers (learning or heuristic) only choose actions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "edgesim/cluster.hpp"
+#include "edgesim/cost.hpp"
+#include "edgesim/metrics.hpp"
+#include "edgesim/topology.hpp"
+#include "edgesim/vnf.hpp"
+#include "edgesim/workload.hpp"
+
+namespace vnfm::core {
+
+struct EnvOptions {
+  edgesim::TopologyOptions topology;
+  edgesim::WorkloadOptions workload;
+  edgesim::ClusterOptions cluster;
+  edgesim::CostModel cost;
+  /// Rewards are costs scaled by -reward_scale to keep |r| in DQN-friendly
+  /// range; the scale cancels out of policy comparisons.
+  double reward_scale = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one placement decision.
+struct StepResult {
+  float reward = 0.0F;
+  bool chain_done = false;  ///< chain fully placed or rejected
+  bool accepted = false;    ///< valid only when chain_done
+  bool deployed_new = false;
+};
+
+class VnfEnv {
+ public:
+  explicit VnfEnv(EnvOptions options);
+
+  /// Restarts the system (fresh cluster, workload stream re-seeded with
+  /// seed ^ episode_seed) and clears metrics.
+  void reset(std::uint64_t episode_seed);
+
+  /// Advances simulation to the next request arrival and opens its chain.
+  /// If the next arrival falls beyond `horizon_s`, advances to the horizon
+  /// instead, records nothing, and returns false (episode is over).
+  /// Must not be called while a chain is pending.
+  bool begin_next_request(double horizon_s = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] bool has_pending_chain() const { return cluster_->has_pending_chain(); }
+
+  // ---- Decision-point views ----------------------------------------------
+  /// Feature vector for the current decision (valid while a chain pends).
+  [[nodiscard]] std::span<const float> features() const { return features_; }
+  /// Validity mask over actions; reject (last action) is always valid.
+  [[nodiscard]] const std::vector<std::uint8_t>& action_mask() const { return mask_; }
+  [[nodiscard]] std::size_t state_dim() const noexcept { return features_.size(); }
+  [[nodiscard]] int action_count() const noexcept;
+  [[nodiscard]] int reject_action() const noexcept;
+
+  /// Applies a placement/reject action to the pending chain.
+  StepResult step(int action);
+
+  // ---- Introspection -------------------------------------------------------
+  [[nodiscard]] const edgesim::ClusterState& cluster() const { return *cluster_; }
+  /// Mutable cluster access for provisioning hooks (static baselines).
+  [[nodiscard]] edgesim::ClusterState& mutable_cluster() { return *cluster_; }
+  [[nodiscard]] const edgesim::Topology& topology() const { return topology_; }
+  [[nodiscard]] const edgesim::VnfCatalog& vnfs() const { return vnfs_; }
+  [[nodiscard]] const edgesim::SfcCatalog& sfcs() const { return sfcs_; }
+  [[nodiscard]] const edgesim::MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const edgesim::WorkloadGenerator& workload() const { return *workload_; }
+  [[nodiscard]] edgesim::SimTime now() const { return cluster_->now(); }
+  [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const edgesim::CostModel& cost_model() const noexcept { return options_.cost; }
+
+  /// Pending request currently being placed (valid while a chain pends).
+  [[nodiscard]] const edgesim::Request& pending_request() const {
+    return cluster_->pending_request();
+  }
+  [[nodiscard]] edgesim::VnfTypeId pending_vnf_type() const {
+    return cluster_->pending_vnf_type();
+  }
+  [[nodiscard]] std::size_t pending_position() const { return cluster_->pending_position(); }
+
+  /// Compact feature vector (all entries in [0,1]) for tabular agents.
+  [[nodiscard]] std::vector<float> coarse_features() const;
+
+  /// Charges the objective for migrations performed directly on the cluster
+  /// (consolidation passes) so metrics stay consistent with the cost model.
+  void record_migrations(std::size_t count) { metrics_.on_migrations(count); }
+
+ private:
+  void rebuild();
+  void refresh_decision_state();
+  [[nodiscard]] double prev_hop_latency_ms(edgesim::NodeId node) const;
+
+  EnvOptions options_;
+  edgesim::Topology topology_;
+  edgesim::VnfCatalog vnfs_;
+  edgesim::SfcCatalog sfcs_;
+  std::unique_ptr<edgesim::WorkloadGenerator> workload_;
+  std::unique_ptr<edgesim::ClusterState> cluster_;
+  edgesim::MetricsCollector metrics_;
+  std::uint64_t episode_seed_ = 0;
+
+  std::vector<float> features_;
+  std::vector<std::uint8_t> mask_;
+  double pending_deploy_cost_ = 0.0;  ///< raw deploy cost of the pending chain
+  double pending_charged_cost_ = 0.0;  ///< objective cost already charged as reward
+  std::vector<edgesim::NodeId> pending_nodes_;  ///< nodes chosen so far
+};
+
+}  // namespace vnfm::core

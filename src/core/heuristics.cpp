@@ -1,0 +1,135 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace vnfm::core {
+
+using edgesim::NodeId;
+
+int GreedyLatencyManager::select_action(VnfEnv& env) {
+  const auto& mask = env.action_mask();
+  const std::size_t n = env.topology().node_count();
+  // Per-node feature block layout: [..., est_proc(4), prev_hop_latency(5)].
+  const auto features = env.features();
+  constexpr std::size_t kPerNode = 6;
+  int best = env.reject_action();
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    const double proc = features[i * kPerNode + 4];
+    const double hop = features[i * kPerNode + 5];
+    const double latency = static_cast<double>(proc) + hop;
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int MyopicCostManager::select_action(VnfEnv& env) {
+  const auto& mask = env.action_mask();
+  const auto& cluster = env.cluster();
+  const auto& cost = env.cost_model();
+  const auto& request = env.pending_request();
+  const auto type = env.pending_vnf_type();
+  const auto& vnf = env.vnfs().type(type);
+  const std::size_t n = env.topology().node_count();
+  const auto features = env.features();
+  constexpr std::size_t kPerNode = 6;
+  constexpr double kLatencyNormMs = 200.0;
+
+  int best = env.reject_action();
+  double best_cost = cost.rejection_cost();  // rejecting is the fallback
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    const bool needs_deploy = !cluster.has_headroom_instance(node, type, request.rate_rps);
+    const double proc = cluster.estimated_proc_delay_ms(node, type, request.rate_rps);
+    // Recover the propagation latency from the normalised feature.
+    const double hop = static_cast<double>(features[i * kPerNode + 5]) * kLatencyNormMs;
+    double step_cost = cost.w_latency_per_ms * (hop + proc);
+    if (needs_deploy) step_cost += cost.w_deploy * vnf.deploy_cost;
+    if (step_cost < best_cost) {
+      best_cost = step_cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int FirstFitManager::select_action(VnfEnv& env) {
+  const auto& mask = env.action_mask();
+  const auto& cluster = env.cluster();
+  const auto& request = env.pending_request();
+  const auto type = env.pending_vnf_type();
+  const std::size_t n = env.topology().node_count();
+  // Pass 1: reuse an existing instance.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    if (cluster.has_headroom_instance(node, type, request.rate_rps))
+      return static_cast<int>(i);
+  }
+  // Pass 2: first node with room for a new instance.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i]) return static_cast<int>(i);
+  }
+  return env.reject_action();
+}
+
+int RandomManager::select_action(VnfEnv& env) {
+  const auto& mask = env.action_mask();
+  const std::size_t n = env.topology().node_count();
+  std::vector<int> feasible;
+  feasible.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (mask[i]) feasible.push_back(static_cast<int>(i));
+  if (feasible.empty()) return env.reject_action();
+  return feasible[rng_.uniform_index(feasible.size())];
+}
+
+void StaticProvisionManager::on_episode_start(VnfEnv& env) {
+  auto& cluster = env.mutable_cluster();
+  const std::size_t n = env.topology().node_count();
+  for (const auto& vnf : env.vnfs().all()) {
+    int deployed = 0;
+    // Spread replicas round-robin over the nodes (capacity permitting).
+    for (std::size_t offset = 0; offset < n && deployed < instances_per_type_; ++offset) {
+      const NodeId node{static_cast<std::uint32_t>(offset % n)};
+      if (cluster.can_deploy(node, vnf.id)) {
+        cluster.deploy_pinned(node, vnf.id);
+        ++deployed;
+      }
+    }
+  }
+}
+
+int StaticProvisionManager::select_action(VnfEnv& env) {
+  const auto& mask = env.action_mask();
+  const auto& cluster = env.cluster();
+  const auto& request = env.pending_request();
+  const auto type = env.pending_vnf_type();
+  const std::size_t n = env.topology().node_count();
+  const auto features = env.features();
+  constexpr std::size_t kPerNode = 6;
+  int best = env.reject_action();
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    // Never deploys: only nodes with spare pre-provisioned capacity count.
+    if (!cluster.has_headroom_instance(node, type, request.rate_rps)) continue;
+    const double latency = static_cast<double>(features[i * kPerNode + 4]) +
+                           static_cast<double>(features[i * kPerNode + 5]);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace vnfm::core

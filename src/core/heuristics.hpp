@@ -1,0 +1,66 @@
+// Non-learning baseline managers from the NFV placement literature.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/manager.hpp"
+
+namespace vnfm::core {
+
+/// Places each VNF on the feasible node minimising incremental latency
+/// (propagation into the node + estimated processing/queueing delay).
+/// Latency-optimal per hop, blind to deployment and running costs.
+class GreedyLatencyManager : public Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy_latency"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+};
+
+/// Myopically minimises the immediate objective-cost increment of the hop:
+/// deploy cost (if a new instance is needed) + priced latency. This is the
+/// strongest myopic baseline — it optimises exactly the one-step reward the
+/// DRL agent sees, so any DRL advantage is attributable to foresight.
+class MyopicCostManager : public Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "myopic_cost"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+};
+
+/// First-fit consolidation: reuse the lowest-indexed node holding an
+/// instance with headroom; deploy on the lowest-indexed node with room
+/// otherwise. Minimises instance count, ignores geography.
+class FirstFitManager : public Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "first_fit"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+};
+
+/// Uniformly random feasible placement (sanity floor).
+class RandomManager : public Manager {
+ public:
+  explicit RandomManager(std::uint64_t seed = 99) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Static provisioning: pre-deploys `instances_per_type` pinned instances of
+/// every VNF type spread over the nodes at episode start, then routes to the
+/// nearest node with spare capacity on an existing instance; rejects when
+/// all pre-provisioned capacity is exhausted (never scales).
+class StaticProvisionManager : public Manager {
+ public:
+  explicit StaticProvisionManager(int instances_per_type = 2)
+      : instances_per_type_(instances_per_type) {}
+  [[nodiscard]] std::string name() const override { return "static_provision"; }
+  void on_episode_start(VnfEnv& env) override;
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+
+ private:
+  int instances_per_type_;
+};
+
+}  // namespace vnfm::core

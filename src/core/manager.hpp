@@ -1,0 +1,54 @@
+// The VNF-manager abstraction: anything that can decide where each VNF of an
+// arriving chain runs. Learning managers additionally consume transitions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/environment.hpp"
+
+namespace vnfm::core {
+
+/// Everything a learning manager needs from one decision step. Views are
+/// only valid for the duration of the observe() call.
+struct TransitionView {
+  std::span<const float> state;
+  std::span<const std::uint8_t> mask;
+  std::span<const float> coarse_state;  ///< compact features (tabular agents)
+  int action = 0;
+  float reward = 0.0F;
+  bool done = false;
+  std::span<const float> next_state;        ///< empty when done
+  std::span<const std::uint8_t> next_mask;  ///< empty when done
+  std::span<const float> next_coarse_state;
+};
+
+/// Interface implemented by the DRL manager and every baseline.
+class Manager {
+ public:
+  virtual ~Manager() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once per episode after env.reset(); lets managers pre-provision.
+  virtual void on_episode_start(VnfEnv& env) { (void)env; }
+
+  /// Chooses an action for the environment's current decision point.
+  /// Must return an action that is valid under env.action_mask().
+  [[nodiscard]] virtual int select_action(VnfEnv& env) = 0;
+
+  /// Receives the transition produced by the last select_action (only
+  /// called by the runner when training is enabled).
+  virtual void observe(const TransitionView& transition) { (void)transition; }
+
+  /// Called when the pending chain resolves (accepted or rejected). The
+  /// environment reference lets decorators run maintenance passes (e.g.
+  /// consolidation migrations) between chains.
+  virtual void on_chain_end(VnfEnv& env) { (void)env; }
+
+  /// Toggles exploration / learning (evaluation runs disable it).
+  virtual void set_training(bool training) { (void)training; }
+};
+
+}  // namespace vnfm::core

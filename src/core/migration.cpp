@@ -1,0 +1,132 @@
+#include "core/migration.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace vnfm::core {
+
+using edgesim::ChainPlacement;
+using edgesim::ClusterState;
+using edgesim::NodeId;
+using edgesim::RequestId;
+
+namespace {
+
+/// Estimates the chain's latency if the VNF at `position` moved to `target`
+/// (approximate: target queueing uses the least-loaded-fit estimate, other
+/// hops use current loads).
+double hypothetical_latency_ms(const ClusterState& cluster, const ChainPlacement& chain,
+                               std::size_t position, NodeId target) {
+  const auto& topo = cluster.topology();
+  double latency = 0.0;
+  for (std::size_t i = 0; i < chain.nodes.size(); ++i) {
+    const NodeId node = i == position ? target : chain.nodes[i];
+    const NodeId prev = i == 0 ? NodeId{} : (i - 1 == position ? target : chain.nodes[i - 1]);
+    if (i == 0) {
+      latency += topo.user_latency_ms(chain.source_region, node);
+    } else {
+      latency += topo.latency_ms(prev, node);
+    }
+    if (i == position) {
+      const auto& inst = cluster.instance(chain.instances[i]);
+      latency += cluster.estimated_proc_delay_ms(target, inst.type, chain.rate_rps);
+    } else {
+      const auto& inst = cluster.instance(chain.instances[i]);
+      const auto& vnf = cluster.vnfs().type(inst.type);
+      const double utilization = std::min(inst.load_rps / vnf.capacity_rps, 0.999);
+      latency += vnf.proc_delay_ms / (1.0 - utilization);
+    }
+  }
+  const NodeId last =
+      position + 1 == chain.nodes.size() ? target : chain.nodes.back();
+  latency += topo.user_latency_ms(chain.source_region, last);
+  return latency;
+}
+
+}  // namespace
+
+std::size_t run_consolidation_pass(ClusterState& cluster,
+                                   const ConsolidationOptions& options) {
+  const auto& topo = cluster.topology();
+  std::size_t migrations = 0;
+
+  // Snapshot the chain keys: migrations mutate the chain table values but
+  // not its key set, so iteration over a key copy is safe.
+  std::vector<RequestId> chain_ids;
+  chain_ids.reserve(cluster.active_chains().size());
+  for (const auto& [id, chain] : cluster.active_chains()) chain_ids.push_back(id);
+
+  for (const RequestId id : chain_ids) {
+    if (migrations >= options.max_migrations_per_pass) break;
+    const auto it = cluster.active_chains().find(id);
+    if (it == cluster.active_chains().end()) continue;
+    const ChainPlacement chain = it->second;  // copy: we mutate via migrate
+
+    for (std::size_t position = 0; position < chain.nodes.size(); ++position) {
+      if (migrations >= options.max_migrations_per_pass) break;
+      const NodeId source = chain.nodes[position];
+      if (cluster.cpu_utilization(source) >= options.drain_utilization) continue;
+      const auto& inst = cluster.instance(chain.instances[position]);
+
+      // Find the best reuse-only target: an existing instance with headroom
+      // on a busier node, minimising the post-move latency.
+      NodeId best_target{};
+      bool found = false;
+      double best_latency = std::numeric_limits<double>::infinity();
+      for (const auto& node : topo.nodes()) {
+        if (node.id == source) continue;
+        if (cluster.cpu_utilization(node.id) <= cluster.cpu_utilization(source))
+          continue;  // only consolidate toward busier nodes
+        if (!cluster.has_headroom_instance(node.id, inst.type, chain.rate_rps)) continue;
+        const double latency =
+            hypothetical_latency_ms(cluster, chain, position, node.id);
+        if (latency > options.sla_headroom * chain.sla_latency_ms) continue;
+        if (latency < best_latency) {
+          best_latency = latency;
+          best_target = node.id;
+          found = true;
+        }
+      }
+      if (!found) continue;
+      cluster.migrate_chain_vnf(id, position, best_target);
+      ++migrations;
+      break;  // at most one move per chain per pass limits churn
+    }
+  }
+  return migrations;
+}
+
+ConsolidatingManager::ConsolidatingManager(Manager& inner, ConsolidationOptions options,
+                                           std::size_t period_chains)
+    : inner_(inner), options_(options), period_chains_(std::max<std::size_t>(1, period_chains)) {}
+
+std::string ConsolidatingManager::name() const {
+  return inner_.name() + "+consolidation";
+}
+
+void ConsolidatingManager::on_episode_start(VnfEnv& env) {
+  chains_since_pass_ = 0;
+  inner_.on_episode_start(env);
+}
+
+int ConsolidatingManager::select_action(VnfEnv& env) { return inner_.select_action(env); }
+
+void ConsolidatingManager::observe(const TransitionView& transition) {
+  inner_.observe(transition);
+}
+
+void ConsolidatingManager::on_chain_end(VnfEnv& env) {
+  inner_.on_chain_end(env);
+  if (++chains_since_pass_ < period_chains_) return;
+  chains_since_pass_ = 0;
+  const std::size_t moved = run_consolidation_pass(env.mutable_cluster(), options_);
+  if (moved > 0) {
+    env.record_migrations(moved);
+    migrations_triggered_ += moved;
+  }
+}
+
+void ConsolidatingManager::set_training(bool training) { inner_.set_training(training); }
+
+}  // namespace vnfm::core

@@ -1,0 +1,57 @@
+// Consolidation migrations: periodically drain under-utilised edge nodes by
+// moving live chain VNFs onto nodes that already run instances of the same
+// type, so the idle-timeout GC can reclaim the drained capacity. This is the
+// "management" half of VNF management that pure placement policies lack.
+#pragma once
+
+#include <cstddef>
+
+#include "core/manager.hpp"
+#include "edgesim/cluster.hpp"
+
+namespace vnfm::core {
+
+struct ConsolidationOptions {
+  /// Nodes below this CPU utilisation are drain candidates.
+  double drain_utilization = 0.35;
+  /// Cap on migrations per pass (keeps churn and migration cost bounded).
+  std::size_t max_migrations_per_pass = 4;
+  /// A move is only taken if the chain's post-move latency stays within
+  /// this fraction of its SLA.
+  double sla_headroom = 0.9;
+};
+
+/// One consolidation pass over the live chains: migrates VNFs off drain
+/// nodes onto reuse targets (never deploys new instances), preferring the
+/// lowest-latency feasible target. Returns the number of migrations done.
+std::size_t run_consolidation_pass(edgesim::ClusterState& cluster,
+                                   const ConsolidationOptions& options);
+
+/// Decorator that adds periodic consolidation to any placement manager:
+/// after every `period_chains` resolved chains it runs a consolidation pass
+/// and charges the migrations to the environment's objective.
+class ConsolidatingManager : public Manager {
+ public:
+  ConsolidatingManager(Manager& inner, ConsolidationOptions options,
+                       std::size_t period_chains = 50);
+
+  [[nodiscard]] std::string name() const override;
+  void on_episode_start(VnfEnv& env) override;
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void observe(const TransitionView& transition) override;
+  void on_chain_end(VnfEnv& env) override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] std::uint64_t migrations_triggered() const noexcept {
+    return migrations_triggered_;
+  }
+
+ private:
+  Manager& inner_;
+  ConsolidationOptions options_;
+  std::size_t period_chains_;
+  std::size_t chains_since_pass_ = 0;
+  std::uint64_t migrations_triggered_ = 0;
+};
+
+}  // namespace vnfm::core

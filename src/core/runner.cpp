@@ -1,0 +1,130 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+
+namespace vnfm::core {
+namespace {
+
+EpisodeResult snapshot(const VnfEnv& env, double total_reward, std::size_t requests) {
+  const auto& metrics = env.metrics();
+  EpisodeResult result;
+  result.total_reward = total_reward;
+  result.requests = requests;
+  result.cost_per_request = metrics.cost_per_request();
+  result.total_cost = metrics.total_cost();
+  result.acceptance_ratio = metrics.acceptance_ratio();
+  result.mean_latency_ms = metrics.latency_stats().mean();
+  result.p95_latency_ms =
+      metrics.latency_sketch().count() > 0 ? metrics.latency_sketch().quantile(0.95) : 0.0;
+  result.sla_violation_ratio = metrics.sla_violation_ratio();
+  result.mean_utilization = metrics.utilization_stats().mean();
+  result.deployments = metrics.deployments();
+  result.running_cost = metrics.running_cost_total();
+  result.revenue = metrics.revenue_total();
+  return result;
+}
+
+}  // namespace
+
+EpisodeResult run_episode(VnfEnv& env, Manager& manager, const EpisodeOptions& options) {
+  env.reset(options.seed);
+  manager.set_training(options.training);
+  manager.on_episode_start(env);
+
+  double total_reward = 0.0;
+  std::size_t requests = 0;
+
+  std::vector<float> state;
+  std::vector<std::uint8_t> mask;
+  std::vector<float> coarse;
+
+  while (requests < options.max_requests) {
+    if (!env.begin_next_request(options.duration_s)) break;
+    ++requests;
+    bool done = false;
+    while (!done) {
+      state.assign(env.features().begin(), env.features().end());
+      mask = env.action_mask();
+      coarse = env.coarse_features();
+      const int action = manager.select_action(env);
+      const StepResult step = env.step(action);
+      total_reward += step.reward;
+      done = step.chain_done;
+      if (options.training) {
+        TransitionView view;
+        view.state = state;
+        view.mask = mask;
+        view.coarse_state = coarse;
+        view.action = action;
+        view.reward = step.reward;
+        view.done = done;
+        std::vector<float> next_coarse;
+        if (!done) {
+          view.next_state = env.features();
+          view.next_mask = env.action_mask();
+          next_coarse = env.coarse_features();
+          view.next_coarse_state = next_coarse;
+          manager.observe(view);
+        } else {
+          manager.observe(view);
+        }
+      }
+    }
+    manager.on_chain_end(env);
+  }
+  return snapshot(env, total_reward, requests);
+}
+
+std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
+                                         std::size_t episodes, EpisodeOptions options) {
+  options.training = true;
+  std::vector<EpisodeResult> curve;
+  curve.reserve(episodes);
+  const std::uint64_t base_seed = options.seed;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    options.seed = base_seed + i;
+    curve.push_back(run_episode(env, manager, options));
+  }
+  return curve;
+}
+
+EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions options,
+                               std::size_t repeats) {
+  if (repeats == 0) throw std::invalid_argument("evaluation needs at least one repeat");
+  options.training = false;
+  EpisodeResult mean;
+  mean.acceptance_ratio = 0.0;  // override the 'no arrivals' default of 1.0
+  const std::uint64_t base_seed = options.seed + 1'000'000;  // disjoint from training
+  for (std::size_t i = 0; i < repeats; ++i) {
+    options.seed = base_seed + i;
+    const EpisodeResult r = run_episode(env, manager, options);
+    mean.total_reward += r.total_reward;
+    mean.requests += r.requests;
+    mean.cost_per_request += r.cost_per_request;
+    mean.total_cost += r.total_cost;
+    mean.acceptance_ratio += r.acceptance_ratio;
+    mean.mean_latency_ms += r.mean_latency_ms;
+    mean.p95_latency_ms += r.p95_latency_ms;
+    mean.sla_violation_ratio += r.sla_violation_ratio;
+    mean.mean_utilization += r.mean_utilization;
+    mean.deployments += r.deployments;
+    mean.running_cost += r.running_cost;
+    mean.revenue += r.revenue;
+  }
+  const auto n = static_cast<double>(repeats);
+  mean.total_reward /= n;
+  mean.requests = static_cast<std::size_t>(static_cast<double>(mean.requests) / n);
+  mean.cost_per_request /= n;
+  mean.total_cost /= n;
+  mean.acceptance_ratio /= n;
+  mean.mean_latency_ms /= n;
+  mean.p95_latency_ms /= n;
+  mean.sla_violation_ratio /= n;
+  mean.mean_utilization /= n;
+  mean.deployments = static_cast<std::uint64_t>(static_cast<double>(mean.deployments) / n);
+  mean.running_cost /= n;
+  mean.revenue /= n;
+  return mean;
+}
+
+}  // namespace vnfm::core

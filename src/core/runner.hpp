@@ -1,0 +1,53 @@
+// Episode runner: drives a Manager through the environment, feeds learning
+// managers their transitions, and extracts per-episode evaluation rows.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/manager.hpp"
+
+namespace vnfm::core {
+
+struct EpisodeOptions {
+  /// Episode ends when simulated time exceeds this horizon...
+  double duration_s = 2.0 * edgesim::kSecondsPerHour;
+  /// ...or when this many requests have been decided, whichever first.
+  std::size_t max_requests = std::numeric_limits<std::size_t>::max();
+  bool training = true;
+  std::uint64_t seed = 0;
+};
+
+/// Metrics snapshot of one finished episode.
+struct EpisodeResult {
+  double total_reward = 0.0;
+  std::size_t requests = 0;
+  double cost_per_request = 0.0;
+  double total_cost = 0.0;
+  double acceptance_ratio = 1.0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double sla_violation_ratio = 0.0;
+  double mean_utilization = 0.0;
+  std::uint64_t deployments = 0;
+  double running_cost = 0.0;
+  double revenue = 0.0;
+};
+
+/// Runs one episode; resets the environment with options.seed first.
+EpisodeResult run_episode(VnfEnv& env, Manager& manager, const EpisodeOptions& options);
+
+/// Trains for `episodes` episodes (seeds = base_seed + i); returns the
+/// learning curve of per-episode results.
+std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
+                                         std::size_t episodes,
+                                         EpisodeOptions options);
+
+/// Evaluation run: training/exploration off, averaged over `repeats`
+/// episodes with distinct seeds.
+EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions options,
+                               std::size_t repeats = 3);
+
+}  // namespace vnfm::core

@@ -1,0 +1,424 @@
+#include "edgesim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+ClusterState::ClusterState(const Topology& topology, const VnfCatalog& vnfs,
+                           const SfcCatalog& sfcs, ClusterOptions options)
+    : topology_(topology), vnfs_(vnfs), sfcs_(sfcs), options_(options) {
+  const std::size_t n = topology_.node_count();
+  cpu_used_.assign(n, 0.0);
+  mem_used_.assign(n, 0.0);
+  wan_used_.assign(n, 0.0);
+  by_node_type_.assign(n, std::vector<std::vector<InstanceId>>(vnfs_.size()));
+}
+
+double ClusterState::cpu_used(NodeId node) const { return cpu_used_.at(index(node)); }
+double ClusterState::mem_used(NodeId node) const { return mem_used_.at(index(node)); }
+
+double ClusterState::cpu_utilization(NodeId node) const {
+  return cpu_used(node) / topology_.node(node).cpu_capacity;
+}
+
+std::size_t ClusterState::instance_count(NodeId node, VnfTypeId type) const {
+  return by_node_type_.at(index(node)).at(index(type)).size();
+}
+
+double ClusterState::residual_capacity_rps(NodeId node, VnfTypeId type) const {
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  double residual = 0.0;
+  for (const InstanceId id : by_node_type_.at(index(node)).at(index(type))) {
+    const VnfInstance& inst = instances_.at(id);
+    residual += std::max(0.0, usable - inst.load_rps);
+  }
+  return residual;
+}
+
+bool ClusterState::can_deploy(NodeId node, VnfTypeId type) const {
+  const VnfType& vnf = vnfs_.type(type);
+  const EdgeNode& n = topology_.node(node);
+  return cpu_used(node) + vnf.cpu_units <= n.cpu_capacity &&
+         mem_used(node) + vnf.mem_gb <= n.mem_capacity_gb;
+}
+
+bool ClusterState::can_serve(NodeId node, VnfTypeId type, double rate) const {
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  if (rate > usable) return false;  // a single flow larger than one instance
+  for (const InstanceId id : by_node_type_.at(index(node)).at(index(type))) {
+    if (instances_.at(id).load_rps + rate <= usable) return true;
+  }
+  return can_deploy(node, type);
+}
+
+double ClusterState::queue_delay_ms(const VnfType& type, double load_after) const {
+  // M/M/1-style load amplification of the base processing delay; admission
+  // control keeps utilisation <= max_utilization so this stays finite.
+  const double utilization = std::min(load_after / type.capacity_rps, 0.999);
+  return type.proc_delay_ms / (1.0 - utilization);
+}
+
+double ClusterState::estimated_proc_delay_ms(NodeId node, VnfTypeId type,
+                                             double rate) const {
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  if (rate > usable) return std::numeric_limits<double>::infinity();
+  // Least-loaded-fit mirrors place_next's instance choice.
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const InstanceId id : by_node_type_.at(index(node)).at(index(type))) {
+    const VnfInstance& inst = instances_.at(id);
+    if (inst.load_rps + rate <= usable) best_load = std::min(best_load, inst.load_rps);
+  }
+  if (best_load != std::numeric_limits<double>::infinity())
+    return queue_delay_ms(vnf, best_load + rate);
+  if (can_deploy(node, type)) return queue_delay_ms(vnf, rate);
+  return std::numeric_limits<double>::infinity();
+}
+
+const VnfInstance& ClusterState::instance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) throw std::out_of_range("unknown instance id");
+  return it->second;
+}
+
+void ClusterState::start_chain(const Request& request) {
+  if (pending_) throw std::logic_error("a chain is already pending");
+  const SfcTemplate& sfc = sfcs_.sfc(request.sfc);
+  PendingChain pending;
+  pending.request = request;
+  pending.chain = sfc.chain;
+  pending.sla_latency_ms = sfc.sla_latency_ms;
+  pending.position = 0;
+  pending_ = std::move(pending);
+}
+
+VnfTypeId ClusterState::pending_vnf_type() const {
+  if (!pending_) throw std::logic_error("no pending chain");
+  return pending_->chain.at(pending_->position);
+}
+
+std::size_t ClusterState::pending_position() const {
+  if (!pending_) throw std::logic_error("no pending chain");
+  return pending_->position;
+}
+
+double ClusterState::pending_latency_ms() const {
+  if (!pending_) throw std::logic_error("no pending chain");
+  return pending_->latency_ms;
+}
+
+const Request& ClusterState::pending_request() const {
+  if (!pending_) throw std::logic_error("no pending chain");
+  return pending_->request;
+}
+
+VnfInstance* ClusterState::find_least_loaded_with_headroom(NodeId node, VnfTypeId type,
+                                                           double rate) {
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  VnfInstance* best = nullptr;
+  for (const InstanceId id : by_node_type_.at(index(node)).at(index(type))) {
+    VnfInstance& inst = instances_.at(id);
+    if (inst.load_rps + rate > usable) continue;
+    if (best == nullptr || inst.load_rps < best->load_rps) best = &inst;
+  }
+  return best;
+}
+
+InstanceId ClusterState::deploy_instance(NodeId node, VnfTypeId type) {
+  const VnfType& vnf = vnfs_.type(type);
+  if (!can_deploy(node, type)) throw std::runtime_error("deploy without capacity");
+  const InstanceId id{next_instance_id_++};
+  VnfInstance inst;
+  inst.id = id;
+  inst.node = node;
+  inst.type = type;
+  inst.deployed_at = now_;
+  inst.last_active = now_;
+  instances_.emplace(id, inst);
+  by_node_type_[index(node)][index(type)].push_back(id);
+  cpu_used_[index(node)] += vnf.cpu_units;
+  mem_used_[index(node)] += vnf.mem_gb;
+  ++deployments_;
+  return id;
+}
+
+void ClusterState::release_instance(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) throw std::out_of_range("releasing unknown instance");
+  const VnfInstance& inst = it->second;
+  if (inst.load_rps > 1e-9) throw std::logic_error("releasing a loaded instance");
+  const VnfType& vnf = vnfs_.type(inst.type);
+  cpu_used_[index(inst.node)] -= vnf.cpu_units;
+  mem_used_[index(inst.node)] -= vnf.mem_gb;
+  auto& bucket = by_node_type_[index(inst.node)][index(inst.type)];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  instances_.erase(it);
+  ++releases_;
+}
+
+PlaceStepResult ClusterState::place_next(NodeId node) {
+  if (!pending_) throw std::logic_error("place_next without pending chain");
+  if (pending_complete()) throw std::logic_error("pending chain already complete");
+  PendingChain& pending = *pending_;
+  const VnfTypeId type = pending.chain.at(pending.position);
+  const double rate = pending.request.rate_rps;
+  const VnfType& vnf = vnfs_.type(type);
+
+  if (pending.position > 0 && !can_link(pending.nodes.back(), node, rate))
+    throw std::runtime_error("place_next exceeds WAN bandwidth");
+
+  PlaceStepResult result;
+  VnfInstance* target = find_least_loaded_with_headroom(node, type, rate);
+  if (target == nullptr) {
+    if (!can_serve(node, type, rate)) throw std::runtime_error("place_next infeasible");
+    const InstanceId id = deploy_instance(node, type);
+    pending.new_instances.push_back(id);
+    target = &instances_.at(id);
+    result.deployed_new = true;
+  }
+  target->load_rps += rate;
+  target->last_active = now_;
+  result.instance = target->id;
+  result.proc_latency_ms = queue_delay_ms(vnf, target->load_rps);
+
+  // Propagation: user -> first node, otherwise previous node -> this node.
+  if (pending.position == 0) {
+    result.hop_latency_ms =
+        topology_.user_latency_ms(pending.request.source_region, node);
+  } else {
+    result.hop_latency_ms = topology_.latency_ms(pending.nodes.back(), node);
+    adjust_wan(pending.nodes.back(), node, rate);
+  }
+  pending.latency_ms += result.hop_latency_ms + result.proc_latency_ms;
+  pending.instances.push_back(target->id);
+  pending.nodes.push_back(node);
+  ++pending.position;
+  return result;
+}
+
+bool ClusterState::pending_complete() const {
+  if (!pending_) throw std::logic_error("no pending chain");
+  return pending_->position >= pending_->chain.size();
+}
+
+ChainPlacement ClusterState::commit_chain() {
+  if (!pending_) throw std::logic_error("commit without pending chain");
+  if (!pending_complete()) throw std::logic_error("commit of incomplete chain");
+  PendingChain& pending = *pending_;
+
+  ChainPlacement placement;
+  placement.request = pending.request.id;
+  placement.sfc = pending.request.sfc;
+  placement.source_region = pending.request.source_region;
+  placement.instances = pending.instances;
+  placement.nodes = pending.nodes;
+  placement.rate_rps = pending.request.rate_rps;
+  placement.admitted_at = now_;
+  placement.expires_at = now_ + pending.request.duration_s;
+  // Return path: traffic egresses back to the user's region.
+  placement.latency_ms =
+      pending.latency_ms +
+      topology_.user_latency_ms(pending.request.source_region, pending.nodes.back());
+  placement.sla_latency_ms = pending.sla_latency_ms;
+  placement.new_deployments = static_cast<int>(pending.new_instances.size());
+
+  chains_.emplace(placement.request, placement);
+  pending_.reset();
+  return placement;
+}
+
+void ClusterState::abort_chain() {
+  if (!pending_) throw std::logic_error("abort without pending chain");
+  PendingChain& pending = *pending_;
+  // Undo loads in reverse order, then tear down instances we created.
+  for (std::size_t i = pending.instances.size(); i-- > 0;) {
+    VnfInstance& inst = instances_.at(pending.instances[i]);
+    inst.load_rps -= pending.request.rate_rps;
+    if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
+  }
+  for (const InstanceId id : pending.new_instances) release_instance(id);
+  release_wan_along(pending.nodes, pending.request.rate_rps);
+  // Deployment/release counters should not count rolled-back placements.
+  deployments_ -= pending.new_instances.size();
+  releases_ -= pending.new_instances.size();
+  pending_.reset();
+}
+
+void ClusterState::accumulate_instance_seconds(SimTime from, SimTime to) {
+  if (to <= from) return;
+  const double dt = to - from;
+  for (const auto& [id, inst] : instances_) {
+    instance_seconds_ += dt;
+    running_cost_accumulator_ +=
+        dt / kSecondsPerHour * vnfs_.type(inst.type).run_cost_per_hour;
+  }
+}
+
+void ClusterState::expire_chain(const ChainPlacement& chain) {
+  release_wan_along(chain.nodes, chain.rate_rps);
+  for (const InstanceId id : chain.instances) {
+    const auto it = instances_.find(id);
+    if (it == instances_.end()) continue;  // released by a racing GC pass
+    VnfInstance& inst = it->second;
+    inst.load_rps -= chain.rate_rps;
+    if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
+    inst.last_active = now_;
+  }
+  ++expired_chains_;
+}
+
+void ClusterState::collect_idle_instances() {
+  std::vector<InstanceId> idle;
+  for (const auto& [id, inst] : instances_) {
+    if (!inst.pinned && inst.load_rps <= 1e-9 &&
+        now_ - inst.last_active >= options_.idle_timeout_s)
+      idle.push_back(id);
+  }
+  for (const InstanceId id : idle) release_instance(id);
+}
+
+InstanceId ClusterState::deploy_pinned(NodeId node, VnfTypeId type) {
+  const InstanceId id = deploy_instance(node, type);
+  instances_.at(id).pinned = true;
+  return id;
+}
+
+bool ClusterState::has_headroom_instance(NodeId node, VnfTypeId type, double rate) const {
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  for (const InstanceId id : by_node_type_.at(index(node)).at(index(type))) {
+    if (instances_.at(id).load_rps + rate <= usable) return true;
+  }
+  return false;
+}
+
+double ClusterState::wan_used_rps(NodeId node) const { return wan_used_.at(index(node)); }
+
+bool ClusterState::can_link(NodeId a, NodeId b, double rate) const {
+  if (a == b || !std::isfinite(options_.wan_bandwidth_rps)) return true;
+  return wan_used_.at(index(a)) + rate <= options_.wan_bandwidth_rps &&
+         wan_used_.at(index(b)) + rate <= options_.wan_bandwidth_rps;
+}
+
+void ClusterState::adjust_wan(NodeId a, NodeId b, double rate) {
+  if (a == b) return;
+  wan_used_[index(a)] += rate;
+  wan_used_[index(b)] += rate;
+  if (wan_used_[index(a)] < 1e-9) wan_used_[index(a)] = 0.0;
+  if (wan_used_[index(b)] < 1e-9) wan_used_[index(b)] = 0.0;
+}
+
+void ClusterState::release_wan_along(const std::vector<NodeId>& nodes, double rate) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) adjust_wan(nodes[i - 1], nodes[i], -rate);
+}
+
+double ClusterState::recompute_chain_latency(const ChainPlacement& chain) const {
+  double latency = topology_.user_latency_ms(chain.source_region, chain.nodes.front());
+  for (std::size_t i = 0; i < chain.instances.size(); ++i) {
+    if (i > 0) latency += topology_.latency_ms(chain.nodes[i - 1], chain.nodes[i]);
+    const VnfInstance& inst = instances_.at(chain.instances[i]);
+    latency += queue_delay_ms(vnfs_.type(inst.type), inst.load_rps);
+  }
+  latency += topology_.user_latency_ms(chain.source_region, chain.nodes.back());
+  return latency;
+}
+
+ClusterState::MigrationResult ClusterState::migrate_chain_vnf(RequestId request,
+                                                              std::size_t position,
+                                                              NodeId new_node) {
+  const auto chain_it = chains_.find(request);
+  if (chain_it == chains_.end()) throw std::out_of_range("unknown chain for migration");
+  ChainPlacement& chain = chain_it->second;
+  if (position >= chain.instances.size())
+    throw std::out_of_range("migration position out of range");
+  const InstanceId old_id = chain.instances[position];
+  VnfInstance& old_inst = instances_.at(old_id);
+  if (old_inst.node == new_node)
+    throw std::invalid_argument("migration target equals current node");
+  const VnfTypeId type = old_inst.type;
+  if (!can_serve(new_node, type, chain.rate_rps))
+    throw std::runtime_error("migration target cannot serve the flow");
+  // WAN feasibility of the re-routed hops (checked conservatively before
+  // the old hops are released; can_link is a no-op for intra-node hops).
+  const NodeId old_node = old_inst.node;
+  if (position > 0 &&
+      !can_link(chain.nodes[position - 1], new_node, chain.rate_rps))
+    throw std::runtime_error("migration exceeds WAN bandwidth (ingress hop)");
+  if (position + 1 < chain.nodes.size() &&
+      !can_link(new_node, chain.nodes[position + 1], chain.rate_rps))
+    throw std::runtime_error("migration exceeds WAN bandwidth (egress hop)");
+
+  MigrationResult result;
+  result.old_latency_ms = recompute_chain_latency(chain);
+
+  // Re-route WAN usage around the moved position.
+  if (position > 0) {
+    adjust_wan(chain.nodes[position - 1], old_node, -chain.rate_rps);
+    adjust_wan(chain.nodes[position - 1], new_node, chain.rate_rps);
+  }
+  if (position + 1 < chain.nodes.size()) {
+    adjust_wan(old_node, chain.nodes[position + 1], -chain.rate_rps);
+    adjust_wan(new_node, chain.nodes[position + 1], chain.rate_rps);
+  }
+
+  VnfInstance* target = find_least_loaded_with_headroom(new_node, type, chain.rate_rps);
+  if (target == nullptr) {
+    const InstanceId id = deploy_instance(new_node, type);
+    target = &instances_.at(id);
+    result.deployed_new = true;
+  }
+  target->load_rps += chain.rate_rps;
+  target->last_active = now_;
+  result.new_instance = target->id;
+
+  old_inst.load_rps -= chain.rate_rps;
+  if (old_inst.load_rps < 1e-9) old_inst.load_rps = 0.0;
+  old_inst.last_active = now_;
+
+  chain.instances[position] = target->id;
+  chain.nodes[position] = new_node;
+  chain.latency_ms = recompute_chain_latency(chain);
+  result.new_latency_ms = chain.latency_ms;
+  ++migrations_;
+  return result;
+}
+
+void ClusterState::advance_to(SimTime to) {
+  if (to < now_) throw std::invalid_argument("advance_to into the past");
+  if (pending_) throw std::logic_error("advance_to with a pending chain");
+  while (true) {
+    // Earliest expiry within (now_, to].
+    const ChainPlacement* next_chain = nullptr;
+    for (const auto& [id, chain] : chains_) {
+      if (chain.expires_at > to) continue;
+      if (next_chain == nullptr || chain.expires_at < next_chain->expires_at)
+        next_chain = &chain;
+    }
+    if (next_chain == nullptr) break;
+    const SimTime t = std::max(next_chain->expires_at, now_);
+    accumulate_instance_seconds(now_, t);
+    now_ = t;
+    const RequestId finished = next_chain->request;
+    ChainPlacement chain = chains_.at(finished);
+    chains_.erase(finished);
+    expire_chain(chain);
+    collect_idle_instances();
+  }
+  accumulate_instance_seconds(now_, to);
+  now_ = to;
+  collect_idle_instances();
+}
+
+double ClusterState::drain_running_cost() {
+  const double cost = running_cost_accumulator_;
+  running_cost_accumulator_ = 0.0;
+  return cost;
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,230 @@
+// Mutable state of the geo-distributed edge system: running VNF instances,
+// active chains, node resource accounting, and the instance lifecycle
+// (deploy on demand, garbage-collect after an idle timeout).
+//
+// Chains are placed VNF-by-VNF through a pending-chain protocol:
+//   start_chain(request) -> place_next(node) x chain-length -> commit_chain()
+// or abort_chain() at any point, which rolls back partial placements. This
+// mirrors the sequential MDP the DRL manager acts in.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "edgesim/topology.hpp"
+#include "edgesim/vnf.hpp"
+#include "edgesim/workload.hpp"
+
+namespace vnfm::edgesim {
+
+/// One running VNF instance on a node.
+struct VnfInstance {
+  InstanceId id{};
+  NodeId node{};
+  VnfTypeId type{};
+  double load_rps = 0.0;      ///< sum of assigned flow rates
+  SimTime deployed_at = 0.0;
+  SimTime last_active = 0.0;  ///< last time load became/was non-zero
+  bool pinned = false;        ///< pinned instances are never idle-collected
+};
+
+/// A fully placed chain and its admission-time QoS snapshot.
+struct ChainPlacement {
+  RequestId request{};
+  SfcId sfc{};
+  NodeId source_region{};
+  std::vector<InstanceId> instances;
+  std::vector<NodeId> nodes;
+  double rate_rps = 0.0;
+  SimTime admitted_at = 0.0;
+  SimTime expires_at = 0.0;
+  double latency_ms = 0.0;
+  double sla_latency_ms = 0.0;
+  int new_deployments = 0;
+  [[nodiscard]] bool sla_violated() const noexcept { return latency_ms > sla_latency_ms; }
+};
+
+struct ClusterOptions {
+  double idle_timeout_s = 120.0;    ///< release instances idle this long
+  double max_utilization = 0.95;    ///< admission headroom per instance
+  /// Per-node WAN budget for inter-node chain hops (rate units). Each hop
+  /// between distinct nodes consumes the flow's rate on both endpoints;
+  /// user access hops are not constrained. Infinity disables the limit.
+  double wan_bandwidth_rps = std::numeric_limits<double>::infinity();
+};
+
+/// Result of placing one VNF of the pending chain.
+struct PlaceStepResult {
+  InstanceId instance{};
+  bool deployed_new = false;
+  double hop_latency_ms = 0.0;   ///< propagation into this node
+  double proc_latency_ms = 0.0;  ///< processing + queueing at the instance
+};
+
+class ClusterState {
+ public:
+  ClusterState(const Topology& topology, const VnfCatalog& vnfs, const SfcCatalog& sfcs,
+               ClusterOptions options);
+
+  // ---- Read-only queries -------------------------------------------------
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const VnfCatalog& vnfs() const noexcept { return vnfs_; }
+  [[nodiscard]] const SfcCatalog& sfcs() const noexcept { return sfcs_; }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] double cpu_used(NodeId node) const;
+  [[nodiscard]] double mem_used(NodeId node) const;
+  [[nodiscard]] double cpu_utilization(NodeId node) const;
+  [[nodiscard]] std::size_t instance_count(NodeId node, VnfTypeId type) const;
+  [[nodiscard]] std::size_t total_instance_count() const noexcept { return instances_.size(); }
+  [[nodiscard]] std::size_t active_chain_count() const noexcept { return chains_.size(); }
+
+  /// Spare processing rate across existing instances of `type` on `node`.
+  [[nodiscard]] double residual_capacity_rps(NodeId node, VnfTypeId type) const;
+  /// True if node can host a *new* instance of `type` (CPU and memory).
+  [[nodiscard]] bool can_deploy(NodeId node, VnfTypeId type) const;
+  /// True if `rate` can be served on `node` (existing headroom or deploy).
+  [[nodiscard]] bool can_serve(NodeId node, VnfTypeId type, double rate) const;
+  /// Queueing+processing delay a flow of `rate` would see on `node` for
+  /// `type`, assuming least-loaded-fit; infinity if it cannot be served.
+  [[nodiscard]] double estimated_proc_delay_ms(NodeId node, VnfTypeId type,
+                                               double rate) const;
+
+  [[nodiscard]] const VnfInstance& instance(InstanceId id) const;
+
+  // ---- Pending-chain protocol --------------------------------------------
+  /// Begins placement of a request; only one chain may be pending at a time.
+  void start_chain(const Request& request);
+  [[nodiscard]] bool has_pending_chain() const noexcept { return pending_.has_value(); }
+  /// VNF type the pending chain needs next.
+  [[nodiscard]] VnfTypeId pending_vnf_type() const;
+  /// Position (0-based) within the pending chain.
+  [[nodiscard]] std::size_t pending_position() const;
+  /// Latency accumulated by the partially placed pending chain.
+  [[nodiscard]] double pending_latency_ms() const;
+  [[nodiscard]] const Request& pending_request() const;
+
+  /// Places the pending chain's next VNF on `node` (least-loaded instance
+  /// with headroom, else deploys). Throws if infeasible — call can_serve.
+  PlaceStepResult place_next(NodeId node);
+
+  /// True once every VNF of the pending chain has been placed.
+  [[nodiscard]] bool pending_complete() const;
+
+  /// Finalises the pending chain: adds the return-path latency, registers
+  /// expiry, and returns the placement record.
+  ChainPlacement commit_chain();
+
+  /// Rolls back all placements of the pending chain (loads and deployments).
+  void abort_chain();
+
+  /// Deploys a pinned instance outside the chain protocol (static
+  /// provisioning baselines). Pinned instances are exempt from idle GC.
+  InstanceId deploy_pinned(NodeId node, VnfTypeId type);
+  /// Existing instance (any pinnedness) with headroom for `rate`?
+  [[nodiscard]] bool has_headroom_instance(NodeId node, VnfTypeId type, double rate) const;
+
+  // ---- Live-chain migration ------------------------------------------------
+  /// Result of migrating one VNF of a live chain to another node.
+  struct MigrationResult {
+    InstanceId new_instance{};
+    bool deployed_new = false;
+    double old_latency_ms = 0.0;  ///< chain latency before the move
+    double new_latency_ms = 0.0;  ///< chain latency after the move
+  };
+
+  /// Moves the VNF at `position` of live chain `request` onto `new_node`
+  /// (least-loaded instance with headroom, else deploys), releases the old
+  /// assignment, and re-snapshots the chain's latency/SLA state.
+  /// Throws if the chain is unknown, position out of range, new_node equals
+  /// the current node, or the target cannot serve the flow.
+  MigrationResult migrate_chain_vnf(RequestId request, std::size_t position,
+                                    NodeId new_node);
+
+  /// End-to-end latency of a live chain recomputed from current instance
+  /// loads (admission records keep their original snapshot).
+  [[nodiscard]] double recompute_chain_latency(const ChainPlacement& chain) const;
+
+  /// Live chains keyed by request (consolidation passes scan this).
+  [[nodiscard]] const std::unordered_map<RequestId, ChainPlacement>& active_chains()
+      const noexcept {
+    return chains_;
+  }
+
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept { return migrations_; }
+
+  // ---- WAN bandwidth -------------------------------------------------------
+  /// Inter-node hop traffic currently charged against `node`'s WAN budget.
+  [[nodiscard]] double wan_used_rps(NodeId node) const;
+  /// True when a hop of `rate` can be routed between the two nodes (always
+  /// true for intra-node hops or with an infinite budget).
+  [[nodiscard]] bool can_link(NodeId a, NodeId b, double rate) const;
+
+  // ---- Time --------------------------------------------------------------
+  /// Advances simulation time: expires chains, releases idle instances, and
+  /// accumulates instance-seconds (for running-cost integration).
+  void advance_to(SimTime to);
+
+  /// Instance-seconds × run-cost accumulated since the last call (then reset).
+  [[nodiscard]] double drain_running_cost();
+  /// Instance-seconds accumulated since the last drain (diagnostic).
+  [[nodiscard]] double instance_seconds_accumulated() const noexcept {
+    return instance_seconds_;
+  }
+
+  [[nodiscard]] std::uint64_t total_deployments() const noexcept { return deployments_; }
+  [[nodiscard]] std::uint64_t total_releases() const noexcept { return releases_; }
+  [[nodiscard]] std::uint64_t expired_chains() const noexcept { return expired_chains_; }
+
+ private:
+  struct PendingChain {
+    Request request;
+    std::vector<VnfTypeId> chain;
+    double sla_latency_ms = 0.0;
+    std::size_t position = 0;
+    double latency_ms = 0.0;
+    std::vector<InstanceId> instances;
+    std::vector<NodeId> nodes;
+    std::vector<InstanceId> new_instances;  // rollback set
+  };
+
+  [[nodiscard]] VnfInstance* find_least_loaded_with_headroom(NodeId node, VnfTypeId type,
+                                                             double rate);
+  /// Adds (rate > 0) or releases (rate < 0) WAN usage for hop a -> b.
+  void adjust_wan(NodeId a, NodeId b, double rate);
+  /// Releases the WAN usage of every inter-node hop along `nodes`.
+  void release_wan_along(const std::vector<NodeId>& nodes, double rate);
+  InstanceId deploy_instance(NodeId node, VnfTypeId type);
+  void release_instance(InstanceId id);
+  void accumulate_instance_seconds(SimTime from, SimTime to);
+  void expire_chain(const ChainPlacement& chain);
+  void collect_idle_instances();
+  [[nodiscard]] double queue_delay_ms(const VnfType& type, double load_after) const;
+
+  const Topology& topology_;
+  const VnfCatalog& vnfs_;
+  const SfcCatalog& sfcs_;
+  ClusterOptions options_;
+  SimTime now_ = 0.0;
+
+  std::vector<double> cpu_used_;
+  std::vector<double> mem_used_;
+  std::vector<double> wan_used_;
+  std::unordered_map<InstanceId, VnfInstance> instances_;
+  /// [node][type] -> instance ids (dense index for fast lookup).
+  std::vector<std::vector<std::vector<InstanceId>>> by_node_type_;
+  std::unordered_map<RequestId, ChainPlacement> chains_;
+  std::optional<PendingChain> pending_;
+
+  std::uint64_t next_instance_id_ = 0;
+  std::uint64_t deployments_ = 0;
+  std::uint64_t releases_ = 0;
+  std::uint64_t expired_chains_ = 0;
+  std::uint64_t migrations_ = 0;
+  double instance_seconds_ = 0.0;
+  double running_cost_accumulator_ = 0.0;
+};
+
+}  // namespace vnfm::edgesim

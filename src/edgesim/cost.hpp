@@ -1,0 +1,47 @@
+// Operator objective: the weighted cost the VNF manager minimises.
+//
+// cost = w_deploy · deployments + running cost (instance-hours priced by the
+//        VNF catalog) + w_latency · chain latency + w_sla · SLA violations
+//        + w_reject · rejections − revenue of admitted chains
+//
+// The same model prices both the simulator metrics and the MDP reward, so
+// the learning signal and the reported numbers can never diverge.
+#pragma once
+
+#include "edgesim/cluster.hpp"
+
+namespace vnfm::edgesim {
+
+struct CostModel {
+  double w_deploy = 1.0;        ///< multiplier on per-type deploy cost
+  double w_running = 1.0;       ///< multiplier on per-type running cost
+  double w_latency_per_ms = 0.01;  ///< $ per ms of admitted-chain latency
+  double w_sla_violation = 5.0;    ///< $ per admitted chain breaking its SLA
+  double w_rejection = 8.0;        ///< $ per rejected chain
+  double w_revenue = 1.0;          ///< multiplier on per-chain revenue
+  double w_migration = 0.3;        ///< $ per live-chain VNF migration
+
+  /// Admission-time cost of one placed chain (deployments are priced via
+  /// the actual per-type deploy costs passed in; latency and SLA priced
+  /// here). Negative values mean the chain was profitable.
+  [[nodiscard]] double admission_cost(const ChainPlacement& placement,
+                                      double deploy_cost_total, double revenue) const {
+    double cost = w_deploy * deploy_cost_total;
+    cost += w_latency_per_ms * placement.latency_ms;
+    if (placement.sla_violated()) cost += w_sla_violation;
+    cost -= w_revenue * revenue;
+    return cost;
+  }
+
+  [[nodiscard]] double rejection_cost() const { return w_rejection; }
+
+  [[nodiscard]] double running_cost(double raw_running_cost) const {
+    return w_running * raw_running_cost;
+  }
+
+  [[nodiscard]] double migration_cost(std::size_t migrations) const {
+    return w_migration * static_cast<double>(migrations);
+  }
+};
+
+}  // namespace vnfm::edgesim

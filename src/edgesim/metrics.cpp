@@ -1,0 +1,71 @@
+#include "edgesim/metrics.hpp"
+
+#include <sstream>
+
+namespace vnfm::edgesim {
+
+MetricsCollector::MetricsCollector(CostModel cost_model)
+    : cost_model_(cost_model), latency_sketch_(100'000) {}
+
+void MetricsCollector::on_arrival() { ++arrivals_; }
+
+void MetricsCollector::on_accept(const ChainPlacement& placement,
+                                 double deploy_cost_total, double revenue) {
+  ++accepted_;
+  deployments_ += static_cast<std::uint64_t>(placement.new_deployments);
+  if (placement.sla_violated()) ++sla_violations_;
+  latency_.add(placement.latency_ms);
+  latency_sketch_.add(placement.latency_ms);
+  deploy_cost_ += deploy_cost_total;
+  revenue_ += revenue;
+  total_cost_ += cost_model_.admission_cost(placement, deploy_cost_total, revenue);
+}
+
+void MetricsCollector::on_reject() {
+  ++rejected_;
+  total_cost_ += cost_model_.rejection_cost();
+}
+
+void MetricsCollector::on_migrations(std::size_t count) {
+  migrations_ += count;
+  total_cost_ += cost_model_.migration_cost(count);
+}
+
+void MetricsCollector::on_running_cost(double raw_running_cost) {
+  running_cost_ += raw_running_cost;
+  total_cost_ += cost_model_.running_cost(raw_running_cost);
+}
+
+void MetricsCollector::sample_utilization(const ClusterState& cluster) {
+  for (const auto& node : cluster.topology().nodes())
+    utilization_.add(cluster.cpu_utilization(node.id));
+}
+
+double MetricsCollector::acceptance_ratio() const noexcept {
+  return arrivals_ == 0
+             ? 1.0
+             : static_cast<double>(accepted_) / static_cast<double>(arrivals_);
+}
+
+double MetricsCollector::sla_violation_ratio() const noexcept {
+  return accepted_ == 0
+             ? 0.0
+             : static_cast<double>(sla_violations_) / static_cast<double>(accepted_);
+}
+
+double MetricsCollector::cost_per_request() const noexcept {
+  return arrivals_ == 0 ? 0.0 : total_cost_ / static_cast<double>(arrivals_);
+}
+
+std::string MetricsCollector::summary() const {
+  std::ostringstream os;
+  os << "arrivals=" << arrivals_ << " accepted=" << accepted_
+     << " rejected=" << rejected_ << " accept_ratio=" << acceptance_ratio()
+     << " mean_latency_ms=" << latency_.mean()
+     << " sla_violation_ratio=" << sla_violation_ratio()
+     << " deployments=" << deployments_ << " total_cost=" << total_cost_
+     << " cost_per_request=" << cost_per_request();
+  return os.str();
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,75 @@
+// Aggregated simulation metrics: the quantities the paper's evaluation
+// section plots (cost, latency, acceptance ratio, utilisation, deployments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "edgesim/cluster.hpp"
+#include "edgesim/cost.hpp"
+
+namespace vnfm::edgesim {
+
+/// Point-in-time + cumulative measurements for one simulation run.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(CostModel cost_model = {});
+
+  void on_arrival();
+  /// Records an admitted chain; `deploy_cost_total` and `revenue` are the
+  /// raw catalog prices so the collector can apply the cost model itself.
+  void on_accept(const ChainPlacement& placement, double deploy_cost_total,
+                 double revenue);
+  void on_reject();
+  /// Periodic running-cost integration (from ClusterState::drain_running_cost).
+  void on_running_cost(double raw_running_cost);
+  /// Records live-chain migrations performed by a consolidation pass.
+  void on_migrations(std::size_t count);
+  /// Samples node utilisations (called once per decision epoch or slot).
+  void sample_utilization(const ClusterState& cluster);
+
+  // ---- Aggregates ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t sla_violations() const noexcept { return sla_violations_; }
+  [[nodiscard]] std::uint64_t deployments() const noexcept { return deployments_; }
+  [[nodiscard]] std::uint64_t migrations() const noexcept { return migrations_; }
+
+  [[nodiscard]] double acceptance_ratio() const noexcept;
+  [[nodiscard]] double sla_violation_ratio() const noexcept;
+  /// Total objective cost accumulated so far.
+  [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
+  /// Objective cost per arrival (the paper's headline metric).
+  [[nodiscard]] double cost_per_request() const noexcept;
+  [[nodiscard]] const RunningStat& latency_stats() const noexcept { return latency_; }
+  [[nodiscard]] const QuantileSketch& latency_sketch() const noexcept { return latency_sketch_; }
+  [[nodiscard]] const RunningStat& utilization_stats() const noexcept { return utilization_; }
+  [[nodiscard]] double running_cost_total() const noexcept { return running_cost_; }
+  [[nodiscard]] double deploy_cost_total() const noexcept { return deploy_cost_; }
+  [[nodiscard]] double revenue_total() const noexcept { return revenue_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_model_; }
+
+  /// One-line human-readable summary (examples / debugging).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  CostModel cost_model_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t sla_violations_ = 0;
+  std::uint64_t deployments_ = 0;
+  std::uint64_t migrations_ = 0;
+  double total_cost_ = 0.0;
+  double running_cost_ = 0.0;
+  double deploy_cost_ = 0.0;
+  double revenue_ = 0.0;
+  RunningStat latency_;
+  QuantileSketch latency_sketch_;
+  RunningStat utilization_;
+};
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,111 @@
+#include "edgesim/topology.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+double LatencyModel::latency_ms(const GeoPoint& a, const GeoPoint& b) const noexcept {
+  const double km = haversine_km(a, b);
+  if (km < 1.0) return intra_node_ms;
+  return km * per_km_ms * route_inflation + hop_overhead_ms;
+}
+
+Topology::Topology(std::vector<EdgeNode> nodes, LatencyModel model)
+    : nodes_(std::move(nodes)), model_(model) {
+  if (nodes_.empty()) throw std::invalid_argument("topology needs at least one node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (index(nodes_[i].id) != i)
+      throw std::invalid_argument("topology node ids must be dense and ordered");
+  }
+  const std::size_t n = nodes_.size();
+  latency_matrix_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      latency_matrix_[i * n + j] =
+          i == j ? model_.intra_node_ms
+                 : model_.latency_ms(nodes_[i].location, nodes_[j].location);
+    }
+  }
+}
+
+const EdgeNode& Topology::node(NodeId id) const { return nodes_.at(index(id)); }
+
+double Topology::latency_ms(NodeId a, NodeId b) const {
+  const std::size_t n = nodes_.size();
+  return latency_matrix_.at(index(a) * n + index(b));
+}
+
+double Topology::user_latency_ms(NodeId region, NodeId target) const {
+  // Users access their metro's edge via a short last-mile hop; reaching a
+  // remote node additionally crosses the inter-node WAN distance.
+  constexpr double kLastMileMs = 2.0;
+  if (region == target) return kLastMileMs;
+  return kLastMileMs + latency_ms(region, target);
+}
+
+double Topology::total_traffic_weight() const noexcept {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node.traffic_weight;
+  return total;
+}
+
+namespace {
+
+struct Metro {
+  const char* name;
+  double lat;
+  double lon;
+  double tz;
+  double weight;
+};
+
+// Sixteen metros spread over time zones so diurnal peaks are staggered.
+constexpr std::array<Metro, 16> kMetros{{
+    {"new_york", 40.71, -74.01, -5.0, 1.4},
+    {"london", 51.51, -0.13, 0.0, 1.3},
+    {"tokyo", 35.68, 139.69, 9.0, 1.4},
+    {"frankfurt", 50.11, 8.68, 1.0, 1.1},
+    {"singapore", 1.35, 103.82, 8.0, 1.2},
+    {"san_francisco", 37.77, -122.42, -8.0, 1.2},
+    {"sao_paulo", -23.55, -46.63, -3.0, 1.0},
+    {"sydney", -33.87, 151.21, 10.0, 0.9},
+    {"mumbai", 19.08, 72.88, 5.5, 1.1},
+    {"chicago", 41.88, -87.63, -6.0, 1.0},
+    {"paris", 48.86, 2.35, 1.0, 1.0},
+    {"seoul", 37.57, 126.98, 9.0, 1.1},
+    {"toronto", 43.65, -79.38, -5.0, 0.8},
+    {"dubai", 25.20, 55.27, 4.0, 0.8},
+    {"johannesburg", -26.20, 28.05, 2.0, 0.7},
+    {"amsterdam", 52.37, 4.90, 1.0, 0.9},
+}};
+
+}  // namespace
+
+std::size_t world_metro_count() noexcept { return kMetros.size(); }
+
+Topology make_world_topology(const TopologyOptions& options) {
+  if (options.node_count == 0 || options.node_count > kMetros.size())
+    throw std::invalid_argument("node_count must be in [1, " +
+                                std::to_string(kMetros.size()) + "]");
+  Rng rng(options.seed);
+  std::vector<EdgeNode> nodes;
+  nodes.reserve(options.node_count);
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    const Metro& metro = kMetros[i];
+    EdgeNode node;
+    node.id = NodeId{static_cast<std::uint32_t>(i)};
+    node.name = metro.name;
+    node.location = GeoPoint{metro.lat, metro.lon};
+    node.tz_offset_hours = metro.tz;
+    node.traffic_weight = metro.weight;
+    const double jitter = 1.0 + options.capacity_jitter * (2.0 * rng.uniform() - 1.0);
+    node.cpu_capacity = options.cpu_capacity_mean * jitter;
+    node.mem_capacity_gb = 2.0 * node.cpu_capacity;  // 2 GB per vCPU
+    nodes.push_back(std::move(node));
+  }
+  return Topology(std::move(nodes), LatencyModel{});
+}
+
+}  // namespace vnfm::edgesim

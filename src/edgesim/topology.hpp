@@ -1,0 +1,75 @@
+// Geo-distributed edge topology: nodes at real metro-area coordinates with
+// heterogeneous capacities and a distance-derived latency matrix.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "edgesim/types.hpp"
+
+namespace vnfm::edgesim {
+
+/// One edge cluster co-located with a user population (metro area).
+struct EdgeNode {
+  NodeId id{};
+  std::string name;
+  GeoPoint location;
+  double cpu_capacity = 32.0;      ///< total vCPUs
+  double mem_capacity_gb = 64.0;   ///< total memory
+  double tz_offset_hours = 0.0;    ///< local-time phase for diurnal traffic
+  double traffic_weight = 1.0;     ///< share of global arrivals from here
+};
+
+/// Parameters of the distance-to-latency conversion.
+struct LatencyModel {
+  double per_km_ms = 0.005;       ///< one-way fibre propagation ≈ 5 µs/km
+  double route_inflation = 1.3;   ///< fibre path vs great circle
+  double hop_overhead_ms = 0.5;   ///< switching/forwarding per network hop
+  double intra_node_ms = 0.05;    ///< hop between instances on one node
+
+  /// One-way latency between two geographic points.
+  [[nodiscard]] double latency_ms(const GeoPoint& a, const GeoPoint& b) const noexcept;
+};
+
+/// Immutable node set plus precomputed pairwise latencies.
+class Topology {
+ public:
+  Topology(std::vector<EdgeNode> nodes, LatencyModel model);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const EdgeNode& node(NodeId id) const;
+  [[nodiscard]] std::span<const EdgeNode> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept { return model_; }
+
+  /// One-way latency between nodes (0 on the diagonal except intra-node hop).
+  [[nodiscard]] double latency_ms(NodeId a, NodeId b) const;
+  /// Latency from a user in node `region`'s metro area to node `target`.
+  [[nodiscard]] double user_latency_ms(NodeId region, NodeId target) const;
+
+  /// Sum of traffic weights (for normalising arrival shares).
+  [[nodiscard]] double total_traffic_weight() const noexcept;
+
+ private:
+  std::vector<EdgeNode> nodes_;
+  LatencyModel model_;
+  std::vector<double> latency_matrix_;  // row-major node x node
+};
+
+/// Options for the built-in topology generator.
+struct TopologyOptions {
+  std::size_t node_count = 8;       ///< first N metros from the world list
+  double cpu_capacity_mean = 32.0;
+  double capacity_jitter = 0.25;    ///< ± relative heterogeneity
+  std::uint64_t seed = 42;
+};
+
+/// Builds a topology over a fixed list of world metro areas (up to 16),
+/// with capacities jittered around the mean for heterogeneity.
+[[nodiscard]] Topology make_world_topology(const TopologyOptions& options);
+
+/// Number of metros available to make_world_topology.
+[[nodiscard]] std::size_t world_metro_count() noexcept;
+
+}  // namespace vnfm::edgesim

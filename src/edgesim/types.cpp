@@ -1,0 +1,20 @@
+#include "edgesim/types.hpp"
+
+#include <numbers>
+
+namespace vnfm::edgesim {
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+}  // namespace vnfm::edgesim

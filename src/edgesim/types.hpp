@@ -1,0 +1,69 @@
+// Fundamental identifiers and geographic primitives for the edge simulator.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace vnfm::edgesim {
+
+/// Index of an edge node (cluster) in the topology.
+enum class NodeId : std::uint32_t {};
+/// Index of a VNF type in the catalog.
+enum class VnfTypeId : std::uint32_t {};
+/// Index of an SFC template in the catalog.
+enum class SfcId : std::uint32_t {};
+/// Monotonically increasing id of a chain request.
+enum class RequestId : std::uint64_t {};
+/// Monotonically increasing id of a running VNF instance.
+enum class InstanceId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint32_t index(NodeId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint32_t index(VnfTypeId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint32_t index(SfcId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint64_t index(RequestId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+[[nodiscard]] constexpr std::uint64_t index(InstanceId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+
+/// WGS-84 latitude/longitude in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  auto operator<=>(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Simulation time in seconds (double to allow sub-second epochs).
+using SimTime = double;
+
+constexpr SimTime kSecondsPerHour = 3600.0;
+constexpr SimTime kSecondsPerDay = 86'400.0;
+
+}  // namespace vnfm::edgesim
+
+template <>
+struct std::hash<vnfm::edgesim::InstanceId> {
+  std::size_t operator()(vnfm::edgesim::InstanceId id) const noexcept {
+    return std::hash<std::uint64_t>{}(static_cast<std::uint64_t>(id));
+  }
+};
+
+template <>
+struct std::hash<vnfm::edgesim::RequestId> {
+  std::size_t operator()(vnfm::edgesim::RequestId id) const noexcept {
+    return std::hash<std::uint64_t>{}(static_cast<std::uint64_t>(id));
+  }
+};

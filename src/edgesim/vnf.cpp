@@ -1,0 +1,105 @@
+#include "edgesim/vnf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+VnfCatalog::VnfCatalog(std::vector<VnfType> types) : types_(std::move(types)) {
+  if (types_.empty()) throw std::invalid_argument("empty VNF catalog");
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (index(types_[i].id) != i)
+      throw std::invalid_argument("VNF catalog ids must be dense and ordered");
+  }
+}
+
+VnfCatalog VnfCatalog::standard() {
+  std::vector<VnfType> types;
+  auto add = [&types](std::string name, double cpu, double mem, double cap, double delay,
+                      double deploy, double run) {
+    VnfType t;
+    t.id = VnfTypeId{static_cast<std::uint32_t>(types.size())};
+    t.name = std::move(name);
+    t.cpu_units = cpu;
+    t.mem_gb = mem;
+    t.capacity_rps = cap;
+    t.proc_delay_ms = delay;
+    t.deploy_cost = deploy;
+    t.run_cost_per_hour = run;
+    types.push_back(std::move(t));
+  };
+  //    name        cpu  mem   cap    delay  deploy run/h
+  add("firewall",   2.0, 2.0, 150.0, 0.40,  1.0,   0.30);
+  add("nat",        1.0, 1.0, 200.0, 0.20,  0.6,   0.15);
+  add("ids",        4.0, 4.0,  80.0, 1.20,  1.8,   0.60);
+  add("lb",         1.0, 2.0, 250.0, 0.15,  0.6,   0.15);
+  add("wan_opt",    3.0, 4.0, 100.0, 0.80,  1.4,   0.45);
+  add("vpn",        2.0, 2.0, 120.0, 0.60,  1.0,   0.35);
+  return VnfCatalog(std::move(types));
+}
+
+const VnfType& VnfCatalog::type(VnfTypeId id) const {
+  return types_.at(index(id));
+}
+
+const VnfType& VnfCatalog::by_name(const std::string& name) const {
+  const auto it = std::find_if(types_.begin(), types_.end(),
+                               [&name](const VnfType& t) { return t.name == name; });
+  if (it == types_.end()) throw std::out_of_range("unknown VNF type: " + name);
+  return *it;
+}
+
+SfcCatalog::SfcCatalog(std::vector<SfcTemplate> templates) : templates_(std::move(templates)) {
+  if (templates_.empty()) throw std::invalid_argument("empty SFC catalog");
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (index(templates_[i].id) != i)
+      throw std::invalid_argument("SFC catalog ids must be dense and ordered");
+    if (templates_[i].chain.empty())
+      throw std::invalid_argument("SFC template with empty chain");
+  }
+}
+
+SfcCatalog SfcCatalog::standard(const VnfCatalog& vnfs) {
+  std::vector<SfcTemplate> templates;
+  auto chain_of = [&vnfs](std::initializer_list<const char*> names) {
+    std::vector<VnfTypeId> chain;
+    for (const char* n : names) chain.push_back(vnfs.by_name(n).id);
+    return chain;
+  };
+  auto add = [&templates](std::string name, std::vector<VnfTypeId> chain, double sla,
+                          double rate, double duration, double revenue) {
+    SfcTemplate t;
+    t.id = SfcId{static_cast<std::uint32_t>(templates.size())};
+    t.name = std::move(name);
+    t.chain = std::move(chain);
+    t.sla_latency_ms = sla;
+    t.mean_rate_rps = rate;
+    t.mean_duration_s = duration;
+    t.revenue = revenue;
+    templates.push_back(std::move(t));
+  };
+  //   name       chain                              sla(ms) rate  dur(s) revenue
+  add("web",      chain_of({"nat", "firewall", "lb"}),      120.0, 6.0, 240.0, 2.0);
+  add("voip",     chain_of({"nat", "firewall"}),             80.0, 2.0, 420.0, 1.5);
+  add("video",    chain_of({"firewall", "ids", "wan_opt"}), 150.0, 10.0, 600.0, 3.0);
+  add("gaming",   chain_of({"nat", "firewall", "ids"}),      60.0, 4.0, 360.0, 2.5);
+  add("iot",      chain_of({"firewall", "ids"}),            200.0, 1.0, 900.0, 1.0);
+  return SfcCatalog(std::move(templates));
+}
+
+const SfcTemplate& SfcCatalog::sfc(SfcId id) const { return templates_.at(index(id)); }
+
+const SfcTemplate& SfcCatalog::by_name(const std::string& name) const {
+  const auto it = std::find_if(templates_.begin(), templates_.end(),
+                               [&name](const SfcTemplate& t) { return t.name == name; });
+  if (it == templates_.end()) throw std::out_of_range("unknown SFC: " + name);
+  return *it;
+}
+
+std::size_t SfcCatalog::max_chain_length() const noexcept {
+  std::size_t longest = 0;
+  for (const auto& t : templates_) longest = std::max(longest, t.chain.size());
+  return longest;
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,79 @@
+// VNF type and service-function-chain catalogs.
+//
+// The concrete numbers follow the conventions of the NFV placement
+// literature: per-instance CPU/memory footprints, a processing capacity in
+// requests/second, a base per-packet processing delay, a one-off deployment
+// cost (image transfer + boot) and a running cost per instance-hour.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "edgesim/types.hpp"
+
+namespace vnfm::edgesim {
+
+/// Static description of one virtual network function type.
+struct VnfType {
+  VnfTypeId id{};
+  std::string name;
+  double cpu_units = 1.0;        ///< vCPUs per instance
+  double mem_gb = 1.0;           ///< memory per instance
+  double capacity_rps = 100.0;   ///< request rate one instance can process
+  double proc_delay_ms = 0.5;    ///< base processing delay at zero load
+  double deploy_cost = 1.0;      ///< $ per deployment (image pull + boot)
+  double run_cost_per_hour = 0.2;  ///< $ per instance-hour
+};
+
+/// Immutable set of VNF types indexed by VnfTypeId.
+class VnfCatalog {
+ public:
+  explicit VnfCatalog(std::vector<VnfType> types);
+
+  /// The six classic middlebox types used throughout the NFV literature:
+  /// firewall, NAT, IDS, load balancer, WAN optimizer, VPN gateway.
+  static VnfCatalog standard();
+
+  [[nodiscard]] const VnfType& type(VnfTypeId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return types_.size(); }
+  [[nodiscard]] std::span<const VnfType> all() const noexcept { return types_; }
+  /// Lookup by name; throws std::out_of_range if absent.
+  [[nodiscard]] const VnfType& by_name(const std::string& name) const;
+
+ private:
+  std::vector<VnfType> types_;
+};
+
+/// An ordered chain of VNF types plus the QoS contract of requests using it.
+struct SfcTemplate {
+  SfcId id{};
+  std::string name;
+  std::vector<VnfTypeId> chain;      ///< traversal order
+  double sla_latency_ms = 100.0;     ///< end-to-end latency bound
+  double mean_rate_rps = 5.0;        ///< mean per-request traffic rate
+  double mean_duration_s = 300.0;    ///< mean flow lifetime
+  double revenue = 2.0;              ///< $ earned per admitted chain
+};
+
+/// Immutable set of SFC templates indexed by SfcId.
+class SfcCatalog {
+ public:
+  explicit SfcCatalog(std::vector<SfcTemplate> templates);
+
+  /// Five chains spanning the latency/size spectrum (web, VoIP, video,
+  /// gaming, IoT), referencing VnfCatalog::standard() type names.
+  static SfcCatalog standard(const VnfCatalog& vnfs);
+
+  [[nodiscard]] const SfcTemplate& sfc(SfcId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return templates_.size(); }
+  [[nodiscard]] std::span<const SfcTemplate> all() const noexcept { return templates_; }
+  [[nodiscard]] const SfcTemplate& by_name(const std::string& name) const;
+  /// Longest chain length across templates (sizes DQN state layout).
+  [[nodiscard]] std::size_t max_chain_length() const noexcept;
+
+ private:
+  std::vector<SfcTemplate> templates_;
+};
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,86 @@
+#include "edgesim/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+WorkloadGenerator::WorkloadGenerator(const Topology& topology, const SfcCatalog& sfcs,
+                                     WorkloadOptions options)
+    : topology_(topology), sfcs_(sfcs), options_(options), rng_(options.seed) {
+  if (options_.global_arrival_rate <= 0.0)
+    throw std::invalid_argument("arrival rate must be positive");
+  if (options_.diurnal_amplitude < 0.0 || options_.diurnal_amplitude > 1.0)
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1]");
+  const double total_weight = topology_.total_traffic_weight();
+  region_share_.reserve(topology_.node_count());
+  for (const auto& node : topology_.nodes())
+    region_share_.push_back(node.traffic_weight / total_weight);
+  // Request mix: inversely weight very long chains slightly so the mix is
+  // dominated by the interactive services (web/voip/gaming).
+  sfc_weights_.reserve(sfcs_.size());
+  for (const auto& sfc : sfcs_.all())
+    sfc_weights_.push_back(1.0 / std::sqrt(static_cast<double>(sfc.chain.size())));
+}
+
+double WorkloadGenerator::region_rate(NodeId region, SimTime t) const noexcept {
+  const double base =
+      options_.global_arrival_rate * region_share_[index(region)];
+  if (!options_.diurnal_enabled) return base;
+  // Local-time diurnal modulation: peak at peak_local_hour local time.
+  const double tz = topology_.node(region).tz_offset_hours;
+  const double local_hour = std::fmod(t / kSecondsPerHour + tz + 48.0, 24.0);
+  const double phase =
+      2.0 * std::numbers::pi * (local_hour - options_.peak_local_hour) / 24.0;
+  return base * (1.0 + options_.diurnal_amplitude * std::cos(phase));
+}
+
+double WorkloadGenerator::total_rate(SimTime t) const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < topology_.node_count(); ++i)
+    total += region_rate(NodeId{static_cast<std::uint32_t>(i)}, t);
+  return total;
+}
+
+double WorkloadGenerator::peak_total_rate() const noexcept {
+  return options_.global_arrival_rate * (1.0 + options_.diurnal_amplitude);
+}
+
+Request WorkloadGenerator::next(SimTime now) {
+  // Poisson thinning: candidate arrivals at the envelope rate, accepted with
+  // probability total_rate(t)/envelope; region then sampled by its share of
+  // the instantaneous rate.
+  const double envelope = peak_total_rate();
+  SimTime t = now;
+  for (;;) {
+    t += rng_.exponential(envelope);
+    const double rate = total_rate(t);
+    if (rng_.uniform() * envelope <= rate) {
+      // Sample region proportional to instantaneous regional rates.
+      double target = rng_.uniform() * rate;
+      NodeId region{0};
+      for (std::size_t i = 0; i < topology_.node_count(); ++i) {
+        const NodeId candidate{static_cast<std::uint32_t>(i)};
+        target -= region_rate(candidate, t);
+        region = candidate;
+        if (target < 0.0) break;
+      }
+      const auto sfc_index = rng_.weighted_index(sfc_weights_);
+      const SfcTemplate& sfc = sfcs_.sfc(SfcId{static_cast<std::uint32_t>(sfc_index)});
+
+      Request request;
+      request.id = RequestId{next_request_id_++};
+      request.arrival_time = t;
+      request.source_region = region;
+      request.sfc = sfc.id;
+      const double jitter =
+          1.0 + options_.rate_jitter * (2.0 * rng_.uniform() - 1.0);
+      request.rate_rps = std::max(0.1, sfc.mean_rate_rps * jitter);
+      request.duration_s = rng_.exponential(1.0 / sfc.mean_duration_s);
+      return request;
+    }
+  }
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,70 @@
+// Request workload: Poisson arrivals per region modulated by phase-shifted
+// diurnal sinusoids (regions peak at their local daytime), heterogeneous
+// chain mixes, exponential flow durations and rate jitter.
+//
+// This substitutes for the unavailable operator traces: it reproduces the
+// two properties the DRL manager must exploit — geographic arrival skew and
+// temporal non-stationarity ("follow the sun").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "edgesim/topology.hpp"
+#include "edgesim/vnf.hpp"
+
+namespace vnfm::edgesim {
+
+/// One chain request: who asks, for what, how much, and for how long.
+struct Request {
+  RequestId id{};
+  SimTime arrival_time = 0.0;
+  NodeId source_region{};
+  SfcId sfc{};
+  double rate_rps = 1.0;     ///< traffic rate consumed on every chain VNF
+  double duration_s = 60.0;  ///< flow lifetime after admission
+};
+
+struct WorkloadOptions {
+  double global_arrival_rate = 1.0;  ///< mean requests/second across regions
+  double diurnal_amplitude = 0.6;    ///< 0 = flat, 1 = full swing
+  bool diurnal_enabled = true;
+  double rate_jitter = 0.5;          ///< ± relative jitter on SFC mean rate
+  double peak_local_hour = 14.0;     ///< local time of day of peak demand
+  std::uint64_t seed = 1234;
+};
+
+/// Generates a time-ordered request stream via Poisson thinning against the
+/// time-varying regional rate surface.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const Topology& topology, const SfcCatalog& sfcs,
+                    WorkloadOptions options);
+
+  /// Next request strictly after `now`; never exhausts.
+  [[nodiscard]] Request next(SimTime now);
+
+  /// Instantaneous arrival rate (req/s) of `region` at absolute time t.
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const noexcept;
+
+  /// Sum of regional rates at time t.
+  [[nodiscard]] double total_rate(SimTime t) const noexcept;
+
+  /// Upper bound of total_rate over all t (thinning envelope).
+  [[nodiscard]] double peak_total_rate() const noexcept;
+
+  [[nodiscard]] const WorkloadOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint64_t generated_count() const noexcept { return next_request_id_; }
+
+ private:
+  const Topology& topology_;
+  const SfcCatalog& sfcs_;
+  WorkloadOptions options_;
+  Rng rng_;
+  std::uint64_t next_request_id_ = 0;
+  std::vector<double> region_share_;  ///< normalised traffic weights
+  std::vector<double> sfc_weights_;   ///< request-mix weights
+};
+
+}  // namespace vnfm::edgesim

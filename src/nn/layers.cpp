@@ -1,0 +1,93 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfm::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_(in_features), out_(out_features) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("linear layer with zero dimension");
+  w_.value.resize(out_, in_);
+  w_.grad.resize(out_, in_);
+  b_.value.resize(1, out_);
+  b_.grad.resize(1, out_);
+}
+
+void Linear::init(Rng& rng, float scale_numerator) {
+  const float stddev = std::sqrt(scale_numerator / static_cast<float>(in_));
+  for (float& w : w_.value.flat()) w = static_cast<float>(rng.normal()) * stddev;
+  b_.value.fill(0.0F);
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) {
+  if (x.cols() != in_) throw std::invalid_argument("linear forward shape mismatch");
+  cached_input_ = x;
+  matmul_a_bt(x, w_.value, y);
+  add_row_vector(y, b_.value.row(0));
+}
+
+void Linear::backward(const Matrix& d_out, Matrix& d_in) {
+  if (d_out.cols() != out_ || d_out.rows() != cached_input_.rows())
+    throw std::invalid_argument("linear backward shape mismatch");
+  // dW += d_out^T * X  (shapes: (out,batch) x (batch,in) -> (out,in)).
+  Matrix dw;
+  matmul_at_b(d_out, cached_input_, dw);
+  axpy(1.0F, dw, w_.grad);
+  column_sums(d_out, b_.grad.row(0));
+  // dX = d_out * W  (shapes: (batch,out) x (out,in) -> (batch,in)).
+  matmul(d_out, w_.value, d_in);
+}
+
+const char* to_string(Activation a) noexcept {
+  switch (a) {
+    case Activation::kReLU: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+void ActivationLayer::forward(const Matrix& x, Matrix& y) {
+  cached_input_ = x;
+  y.resize(x.rows(), x.cols());
+  const auto in = x.flat();
+  const auto out = y.flat();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] > 0.0F ? in[i] : 0.0F;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+      break;
+    case Activation::kIdentity:
+      std::copy(in.begin(), in.end(), out.begin());
+      break;
+  }
+}
+
+void ActivationLayer::backward(const Matrix& d_out, Matrix& d_in) const {
+  if (d_out.rows() != cached_input_.rows() || d_out.cols() != cached_input_.cols())
+    throw std::invalid_argument("activation backward shape mismatch");
+  d_in.resize(d_out.rows(), d_out.cols());
+  const auto pre = cached_input_.flat();
+  const auto grad_out = d_out.flat();
+  const auto grad_in = d_in.flat();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < pre.size(); ++i)
+        grad_in[i] = pre[i] > 0.0F ? grad_out[i] : 0.0F;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < pre.size(); ++i) {
+        const float t = std::tanh(pre[i]);
+        grad_in[i] = grad_out[i] * (1.0F - t * t);
+      }
+      break;
+    case Activation::kIdentity:
+      std::copy(grad_out.begin(), grad_out.end(), grad_in.begin());
+      break;
+  }
+}
+
+}  // namespace vnfm::nn

@@ -1,0 +1,76 @@
+// Trainable layers with explicit forward/backward passes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace vnfm::nn {
+
+/// A trainable tensor: value plus accumulated gradient of the same shape.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  void zero_grad() noexcept { grad.fill(0.0F); }
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+};
+
+/// Fully connected layer Y = X * W^T + b with W stored as [out, in].
+///
+/// forward() caches the input so that a subsequent backward() can compute
+/// parameter gradients; the cache is overwritten on every forward call, so
+/// each forward must be paired with at most one backward.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  /// He/Xavier-style initialisation scaled for the following activation.
+  void init(Rng& rng, float scale_numerator = 2.0F);
+
+  /// Y = X W^T + b; X is (batch, in), result (batch, out).
+  void forward(const Matrix& x, Matrix& y);
+
+  /// Accumulates dW, db from cached X and d_out; writes d_in = d_out * W.
+  void backward(const Matrix& d_out, Matrix& d_in);
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+  Param& weights() noexcept { return w_; }
+  Param& bias() noexcept { return b_; }
+  [[nodiscard]] const Param& weights() const noexcept { return w_; }
+  [[nodiscard]] const Param& bias() const noexcept { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param w_;  // [out, in]
+  Param b_;  // [1, out]
+  Matrix cached_input_;
+};
+
+enum class Activation : std::uint8_t { kReLU, kTanh, kIdentity };
+
+const char* to_string(Activation a) noexcept;
+
+/// Elementwise activation; caches pre-activation input for the backward pass.
+class ActivationLayer {
+ public:
+  explicit ActivationLayer(Activation kind) noexcept : kind_(kind) {}
+
+  void forward(const Matrix& x, Matrix& y);
+  /// d_in = d_out ⊙ f'(cached pre-activation).
+  void backward(const Matrix& d_out, Matrix& d_in) const;
+
+  [[nodiscard]] Activation kind() const noexcept { return kind_; }
+
+ private:
+  Activation kind_;
+  Matrix cached_input_;
+};
+
+}  // namespace vnfm::nn

@@ -1,0 +1,21 @@
+// Scalar losses with analytic gradients for regression targets.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+namespace vnfm::nn {
+
+/// Mean squared error over all elements; writes d(loss)/d(pred) into grad.
+/// Returns the loss value. Gradient is averaged over the element count.
+double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad);
+
+/// Huber (smooth-L1) loss with threshold delta; element-averaged.
+double huber_loss(const Matrix& pred, const Matrix& target, Matrix& grad, float delta = 1.0F);
+
+/// Masked Huber loss: only elements with mask != 0 contribute; averaged over
+/// the number of active elements. Used for per-action TD updates where only
+/// the taken action's Q-value receives a learning signal.
+double masked_huber_loss(const Matrix& pred, const Matrix& target, const Matrix& mask,
+                         Matrix& grad, float delta = 1.0F);
+
+}  // namespace vnfm::nn

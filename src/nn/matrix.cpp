@@ -1,0 +1,92 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace vnfm::nn {
+
+Matrix Matrix::from_row(std::span<const float> values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.flat().begin());
+  return m;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape mismatch");
+  out.resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.row(i).data();
+    const float* a_row = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0F) continue;
+      const float* b_row = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape mismatch");
+  out.resize(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.row(p).data();
+    const float* b_row = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0F) continue;
+      float* out_row = out.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape mismatch");
+  out.resize(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i).data();
+    float* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.row(j).data();
+      float acc = 0.0F;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void add_row_vector(Matrix& m, std::span<const float> bias) {
+  if (m.cols() != bias.size()) throw std::invalid_argument("bias length mismatch");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i).data();
+    for (std::size_t j = 0; j < bias.size(); ++j) row[j] += bias[j];
+  }
+}
+
+void column_sums(const Matrix& m, std::span<float> out) {
+  if (m.cols() != out.size()) throw std::invalid_argument("column_sums length mismatch");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i).data();
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += row[j];
+  }
+}
+
+void axpy(float scale, const Matrix& m, Matrix& out) {
+  if (m.rows() != out.rows() || m.cols() != out.cols())
+    throw std::invalid_argument("axpy shape mismatch");
+  const auto src = m.flat();
+  const auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += scale * src[i];
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")";
+  return os;
+}
+
+}  // namespace vnfm::nn

@@ -1,0 +1,87 @@
+// Dense row-major float matrix with the handful of kernels the MLP needs.
+//
+// This is deliberately not a general tensor library: the DQN workload is
+// small batched GEMMs (batch x feature), so a cache-friendly ikj matmul and
+// a few elementwise kernels are all that is required. Keeping the surface
+// small makes the backprop code easy to audit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace vnfm::nn {
+
+/// Row-major dense matrix of float.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return {data_.data(), data_.size()}; }
+
+  void fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0F);
+  }
+
+  /// Builds a 1 x n matrix from a vector (for single-state forward passes).
+  static Matrix from_row(std::span<const float> values);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b; shapes (m,k) x (k,n) -> (m,n). Aliasing is not allowed.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b; shapes (k,m) x (k,n) -> (m,n). Used for weight gradients.
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T; shapes (m,k) x (n,k) -> (m,n). Used for input gradients
+/// and for the forward pass with row-major [out,in] weights.
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds a length-n bias row to every row of the (m,n) matrix.
+void add_row_vector(Matrix& m, std::span<const float> bias);
+
+/// Accumulates column sums of (m,n) into the length-n output span.
+void column_sums(const Matrix& m, std::span<float> out);
+
+/// out += scale * m (elementwise); shapes must match.
+void axpy(float scale, const Matrix& m, Matrix& out);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace vnfm::nn

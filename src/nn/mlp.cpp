@@ -1,0 +1,212 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vnfm::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  if (config_.input_dim == 0 || config_.output_dim == 0)
+    throw std::invalid_argument("MLP needs non-zero input and output dims");
+  std::size_t prev = config_.input_dim;
+  for (const std::size_t h : config_.hidden_dims) {
+    trunk_.emplace_back(prev, h);
+    acts_.emplace_back(config_.activation);
+    prev = h;
+  }
+  if (config_.dueling) {
+    value_head_ = std::make_unique<Linear>(prev, 1);
+    advantage_head_ = std::make_unique<Linear>(prev, config_.output_dim);
+  } else {
+    output_layer_ = std::make_unique<Linear>(prev, config_.output_dim);
+  }
+  pre_acts_.resize(trunk_.size());
+  post_acts_.resize(trunk_.size());
+}
+
+void Mlp::init(Rng& rng) {
+  const float numerator = config_.activation == Activation::kReLU ? 2.0F : 1.0F;
+  for (auto& layer : trunk_) layer.init(rng, numerator);
+  // Output heads use a small Xavier-ish scale for stable initial Q-values.
+  if (config_.dueling) {
+    value_head_->init(rng, 1.0F);
+    advantage_head_->init(rng, 1.0F);
+  } else {
+    output_layer_->init(rng, 1.0F);
+  }
+}
+
+void Mlp::forward(const Matrix& input, Matrix& output) {
+  const Matrix* current = &input;
+  for (std::size_t i = 0; i < trunk_.size(); ++i) {
+    trunk_[i].forward(*current, pre_acts_[i]);
+    acts_[i].forward(pre_acts_[i], post_acts_[i]);
+    current = &post_acts_[i];
+  }
+  if (!config_.dueling) {
+    output_layer_->forward(*current, output);
+    return;
+  }
+  value_head_->forward(*current, value_out_);
+  advantage_head_->forward(*current, adv_out_);
+  const std::size_t batch = adv_out_.rows();
+  const std::size_t actions = adv_out_.cols();
+  output.resize(batch, actions);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* adv = adv_out_.row(i).data();
+    float mean = 0.0F;
+    for (std::size_t j = 0; j < actions; ++j) mean += adv[j];
+    mean /= static_cast<float>(actions);
+    const float value = value_out_.at(i, 0);
+    float* out = output.row(i).data();
+    for (std::size_t j = 0; j < actions; ++j) out[j] = value + adv[j] - mean;
+  }
+}
+
+std::vector<float> Mlp::forward_row(std::span<const float> input) {
+  Matrix in = Matrix::from_row(input);
+  Matrix out;
+  forward(in, out);
+  return {out.flat().begin(), out.flat().end()};
+}
+
+void Mlp::backward(const Matrix& d_output) {
+  Matrix d_hidden;
+  if (config_.dueling) {
+    const std::size_t batch = d_output.rows();
+    const std::size_t actions = d_output.cols();
+    // dV_i = sum_j dQ_ij ; dA_ij = dQ_ij - mean_j(dQ_ij).
+    Matrix d_value(batch, 1);
+    Matrix d_adv(batch, actions);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* dq = d_output.row(i).data();
+      float sum = 0.0F;
+      for (std::size_t j = 0; j < actions; ++j) sum += dq[j];
+      d_value.at(i, 0) = sum;
+      const float mean = sum / static_cast<float>(actions);
+      float* da = d_adv.row(i).data();
+      for (std::size_t j = 0; j < actions; ++j) da[j] = dq[j] - mean;
+    }
+    Matrix d_hidden_value;
+    Matrix d_hidden_adv;
+    value_head_->backward(d_value, d_hidden_value);
+    advantage_head_->backward(d_adv, d_hidden_adv);
+    d_hidden = d_hidden_value;
+    axpy(1.0F, d_hidden_adv, d_hidden);
+  } else {
+    output_layer_->backward(d_output, d_hidden);
+  }
+  for (std::size_t i = trunk_.size(); i-- > 0;) {
+    Matrix d_pre;
+    acts_[i].backward(d_hidden, d_pre);
+    trunk_[i].backward(d_pre, d_hidden);
+  }
+}
+
+std::vector<Param*> Mlp::parameters() {
+  std::vector<Param*> params;
+  for (auto& layer : trunk_) {
+    params.push_back(&layer.weights());
+    params.push_back(&layer.bias());
+  }
+  if (config_.dueling) {
+    params.push_back(&value_head_->weights());
+    params.push_back(&value_head_->bias());
+    params.push_back(&advantage_head_->weights());
+    params.push_back(&advantage_head_->bias());
+  } else {
+    params.push_back(&output_layer_->weights());
+    params.push_back(&output_layer_->bias());
+  }
+  return params;
+}
+
+void Mlp::zero_grad() {
+  for (Param* p : parameters()) p->zero_grad();
+}
+
+double Mlp::clip_grad_norm(double max_norm) {
+  double total_sq = 0.0;
+  for (Param* p : parameters())
+    for (const float g : p->grad.flat()) total_sq += static_cast<double>(g) * g;
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (Param* p : parameters())
+      for (float& g : p->grad.flat()) g *= scale;
+  }
+  return norm;
+}
+
+void Mlp::copy_weights_from(const Mlp& other) {
+  auto dst = parameters();
+  auto src = const_cast<Mlp&>(other).parameters();
+  if (dst.size() != src.size()) throw std::invalid_argument("architecture mismatch in copy");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->value.size() != src[i]->value.size())
+      throw std::invalid_argument("parameter shape mismatch in copy");
+    std::copy(src[i]->value.flat().begin(), src[i]->value.flat().end(),
+              dst[i]->value.flat().begin());
+  }
+}
+
+void Mlp::soft_update_from(const Mlp& other, float tau) {
+  auto dst = parameters();
+  auto src = const_cast<Mlp&>(other).parameters();
+  if (dst.size() != src.size()) throw std::invalid_argument("architecture mismatch in update");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    auto d = dst[i]->value.flat();
+    auto s = src[i]->value.flat();
+    for (std::size_t j = 0; j < d.size(); ++j) d[j] = tau * s[j] + (1.0F - tau) * d[j];
+  }
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp-v1\n";
+  os << config_.input_dim << ' ' << config_.hidden_dims.size();
+  for (const std::size_t h : config_.hidden_dims) os << ' ' << h;
+  os << ' ' << config_.output_dim << ' ' << static_cast<int>(config_.activation) << ' '
+     << (config_.dueling ? 1 : 0) << '\n';
+  auto params = const_cast<Mlp*>(this)->parameters();
+  for (const Param* p : params) {
+    os << p->value.rows() << ' ' << p->value.cols();
+    for (const float v : p->value.flat()) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "mlp-v1") throw std::runtime_error("bad MLP file magic: " + magic);
+  MlpConfig config;
+  std::size_t hidden_count = 0;
+  is >> config.input_dim >> hidden_count;
+  config.hidden_dims.resize(hidden_count);
+  for (auto& h : config.hidden_dims) is >> h;
+  int activation = 0;
+  int dueling = 0;
+  is >> config.output_dim >> activation >> dueling;
+  config.activation = static_cast<Activation>(activation);
+  config.dueling = dueling != 0;
+  Mlp mlp(config);
+  for (Param* p : mlp.parameters()) {
+    std::size_t rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (rows != p->value.rows() || cols != p->value.cols())
+      throw std::runtime_error("MLP file shape mismatch");
+    for (float& v : p->value.flat()) is >> v;
+  }
+  if (!is) throw std::runtime_error("truncated MLP file");
+  return mlp;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t total = 0;
+  for (Param* p : const_cast<Mlp*>(this)->parameters()) total += p->size();
+  return total;
+}
+
+}  // namespace vnfm::nn

@@ -1,0 +1,83 @@
+// Multi-layer perceptron with manual backprop and an optional dueling head.
+//
+// This is the Q-network used by the DRL VNF manager. With `dueling` enabled
+// the final hidden representation H feeds two linear heads,
+//   V = H Wv^T + bv   (batch, 1)
+//   A = H Wa^T + ba   (batch, actions)
+//   Q = V + A - mean_a(A)
+// which matches the dueling architecture of Wang et al. (2016) that the
+// paper-era toolbox uses as an ablation.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+
+namespace vnfm::nn {
+
+struct MlpConfig {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> hidden_dims;
+  std::size_t output_dim = 0;
+  Activation activation = Activation::kReLU;
+  bool dueling = false;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config);
+
+  /// Initialises all weights from the generator (He init for ReLU trunks).
+  void init(Rng& rng);
+
+  /// Forward pass; input (batch, input_dim) -> output (batch, output_dim).
+  /// Caches intermediate activations for one backward pass.
+  void forward(const Matrix& input, Matrix& output);
+
+  /// Convenience single-row forward.
+  [[nodiscard]] std::vector<float> forward_row(std::span<const float> input);
+
+  /// Accumulates parameter gradients from d(loss)/d(output).
+  void backward(const Matrix& d_output);
+
+  /// All trainable parameters (stable order; same order across clones).
+  [[nodiscard]] std::vector<Param*> parameters();
+
+  void zero_grad();
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  /// Copies weights from another network with identical architecture.
+  void copy_weights_from(const Mlp& other);
+
+  /// Polyak averaging: w <- tau * other.w + (1 - tau) * w.
+  void soft_update_from(const Mlp& other, float tau);
+
+  /// Serialises config + weights (portable text format).
+  void save(std::ostream& os) const;
+  /// Restores a network previously written by save().
+  static Mlp load(std::istream& is);
+
+  [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t parameter_count() const;
+
+ private:
+  MlpConfig config_;
+  std::vector<Linear> trunk_;
+  std::vector<ActivationLayer> acts_;
+  std::unique_ptr<Linear> value_head_;      // dueling only
+  std::unique_ptr<Linear> advantage_head_;  // dueling only
+  std::unique_ptr<Linear> output_layer_;    // non-dueling only
+
+  // Forward caches.
+  std::vector<Matrix> pre_acts_;
+  std::vector<Matrix> post_acts_;
+  Matrix value_out_;
+  Matrix adv_out_;
+};
+
+}  // namespace vnfm::nn

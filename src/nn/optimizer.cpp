@@ -1,0 +1,63 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfm::nn {
+
+Sgd::Sgd(std::vector<Param*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  if (params_.empty()) throw std::invalid_argument("optimizer with no parameters");
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->size(), 0.0F);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto values = params_[i]->value.flat();
+    const auto grads = params_[i]->grad.flat();
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      float g = grads[j] + options_.weight_decay * values[j];
+      if (options_.momentum != 0.0F) {
+        vel[j] = options_.momentum * vel[j] + g;
+        g = vel[j];
+      }
+      values[j] -= options_.learning_rate * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  if (params_.empty()) throw std::invalid_argument("optimizer with no parameters");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->size(), 0.0F);
+    v_.emplace_back(p->size(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const auto t = static_cast<float>(step_count_);
+  const float bias1 = 1.0F - std::pow(options_.beta1, t);
+  const float bias2 = 1.0F - std::pow(options_.beta2, t);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto values = params_[i]->value.flat();
+    const auto grads = params_[i]->grad.flat();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const float g = grads[j] + options_.weight_decay * values[j];
+      m[j] = options_.beta1 * m[j] + (1.0F - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0F - options_.beta2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      values[j] -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace vnfm::nn

@@ -1,0 +1,61 @@
+// First-order optimizers operating on Param views exposed by a network.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace vnfm::nn {
+
+/// Plain SGD with optional momentum and L2 weight decay.
+class Sgd {
+ public:
+  struct Options {
+    float learning_rate = 1e-2F;
+    float momentum = 0.0F;
+    float weight_decay = 0.0F;
+  };
+
+  Sgd(std::vector<Param*> params, Options options);
+
+  /// Applies one update from the accumulated gradients (does not zero them).
+  void step();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  Options options_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float epsilon = 1e-8F;
+    float weight_decay = 0.0F;
+  };
+
+  Adam(std::vector<Param*> params, Options options);
+
+  /// Applies one update from the accumulated gradients (does not zero them).
+  void step();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return step_count_; }
+
+ private:
+  std::vector<Param*> params_;
+  Options options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::size_t step_count_ = 0;
+};
+
+}  // namespace vnfm::nn

@@ -1,0 +1,159 @@
+#include "rl/actor_critic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfm::rl {
+namespace {
+
+nn::MlpConfig actor_config(const ActorCriticConfig& config) {
+  nn::MlpConfig net;
+  net.input_dim = config.state_dim;
+  net.hidden_dims = config.hidden_dims;
+  net.output_dim = config.action_dim;
+  net.activation = nn::Activation::kTanh;
+  return net;
+}
+
+nn::MlpConfig critic_config(const ActorCriticConfig& config) {
+  nn::MlpConfig net;
+  net.input_dim = config.state_dim;
+  net.hidden_dims = config.hidden_dims;
+  net.output_dim = 1;
+  net.activation = nn::Activation::kTanh;
+  return net;
+}
+
+}  // namespace
+
+ActorCriticAgent::ActorCriticAgent(ActorCriticConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      actor_(actor_config(config_)),
+      critic_(critic_config(config_)) {
+  if (config_.state_dim == 0 || config_.action_dim == 0)
+    throw std::invalid_argument("actor-critic needs non-zero state and action dims");
+  actor_.init(rng_);
+  critic_.init(rng_);
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.parameters(),
+                                          nn::Adam::Options{.learning_rate = config_.actor_lr});
+  critic_opt_ = std::make_unique<nn::Adam>(
+      critic_.parameters(), nn::Adam::Options{.learning_rate = config_.critic_lr});
+}
+
+std::vector<float> ActorCriticAgent::masked_probs(
+    std::span<const float> logits, std::span<const std::uint8_t> mask) const {
+  std::vector<float> probs(logits.size(), 0.0F);
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!mask.empty() && !mask[a]) continue;
+    max_logit = std::max(max_logit, logits[a]);
+  }
+  if (max_logit == -std::numeric_limits<float>::infinity())
+    throw std::runtime_error("no valid action in actor-critic mask");
+  float total = 0.0F;
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!mask.empty() && !mask[a]) continue;
+    probs[a] = std::exp(logits[a] - max_logit);
+    total += probs[a];
+  }
+  for (float& p : probs) p /= total;
+  return probs;
+}
+
+int ActorCriticAgent::act(std::span<const float> state,
+                          std::span<const std::uint8_t> mask) {
+  const auto logits = actor_.forward_row(state);
+  const auto probs = masked_probs(logits, mask);
+  double target = rng_.uniform();
+  int action = -1;
+  for (std::size_t a = 0; a < probs.size(); ++a) {
+    target -= probs[a];
+    if (target < 0.0) {
+      action = static_cast<int>(a);
+      break;
+    }
+  }
+  if (action < 0) {
+    for (std::size_t a = probs.size(); a-- > 0;) {
+      if (probs[a] > 0.0F) {
+        action = static_cast<int>(a);
+        break;
+      }
+    }
+  }
+  pending_state_.assign(state.begin(), state.end());
+  pending_mask_.assign(mask.begin(), mask.end());
+  pending_action_ = action;
+  has_pending_ = true;
+  return action;
+}
+
+int ActorCriticAgent::act_greedy(std::span<const float> state,
+                                 std::span<const std::uint8_t> mask) const {
+  const auto logits = actor_.forward_row(state);
+  const auto probs = masked_probs(logits, mask);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+float ActorCriticAgent::state_value(std::span<const float> state) const {
+  return critic_.forward_row(state)[0];
+}
+
+std::vector<float> ActorCriticAgent::action_probabilities(
+    std::span<const float> state, std::span<const std::uint8_t> mask) const {
+  return masked_probs(actor_.forward_row(state), mask);
+}
+
+double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
+                               bool done) {
+  if (!has_pending_) throw std::runtime_error("learn without a pending act");
+  has_pending_ = false;
+
+  const float value = state_value(pending_state_);
+  const float bootstrap = done ? 0.0F : state_value(next_state);
+  const float td_error = reward + config_.gamma * bootstrap - value;
+
+  // Critic: minimise 0.5 * td^2 -> d(loss)/dV = -td.
+  {
+    nn::Matrix input = nn::Matrix::from_row(pending_state_);
+    nn::Matrix out;
+    critic_.forward(input, out);
+    nn::Matrix grad(1, 1);
+    grad.at(0, 0) = -td_error;
+    critic_.zero_grad();
+    critic_.backward(grad);
+    critic_.clip_grad_norm(config_.grad_clip_norm);
+    critic_opt_->step();
+  }
+
+  // Actor: policy gradient with the TD error as advantage (+ entropy).
+  {
+    nn::Matrix input = nn::Matrix::from_row(pending_state_);
+    nn::Matrix logits;
+    actor_.forward(input, logits);
+    const auto probs = masked_probs(logits.row(0), pending_mask_);
+    float entropy = 0.0F;
+    for (const float p : probs)
+      if (p > 1e-8F) entropy -= p * std::log(p);
+    nn::Matrix grad(1, config_.action_dim, 0.0F);
+    float* g = grad.row(0).data();
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+      if (!pending_mask_.empty() && !pending_mask_[a]) continue;
+      const float indicator = static_cast<int>(a) == pending_action_ ? 1.0F : 0.0F;
+      g[a] = (probs[a] - indicator) * td_error;
+      if (config_.entropy_bonus > 0.0F && probs[a] > 1e-8F)
+        g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy);
+    }
+    actor_.zero_grad();
+    actor_.backward(grad);
+    actor_.clip_grad_norm(config_.grad_clip_norm);
+    actor_opt_->step();
+  }
+  ++updates_;
+  return td_error;
+}
+
+}  // namespace vnfm::rl

@@ -1,0 +1,74 @@
+// One-step advantage actor-critic (A2C-style, Mnih et al. 2016 without the
+// asynchrony): an online policy-gradient learner whose critic bootstraps
+// every step, unlike REINFORCE's Monte-Carlo returns. Included as the
+// strongest policy-gradient comparator to the value-based DQN manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace vnfm::rl {
+
+struct ActorCriticConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::vector<std::size_t> hidden_dims{64, 64};
+  float actor_lr = 3e-4F;
+  float critic_lr = 1e-3F;
+  float gamma = 0.95F;
+  float entropy_bonus = 1e-3F;
+  double grad_clip_norm = 5.0;
+  std::uint64_t seed = 19;
+};
+
+/// Online actor-critic over a maskable discrete action space. Usage per
+/// decision: act(state, mask) -> env step -> learn(reward, next_state,
+/// next_mask, done). Separate actor/critic networks keep the updates simple
+/// and auditable.
+class ActorCriticAgent {
+ public:
+  explicit ActorCriticAgent(ActorCriticConfig config);
+
+  /// Samples from the masked softmax policy; caches the step for learn().
+  [[nodiscard]] int act(std::span<const float> state, std::span<const std::uint8_t> mask);
+
+  /// Mode of the policy (evaluation); does not cache.
+  [[nodiscard]] int act_greedy(std::span<const float> state,
+                               std::span<const std::uint8_t> mask) const;
+
+  /// One-step TD update from the step cached by the last act().
+  /// Returns the TD error (diagnostic).
+  double learn(float reward, std::span<const float> next_state, bool done);
+
+  [[nodiscard]] std::vector<float> action_probabilities(
+      std::span<const float> state, std::span<const std::uint8_t> mask) const;
+  [[nodiscard]] float state_value(std::span<const float> state) const;
+  [[nodiscard]] const ActorCriticConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+
+ private:
+  [[nodiscard]] std::vector<float> masked_probs(std::span<const float> logits,
+                                                std::span<const std::uint8_t> mask) const;
+
+  ActorCriticConfig config_;
+  mutable Rng rng_;
+  mutable nn::Mlp actor_;
+  mutable nn::Mlp critic_;
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  std::size_t updates_ = 0;
+
+  // Cached step awaiting learn().
+  bool has_pending_ = false;
+  std::vector<float> pending_state_;
+  std::vector<std::uint8_t> pending_mask_;
+  int pending_action_ = 0;
+};
+
+}  // namespace vnfm::rl

@@ -1,0 +1,265 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace vnfm::rl {
+namespace {
+
+nn::MlpConfig network_config(const DqnConfig& config) {
+  nn::MlpConfig net;
+  net.input_dim = config.state_dim;
+  net.hidden_dims = config.hidden_dims;
+  net.output_dim = config.action_dim;
+  net.activation = nn::Activation::kReLU;
+  net.dueling = config.dueling;
+  return net;
+}
+
+bool is_valid(std::span<const std::uint8_t> mask, std::size_t action) {
+  return mask.empty() || mask[action] != 0;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(DqnConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      online_(network_config(config_)),
+      target_(network_config(config_)),
+      epsilon_schedule_(config_.epsilon_start, config_.epsilon_end, config_.epsilon_decay_steps),
+      beta_schedule_(config_.per_beta0, 1.0, config_.epsilon_decay_steps * 4) {
+  if (config_.state_dim == 0 || config_.action_dim == 0)
+    throw std::invalid_argument("DQN needs non-zero state and action dims");
+  online_.init(rng_);
+  target_.copy_weights_from(online_);
+  optimizer_ = std::make_unique<nn::Adam>(online_.parameters(),
+                                          nn::Adam::Options{.learning_rate = config_.learning_rate});
+  if (config_.prioritized_replay) {
+    per_ = std::make_unique<PrioritizedReplay>(PrioritizedReplay::Options{
+        .capacity = config_.replay_capacity,
+        .alpha = config_.per_alpha,
+        .beta = config_.per_beta0});
+  } else {
+    replay_ = std::make_unique<ReplayBuffer>(config_.replay_capacity);
+  }
+}
+
+double DqnAgent::epsilon() const noexcept {
+  return explore_ ? epsilon_schedule_.value(env_steps_) : 0.0;
+}
+
+std::size_t DqnAgent::replay_size() const noexcept {
+  return per_ ? per_->size() : replay_->size();
+}
+
+int DqnAgent::random_valid(std::span<const std::uint8_t> mask) {
+  if (mask.empty()) return static_cast<int>(rng_.uniform_index(config_.action_dim));
+  std::size_t valid_count = 0;
+  for (const auto m : mask)
+    if (m) ++valid_count;
+  if (valid_count == 0) throw std::runtime_error("no valid action to sample");
+  auto target = rng_.uniform_index(valid_count);
+  for (std::size_t a = 0; a < mask.size(); ++a) {
+    if (!mask[a]) continue;
+    if (target == 0) return static_cast<int>(a);
+    --target;
+  }
+  return static_cast<int>(mask.size() - 1);
+}
+
+int DqnAgent::greedy_from_q(std::span<const float> q,
+                            std::span<const std::uint8_t> mask) const {
+  int best = -1;
+  float best_value = -std::numeric_limits<float>::infinity();
+  for (std::size_t a = 0; a < q.size(); ++a) {
+    if (!is_valid(mask, a)) continue;
+    if (q[a] > best_value) {
+      best_value = q[a];
+      best = static_cast<int>(a);
+    }
+  }
+  if (best < 0) throw std::runtime_error("no valid action for greedy selection");
+  return best;
+}
+
+int DqnAgent::act(std::span<const float> state, std::span<const std::uint8_t> mask) {
+  const double eps = epsilon();
+  ++env_steps_;
+  if (explore_ && rng_.uniform() < eps) return random_valid(mask);
+  const auto q = online_.forward_row(state);
+  return greedy_from_q(q, mask);
+}
+
+int DqnAgent::act_greedy(std::span<const float> state,
+                         std::span<const std::uint8_t> mask) const {
+  auto& net = const_cast<nn::Mlp&>(online_);
+  const auto q = net.forward_row(state);
+  return greedy_from_q(q, mask);
+}
+
+std::vector<float> DqnAgent::q_values(std::span<const float> state) const {
+  return const_cast<nn::Mlp&>(online_).forward_row(state);
+}
+
+void DqnAgent::push_to_replay(Transition t) {
+  if (per_) {
+    per_->push(std::move(t));
+  } else {
+    replay_->push(std::move(t));
+  }
+}
+
+void DqnAgent::flush_n_step_buffer(bool episode_ended) {
+  // Emit aggregated transitions from the front of the buffer. On episode
+  // end every suffix is emitted (each with its shortened horizon); mid-
+  // episode only a full n-step window is emitted.
+  while (!n_step_buffer_.empty() &&
+         (episode_ended || n_step_buffer_.size() >= config_.n_step)) {
+    Transition aggregated = n_step_buffer_.front();
+    float reward = 0.0F;
+    float discount = 1.0F;
+    for (const Transition& step : n_step_buffer_) {
+      reward += discount * step.reward;
+      discount *= config_.gamma;
+    }
+    const Transition& last = n_step_buffer_.back();
+    aggregated.reward = reward;
+    aggregated.next_state = last.next_state;
+    aggregated.next_valid = last.next_valid;
+    aggregated.done = last.done;
+    aggregated.bootstrap_discount = discount;  // gamma^k for the window
+    push_to_replay(std::move(aggregated));
+    n_step_buffer_.erase(n_step_buffer_.begin());
+  }
+}
+
+std::optional<double> DqnAgent::observe(Transition t) {
+  if (t.state.size() != config_.state_dim || t.next_state.size() != config_.state_dim)
+    throw std::invalid_argument("transition state dimension mismatch");
+  if (config_.n_step <= 1) {
+    push_to_replay(std::move(t));
+  } else {
+    const bool done = t.done;
+    n_step_buffer_.push_back(std::move(t));
+    flush_n_step_buffer(done);
+  }
+  if (replay_size() < config_.min_replay_before_training) return std::nullopt;
+  if (config_.train_period == 0 || env_steps_ % config_.train_period != 0) return std::nullopt;
+  return train_step();
+}
+
+double DqnAgent::train_step() {
+  if (replay_size() == 0) throw std::runtime_error("training with empty replay");
+  double loss = 0.0;
+  if (per_) {
+    per_->set_beta(beta_schedule_.value(grad_steps_));
+    const auto sample = per_->sample(config_.batch_size, rng_);
+    std::vector<float> td_errors;
+    loss = train_on_batch(sample.transitions, sample.weights, &td_errors);
+    per_->update_priorities(sample.indices, td_errors);
+  } else {
+    const auto batch = replay_->sample(config_.batch_size, rng_);
+    loss = train_on_batch(batch, {}, nullptr);
+  }
+  ++grad_steps_;
+  if (config_.soft_target_tau > 0.0F) {
+    target_.soft_update_from(online_, config_.soft_target_tau);
+  } else if (config_.target_update_period > 0 &&
+             grad_steps_ % config_.target_update_period == 0) {
+    target_.copy_weights_from(online_);
+  }
+  return loss;
+}
+
+double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
+                                std::span<const float> is_weights,
+                                std::vector<float>* td_errors_out) {
+  const std::size_t n = batch.size();
+  nn::Matrix states(n, config_.state_dim);
+  nn::Matrix next_states(n, config_.state_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(batch[i]->state.begin(), batch[i]->state.end(), states.row(i).begin());
+    std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
+              next_states.row(i).begin());
+  }
+
+  // Bootstrap targets. Double DQN selects argmax with the online net and
+  // evaluates with the target net; vanilla DQN does both with the target net.
+  nn::Matrix target_next_q;
+  target_.forward(next_states, target_next_q);
+  nn::Matrix online_next_q;
+  if (config_.double_dqn) online_.forward(next_states, online_next_q);
+
+  std::vector<float> targets(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = *batch[i];
+    float bootstrap = 0.0F;
+    if (!t.done) {
+      const auto mask = std::span<const std::uint8_t>(t.next_valid);
+      if (config_.double_dqn) {
+        const int best = greedy_from_q(online_next_q.row(i), mask);
+        bootstrap = target_next_q.at(i, static_cast<std::size_t>(best));
+      } else {
+        float best_value = -std::numeric_limits<float>::infinity();
+        const auto q_row = target_next_q.row(i);
+        for (std::size_t a = 0; a < q_row.size(); ++a) {
+          if (!is_valid(mask, a)) continue;
+          best_value = std::max(best_value, q_row[a]);
+        }
+        bootstrap = best_value;
+      }
+    }
+    const float discount =
+        t.bootstrap_discount >= 0.0F ? t.bootstrap_discount : config_.gamma;
+    targets[i] = t.reward + (t.done ? 0.0F : discount * bootstrap);
+  }
+
+  // Forward online net and build per-action masked regression target.
+  nn::Matrix q_pred;
+  online_.forward(states, q_pred);
+  nn::Matrix q_target = q_pred;
+  nn::Matrix mask(n, config_.action_dim, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto action = static_cast<std::size_t>(batch[i]->action);
+    q_target.at(i, action) = targets[i];
+    mask.at(i, action) = 1.0F;
+  }
+
+  if (td_errors_out) {
+    td_errors_out->resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto action = static_cast<std::size_t>(batch[i]->action);
+      (*td_errors_out)[i] = q_pred.at(i, action) - targets[i];
+    }
+  }
+
+  nn::Matrix grad;
+  const double loss =
+      nn::masked_huber_loss(q_pred, q_target, mask, grad, config_.huber_delta);
+  if (!is_weights.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = grad.row(i).data();
+      for (std::size_t a = 0; a < config_.action_dim; ++a) row[a] *= is_weights[i];
+    }
+  }
+  online_.zero_grad();
+  online_.backward(grad);
+  online_.clip_grad_norm(config_.grad_clip_norm);
+  optimizer_->step();
+  return loss;
+}
+
+void DqnAgent::save(std::ostream& os) const { online_.save(os); }
+
+void DqnAgent::load(std::istream& is) {
+  nn::Mlp restored = nn::Mlp::load(is);
+  online_.copy_weights_from(restored);
+  target_.copy_weights_from(restored);
+}
+
+}  // namespace vnfm::rl

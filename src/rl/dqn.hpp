@@ -1,0 +1,121 @@
+// Deep Q-Network agent (Mnih et al., 2015) with the ablation toolbox the
+// VNF-management paper era uses: Double DQN (van Hasselt et al., 2016),
+// dueling heads (Wang et al., 2016), and proportional prioritised replay
+// (Schaul et al., 2016). All action selection supports validity masks so the
+// agent never bootstraps through infeasible placements.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/replay.hpp"
+#include "rl/schedule.hpp"
+
+namespace vnfm::rl {
+
+struct DqnConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::vector<std::size_t> hidden_dims{64, 64};
+
+  float learning_rate = 1e-3F;
+  float gamma = 0.95F;
+  std::size_t batch_size = 32;
+  std::size_t replay_capacity = 50'000;
+  std::size_t min_replay_before_training = 500;
+  std::size_t train_period = 1;          ///< gradient step every N observes
+  std::size_t target_update_period = 500;  ///< hard target sync every N steps
+  double grad_clip_norm = 10.0;
+  float huber_delta = 1.0F;
+
+  bool double_dqn = true;
+  bool dueling = false;
+  bool prioritized_replay = false;
+  double per_alpha = 0.6;
+  double per_beta0 = 0.4;
+
+  /// Multi-step returns: transitions are aggregated over up to n steps
+  /// within a (chain) episode before entering replay. 1 = classic DQN.
+  std::size_t n_step = 1;
+
+  /// Polyak-averaged target updates: when tau > 0 the target tracks the
+  /// online network as w' <- tau*w + (1-tau)*w' every gradient step and
+  /// target_update_period is ignored.
+  float soft_target_tau = 0.0F;
+
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 20'000;
+
+  std::uint64_t seed = 7;
+};
+
+/// Value-based agent over a discrete, maskable action space.
+class DqnAgent {
+ public:
+  explicit DqnAgent(DqnConfig config);
+
+  /// ε-greedy action over valid entries of `mask` (empty mask = all valid).
+  [[nodiscard]] int act(std::span<const float> state, std::span<const std::uint8_t> mask);
+
+  /// Greedy (evaluation) action; no exploration, no step counting.
+  [[nodiscard]] int act_greedy(std::span<const float> state,
+                               std::span<const std::uint8_t> mask) const;
+
+  /// Stores a transition (aggregating n-step returns when configured) and
+  /// triggers training per the configured period. Returns the training loss
+  /// when a gradient step ran.
+  std::optional<double> observe(Transition t);
+
+  /// One gradient step from replay (callable directly for tests).
+  double train_step();
+
+  /// Q-values for a single state (diagnostics / tests).
+  [[nodiscard]] std::vector<float> q_values(std::span<const float> state) const;
+
+  [[nodiscard]] double epsilon() const noexcept;
+  [[nodiscard]] std::size_t steps() const noexcept { return env_steps_; }
+  [[nodiscard]] std::size_t gradient_steps() const noexcept { return grad_steps_; }
+  [[nodiscard]] std::size_t replay_size() const noexcept;
+  [[nodiscard]] const DqnConfig& config() const noexcept { return config_; }
+
+  /// Serialises online-network weights; load restores them into both nets.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Switches exploration off/on (evaluation mode).
+  void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
+
+ private:
+  [[nodiscard]] int greedy_from_q(std::span<const float> q,
+                                  std::span<const std::uint8_t> mask) const;
+  [[nodiscard]] int random_valid(std::span<const std::uint8_t> mask);
+  double train_on_batch(const std::vector<const Transition*>& batch,
+                        std::span<const float> is_weights,
+                        std::vector<float>* td_errors_out);
+  void push_to_replay(Transition t);
+  void flush_n_step_buffer(bool episode_ended);
+
+  DqnConfig config_;
+  mutable Rng rng_;
+  nn::Mlp online_;
+  mutable nn::Mlp target_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::unique_ptr<ReplayBuffer> replay_;
+  std::unique_ptr<PrioritizedReplay> per_;
+  LinearSchedule epsilon_schedule_;
+  LinearSchedule beta_schedule_;
+  std::size_t env_steps_ = 0;
+  std::size_t grad_steps_ = 0;
+  bool explore_ = true;
+  std::vector<Transition> n_step_buffer_;  ///< in-flight steps (n-step mode)
+};
+
+}  // namespace vnfm::rl

@@ -1,0 +1,156 @@
+#include "rl/policy_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfm::rl {
+namespace {
+
+nn::MlpConfig network_config(const ReinforceConfig& config) {
+  nn::MlpConfig net;
+  net.input_dim = config.state_dim;
+  net.hidden_dims = config.hidden_dims;
+  net.output_dim = config.action_dim;
+  net.activation = nn::Activation::kTanh;
+  net.dueling = false;
+  return net;
+}
+
+}  // namespace
+
+ReinforceAgent::ReinforceAgent(ReinforceConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      policy_(network_config(config_)),
+      baseline_(config_.baseline_alpha) {
+  if (config_.state_dim == 0 || config_.action_dim == 0)
+    throw std::invalid_argument("REINFORCE needs non-zero state and action dims");
+  policy_.init(rng_);
+  optimizer_ = std::make_unique<nn::Adam>(
+      policy_.parameters(), nn::Adam::Options{.learning_rate = config_.learning_rate});
+}
+
+std::vector<float> ReinforceAgent::masked_probs(std::span<const float> logits,
+                                                std::span<const std::uint8_t> mask) const {
+  std::vector<float> probs(logits.size(), 0.0F);
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!mask.empty() && !mask[a]) continue;
+    max_logit = std::max(max_logit, logits[a]);
+  }
+  if (max_logit == -std::numeric_limits<float>::infinity())
+    throw std::runtime_error("no valid action in policy mask");
+  float total = 0.0F;
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!mask.empty() && !mask[a]) continue;
+    probs[a] = std::exp(logits[a] - max_logit);
+    total += probs[a];
+  }
+  for (float& p : probs) p /= total;
+  return probs;
+}
+
+int ReinforceAgent::act(std::span<const float> state, std::span<const std::uint8_t> mask) {
+  const auto logits = policy_.forward_row(state);
+  const auto probs = masked_probs(logits, mask);
+  double target = rng_.uniform();
+  int action = -1;
+  for (std::size_t a = 0; a < probs.size(); ++a) {
+    target -= probs[a];
+    if (target < 0.0) {
+      action = static_cast<int>(a);
+      break;
+    }
+  }
+  if (action < 0) {
+    for (std::size_t a = probs.size(); a-- > 0;) {
+      if (probs[a] > 0.0F) {
+        action = static_cast<int>(a);
+        break;
+      }
+    }
+  }
+  states_.emplace_back(state.begin(), state.end());
+  masks_.emplace_back(mask.begin(), mask.end());
+  actions_.push_back(action);
+  rewards_.push_back(0.0F);  // filled by record_reward
+  return action;
+}
+
+int ReinforceAgent::act_greedy(std::span<const float> state,
+                               std::span<const std::uint8_t> mask) const {
+  const auto logits = policy_.forward_row(state);
+  const auto probs = masked_probs(logits, mask);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+void ReinforceAgent::record_reward(float reward) {
+  if (rewards_.empty()) throw std::runtime_error("record_reward before act");
+  rewards_.back() += reward;
+}
+
+std::vector<float> ReinforceAgent::action_probabilities(
+    std::span<const float> state, std::span<const std::uint8_t> mask) const {
+  const auto logits = policy_.forward_row(state);
+  return masked_probs(logits, mask);
+}
+
+double ReinforceAgent::finish_episode() {
+  if (actions_.empty()) return 0.0;
+  const std::size_t n = actions_.size();
+
+  // Discounted returns-to-go.
+  std::vector<float> returns(n, 0.0F);
+  float running = 0.0F;
+  for (std::size_t i = n; i-- > 0;) {
+    running = rewards_[i] + config_.gamma * running;
+    returns[i] = running;
+  }
+  const double episode_return = returns.front();
+  baseline_.add(episode_return);
+  const auto baseline = static_cast<float>(baseline_.value());
+
+  // One batched policy-gradient step:
+  //   d(-J)/d(logit_a) = (pi_a - 1{a taken}) * advantage / n  (+ entropy term)
+  nn::Matrix states(n, config_.state_dim);
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy(states_[i].begin(), states_[i].end(), states.row(i).begin());
+  nn::Matrix logits;
+  policy_.forward(states, logits);
+
+  nn::Matrix grad(n, config_.action_dim, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto probs = masked_probs(logits.row(i), masks_[i]);
+    const float advantage = returns[i] - baseline;
+    float* g = grad.row(i).data();
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+      if (!masks_[i].empty() && !masks_[i][a]) continue;
+      const float indicator = static_cast<int>(a) == actions_[i] ? 1.0F : 0.0F;
+      g[a] = (probs[a] - indicator) * advantage / static_cast<float>(n);
+      // Entropy regularisation: d(-H)/d(logit_a) = pi_a * (log pi_a + H).
+      if (config_.entropy_bonus > 0.0F && probs[a] > 1e-8F) {
+        float entropy = 0.0F;
+        for (const float p : probs)
+          if (p > 1e-8F) entropy -= p * std::log(p);
+        g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy) /
+                static_cast<float>(n);
+      }
+    }
+  }
+
+  policy_.zero_grad();
+  policy_.backward(grad);
+  policy_.clip_grad_norm(config_.grad_clip_norm);
+  optimizer_->step();
+
+  states_.clear();
+  masks_.clear();
+  actions_.clear();
+  rewards_.clear();
+  return episode_return;
+}
+
+}  // namespace vnfm::rl

@@ -1,0 +1,72 @@
+// REINFORCE with an EWMA baseline (Williams, 1992) over a maskable discrete
+// action space. Included as the policy-gradient learning baseline against the
+// value-based DQN manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace vnfm::rl {
+
+struct ReinforceConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::vector<std::size_t> hidden_dims{64, 64};
+  float learning_rate = 3e-4F;
+  float gamma = 0.98F;
+  double grad_clip_norm = 5.0;
+  float entropy_bonus = 1e-3F;
+  double baseline_alpha = 0.05;  ///< EWMA weight for the return baseline
+  std::uint64_t seed = 11;
+};
+
+/// Monte-Carlo policy-gradient agent; collects one episode then updates.
+class ReinforceAgent {
+ public:
+  explicit ReinforceAgent(ReinforceConfig config);
+
+  /// Samples an action from the masked softmax policy and records the step.
+  [[nodiscard]] int act(std::span<const float> state, std::span<const std::uint8_t> mask);
+
+  /// Greedy (mode of the policy) action for evaluation; not recorded.
+  [[nodiscard]] int act_greedy(std::span<const float> state,
+                               std::span<const std::uint8_t> mask) const;
+
+  /// Records the reward for the most recent act().
+  void record_reward(float reward);
+
+  /// Ends the episode: computes returns, applies one gradient step, clears
+  /// the trajectory. Returns the (pre-baseline) episode return.
+  double finish_episode();
+
+  /// Masked action distribution for a state (diagnostics / tests).
+  [[nodiscard]] std::vector<float> action_probabilities(
+      std::span<const float> state, std::span<const std::uint8_t> mask) const;
+
+  [[nodiscard]] const ReinforceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t trajectory_length() const noexcept { return actions_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<float> masked_probs(std::span<const float> logits,
+                                                std::span<const std::uint8_t> mask) const;
+
+  ReinforceConfig config_;
+  mutable Rng rng_;
+  mutable nn::Mlp policy_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  Ewma baseline_;
+
+  std::vector<std::vector<float>> states_;
+  std::vector<std::vector<std::uint8_t>> masks_;
+  std::vector<int> actions_;
+  std::vector<float> rewards_;
+};
+
+}  // namespace vnfm::rl

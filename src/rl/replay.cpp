@@ -1,0 +1,126 @@
+#include "rl/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfm::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("replay capacity must be positive");
+  storage_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void ReplayBuffer::push(Transition t) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t count, Rng& rng) const {
+  if (storage_.empty()) throw std::runtime_error("sampling from empty replay buffer");
+  std::vector<const Transition*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(&storage_[rng.uniform_index(storage_.size())]);
+  return out;
+}
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("sum tree capacity must be positive");
+  leaf_base_ = 1;
+  while (leaf_base_ < capacity_) leaf_base_ <<= 1;
+  nodes_.assign(2 * leaf_base_, 0.0);
+}
+
+void SumTree::set(std::size_t index, double priority) {
+  if (index >= capacity_) throw std::out_of_range("sum tree index");
+  if (priority < 0.0 || !std::isfinite(priority))
+    throw std::invalid_argument("priority must be finite and non-negative");
+  std::size_t node = leaf_base_ + index;
+  const double delta = priority - nodes_[node];
+  while (node > 0) {
+    nodes_[node] += delta;
+    node >>= 1;
+  }
+}
+
+double SumTree::get(std::size_t index) const {
+  if (index >= capacity_) throw std::out_of_range("sum tree index");
+  return nodes_[leaf_base_ + index];
+}
+
+double SumTree::total() const noexcept { return nodes_[1]; }
+
+std::size_t SumTree::find_prefix(double prefix) const {
+  std::size_t node = 1;
+  while (node < leaf_base_) {
+    const std::size_t left = 2 * node;
+    if (prefix < nodes_[left]) {
+      node = left;
+    } else {
+      prefix -= nodes_[left];
+      node = left + 1;
+    }
+  }
+  const std::size_t leaf = node - leaf_base_;
+  return std::min(leaf, capacity_ - 1);
+}
+
+PrioritizedReplay::PrioritizedReplay(Options options)
+    : options_(options), tree_(options.capacity) {
+  if (options_.capacity == 0) throw std::invalid_argument("replay capacity must be positive");
+}
+
+void PrioritizedReplay::push(Transition t) {
+  const std::size_t index = next_;
+  if (storage_.size() < options_.capacity) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[index] = std::move(t);
+  }
+  // New transitions get max priority so each is learned from at least once.
+  tree_.set(index, std::pow(max_priority_, options_.alpha));
+  next_ = (next_ + 1) % options_.capacity;
+}
+
+PrioritizedReplay::Sample PrioritizedReplay::sample(std::size_t count, Rng& rng) const {
+  if (storage_.empty()) throw std::runtime_error("sampling from empty prioritized replay");
+  Sample sample;
+  sample.indices.reserve(count);
+  sample.transitions.reserve(count);
+  sample.weights.reserve(count);
+  const double total = tree_.total();
+  const auto n = static_cast<double>(storage_.size());
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double prefix = rng.uniform() * total;
+    std::size_t index = tree_.find_prefix(prefix);
+    if (index >= storage_.size()) index = storage_.size() - 1;
+    const double p = tree_.get(index) / total;
+    const double weight = std::pow(n * std::max(p, 1e-12), -options_.beta);
+    sample.indices.push_back(index);
+    sample.transitions.push_back(&storage_[index]);
+    sample.weights.push_back(static_cast<float>(weight));
+    max_weight = std::max(max_weight, weight);
+  }
+  if (max_weight > 0.0)
+    for (float& w : sample.weights) w = static_cast<float>(w / max_weight);
+  return sample;
+}
+
+void PrioritizedReplay::update_priorities(const std::vector<std::size_t>& indices,
+                                          const std::vector<float>& td_errors) {
+  if (indices.size() != td_errors.size())
+    throw std::invalid_argument("priority update arity mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double priority = std::fabs(static_cast<double>(td_errors[i])) + options_.epsilon;
+    max_priority_ = std::max(max_priority_, priority);
+    tree_.set(indices[i], std::pow(priority, options_.alpha));
+  }
+}
+
+}  // namespace vnfm::rl

@@ -1,0 +1,108 @@
+// Experience replay buffers (uniform ring buffer and proportional
+// prioritised replay backed by a sum tree), as used by DQN-family agents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vnfm::rl {
+
+/// One environment transition. `next_valid` masks actions that are feasible
+/// in the next state so the bootstrap max only ranges over legal actions;
+/// it is ignored when `done` is set.
+struct Transition {
+  std::vector<float> state;
+  int action = 0;
+  float reward = 0.0F;
+  std::vector<float> next_state;
+  bool done = false;
+  std::vector<std::uint8_t> next_valid;
+  /// Discount to apply to the bootstrap term. Negative means "use the
+  /// agent's gamma"; n-step transitions store gamma^n here.
+  float bootstrap_discount = -1.0F;
+};
+
+/// Fixed-capacity uniform replay: overwrites the oldest transition when full.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition t);
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+
+  /// Uniformly samples `count` transitions (with replacement).
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t count, Rng& rng) const;
+
+  [[nodiscard]] const Transition& at(std::size_t i) const { return storage_.at(i); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> storage_;
+};
+
+/// Binary-indexed sum tree over non-negative priorities with O(log n)
+/// update and prefix-sum sampling. Used by PrioritizedReplay.
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  void set(std::size_t index, double priority);
+  [[nodiscard]] double get(std::size_t index) const;
+  [[nodiscard]] double total() const noexcept;
+  /// Finds the leaf whose cumulative range contains `prefix` in [0, total()).
+  [[nodiscard]] std::size_t find_prefix(double prefix) const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t leaf_base_;
+  std::vector<double> nodes_;
+};
+
+/// Proportional prioritised replay (Schaul et al., 2016): transitions are
+/// sampled with probability p_i^alpha / sum(p^alpha); importance weights
+/// w_i = (N * P(i))^-beta, normalised by the max weight in the batch.
+class PrioritizedReplay {
+ public:
+  struct Options {
+    std::size_t capacity = 1 << 16;
+    double alpha = 0.6;
+    double beta = 0.4;
+    double epsilon = 1e-3;  ///< floor added to |TD error| priorities
+  };
+
+  explicit PrioritizedReplay(Options options);
+
+  void push(Transition t);
+
+  struct Sample {
+    std::vector<std::size_t> indices;
+    std::vector<const Transition*> transitions;
+    std::vector<float> weights;  ///< normalised importance weights
+  };
+
+  [[nodiscard]] Sample sample(std::size_t count, Rng& rng) const;
+
+  /// Updates priorities after a learning step from new |TD errors|.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<float>& td_errors);
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return options_.capacity; }
+  void set_beta(double beta) noexcept { options_.beta = beta; }
+  [[nodiscard]] double beta() const noexcept { return options_.beta; }
+
+ private:
+  Options options_;
+  std::size_t next_ = 0;
+  double max_priority_ = 1.0;
+  std::vector<Transition> storage_;
+  SumTree tree_;
+};
+
+}  // namespace vnfm::rl

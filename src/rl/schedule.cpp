@@ -1,0 +1,13 @@
+#include "rl/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vnfm::rl {
+
+double ExponentialSchedule::value(std::size_t step) const noexcept {
+  const double v = start_ * std::pow(decay_, static_cast<double>(step));
+  return std::max(v, end_);
+}
+
+}  // namespace vnfm::rl

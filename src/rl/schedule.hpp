@@ -1,0 +1,41 @@
+// Exploration-rate schedules.
+#pragma once
+
+#include <cstddef>
+
+namespace vnfm::rl {
+
+/// Linear interpolation from `start` to `end` over `horizon` steps, constant
+/// afterwards. Used for epsilon-greedy decay and prioritised-replay beta.
+class LinearSchedule {
+ public:
+  LinearSchedule(double start, double end, std::size_t horizon) noexcept
+      : start_(start), end_(end), horizon_(horizon) {}
+
+  [[nodiscard]] double value(std::size_t step) const noexcept {
+    if (horizon_ == 0 || step >= horizon_) return end_;
+    const double frac = static_cast<double>(step) / static_cast<double>(horizon_);
+    return start_ + frac * (end_ - start_);
+  }
+
+ private:
+  double start_;
+  double end_;
+  std::size_t horizon_;
+};
+
+/// Multiplicative decay: start * decay^step, floored at `end`.
+class ExponentialSchedule {
+ public:
+  ExponentialSchedule(double start, double end, double decay) noexcept
+      : start_(start), end_(end), decay_(decay) {}
+
+  [[nodiscard]] double value(std::size_t step) const noexcept;
+
+ private:
+  double start_;
+  double end_;
+  double decay_;
+};
+
+}  // namespace vnfm::rl

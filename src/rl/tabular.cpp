@@ -1,0 +1,108 @@
+#include "rl/tabular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfm::rl {
+
+TabularQAgent::TabularQAgent(TabularQConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      epsilon_schedule_(config_.epsilon_start, config_.epsilon_end,
+                        config_.epsilon_decay_steps),
+      default_row_(config_.action_dim, config_.optimistic_init) {
+  if (config_.action_dim == 0) throw std::invalid_argument("action_dim must be positive");
+}
+
+double TabularQAgent::epsilon() const noexcept { return epsilon_schedule_.value(steps_); }
+
+const std::vector<double>& TabularQAgent::row(std::uint64_t key) const {
+  const auto it = table_.find(key);
+  return it == table_.end() ? default_row_ : it->second;
+}
+
+std::vector<double>& TabularQAgent::row_mutable(std::uint64_t key) {
+  const auto [it, inserted] = table_.try_emplace(key, default_row_);
+  return it->second;
+}
+
+int TabularQAgent::greedy_from_row(const std::vector<double>& q,
+                                   std::span<const std::uint8_t> mask) const {
+  int best = -1;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < q.size(); ++a) {
+    if (!mask.empty() && !mask[a]) continue;
+    if (q[a] > best_value) {
+      best_value = q[a];
+      best = static_cast<int>(a);
+    }
+  }
+  if (best < 0) throw std::runtime_error("no valid action in tabular greedy");
+  return best;
+}
+
+int TabularQAgent::act(std::uint64_t state_key, std::span<const std::uint8_t> mask) {
+  const double eps = epsilon();
+  ++steps_;
+  if (rng_.uniform() < eps) {
+    if (mask.empty()) return static_cast<int>(rng_.uniform_index(config_.action_dim));
+    std::size_t valid = 0;
+    for (const auto m : mask)
+      if (m) ++valid;
+    if (valid == 0) throw std::runtime_error("no valid action to sample");
+    auto target = rng_.uniform_index(valid);
+    for (std::size_t a = 0; a < mask.size(); ++a) {
+      if (!mask[a]) continue;
+      if (target == 0) return static_cast<int>(a);
+      --target;
+    }
+  }
+  return greedy_from_row(row(state_key), mask);
+}
+
+int TabularQAgent::act_greedy(std::uint64_t state_key,
+                              std::span<const std::uint8_t> mask) const {
+  return greedy_from_row(row(state_key), mask);
+}
+
+void TabularQAgent::update(std::uint64_t state_key, int action, double reward,
+                           std::uint64_t next_state_key, bool done,
+                           std::span<const std::uint8_t> next_mask) {
+  double bootstrap = 0.0;
+  if (!done) {
+    const auto& next_q = row(next_state_key);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < next_q.size(); ++a) {
+      if (!next_mask.empty() && !next_mask[a]) continue;
+      best = std::max(best, next_q[a]);
+    }
+    if (best == -std::numeric_limits<double>::infinity()) best = 0.0;
+    bootstrap = best;
+  }
+  auto& q = row_mutable(state_key);
+  const auto a = static_cast<std::size_t>(action);
+  if (a >= q.size()) throw std::out_of_range("tabular action out of range");
+  const double target = reward + (done ? 0.0 : config_.gamma * bootstrap);
+  q[a] += config_.learning_rate * (target - q[a]);
+}
+
+double TabularQAgent::q_value(std::uint64_t state_key, int action) const {
+  return row(state_key).at(static_cast<std::size_t>(action));
+}
+
+std::uint64_t TabularQAgent::discretize(std::span<const float> features,
+                                        std::size_t buckets) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const float f : features) {
+    const double clamped = std::clamp(static_cast<double>(f), 0.0, 1.0);
+    auto level = static_cast<std::uint64_t>(clamped * static_cast<double>(buckets));
+    if (level >= buckets) level = buckets - 1;
+    hash ^= level + 1;
+    hash *= 0x100000001B3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace vnfm::rl

@@ -1,0 +1,66 @@
+// Tabular Q-learning over hashed discrete states. Serves as the classical
+// RL baseline: it shows why function approximation is needed once the edge
+// system's state space explodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/schedule.hpp"
+
+namespace vnfm::rl {
+
+struct TabularQConfig {
+  std::size_t action_dim = 0;
+  double learning_rate = 0.1;
+  double gamma = 0.95;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 20'000;
+  double optimistic_init = 0.0;  ///< initial Q for unseen states
+  std::uint64_t seed = 13;
+};
+
+/// Q-learning with a hash table keyed by caller-provided discrete state ids.
+class TabularQAgent {
+ public:
+  explicit TabularQAgent(TabularQConfig config);
+
+  /// ε-greedy action for the hashed state.
+  [[nodiscard]] int act(std::uint64_t state_key, std::span<const std::uint8_t> mask);
+  [[nodiscard]] int act_greedy(std::uint64_t state_key,
+                               std::span<const std::uint8_t> mask) const;
+
+  /// Q-learning backup: Q(s,a) += lr * (r + gamma * max_a' Q(s',a') - Q(s,a)).
+  void update(std::uint64_t state_key, int action, double reward,
+              std::uint64_t next_state_key, bool done,
+              std::span<const std::uint8_t> next_mask);
+
+  [[nodiscard]] double q_value(std::uint64_t state_key, int action) const;
+  [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+  [[nodiscard]] double epsilon() const noexcept;
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+  /// Hashes a coarse discretisation of a continuous feature vector: each
+  /// feature is quantised to `buckets` levels in [0,1] and mixed (FNV-1a).
+  [[nodiscard]] static std::uint64_t discretize(std::span<const float> features,
+                                                std::size_t buckets);
+
+ private:
+  [[nodiscard]] const std::vector<double>& row(std::uint64_t key) const;
+  [[nodiscard]] std::vector<double>& row_mutable(std::uint64_t key);
+  [[nodiscard]] int greedy_from_row(const std::vector<double>& q,
+                                    std::span<const std::uint8_t> mask) const;
+
+  TabularQConfig config_;
+  mutable Rng rng_;
+  LinearSchedule epsilon_schedule_;
+  std::size_t steps_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<double>> table_;
+  std::vector<double> default_row_;
+};
+
+}  // namespace vnfm::rl

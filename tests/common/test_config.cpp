@@ -1,0 +1,58 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "episodes=10", "rate=2.5", "name=dqn", "flag"};
+  const Config config = Config::from_args(5, argv);
+  EXPECT_EQ(config.get_int("episodes", 0), 10);
+  EXPECT_DOUBLE_EQ(config.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(config.get_string("name", ""), "dqn");
+  EXPECT_FALSE(config.contains("flag"));  // tokens without '=' are ignored
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const Config config;
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(config.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(config.get_bool("missing", true));
+}
+
+TEST(Config, BoolParsing) {
+  Config config;
+  config.set("a", "1");
+  config.set("b", "true");
+  config.set("c", "no");
+  config.set("d", "on");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_TRUE(config.get_bool("b", false));
+  EXPECT_FALSE(config.get_bool("c", true));
+  EXPECT_TRUE(config.get_bool("d", false));
+}
+
+TEST(Config, ThrowsOnMalformedNumber) {
+  Config config;
+  config.set("rate", "fast");
+  EXPECT_THROW((void)config.get_double("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)config.get_int("rate", 0), std::invalid_argument);
+}
+
+TEST(Config, SetOverrides) {
+  Config config;
+  config.set("k", "1");
+  config.set("k", "2");
+  EXPECT_EQ(config.get_int("k", 0), 2);
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  const char* argv[] = {"prog", "expr=a=b"};
+  const Config config = Config::from_args(2, argv);
+  EXPECT_EQ(config.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace vnfm

@@ -1,0 +1,65 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace vnfm {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "vnfm_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row(std::vector<double>{1.0, 2.5});
+    csv.row(std::vector<double>{3.0, -4.25});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2.5\n3,-4.25\n");
+}
+
+TEST_F(CsvTest, WritesStringCells) {
+  {
+    CsvWriter csv(path_, {"policy", "score"});
+    csv.row(std::vector<std::string>{"dqn", "1.5"});
+  }
+  EXPECT_EQ(read_file(path_), "policy,score\ndqn,1.5\n");
+}
+
+TEST_F(CsvTest, RejectsArityMismatch) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(csv.row(std::vector<std::string>{"x", "y", "z"}), std::invalid_argument);
+}
+
+TEST(CsvFormat, FormatNumberCompact) {
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(-2.25), "-2.25");
+  EXPECT_EQ(format_number(1234567.0), "1.23457e+06");
+}
+
+TEST(CsvFormat, HandlesNan) { EXPECT_EQ(format_number(std::nan("")), "nan"); }
+
+TEST(CsvWriterError, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vnfm

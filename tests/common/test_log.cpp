@@ -1,0 +1,48 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm {
+namespace {
+
+/// Restores the global log level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_{};
+};
+
+TEST_F(LogTest, ThresholdRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST_F(LogTest, HelpersDoNotCrashAtAnyThreshold) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    log_debug("debug ", 1);
+    log_info("info ", 2.5);
+    log_warn("warn ", "text");
+    log_error("error ", 'c');
+  }
+  SUCCEED();
+}
+
+TEST_F(LogTest, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+}  // namespace
+}  // namespace vnfm

@@ -1,0 +1,182 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vnfm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(12);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  const double mean = 4.2;
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(14);
+  const double mean = 200.0;
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(17);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(19);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(20);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+/// Property sweep: distribution sanity across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, UniformIndexUnbiased) {
+  Rng rng(GetParam());
+  std::vector<int> counts(5, 0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts)
+    EXPECT_NEAR(c / static_cast<double>(n), 0.2, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 42, 999, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace vnfm

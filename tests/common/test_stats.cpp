@@ -1,0 +1,170 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vnfm {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStat c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(Ewma, FirstSampleInitialises) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.2);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-6);
+}
+
+TEST(Ewma, WeightsRecentSamples) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(QuantileSketch, ExactQuantilesSmallSample) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(q.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(q.quantile(0.95), 95.05, 0.01);
+}
+
+TEST(QuantileSketch, ThrowsOnEmpty) {
+  QuantileSketch q;
+  EXPECT_THROW((void)q.quantile(0.5), std::runtime_error);
+}
+
+TEST(QuantileSketch, ReservoirKeepsBoundedMemory) {
+  QuantileSketch q(1000, 5);
+  for (int i = 0; i < 100'000; ++i) q.add(static_cast<double>(i % 1000));
+  EXPECT_EQ(q.count(), 100'000u);
+  EXPECT_EQ(q.sorted_sample().size(), 1000u);
+  // Median of the underlying distribution is ~499.5.
+  EXPECT_NEAR(q.quantile(0.5), 499.5, 60.0);
+}
+
+TEST(QuantileSketch, ClampsOutOfRangeQ) {
+  QuantileSketch q;
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(2.0), 2.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(9.999);  // bin 9
+  h.add(10.0);   // overflow
+  h.add(5.5);    // bin 5
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+/// Property sweep: Welford mean/variance agree with two-pass computation.
+class StatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatSweep, WelfordMatchesTwoPass) {
+  const int n = GetParam();
+  std::vector<double> xs;
+  RunningStat s;
+  for (int i = 0; i < n; ++i) {
+    const double x = std::cos(i * 1.3) * (i % 7 + 1);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= n;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatSweep, ::testing::Values(2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace vnfm

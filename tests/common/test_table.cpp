@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vnfm {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer_name", "2.5"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericRowHelper) {
+  AsciiTable table({"policy", "cost", "accept"});
+  table.add_row("dqn", {1.25, 0.97});
+  EXPECT_EQ(table.rows(), 1u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("1.25"), std::string::npos);
+  EXPECT_NE(os.str().find("0.97"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsArityMismatch) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, EmptyTableStillPrintsHeader) {
+  AsciiTable table({"col"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vnfm

@@ -1,0 +1,173 @@
+#include "core/drl_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 1.5;
+  options.seed = 13;
+  return options;
+}
+
+rl::DqnConfig fast_dqn(const VnfEnv& env) {
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {32};
+  config.min_replay_before_training = 128;
+  config.epsilon_decay_steps = 2000;
+  return config;
+}
+
+TEST(DqnManager, ConfigDimsAutoFilled) {
+  VnfEnv env(small_options());
+  const auto config = default_dqn_config(env);
+  EXPECT_EQ(config.state_dim, 4u * 6 + 6 + 5 + 8);
+  EXPECT_EQ(config.action_dim, 5u);
+}
+
+TEST(DqnManager, SelectsValidActionsWhileTraining) {
+  VnfEnv env(small_options());
+  DqnManager manager(env, fast_dqn(env));
+  env.reset(0);
+  manager.set_training(true);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult r;
+    do {
+      const int action = manager.select_action(env);
+      ASSERT_TRUE(env.action_mask()[static_cast<std::size_t>(action)]);
+      r = env.step(action);
+    } while (!r.chain_done);
+  }
+}
+
+TEST(DqnManager, ObserveFeedsReplay) {
+  VnfEnv env(small_options());
+  DqnManager manager(env, fast_dqn(env));
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  episode.training = true;
+  (void)run_episode(env, manager, episode);
+  EXPECT_GT(manager.agent().replay_size(), 0u);
+  EXPECT_GT(manager.agent().steps(), 0u);
+}
+
+TEST(DqnManager, EvaluationModeIsDeterministic) {
+  VnfEnv env(small_options());
+  DqnManager manager(env, fast_dqn(env));
+  manager.set_training(false);
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const int a1 = manager.select_action(env);
+  const int a2 = manager.select_action(env);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(DqnManager, SaveLoadRoundTrip) {
+  VnfEnv env(small_options());
+  DqnManager manager(env, fast_dqn(env));
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  (void)run_episode(env, manager, episode);
+  std::stringstream stream;
+  manager.save(stream);
+
+  DqnManager restored(env, fast_dqn(env));
+  restored.load(stream);
+  restored.set_training(false);
+  manager.set_training(false);
+  env.reset(42);
+  ASSERT_TRUE(env.begin_next_request());
+  EXPECT_EQ(manager.select_action(env), restored.select_action(env));
+}
+
+TEST(ReinforceManager, RunsAndLearnsWithoutCrashing) {
+  VnfEnv env(small_options());
+  rl::ReinforceConfig config;
+  config.hidden_dims = {32};
+  ReinforceManager manager(env, config);
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_GT(result.requests, 0u);
+}
+
+TEST(ReinforceManager, ValidActionsOnly) {
+  VnfEnv env(small_options());
+  ReinforceManager manager(env, {});
+  env.reset(0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult r;
+    do {
+      const int action = manager.select_action(env);
+      ASSERT_TRUE(env.action_mask()[static_cast<std::size_t>(action)]);
+      r = env.step(action);
+      TransitionView view;
+      view.reward = r.reward;
+      manager.observe(view);
+    } while (!r.chain_done);
+    manager.on_chain_end(env);
+  }
+}
+
+TEST(A2cManager, RunsAndLearnsEndToEnd) {
+  VnfEnv env(small_options());
+  rl::ActorCriticConfig config;
+  config.hidden_dims = {32};
+  A2cManager manager(env, config);
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_GT(manager.agent().updates(), 0u);
+}
+
+TEST(A2cManager, ValidActionsOnly) {
+  VnfEnv env(small_options());
+  A2cManager manager(env, {});
+  env.reset(0);
+  manager.set_training(false);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult r;
+    do {
+      const int action = manager.select_action(env);
+      ASSERT_TRUE(env.action_mask()[static_cast<std::size_t>(action)]);
+      r = env.step(action);
+    } while (!r.chain_done);
+  }
+}
+
+TEST(TabularManager, RunsEndToEnd) {
+  VnfEnv env(small_options());
+  rl::TabularQConfig config;
+  TabularManager manager(env, config);
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_GT(manager.agent().table_size(), 0u);
+}
+
+TEST(TabularManager, EvaluationDoesNotGrowTable) {
+  VnfEnv env(small_options());
+  TabularManager manager(env, {});
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  (void)run_episode(env, manager, episode);
+  const auto size_after_training = manager.agent().table_size();
+  episode.training = false;
+  (void)run_episode(env, manager, episode);
+  EXPECT_EQ(manager.agent().table_size(), size_after_training);
+}
+
+}  // namespace
+}  // namespace vnfm::core

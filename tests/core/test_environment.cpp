@@ -1,0 +1,244 @@
+#include "core/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 3;
+  return options;
+}
+
+TEST(VnfEnv, ActionSpaceIsNodesPlusReject) {
+  VnfEnv env(small_options());
+  EXPECT_EQ(env.action_count(), 5);
+  EXPECT_EQ(env.reject_action(), 4);
+}
+
+TEST(VnfEnv, FeatureVectorShapeAndRange) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  // 4 nodes x 6 + 6 VNF one-hot + 5 SFC one-hot + 8 globals.
+  EXPECT_EQ(env.state_dim(), 4u * 6 + 6 + 5 + 8);
+  for (const float f : env.features()) {
+    EXPECT_GE(f, 0.0F);
+    EXPECT_LE(f, 1.0F);
+  }
+  EXPECT_EQ(env.action_mask().size(), 5u);
+  EXPECT_EQ(env.action_mask().back(), 1);  // reject always valid
+}
+
+TEST(VnfEnv, ResetRestartsCleanly) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  (void)env.step(0);
+  env.reset(1);
+  EXPECT_EQ(env.metrics().arrivals(), 0u);
+  EXPECT_EQ(env.cluster().total_instance_count(), 0u);
+  EXPECT_DOUBLE_EQ(env.now(), 0.0);
+}
+
+TEST(VnfEnv, SameSeedReproducesSameRequests) {
+  VnfEnv env(small_options());
+  env.reset(7);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto r1 = env.pending_request();
+  env.reset(7);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto r2 = env.pending_request();
+  EXPECT_DOUBLE_EQ(r1.arrival_time, r2.arrival_time);
+  EXPECT_EQ(edgesim::index(r1.sfc), edgesim::index(r2.sfc));
+  EXPECT_DOUBLE_EQ(r1.rate_rps, r2.rate_rps);
+}
+
+TEST(VnfEnv, DifferentSeedsDiverge) {
+  VnfEnv env(small_options());
+  env.reset(1);
+  ASSERT_TRUE(env.begin_next_request());
+  const double t1 = env.pending_request().arrival_time;
+  env.reset(2);
+  ASSERT_TRUE(env.begin_next_request());
+  const double t2 = env.pending_request().arrival_time;
+  EXPECT_NE(t1, t2);
+}
+
+TEST(VnfEnv, HorizonCutoffReturnsFalse) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  EXPECT_FALSE(env.begin_next_request(0.0));  // nothing can arrive by t=0
+  EXPECT_FALSE(env.has_pending_chain());
+}
+
+TEST(VnfEnv, PlacingFullChainAcceptsAndRecords) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto chain_length = env.sfcs().sfc(env.pending_request().sfc).chain.size();
+  StepResult result;
+  std::size_t steps = 0;
+  do {
+    result = env.step(0);  // place everything on node 0
+    ++steps;
+  } while (!result.chain_done);
+  EXPECT_EQ(steps, chain_length);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(env.metrics().accepted(), 1u);
+  EXPECT_EQ(env.metrics().arrivals(), 1u);
+  EXPECT_GT(env.cluster().total_instance_count(), 0u);
+}
+
+TEST(VnfEnv, RejectEndsChainWithPenalty) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const StepResult result = env.step(env.reject_action());
+  EXPECT_TRUE(result.chain_done);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_LT(result.reward, 0.0F);
+  EXPECT_NEAR(result.reward,
+              -env.cost_model().rejection_cost() * env.options().reward_scale, 1e-5);
+  EXPECT_EQ(env.metrics().rejected(), 1u);
+  EXPECT_EQ(env.cluster().total_instance_count(), 0u);
+}
+
+TEST(VnfEnv, MidChainRejectRollsBack) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  // Find a request with a chain longer than 1.
+  while (true) {
+    ASSERT_TRUE(env.begin_next_request());
+    if (env.sfcs().sfc(env.pending_request().sfc).chain.size() > 1) break;
+    StepResult r;
+    do { r = env.step(env.reject_action()); } while (!r.chain_done);
+  }
+  (void)env.step(0);  // place first VNF
+  EXPECT_GT(env.cluster().total_instance_count(), 0u);
+  const StepResult result = env.step(env.reject_action());
+  EXPECT_TRUE(result.chain_done);
+  EXPECT_EQ(env.cluster().total_instance_count(), 0u);  // rolled back
+}
+
+TEST(VnfEnv, DeployRewardPenalisesNewInstances) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const StepResult first = env.step(0);
+  EXPECT_TRUE(first.deployed_new);
+  // Same request type placed again on the same node should reuse.
+  if (!first.chain_done) {
+    const StepResult second = env.step(0);
+    // Second VNF of the chain is a different type -> deploys again.
+    EXPECT_TRUE(second.deployed_new);
+  }
+}
+
+TEST(VnfEnv, StepValidation) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  EXPECT_THROW((void)env.step(0), std::logic_error);  // no pending chain
+  ASSERT_TRUE(env.begin_next_request());
+  EXPECT_THROW((void)env.step(-1), std::out_of_range);
+  EXPECT_THROW((void)env.step(99), std::out_of_range);
+}
+
+TEST(VnfEnv, CoarseFeaturesBounded) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto coarse = env.coarse_features();
+  EXPECT_EQ(coarse.size(), 5u);
+  for (const float f : coarse) {
+    EXPECT_GE(f, 0.0F);
+    EXPECT_LE(f, 1.0F);
+  }
+}
+
+TEST(VnfEnv, RewardMatchesCostModelForFullEpisode) {
+  // Sum of rewards (excluding running cost, which accrues out-of-band) must
+  // equal -(admission + rejection costs) * reward_scale.
+  VnfEnv env(small_options());
+  env.reset(0);
+  Rng rng(5);
+  double total_reward = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult r;
+    do {
+      // Random valid action.
+      const auto& mask = env.action_mask();
+      std::vector<int> valid;
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) valid.push_back(static_cast<int>(a));
+      r = env.step(valid[rng.uniform_index(valid.size())]);
+      total_reward += r.reward;
+    } while (!r.chain_done);
+  }
+  const auto& metrics = env.metrics();
+  const double admission_and_rejection_cost =
+      metrics.total_cost() - metrics.cost_model().running_cost(metrics.running_cost_total());
+  // Rewards are float-accumulated; allow a small absolute slack.
+  EXPECT_NEAR(total_reward, -admission_and_rejection_cost * env.options().reward_scale,
+              0.05);
+}
+
+TEST(VnfEnv, PerNodeFeatureBlockLayoutContract) {
+  // Heuristic managers read the per-node block as
+  //   [cpu_util, mem_util, instance_count, residual_cap, est_proc, hop_lat]
+  // with 6 floats per node. This test pins that contract.
+  VnfEnv env(small_options());
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto features = env.features();
+  const auto& cluster = env.cluster();
+  const auto& request = env.pending_request();
+  const auto type = env.pending_vnf_type();
+  constexpr std::size_t kPerNode = 6;
+  for (std::size_t i = 0; i < env.topology().node_count(); ++i) {
+    const edgesim::NodeId node{static_cast<std::uint32_t>(i)};
+    EXPECT_FLOAT_EQ(features[i * kPerNode + 0],
+                    static_cast<float>(cluster.cpu_utilization(node)));
+    EXPECT_FLOAT_EQ(
+        features[i * kPerNode + 1],
+        static_cast<float>(cluster.mem_used(node) /
+                           env.topology().node(node).mem_capacity_gb));
+    // Fresh cluster: no instances of the pending type anywhere.
+    EXPECT_FLOAT_EQ(features[i * kPerNode + 2], 0.0F);
+    EXPECT_FLOAT_EQ(features[i * kPerNode + 3], 0.0F);
+    // Hop latency feature: source region's own node is the cheapest entry.
+    if (node == request.source_region) {
+      EXPECT_LT(features[i * kPerNode + 5], 0.05F);
+    }
+    EXPECT_EQ(env.action_mask()[i] != 0,
+              cluster.can_serve(node, type, request.rate_rps));
+  }
+}
+
+TEST(VnfEnv, MaskReflectsFeasibility) {
+  EnvOptions options = small_options();
+  options.topology.cpu_capacity_mean = 4.0;  // tiny nodes: 1 IDS instance max
+  options.topology.capacity_jitter = 0.0;
+  VnfEnv env(options);
+  env.reset(0);
+  // Fill node 0 completely with pinned IDS instances.
+  auto& cluster = env.mutable_cluster();
+  const auto ids = env.vnfs().by_name("ids").id;
+  while (cluster.can_deploy(edgesim::NodeId{0}, ids))
+    cluster.deploy_pinned(edgesim::NodeId{0}, ids);
+  ASSERT_TRUE(env.begin_next_request());
+  const auto type = env.pending_vnf_type();
+  const auto& mask = env.action_mask();
+  const bool can =
+      cluster.can_serve(edgesim::NodeId{0}, type, env.pending_request().rate_rps);
+  EXPECT_EQ(mask[0] != 0, can);
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -1,0 +1,134 @@
+#include "core/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 1.5;
+  options.seed = 11;
+  return options;
+}
+
+EpisodeOptions short_episode() {
+  EpisodeOptions episode;
+  episode.duration_s = 600.0;
+  episode.training = false;
+  return episode;
+}
+
+/// Runs a manager through a few decisions and checks it always returns a
+/// valid (unmasked) action.
+void check_valid_actions(Manager& manager) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  manager.on_episode_start(env);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult r;
+    do {
+      const int action = manager.select_action(env);
+      ASSERT_GE(action, 0);
+      ASSERT_LT(action, env.action_count());
+      ASSERT_TRUE(env.action_mask()[static_cast<std::size_t>(action)])
+          << manager.name() << " chose a masked action";
+      r = env.step(action);
+    } while (!r.chain_done);
+  }
+}
+
+TEST(Heuristics, GreedyLatencyReturnsValidActions) {
+  GreedyLatencyManager m;
+  check_valid_actions(m);
+}
+
+TEST(Heuristics, MyopicCostReturnsValidActions) {
+  MyopicCostManager m;
+  check_valid_actions(m);
+}
+
+TEST(Heuristics, FirstFitReturnsValidActions) {
+  FirstFitManager m;
+  check_valid_actions(m);
+}
+
+TEST(Heuristics, RandomReturnsValidActions) {
+  RandomManager m(5);
+  check_valid_actions(m);
+}
+
+TEST(Heuristics, StaticProvisionReturnsValidActions) {
+  StaticProvisionManager m(2);
+  check_valid_actions(m);
+}
+
+TEST(Heuristics, GreedyLatencyPrefersLocalNode) {
+  // With an empty cluster, the latency-greedy choice for the first VNF is
+  // the user's own metro node (last-mile only).
+  VnfEnv env(small_options());
+  env.reset(0);
+  GreedyLatencyManager m;
+  ASSERT_TRUE(env.begin_next_request());
+  const auto region = env.pending_request().source_region;
+  const int action = m.select_action(env);
+  EXPECT_EQ(action, static_cast<int>(edgesim::index(region)));
+}
+
+TEST(Heuristics, StaticProvisionPreDeploysPinnedInstances) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  StaticProvisionManager m(2);
+  m.on_episode_start(env);
+  EXPECT_EQ(env.cluster().total_instance_count(),
+            2u * env.vnfs().size());
+  // Pinned instances survive long idle periods.
+  env.mutable_cluster().advance_to(100'000.0);
+  EXPECT_EQ(env.cluster().total_instance_count(), 2u * env.vnfs().size());
+}
+
+TEST(Heuristics, StaticProvisionNeverDeploysDuringRun) {
+  VnfEnv env(small_options());
+  StaticProvisionManager m(2);
+  EpisodeOptions episode = short_episode();
+  const EpisodeResult result = run_episode(env, m, episode);
+  // All capacity was pre-provisioned; the episode itself deploys nothing.
+  EXPECT_EQ(result.deployments, 0u);
+}
+
+TEST(Heuristics, FirstFitConsolidatesMoreThanGreedy) {
+  VnfEnv env(small_options());
+  FirstFitManager first_fit;
+  GreedyLatencyManager greedy;
+  const EpisodeResult ff = run_episode(env, first_fit, short_episode());
+  const EpisodeResult gl = run_episode(env, greedy, short_episode());
+  // Consolidation deploys at most as many instances as latency-chasing.
+  EXPECT_LE(ff.deployments, gl.deployments + 2);
+  // But pays more latency (it ignores geography).
+  EXPECT_GT(ff.mean_latency_ms, 0.0);
+}
+
+TEST(Heuristics, MyopicCostBeatsRandomOnCost) {
+  VnfEnv env(small_options());
+  MyopicCostManager myopic;
+  RandomManager random(7);
+  const EpisodeResult mc = evaluate_manager(env, myopic, short_episode(), 2);
+  const EpisodeResult rnd = evaluate_manager(env, random, short_episode(), 2);
+  EXPECT_LT(mc.cost_per_request, rnd.cost_per_request);
+}
+
+TEST(Heuristics, GreedyLatencyAchievesLowLatency) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager greedy;
+  RandomManager random(7);
+  const EpisodeResult gl = evaluate_manager(env, greedy, short_episode(), 2);
+  const EpisodeResult rnd = evaluate_manager(env, random, short_episode(), 2);
+  EXPECT_LT(gl.mean_latency_ms, rnd.mean_latency_ms);
+}
+
+}  // namespace
+}  // namespace vnfm::core

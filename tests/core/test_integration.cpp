@@ -1,0 +1,141 @@
+// Integration tests: the full stack (workload -> cluster -> env -> manager ->
+// runner) exercised together, including a short DQN training run that must
+// outperform the random policy — the library's end-to-end learning check.
+#include <gtest/gtest.h>
+
+#include "core/drl_manager.hpp"
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions options_with_rate(double rate) {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = rate;
+  options.seed = 23;
+  return options;
+}
+
+TEST(Integration, ShortDqnTrainingBeatsRandomPolicy) {
+  VnfEnv env(options_with_rate(1.5));
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {32, 32};
+  config.min_replay_before_training = 200;
+  config.epsilon_decay_steps = 4000;
+  config.train_period = 4;
+  DqnManager dqn(env, config);
+
+  EpisodeOptions episode;
+  episode.duration_s = 400.0;
+  (void)train_manager(env, dqn, 10, episode);
+
+  RandomManager random(3);
+  const EpisodeResult dqn_eval = evaluate_manager(env, dqn, episode, 2);
+  const EpisodeResult random_eval = evaluate_manager(env, random, episode, 2);
+  EXPECT_LT(dqn_eval.cost_per_request, random_eval.cost_per_request);
+}
+
+TEST(Integration, LearningCurveImproves) {
+  VnfEnv env(options_with_rate(1.5));
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {32, 32};
+  config.min_replay_before_training = 200;
+  config.epsilon_decay_steps = 3000;
+  config.train_period = 4;
+  DqnManager dqn(env, config);
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  const auto curve = train_manager(env, dqn, 12, episode);
+  // Compare mean reward of the first 3 vs last 3 episodes.
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 3; ++i) early += curve[i].total_reward;
+  for (std::size_t i = curve.size() - 3; i < curve.size(); ++i)
+    late += curve[i].total_reward;
+  EXPECT_GT(late, early);
+}
+
+TEST(Integration, HighLoadForcesRejectionsOrViolations) {
+  // At an arrival rate far above capacity, no policy can accept everything
+  // cleanly: acceptance drops and/or utilisation saturates.
+  EnvOptions options = options_with_rate(20.0);
+  options.topology.node_count = 2;
+  options.topology.cpu_capacity_mean = 8.0;
+  VnfEnv env(options);
+  GreedyLatencyManager greedy;
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, greedy, episode);
+  EXPECT_LT(result.acceptance_ratio, 0.9);
+  EXPECT_GT(result.mean_utilization, 0.3);
+}
+
+TEST(Integration, LowLoadIsFullyAccepted) {
+  VnfEnv env(options_with_rate(0.2));
+  GreedyLatencyManager greedy;
+  EpisodeOptions episode;
+  episode.duration_s = 600.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, greedy, episode);
+  EXPECT_GT(result.acceptance_ratio, 0.99);
+  EXPECT_LT(result.sla_violation_ratio, 0.1);
+}
+
+TEST(Integration, AllManagersSurviveSustainedFuzzEpisode) {
+  // Crash/invariant fuzz: every manager runs a longer, higher-load episode.
+  VnfEnv env(options_with_rate(6.0));
+  EpisodeOptions episode;
+  episode.duration_s = 400.0;
+  episode.training = true;
+
+  GreedyLatencyManager greedy;
+  MyopicCostManager myopic;
+  FirstFitManager first_fit;
+  RandomManager random(1);
+  StaticProvisionManager static_prov(2);
+  TabularManager tabular(env, {});
+  std::vector<Manager*> managers{&greedy, &myopic, &first_fit,
+                                 &random, &static_prov, &tabular};
+  for (Manager* manager : managers) {
+    const EpisodeResult result = run_episode(env, *manager, episode);
+    EXPECT_GT(result.requests, 0u) << manager->name();
+    EXPECT_GE(result.acceptance_ratio, 0.0) << manager->name();
+    EXPECT_LE(result.acceptance_ratio, 1.0) << manager->name();
+    EXPECT_GE(result.mean_utilization, 0.0) << manager->name();
+    EXPECT_LE(result.mean_utilization, 1.0) << manager->name();
+  }
+}
+
+TEST(Integration, RewardScaleInvarianceOfRanking) {
+  // Scaling rewards must not change which policy is better on raw cost.
+  for (const double scale : {0.1, 0.5}) {
+    EnvOptions options = options_with_rate(2.0);
+    options.reward_scale = scale;
+    VnfEnv env(options);
+    MyopicCostManager myopic;
+    RandomManager random(9);
+    EpisodeOptions episode;
+    episode.duration_s = 200.0;
+    const EpisodeResult m = evaluate_manager(env, myopic, episode, 2);
+    const EpisodeResult r = evaluate_manager(env, random, episode, 2);
+    EXPECT_LT(m.cost_per_request, r.cost_per_request) << "scale " << scale;
+  }
+}
+
+TEST(Integration, DiurnalWorkloadKeepsSystemStable) {
+  EnvOptions options = options_with_rate(3.0);
+  options.workload.diurnal_amplitude = 0.8;
+  VnfEnv env(options);
+  MyopicCostManager myopic;
+  EpisodeOptions episode;
+  episode.duration_s = 1200.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, myopic, episode);
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_GT(result.acceptance_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -1,0 +1,142 @@
+#include "core/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 29;
+  return options;
+}
+
+TEST(ConsolidationPass, EmptyClusterDoesNothing) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  EXPECT_EQ(run_consolidation_pass(env.mutable_cluster(), {}), 0u);
+}
+
+TEST(ConsolidationPass, DrainsUnderutilisedNode) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  auto& cluster = env.mutable_cluster();
+
+  // Build load on node 0 (several chains) and one lonely chain on node 1.
+  const auto& sfc = env.sfcs().by_name("voip");
+  auto place = [&](std::uint32_t node, std::uint64_t id) {
+    edgesim::Request r;
+    r.id = edgesim::RequestId{id};
+    r.source_region = edgesim::NodeId{0};
+    r.sfc = sfc.id;
+    r.rate_rps = 2.0;
+    r.duration_s = 10'000.0;
+    cluster.start_chain(r);
+    while (!cluster.pending_complete()) cluster.place_next(edgesim::NodeId{node});
+    return cluster.commit_chain();
+  };
+  for (std::uint64_t i = 0; i < 6; ++i) place(0, i);
+  place(1, 100);  // the drain candidate
+
+  ConsolidationOptions options;
+  options.drain_utilization = 0.2;  // node 1 (one voip chain) is far below
+  options.max_migrations_per_pass = 8;
+  options.sla_headroom = 1.0;
+  const std::size_t moved = run_consolidation_pass(cluster, options);
+  EXPECT_GE(moved, 1u);
+  EXPECT_EQ(cluster.total_migrations(), moved);
+  // The migrated VNF now points at node 0.
+  const auto& chain = cluster.active_chains().at(edgesim::RequestId{100});
+  bool any_on_zero = false;
+  for (const auto node : chain.nodes) any_on_zero |= edgesim::index(node) == 0;
+  EXPECT_TRUE(any_on_zero);
+}
+
+TEST(ConsolidationPass, RespectsMigrationCap) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  auto& cluster = env.mutable_cluster();
+  const auto& sfc = env.sfcs().by_name("voip");
+  auto place = [&](std::uint32_t node, std::uint64_t id) {
+    edgesim::Request r;
+    r.id = edgesim::RequestId{id};
+    r.source_region = edgesim::NodeId{0};
+    r.sfc = sfc.id;
+    r.rate_rps = 2.0;
+    r.duration_s = 10'000.0;
+    cluster.start_chain(r);
+    while (!cluster.pending_complete()) cluster.place_next(edgesim::NodeId{node});
+    return cluster.commit_chain();
+  };
+  for (std::uint64_t i = 0; i < 8; ++i) place(0, i);
+  for (std::uint64_t i = 0; i < 5; ++i) place(1, 100 + i);
+
+  ConsolidationOptions options;
+  options.drain_utilization = 0.9;  // everything is a candidate
+  options.max_migrations_per_pass = 2;
+  options.sla_headroom = 1.0;
+  EXPECT_LE(run_consolidation_pass(cluster, options), 2u);
+}
+
+TEST(ConsolidationPass, HonoursSlaHeadroom) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  auto& cluster = env.mutable_cluster();
+  // One gaming chain (60 ms SLA) served locally; the only possible reuse
+  // targets are overseas, so consolidation must refuse to move it.
+  const auto& gaming = env.sfcs().by_name("gaming");
+  edgesim::Request r;
+  r.id = edgesim::RequestId{1};
+  r.source_region = edgesim::NodeId{0};
+  r.sfc = gaming.id;
+  r.rate_rps = 4.0;
+  r.duration_s = 10'000.0;
+  cluster.start_chain(r);
+  while (!cluster.pending_complete()) cluster.place_next(edgesim::NodeId{0});
+  (void)cluster.commit_chain();
+  // Busier remote node with reusable instances of all three types.
+  for (const char* name : {"nat", "firewall", "ids"})
+    cluster.deploy_pinned(edgesim::NodeId{2}, env.vnfs().by_name(name).id);
+  cluster.deploy_pinned(edgesim::NodeId{2}, env.vnfs().by_name("ids").id);
+
+  ConsolidationOptions options;
+  options.drain_utilization = 0.9;
+  options.sla_headroom = 0.9;
+  EXPECT_EQ(run_consolidation_pass(cluster, options), 0u);
+}
+
+TEST(ConsolidatingManager, DelegatesAndMigrates) {
+  VnfEnv env(small_options());
+  FirstFitManager inner;
+  ConsolidationOptions options;
+  options.drain_utilization = 0.6;
+  options.max_migrations_per_pass = 4;
+  ConsolidatingManager manager(inner, options, /*period_chains=*/20);
+  EXPECT_EQ(manager.name(), "first_fit+consolidation");
+
+  EpisodeOptions episode;
+  episode.duration_s = 900.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_GT(result.requests, 0u);
+  // Migrations are charged to the objective when they happen.
+  EXPECT_EQ(env.metrics().migrations(), manager.migrations_triggered());
+}
+
+TEST(ConsolidatingManager, MigrationCostChargedToObjective) {
+  VnfEnv env(small_options());
+  env.reset(0);
+  const double cost_before = env.metrics().total_cost();
+  env.record_migrations(3);
+  EXPECT_NEAR(env.metrics().total_cost() - cost_before,
+              env.cost_model().migration_cost(3), 1e-12);
+  EXPECT_EQ(env.metrics().migrations(), 3u);
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -1,0 +1,108 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 17;
+  return options;
+}
+
+TEST(Runner, EpisodeRespectsTimeHorizon) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_LE(env.now(), 300.0 + 1e-9);
+  // ~2 req/s * 300 s = ~600 requests (Poisson, wide tolerance).
+  EXPECT_GT(result.requests, 400u);
+  EXPECT_LT(result.requests, 800u);
+}
+
+TEST(Runner, EpisodeRespectsRequestCap) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 1e9;
+  episode.max_requests = 25;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_EQ(result.requests, 25u);
+}
+
+TEST(Runner, ResultMatchesEnvMetrics) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 200.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  EXPECT_DOUBLE_EQ(result.cost_per_request, env.metrics().cost_per_request());
+  EXPECT_DOUBLE_EQ(result.acceptance_ratio, env.metrics().acceptance_ratio());
+  EXPECT_EQ(result.deployments, env.metrics().deployments());
+  EXPECT_EQ(result.requests, env.metrics().arrivals());
+}
+
+TEST(Runner, SameSeedSameResultForDeterministicPolicy) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 200.0;
+  episode.training = false;
+  episode.seed = 5;
+  const EpisodeResult a = run_episode(env, manager, episode);
+  const EpisodeResult b = run_episode(env, manager, episode);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+}
+
+TEST(Runner, TrainManagerProducesCurveWithDistinctSeeds) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;  // deterministic, so variation == seed effect
+  EpisodeOptions episode;
+  episode.duration_s = 150.0;
+  const auto curve = train_manager(env, manager, 3, episode);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NE(curve[0].total_cost, curve[1].total_cost);  // different workloads
+}
+
+TEST(Runner, EvaluateAveragesOverRepeats) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 150.0;
+  const EpisodeResult mean = evaluate_manager(env, manager, episode, 3);
+  EXPECT_GT(mean.requests, 0u);
+  EXPECT_GE(mean.acceptance_ratio, 0.0);
+  EXPECT_LE(mean.acceptance_ratio, 1.0);
+}
+
+TEST(Runner, EvaluateRejectsZeroRepeats) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EXPECT_THROW(evaluate_manager(env, manager, {}, 0), std::invalid_argument);
+}
+
+TEST(Runner, RewardAccumulatesOverChains) {
+  VnfEnv env(small_options());
+  GreedyLatencyManager manager;
+  EpisodeOptions episode;
+  episode.duration_s = 100.0;
+  episode.training = false;
+  const EpisodeResult result = run_episode(env, manager, episode);
+  // With revenue enabled, a sensible policy earns positive reward.
+  EXPECT_NE(result.total_reward, 0.0);
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -1,0 +1,138 @@
+// WAN bandwidth substrate: inter-node chain hops consume each endpoint's
+// WAN budget; intra-node hops and user access are free.
+#include <gtest/gtest.h>
+
+#include "edgesim/cluster.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+class BandwidthTest : public ::testing::Test {
+ protected:
+  BandwidthTest()
+      : topo_(make_world_topology({.node_count = 3, .capacity_jitter = 0.0})),
+        vnfs_(VnfCatalog::standard()),
+        sfcs_(SfcCatalog::standard(vnfs_)),
+        cluster_(topo_, vnfs_, sfcs_,
+                 {.idle_timeout_s = 60.0, .wan_bandwidth_rps = 10.0}) {}
+
+  Request make_request(const char* sfc_name, double rate) {
+    Request r;
+    r.id = RequestId{next_id_++};
+    r.arrival_time = cluster_.now();
+    r.source_region = NodeId{0};
+    r.sfc = sfcs_.by_name(sfc_name).id;
+    r.rate_rps = rate;
+    r.duration_s = 1000.0;
+    return r;
+  }
+
+  Topology topo_;
+  VnfCatalog vnfs_;
+  SfcCatalog sfcs_;
+  ClusterState cluster_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST_F(BandwidthTest, IntraNodeHopsAreFree) {
+  const Request r = make_request("web", 4.0);
+  cluster_.start_chain(r);
+  while (!cluster_.pending_complete()) cluster_.place_next(NodeId{0});
+  (void)cluster_.commit_chain();
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{static_cast<std::uint32_t>(i)}), 0.0);
+}
+
+TEST_F(BandwidthTest, InterNodeHopChargesBothEndpoints) {
+  const Request r = make_request("voip", 4.0);  // nat -> firewall
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{0}), 4.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{1}), 4.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{2}), 0.0);
+}
+
+TEST_F(BandwidthTest, CanLinkRespectsBudget) {
+  EXPECT_TRUE(cluster_.can_link(NodeId{0}, NodeId{1}, 10.0));
+  EXPECT_FALSE(cluster_.can_link(NodeId{0}, NodeId{1}, 10.1));
+  EXPECT_TRUE(cluster_.can_link(NodeId{0}, NodeId{0}, 1e9));  // intra free
+}
+
+TEST_F(BandwidthTest, PlaceNextThrowsBeyondBudget) {
+  // First chain consumes 8 of the 10 units between nodes 0 and 1.
+  const Request r1 = make_request("voip", 8.0);
+  cluster_.start_chain(r1);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  // Second chain needs 4 more units on the same hop: must be refused.
+  const Request r2 = make_request("voip", 4.0);
+  cluster_.start_chain(r2);
+  cluster_.place_next(NodeId{0});
+  EXPECT_FALSE(cluster_.can_link(NodeId{0}, NodeId{1}, 4.0));
+  EXPECT_THROW(cluster_.place_next(NodeId{1}), std::runtime_error);
+  // Routing within node 0 still works.
+  cluster_.place_next(NodeId{0});
+  (void)cluster_.commit_chain();
+}
+
+TEST_F(BandwidthTest, AbortAndExpiryReleaseBandwidth) {
+  const Request r = make_request("voip", 6.0);
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  cluster_.abort_chain();
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{1}), 0.0);
+
+  const Request r2 = make_request("voip", 6.0);
+  cluster_.start_chain(r2);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  cluster_.advance_to(2000.0);  // chain expires
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{1}), 0.0);
+}
+
+TEST_F(BandwidthTest, MigrationReroutesBandwidth) {
+  const Request r = make_request("voip", 5.0);
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  // Move the firewall (position 1) from node 1 to node 2.
+  (void)cluster_.migrate_chain_vnf(r.id, 1, NodeId{2});
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{0}), 5.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{1}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.wan_used_rps(NodeId{2}), 5.0);
+}
+
+TEST_F(BandwidthTest, MigrationBeyondBudgetThrows) {
+  // Saturate node 2's WAN budget with a 0->2 chain.
+  const Request r1 = make_request("voip", 8.0);
+  cluster_.start_chain(r1);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{2});
+  (void)cluster_.commit_chain();
+  // A second chain placed entirely on node 1 (no WAN use). Moving its
+  // firewall to node 2 would create a 1->2 hop of 5 units, but node 2 only
+  // has 2 units of budget left.
+  const Request r2 = make_request("voip", 5.0);
+  cluster_.start_chain(r2);
+  cluster_.place_next(NodeId{1});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  EXPECT_THROW((void)cluster_.migrate_chain_vnf(r2.id, 1, NodeId{2}),
+               std::runtime_error);
+}
+
+TEST_F(BandwidthTest, DefaultBudgetIsUnlimited) {
+  ClusterState unlimited(topo_, vnfs_, sfcs_, {});
+  EXPECT_TRUE(unlimited.can_link(NodeId{0}, NodeId{1}, 1e12));
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -1,0 +1,246 @@
+#include "edgesim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest()
+      : topo_(make_world_topology({.node_count = 4, .cpu_capacity_mean = 32.0,
+                                   .capacity_jitter = 0.0})),
+        vnfs_(VnfCatalog::standard()),
+        sfcs_(SfcCatalog::standard(vnfs_)),
+        cluster_(topo_, vnfs_, sfcs_, {.idle_timeout_s = 60.0}) {}
+
+  Request make_request(const char* sfc_name, double rate = 2.0, double duration = 100.0,
+                       std::uint32_t region = 0) {
+    Request r;
+    r.id = RequestId{next_id_++};
+    r.arrival_time = cluster_.now();
+    r.source_region = NodeId{region};
+    r.sfc = sfcs_.by_name(sfc_name).id;
+    r.rate_rps = rate;
+    r.duration_s = duration;
+    return r;
+  }
+
+  /// Places the whole chain on one node and commits.
+  ChainPlacement place_chain_on(const Request& r, NodeId node) {
+    cluster_.start_chain(r);
+    while (!cluster_.pending_complete()) cluster_.place_next(node);
+    return cluster_.commit_chain();
+  }
+
+  Topology topo_;
+  VnfCatalog vnfs_;
+  SfcCatalog sfcs_;
+  ClusterState cluster_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST_F(ClusterTest, FreshClusterIsEmpty) {
+  EXPECT_EQ(cluster_.total_instance_count(), 0u);
+  EXPECT_EQ(cluster_.active_chain_count(), 0u);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), 0.0);
+}
+
+TEST_F(ClusterTest, PlacingDeploysInstancesAndConsumesResources) {
+  const Request r = make_request("voip");  // nat -> firewall
+  const ChainPlacement placement = place_chain_on(r, NodeId{0});
+  EXPECT_EQ(placement.new_deployments, 2);
+  EXPECT_EQ(cluster_.total_instance_count(), 2u);
+  const double expected_cpu =
+      vnfs_.by_name("nat").cpu_units + vnfs_.by_name("firewall").cpu_units;
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), expected_cpu);
+  EXPECT_EQ(cluster_.active_chain_count(), 1u);
+}
+
+TEST_F(ClusterTest, SecondChainReusesInstances) {
+  place_chain_on(make_request("voip", 2.0), NodeId{0});
+  const ChainPlacement second = place_chain_on(make_request("voip", 2.0), NodeId{0});
+  EXPECT_EQ(second.new_deployments, 0);
+  EXPECT_EQ(cluster_.total_instance_count(), 2u);
+}
+
+TEST_F(ClusterTest, LatencyIncludesUserAndReturnPath) {
+  const Request r = make_request("voip", 2.0, 100.0, /*region=*/0);
+  const ChainPlacement local = place_chain_on(r, NodeId{0});
+  // All on the local node: 2ms in + 2ms out + intra hops + proc delays.
+  EXPECT_GT(local.latency_ms, 4.0);
+  EXPECT_LT(local.latency_ms, 10.0);
+
+  // A remote placement (region 0 user, node 2 = tokyo) pays propagation.
+  const Request r2 = make_request("voip", 2.0, 100.0, /*region=*/0);
+  const ChainPlacement remote = place_chain_on(r2, NodeId{2});
+  EXPECT_GT(remote.latency_ms, local.latency_ms + 50.0);
+}
+
+TEST_F(ClusterTest, QueueingDelayGrowsWithLoad) {
+  const VnfTypeId fw = vnfs_.by_name("firewall").id;
+  const double low = cluster_.estimated_proc_delay_ms(NodeId{0}, fw, 2.0);
+  place_chain_on(make_request("voip", 10.0), NodeId{0});
+  place_chain_on(make_request("voip", 10.0), NodeId{0});
+  const double loaded = cluster_.estimated_proc_delay_ms(NodeId{0}, fw, 2.0);
+  EXPECT_GT(loaded, low);
+}
+
+TEST_F(ClusterTest, CanServeRespectsInstanceCapacity) {
+  const VnfTypeId fw = vnfs_.by_name("firewall").id;
+  // Firewall capacity is 150 rps; a flow above usable capacity is unservable.
+  EXPECT_FALSE(cluster_.can_serve(NodeId{0}, fw, 150.0));
+  EXPECT_TRUE(cluster_.can_serve(NodeId{0}, fw, 100.0));
+}
+
+TEST_F(ClusterTest, CanDeployRespectsCpuLimit) {
+  const VnfTypeId ids = vnfs_.by_name("ids").id;  // 4 CPU each; node has 32
+  int deployed = 0;
+  cluster_.start_chain(make_request("iot", 1.0));  // firewall -> ids
+  cluster_.abort_chain();
+  while (cluster_.can_deploy(NodeId{0}, ids)) {
+    cluster_.deploy_pinned(NodeId{0}, ids);
+    ++deployed;
+  }
+  EXPECT_EQ(deployed, 8);  // 32 / 4
+  EXPECT_FALSE(cluster_.can_deploy(NodeId{0}, ids));
+}
+
+TEST_F(ClusterTest, AbortRollsBackEverything) {
+  const Request r = make_request("web");
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  cluster_.abort_chain();
+  EXPECT_EQ(cluster_.total_instance_count(), 0u);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{1}), 0.0);
+  EXPECT_EQ(cluster_.total_deployments(), 0u);  // rollback uncounts
+}
+
+TEST_F(ClusterTest, AbortReleasesOnlyNewInstances) {
+  place_chain_on(make_request("voip", 2.0), NodeId{0});
+  const auto instances_before = cluster_.total_instance_count();
+  cluster_.start_chain(make_request("voip", 2.0));
+  cluster_.place_next(NodeId{0});  // reuses
+  cluster_.abort_chain();
+  EXPECT_EQ(cluster_.total_instance_count(), instances_before);
+  // Load must be restored: a full-capacity flow still fits.
+  const VnfTypeId nat = vnfs_.by_name("nat").id;
+  EXPECT_NEAR(cluster_.residual_capacity_rps(NodeId{0}, nat),
+              vnfs_.by_name("nat").capacity_rps * 0.95 - 2.0, 1e-9);
+}
+
+TEST_F(ClusterTest, ExpiryReleasesLoadThenIdleGcReleasesInstances) {
+  place_chain_on(make_request("voip", 2.0, /*duration=*/50.0), NodeId{0});
+  EXPECT_EQ(cluster_.total_instance_count(), 2u);
+  cluster_.advance_to(55.0);  // chain expired, instances idle but within timeout
+  EXPECT_EQ(cluster_.active_chain_count(), 0u);
+  EXPECT_EQ(cluster_.total_instance_count(), 2u);
+  cluster_.advance_to(111.0);  // 50 + 60s idle timeout passed
+  EXPECT_EQ(cluster_.total_instance_count(), 0u);
+  EXPECT_EQ(cluster_.total_releases(), 2u);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), 0.0);
+}
+
+TEST_F(ClusterTest, PinnedInstancesSurviveIdleGc) {
+  const VnfTypeId fw = vnfs_.by_name("firewall").id;
+  cluster_.deploy_pinned(NodeId{0}, fw);
+  cluster_.advance_to(10'000.0);
+  EXPECT_EQ(cluster_.total_instance_count(), 1u);
+}
+
+TEST_F(ClusterTest, RunningCostAccumulatesWithInstanceSeconds) {
+  const VnfTypeId fw = vnfs_.by_name("firewall").id;
+  cluster_.deploy_pinned(NodeId{0}, fw);
+  cluster_.advance_to(3600.0);
+  EXPECT_NEAR(cluster_.instance_seconds_accumulated(), 3600.0, 1e-6);
+  const double cost = cluster_.drain_running_cost();
+  EXPECT_NEAR(cost, vnfs_.by_name("firewall").run_cost_per_hour, 1e-6);
+  EXPECT_DOUBLE_EQ(cluster_.drain_running_cost(), 0.0);  // drained
+}
+
+TEST_F(ClusterTest, SlaViolationDetected) {
+  // Gaming SLA is 60 ms; place its chain across the Pacific repeatedly.
+  const Request r = make_request("gaming", 2.0, 100.0, /*region=*/0);
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{2});  // tokyo
+  cluster_.place_next(NodeId{1});  // london
+  cluster_.place_next(NodeId{2});  // tokyo again
+  const ChainPlacement placement = cluster_.commit_chain();
+  EXPECT_TRUE(placement.sla_violated());
+  EXPECT_GT(placement.latency_ms, placement.sla_latency_ms);
+}
+
+TEST_F(ClusterTest, ProtocolMisuseThrows) {
+  EXPECT_THROW(cluster_.place_next(NodeId{0}), std::logic_error);
+  EXPECT_THROW(cluster_.commit_chain(), std::logic_error);
+  EXPECT_THROW(cluster_.abort_chain(), std::logic_error);
+  cluster_.start_chain(make_request("voip"));
+  EXPECT_THROW(cluster_.start_chain(make_request("voip")), std::logic_error);
+  EXPECT_THROW(cluster_.commit_chain(), std::logic_error);  // incomplete
+  EXPECT_THROW(cluster_.advance_to(10.0), std::logic_error);  // pending chain
+  cluster_.abort_chain();
+  EXPECT_THROW(cluster_.advance_to(-1.0), std::invalid_argument);
+}
+
+TEST_F(ClusterTest, PlaceNextInfeasibleThrows) {
+  // Saturate node 0 with pinned IDS instances, then demand more.
+  const VnfTypeId ids = vnfs_.by_name("ids").id;
+  while (cluster_.can_deploy(NodeId{0}, ids)) cluster_.deploy_pinned(NodeId{0}, ids);
+  // Fill all existing instances to capacity.
+  Request big = make_request("iot", 76.0);  // firewall -> ids; ids cap 80*0.95=76
+  // IoT chain: firewall first. Node 0 cannot even deploy a firewall (CPU full).
+  cluster_.start_chain(big);
+  EXPECT_FALSE(cluster_.can_serve(NodeId{0}, cluster_.pending_vnf_type(), 76.0));
+  EXPECT_THROW(cluster_.place_next(NodeId{0}), std::runtime_error);
+  cluster_.abort_chain();
+}
+
+TEST_F(ClusterTest, ResourceConservationUnderRandomWorkload) {
+  // Property: after any mix of placements/aborts/expiries, cpu_used equals
+  // the sum over live instances, and loads are non-negative.
+  Rng rng(77);
+  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 3.0, .seed = 5});
+  SimTime now = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    Request r = gen.next(now);
+    now = r.arrival_time;
+    cluster_.advance_to(now);
+    cluster_.start_chain(r);
+    bool aborted = false;
+    while (!cluster_.pending_complete()) {
+      // Random feasible node or abort.
+      std::vector<NodeId> feasible;
+      for (const auto& node : topo_.nodes())
+        if (cluster_.can_serve(node.id, cluster_.pending_vnf_type(), r.rate_rps))
+          feasible.push_back(node.id);
+      if (feasible.empty() || rng.bernoulli(0.1)) {
+        cluster_.abort_chain();
+        aborted = true;
+        break;
+      }
+      cluster_.place_next(feasible[rng.uniform_index(feasible.size())]);
+    }
+    if (!aborted) cluster_.commit_chain();
+  }
+  // Invariant check.
+  std::vector<double> cpu(topo_.node_count(), 0.0);
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    const NodeId node{static_cast<std::uint32_t>(n)};
+    for (const auto& vnf : vnfs_.all()) {
+      const auto count = cluster_.instance_count(node, vnf.id);
+      cpu[n] += static_cast<double>(count) * vnf.cpu_units;
+      EXPECT_GE(cluster_.residual_capacity_rps(node, vnf.id), -1e-9);
+    }
+    EXPECT_NEAR(cluster_.cpu_used(node), cpu[n], 1e-9);
+    EXPECT_LE(cluster_.cpu_used(node), topo_.node(node).cpu_capacity + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

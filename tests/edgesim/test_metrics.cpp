@@ -1,0 +1,109 @@
+#include "edgesim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm::edgesim {
+namespace {
+
+ChainPlacement make_placement(double latency_ms, double sla_ms, int deployments) {
+  ChainPlacement p;
+  p.latency_ms = latency_ms;
+  p.sla_latency_ms = sla_ms;
+  p.new_deployments = deployments;
+  return p;
+}
+
+TEST(CostModel, AdmissionCostComponents) {
+  CostModel model;
+  const ChainPlacement ok = make_placement(50.0, 100.0, 1);
+  // deploy 2.0, latency 50 * 0.01 = 0.5, revenue 3.0 -> -0.5.
+  EXPECT_NEAR(model.admission_cost(ok, 2.0, 3.0), 2.0 + 0.5 - 3.0, 1e-12);
+
+  const ChainPlacement violated = make_placement(150.0, 100.0, 0);
+  EXPECT_NEAR(model.admission_cost(violated, 0.0, 3.0),
+              150.0 * 0.01 + model.w_sla_violation - 3.0, 1e-12);
+}
+
+TEST(CostModel, WeightsScale) {
+  CostModel model;
+  model.w_deploy = 2.0;
+  model.w_latency_per_ms = 0.0;
+  model.w_revenue = 0.0;
+  const ChainPlacement p = make_placement(10.0, 100.0, 1);
+  EXPECT_NEAR(model.admission_cost(p, 5.0, 3.0), 10.0, 1e-12);
+}
+
+TEST(MetricsCollector, CountsAndRatios) {
+  MetricsCollector metrics;
+  metrics.on_arrival();
+  metrics.on_arrival();
+  metrics.on_arrival();
+  metrics.on_accept(make_placement(40.0, 100.0, 2), 2.0, 2.0);
+  metrics.on_accept(make_placement(150.0, 100.0, 0), 0.0, 2.0);  // SLA violation
+  metrics.on_reject();
+  EXPECT_EQ(metrics.arrivals(), 3u);
+  EXPECT_EQ(metrics.accepted(), 2u);
+  EXPECT_EQ(metrics.rejected(), 1u);
+  EXPECT_EQ(metrics.sla_violations(), 1u);
+  EXPECT_EQ(metrics.deployments(), 2u);
+  EXPECT_NEAR(metrics.acceptance_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.sla_violation_ratio(), 0.5, 1e-12);
+  EXPECT_NEAR(metrics.latency_stats().mean(), 95.0, 1e-9);
+}
+
+TEST(MetricsCollector, CostAggregation) {
+  CostModel model;
+  MetricsCollector metrics(model);
+  metrics.on_arrival();
+  metrics.on_accept(make_placement(100.0, 200.0, 1), 1.0, 2.0);
+  // admission: 1.0 + 1.0 - 2.0 = 0.
+  EXPECT_NEAR(metrics.total_cost(), 0.0, 1e-12);
+  metrics.on_reject();
+  EXPECT_NEAR(metrics.total_cost(), model.rejection_cost(), 1e-12);
+  metrics.on_running_cost(2.5);
+  EXPECT_NEAR(metrics.total_cost(), model.rejection_cost() + 2.5, 1e-12);
+  EXPECT_NEAR(metrics.running_cost_total(), 2.5, 1e-12);
+}
+
+TEST(MetricsCollector, CostPerRequest) {
+  MetricsCollector metrics;
+  EXPECT_DOUBLE_EQ(metrics.cost_per_request(), 0.0);
+  metrics.on_arrival();
+  metrics.on_arrival();
+  metrics.on_reject();
+  metrics.on_reject();
+  EXPECT_NEAR(metrics.cost_per_request(), metrics.cost_model().rejection_cost(), 1e-12);
+}
+
+TEST(MetricsCollector, EmptyRatiosAreSane) {
+  MetricsCollector metrics;
+  EXPECT_DOUBLE_EQ(metrics.acceptance_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.sla_violation_ratio(), 0.0);
+}
+
+TEST(MetricsCollector, SummaryMentionsKeyFields) {
+  MetricsCollector metrics;
+  metrics.on_arrival();
+  metrics.on_reject();
+  const std::string s = metrics.summary();
+  EXPECT_NE(s.find("arrivals=1"), std::string::npos);
+  EXPECT_NE(s.find("rejected=1"), std::string::npos);
+  EXPECT_NE(s.find("total_cost="), std::string::npos);
+}
+
+TEST(MetricsCollector, UtilizationSampling) {
+  const Topology topo = make_world_topology({.node_count = 2, .capacity_jitter = 0.0});
+  const VnfCatalog vnfs = VnfCatalog::standard();
+  const SfcCatalog sfcs = SfcCatalog::standard(vnfs);
+  ClusterState cluster(topo, vnfs, sfcs, {});
+  MetricsCollector metrics;
+  metrics.sample_utilization(cluster);
+  EXPECT_EQ(metrics.utilization_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.utilization_stats().mean(), 0.0);
+  cluster.deploy_pinned(NodeId{0}, vnfs.by_name("firewall").id);
+  metrics.sample_utilization(cluster);
+  EXPECT_GT(metrics.utilization_stats().mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "edgesim/cluster.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest()
+      : topo_(make_world_topology({.node_count = 4, .capacity_jitter = 0.0})),
+        vnfs_(VnfCatalog::standard()),
+        sfcs_(SfcCatalog::standard(vnfs_)),
+        cluster_(topo_, vnfs_, sfcs_, {.idle_timeout_s = 60.0}) {}
+
+  Request make_request(const char* sfc_name, double rate = 2.0, double duration = 500.0,
+                       std::uint32_t region = 0) {
+    Request r;
+    r.id = RequestId{next_id_++};
+    r.arrival_time = cluster_.now();
+    r.source_region = NodeId{region};
+    r.sfc = sfcs_.by_name(sfc_name).id;
+    r.rate_rps = rate;
+    r.duration_s = duration;
+    return r;
+  }
+
+  ChainPlacement place_chain_on(const Request& r, NodeId node) {
+    cluster_.start_chain(r);
+    while (!cluster_.pending_complete()) cluster_.place_next(node);
+    return cluster_.commit_chain();
+  }
+
+  Topology topo_;
+  VnfCatalog vnfs_;
+  SfcCatalog sfcs_;
+  ClusterState cluster_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST_F(MigrationTest, MigrationMovesLoadBetweenNodes) {
+  const Request r = make_request("voip");
+  place_chain_on(r, NodeId{3});  // sydney: far from the NYC user
+  // Seed a reusable NAT instance on the local node.
+  const auto nat = vnfs_.by_name("nat").id;
+  cluster_.deploy_pinned(NodeId{0}, nat);
+  const double cpu_before_src = cluster_.cpu_used(NodeId{3});
+
+  const auto result = cluster_.migrate_chain_vnf(r.id, 0, NodeId{0});
+  EXPECT_FALSE(result.deployed_new);  // reused the pinned instance
+  EXPECT_LT(result.new_latency_ms, result.old_latency_ms);
+  EXPECT_EQ(cluster_.total_migrations(), 1u);
+  // Source node keeps the (now idle) instance until GC, but its NAT load
+  // is gone: another full-capacity flow fits again.
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{3}), cpu_before_src);
+  EXPECT_NEAR(cluster_.residual_capacity_rps(NodeId{3}, nat),
+              vnfs_.by_name("nat").capacity_rps * 0.95, 1e-9);
+}
+
+TEST_F(MigrationTest, MigrationUpdatesChainRecord) {
+  const Request r = make_request("voip");
+  place_chain_on(r, NodeId{2});
+  (void)cluster_.migrate_chain_vnf(r.id, 1, NodeId{0});
+  const auto& chain = cluster_.active_chains().at(r.id);
+  EXPECT_EQ(index(chain.nodes[1]), 0u);
+  EXPECT_EQ(index(chain.nodes[0]), 2u);
+}
+
+TEST_F(MigrationTest, MigrationCanDeployWhenNoReuse) {
+  const Request r = make_request("voip");
+  place_chain_on(r, NodeId{1});
+  const auto deployments_before = cluster_.total_deployments();
+  const auto result = cluster_.migrate_chain_vnf(r.id, 0, NodeId{0});
+  EXPECT_TRUE(result.deployed_new);
+  EXPECT_EQ(cluster_.total_deployments(), deployments_before + 1);
+}
+
+TEST_F(MigrationTest, IdleSourceInstanceIsEventuallyCollected) {
+  const Request r = make_request("voip", 2.0, /*duration=*/1000.0);
+  place_chain_on(r, NodeId{1});
+  (void)cluster_.migrate_chain_vnf(r.id, 0, NodeId{0});
+  (void)cluster_.migrate_chain_vnf(r.id, 1, NodeId{0});
+  EXPECT_GT(cluster_.total_instance_count(), 2u);  // old + new instances
+  cluster_.advance_to(100.0);                       // > idle timeout
+  // Only the two serving instances on node 0 remain.
+  EXPECT_EQ(cluster_.total_instance_count(), 2u);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{1}), 0.0);
+}
+
+TEST_F(MigrationTest, RecomputeMatchesCommitSnapshotAtAdmission) {
+  const Request r = make_request("web");
+  const ChainPlacement placement = place_chain_on(r, NodeId{0});
+  const double recomputed = cluster_.recompute_chain_latency(placement);
+  EXPECT_NEAR(recomputed, placement.latency_ms, 1e-9);
+}
+
+TEST_F(MigrationTest, MigrationValidation) {
+  const Request r = make_request("voip");
+  place_chain_on(r, NodeId{0});
+  EXPECT_THROW((void)cluster_.migrate_chain_vnf(RequestId{999}, 0, NodeId{1}),
+               std::out_of_range);
+  EXPECT_THROW((void)cluster_.migrate_chain_vnf(r.id, 5, NodeId{1}), std::out_of_range);
+  EXPECT_THROW((void)cluster_.migrate_chain_vnf(r.id, 0, NodeId{0}),
+               std::invalid_argument);  // same node
+}
+
+TEST_F(MigrationTest, MigrationToFullNodeThrows) {
+  const Request r = make_request("voip");
+  place_chain_on(r, NodeId{0});
+  // Saturate node 1 completely with IDS instances.
+  const auto ids = vnfs_.by_name("ids").id;
+  while (cluster_.can_deploy(NodeId{1}, ids)) cluster_.deploy_pinned(NodeId{1}, ids);
+  EXPECT_THROW((void)cluster_.migrate_chain_vnf(r.id, 0, NodeId{1}), std::runtime_error);
+}
+
+TEST_F(MigrationTest, ExpiryAfterMigrationReleasesNewAssignment) {
+  const Request r = make_request("voip", 2.0, /*duration=*/50.0);
+  place_chain_on(r, NodeId{1});
+  (void)cluster_.migrate_chain_vnf(r.id, 0, NodeId{0});
+  cluster_.advance_to(200.0);  // chain expired + idle GC everywhere
+  EXPECT_EQ(cluster_.total_instance_count(), 0u);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{1}), 0.0);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

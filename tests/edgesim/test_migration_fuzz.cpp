@@ -1,0 +1,90 @@
+// Property fuzz: interleave placements, expiries, and random migrations and
+// assert the cluster's resource-accounting invariants never break.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "edgesim/cluster.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+class MigrationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationFuzz, InvariantsHoldUnderRandomMigrations) {
+  const std::uint64_t seed = GetParam();
+  Topology topo = make_world_topology({.node_count = 5, .capacity_jitter = 0.0});
+  VnfCatalog vnfs = VnfCatalog::standard();
+  SfcCatalog sfcs = SfcCatalog::standard(vnfs);
+  ClusterState cluster(topo, vnfs, sfcs, {.idle_timeout_s = 90.0});
+  WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 2.0, .seed = seed});
+  Rng rng(seed * 31 + 1);
+
+  SimTime now = 0.0;
+  std::vector<RequestId> live;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    Request r = gen.next(now);
+    now = r.arrival_time;
+    cluster.advance_to(now);
+
+    // Place the chain on random feasible nodes.
+    cluster.start_chain(r);
+    bool ok = true;
+    while (ok && !cluster.pending_complete()) {
+      std::vector<NodeId> feasible;
+      for (const auto& node : topo.nodes())
+        if (cluster.can_serve(node.id, cluster.pending_vnf_type(), r.rate_rps))
+          feasible.push_back(node.id);
+      if (feasible.empty()) {
+        ok = false;
+        break;
+      }
+      cluster.place_next(feasible[rng.uniform_index(feasible.size())]);
+    }
+    if (ok) {
+      (void)cluster.commit_chain();
+      live.push_back(r.id);
+    } else {
+      cluster.abort_chain();
+    }
+
+    // Random migration attempt on a random live chain.
+    if (!cluster.active_chains().empty() && rng.bernoulli(0.5)) {
+      const auto& chains = cluster.active_chains();
+      auto it = chains.begin();
+      std::advance(it, static_cast<long>(rng.uniform_index(chains.size())));
+      const ChainPlacement chain = it->second;
+      const auto position = rng.uniform_index(chain.nodes.size());
+      const NodeId target{static_cast<std::uint32_t>(rng.uniform_index(topo.node_count()))};
+      if (target != chain.nodes[position] &&
+          cluster.can_serve(target, cluster.instance(chain.instances[position]).type,
+                            chain.rate_rps)) {
+        const auto result = cluster.migrate_chain_vnf(it->first, position, target);
+        // Migration must re-snapshot the chain's latency consistently.
+        const auto& migrated = cluster.active_chains().at(it->first);
+        ASSERT_NEAR(result.new_latency_ms, migrated.latency_ms, 1e-9);
+        ASSERT_NEAR(cluster.recompute_chain_latency(migrated), migrated.latency_ms,
+                    1e-6);
+      }
+    }
+
+    // Invariants: per-node CPU equals the sum over live instances and never
+    // exceeds capacity.
+    for (const auto& node : topo.nodes()) {
+      double cpu = 0.0;
+      for (const auto& vnf : vnfs.all())
+        cpu += static_cast<double>(cluster.instance_count(node.id, vnf.id)) *
+               vnf.cpu_units;
+      ASSERT_NEAR(cluster.cpu_used(node.id), cpu, 1e-9);
+      ASSERT_LE(cluster.cpu_used(node.id), node.cpu_capacity + 1e-9);
+    }
+  }
+  // Drain everything; the system must return to empty.
+  cluster.advance_to(now + 1e7);
+  EXPECT_EQ(cluster.total_instance_count(), 0u);
+  EXPECT_EQ(cluster.active_chain_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationFuzz, ::testing::Values(1, 7, 42, 1337));
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -1,0 +1,99 @@
+#include "edgesim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm::edgesim {
+namespace {
+
+TEST(LatencyModel, IntraNodeHopIsSmall) {
+  const LatencyModel model;
+  const GeoPoint p{40.0, -74.0};
+  EXPECT_DOUBLE_EQ(model.latency_ms(p, p), model.intra_node_ms);
+}
+
+TEST(LatencyModel, ScalesWithDistance) {
+  const LatencyModel model;
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint chi{41.88, -87.63};
+  const GeoPoint lon{51.51, -0.13};
+  EXPECT_LT(model.latency_ms(nyc, chi), model.latency_ms(nyc, lon));
+  // NYC-London one way should be in the tens of ms (fibre realistic).
+  const double transatlantic = model.latency_ms(nyc, lon);
+  EXPECT_GT(transatlantic, 20.0);
+  EXPECT_LT(transatlantic, 60.0);
+}
+
+TEST(Topology, WorldTopologyBasics) {
+  const Topology topo = make_world_topology({.node_count = 8});
+  EXPECT_EQ(topo.node_count(), 8u);
+  EXPECT_EQ(topo.node(NodeId{0}).name, "new_york");
+  EXPECT_EQ(topo.node(NodeId{2}).name, "tokyo");
+  EXPECT_GT(topo.total_traffic_weight(), 0.0);
+}
+
+TEST(Topology, LatencyMatrixSymmetricAndPositive) {
+  const Topology topo = make_world_topology({.node_count = 6});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      const NodeId a{static_cast<std::uint32_t>(i)}, b{static_cast<std::uint32_t>(j)};
+      EXPECT_DOUBLE_EQ(topo.latency_ms(a, b), topo.latency_ms(b, a));
+      EXPECT_GT(topo.latency_ms(a, b), 0.0);
+      if (i != j) { EXPECT_GT(topo.latency_ms(a, b), topo.latency_ms(a, a)); }
+    }
+  }
+}
+
+TEST(Topology, UserLatencyLocalIsLastMileOnly) {
+  const Topology topo = make_world_topology({.node_count = 4});
+  const double local = topo.user_latency_ms(NodeId{0}, NodeId{0});
+  const double remote = topo.user_latency_ms(NodeId{0}, NodeId{2});
+  EXPECT_NEAR(local, 2.0, 1e-9);
+  EXPECT_GT(remote, local + 10.0);  // NYC user -> Tokyo node crosses the Pacific
+}
+
+TEST(Topology, CapacityJitterWithinBounds) {
+  const TopologyOptions options{.node_count = 10, .cpu_capacity_mean = 40.0,
+                                .capacity_jitter = 0.25, .seed = 3};
+  const Topology topo = make_world_topology(options);
+  for (const auto& node : topo.nodes()) {
+    EXPECT_GE(node.cpu_capacity, 40.0 * 0.75 - 1e-9);
+    EXPECT_LE(node.cpu_capacity, 40.0 * 1.25 + 1e-9);
+    EXPECT_DOUBLE_EQ(node.mem_capacity_gb, 2.0 * node.cpu_capacity);
+  }
+}
+
+TEST(Topology, DeterministicForSeed) {
+  const Topology a = make_world_topology({.node_count = 5, .seed = 9});
+  const Topology b = make_world_topology({.node_count = 5, .seed = 9});
+  for (std::size_t i = 0; i < 5; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    EXPECT_DOUBLE_EQ(a.node(id).cpu_capacity, b.node(id).cpu_capacity);
+  }
+}
+
+TEST(Topology, RejectsBadNodeCount) {
+  EXPECT_THROW(make_world_topology({.node_count = 0}), std::invalid_argument);
+  EXPECT_THROW(make_world_topology({.node_count = world_metro_count() + 1}),
+               std::invalid_argument);
+}
+
+TEST(Topology, TimezonesSpanTheGlobe) {
+  const Topology topo = make_world_topology({.node_count = 8});
+  double min_tz = 99.0, max_tz = -99.0;
+  for (const auto& node : topo.nodes()) {
+    min_tz = std::min(min_tz, node.tz_offset_hours);
+    max_tz = std::max(max_tz, node.tz_offset_hours);
+  }
+  // Needed for the follow-the-sun experiments: at least 12h of spread.
+  EXPECT_GE(max_tz - min_tz, 12.0);
+}
+
+TEST(Topology, RejectsNonDenseNodeIds) {
+  std::vector<EdgeNode> nodes(2);
+  nodes[0].id = NodeId{0};
+  nodes[1].id = NodeId{5};
+  EXPECT_THROW(Topology(std::move(nodes), LatencyModel{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -1,0 +1,60 @@
+#include "edgesim/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm::edgesim {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  const GeoPoint p{40.0, -74.0};
+  EXPECT_NEAR(haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Haversine, KnownDistances) {
+  const GeoPoint new_york{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  // Great-circle NYC-London is ~5570 km.
+  EXPECT_NEAR(haversine_km(new_york, london), 5570.0, 60.0);
+
+  const GeoPoint tokyo{35.68, 139.69};
+  const GeoPoint sydney{-33.87, 151.21};
+  // Tokyo-Sydney is ~7820 km.
+  EXPECT_NEAR(haversine_km(tokyo, sydney), 7820.0, 100.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 6371.0 * 3.14159265, 10.0);
+}
+
+TEST(Ids, IndexRoundTrip) {
+  const NodeId node{7};
+  EXPECT_EQ(index(node), 7u);
+  const VnfTypeId vnf{3};
+  EXPECT_EQ(index(vnf), 3u);
+  const RequestId req{123456789ULL};
+  EXPECT_EQ(index(req), 123456789ULL);
+}
+
+TEST(Ids, StrongTypesAreDistinct) {
+  // Compile-time property: NodeId and VnfTypeId cannot be mixed. This test
+  // documents the intent; the static_asserts are the real check.
+  static_assert(!std::is_convertible_v<NodeId, VnfTypeId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+  SUCCEED();
+}
+
+TEST(Ids, InstanceIdHashable) {
+  std::hash<InstanceId> hasher;
+  EXPECT_NE(hasher(InstanceId{1}), hasher(InstanceId{2}));
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

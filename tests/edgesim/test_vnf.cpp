@@ -1,0 +1,105 @@
+#include "edgesim/vnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vnfm::edgesim {
+namespace {
+
+TEST(VnfCatalog, StandardHasSixTypes) {
+  const VnfCatalog catalog = VnfCatalog::standard();
+  EXPECT_EQ(catalog.size(), 6u);
+  const std::set<std::string> expected{"firewall", "nat", "ids", "lb", "wan_opt", "vpn"};
+  std::set<std::string> actual;
+  for (const auto& t : catalog.all()) actual.insert(t.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(VnfCatalog, IdsAreDense) {
+  const VnfCatalog catalog = VnfCatalog::standard();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(index(catalog.type(VnfTypeId{static_cast<std::uint32_t>(i)}).id), i);
+  }
+}
+
+TEST(VnfCatalog, ByNameFindsAndThrows) {
+  const VnfCatalog catalog = VnfCatalog::standard();
+  EXPECT_EQ(catalog.by_name("ids").name, "ids");
+  EXPECT_THROW((void)catalog.by_name("quantum_router"), std::out_of_range);
+}
+
+TEST(VnfCatalog, AllTypesHavePositiveParameters) {
+  for (const auto& t : VnfCatalog::standard().all()) {
+    EXPECT_GT(t.cpu_units, 0.0) << t.name;
+    EXPECT_GT(t.mem_gb, 0.0) << t.name;
+    EXPECT_GT(t.capacity_rps, 0.0) << t.name;
+    EXPECT_GT(t.proc_delay_ms, 0.0) << t.name;
+    EXPECT_GT(t.deploy_cost, 0.0) << t.name;
+    EXPECT_GT(t.run_cost_per_hour, 0.0) << t.name;
+  }
+}
+
+TEST(VnfCatalog, IdsIsHeaviest) {
+  // Deep-packet inspection should be the most expensive middlebox; several
+  // benches rely on this asymmetry for interesting placement decisions.
+  const VnfCatalog catalog = VnfCatalog::standard();
+  const VnfType& ids = catalog.by_name("ids");
+  for (const auto& t : catalog.all()) {
+    EXPECT_LE(t.cpu_units, ids.cpu_units) << t.name;
+  }
+}
+
+TEST(VnfCatalog, RejectsEmptyAndNonDense) {
+  EXPECT_THROW(VnfCatalog({}), std::invalid_argument);
+  std::vector<VnfType> bad(1);
+  bad[0].id = VnfTypeId{5};
+  EXPECT_THROW(VnfCatalog(std::move(bad)), std::invalid_argument);
+}
+
+TEST(SfcCatalog, StandardHasFiveChains) {
+  const VnfCatalog vnfs = VnfCatalog::standard();
+  const SfcCatalog sfcs = SfcCatalog::standard(vnfs);
+  EXPECT_EQ(sfcs.size(), 5u);
+  EXPECT_EQ(sfcs.by_name("web").chain.size(), 3u);
+  EXPECT_EQ(sfcs.by_name("voip").chain.size(), 2u);
+  EXPECT_EQ(sfcs.max_chain_length(), 3u);
+}
+
+TEST(SfcCatalog, ChainsReferenceValidVnfs) {
+  const VnfCatalog vnfs = VnfCatalog::standard();
+  const SfcCatalog sfcs = SfcCatalog::standard(vnfs);
+  for (const auto& sfc : sfcs.all()) {
+    for (const VnfTypeId id : sfc.chain) {
+      EXPECT_LT(index(id), vnfs.size()) << sfc.name;
+    }
+  }
+}
+
+TEST(SfcCatalog, GamingHasTightestSla) {
+  const VnfCatalog vnfs = VnfCatalog::standard();
+  const SfcCatalog sfcs = SfcCatalog::standard(vnfs);
+  const double gaming_sla = sfcs.by_name("gaming").sla_latency_ms;
+  for (const auto& sfc : sfcs.all()) {
+    EXPECT_GE(sfc.sla_latency_ms, gaming_sla) << sfc.name;
+  }
+}
+
+TEST(SfcCatalog, PositiveQosParameters) {
+  const VnfCatalog vnfs = VnfCatalog::standard();
+  for (const auto& sfc : SfcCatalog::standard(vnfs).all()) {
+    EXPECT_GT(sfc.sla_latency_ms, 0.0) << sfc.name;
+    EXPECT_GT(sfc.mean_rate_rps, 0.0) << sfc.name;
+    EXPECT_GT(sfc.mean_duration_s, 0.0) << sfc.name;
+    EXPECT_GT(sfc.revenue, 0.0) << sfc.name;
+  }
+}
+
+TEST(SfcCatalog, RejectsEmptyChain) {
+  std::vector<SfcTemplate> bad(1);
+  bad[0].id = SfcId{0};
+  EXPECT_THROW(SfcCatalog(std::move(bad)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

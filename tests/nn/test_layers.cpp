@@ -1,0 +1,136 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vnfm::nn {
+namespace {
+
+TEST(Linear, ForwardComputesAffineMap) {
+  Linear layer(2, 2);
+  // W = [[1, 2], [3, 4]] (row-major [out, in]), b = [0.5, -0.5].
+  layer.weights().value.at(0, 0) = 1.0F;
+  layer.weights().value.at(0, 1) = 2.0F;
+  layer.weights().value.at(1, 0) = 3.0F;
+  layer.weights().value.at(1, 1) = 4.0F;
+  layer.bias().value.at(0, 0) = 0.5F;
+  layer.bias().value.at(0, 1) = -0.5F;
+
+  Matrix x(1, 2);
+  x.at(0, 0) = 1.0F;
+  x.at(0, 1) = -1.0F;
+  Matrix y;
+  layer.forward(x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0F - 2.0F + 0.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3.0F - 4.0F - 0.5F);
+}
+
+TEST(Linear, BackwardGradientsMatchManual) {
+  Linear layer(2, 1);
+  layer.weights().value.at(0, 0) = 2.0F;
+  layer.weights().value.at(0, 1) = -1.0F;
+  Matrix x(1, 2);
+  x.at(0, 0) = 3.0F;
+  x.at(0, 1) = 4.0F;
+  Matrix y;
+  layer.forward(x, y);
+  // d(loss)/dy = 1 => dW = x, db = 1, dx = W.
+  Matrix d_out(1, 1, 1.0F);
+  Matrix d_in;
+  layer.backward(d_out, d_in);
+  EXPECT_FLOAT_EQ(layer.weights().grad.at(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(layer.weights().grad.at(0, 1), 4.0F);
+  EXPECT_FLOAT_EQ(layer.bias().grad.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(d_in.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(d_in.at(0, 1), -1.0F);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls) {
+  Linear layer(1, 1);
+  layer.weights().value.at(0, 0) = 1.0F;
+  Matrix x(1, 1, 2.0F), y, d_out(1, 1, 1.0F), d_in;
+  layer.forward(x, y);
+  layer.backward(d_out, d_in);
+  layer.forward(x, y);
+  layer.backward(d_out, d_in);
+  EXPECT_FLOAT_EQ(layer.weights().grad.at(0, 0), 4.0F);  // 2 + 2
+  layer.weights().zero_grad();
+  EXPECT_FLOAT_EQ(layer.weights().grad.at(0, 0), 0.0F);
+}
+
+TEST(Linear, InitProducesFiniteSpreadWeights) {
+  Linear layer(100, 50);
+  Rng rng(3);
+  layer.init(rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const float w : layer.weights().value.flat()) {
+    ASSERT_TRUE(std::isfinite(w));
+    sum += w;
+    sum_sq += static_cast<double>(w) * w;
+  }
+  const double n = 100.0 * 50.0;
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 2.0 / 100.0, 0.005);  // He init variance 2/in
+}
+
+TEST(Linear, RejectsZeroDimensions) {
+  EXPECT_THROW(Linear(0, 3), std::invalid_argument);
+  EXPECT_THROW(Linear(3, 0), std::invalid_argument);
+}
+
+TEST(Linear, ForwardShapeMismatchThrows) {
+  Linear layer(3, 2);
+  Matrix x(1, 4), y;
+  EXPECT_THROW(layer.forward(x, y), std::invalid_argument);
+}
+
+TEST(ActivationLayer, ReluForwardBackward) {
+  ActivationLayer relu(Activation::kReLU);
+  Matrix x(1, 3);
+  x.at(0, 0) = -1.0F;
+  x.at(0, 1) = 0.0F;
+  x.at(0, 2) = 2.0F;
+  Matrix y;
+  relu.forward(x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0F);
+  Matrix d_out(1, 3, 1.0F), d_in;
+  relu.backward(d_out, d_in);
+  EXPECT_FLOAT_EQ(d_in.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(d_in.at(0, 1), 0.0F);  // subgradient at 0 -> 0
+  EXPECT_FLOAT_EQ(d_in.at(0, 2), 1.0F);
+}
+
+TEST(ActivationLayer, TanhForwardBackward) {
+  ActivationLayer tanh_layer(Activation::kTanh);
+  Matrix x(1, 1, 0.5F), y;
+  tanh_layer.forward(x, y);
+  EXPECT_NEAR(y.at(0, 0), std::tanh(0.5F), 1e-6);
+  Matrix d_out(1, 1, 1.0F), d_in;
+  tanh_layer.backward(d_out, d_in);
+  const float t = std::tanh(0.5F);
+  EXPECT_NEAR(d_in.at(0, 0), 1.0F - t * t, 1e-6);
+}
+
+TEST(ActivationLayer, IdentityPassesThrough) {
+  ActivationLayer identity(Activation::kIdentity);
+  Matrix x(2, 2, 3.0F), y;
+  identity.forward(x, y);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 3.0F);
+  Matrix d_out(2, 2, 0.7F), d_in;
+  identity.backward(d_out, d_in);
+  EXPECT_FLOAT_EQ(d_in.at(0, 0), 0.7F);
+}
+
+TEST(ActivationLayer, ToStringNames) {
+  EXPECT_STREQ(to_string(Activation::kReLU), "relu");
+  EXPECT_STREQ(to_string(Activation::kTanh), "tanh");
+  EXPECT_STREQ(to_string(Activation::kIdentity), "identity");
+}
+
+}  // namespace
+}  // namespace vnfm::nn

@@ -1,0 +1,102 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vnfm::nn {
+namespace {
+
+TEST(MseLoss, ValueAndGradient) {
+  Matrix pred(1, 2), target(1, 2), grad;
+  pred.at(0, 0) = 1.0F;
+  pred.at(0, 1) = 3.0F;
+  target.at(0, 0) = 0.0F;
+  target.at(0, 1) = 3.0F;
+  const double loss = mse_loss(pred, target, grad);
+  EXPECT_NEAR(loss, 0.5, 1e-6);  // (1 + 0) / 2
+  EXPECT_NEAR(grad.at(0, 0), 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(grad.at(0, 1), 0.0, 1e-6);
+}
+
+TEST(MseLoss, ZeroWhenEqual) {
+  Matrix pred(2, 2, 1.5F), target(2, 2, 1.5F), grad;
+  EXPECT_DOUBLE_EQ(mse_loss(pred, target, grad), 0.0);
+  for (const float g : grad.flat()) EXPECT_FLOAT_EQ(g, 0.0F);
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  Matrix pred(1, 2), target(2, 1), grad;
+  EXPECT_THROW(mse_loss(pred, target, grad), std::invalid_argument);
+}
+
+TEST(HuberLoss, QuadraticInsideDelta) {
+  Matrix pred(1, 1, 0.5F), target(1, 1, 0.0F), grad;
+  const double loss = huber_loss(pred, target, grad, 1.0F);
+  EXPECT_NEAR(loss, 0.5 * 0.25, 1e-6);
+  EXPECT_NEAR(grad.at(0, 0), 0.5, 1e-6);
+}
+
+TEST(HuberLoss, LinearOutsideDelta) {
+  Matrix pred(1, 1, 5.0F), target(1, 1, 0.0F), grad;
+  const double loss = huber_loss(pred, target, grad, 1.0F);
+  EXPECT_NEAR(loss, 1.0 * (5.0 - 0.5), 1e-6);
+  EXPECT_NEAR(grad.at(0, 0), 1.0, 1e-6);  // clipped gradient
+}
+
+TEST(HuberLoss, NegativeErrorsSymmetric) {
+  Matrix pred(1, 1, -5.0F), target(1, 1, 0.0F), grad;
+  huber_loss(pred, target, grad, 1.0F);
+  EXPECT_NEAR(grad.at(0, 0), -1.0, 1e-6);
+}
+
+TEST(MaskedHuberLoss, OnlyMaskedElementsContribute) {
+  Matrix pred(1, 3), target(1, 3), mask(1, 3), grad;
+  pred.at(0, 0) = 10.0F;  // masked out: would dominate
+  pred.at(0, 1) = 0.5F;   // active
+  pred.at(0, 2) = 0.0F;   // masked out
+  target.fill(0.0F);
+  mask.at(0, 1) = 1.0F;
+  const double loss = masked_huber_loss(pred, target, mask, grad, 1.0F);
+  EXPECT_NEAR(loss, 0.5 * 0.25, 1e-6);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0F);
+  EXPECT_NEAR(grad.at(0, 1), 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(grad.at(0, 2), 0.0F);
+}
+
+TEST(MaskedHuberLoss, EmptyMaskGivesZero) {
+  Matrix pred(2, 2, 1.0F), target(2, 2, 0.0F), mask(2, 2, 0.0F), grad;
+  EXPECT_DOUBLE_EQ(masked_huber_loss(pred, target, mask, grad), 0.0);
+  for (const float g : grad.flat()) EXPECT_FLOAT_EQ(g, 0.0F);
+}
+
+TEST(MaskedHuberLoss, AveragesOverActiveCount) {
+  Matrix pred(1, 4, 1.0F), target(1, 4, 0.0F), mask(1, 4, 0.0F), grad;
+  mask.at(0, 0) = 1.0F;
+  mask.at(0, 1) = 1.0F;
+  const double loss = masked_huber_loss(pred, target, mask, grad, 10.0F);
+  EXPECT_NEAR(loss, 0.5, 1e-6);  // two 0.5 quadratic terms / 2 active
+  EXPECT_NEAR(grad.at(0, 0), 0.5, 1e-6);
+}
+
+TEST(HuberLoss, GradientIsFiniteDifferenceOfLoss) {
+  Matrix pred(1, 3), target(1, 3), grad;
+  pred.at(0, 0) = 0.3F;
+  pred.at(0, 1) = -2.0F;
+  pred.at(0, 2) = 0.9F;
+  target.fill(0.0F);
+  huber_loss(pred, target, grad, 1.0F);
+  const float eps = 1e-3F;
+  for (std::size_t j = 0; j < 3; ++j) {
+    Matrix grad_unused;
+    Matrix plus = pred, minus = pred;
+    plus.at(0, j) += eps;
+    minus.at(0, j) -= eps;
+    const double l_plus = huber_loss(plus, target, grad_unused, 1.0F);
+    const double l_minus = huber_loss(minus, target, grad_unused, 1.0F);
+    EXPECT_NEAR(grad.at(0, j), (l_plus - l_minus) / (2 * eps), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace vnfm::nn

@@ -1,0 +1,158 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace vnfm::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+/// Reference O(n^3) matmul used to validate the optimised kernels.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = acc;
+    }
+  return out;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) t.at(j, i) = m.at(i, j);
+  return t;
+}
+
+void expect_matrix_near(const Matrix& a, const Matrix& b, float tol = 1e-4F) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol) << "at (" << i << "," << j << ")";
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5F);
+  m.at(0, 0) = -2.0F;
+  EXPECT_FLOAT_EQ(m.at(0, 0), -2.0F);
+}
+
+TEST(Matrix, FromRow) {
+  const float values[] = {1.0F, 2.0F, 3.0F};
+  const Matrix m = Matrix::from_row(values);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0F);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 9.0F;
+  EXPECT_FLOAT_EQ(m.at(1, 0), 9.0F);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  Rng rng(1);
+  const Matrix a = random_matrix(3, 4, rng);
+  Matrix eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0F;
+  Matrix out;
+  matmul(a, eye, out);
+  expect_matrix_near(out, a);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3), out;
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+}
+
+TEST(Matrix, AddRowVector) {
+  Matrix m(2, 3, 1.0F);
+  const float bias[] = {1.0F, 2.0F, 3.0F};
+  add_row_vector(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0F);
+}
+
+TEST(Matrix, ColumnSumsAccumulate) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0F;
+  m.at(1, 0) = 2.0F;
+  m.at(0, 1) = 3.0F;
+  m.at(1, 1) = 4.0F;
+  std::vector<float> sums(2, 10.0F);  // pre-seeded: accumulates, not overwrites
+  column_sums(m, sums);
+  EXPECT_FLOAT_EQ(sums[0], 13.0F);
+  EXPECT_FLOAT_EQ(sums[1], 17.0F);
+}
+
+TEST(Matrix, AxpyAccumulates) {
+  Matrix a(1, 2, 1.0F), out(1, 2, 0.5F);
+  axpy(2.0F, a, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.5F);
+}
+
+TEST(Matrix, AxpyShapeMismatchThrows) {
+  Matrix a(1, 2), out(2, 1);
+  EXPECT_THROW(axpy(1.0F, a, out), std::invalid_argument);
+}
+
+/// Property sweep: the three matmul kernels agree with the naive reference
+/// across shapes.
+class MatmulSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MatmulSweep, MatmulMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix out;
+  matmul(a, b, out);
+  expect_matrix_near(out, naive_matmul(a, b));
+}
+
+TEST_P(MatmulSweep, MatmulAtBMatchesTransposedNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n + 1);
+  const Matrix a = random_matrix(k, m, rng);  // will be transposed
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix out;
+  matmul_at_b(a, b, out);
+  expect_matrix_near(out, naive_matmul(transpose(a), b));
+}
+
+TEST_P(MatmulSweep, MatmulABtMatchesTransposedNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n + 2);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);  // will be transposed
+  Matrix out;
+  matmul_a_bt(a, b, out);
+  expect_matrix_near(out, naive_matmul(a, transpose(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
+                      std::make_tuple(4, 4, 4), std::make_tuple(7, 3, 9),
+                      std::make_tuple(16, 32, 8), std::make_tuple(33, 17, 5)));
+
+}  // namespace
+}  // namespace vnfm::nn

@@ -1,0 +1,209 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+
+namespace vnfm::nn {
+namespace {
+
+MlpConfig small_config(bool dueling) {
+  MlpConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {8, 6};
+  config.output_dim = 4;
+  config.activation = Activation::kTanh;  // smooth for gradient checks
+  config.dueling = dueling;
+  return config;
+}
+
+Matrix random_input(std::size_t batch, std::size_t dim, Rng& rng) {
+  Matrix x(batch, dim);
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal() * 0.5);
+  return x;
+}
+
+TEST(Mlp, ForwardShapes) {
+  Mlp mlp(small_config(false));
+  Rng rng(1);
+  mlp.init(rng);
+  Matrix x = random_input(3, 5, rng);
+  Matrix y;
+  mlp.forward(x, y);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(Mlp, ForwardRowMatchesBatched) {
+  Mlp mlp(small_config(false));
+  Rng rng(2);
+  mlp.init(rng);
+  Matrix x = random_input(1, 5, rng);
+  Matrix y;
+  mlp.forward(x, y);
+  const auto row = mlp.forward_row(x.row(0));
+  ASSERT_EQ(row.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(row[j], y.at(0, j));
+}
+
+TEST(Mlp, DuelingOutputDecomposition) {
+  // In a dueling head Q = V + A - mean(A), so mean_a(Q(s,·)) == V(s); the
+  // advantage stream contributes zero mean.
+  Mlp mlp(small_config(true));
+  Rng rng(3);
+  mlp.init(rng);
+  Matrix x = random_input(4, 5, rng);
+  Matrix q;
+  mlp.forward(x, q);
+  EXPECT_EQ(q.cols(), 4u);
+  // Check outputs vary per action (the advantage stream is alive).
+  bool varies = false;
+  for (std::size_t j = 1; j < 4; ++j)
+    if (std::fabs(q.at(0, j) - q.at(0, 0)) > 1e-6) varies = true;
+  EXPECT_TRUE(varies);
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  Mlp mlp(small_config(false));
+  // 5->8: 40+8; 8->6: 48+6; 6->4: 24+4 = 130.
+  EXPECT_EQ(mlp.parameter_count(), 130u);
+  Mlp dueling(small_config(true));
+  // trunk 40+8+48+6 = 102; V: 6+1; A: 24+4 => 137.
+  EXPECT_EQ(dueling.parameter_count(), 137u);
+}
+
+TEST(Mlp, ZeroGradClearsAll) {
+  Mlp mlp(small_config(false));
+  Rng rng(4);
+  mlp.init(rng);
+  Matrix x = random_input(2, 5, rng), y;
+  mlp.forward(x, y);
+  Matrix d(2, 4, 1.0F);
+  mlp.backward(d);
+  mlp.zero_grad();
+  for (Param* p : mlp.parameters())
+    for (const float g : p->grad.flat()) EXPECT_FLOAT_EQ(g, 0.0F);
+}
+
+TEST(Mlp, CopyWeightsMakesNetworksIdentical) {
+  Mlp a(small_config(false)), b(small_config(false));
+  Rng rng(5);
+  a.init(rng);
+  b.init(rng);
+  b.copy_weights_from(a);
+  Matrix x = random_input(2, 5, rng), ya, yb;
+  a.forward(x, ya);
+  b.forward(x, yb);
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    EXPECT_FLOAT_EQ(ya.flat()[i], yb.flat()[i]);
+}
+
+TEST(Mlp, SoftUpdateInterpolates) {
+  Mlp a(small_config(false)), b(small_config(false));
+  Rng rng(6);
+  a.init(rng);
+  b.init(rng);
+  const float a0 = a.parameters()[0]->value.flat()[0];
+  const float b0 = b.parameters()[0]->value.flat()[0];
+  a.soft_update_from(b, 0.25F);
+  EXPECT_NEAR(a.parameters()[0]->value.flat()[0], 0.25F * b0 + 0.75F * a0, 1e-6);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp mlp(small_config(true));
+  Rng rng(7);
+  mlp.init(rng);
+  std::stringstream stream;
+  mlp.save(stream);
+  Mlp restored = Mlp::load(stream);
+  Matrix x = random_input(3, 5, rng), y1, y2;
+  mlp.forward(x, y1);
+  restored.forward(x, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_NEAR(y1.flat()[i], y2.flat()[i], 1e-5);
+}
+
+TEST(Mlp, LoadRejectsGarbage) {
+  std::stringstream stream("not-a-network");
+  EXPECT_THROW(Mlp::load(stream), std::runtime_error);
+}
+
+TEST(Mlp, ClipGradNormScalesDown) {
+  Mlp mlp(small_config(false));
+  Rng rng(8);
+  mlp.init(rng);
+  Matrix x = random_input(4, 5, rng), y;
+  mlp.forward(x, y);
+  Matrix d(4, 4, 100.0F);  // huge gradient
+  mlp.backward(d);
+  const double pre_norm = mlp.clip_grad_norm(1.0);
+  EXPECT_GT(pre_norm, 1.0);
+  double post_sq = 0.0;
+  for (Param* p : mlp.parameters())
+    for (const float g : p->grad.flat()) post_sq += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(post_sq), 1.0, 1e-4);
+}
+
+TEST(Mlp, RejectsZeroDims) {
+  MlpConfig config;
+  config.input_dim = 0;
+  config.output_dim = 2;
+  EXPECT_THROW(Mlp{config}, std::invalid_argument);
+}
+
+/// Finite-difference gradient check across architectures: backprop gradients
+/// of 0.5*||y||^2 must match numerical gradients for every parameter.
+class MlpGradientCheck : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MlpGradientCheck, BackpropMatchesFiniteDifference) {
+  MlpConfig config = small_config(GetParam());
+  config.hidden_dims = {6};
+  Mlp mlp(config);
+  Rng rng(9);
+  mlp.init(rng);
+  Matrix x = random_input(2, 5, rng);
+
+  auto loss_value = [&]() {
+    Matrix y;
+    mlp.forward(x, y);
+    double loss = 0.0;
+    for (const float v : y.flat()) loss += 0.5 * static_cast<double>(v) * v;
+    return loss;
+  };
+
+  // Analytic gradient: d(loss)/dy = y.
+  Matrix y;
+  mlp.forward(x, y);
+  mlp.zero_grad();
+  mlp.backward(y);
+
+  const float eps = 1e-3F;
+  int checked = 0;
+  for (Param* p : mlp.parameters()) {
+    auto values = p->value.flat();
+    const auto grads = p->grad.flat();
+    // Sample a few coordinates per tensor to keep the test fast.
+    for (std::size_t i = 0; i < values.size(); i += std::max<std::size_t>(1, values.size() / 5)) {
+      const float original = values[i];
+      values[i] = original + eps;
+      const double plus = loss_value();
+      values[i] = original - eps;
+      const double minus = loss_value();
+      values[i] = original;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(grads[i], numeric, 5e-2 * std::max(1.0, std::fabs(numeric)))
+          << "param coordinate " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, MlpGradientCheck, ::testing::Bool());
+
+}  // namespace
+}  // namespace vnfm::nn

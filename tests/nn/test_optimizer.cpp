@@ -1,0 +1,132 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+
+namespace vnfm::nn {
+namespace {
+
+/// A single scalar parameter wrapped as a Param for optimizer tests.
+struct ScalarParam {
+  Param p;
+  ScalarParam(float value) {
+    p.value.resize(1, 1);
+    p.grad.resize(1, 1);
+    p.value.at(0, 0) = value;
+  }
+  float value() const { return p.value.at(0, 0); }
+  void set_grad(float g) { p.grad.at(0, 0) = g; }
+};
+
+TEST(Sgd, StepsDownhill) {
+  ScalarParam x(10.0F);
+  Sgd opt({&x.p}, {.learning_rate = 0.1F});
+  x.set_grad(2.0F);
+  opt.step();
+  EXPECT_FLOAT_EQ(x.value(), 10.0F - 0.1F * 2.0F);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  ScalarParam x(0.0F);
+  Sgd opt({&x.p}, {.learning_rate = 1.0F, .momentum = 0.5F});
+  x.set_grad(1.0F);
+  opt.step();  // v=1, x=-1
+  opt.step();  // v=1.5, x=-2.5
+  EXPECT_FLOAT_EQ(x.value(), -2.5F);
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  ScalarParam x(10.0F);
+  Sgd opt({&x.p}, {.learning_rate = 0.1F, .weight_decay = 0.5F});
+  x.set_grad(0.0F);
+  opt.step();
+  EXPECT_FLOAT_EQ(x.value(), 10.0F - 0.1F * 0.5F * 10.0F);
+}
+
+TEST(Sgd, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, gradient 2(x - 3).
+  ScalarParam x(0.0F);
+  Sgd opt({&x.p}, {.learning_rate = 0.1F});
+  for (int i = 0; i < 200; ++i) {
+    x.set_grad(2.0F * (x.value() - 3.0F));
+    opt.step();
+  }
+  EXPECT_NEAR(x.value(), 3.0F, 1e-4);
+}
+
+TEST(Sgd, RejectsEmptyParams) {
+  EXPECT_THROW(Sgd({}, {}), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  ScalarParam x(0.0F);
+  Adam opt({&x.p}, {.learning_rate = 0.1F});
+  for (int i = 0; i < 500; ++i) {
+    x.set_grad(2.0F * (x.value() - 3.0F));
+    opt.step();
+  }
+  EXPECT_NEAR(x.value(), 3.0F, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  ScalarParam x(0.0F);
+  Adam opt({&x.p}, {.learning_rate = 0.01F});
+  x.set_grad(123.0F);
+  opt.step();
+  EXPECT_NEAR(x.value(), -0.01F, 1e-4);
+}
+
+TEST(Adam, CountsSteps) {
+  ScalarParam x(0.0F);
+  Adam opt({&x.p}, {});
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  x.set_grad(1.0F);
+  opt.step();
+  opt.step();
+  EXPECT_EQ(opt.steps_taken(), 2u);
+}
+
+TEST(Adam, RejectsEmptyParams) {
+  EXPECT_THROW(Adam({}, {}), std::invalid_argument);
+}
+
+TEST(Adam, TrainsMlpToFitXor) {
+  // End-to-end sanity: a small MLP + Adam fits XOR.
+  MlpConfig config;
+  config.input_dim = 2;
+  config.hidden_dims = {16};
+  config.output_dim = 1;
+  config.activation = Activation::kTanh;
+  Mlp mlp(config);
+  Rng rng(10);
+  mlp.init(rng);
+  Adam opt(mlp.parameters(), {.learning_rate = 0.02F});
+
+  Matrix x(4, 2), target(4, 1);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float labels[4] = {0, 1, 1, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = inputs[i][0];
+    x.at(i, 1) = inputs[i][1];
+    target.at(i, 0) = labels[i];
+  }
+  double loss = 1.0;
+  for (int epoch = 0; epoch < 2000 && loss > 1e-3; ++epoch) {
+    Matrix y, grad;
+    mlp.forward(x, y);
+    loss = mse_loss(y, target, grad);
+    mlp.zero_grad();
+    mlp.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace vnfm::nn

@@ -1,0 +1,121 @@
+#include "rl/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vnfm::rl {
+namespace {
+
+ActorCriticConfig toy_config(std::size_t state_dim, std::size_t action_dim) {
+  ActorCriticConfig config;
+  config.state_dim = state_dim;
+  config.action_dim = action_dim;
+  config.hidden_dims = {16};
+  config.actor_lr = 3e-3F;
+  config.critic_lr = 1e-2F;
+  config.gamma = 0.9F;
+  config.seed = 23;
+  return config;
+}
+
+std::vector<float> one_hot(std::size_t i, std::size_t n) {
+  std::vector<float> v(n, 0.0F);
+  v[i] = 1.0F;
+  return v;
+}
+
+TEST(ActorCriticAgent, LearnsTwoArmedBandit) {
+  ActorCriticAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  for (int step = 0; step < 3000; ++step) {
+    const int action = agent.act(state, {});
+    (void)agent.learn(action == 1 ? 1.0F : 0.0F, state, /*done=*/true);
+  }
+  const auto probs = agent.action_probabilities(state, {});
+  EXPECT_GT(probs[1], 0.8F);
+}
+
+TEST(ActorCriticAgent, CriticConvergesToExpectedReturn) {
+  ActorCriticAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  for (int step = 0; step < 4000; ++step) {
+    const int action = agent.act(state, {});
+    (void)agent.learn(action == 1 ? 1.0F : 0.0F, state, true);
+  }
+  // Once the policy is near-deterministic on arm 1, V(s) ~ 1.
+  EXPECT_NEAR(agent.state_value(state), 1.0F, 0.25F);
+}
+
+TEST(ActorCriticAgent, LearnsContextDependentPolicy) {
+  ActorCriticAgent agent(toy_config(2, 2));
+  Rng env_rng(7);
+  for (int step = 0; step < 6000; ++step) {
+    const std::size_t context = env_rng.uniform_index(2);
+    const auto state = one_hot(context, 2);
+    const int action = agent.act(state, {});
+    (void)agent.learn(static_cast<std::size_t>(action) == context ? 1.0F : 0.0F, state,
+                      true);
+  }
+  EXPECT_EQ(agent.act_greedy(one_hot(0, 2), {}), 0);
+  EXPECT_EQ(agent.act_greedy(one_hot(1, 2), {}), 1);
+}
+
+TEST(ActorCriticAgent, BootstrapsAcrossSteps) {
+  // Two-step chain: step 0 (no reward) -> step 1 (reward 1, done). After
+  // training, V(s0) ~ gamma * 1 and V(s1) ~ 1.
+  ActorCriticAgent agent(toy_config(2, 1));
+  const auto s0 = one_hot(0, 2);
+  const auto s1 = one_hot(1, 2);
+  for (int episode = 0; episode < 2500; ++episode) {
+    (void)agent.act(s0, {});
+    (void)agent.learn(0.0F, s1, false);
+    (void)agent.act(s1, {});
+    (void)agent.learn(1.0F, s1, true);
+  }
+  EXPECT_NEAR(agent.state_value(s1), 1.0F, 0.2F);
+  EXPECT_NEAR(agent.state_value(s0), 0.9F, 0.2F);
+}
+
+TEST(ActorCriticAgent, RespectsMask) {
+  ActorCriticAgent agent(toy_config(1, 3));
+  const std::vector<float> state{1.0F};
+  const std::vector<std::uint8_t> mask{1, 0, 1};
+  for (int i = 0; i < 100; ++i) {
+    const int action = agent.act(state, mask);
+    EXPECT_NE(action, 1);
+    (void)agent.learn(0.0F, state, true);
+  }
+  const auto probs = agent.action_probabilities(state, mask);
+  EXPECT_FLOAT_EQ(probs[1], 0.0F);
+}
+
+TEST(ActorCriticAgent, LearnWithoutActThrows) {
+  ActorCriticAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  EXPECT_THROW((void)agent.learn(0.0F, state, true), std::runtime_error);
+}
+
+TEST(ActorCriticAgent, TdErrorShrinksOnRepeatedState) {
+  ActorCriticAgent agent(toy_config(1, 1));
+  const std::vector<float> state{1.0F};
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    (void)agent.act(state, {});
+    const double td = agent.learn(1.0F, state, true);
+    if (i == 0) first = std::abs(td);
+    last = std::abs(td);
+  }
+  EXPECT_LT(last, first);
+  EXPECT_EQ(agent.updates(), 500u);
+}
+
+TEST(ActorCriticAgent, RejectsZeroDims) {
+  ActorCriticConfig config;
+  config.state_dim = 0;
+  config.action_dim = 2;
+  EXPECT_THROW(ActorCriticAgent{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::rl

@@ -1,0 +1,271 @@
+#include "rl/dqn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace vnfm::rl {
+namespace {
+
+DqnConfig toy_config(std::size_t state_dim, std::size_t action_dim) {
+  DqnConfig config;
+  config.state_dim = state_dim;
+  config.action_dim = action_dim;
+  config.hidden_dims = {24};
+  config.learning_rate = 5e-3F;
+  config.gamma = 0.9F;
+  config.batch_size = 16;
+  config.replay_capacity = 2000;
+  config.min_replay_before_training = 64;
+  config.train_period = 1;
+  config.target_update_period = 50;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 0.05;
+  config.epsilon_decay_steps = 1500;
+  config.seed = 17;
+  return config;
+}
+
+std::vector<float> one_hot(std::size_t i, std::size_t n) {
+  std::vector<float> v(n, 0.0F);
+  v[i] = 1.0F;
+  return v;
+}
+
+/// Contextual bandit: action must match the state index for reward 1.
+void train_on_matching_bandit(DqnAgent& agent, int steps) {
+  Rng env_rng(123);
+  for (int t = 0; t < steps; ++t) {
+    const std::size_t context = env_rng.uniform_index(2);
+    const auto state = one_hot(context, 2);
+    const int action = agent.act(state, {});
+    Transition tr;
+    tr.state = state;
+    tr.action = action;
+    tr.reward = (static_cast<std::size_t>(action) == context) ? 1.0F : 0.0F;
+    tr.next_state = one_hot(0, 2);
+    tr.done = true;
+    agent.observe(std::move(tr));
+  }
+}
+
+TEST(DqnAgent, LearnsContextualBandit) {
+  DqnAgent agent(toy_config(2, 2));
+  train_on_matching_bandit(agent, 2500);
+  EXPECT_EQ(agent.act_greedy(one_hot(0, 2), {}), 0);
+  EXPECT_EQ(agent.act_greedy(one_hot(1, 2), {}), 1);
+  const auto q0 = agent.q_values(one_hot(0, 2));
+  EXPECT_GT(q0[0], q0[1]);
+  EXPECT_NEAR(q0[0], 1.0, 0.25);  // terminal reward 1, no bootstrap
+}
+
+TEST(DqnAgent, BootstrapsThroughChain) {
+  // Chain of 3 states; "advance" (a0) pays 1.0 only at the end, "quit" (a1)
+  // pays 0.2 immediately. With gamma=0.9 advancing is optimal everywhere.
+  DqnConfig config = toy_config(3, 2);
+  config.epsilon_decay_steps = 4000;
+  DqnAgent agent(config);
+  for (int episode = 0; episode < 900; ++episode) {
+    std::size_t pos = 0;
+    while (true) {
+      const auto state = one_hot(pos, 3);
+      const int action = agent.act(state, {});
+      Transition tr;
+      tr.state = state;
+      tr.action = action;
+      if (action == 1) {
+        tr.reward = 0.2F;
+        tr.done = true;
+        tr.next_state = one_hot(0, 3);
+        agent.observe(std::move(tr));
+        break;
+      }
+      if (pos == 2) {
+        tr.reward = 1.0F;
+        tr.done = true;
+        tr.next_state = one_hot(0, 3);
+        agent.observe(std::move(tr));
+        break;
+      }
+      tr.reward = 0.0F;
+      tr.done = false;
+      tr.next_state = one_hot(pos + 1, 3);
+      agent.observe(std::move(tr));
+      ++pos;
+    }
+  }
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_EQ(agent.act_greedy(one_hot(s, 3), {}), 0) << "state " << s;
+  // Q(s0, advance) should approximate gamma^2 * 1.
+  const auto q = agent.q_values(one_hot(0, 3));
+  EXPECT_NEAR(q[0], 0.81, 0.3);
+}
+
+TEST(DqnAgent, RespectsActionMask) {
+  DqnAgent agent(toy_config(2, 3));
+  const auto state = one_hot(0, 2);
+  const std::vector<std::uint8_t> mask{0, 1, 0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(agent.act(state, mask), 1);
+  EXPECT_EQ(agent.act_greedy(state, mask), 1);
+}
+
+TEST(DqnAgent, ThrowsWhenNoValidAction) {
+  DqnAgent agent(toy_config(2, 2));
+  const auto state = one_hot(0, 2);
+  const std::vector<std::uint8_t> mask{0, 0};
+  EXPECT_THROW((void)agent.act_greedy(state, mask), std::runtime_error);
+}
+
+TEST(DqnAgent, EpsilonDecays) {
+  DqnAgent agent(toy_config(2, 2));
+  const double eps0 = agent.epsilon();
+  const auto state = one_hot(0, 2);
+  for (int i = 0; i < 1000; ++i) (void)agent.act(state, {});
+  EXPECT_LT(agent.epsilon(), eps0);
+}
+
+TEST(DqnAgent, ExplorationCanBeDisabled) {
+  DqnAgent agent(toy_config(2, 2));
+  agent.set_exploration_enabled(false);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.0);
+}
+
+TEST(DqnAgent, RejectsWrongStateDimension) {
+  DqnAgent agent(toy_config(2, 2));
+  Transition tr;
+  tr.state = {1.0F, 0.0F, 0.0F};  // 3 != 2
+  tr.next_state = {0.0F, 0.0F};
+  EXPECT_THROW(agent.observe(std::move(tr)), std::invalid_argument);
+}
+
+TEST(DqnAgent, SaveLoadPreservesPolicy) {
+  DqnAgent agent(toy_config(2, 2));
+  train_on_matching_bandit(agent, 1500);
+  std::stringstream stream;
+  agent.save(stream);
+  DqnAgent restored(toy_config(2, 2));
+  restored.load(stream);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(restored.act_greedy(one_hot(s, 2), {}),
+              agent.act_greedy(one_hot(s, 2), {}));
+  }
+}
+
+TEST(DqnAgent, TrainingReducesLoss) {
+  DqnAgent agent(toy_config(2, 2));
+  // Fill replay with a deterministic pattern.
+  Rng env_rng(9);
+  std::vector<double> losses;
+  for (int t = 0; t < 1200; ++t) {
+    const std::size_t context = env_rng.uniform_index(2);
+    const auto state = one_hot(context, 2);
+    const int action = agent.act(state, {});
+    Transition tr;
+    tr.state = state;
+    tr.action = action;
+    tr.reward = (static_cast<std::size_t>(action) == context) ? 1.0F : 0.0F;
+    tr.next_state = one_hot(0, 2);
+    tr.done = true;
+    const auto loss = agent.observe(std::move(tr));
+    if (loss) losses.push_back(*loss);
+  }
+  ASSERT_GT(losses.size(), 200u);
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) early += losses[i];
+  for (std::size_t i = losses.size() - 100; i < losses.size(); ++i) late += losses[i];
+  EXPECT_LT(late, early);
+}
+
+TEST(DqnAgent, NStepAggregatesRewards) {
+  DqnConfig config = toy_config(3, 2);
+  config.n_step = 3;
+  config.min_replay_before_training = 1;
+  config.train_period = 0;  // never train automatically; inspect replay only
+  DqnAgent agent(config);
+  // Feed one 3-step episode with rewards 1, 2, 4.
+  const float rewards[3] = {1.0F, 2.0F, 4.0F};
+  for (int i = 0; i < 3; ++i) {
+    Transition t;
+    t.state = one_hot(static_cast<std::size_t>(i), 3);
+    t.action = 0;
+    t.reward = rewards[i];
+    t.done = i == 2;
+    t.next_state = one_hot(static_cast<std::size_t>(std::min(i + 1, 2)), 3);
+    agent.observe(std::move(t));
+  }
+  // On episode end every suffix flushes: 3 aggregated transitions.
+  EXPECT_EQ(agent.replay_size(), 3u);
+}
+
+TEST(DqnAgent, NStepSolvesChainFaster) {
+  // With n_step = 3 the terminal reward reaches state 0's value directly.
+  DqnConfig config = toy_config(3, 2);
+  config.n_step = 3;
+  config.epsilon_decay_steps = 2500;
+  DqnAgent agent(config);
+  for (int episode = 0; episode < 500; ++episode) {
+    std::size_t pos = 0;
+    while (true) {
+      const auto state = one_hot(pos, 3);
+      const int action = agent.act(state, {});
+      Transition tr;
+      tr.state = state;
+      tr.action = action;
+      if (action == 1 || pos == 2) {
+        tr.reward = action == 1 ? 0.2F : 1.0F;
+        tr.done = true;
+        tr.next_state = one_hot(0, 3);
+        agent.observe(std::move(tr));
+        break;
+      }
+      tr.reward = 0.0F;
+      tr.done = false;
+      tr.next_state = one_hot(pos + 1, 3);
+      agent.observe(std::move(tr));
+      ++pos;
+    }
+  }
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_EQ(agent.act_greedy(one_hot(s, 3), {}), 0) << "state " << s;
+}
+
+TEST(DqnAgent, SoftTargetUpdateSolvesBandit) {
+  DqnConfig config = toy_config(2, 2);
+  config.soft_target_tau = 0.01F;
+  config.target_update_period = 0;
+  DqnAgent agent(config);
+  train_on_matching_bandit(agent, 2500);
+  EXPECT_EQ(agent.act_greedy(one_hot(0, 2), {}), 0);
+  EXPECT_EQ(agent.act_greedy(one_hot(1, 2), {}), 1);
+}
+
+/// Variant sweep: every DQN flavour must solve the contextual bandit.
+struct DqnVariant {
+  bool double_dqn;
+  bool dueling;
+  bool prioritized;
+};
+
+class DqnVariantSweep : public ::testing::TestWithParam<DqnVariant> {};
+
+TEST_P(DqnVariantSweep, SolvesBandit) {
+  const DqnVariant variant = GetParam();
+  DqnConfig config = toy_config(2, 2);
+  config.double_dqn = variant.double_dqn;
+  config.dueling = variant.dueling;
+  config.prioritized_replay = variant.prioritized;
+  DqnAgent agent(config);
+  train_on_matching_bandit(agent, 2500);
+  EXPECT_EQ(agent.act_greedy(one_hot(0, 2), {}), 0);
+  EXPECT_EQ(agent.act_greedy(one_hot(1, 2), {}), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, DqnVariantSweep,
+    ::testing::Values(DqnVariant{false, false, false}, DqnVariant{true, false, false},
+                      DqnVariant{false, true, false}, DqnVariant{true, true, false},
+                      DqnVariant{true, false, true}, DqnVariant{true, true, true}));
+
+}  // namespace
+}  // namespace vnfm::rl

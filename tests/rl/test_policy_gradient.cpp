@@ -1,0 +1,110 @@
+#include "rl/policy_gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vnfm::rl {
+namespace {
+
+ReinforceConfig toy_config(std::size_t state_dim, std::size_t action_dim) {
+  ReinforceConfig config;
+  config.state_dim = state_dim;
+  config.action_dim = action_dim;
+  config.hidden_dims = {16};
+  config.learning_rate = 5e-3F;
+  config.gamma = 0.95F;
+  config.entropy_bonus = 1e-3F;
+  config.seed = 21;
+  return config;
+}
+
+std::vector<float> one_hot(std::size_t i, std::size_t n) {
+  std::vector<float> v(n, 0.0F);
+  v[i] = 1.0F;
+  return v;
+}
+
+TEST(ReinforceAgent, LearnsTwoArmedBandit) {
+  ReinforceAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  for (int episode = 0; episode < 1500; ++episode) {
+    const int action = agent.act(state, {});
+    agent.record_reward(action == 1 ? 1.0F : 0.0F);
+    agent.finish_episode();
+  }
+  const auto probs = agent.action_probabilities(state, {});
+  EXPECT_GT(probs[1], 0.85F);
+}
+
+TEST(ReinforceAgent, LearnsContextDependentPolicy) {
+  ReinforceAgent agent(toy_config(2, 2));
+  Rng env_rng(5);
+  for (int episode = 0; episode < 3000; ++episode) {
+    const std::size_t context = env_rng.uniform_index(2);
+    const auto state = one_hot(context, 2);
+    const int action = agent.act(state, {});
+    agent.record_reward(static_cast<std::size_t>(action) == context ? 1.0F : 0.0F);
+    agent.finish_episode();
+  }
+  EXPECT_EQ(agent.act_greedy(one_hot(0, 2), {}), 0);
+  EXPECT_EQ(agent.act_greedy(one_hot(1, 2), {}), 1);
+}
+
+TEST(ReinforceAgent, MaskedActionsNeverSampled) {
+  ReinforceAgent agent(toy_config(1, 3));
+  const std::vector<float> state{1.0F};
+  const std::vector<std::uint8_t> mask{1, 0, 1};
+  for (int i = 0; i < 200; ++i) {
+    const int action = agent.act(state, mask);
+    EXPECT_NE(action, 1);
+    agent.record_reward(0.0F);
+  }
+  agent.finish_episode();
+  const auto probs = agent.action_probabilities(state, mask);
+  EXPECT_FLOAT_EQ(probs[1], 0.0F);
+  EXPECT_NEAR(probs[0] + probs[2], 1.0F, 1e-5);
+}
+
+TEST(ReinforceAgent, ThrowsWithAllMasked) {
+  ReinforceAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  const std::vector<std::uint8_t> mask{0, 0};
+  EXPECT_THROW((void)agent.act(state, mask), std::runtime_error);
+}
+
+TEST(ReinforceAgent, RecordRewardBeforeActThrows) {
+  ReinforceAgent agent(toy_config(1, 2));
+  EXPECT_THROW(agent.record_reward(1.0F), std::runtime_error);
+}
+
+TEST(ReinforceAgent, FinishEpisodeReturnsDiscountedReturn) {
+  ReinforceAgent agent(toy_config(1, 2));
+  const std::vector<float> state{1.0F};
+  (void)agent.act(state, {});
+  agent.record_reward(1.0F);
+  (void)agent.act(state, {});
+  agent.record_reward(1.0F);
+  const double ret = agent.finish_episode();
+  EXPECT_NEAR(ret, 1.0 + 0.95, 1e-5);
+  EXPECT_EQ(agent.trajectory_length(), 0u);  // trajectory cleared
+}
+
+TEST(ReinforceAgent, EmptyEpisodeIsNoop) {
+  ReinforceAgent agent(toy_config(1, 2));
+  EXPECT_DOUBLE_EQ(agent.finish_episode(), 0.0);
+}
+
+TEST(ReinforceAgent, ProbabilitiesSumToOne) {
+  ReinforceAgent agent(toy_config(3, 4));
+  const auto probs = agent.action_probabilities(one_hot(1, 3), {});
+  float total = 0.0F;
+  for (const float p : probs) {
+    EXPECT_GE(p, 0.0F);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0F, 1e-5);
+}
+
+}  // namespace
+}  // namespace vnfm::rl

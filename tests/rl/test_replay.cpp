@@ -1,0 +1,185 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace vnfm::rl {
+namespace {
+
+Transition make_transition(float reward) {
+  Transition t;
+  t.state = {reward};
+  t.action = 0;
+  t.reward = reward;
+  t.next_state = {reward + 1.0F};
+  t.done = false;
+  return t;
+}
+
+TEST(ReplayBuffer, PushAndSize) {
+  ReplayBuffer buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  buffer.push(make_transition(1.0F));
+  buffer.push(make_transition(2.0F));
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+}
+
+TEST(ReplayBuffer, OverwritesOldestWhenFull) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) buffer.push(make_transition(static_cast<float>(i)));
+  EXPECT_EQ(buffer.size(), 3u);
+  // Contents must be exactly {2, 3, 4}.
+  std::map<float, int> seen;
+  for (std::size_t i = 0; i < buffer.size(); ++i) ++seen[buffer.at(i).reward];
+  EXPECT_EQ(seen.count(2.0F), 1u);
+  EXPECT_EQ(seen.count(3.0F), 1u);
+  EXPECT_EQ(seen.count(4.0F), 1u);
+  EXPECT_EQ(seen.count(0.0F), 0u);
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer buffer(2);
+  Rng rng(1);
+  EXPECT_THROW(buffer.sample(1, rng), std::runtime_error);
+}
+
+TEST(ReplayBuffer, SampleReturnsStoredPointers) {
+  ReplayBuffer buffer(8);
+  for (int i = 0; i < 8; ++i) buffer.push(make_transition(static_cast<float>(i)));
+  Rng rng(2);
+  const auto batch = buffer.sample(100, rng);
+  EXPECT_EQ(batch.size(), 100u);
+  for (const Transition* t : batch) {
+    EXPECT_GE(t->reward, 0.0F);
+    EXPECT_LE(t->reward, 7.0F);
+  }
+}
+
+TEST(ReplayBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(SumTree, TotalTracksUpdates) {
+  SumTree tree(4);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  tree.set(0, 1.0);
+  tree.set(3, 2.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.0);
+  tree.set(0, 0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 2.5);
+  EXPECT_DOUBLE_EQ(tree.get(0), 0.5);
+}
+
+TEST(SumTree, FindPrefixSelectsCorrectLeaf) {
+  SumTree tree(4);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 3.0);
+  tree.set(3, 4.0);
+  EXPECT_EQ(tree.find_prefix(0.5), 0u);
+  EXPECT_EQ(tree.find_prefix(1.5), 1u);
+  EXPECT_EQ(tree.find_prefix(3.5), 2u);
+  EXPECT_EQ(tree.find_prefix(9.9), 3u);
+}
+
+TEST(SumTree, NonPowerOfTwoCapacity) {
+  SumTree tree(5);
+  for (std::size_t i = 0; i < 5; ++i) tree.set(i, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.0);
+  EXPECT_EQ(tree.find_prefix(4.5), 4u);
+}
+
+TEST(SumTree, RejectsBadInput) {
+  SumTree tree(4);
+  EXPECT_THROW(tree.set(4, 1.0), std::out_of_range);
+  EXPECT_THROW(tree.set(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(tree.set(0, std::nan("")), std::invalid_argument);
+}
+
+TEST(SumTree, SamplingFrequencyProportionalToPriority) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 7.0);
+  Rng rng(3);
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    ++counts[tree.find_prefix(rng.uniform() * tree.total())];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(PrioritizedReplay, NewTransitionsGetSampled) {
+  PrioritizedReplay replay({.capacity = 16});
+  for (int i = 0; i < 8; ++i) replay.push(make_transition(static_cast<float>(i)));
+  Rng rng(4);
+  const auto sample = replay.sample(32, rng);
+  EXPECT_EQ(sample.transitions.size(), 32u);
+  EXPECT_EQ(sample.weights.size(), 32u);
+  for (const float w : sample.weights) {
+    EXPECT_GT(w, 0.0F);
+    EXPECT_LE(w, 1.0F + 1e-6F);
+  }
+}
+
+TEST(PrioritizedReplay, HighTdErrorSampledMoreOften) {
+  PrioritizedReplay replay({.capacity = 8, .alpha = 1.0});
+  for (int i = 0; i < 4; ++i) replay.push(make_transition(static_cast<float>(i)));
+  // Give index 2 a much higher TD error than the rest.
+  replay.update_priorities({0, 1, 2, 3}, {0.1F, 0.1F, 10.0F, 0.1F});
+  Rng rng(5);
+  std::map<float, int> counts;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto sample = replay.sample(1, rng);
+    ++counts[sample.transitions[0]->reward];
+  }
+  EXPECT_GT(counts[2.0F], counts[0.0F] * 10);
+}
+
+TEST(PrioritizedReplay, WeightsCompensateForBias) {
+  PrioritizedReplay replay({.capacity = 8, .alpha = 1.0, .beta = 1.0});
+  replay.push(make_transition(0.0F));
+  replay.push(make_transition(1.0F));
+  replay.update_priorities({0, 1}, {1.0F, 9.0F});
+  Rng rng(6);
+  // With beta = 1, within a batch containing both transitions the rare
+  // (low-priority) one must carry the larger normalised IS weight, with
+  // ratio equal to the inverse priority ratio (~9x).
+  bool compared = false;
+  for (int i = 0; i < 1000 && !compared; ++i) {
+    const auto s = replay.sample(8, rng);
+    float w_low = -1.0F, w_high = -1.0F;
+    for (std::size_t j = 0; j < s.transitions.size(); ++j) {
+      if (s.transitions[j]->reward == 0.0F) w_low = s.weights[j];
+      else w_high = s.weights[j];
+    }
+    if (w_low < 0.0F || w_high < 0.0F) continue;
+    EXPECT_GT(w_low, w_high);
+    EXPECT_NEAR(w_low / w_high, (9.0F + 1e-3F) / (1.0F + 1e-3F), 0.5);
+    compared = true;
+  }
+  EXPECT_TRUE(compared) << "never sampled both transitions in one batch";
+}
+
+TEST(PrioritizedReplay, UpdateArityMismatchThrows) {
+  PrioritizedReplay replay({.capacity = 4});
+  replay.push(make_transition(0.0F));
+  EXPECT_THROW(replay.update_priorities({0, 1}, {1.0F}), std::invalid_argument);
+}
+
+TEST(PrioritizedReplay, WrapsAroundCapacity) {
+  PrioritizedReplay replay({.capacity = 4});
+  for (int i = 0; i < 10; ++i) replay.push(make_transition(static_cast<float>(i)));
+  EXPECT_EQ(replay.size(), 4u);
+  Rng rng(7);
+  const auto s = replay.sample(16, rng);
+  for (const Transition* t : s.transitions) EXPECT_GE(t->reward, 6.0F);
+}
+
+}  // namespace
+}  // namespace vnfm::rl

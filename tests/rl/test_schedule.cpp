@@ -1,0 +1,37 @@
+#include "rl/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vnfm::rl {
+namespace {
+
+TEST(LinearSchedule, InterpolatesAndClamps) {
+  LinearSchedule s(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+  EXPECT_NEAR(s.value(50), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(s.value(100), 0.1);
+  EXPECT_DOUBLE_EQ(s.value(1'000'000), 0.1);
+}
+
+TEST(LinearSchedule, ZeroHorizonIsConstantEnd) {
+  LinearSchedule s(1.0, 0.2, 0);
+  EXPECT_DOUBLE_EQ(s.value(0), 0.2);
+}
+
+TEST(LinearSchedule, CanIncrease) {
+  LinearSchedule s(0.4, 1.0, 10);  // e.g. prioritized-replay beta annealing
+  EXPECT_DOUBLE_EQ(s.value(0), 0.4);
+  EXPECT_NEAR(s.value(5), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(s.value(20), 1.0);
+}
+
+TEST(ExponentialSchedule, DecaysAndFloors) {
+  ExponentialSchedule s(1.0, 0.01, 0.9);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+  EXPECT_NEAR(s.value(1), 0.9, 1e-12);
+  EXPECT_NEAR(s.value(2), 0.81, 1e-12);
+  EXPECT_DOUBLE_EQ(s.value(10'000), 0.01);
+}
+
+}  // namespace
+}  // namespace vnfm::rl

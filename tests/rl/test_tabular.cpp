@@ -1,0 +1,117 @@
+#include "rl/tabular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vnfm::rl {
+namespace {
+
+TabularQConfig toy_config(std::size_t actions) {
+  TabularQConfig config;
+  config.action_dim = actions;
+  config.learning_rate = 0.2;
+  config.gamma = 0.9;
+  config.epsilon_decay_steps = 2000;
+  config.seed = 31;
+  return config;
+}
+
+TEST(TabularQAgent, UpdateMovesTowardTarget) {
+  TabularQAgent agent(toy_config(2));
+  agent.update(1, 0, 1.0, 2, true, {});
+  EXPECT_NEAR(agent.q_value(1, 0), 0.2, 1e-12);  // lr * (1 - 0)
+  agent.update(1, 0, 1.0, 2, true, {});
+  EXPECT_NEAR(agent.q_value(1, 0), 0.36, 1e-12);
+}
+
+TEST(TabularQAgent, BootstrapsFromNextState) {
+  TabularQAgent agent(toy_config(2));
+  // Seed Q(s2, a1) = 1 by repeated terminal updates.
+  for (int i = 0; i < 200; ++i) agent.update(2, 1, 1.0, 0, true, {});
+  EXPECT_NEAR(agent.q_value(2, 1), 1.0, 1e-3);
+  agent.update(1, 0, 0.0, 2, false, {});
+  // Target = 0 + gamma * max_a Q(2, a) ~= 0.9.
+  EXPECT_NEAR(agent.q_value(1, 0), 0.2 * 0.9, 1e-3);
+}
+
+TEST(TabularQAgent, LearnsChainMdp) {
+  // States 0..3; action 0 advances (reward 1 at state 3), action 1 resets
+  // with reward 0.1. Optimal is to advance everywhere.
+  TabularQAgent agent(toy_config(2));
+  Rng rng(1);
+  for (int episode = 0; episode < 2000; ++episode) {
+    std::uint64_t s = 0;
+    for (int step = 0; step < 20; ++step) {
+      const int a = agent.act(s, {});
+      if (a == 1) {
+        agent.update(s, a, 0.1, 0, true, {});
+        break;
+      }
+      if (s == 3) {
+        agent.update(s, a, 1.0, 0, true, {});
+        break;
+      }
+      agent.update(s, a, 0.0, s + 1, false, {});
+      s += 1;
+    }
+  }
+  for (std::uint64_t s = 0; s < 4; ++s)
+    EXPECT_EQ(agent.act_greedy(s, {}), 0) << "state " << s;
+}
+
+TEST(TabularQAgent, MaskRestrictsActions) {
+  TabularQAgent agent(toy_config(3));
+  const std::vector<std::uint8_t> mask{0, 0, 1};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(agent.act(7, mask), 2);
+}
+
+TEST(TabularQAgent, MaskedBootstrapIgnoresInvalid) {
+  TabularQAgent agent(toy_config(2));
+  for (int i = 0; i < 100; ++i) agent.update(5, 0, 1.0, 0, true, {});  // Q(5,0) -> 1
+  const std::vector<std::uint8_t> next_mask{0, 1};  // only action 1 valid next
+  agent.update(4, 0, 0.0, 5, false, next_mask);
+  // Bootstrap must use Q(5,1)=0, not Q(5,0)=1.
+  EXPECT_NEAR(agent.q_value(4, 0), 0.0, 1e-9);
+}
+
+TEST(TabularQAgent, EpsilonDecays) {
+  TabularQAgent agent(toy_config(2));
+  const double eps0 = agent.epsilon();
+  for (int i = 0; i < 1000; ++i) (void)agent.act(0, {});
+  EXPECT_LT(agent.epsilon(), eps0);
+}
+
+TEST(TabularQAgent, TableGrowsOnlyOnUpdates) {
+  TabularQAgent agent(toy_config(2));
+  (void)agent.act_greedy(1, {});
+  EXPECT_EQ(agent.table_size(), 0u);  // reads do not allocate
+  agent.update(1, 0, 1.0, 2, true, {});
+  EXPECT_EQ(agent.table_size(), 1u);
+}
+
+TEST(TabularQAgent, DiscretizeIsDeterministicAndBucketed) {
+  const std::vector<float> a{0.1F, 0.9F};
+  const std::vector<float> b{0.12F, 0.91F};  // same buckets at 4 levels
+  const std::vector<float> c{0.6F, 0.9F};    // different bucket
+  EXPECT_EQ(TabularQAgent::discretize(a, 4), TabularQAgent::discretize(b, 4));
+  EXPECT_NE(TabularQAgent::discretize(a, 4), TabularQAgent::discretize(c, 4));
+}
+
+TEST(TabularQAgent, DiscretizeClampsOutOfRange) {
+  const std::vector<float> low{-5.0F};
+  const std::vector<float> zero{0.0F};
+  const std::vector<float> high{7.0F};
+  const std::vector<float> one{1.0F};
+  EXPECT_EQ(TabularQAgent::discretize(low, 8), TabularQAgent::discretize(zero, 8));
+  EXPECT_EQ(TabularQAgent::discretize(high, 8), TabularQAgent::discretize(one, 8));
+}
+
+TEST(TabularQAgent, RejectsZeroActions) {
+  TabularQConfig config;
+  config.action_dim = 0;
+  EXPECT_THROW(TabularQAgent{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::rl
