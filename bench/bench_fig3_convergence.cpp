@@ -3,6 +3,7 @@
 // DQN-family curves rise and plateau well above tabular/REINFORCE, and
 // Double DQN converges at least as stably as vanilla.
 #include <iostream>
+#include <memory>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -36,39 +37,24 @@ int main() {
             << "s) ===\n\n";
 
   core::VnfEnv env(bench::make_env_options(arrival_rate));
+  auto& registry = exp::ManagerRegistry::instance();
+
+  // Registry name + per-variant parameters; "dqn" keeps its historical
+  // vanilla (non-double) configuration in this figure.
+  const std::vector<std::pair<std::string, Config>> variants{
+      {"vanilla_dqn", Config{{"name", "dqn"}, {"seed", "7"}}},
+      {"double_dqn", Config{{"seed", "8"}}},
+      {"dueling_ddqn", Config{{"seed", "9"}}},
+      {"tabular_q", {}},
+      {"reinforce", {}},
+      {"actor_critic", {}},
+  };
 
   std::vector<std::pair<std::string, std::vector<double>>> curves;
-
-  {
-    rl::DqnConfig config = core::default_dqn_config(env, 7);
-    config.double_dqn = false;
-    core::DqnManager manager(env, config, "dqn");
-    curves.emplace_back("dqn", train_curve(env, manager, episodes, duration));
-  }
-  {
-    rl::DqnConfig config = core::default_dqn_config(env, 8);
-    config.double_dqn = true;
-    core::DqnManager manager(env, config, "double_dqn");
-    curves.emplace_back("double_dqn", train_curve(env, manager, episodes, duration));
-  }
-  {
-    rl::DqnConfig config = core::default_dqn_config(env, 9);
-    config.double_dqn = true;
-    config.dueling = true;
-    core::DqnManager manager(env, config, "dueling_ddqn");
-    curves.emplace_back("dueling_ddqn", train_curve(env, manager, episodes, duration));
-  }
-  {
-    core::TabularManager manager(env, {});
-    curves.emplace_back("tabular_q", train_curve(env, manager, episodes, duration));
-  }
-  {
-    core::ReinforceManager manager(env, {});
-    curves.emplace_back("reinforce", train_curve(env, manager, episodes, duration));
-  }
-  {
-    core::A2cManager manager(env, {});
-    curves.emplace_back("actor_critic", train_curve(env, manager, episodes, duration));
+  for (const auto& [name, params] : variants) {
+    const auto manager = registry.create(name, env, params);
+    curves.emplace_back(manager->name(),
+                        train_curve(env, *manager, episodes, duration));
   }
 
   std::vector<std::string> header{"episode"};

@@ -4,15 +4,16 @@
 // paying far less cost (Fig. 4), and first-fit/static degrade sharply.
 #include <iostream>
 
+#include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "support.hpp"
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
   const bench::Scale scale = bench::Scale::resolve();
-  const auto rates = bench::sweep_rates(scale);
+  const auto rates = bench::sweep_rates(scale, Config::from_args(argc, argv));
   std::cout << "=== Figure 5: mean latency (ms) vs arrival rate ===\n\n";
 
   const auto sweep = bench::run_load_sweep(rates, scale);

@@ -35,22 +35,19 @@ int main() {
   std::cout << "=== Figure 7: latency CDF at rate " << rate << "/s ===\n\n";
 
   core::VnfEnv env(bench::make_env_options(rate));
-  auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
+  auto dqn = bench::train_policy(env, scale, "dqn");
 
   const std::vector<double> qs{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99};
   core::EpisodeOptions episode = bench::eval_options(scale);
-
-  core::GreedyLatencyManager greedy;
-  core::FirstFitManager first_fit;
-  core::RandomManager random(3);
-  core::MyopicCostManager myopic;
+  auto& registry = exp::ManagerRegistry::instance();
 
   std::vector<std::pair<std::string, std::vector<double>>> rows;
   rows.emplace_back("dqn", latency_quantiles(env, *dqn, episode, qs));
-  rows.emplace_back("greedy_latency", latency_quantiles(env, greedy, episode, qs));
-  rows.emplace_back("myopic_cost", latency_quantiles(env, myopic, episode, qs));
-  rows.emplace_back("first_fit", latency_quantiles(env, first_fit, episode, qs));
-  rows.emplace_back("random", latency_quantiles(env, random, episode, qs));
+  for (const std::string name :
+       {"greedy_latency", "myopic_cost", "first_fit", "random"}) {
+    const auto manager = registry.create(name, env, Config{{"seed", "3"}});
+    rows.emplace_back(manager->name(), latency_quantiles(env, *manager, episode, qs));
+  }
 
   std::vector<std::string> header{"policy"};
   for (const double q : qs) header.push_back("p" + format_number(q * 100.0));

@@ -65,18 +65,20 @@ int main() {
   std::cout << "=== Figure 8: diurnal adaptation over 24h (rate " << rate
             << "/s, amplitude 0.8) ===\n\n";
 
-  core::EnvOptions options = bench::make_env_options(rate);
-  options.workload.diurnal_amplitude = 0.8;
-  core::VnfEnv env(options);
+  core::VnfEnv env(bench::scenario_options(
+      "geo-distributed", Config{{"arrival_rate", bench::to_config_value(rate)},
+                                {"diurnal_amplitude", "0.8"}}));
+  auto& registry = exp::ManagerRegistry::instance();
 
-  auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
+  auto dqn = bench::train_policy(env, scale, "dqn");
   const auto dqn_day = run_day(env, *dqn, 1.0);
 
-  core::StaticProvisionManager static_prov(3);
-  const auto static_day = run_day(env, static_prov, 1.0);
+  const auto static_prov =
+      registry.create("static_provision", env, Config{{"instances_per_type", "3"}});
+  const auto static_day = run_day(env, *static_prov, 1.0);
 
-  core::MyopicCostManager myopic;
-  const auto myopic_day = run_day(env, myopic, 1.0);
+  const auto myopic = registry.create("myopic_cost", env);
+  const auto myopic_day = run_day(env, *myopic, 1.0);
 
   AsciiTable table({"hour", "offered_rps", "dqn_instances", "myopic_instances",
                     "static_instances", "dqn_accept", "static_accept"});

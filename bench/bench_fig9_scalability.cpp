@@ -27,16 +27,16 @@ int main() {
                 {"nodes", "dqn_cost", "myopic_cost", "greedy_cost", "dqn_lat_ms",
                  "myopic_lat_ms", "greedy_lat_ms"});
 
+  auto& registry = exp::ManagerRegistry::instance();
   for (const std::size_t nodes : node_counts) {
     const double rate = per_node_rate * static_cast<double>(nodes);
     core::VnfEnv env(bench::make_env_options(rate, nodes));
-    auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
-    core::MyopicCostManager myopic;
-    core::GreedyLatencyManager greedy;
-    const auto episode = bench::eval_options(scale);
-    const auto dqn_r = core::evaluate_manager(env, *dqn, episode, scale.eval_repeats);
-    const auto myo_r = core::evaluate_manager(env, myopic, episode, scale.eval_repeats);
-    const auto gre_r = core::evaluate_manager(env, greedy, episode, scale.eval_repeats);
+    auto dqn = bench::train_policy(env, scale, "dqn");
+    const auto myopic = registry.create("myopic_cost", env);
+    const auto greedy = registry.create("greedy_latency", env);
+    const auto dqn_r = bench::evaluate_policy(env, *dqn, scale);
+    const auto myo_r = bench::evaluate_policy(env, *myopic, scale);
+    const auto gre_r = bench::evaluate_policy(env, *greedy, scale);
     const std::vector<double> row{
         static_cast<double>(nodes), dqn_r.cost_per_request, myo_r.cost_per_request,
         gre_r.cost_per_request,     dqn_r.mean_latency_ms,  myo_r.mean_latency_ms,

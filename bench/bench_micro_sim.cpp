@@ -2,8 +2,10 @@
 // placement/commit, environment step + featurisation, and replay sampling.
 #include <benchmark/benchmark.h>
 
+#include "common/config.hpp"
 #include "core/environment.hpp"
-#include "core/heuristics.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
 #include "rl/replay.hpp"
 
 namespace {
@@ -61,15 +63,14 @@ void BM_ChainPlaceCommitExpire(benchmark::State& state) {
 BENCHMARK(BM_ChainPlaceCommitExpire);
 
 void BM_EnvStepWithFeaturization(benchmark::State& state) {
-  core::EnvOptions options;
-  options.topology.node_count = 8;
-  options.workload.global_arrival_rate = 5.0;
-  core::VnfEnv env(options);
+  core::VnfEnv env(vnfm::exp::ScenarioCatalog::instance().build(
+      "geo-distributed", vnfm::Config{{"arrival_rate", "5.0"}}));
   env.reset(1);
-  core::GreedyLatencyManager manager;
+  const auto manager =
+      vnfm::exp::ManagerRegistry::instance().create("greedy_latency", env);
   for (auto _ : state) {
     if (!env.has_pending_chain()) (void)env.begin_next_request();
-    const auto result = env.step(manager.select_action(env));
+    const auto result = env.step(manager->select_action(env));
     benchmark::DoNotOptimize(result.reward);
   }
   state.SetItemsProcessed(state.iterations());

@@ -15,18 +15,12 @@ int main() {
   std::cout << "=== Table II: policy summary at rate " << rate << "/s ===\n\n";
 
   core::VnfEnv env(bench::make_env_options(rate));
-  auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
-
-  rl::DqnConfig dueling_config = core::default_dqn_config(env, 31);
-  dueling_config.dueling = true;
-  auto dueling = bench::train_dqn(env, scale, dueling_config, "dueling_ddqn");
+  auto dqn = bench::train_policy(env, scale, "dqn");
+  auto dueling = bench::train_policy(env, scale, "dueling_ddqn", Config{{"seed", "31"}});
 
   std::vector<bench::PolicyRow> rows;
-  rows.push_back({"dqn", core::evaluate_manager(env, *dqn, bench::eval_options(scale),
-                                                scale.eval_repeats)});
-  rows.push_back({"dueling_ddqn",
-                  core::evaluate_manager(env, *dueling, bench::eval_options(scale),
-                                         scale.eval_repeats)});
+  rows.push_back({"dqn", bench::evaluate_policy(env, *dqn, scale)});
+  rows.push_back({"dueling_ddqn", bench::evaluate_policy(env, *dueling, scale)});
   for (auto& baseline : bench::evaluate_baselines(env, scale))
     rows.push_back(std::move(baseline));
 

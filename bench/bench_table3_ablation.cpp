@@ -13,8 +13,8 @@ using namespace vnfm;
 namespace {
 
 struct Variant {
-  std::string name;
-  rl::DqnConfig config;
+  std::string registry_name;
+  Config params;
 };
 
 }  // namespace
@@ -25,69 +25,48 @@ int main() {
   std::cout << "=== Table III: DQN ablations at rate " << rate << "/s ===\n\n";
 
   core::VnfEnv env(bench::make_env_options(rate));
-  const rl::DqnConfig base = core::default_dqn_config(env, 51);
 
-  std::vector<Variant> variants;
-  {
-    rl::DqnConfig c = base;
-    c.double_dqn = false;
-    variants.push_back({"vanilla_dqn", c});
-  }
-  variants.push_back({"double_dqn", base});
-  {
-    rl::DqnConfig c = base;
-    c.dueling = true;
-    variants.push_back({"dueling_ddqn", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.prioritized_replay = true;
-    variants.push_back({"per_ddqn", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.replay_capacity = 1000;
-    c.min_replay_before_training = 200;
-    variants.push_back({"small_replay_1k", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.target_update_period = 1;  // target == online: deadly-triad stress
-    variants.push_back({"no_target_net", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.target_update_period = 2000;
-    variants.push_back({"slow_target_2k", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.n_step = 3;
-    variants.push_back({"n_step_3", c});
-  }
-  {
-    rl::DqnConfig c = base;
-    c.soft_target_tau = 0.005F;
-    variants.push_back({"soft_target", c});
-  }
+  // Every variant is the registry's "dqn"/variant factory plus Config
+  // parameter overrides — the same strings a command line could pass.
+  const Config base{{"seed", "51"}};
+  auto with = [](Config params, std::initializer_list<std::pair<std::string, std::string>>
+                                    extra) {
+    for (const auto& [key, value] : extra) params.set(key, value);
+    return params;
+  };
+  const std::vector<Variant> variants{
+      {"vanilla_dqn", base},
+      {"double_dqn", base},
+      {"dueling_ddqn", base},
+      {"per_ddqn", base},
+      {"dqn", with(base, {{"name", "small_replay_1k"},
+                          {"replay_capacity", "1000"},
+                          {"min_replay_before_training", "200"}})},
+      // target == online every step: deadly-triad stress
+      {"dqn", with(base, {{"name", "no_target_net"}, {"target_update_period", "1"}})},
+      {"dqn", with(base, {{"name", "slow_target_2k"},
+                          {"target_update_period", "2000"}})},
+      {"dqn", with(base, {{"name", "n_step_3"}, {"n_step", "3"}})},
+      {"dqn", with(base, {{"name", "soft_target"}, {"soft_target_tau", "0.005"}})},
+  };
 
   const std::vector<std::string> header{"variant", "final_train_reward", "eval_cost/req",
                                         "eval_accept%", "eval_lat_ms"};
   AsciiTable table(header);
   CsvWriter csv(bench::csv_path("table3_ablation"), header);
 
-  for (auto& variant : variants) {
-    core::DqnManager manager(env, variant.config, variant.name);
+  for (const auto& variant : variants) {
+    const auto manager = exp::ManagerRegistry::instance().create(
+        variant.registry_name, env, variant.params);
     core::EpisodeOptions episode;
     episode.duration_s = scale.train_duration_s;
     const auto curve =
-        core::train_manager(env, manager, scale.train_episodes, episode);
-    const auto eval = core::evaluate_manager(env, manager, bench::eval_options(scale),
-                                             scale.eval_repeats);
+        core::train_manager(env, *manager, scale.train_episodes, episode);
+    const auto eval = bench::evaluate_policy(env, *manager, scale);
     const std::vector<double> values{curve.back().total_reward, eval.cost_per_request,
                                      100.0 * eval.acceptance_ratio, eval.mean_latency_ms};
-    table.add_row(variant.name, values);
-    std::vector<std::string> cells{variant.name};
+    table.add_row(manager->name(), values);
+    std::vector<std::string> cells{manager->name()};
     for (const double v : values) cells.push_back(format_number(v));
     csv.row(cells);
   }

@@ -4,16 +4,18 @@
 // chase geography (more deployments, better latency).
 #include <iostream>
 
+#include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "support.hpp"
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = 3.0;
-  const std::vector<double> latency_prices{0.002, 0.01, 0.05};
+  const std::vector<double> latency_prices =
+      Config::from_args(argc, argv).get_double_list("prices", {0.002, 0.01, 0.05});
   std::cout << "=== Table IV: reward-shaping ablation (w_latency_per_ms sweep, rate "
             << rate << "/s) ===\n\n";
 
@@ -23,12 +25,12 @@ int main() {
   CsvWriter csv(bench::csv_path("table4_reward_shaping"), header);
 
   for (const double price : latency_prices) {
-    core::EnvOptions options = bench::make_env_options(rate);
-    options.cost.w_latency_per_ms = price;
-    core::VnfEnv env(options);
-    auto dqn = bench::train_dqn(env, scale, core::default_dqn_config(env), "dqn");
-    const auto eval = core::evaluate_manager(env, *dqn, bench::eval_options(scale),
-                                             scale.eval_repeats);
+    core::VnfEnv env(bench::scenario_options(
+        "geo-distributed",
+        Config{{"arrival_rate", bench::to_config_value(rate)},
+               {"w_latency_per_ms", bench::to_config_value(price)}}));
+    auto dqn = bench::train_policy(env, scale, "dqn");
+    const auto eval = bench::evaluate_policy(env, *dqn, scale);
     const std::vector<double> values{eval.mean_latency_ms,
                                      100.0 * eval.sla_violation_ratio,
                                      static_cast<double>(eval.deployments),

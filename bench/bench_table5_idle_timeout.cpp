@@ -11,13 +11,14 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
   const bench::Scale scale = bench::Scale::resolve();
   // Low rate + strong diurnal swing so instances actually go idle; the
   // window must span several flow lifetimes for the GC knob to matter.
   const double rate = 0.7;
   const double duration_s = full_run_requested() ? 24.0 * 3600.0 : 3.0 * 3600.0;
-  const std::vector<double> timeouts{15.0, 60.0, 120.0, 600.0, 6.0 * 3600.0};
+  const std::vector<double> timeouts = Config::from_args(argc, argv).get_double_list(
+      "timeouts", {15.0, 60.0, 120.0, 600.0, 6.0 * 3600.0});
   std::cout << "=== Table V: idle-timeout GC ablation (myopic manager, rate " << rate
             << "/s, " << duration_s << "s horizon) ===\n\n";
 
@@ -27,14 +28,15 @@ int main() {
   CsvWriter csv(bench::csv_path("table5_idle_timeout"), header);
 
   for (const double timeout : timeouts) {
-    core::EnvOptions options = bench::make_env_options(rate);
-    options.workload.diurnal_amplitude = 0.9;
-    options.cluster.idle_timeout_s = timeout;
-    core::VnfEnv env(options);
-    core::MyopicCostManager myopic;
+    core::VnfEnv env(bench::scenario_options(
+        "geo-distributed",
+        Config{{"arrival_rate", bench::to_config_value(rate)},
+               {"diurnal_amplitude", "0.9"},
+               {"idle_timeout_s", bench::to_config_value(timeout)}}));
+    const auto myopic = exp::ManagerRegistry::instance().create("myopic_cost", env);
     core::EpisodeOptions episode = bench::eval_options(scale);
     episode.duration_s = duration_s;
-    const auto eval = core::evaluate_manager(env, myopic, episode, 1);
+    const auto eval = exp::evaluate_parallel(env.options(), *myopic, episode, 1).mean;
     const std::vector<double> values{static_cast<double>(eval.deployments),
                                      eval.running_cost, eval.mean_latency_ms,
                                      100.0 * eval.acceptance_ratio,

@@ -24,9 +24,10 @@ int main() {
   std::cout << "=== Table VI: consolidation-migration extension (rate " << rate
             << "/s, diurnal 0.9, " << duration_s << "s horizon) ===\n\n";
 
-  core::EnvOptions options = bench::make_env_options(rate);
-  options.workload.diurnal_amplitude = 0.9;
-  options.cluster.idle_timeout_s = 240.0;
+  const core::EnvOptions options = bench::scenario_options(
+      "geo-distributed", Config{{"arrival_rate", bench::to_config_value(rate)},
+                                {"diurnal_amplitude", "0.9"},
+                                {"idle_timeout_s", "240"}});
 
   const std::vector<std::string> header{"policy", "running$", "deployments",
                                         "migrations", "mean_lat_ms", "accept%",
@@ -35,10 +36,9 @@ int main() {
   CsvWriter csv(bench::csv_path("table6_migration"), header);
 
   auto evaluate = [&](core::Manager& manager) {
-    core::VnfEnv env(options);
     core::EpisodeOptions episode = bench::eval_options(scale);
     episode.duration_s = duration_s;
-    return core::evaluate_manager(env, manager, episode, 1);
+    return exp::evaluate_parallel(options, manager, episode, 1).mean;
   };
   auto add_row = [&](const std::string& name, const core::EpisodeResult& eval,
                      double migrations) {
@@ -52,31 +52,27 @@ int main() {
     csv.row(cells);
   };
 
-  {
-    core::GreedyLatencyManager greedy;
-    add_row("greedy_latency", evaluate(greedy), 0.0);
-  }
-  {
-    core::GreedyLatencyManager greedy;
-    core::ConsolidationOptions consolidation;
-    consolidation.drain_utilization = 0.4;
-    core::ConsolidatingManager manager(greedy, consolidation, 40);
-    const auto eval = evaluate(manager);
-    add_row(manager.name(), eval,
-            static_cast<double>(manager.migrations_triggered()));
-  }
-  {
-    core::FirstFitManager first_fit;
-    add_row("first_fit", evaluate(first_fit), 0.0);
-  }
-  {
-    core::FirstFitManager first_fit;
-    core::ConsolidationOptions consolidation;
-    consolidation.drain_utilization = 0.4;
-    core::ConsolidatingManager manager(first_fit, consolidation, 40);
-    const auto eval = evaluate(manager);
-    add_row(manager.name(), eval,
-            static_cast<double>(manager.migrations_triggered()));
+  auto& registry = exp::ManagerRegistry::instance();
+  core::VnfEnv env(options);  // registry factories size managers from the env
+  const Config consolidation_params{
+      {"drain_utilization", "0.4"}, {"period_chains", "40"}};
+  for (const std::string base : {"greedy_latency", "first_fit"}) {
+    {
+      const auto manager = registry.create(base, env);
+      add_row(manager->name(), evaluate(*manager), 0.0);
+    }
+    {
+      Config params = consolidation_params;
+      params.set("inner", base);
+      const auto manager = registry.create("consolidating", env, params);
+      const auto eval = evaluate(*manager);
+      const auto* consolidating =
+          dynamic_cast<const core::ConsolidatingManager*>(manager.get());
+      add_row(manager->name(), eval,
+              consolidating
+                  ? static_cast<double>(consolidating->migrations_triggered())
+                  : 0.0);
+    }
   }
   table.print(std::cout);
   std::cout << "\nCSV written to " << csv.path() << "\n";

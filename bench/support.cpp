@@ -1,19 +1,28 @@
 #include "support.hpp"
 
-#include "common/config.hpp"
+#include <sstream>
 
 namespace vnfm::bench {
 
 Scale Scale::resolve() { return full_run_requested() ? full() : quick(); }
 
+std::string to_config_value(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+core::EnvOptions scenario_options(const std::string& scenario, const Config& overrides) {
+  return exp::ScenarioCatalog::instance().build(scenario, overrides);
+}
+
 core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes,
                                   std::uint64_t seed) {
-  core::EnvOptions options;
-  options.topology.node_count = nodes;
-  options.workload.global_arrival_rate = arrival_rate;
-  options.workload.diurnal_amplitude = 0.6;
-  options.seed = seed;
-  return options;
+  return scenario_options("geo-distributed",
+                          Config{{"arrival_rate", to_config_value(arrival_rate)},
+                                 {"nodes", std::to_string(nodes)},
+                                 {"seed", std::to_string(seed)}});
 }
 
 core::EpisodeOptions eval_options(const Scale& scale) {
@@ -23,39 +32,49 @@ core::EpisodeOptions eval_options(const Scale& scale) {
   return episode;
 }
 
-std::unique_ptr<core::DqnManager> train_dqn(core::VnfEnv& env, const Scale& scale,
-                                            rl::DqnConfig config, const std::string& name) {
-  auto manager = std::make_unique<core::DqnManager>(env, config, name);
+std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
+                                            const std::string& name,
+                                            const Config& params) {
+  auto manager = exp::ManagerRegistry::instance().create(name, env, params);
   core::EpisodeOptions episode;
   episode.duration_s = scale.train_duration_s;
   core::train_manager(env, *manager, scale.train_episodes, episode);
   return manager;
 }
 
+core::EpisodeResult evaluate_policy(core::VnfEnv& env, core::Manager& manager,
+                                    const Scale& scale, std::size_t repeats) {
+  if (repeats == 0) repeats = scale.eval_repeats;
+  return exp::evaluate_parallel(env.options(), manager, eval_options(scale), repeats)
+      .mean;
+}
+
+const std::vector<std::string>& baseline_names() {
+  static const std::vector<std::string> names{"myopic_cost", "greedy_latency",
+                                              "first_fit", "static_provision",
+                                              "random"};
+  return names;
+}
+
 std::vector<PolicyRow> evaluate_baselines(core::VnfEnv& env, const Scale& scale) {
-  core::GreedyLatencyManager greedy;
-  core::MyopicCostManager myopic;
-  core::FirstFitManager first_fit;
-  core::StaticProvisionManager static_prov(2);
-  core::RandomManager random(7);
-  std::vector<core::Manager*> managers{&myopic, &greedy, &first_fit, &static_prov,
-                                       &random};
   std::vector<PolicyRow> rows;
-  rows.reserve(managers.size());
-  for (core::Manager* manager : managers) {
-    rows.push_back({manager->name(),
-                    core::evaluate_manager(env, *manager, eval_options(scale),
-                                           scale.eval_repeats)});
+  rows.reserve(baseline_names().size());
+  for (const std::string& name : baseline_names()) {
+    const auto manager =
+        exp::ManagerRegistry::instance().create(name, env, Config{{"seed", "7"}});
+    rows.push_back({manager->name(), evaluate_policy(env, *manager, scale)});
   }
   return rows;
 }
 
 std::string csv_path(const std::string& bench_name) { return bench_name + ".csv"; }
 
-std::vector<double> sweep_rates(const Scale& scale) {
-  if (full_run_requested()) return {0.5, 1.0, 2.0, 3.0, 4.0, 6.0};
+std::vector<double> sweep_rates(const Scale& scale, const Config& config) {
   (void)scale;
-  return {1.0, 2.0, 4.0};
+  const std::vector<double> fallback =
+      full_run_requested() ? std::vector<double>{0.5, 1.0, 2.0, 3.0, 4.0, 6.0}
+                           : std::vector<double>{1.0, 2.0, 4.0};
+  return config.get_double_list("rates", fallback);
 }
 
 std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
@@ -63,14 +82,16 @@ std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
   std::vector<SweepRow> sweep;
   sweep.reserve(rates.size());
   for (const double rate : rates) {
-    core::VnfEnv env(make_env_options(rate));
-    auto dqn = train_dqn(env, scale, core::default_dqn_config(env), "dqn");
+    auto experiment = exp::Experiment::scenario(
+        "geo-distributed", Config{{"arrival_rate", to_config_value(rate)}});
+    experiment.manager("dqn")
+        .train_duration(scale.train_duration_s)
+        .eval_duration(scale.eval_duration_s)
+        .train(scale.train_episodes);
     SweepRow row;
     row.arrival_rate = rate;
-    row.policies.push_back(
-        {"dqn", core::evaluate_manager(env, *dqn, eval_options(scale),
-                                       scale.eval_repeats)});
-    for (auto& baseline : evaluate_baselines(env, scale))
+    row.policies.push_back({"dqn", experiment.evaluate(scale.eval_repeats).mean});
+    for (auto& baseline : evaluate_baselines(experiment.env(), scale))
       row.policies.push_back(std::move(baseline));
     sweep.push_back(std::move(row));
   }

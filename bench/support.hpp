@@ -3,16 +3,23 @@
 // Every bench binary prints an ASCII table (the paper's rows/series) and
 // writes a CSV next to the working directory. Default sizes finish in
 // seconds; set REPRO_FULL=1 for paper-scale runs.
+//
+// All environments and managers are built through the exp:: experiment API
+// (ScenarioCatalog / ManagerRegistry / Experiment) — bench binaries never
+// hand-wire EnvOptions or manager constructors.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/drl_manager.hpp"
+#include "common/config.hpp"
 #include "core/environment.hpp"
-#include "core/heuristics.hpp"
+#include "core/manager.hpp"
 #include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
 
 namespace vnfm::bench {
 
@@ -28,17 +35,33 @@ struct Scale {
   static Scale resolve();
 };
 
-/// Standard environment for the evaluation: 8 geo-distributed nodes unless
-/// overridden, diurnal traffic on.
+/// Formats a double as a Config override value (round-trip precision).
+std::string to_config_value(double value);
+
+/// EnvOptions from the scenario catalog. The benches' standard setting is
+/// scenario "geo-distributed" (8 world metros, diurnal 0.6).
+core::EnvOptions scenario_options(const std::string& scenario,
+                                  const Config& overrides = {});
+
+/// The standard evaluation environment at an arrival rate: scenario
+/// "geo-distributed" with rate/nodes/seed overrides.
 core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
                                   std::uint64_t seed = 1);
 
-/// Trains a fresh DQN manager on `env` and returns it ready for evaluation.
-std::unique_ptr<core::DqnManager> train_dqn(core::VnfEnv& env, const Scale& scale,
-                                            rl::DqnConfig config, const std::string& name);
+/// Builds the named registry policy and trains it on `env` for the scale's
+/// budget; returns it ready for evaluation.
+std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
+                                            const std::string& name,
+                                            const Config& params = {});
 
 /// Default evaluation options derived from the scale.
 core::EpisodeOptions eval_options(const Scale& scale);
+
+/// Held-out multi-repeat evaluation of one manager on `env`'s scenario,
+/// fanned out over all cores (deterministic; see exp::evaluate_parallel).
+/// repeats = 0 uses scale.eval_repeats.
+core::EpisodeResult evaluate_policy(core::VnfEnv& env, core::Manager& manager,
+                                    const Scale& scale, std::size_t repeats = 0);
 
 /// One evaluated policy row.
 struct PolicyRow {
@@ -46,7 +69,10 @@ struct PolicyRow {
   core::EpisodeResult result;
 };
 
-/// Evaluates the full baseline zoo (greedy/myopic/first-fit/static/random)
+/// Registry names of the non-learning baseline zoo, in reporting order.
+const std::vector<std::string>& baseline_names();
+
+/// Evaluates the full baseline zoo (myopic/greedy/first-fit/static/random)
 /// on `env`; the caller adds learning managers separately.
 std::vector<PolicyRow> evaluate_baselines(core::VnfEnv& env, const Scale& scale);
 
@@ -63,7 +89,8 @@ struct SweepRow {
 /// evaluates it against the baseline zoo on held-out seeds.
 std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates, const Scale& scale);
 
-/// Default sweep rates for the current scale.
-std::vector<double> sweep_rates(const Scale& scale);
+/// Default sweep rates for the current scale; override from the command line
+/// with "rates=1,2,4".
+std::vector<double> sweep_rates(const Scale& scale, const Config& config = {});
 
 }  // namespace vnfm::bench

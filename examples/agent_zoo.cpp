@@ -1,80 +1,66 @@
-// Agent zoo: trains every learning manager (DQN, Double DQN, Dueling,
-// REINFORCE, tabular Q) for the same budget and evaluates the whole zoo —
-// learners and heuristics — head to head on held-out workload seeds.
+// Agent zoo: trains every learning manager in the registry (DQN variants,
+// REINFORCE, actor-critic, tabular Q) for the same budget and evaluates the
+// whole zoo — learners and heuristics — head to head on held-out workload
+// seeds, all through the Experiment API.
 //
 //   ./agent_zoo [episodes=10] [arrival_rate=2.5]
 #include <iostream>
-#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/drl_manager.hpp"
-#include "core/heuristics.hpp"
-#include "core/runner.hpp"
+#include "exp/experiment.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const auto episodes = static_cast<std::size_t>(config.get_int("episodes", 10));
-  const double arrival_rate = config.get_double("arrival_rate", 2.5);
+  const auto episodes = config.get_size("episodes", 10);
 
-  core::EnvOptions options;
-  options.topology.node_count = 8;
-  options.workload.global_arrival_rate = arrival_rate;
-  options.seed = 4;
-  core::VnfEnv env(options);
+  Config overrides = config;
+  if (!overrides.contains("arrival_rate")) overrides.set("arrival_rate", "2.5");
+  if (!overrides.contains("seed")) overrides.set("seed", "4");
 
-  core::EpisodeOptions train;
-  train.duration_s = 0.4 * edgesim::kSecondsPerHour;
-
-  std::vector<std::unique_ptr<core::Manager>> learners;
-  {
-    rl::DqnConfig c = core::default_dqn_config(env, 1);
-    c.double_dqn = false;
-    learners.push_back(std::make_unique<core::DqnManager>(env, c, "dqn"));
-  }
-  learners.push_back(std::make_unique<core::DqnManager>(
-      env, core::default_dqn_config(env, 2), "double_dqn"));
-  {
-    rl::DqnConfig c = core::default_dqn_config(env, 3);
-    c.dueling = true;
-    learners.push_back(std::make_unique<core::DqnManager>(env, c, "dueling_ddqn"));
-  }
-  learners.push_back(std::make_unique<core::ReinforceManager>(env, rl::ReinforceConfig{}));
-  learners.push_back(std::make_unique<core::A2cManager>(env, rl::ActorCriticConfig{}));
-  learners.push_back(std::make_unique<core::TabularManager>(env, rl::TabularQConfig{}));
+  const std::vector<std::pair<std::string, Config>> learners{
+      {"vanilla_dqn", Config{{"name", "dqn"}, {"seed", "1"}}},
+      {"double_dqn", Config{{"seed", "2"}}},
+      {"dueling_ddqn", Config{{"seed", "3"}}},
+      {"reinforce", {}},
+      {"actor_critic", {}},
+      {"tabular_q", {}},
+  };
+  const std::vector<std::string> heuristics{"myopic_cost", "greedy_latency",
+                                            "first_fit", "static_provision",
+                                            "random"};
 
   std::cout << "Training " << learners.size() << " learners for " << episodes
             << " episodes each...\n";
-  for (auto& learner : learners) {
-    core::train_manager(env, *learner, episodes, train);
-    std::cout << "  " << learner->name() << " trained\n";
+  std::vector<std::pair<std::string, core::EpisodeResult>> rows;
+  for (const auto& [name, params] : learners) {
+    auto experiment = exp::Experiment::scenario("geo-distributed", overrides);
+    experiment.manager(name, params)
+        .train_duration(0.4 * edgesim::kSecondsPerHour)
+        .eval_duration(0.4 * edgesim::kSecondsPerHour)
+        .train(episodes);
+    rows.emplace_back(experiment.manager_ref().name(), experiment.evaluate(2).mean);
+    std::cout << "  " << rows.back().first << " trained\n";
+  }
+  for (const std::string& name : heuristics) {
+    auto experiment = exp::Experiment::scenario("geo-distributed", overrides);
+    experiment.manager(name, Config{{"seed", "9"}})
+        .eval_duration(0.4 * edgesim::kSecondsPerHour);
+    rows.emplace_back(experiment.manager_ref().name(), experiment.evaluate(2).mean);
   }
 
-  core::GreedyLatencyManager greedy;
-  core::MyopicCostManager myopic;
-  core::FirstFitManager first_fit;
-  core::StaticProvisionManager static_prov(2);
-  core::RandomManager random(9);
-
-  std::vector<core::Manager*> zoo;
-  for (auto& learner : learners) zoo.push_back(learner.get());
-  zoo.push_back(&myopic);
-  zoo.push_back(&greedy);
-  zoo.push_back(&first_fit);
-  zoo.push_back(&static_prov);
-  zoo.push_back(&random);
-
-  core::EpisodeOptions eval = train;
+  std::cout << "\nHead-to-head evaluation (2 held-out seeds):\n\n";
   AsciiTable table({"policy", "cost/req", "accept%", "mean_lat_ms", "sla_viol%",
                     "deployments"});
-  std::cout << "\nHead-to-head evaluation (2 held-out seeds):\n\n";
-  for (core::Manager* manager : zoo) {
-    const auto r = core::evaluate_manager(env, *manager, eval, 2);
-    table.add_row(manager->name(),
-                  {r.cost_per_request, 100.0 * r.acceptance_ratio, r.mean_latency_ms,
-                   100.0 * r.sla_violation_ratio, static_cast<double>(r.deployments)});
+  for (const auto& [name, r] : rows) {
+    table.add_row(name, {r.cost_per_request, 100.0 * r.acceptance_ratio,
+                         r.mean_latency_ms, 100.0 * r.sla_violation_ratio,
+                         static_cast<double>(r.deployments)});
   }
   table.print(std::cout);
   return 0;

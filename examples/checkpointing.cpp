@@ -1,7 +1,8 @@
-// Checkpointing: train the DQN VNF manager, save its policy network to disk,
-// restore it into a fresh manager, and verify the restored policy reproduces
-// the original's decisions and evaluation metrics — the workflow a deployed
-// controller uses to survive restarts and to ship trained policies.
+// Checkpointing: train the DQN VNF manager through the Experiment API, save
+// its policy network to disk, restore it into a fresh registry-built manager,
+// and verify the restored policy reproduces the original's decisions and
+// evaluation metrics — the workflow a deployed controller uses to survive
+// restarts and to ship trained policies.
 //
 //   ./checkpointing [episodes=8] [path=/tmp/vnfm_policy.ckpt]
 #include <fstream>
@@ -10,28 +11,24 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/drl_manager.hpp"
-#include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const auto episodes = static_cast<std::size_t>(config.get_int("episodes", 8));
+  const auto episodes = config.get_size("episodes", 8);
   const std::string path = config.get_string("path", "/tmp/vnfm_policy.ckpt");
 
-  core::EnvOptions options;
-  options.topology.node_count = 8;
-  options.workload.global_arrival_rate = 2.0;
-  options.seed = 6;
-  core::VnfEnv env(options);
-
-  core::EpisodeOptions episode;
-  episode.duration_s = 0.4 * edgesim::kSecondsPerHour;
-
-  core::DqnManager trained(env, core::default_dqn_config(env));
+  auto experiment = exp::Experiment::scenario(
+      "geo-distributed", Config{{"arrival_rate", "2.0"}, {"seed", "6"}});
+  experiment.manager("dqn").train_duration(0.4 * edgesim::kSecondsPerHour);
   std::cout << "Training for " << episodes << " episodes...\n";
-  core::train_manager(env, trained, episodes, episode);
+  experiment.train(episodes);
 
+  auto& env = experiment.env();
+  auto& trained = dynamic_cast<core::DqnManager&>(experiment.manager_ref());
   {
     std::ofstream out(path);
     trained.save(out);
@@ -40,7 +37,9 @@ int main(int argc, char** argv) {
             << trained.agent().config().state_dim << " state features, "
             << trained.agent().config().action_dim << " actions)\n";
 
-  core::DqnManager restored(env, core::default_dqn_config(env));
+  // A fresh registry-built manager restored from the checkpoint.
+  auto restored_any = exp::ManagerRegistry::instance().create("dqn", env);
+  auto& restored = dynamic_cast<core::DqnManager&>(*restored_any);
   {
     std::ifstream in(path);
     if (!in) {
@@ -69,9 +68,13 @@ int main(int argc, char** argv) {
   std::cout << "\nDecision agreement on held-out workload: " << agreed << "/" << checked
             << "\n";
 
-  // Metric-level check.
-  const auto eval_trained = core::evaluate_manager(env, trained, episode, 2);
-  const auto eval_restored = core::evaluate_manager(env, restored, episode, 2);
+  // Metric-level check via the deterministic parallel evaluator.
+  core::EpisodeOptions episode;
+  episode.duration_s = 0.4 * edgesim::kSecondsPerHour;
+  const auto eval_trained =
+      exp::evaluate_parallel(experiment.env_options(), trained, episode, 2).mean;
+  const auto eval_restored =
+      exp::evaluate_parallel(experiment.env_options(), restored, episode, 2).mean;
   AsciiTable table({"policy", "cost/req", "accept%", "mean_lat_ms"});
   table.add_row("trained", {eval_trained.cost_per_request,
                             100.0 * eval_trained.acceptance_ratio,

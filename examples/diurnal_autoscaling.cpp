@@ -1,6 +1,7 @@
-// Diurnal autoscaling scenario: trains the DQN manager on strongly diurnal
-// traffic and then replays a full simulated day, printing how the instance
-// footprint follows the sun across time zones.
+// Diurnal autoscaling scenario: trains the DQN manager on the catalog's
+// "diurnal" scenario (strong day/night swing) and then replays a full
+// simulated day, printing how the instance footprint follows the sun across
+// time zones.
 //
 //   ./diurnal_autoscaling [train_episodes=10] [arrival_rate=1.0]
 #include <iostream>
@@ -8,30 +9,26 @@
 #include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/drl_manager.hpp"
-#include "core/runner.hpp"
+#include "exp/experiment.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const int train_episodes = config.get_int("train_episodes", 10);
-  const double arrival_rate = config.get_double("arrival_rate", 1.0);
+  const auto train_episodes = config.get_size("train_episodes", 10);
 
-  core::EnvOptions options;
-  options.topology.node_count = 8;
-  options.workload.global_arrival_rate = arrival_rate;
-  options.workload.diurnal_amplitude = 0.8;
-  options.seed = 2;
-  core::VnfEnv env(options);
+  Config overrides = config;
+  if (!overrides.contains("seed")) overrides.set("seed", "2");
 
-  core::DqnManager dqn(env, core::default_dqn_config(env));
-  core::EpisodeOptions train;
-  train.duration_s = 0.5 * edgesim::kSecondsPerHour;
-  std::cout << "Training DQN for " << train_episodes << " episodes on diurnal traffic...\n";
-  core::train_manager(env, dqn, static_cast<std::size_t>(train_episodes), train);
+  auto experiment = exp::Experiment::scenario("diurnal", overrides);
+  experiment.manager("dqn").train_duration(0.5 * edgesim::kSecondsPerHour);
+  std::cout << "Training DQN for " << train_episodes
+            << " episodes on diurnal traffic...\n";
+  experiment.train(train_episodes);
 
   // Replay a full day and sample every two hours.
+  auto& env = experiment.env();
+  auto& dqn = experiment.manager_ref();
   env.reset(777);
   dqn.set_training(false);
   std::cout << "\nReplaying one simulated day (amplitude 0.8, peak at 14:00 local):\n\n";

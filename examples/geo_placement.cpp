@@ -5,24 +5,26 @@
 //
 //   ./geo_placement [nodes=8]
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/heuristics.hpp"
-#include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const int nodes = config.get_int("nodes", 8);
 
-  core::EnvOptions options;
-  options.topology.node_count = static_cast<std::size_t>(nodes);
-  options.workload.global_arrival_rate = 1.0;
-  options.seed = 5;
-  core::VnfEnv env(options);
+  Config overrides = config;
+  if (!overrides.contains("arrival_rate")) overrides.set("arrival_rate", "1.0");
+  if (!overrides.contains("seed")) overrides.set("seed", "5");
+
+  auto experiment = exp::Experiment::scenario("geo-distributed", overrides);
+  auto& env = experiment.env();
 
   // Manually place one gaming chain per node using the cluster protocol.
   std::cout << "Gaming chain (nat>firewall>ids, SLA 60 ms) for a New York user,\n"
@@ -51,12 +53,10 @@ int main(int argc, char** argv) {
   episode.duration_s = 1200.0;
   episode.training = false;
 
-  core::GreedyLatencyManager greedy;
-  core::FirstFitManager first_fit;
-  core::MyopicCostManager myopic;
   AsciiTable results({"policy", "mean_lat_ms", "sla_viol%", "deployments", "cost/req"});
-  for (core::Manager* manager :
-       std::vector<core::Manager*>{&greedy, &myopic, &first_fit}) {
+  for (const std::string name :
+       {"greedy_latency", "myopic_cost", "first_fit"}) {
+    const auto manager = exp::ManagerRegistry::instance().create(name, env);
     const auto r = core::run_episode(env, *manager, episode);
     results.add_row(manager->name(),
                     {r.mean_latency_ms, 100.0 * r.sla_violation_ratio,

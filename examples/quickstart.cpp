@@ -1,50 +1,52 @@
-// Quickstart: build the geo-distributed edge environment, train the DQN VNF
-// manager for a handful of episodes, and compare it against the greedy
-// latency baseline.
+// Quickstart: the Experiment API end to end — build the geo-distributed edge
+// scenario, train the DQN VNF manager for a handful of episodes, and compare
+// it against the greedy latency baseline on held-out seeds (evaluation fans
+// out over all cores, deterministically).
 //
-//   ./quickstart [episodes=30] [arrival_rate=2.0] [nodes=8]
+// Command-line key=value tokens override both the experiment knobs and the
+// scenario itself:
+//   ./quickstart [episodes=12] [arrival_rate=2.0] [nodes=8] [threads=0]
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/drl_manager.hpp"
-#include "core/heuristics.hpp"
-#include "core/runner.hpp"
+#include "exp/experiment.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const int episodes = config.get_int("episodes", 12);
-  const double arrival_rate = config.get_double("arrival_rate", 2.0);
-  const int nodes = config.get_int("nodes", 8);
+  const auto episodes = config.get_size("episodes", 12);
 
-  core::EnvOptions options;
-  options.topology.node_count = static_cast<std::size_t>(nodes);
-  options.workload.global_arrival_rate = arrival_rate;
-  options.seed = 1;
+  // Unrecognised keys (episodes, threads, ...) are ignored by the scenario
+  // builder, so the whole command line doubles as scenario overrides.
+  auto experiment = exp::Experiment::scenario("geo-distributed", config);
+  experiment.manager("dqn")
+      .threads(config.get_size("threads", 0))
+      .train_duration(0.5 * edgesim::kSecondsPerHour)
+      .eval_duration(0.5 * edgesim::kSecondsPerHour);
 
-  core::VnfEnv env(options);
+  auto& env = experiment.env();
   std::cout << "Topology: " << env.topology().node_count() << " edge nodes, "
             << env.vnfs().size() << " VNF types, " << env.sfcs().size()
             << " SFC templates\n";
 
-  core::EpisodeOptions episode;
-  episode.duration_s = 0.5 * edgesim::kSecondsPerHour;
-
-  // Train the DRL manager.
-  core::DqnManager dqn(env, core::default_dqn_config(env));
   std::cout << "Training DQN for " << episodes << " episodes ("
-            << episode.duration_s << " sim-seconds each)...\n";
-  const auto curve = core::train_manager(env, dqn, static_cast<std::size_t>(episodes),
-                                         episode);
-  std::cout << "  first-episode reward " << curve.front().total_reward
-            << " -> last-episode reward " << curve.back().total_reward << "\n\n";
+            << 0.5 * edgesim::kSecondsPerHour << " sim-seconds each)...\n";
+  experiment.train(episodes);
+  const auto& curve = experiment.learning_curve();
+  if (!curve.empty()) {
+    std::cout << "  first-episode reward " << curve.front().total_reward
+              << " -> last-episode reward " << curve.back().total_reward << "\n\n";
+  }
 
-  // Head-to-head evaluation.
-  core::GreedyLatencyManager greedy;
-  const auto dqn_eval = core::evaluate_manager(env, dqn, episode);
-  const auto greedy_eval = core::evaluate_manager(env, greedy, episode);
+  // Head-to-head evaluation on the same held-out seeds.
+  const auto dqn_eval = experiment.evaluate(3).mean;
+  auto baseline = exp::Experiment::from_options(experiment.env_options());
+  baseline.manager("greedy_latency")
+      .threads(config.get_size("threads", 0))
+      .eval_duration(0.5 * edgesim::kSecondsPerHour);
+  const auto greedy_eval = baseline.evaluate(3).mean;
 
   AsciiTable table({"policy", "cost/req", "accept%", "mean_lat_ms", "sla_viol%",
                     "deployments"});

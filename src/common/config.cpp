@@ -5,6 +5,10 @@
 
 namespace vnfm {
 
+Config::Config(std::initializer_list<std::pair<std::string, std::string>> pairs) {
+  for (const auto& [key, value] : pairs) values_[key] = value;
+}
+
 Config Config::from_args(int argc, const char* const* argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +48,49 @@ int Config::get_int(const std::string& key, int fallback) const {
   } catch (const std::exception&) {
     throw std::invalid_argument("config key '" + key + "' is not an int: " + *value);
   }
+}
+
+std::size_t Config::get_size(const std::string& key, std::size_t fallback) const {
+  return static_cast<std::size_t>(get_uint64(key, fallback));
+}
+
+std::uint64_t Config::get_uint64(const std::string& key, std::uint64_t fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  try {
+    // stoull would silently wrap negatives; reject any leading sign.
+    const auto first = value->find_first_not_of(" \t");
+    if (first != std::string::npos &&
+        ((*value)[first] == '-' || (*value)[first] == '+'))
+      throw std::invalid_argument("signed");
+    return std::stoull(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key +
+                                "' is not an unsigned integer: " + *value);
+  }
+}
+
+std::vector<double> Config::get_double_list(const std::string& key,
+                                            std::vector<double> fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  std::vector<double> out;
+  std::size_t begin = 0;
+  while (begin <= value->size()) {
+    auto end = value->find(',', begin);
+    if (end == std::string::npos) end = value->size();
+    const std::string item = value->substr(begin, end - begin);
+    try {
+      std::size_t consumed = 0;
+      out.push_back(std::stod(item, &consumed));
+      if (consumed != item.size()) throw std::invalid_argument(item);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("config key '" + key +
+                                  "' is not a comma-separated number list: " + *value);
+    }
+    begin = end + 1;
+  }
+  return out;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {

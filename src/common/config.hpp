@@ -4,9 +4,13 @@
 // the command line ("key=value" arguments) or the environment.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace vnfm {
 
@@ -14,6 +18,9 @@ namespace vnfm {
 class Config {
  public:
   Config() = default;
+
+  /// Inline override sets: Config{{"nodes", "8"}, {"arrival_rate", "2.0"}}.
+  Config(std::initializer_list<std::pair<std::string, std::string>> pairs);
 
   /// Parses "key=value" tokens; ignores tokens without '='.
   static Config from_args(int argc, const char* const* argv);
@@ -26,6 +33,11 @@ class Config {
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& key, std::uint64_t fallback) const;
+  /// Comma-separated doubles ("rates=20,40,60"); empty entries are rejected.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key,
+                                                    std::vector<double> fallback) const;
 
   [[nodiscard]] const std::map<std::string, std::string>& values() const { return values_; }
 

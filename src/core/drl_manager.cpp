@@ -1,5 +1,6 @@
 #include "core/drl_manager.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace vnfm::core {
@@ -33,6 +34,24 @@ DqnManager::DqnManager(const VnfEnv& env, rl::DqnConfig config, std::string name
   if (config.state_dim == 0) config.state_dim = default_dqn_config(env).state_dim;
   if (config.action_dim == 0) config.action_dim = default_dqn_config(env).action_dim;
   agent_ = std::make_unique<rl::DqnAgent>(config);
+}
+
+DqnManager::DqnManager(rl::DqnConfig config, std::string name) : name_(std::move(name)) {
+  if (config.state_dim == 0 || config.action_dim == 0)
+    throw std::invalid_argument(
+        "DqnManager: state_dim and action_dim must be set when constructing "
+        "without an environment");
+  agent_ = std::make_unique<rl::DqnAgent>(config);
+}
+
+std::unique_ptr<Manager> DqnManager::clone_for_eval() const {
+  auto clone = std::make_unique<DqnManager>(agent_->config(), name_);
+  std::stringstream weights;
+  agent_->save(weights);
+  clone->agent_->load(weights);
+  clone->training_ = training_;
+  clone->agent_->set_exploration_enabled(training_);
+  return clone;
 }
 
 int DqnManager::select_action(VnfEnv& env) {
@@ -89,6 +108,14 @@ void ReinforceManager::on_chain_end(VnfEnv& env) {
 
 void ReinforceManager::set_training(bool training) { training_ = training; }
 
+std::unique_ptr<Manager> ReinforceManager::clone_for_eval() const {
+  auto clone = std::unique_ptr<ReinforceManager>(new ReinforceManager());
+  clone->agent_ = std::make_unique<rl::ReinforceAgent>(agent_->config());
+  clone->agent_->policy().copy_weights_from(agent_->policy());
+  clone->training_ = training_;
+  return clone;
+}
+
 A2cManager::A2cManager(const VnfEnv& env, rl::ActorCriticConfig config) {
   if (config.state_dim == 0) config.state_dim = default_dqn_config(env).state_dim;
   if (config.action_dim == 0)
@@ -107,6 +134,15 @@ void A2cManager::observe(const TransitionView& t) {
 }
 
 void A2cManager::set_training(bool training) { training_ = training; }
+
+std::unique_ptr<Manager> A2cManager::clone_for_eval() const {
+  auto clone = std::unique_ptr<A2cManager>(new A2cManager());
+  clone->agent_ = std::make_unique<rl::ActorCriticAgent>(agent_->config());
+  clone->agent_->actor().copy_weights_from(agent_->actor());
+  clone->agent_->critic().copy_weights_from(agent_->critic());
+  clone->training_ = training_;
+  return clone;
+}
 
 TabularManager::TabularManager(const VnfEnv& env, rl::TabularQConfig config,
                                std::size_t buckets)
@@ -132,5 +168,13 @@ void TabularManager::observe(const TransitionView& t) {
 }
 
 void TabularManager::set_training(bool training) { training_ = training; }
+
+std::unique_ptr<Manager> TabularManager::clone_for_eval() const {
+  auto clone = std::unique_ptr<TabularManager>(new TabularManager());
+  clone->agent_ = std::make_unique<rl::TabularQAgent>(*agent_);
+  clone->buckets_ = buckets_;
+  clone->training_ = training_;
+  return clone;
+}
 
 }  // namespace vnfm::core

@@ -22,10 +22,14 @@ class DqnManager : public Manager {
   /// (learning rate, double/dueling, replay, epsilon) are caller-controlled.
   DqnManager(const VnfEnv& env, rl::DqnConfig config, std::string name = "dqn");
 
+  /// Environment-free construction; state_dim/action_dim must be set.
+  explicit DqnManager(rl::DqnConfig config, std::string name = "dqn");
+
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] int select_action(VnfEnv& env) override;
   void observe(const TransitionView& transition) override;
   void set_training(bool training) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
   [[nodiscard]] rl::DqnAgent& agent() noexcept { return *agent_; }
   [[nodiscard]] const rl::DqnAgent& agent() const noexcept { return *agent_; }
@@ -51,10 +55,13 @@ class ReinforceManager : public Manager {
   void observe(const TransitionView& transition) override;
   void on_chain_end(VnfEnv& env) override;
   void set_training(bool training) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
   [[nodiscard]] rl::ReinforceAgent& agent() noexcept { return *agent_; }
 
  private:
+  ReinforceManager() = default;  // clone_for_eval scaffolding
+
   std::unique_ptr<rl::ReinforceAgent> agent_;
   bool training_ = true;
 };
@@ -68,10 +75,13 @@ class A2cManager : public Manager {
   [[nodiscard]] int select_action(VnfEnv& env) override;
   void observe(const TransitionView& transition) override;
   void set_training(bool training) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
   [[nodiscard]] rl::ActorCriticAgent& agent() noexcept { return *agent_; }
 
  private:
+  A2cManager() = default;  // clone_for_eval scaffolding
+
   std::unique_ptr<rl::ActorCriticAgent> agent_;
   bool training_ = true;
 };
@@ -85,12 +95,15 @@ class TabularManager : public Manager {
   [[nodiscard]] int select_action(VnfEnv& env) override;
   void observe(const TransitionView& transition) override;
   void set_training(bool training) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
   [[nodiscard]] rl::TabularQAgent& agent() noexcept { return *agent_; }
 
  private:
+  TabularManager() = default;  // clone_for_eval scaffolding
+
   std::unique_ptr<rl::TabularQAgent> agent_;
-  std::size_t buckets_;
+  std::size_t buckets_ = 4;
   bool training_ = true;
 };
 

@@ -81,6 +81,8 @@ class VnfEnv {
   [[nodiscard]] const edgesim::WorkloadGenerator& workload() const { return *workload_; }
   [[nodiscard]] edgesim::SimTime now() const { return cluster_->now(); }
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
+  /// Seed of the episode the environment was last reset() with.
+  [[nodiscard]] std::uint64_t episode_seed() const noexcept { return episode_seed_; }
   [[nodiscard]] const edgesim::CostModel& cost_model() const noexcept { return options_.cost; }
 
   /// Pending request currently being placed (valid while a chain pends).

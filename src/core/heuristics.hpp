@@ -15,6 +15,9 @@ class GreedyLatencyManager : public Manager {
  public:
   [[nodiscard]] std::string name() const override { return "greedy_latency"; }
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<GreedyLatencyManager>(*this);
+  }
 };
 
 /// Myopically minimises the immediate objective-cost increment of the hop:
@@ -25,6 +28,9 @@ class MyopicCostManager : public Manager {
  public:
   [[nodiscard]] std::string name() const override { return "myopic_cost"; }
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<MyopicCostManager>(*this);
+  }
 };
 
 /// First-fit consolidation: reuse the lowest-indexed node holding an
@@ -34,16 +40,29 @@ class FirstFitManager : public Manager {
  public:
   [[nodiscard]] std::string name() const override { return "first_fit"; }
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<FirstFitManager>(*this);
+  }
 };
 
 /// Uniformly random feasible placement (sanity floor).
 class RandomManager : public Manager {
  public:
-  explicit RandomManager(std::uint64_t seed = 99) : rng_(seed) {}
+  explicit RandomManager(std::uint64_t seed = 99) : seed_(seed), rng_(seed) {}
   [[nodiscard]] std::string name() const override { return "random"; }
+  /// Reseeds from base seed x episode seed: each episode's action stream is
+  /// reproducible on its own, independent of evaluation order, threading,
+  /// or how many episodes ran before it — repeats stay decorrelated.
+  void on_episode_start(VnfEnv& env) override {
+    rng_ = Rng(seed_ ^ (env.episode_seed() * 0x9E3779B97F4A7C15ULL + 1));
+  }
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<RandomManager>(*this);
+  }
 
  private:
+  std::uint64_t seed_;
   Rng rng_;
 };
 
@@ -58,6 +77,9 @@ class StaticProvisionManager : public Manager {
   [[nodiscard]] std::string name() const override { return "static_provision"; }
   void on_episode_start(VnfEnv& env) override;
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<StaticProvisionManager>(*this);
+  }
 
  private:
   int instances_per_type_;

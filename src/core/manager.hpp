@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -49,6 +50,17 @@ class Manager {
 
   /// Toggles exploration / learning (evaluation runs disable it).
   virtual void set_training(bool training) { (void)training; }
+
+  /// Evaluation snapshot: an independent copy that selects the same actions
+  /// this manager would in evaluation mode (policy weights and any rng state
+  /// that evaluation consumes are copied; learning state — replay buffers,
+  /// exploration schedules — need not be). Enables parallel evaluation with
+  /// one clone per worker. Returns nullptr when the manager cannot be
+  /// snapshotted, in which case callers must evaluate sequentially through
+  /// the original instance.
+  [[nodiscard]] virtual std::unique_ptr<Manager> clone_for_eval() const {
+    return nullptr;
+  }
 };
 
 }  // namespace vnfm::core

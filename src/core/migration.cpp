@@ -101,6 +101,14 @@ ConsolidatingManager::ConsolidatingManager(Manager& inner, ConsolidationOptions 
                                            std::size_t period_chains)
     : inner_(inner), options_(options), period_chains_(std::max<std::size_t>(1, period_chains)) {}
 
+ConsolidatingManager::ConsolidatingManager(std::unique_ptr<Manager> inner,
+                                           ConsolidationOptions options,
+                                           std::size_t period_chains)
+    : owned_inner_(std::move(inner)),
+      inner_(*owned_inner_),
+      options_(options),
+      period_chains_(std::max<std::size_t>(1, period_chains)) {}
+
 std::string ConsolidatingManager::name() const {
   return inner_.name() + "+consolidation";
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/manager.hpp"
 #include "edgesim/cluster.hpp"
@@ -35,6 +36,11 @@ class ConsolidatingManager : public Manager {
   ConsolidatingManager(Manager& inner, ConsolidationOptions options,
                        std::size_t period_chains = 50);
 
+  /// Owning variant: the decorator keeps the wrapped manager alive (used by
+  /// factory-built managers, e.g. the experiment registry).
+  ConsolidatingManager(std::unique_ptr<Manager> inner, ConsolidationOptions options,
+                       std::size_t period_chains = 50);
+
   [[nodiscard]] std::string name() const override;
   void on_episode_start(VnfEnv& env) override;
   [[nodiscard]] int select_action(VnfEnv& env) override;
@@ -47,6 +53,7 @@ class ConsolidatingManager : public Manager {
   }
 
  private:
+  std::unique_ptr<Manager> owned_inner_;  ///< set only by the owning ctor
   Manager& inner_;
   ConsolidationOptions options_;
   std::size_t period_chains_;

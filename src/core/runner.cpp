@@ -75,29 +75,12 @@ EpisodeResult run_episode(VnfEnv& env, Manager& manager, const EpisodeOptions& o
   return snapshot(env, total_reward, requests);
 }
 
-std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
-                                         std::size_t episodes, EpisodeOptions options) {
-  options.training = true;
-  std::vector<EpisodeResult> curve;
-  curve.reserve(episodes);
-  const std::uint64_t base_seed = options.seed;
-  for (std::size_t i = 0; i < episodes; ++i) {
-    options.seed = base_seed + i;
-    curve.push_back(run_episode(env, manager, options));
-  }
-  return curve;
-}
-
-EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions options,
-                               std::size_t repeats) {
-  if (repeats == 0) throw std::invalid_argument("evaluation needs at least one repeat");
-  options.training = false;
+EpisodeResult mean_result(const std::vector<EpisodeResult>& results) {
+  if (results.empty())
+    throw std::invalid_argument("mean_result needs at least one episode");
   EpisodeResult mean;
   mean.acceptance_ratio = 0.0;  // override the 'no arrivals' default of 1.0
-  const std::uint64_t base_seed = options.seed + 1'000'000;  // disjoint from training
-  for (std::size_t i = 0; i < repeats; ++i) {
-    options.seed = base_seed + i;
-    const EpisodeResult r = run_episode(env, manager, options);
+  for (const EpisodeResult& r : results) {
     mean.total_reward += r.total_reward;
     mean.requests += r.requests;
     mean.cost_per_request += r.cost_per_request;
@@ -111,7 +94,7 @@ EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions opt
     mean.running_cost += r.running_cost;
     mean.revenue += r.revenue;
   }
-  const auto n = static_cast<double>(repeats);
+  const auto n = static_cast<double>(results.size());
   mean.total_reward /= n;
   mean.requests = static_cast<std::size_t>(static_cast<double>(mean.requests) / n);
   mean.cost_per_request /= n;
@@ -125,6 +108,33 @@ EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions opt
   mean.running_cost /= n;
   mean.revenue /= n;
   return mean;
+}
+
+std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
+                                         std::size_t episodes, EpisodeOptions options) {
+  options.training = true;
+  std::vector<EpisodeResult> curve;
+  curve.reserve(episodes);
+  const std::uint64_t base_seed = options.seed;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    options.seed = train_seed(base_seed, i);
+    curve.push_back(run_episode(env, manager, options));
+  }
+  return curve;
+}
+
+EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions options,
+                               std::size_t repeats) {
+  if (repeats == 0) throw std::invalid_argument("evaluation needs at least one repeat");
+  options.training = false;
+  const std::uint64_t base_seed = options.seed;
+  std::vector<EpisodeResult> results;
+  results.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    options.seed = eval_seed(base_seed, i);  // held-out: disjoint from training
+    results.push_back(run_episode(env, manager, options));
+  }
+  return mean_result(results);
 }
 
 }  // namespace vnfm::core

@@ -20,6 +20,22 @@ struct EpisodeOptions {
   std::uint64_t seed = 0;
 };
 
+/// Gap between the training and evaluation seed spaces. Training episode i
+/// runs on train_seed(base, i) and evaluation repeat j on eval_seed(base, j);
+/// as long as fewer than kEvalSeedOffset training episodes are run (any
+/// realistic budget), evaluation workloads are guaranteed held-out.
+inline constexpr std::uint64_t kEvalSeedOffset = 1'000'000;
+
+[[nodiscard]] constexpr std::uint64_t train_seed(std::uint64_t base_seed,
+                                                 std::size_t episode) noexcept {
+  return base_seed + episode;
+}
+
+[[nodiscard]] constexpr std::uint64_t eval_seed(std::uint64_t base_seed,
+                                                std::size_t repeat) noexcept {
+  return base_seed + kEvalSeedOffset + repeat;
+}
+
 /// Metrics snapshot of one finished episode.
 struct EpisodeResult {
   double total_reward = 0.0;
@@ -35,6 +51,9 @@ struct EpisodeResult {
   double running_cost = 0.0;
   double revenue = 0.0;
 };
+
+/// Field-wise mean of per-episode results (throws on an empty set).
+[[nodiscard]] EpisodeResult mean_result(const std::vector<EpisodeResult>& results);
 
 /// Runs one episode; resets the environment with options.seed first.
 EpisodeResult run_episode(VnfEnv& env, Manager& manager, const EpisodeOptions& options);

@@ -1,0 +1,181 @@
+#include "exp/experiment.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+/// Runs one evaluation repeat in a private environment.
+core::EpisodeResult run_repeat(const core::EnvOptions& env_options,
+                               core::Manager& manager, core::EpisodeOptions options,
+                               std::uint64_t episode_seed) {
+  core::VnfEnv env(env_options);
+  options.seed = episode_seed;
+  return core::run_episode(env, manager, options);
+}
+
+}  // namespace
+
+EvalReport evaluate_parallel(const core::EnvOptions& env_options,
+                             core::Manager& prototype, core::EpisodeOptions options,
+                             std::size_t repeats, std::size_t threads) {
+  if (repeats == 0) throw std::invalid_argument("evaluation needs at least one repeat");
+  options.training = false;
+
+  EvalReport report;
+  report.seeds.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i)
+    report.seeds.push_back(core::eval_seed(options.seed, i));
+  report.per_seed.resize(repeats);
+
+  // Every repeat starts from an identical snapshot of the prototype, so the
+  // work distribution cannot influence any per-seed result. The probe clone
+  // is recycled for the first repeat that needs one.
+  std::unique_ptr<core::Manager> probe = prototype.clone_for_eval();
+  const bool cloneable = probe != nullptr;
+  std::atomic<bool> probe_taken{false};
+  auto take_clone = [&]() -> std::unique_ptr<core::Manager> {
+    if (!probe_taken.exchange(true)) return std::move(probe);
+    return prototype.clone_for_eval();
+  };
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = cloneable ? std::min(threads, repeats) : 1;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < repeats; ++i) {
+      if (cloneable) {
+        const auto clone = take_clone();
+        report.per_seed[i] = run_repeat(env_options, *clone, options, report.seeds[i]);
+      } else {
+        report.per_seed[i] = run_repeat(env_options, prototype, options, report.seeds[i]);
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= repeats) break;
+            const auto clone = take_clone();
+            report.per_seed[i] =
+                run_repeat(env_options, *clone, options, report.seeds[i]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    for (const auto& error : errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  report.mean = core::mean_result(report.per_seed);
+  return report;
+}
+
+Experiment Experiment::scenario(const std::string& name, const Config& overrides) {
+  Experiment experiment;
+  experiment.options_ = ScenarioCatalog::instance().build(name, overrides);
+  return experiment;
+}
+
+Experiment Experiment::from_options(core::EnvOptions options) {
+  Experiment experiment;
+  experiment.options_ = std::move(options);
+  return experiment;
+}
+
+Experiment& Experiment::manager(const std::string& name, const Config& params) {
+  manager_name_ = name;
+  manager_params_ = params;
+  manager_.reset();  // rebuilt lazily with the new selection
+  curve_.clear();
+  return *this;
+}
+
+Experiment& Experiment::use_manager(std::unique_ptr<core::Manager> manager) {
+  if (!manager) throw std::invalid_argument("use_manager needs a manager");
+  manager_ = std::move(manager);
+  manager_name_.clear();
+  curve_.clear();
+  return *this;
+}
+
+Experiment& Experiment::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Experiment& Experiment::threads(std::size_t threads) {
+  threads_ = threads;
+  return *this;
+}
+
+Experiment& Experiment::train_duration(double seconds) {
+  train_duration_s_ = seconds;
+  return *this;
+}
+
+Experiment& Experiment::eval_duration(double seconds) {
+  eval_duration_s_ = seconds;
+  return *this;
+}
+
+Experiment& Experiment::max_requests(std::size_t max_requests) {
+  max_requests_ = max_requests;
+  return *this;
+}
+
+core::VnfEnv& Experiment::env() {
+  if (!env_) env_ = std::make_unique<core::VnfEnv>(options_);
+  return *env_;
+}
+
+core::Manager& Experiment::manager_ref() {
+  if (!manager_) {
+    if (manager_name_.empty())
+      throw std::logic_error("select a manager() before running the experiment");
+    manager_ = ManagerRegistry::instance().create(manager_name_, env(), manager_params_);
+  }
+  return *manager_;
+}
+
+Experiment& Experiment::train(std::size_t episodes) {
+  core::EpisodeOptions options;
+  if (train_duration_s_ > 0.0) options.duration_s = train_duration_s_;
+  if (max_requests_ > 0) options.max_requests = max_requests_;
+  // Successive train() calls continue the training seed sequence instead of
+  // replaying episode seeds already consumed.
+  options.seed = core::train_seed(seed_, curve_.size());
+  options.training = true;
+  const auto curve = core::train_manager(env(), manager_ref(), episodes, options);
+  curve_.insert(curve_.end(), curve.begin(), curve.end());
+  return *this;
+}
+
+EvalReport Experiment::evaluate(std::size_t repeats) {
+  core::EpisodeOptions options;
+  if (eval_duration_s_ > 0.0) options.duration_s = eval_duration_s_;
+  if (max_requests_ > 0) options.max_requests = max_requests_;
+  options.seed = seed_;
+  options.training = false;
+  return evaluate_parallel(options_, manager_ref(), options, repeats, threads_);
+}
+
+}  // namespace vnfm::exp

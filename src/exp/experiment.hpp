@@ -1,0 +1,107 @@
+// Experiment: the single public entry point for running anything — a fluent
+// façade over ScenarioCatalog (what world), ManagerRegistry (which policy),
+// the episode runner (training) and a deterministic multi-threaded evaluator.
+//
+//   auto report = exp::Experiment::scenario("diurnal")
+//                     .manager("dqn")
+//                     .train(30)
+//                     .evaluate(8);
+//
+// Evaluation fans out across a std::thread pool: every repeat runs in its own
+// freshly constructed environment with its own eval-clone of the manager
+// (Manager::clone_for_eval), seeded from the held-out evaluation seed space
+// (core::eval_seed). Results are bit-identical for any thread count,
+// including the sequential threads(1) path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/environment.hpp"
+#include "core/manager.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::exp {
+
+/// Outcome of one multi-repeat evaluation.
+struct EvalReport {
+  core::EpisodeResult mean;                   ///< field-wise mean over repeats
+  std::vector<core::EpisodeResult> per_seed;  ///< one entry per repeat, seed order
+  std::vector<std::uint64_t> seeds;           ///< the held-out episode seeds used
+};
+
+/// Evaluates `prototype` over `repeats` held-out seeds (core::eval_seed of
+/// options.seed), each repeat in a fresh environment built from
+/// `env_options`, fanned out over up to `threads` workers (0 = hardware
+/// concurrency). Each repeat runs on its own Manager::clone_for_eval taken
+/// from the prototype's current state, which makes the result independent of
+/// scheduling: any thread count — including 1 — produces bit-identical
+/// EpisodeResults. Managers that cannot clone are evaluated sequentially
+/// through `prototype` itself.
+[[nodiscard]] EvalReport evaluate_parallel(const core::EnvOptions& env_options,
+                                           core::Manager& prototype,
+                                           core::EpisodeOptions options,
+                                           std::size_t repeats, std::size_t threads = 0);
+
+/// Fluent experiment builder; see file header for the canonical chain.
+class Experiment {
+ public:
+  /// Starts from a named scenario of the ScenarioCatalog.
+  static Experiment scenario(const std::string& name, const Config& overrides = {});
+  /// Escape hatch for pre-built options (tests, custom sweeps).
+  static Experiment from_options(core::EnvOptions options);
+
+  /// Selects the policy by ManagerRegistry name (lazily constructed).
+  Experiment& manager(const std::string& name, const Config& params = {});
+  /// Adopts an externally built manager instead of a registry name.
+  Experiment& use_manager(std::unique_ptr<core::Manager> manager);
+
+  /// Base seed of the episode seed space (training episode i uses
+  /// core::train_seed(seed, i), evaluation repeat j core::eval_seed(seed, j)).
+  Experiment& seed(std::uint64_t seed);
+  /// Worker threads for evaluate(); 0 = hardware concurrency.
+  Experiment& threads(std::size_t threads);
+  Experiment& train_duration(double seconds);
+  Experiment& eval_duration(double seconds);
+  /// Optional cap on decided requests per episode.
+  Experiment& max_requests(std::size_t max_requests);
+
+  /// Trains the selected manager now for `episodes` episodes; the learning
+  /// curve accumulates across calls.
+  Experiment& train(std::size_t episodes);
+
+  /// Runs the multi-repeat held-out evaluation (training/exploration off).
+  [[nodiscard]] EvalReport evaluate(std::size_t repeats);
+
+  // ---- Introspection -------------------------------------------------------
+  [[nodiscard]] const core::EnvOptions& env_options() const noexcept {
+    return options_;
+  }
+  /// The experiment's training environment (lazily constructed).
+  [[nodiscard]] core::VnfEnv& env();
+  /// The selected manager (lazily constructed).
+  [[nodiscard]] core::Manager& manager_ref();
+  [[nodiscard]] const std::vector<core::EpisodeResult>& learning_curve() const noexcept {
+    return curve_;
+  }
+
+ private:
+  Experiment() = default;
+
+  core::EnvOptions options_;
+  std::unique_ptr<core::VnfEnv> env_;
+  std::string manager_name_;
+  Config manager_params_;
+  std::unique_ptr<core::Manager> manager_;
+  std::uint64_t seed_ = 0;
+  std::size_t threads_ = 0;
+  std::size_t max_requests_ = 0;  ///< 0 = unlimited
+  double train_duration_s_ = 0.0;  ///< 0 = EpisodeOptions default
+  double eval_duration_s_ = 0.0;   ///< 0 = EpisodeOptions default
+  std::vector<core::EpisodeResult> curve_;
+};
+
+}  // namespace vnfm::exp

@@ -1,0 +1,61 @@
+// ManagerRegistry: string-keyed, self-registering factories for every VNF
+// manager policy (learning and heuristic). Drivers select policies by name
+// and tune them through Config key=value parameters, so new agents plug into
+// every bench/example without touching driver code.
+//
+//   auto manager = exp::ManagerRegistry::instance().create(
+//       "dqn", env, Config{{"dueling", "1"}, {"seed", "9"}});
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/manager.hpp"
+
+namespace vnfm::exp {
+
+/// Builds a manager for `env`, tuned by string key=value `params`.
+/// Unknown param keys are ignored; malformed values throw.
+using ManagerFactory = std::function<std::unique_ptr<core::Manager>(
+    const core::VnfEnv& env, const Config& params)>;
+
+/// Process-wide name -> factory map. All built-in policies register on first
+/// access; extensions register through add() (typically via ManagerRegistrar
+/// at static-initialisation time).
+class ManagerRegistry {
+ public:
+  static ManagerRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate name.
+  void add(const std::string& name, ManagerFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the named manager; throws std::invalid_argument (listing the
+  /// registered names) when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<core::Manager> create(const std::string& name,
+                                                      const core::VnfEnv& env,
+                                                      const Config& params = {}) const;
+
+ private:
+  ManagerRegistry();  // registers the built-in policies
+
+  std::map<std::string, ManagerFactory> factories_;
+};
+
+/// Registers a factory from a static initialiser:
+///   static exp::ManagerRegistrar reg("my_policy", [](const auto& env,
+///                                                    const Config& params) {...});
+struct ManagerRegistrar {
+  ManagerRegistrar(const std::string& name, ManagerFactory factory) {
+    ManagerRegistry::instance().add(name, std::move(factory));
+  }
+};
+
+}  // namespace vnfm::exp

@@ -1,0 +1,161 @@
+#include "exp/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vnfm::exp {
+
+core::EnvOptions apply_env_overrides(core::EnvOptions options, const Config& overrides) {
+  auto& topology = options.topology;
+  topology.node_count = overrides.get_size("nodes", topology.node_count);
+  topology.cpu_capacity_mean =
+      overrides.get_double("cpu_capacity_mean", topology.cpu_capacity_mean);
+  topology.capacity_jitter =
+      overrides.get_double("capacity_jitter", topology.capacity_jitter);
+  topology.seed = overrides.get_uint64("topology_seed", topology.seed);
+
+  auto& workload = options.workload;
+  workload.global_arrival_rate =
+      overrides.get_double("arrival_rate", workload.global_arrival_rate);
+  workload.diurnal_enabled = overrides.get_bool("diurnal", workload.diurnal_enabled);
+  workload.diurnal_amplitude =
+      overrides.get_double("diurnal_amplitude", workload.diurnal_amplitude);
+  workload.rate_jitter = overrides.get_double("rate_jitter", workload.rate_jitter);
+  workload.peak_local_hour =
+      overrides.get_double("peak_local_hour", workload.peak_local_hour);
+  workload.seed = overrides.get_uint64("workload_seed", workload.seed);
+
+  auto& cluster = options.cluster;
+  cluster.idle_timeout_s = overrides.get_double("idle_timeout_s", cluster.idle_timeout_s);
+  cluster.max_utilization =
+      overrides.get_double("max_utilization", cluster.max_utilization);
+  cluster.wan_bandwidth_rps =
+      overrides.get_double("wan_bandwidth_rps", cluster.wan_bandwidth_rps);
+
+  auto& cost = options.cost;
+  cost.w_deploy = overrides.get_double("w_deploy", cost.w_deploy);
+  cost.w_running = overrides.get_double("w_running", cost.w_running);
+  cost.w_latency_per_ms = overrides.get_double("w_latency_per_ms", cost.w_latency_per_ms);
+  cost.w_sla_violation = overrides.get_double("w_sla_violation", cost.w_sla_violation);
+  cost.w_rejection = overrides.get_double("w_rejection", cost.w_rejection);
+  cost.w_revenue = overrides.get_double("w_revenue", cost.w_revenue);
+  cost.w_migration = overrides.get_double("w_migration", cost.w_migration);
+
+  options.reward_scale = overrides.get_double("reward_scale", options.reward_scale);
+  options.seed = overrides.get_uint64("seed", options.seed);
+  return options;
+}
+
+ScenarioCatalog& ScenarioCatalog::instance() {
+  static ScenarioCatalog catalog;
+  return catalog;
+}
+
+void ScenarioCatalog::add(ScenarioSpec spec) {
+  if (specs_.count(spec.name) > 0)
+    throw std::invalid_argument("scenario '" + spec.name + "' is already registered");
+  specs_[spec.name] = std::move(spec);
+}
+
+bool ScenarioCatalog::contains(const std::string& name) const {
+  return specs_.count(name) > 0;
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;
+}
+
+const ScenarioSpec& ScenarioCatalog::spec(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    std::string known;
+    for (const auto& registered : names()) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    throw std::invalid_argument("unknown scenario '" + name + "' (registered: " + known +
+                                ")");
+  }
+  return it->second;
+}
+
+core::EnvOptions ScenarioCatalog::build(const std::string& name,
+                                        const Config& overrides) const {
+  return spec(name).build(overrides);
+}
+
+namespace {
+
+ScenarioSpec make_scenario(std::string name, std::string description,
+                           std::function<void(core::EnvOptions&)> defaults) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.build = [defaults = std::move(defaults)](const Config& overrides) {
+    core::EnvOptions options;
+    defaults(options);
+    return apply_env_overrides(options, overrides);
+  };
+  return spec;
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog() {
+  add(make_scenario("baseline",
+                    "8 metros, flat (non-diurnal) Poisson traffic at 2 req/s — the "
+                    "control scenario for isolating temporal effects",
+                    [](core::EnvOptions& options) {
+                      options.workload.diurnal_enabled = false;
+                      options.workload.global_arrival_rate = 2.0;
+                    }));
+  add(make_scenario("geo-distributed",
+                    "the paper's evaluation setting: 8 world metros, diurnal "
+                    "amplitude 0.6, 2 req/s — geographic skew plus follow-the-sun "
+                    "non-stationarity",
+                    [](core::EnvOptions& options) {
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.6;
+                      options.workload.global_arrival_rate = 2.0;
+                    }));
+  add(make_scenario("diurnal",
+                    "strong day/night swing (amplitude 0.8): stresses the "
+                    "idle-timeout GC and rewards follow-the-sun capacity shifts",
+                    [](core::EnvOptions& options) {
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.8;
+                      options.workload.global_arrival_rate = 1.0;
+                    }));
+  add(make_scenario("flash-crowd",
+                    "overload burst: 5 req/s at amplitude 0.9 with maximal per-flow "
+                    "rate jitter and aggressive GC — tests admission control under "
+                    "pressure",
+                    [](core::EnvOptions& options) {
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.9;
+                      options.workload.global_arrival_rate = 5.0;
+                      options.workload.rate_jitter = 1.0;
+                      options.cluster.idle_timeout_s = 60.0;
+                    }));
+  add(make_scenario("heterogeneous-nodes",
+                    "highly unequal node capacities (jitter 0.6): placement must "
+                    "respect per-node headroom, not just geography",
+                    [](core::EnvOptions& options) {
+                      options.topology.capacity_jitter = 0.6;
+                      options.workload.global_arrival_rate = 2.0;
+                    }));
+  add(make_scenario("large-scale",
+                    "all 16 world metros at constant per-node load (0.3 req/s per "
+                    "node): the action-space scalability setting of Figure 9",
+                    [](core::EnvOptions& options) {
+                      options.topology.node_count = 16;
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.6;
+                      options.workload.global_arrival_rate = 4.8;
+                    }));
+}
+
+}  // namespace vnfm::exp

@@ -1,0 +1,62 @@
+// ScenarioCatalog: named workload/topology scenarios that build EnvOptions
+// from Config key=value overrides, replacing hand-wired EnvOptions literals
+// in drivers. A scenario fixes the defaults (what the scenario *is*); the
+// overrides tune the knobs a sweep varies (arrival_rate, nodes, seed, cost
+// weights, ...).
+//
+//   core::VnfEnv env(exp::ScenarioCatalog::instance().build(
+//       "diurnal", Config{{"arrival_rate", "2.0"}}));
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/environment.hpp"
+
+namespace vnfm::exp {
+
+/// One named scenario: defaults plus the override application.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// Builds EnvOptions: scenario defaults first, then `overrides` on top.
+  std::function<core::EnvOptions(const Config& overrides)> build;
+};
+
+/// Process-wide scenario name -> spec map with the built-in catalog.
+class ScenarioCatalog {
+ public:
+  static ScenarioCatalog& instance();
+
+  /// Registers a scenario; throws std::invalid_argument on a duplicate name.
+  void add(ScenarioSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] const ScenarioSpec& spec(const std::string& name) const;
+
+  /// Builds the named scenario's EnvOptions; throws std::invalid_argument
+  /// (listing the registered names) when `name` is unknown.
+  [[nodiscard]] core::EnvOptions build(const std::string& name,
+                                       const Config& overrides = {}) const;
+
+ private:
+  ScenarioCatalog();  // registers the built-in scenarios
+
+  std::map<std::string, ScenarioSpec> specs_;
+};
+
+/// Applies the shared override keys to `options` and returns the result.
+/// Recognised keys: nodes, cpu_capacity_mean, capacity_jitter, topology_seed,
+/// arrival_rate, diurnal (bool), diurnal_amplitude, rate_jitter,
+/// peak_local_hour, workload_seed, idle_timeout_s, max_utilization,
+/// wan_bandwidth_rps, w_deploy, w_running, w_latency_per_ms, w_sla_violation,
+/// w_rejection, w_revenue, w_migration, reward_scale, seed.
+[[nodiscard]] core::EnvOptions apply_env_overrides(core::EnvOptions options,
+                                                   const Config& overrides);
+
+}  // namespace vnfm::exp

@@ -52,6 +52,12 @@ class ActorCriticAgent {
   [[nodiscard]] const ActorCriticConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
 
+  /// Network access (weight transfer between agents, diagnostics).
+  [[nodiscard]] nn::Mlp& actor() noexcept { return actor_; }
+  [[nodiscard]] const nn::Mlp& actor() const noexcept { return actor_; }
+  [[nodiscard]] nn::Mlp& critic() noexcept { return critic_; }
+  [[nodiscard]] const nn::Mlp& critic() const noexcept { return critic_; }
+
  private:
   [[nodiscard]] std::vector<float> masked_probs(std::span<const float> logits,
                                                 std::span<const std::uint8_t> mask) const;

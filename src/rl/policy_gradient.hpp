@@ -53,6 +53,10 @@ class ReinforceAgent {
   [[nodiscard]] const ReinforceConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t trajectory_length() const noexcept { return actions_.size(); }
 
+  /// Policy network access (weight transfer between agents, diagnostics).
+  [[nodiscard]] nn::Mlp& policy() noexcept { return policy_; }
+  [[nodiscard]] const nn::Mlp& policy() const noexcept { return policy_; }
+
  private:
   [[nodiscard]] std::vector<float> masked_probs(std::span<const float> logits,
                                                 std::span<const std::uint8_t> mask) const;

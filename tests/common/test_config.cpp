@@ -54,5 +54,54 @@ TEST(Config, ValueWithEqualsSign) {
   EXPECT_EQ(config.get_string("expr", ""), "a=b");
 }
 
+TEST(Config, InitializerListConstruction) {
+  const Config config{{"nodes", "12"}, {"arrival_rate", "2.5"}};
+  EXPECT_EQ(config.get_int("nodes", 0), 12);
+  EXPECT_DOUBLE_EQ(config.get_double("arrival_rate", 0.0), 2.5);
+  EXPECT_EQ(config.values().size(), 2U);
+}
+
+TEST(Config, SizeAndUint64Accessors) {
+  Config config;
+  config.set("replay_capacity", "50000");
+  config.set("seed", "18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ(config.get_size("replay_capacity", 0), 50'000U);
+  EXPECT_EQ(config.get_uint64("seed", 0), 18446744073709551615ULL);
+  EXPECT_EQ(config.get_size("missing", 7), 7U);
+  EXPECT_EQ(config.get_uint64("missing", 9), 9ULL);
+}
+
+TEST(Config, SizeRejectsMalformed) {
+  Config config;
+  config.set("n", "many");
+  config.set("neg", "-3");
+  EXPECT_THROW((void)config.get_size("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)config.get_uint64("neg", 0), std::invalid_argument);
+}
+
+TEST(Config, DoubleListParsing) {
+  Config config;
+  config.set("rates", "20,40,60");
+  config.set("single", "2.5");
+  const std::vector<double> rates = config.get_double_list("rates", {});
+  ASSERT_EQ(rates.size(), 3U);
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);
+  EXPECT_DOUBLE_EQ(rates[1], 40.0);
+  EXPECT_DOUBLE_EQ(rates[2], 60.0);
+  const std::vector<double> single = config.get_double_list("single", {});
+  ASSERT_EQ(single.size(), 1U);
+  EXPECT_DOUBLE_EQ(single[0], 2.5);
+  const std::vector<double> fallback = config.get_double_list("missing", {1.0, 2.0});
+  EXPECT_EQ(fallback.size(), 2U);
+}
+
+TEST(Config, DoubleListRejectsMalformed) {
+  Config config;
+  config.set("rates", "20,fast,60");
+  config.set("trailing", "20,40,");
+  EXPECT_THROW((void)config.get_double_list("rates", {}), std::invalid_argument);
+  EXPECT_THROW((void)config.get_double_list("trailing", {}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vnfm

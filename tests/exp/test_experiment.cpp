@@ -1,0 +1,180 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+/// Exact (bit-identical) comparison of every EpisodeResult field.
+void expect_identical(const core::EpisodeResult& a, const core::EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+core::EnvOptions tiny_env_options() {
+  return ScenarioCatalog::instance().build(
+      "geo-distributed", Config{{"nodes", "4"}, {"arrival_rate", "1.5"}});
+}
+
+core::EpisodeOptions short_episode() {
+  core::EpisodeOptions options;
+  options.duration_s = 400.0;
+  options.seed = 11;
+  return options;
+}
+
+TEST(EvaluateParallel, BitIdenticalToSequentialForEveryCloneablePolicy) {
+  const core::EnvOptions env_options = tiny_env_options();
+  core::VnfEnv env(env_options);
+  // Learners get a couple of training episodes first so their eval clones
+  // carry non-trivial learned state.
+  for (const std::string name :
+       {"dqn", "tabular_q", "reinforce", "actor_critic", "greedy_latency",
+        "myopic_cost", "first_fit", "static_provision", "random"}) {
+    const auto manager = ManagerRegistry::instance().create(name, env);
+    core::EpisodeOptions train = short_episode();
+    (void)core::train_manager(env, *manager, 2, train);
+
+    const EvalReport sequential =
+        evaluate_parallel(env_options, *manager, short_episode(), 6, 1);
+    const EvalReport parallel =
+        evaluate_parallel(env_options, *manager, short_episode(), 6, 4);
+    ASSERT_EQ(sequential.per_seed.size(), parallel.per_seed.size()) << name;
+    EXPECT_EQ(sequential.seeds, parallel.seeds) << name;
+    for (std::size_t i = 0; i < sequential.per_seed.size(); ++i)
+      expect_identical(sequential.per_seed[i], parallel.per_seed[i],
+                       name + " repeat " + std::to_string(i));
+    expect_identical(sequential.mean, parallel.mean, name + " mean");
+    // Repeats must actually simulate traffic for the identity to be meaningful.
+    EXPECT_GT(sequential.mean.requests, 0U) << name;
+  }
+}
+
+TEST(EvaluateParallel, MeanMatchesRunnerMeanResult) {
+  const core::EnvOptions env_options = tiny_env_options();
+  core::VnfEnv env(env_options);
+  const auto manager = ManagerRegistry::instance().create("greedy_latency", env);
+  const EvalReport report =
+      evaluate_parallel(env_options, *manager, short_episode(), 4, 4);
+  expect_identical(report.mean, core::mean_result(report.per_seed), "mean");
+}
+
+/// A manager without clone_for_eval: the evaluator must fall back to the
+/// sequential path and still produce the same per-seed results.
+class UncloneableGreedy : public core::Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "uncloneable_greedy"; }
+  [[nodiscard]] int select_action(core::VnfEnv& env) override {
+    return inner_.select_action(env);
+  }
+
+ private:
+  core::GreedyLatencyManager inner_;
+};
+
+TEST(EvaluateParallel, UncloneableManagerFallsBackToSequential) {
+  const core::EnvOptions env_options = tiny_env_options();
+  UncloneableGreedy uncloneable;
+  core::GreedyLatencyManager cloneable;
+  const EvalReport fallback =
+      evaluate_parallel(env_options, uncloneable, short_episode(), 4, 4);
+  const EvalReport reference =
+      evaluate_parallel(env_options, cloneable, short_episode(), 4, 4);
+  for (std::size_t i = 0; i < fallback.per_seed.size(); ++i)
+    expect_identical(fallback.per_seed[i], reference.per_seed[i],
+                     "repeat " + std::to_string(i));
+}
+
+TEST(EvaluateParallel, RandomManagerEpisodesAreOrderIndependent) {
+  // The random baseline reseeds per episode, so a repeat of the same episode
+  // seed replays exactly no matter what ran in between — this is what keeps
+  // multi-repeat evaluations decorrelated yet deterministic.
+  core::VnfEnv env(tiny_env_options());
+  core::RandomManager random(5);
+  core::EpisodeOptions episode = short_episode();
+  episode.training = false;
+  episode.seed = 123;
+  const auto first = core::run_episode(env, random, episode);
+  core::EpisodeOptions other = episode;
+  other.seed = 456;
+  (void)core::run_episode(env, random, other);
+  const auto replay = core::run_episode(env, random, episode);
+  expect_identical(first, replay, "random replay after interleaved episode");
+}
+
+TEST(EvaluateParallel, ZeroRepeatsThrows) {
+  core::GreedyLatencyManager greedy;
+  EXPECT_THROW((void)evaluate_parallel(tiny_env_options(), greedy, short_episode(), 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Experiment, FluentChainTrainsAndEvaluates) {
+  auto experiment = Experiment::scenario(
+      "geo-distributed", Config{{"nodes", "4"}, {"arrival_rate", "1.5"}});
+  const EvalReport report = experiment.manager("tabular_q")
+                                .seed(11)
+                                .threads(4)
+                                .train_duration(400.0)
+                                .eval_duration(400.0)
+                                .train(3)
+                                .evaluate(4);
+  EXPECT_EQ(experiment.learning_curve().size(), 3U);
+  ASSERT_EQ(report.per_seed.size(), 4U);
+  ASSERT_EQ(report.seeds.size(), 4U);
+  EXPECT_GT(report.mean.requests, 0U);
+  expect_identical(report.mean, core::mean_result(report.per_seed), "mean");
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  EvalReport reports[2];
+  for (int i = 0; i < 2; ++i) {
+    auto experiment = Experiment::scenario(
+        "geo-distributed", Config{{"nodes", "4"}, {"arrival_rate", "1.5"}});
+    experiment.manager("dqn")
+        .seed(11)
+        .threads(i == 0 ? 1 : 4)
+        .train_duration(400.0)
+        .eval_duration(400.0)
+        .train(2);
+    reports[i] = experiment.evaluate(5);
+  }
+  ASSERT_EQ(reports[0].per_seed.size(), reports[1].per_seed.size());
+  for (std::size_t i = 0; i < reports[0].per_seed.size(); ++i)
+    expect_identical(reports[0].per_seed[i], reports[1].per_seed[i],
+                     "repeat " + std::to_string(i));
+}
+
+TEST(Experiment, UseManagerAdoptsExternalInstance) {
+  auto experiment = Experiment::from_options(tiny_env_options());
+  experiment.use_manager(std::make_unique<core::GreedyLatencyManager>())
+      .eval_duration(400.0);
+  EXPECT_EQ(experiment.manager_ref().name(), "greedy_latency");
+  const EvalReport report = experiment.evaluate(2);
+  EXPECT_EQ(report.per_seed.size(), 2U);
+}
+
+TEST(Experiment, EvaluateWithoutManagerThrows) {
+  auto experiment = Experiment::from_options(tiny_env_options());
+  EXPECT_THROW((void)experiment.evaluate(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

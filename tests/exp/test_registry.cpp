@@ -1,0 +1,103 @@
+#include "exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/drl_manager.hpp"
+#include "core/migration.hpp"
+#include "core/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+core::EnvOptions tiny_env_options() {
+  return ScenarioCatalog::instance().build(
+      "baseline", Config{{"nodes", "4"}, {"arrival_rate", "1.0"}});
+}
+
+TEST(ManagerRegistry, ContainsEveryBuiltinPolicy) {
+  const auto names = ManagerRegistry::instance().names();
+  for (const std::string expected :
+       {"dqn", "vanilla_dqn", "double_dqn", "dueling_ddqn", "per_ddqn", "reinforce",
+        "actor_critic", "tabular_q", "greedy_latency", "myopic_cost", "first_fit",
+        "static_provision", "random", "consolidating"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing builtin manager: " << expected;
+  }
+}
+
+TEST(ManagerRegistry, EveryRegisteredNameConstructsAndRuns) {
+  core::VnfEnv env(tiny_env_options());
+  core::EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  episode.max_requests = 5;
+  episode.training = false;
+  for (const auto& name : ManagerRegistry::instance().names()) {
+    const auto manager = ManagerRegistry::instance().create(name, env);
+    ASSERT_NE(manager, nullptr) << name;
+    EXPECT_FALSE(manager->name().empty()) << name;
+    const auto result = core::run_episode(env, *manager, episode);
+    EXPECT_LE(result.requests, 5U) << name;
+  }
+}
+
+TEST(ManagerRegistry, UnknownNameThrowsListingRegisteredNames) {
+  core::VnfEnv env(tiny_env_options());
+  try {
+    (void)ManagerRegistry::instance().create("no_such_policy", env);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no_such_policy"), std::string::npos);
+    EXPECT_NE(message.find("greedy_latency"), std::string::npos);
+  }
+}
+
+TEST(ManagerRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(ManagerRegistry::instance().add(
+                   "dqn", [](const core::VnfEnv&, const Config&) {
+                     return std::unique_ptr<core::Manager>();
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ManagerRegistry, CustomRegistrationIsCreatable) {
+  static ManagerRegistrar registrar(
+      "test_custom_greedy", [](const core::VnfEnv& env, const Config& params) {
+        return ManagerRegistry::instance().create("greedy_latency", env, params);
+      });
+  core::VnfEnv env(tiny_env_options());
+  const auto manager =
+      ManagerRegistry::instance().create("test_custom_greedy", env);
+  EXPECT_EQ(manager->name(), "greedy_latency");
+}
+
+TEST(ManagerRegistry, DqnParamsReachTheAgentConfig) {
+  core::VnfEnv env(tiny_env_options());
+  const auto manager = ManagerRegistry::instance().create(
+      "dueling_ddqn", env,
+      Config{{"replay_capacity", "1234"}, {"seed", "99"}, {"name", "custom"}});
+  const auto* dqn = dynamic_cast<const core::DqnManager*>(manager.get());
+  ASSERT_NE(dqn, nullptr);
+  EXPECT_EQ(manager->name(), "custom");
+  EXPECT_TRUE(dqn->agent().config().dueling);
+  EXPECT_TRUE(dqn->agent().config().double_dqn);
+  EXPECT_EQ(dqn->agent().config().replay_capacity, 1234U);
+  EXPECT_EQ(dqn->agent().config().seed, 99U);
+}
+
+TEST(ManagerRegistry, ConsolidatingDecoratorWrapsInnerPolicy) {
+  core::VnfEnv env(tiny_env_options());
+  const auto manager = ManagerRegistry::instance().create(
+      "consolidating", env, Config{{"inner", "first_fit"}});
+  EXPECT_EQ(manager->name(), "first_fit+consolidation");
+  EXPECT_NE(dynamic_cast<const core::ConsolidatingManager*>(manager.get()), nullptr);
+  EXPECT_THROW((void)ManagerRegistry::instance().create(
+                   "consolidating", env, Config{{"inner", "consolidating"}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

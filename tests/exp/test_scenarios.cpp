@@ -1,0 +1,89 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vnfm::exp {
+namespace {
+
+TEST(ScenarioCatalog, ContainsTheBuiltinScenarios) {
+  const auto names = ScenarioCatalog::instance().names();
+  for (const std::string expected :
+       {"baseline", "geo-distributed", "diurnal", "flash-crowd",
+        "heterogeneous-nodes", "large-scale"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing builtin scenario: " << expected;
+    EXPECT_FALSE(ScenarioCatalog::instance().spec(expected).description.empty());
+  }
+}
+
+TEST(ScenarioCatalog, EveryScenarioBuildsAValidEnvironment) {
+  for (const auto& name : ScenarioCatalog::instance().names()) {
+    const core::EnvOptions options = ScenarioCatalog::instance().build(name);
+    EXPECT_GE(options.topology.node_count, 1U) << name;
+    EXPECT_GT(options.workload.global_arrival_rate, 0.0) << name;
+    core::VnfEnv env(options);  // must construct without throwing
+    env.reset(1);
+    EXPECT_TRUE(env.begin_next_request()) << name;
+    EXPECT_GT(env.state_dim(), 0U) << name;
+  }
+}
+
+TEST(ScenarioCatalog, ScenarioDefaultsMatchTheirStories) {
+  const auto& catalog = ScenarioCatalog::instance();
+  EXPECT_FALSE(catalog.build("baseline").workload.diurnal_enabled);
+  EXPECT_TRUE(catalog.build("geo-distributed").workload.diurnal_enabled);
+  EXPECT_DOUBLE_EQ(catalog.build("diurnal").workload.diurnal_amplitude, 0.8);
+  EXPECT_GT(catalog.build("flash-crowd").workload.global_arrival_rate,
+            catalog.build("baseline").workload.global_arrival_rate);
+  EXPECT_GT(catalog.build("heterogeneous-nodes").topology.capacity_jitter,
+            catalog.build("baseline").topology.capacity_jitter);
+  EXPECT_EQ(catalog.build("large-scale").topology.node_count, 16U);
+}
+
+TEST(ScenarioCatalog, OverridesApplyOnTopOfDefaults) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "diurnal", Config{{"nodes", "4"},
+                        {"arrival_rate", "0.5"},
+                        {"seed", "9"},
+                        {"idle_timeout_s", "33"},
+                        {"w_rejection", "2.5"}});
+  EXPECT_EQ(options.topology.node_count, 4U);
+  EXPECT_DOUBLE_EQ(options.workload.global_arrival_rate, 0.5);
+  EXPECT_EQ(options.seed, 9U);
+  EXPECT_DOUBLE_EQ(options.cluster.idle_timeout_s, 33.0);
+  EXPECT_DOUBLE_EQ(options.cost.w_rejection, 2.5);
+  // Scenario defaults survive where not overridden.
+  EXPECT_DOUBLE_EQ(options.workload.diurnal_amplitude, 0.8);
+}
+
+TEST(ScenarioCatalog, UnknownScenarioThrowsListingNames) {
+  try {
+    (void)ScenarioCatalog::instance().build("no_such_scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no_such_scenario"), std::string::npos);
+    EXPECT_NE(message.find("baseline"), std::string::npos);
+  }
+}
+
+TEST(ScenarioCatalog, MalformedOverrideValueThrows) {
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "baseline", Config{{"arrival_rate", "fast"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "baseline", Config{{"nodes", "-2"}}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCatalog, DuplicateRegistrationThrows) {
+  ScenarioSpec spec;
+  spec.name = "baseline";
+  spec.build = [](const Config&) { return core::EnvOptions{}; };
+  EXPECT_THROW(ScenarioCatalog::instance().add(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

@@ -1,0 +1,111 @@
+// Regression tests for the held-out evaluation seed contract: the episode
+// seeds consumed by evaluation (evaluate_manager, exp::evaluate_parallel,
+// Experiment::evaluate) must be disjoint from those consumed by training
+// (train_manager, Experiment::train) for any realistic episode budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::core {
+namespace {
+
+/// Records the seed of every episode it participates in.
+class SeedSpyManager : public Manager {
+ public:
+  explicit SeedSpyManager(std::vector<std::uint64_t>* seeds) : seeds_(seeds) {}
+
+  [[nodiscard]] std::string name() const override { return "seed_spy"; }
+  void on_episode_start(VnfEnv& env) override {
+    seeds_->push_back(env.episode_seed());
+  }
+  [[nodiscard]] int select_action(VnfEnv& env) override {
+    return inner_.select_action(env);
+  }
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
+    return std::make_unique<SeedSpyManager>(*this);
+  }
+
+ private:
+  std::vector<std::uint64_t>* seeds_;  ///< shared across clones on purpose
+  GreedyLatencyManager inner_;
+};
+
+EpisodeOptions short_episode(std::uint64_t seed) {
+  EpisodeOptions options;
+  options.duration_s = 200.0;
+  options.max_requests = 2;
+  options.seed = seed;
+  return options;
+}
+
+TEST(EvalSeeds, SeedHelpersAreDisjointForRealisticBudgets) {
+  constexpr std::uint64_t base = 42;
+  static_assert(train_seed(base, 0) == base);
+  static_assert(eval_seed(base, 0) == base + kEvalSeedOffset);
+  // Any training run shorter than kEvalSeedOffset episodes cannot collide
+  // with the first million evaluation repeats.
+  EXPECT_LT(train_seed(base, 999'999), eval_seed(base, 0));
+}
+
+TEST(EvalSeeds, EvaluateManagerUsesHeldOutSeeds) {
+  core::VnfEnv env(exp::ScenarioCatalog::instance().build(
+      "baseline", Config{{"nodes", "4"}, {"arrival_rate", "1.0"}}));
+  std::vector<std::uint64_t> train_seeds;
+  std::vector<std::uint64_t> eval_seeds;
+  {
+    SeedSpyManager spy(&train_seeds);
+    (void)train_manager(env, spy, 5, short_episode(42));
+  }
+  {
+    SeedSpyManager spy(&eval_seeds);
+    (void)evaluate_manager(env, spy, short_episode(42), 3);
+  }
+  ASSERT_EQ(train_seeds.size(), 5U);
+  ASSERT_EQ(eval_seeds.size(), 3U);
+  for (std::size_t i = 0; i < train_seeds.size(); ++i)
+    EXPECT_EQ(train_seeds[i], train_seed(42, i));
+  for (std::size_t i = 0; i < eval_seeds.size(); ++i)
+    EXPECT_EQ(eval_seeds[i], eval_seed(42, i));
+  std::set<std::uint64_t> overlap(train_seeds.begin(), train_seeds.end());
+  for (const auto seed : eval_seeds)
+    EXPECT_EQ(overlap.count(seed), 0U) << "evaluation reused training seed " << seed;
+}
+
+TEST(EvalSeeds, ExperimentEvaluationIsHeldOutFromItsTraining) {
+  auto experiment = exp::Experiment::scenario(
+      "baseline", Config{{"nodes", "4"}, {"arrival_rate", "1.0"}});
+  std::vector<std::uint64_t> seeds;
+  // threads(1): the spy clones share one seed log, which is only safe on the
+  // sequential path.
+  experiment.use_manager(std::make_unique<SeedSpyManager>(&seeds))
+      .seed(7)
+      .threads(1)
+      .train_duration(200.0)
+      .eval_duration(200.0)
+      .max_requests(2)
+      .train(4);
+  const std::vector<std::uint64_t> train_seeds = seeds;
+  seeds.clear();
+  const auto report = experiment.evaluate(3);
+  ASSERT_EQ(train_seeds.size(), 4U);
+  for (std::size_t i = 0; i < train_seeds.size(); ++i)
+    EXPECT_EQ(train_seeds[i], train_seed(7, i));
+  // The spy's clones share the seed log; every evaluation episode must have
+  // drawn from the held-out seed space reported by the EvalReport.
+  const std::set<std::uint64_t> observed(seeds.begin(), seeds.end());
+  const std::set<std::uint64_t> reported(report.seeds.begin(), report.seeds.end());
+  EXPECT_EQ(observed, reported);
+  for (std::size_t i = 0; i < report.seeds.size(); ++i)
+    EXPECT_EQ(report.seeds[i], eval_seed(7, i));
+  for (const auto seed : train_seeds) EXPECT_EQ(observed.count(seed), 0U);
+}
+
+}  // namespace
+}  // namespace vnfm::core
