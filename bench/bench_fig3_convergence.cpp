@@ -2,29 +2,20 @@
 // and the learning baselines (tabular Q, REINFORCE). The paper-shape claim:
 // DQN-family curves rise and plateau well above tabular/REINFORCE, and
 // Double DQN converges at least as stably as vanilla.
+//
+// Training runs through the actor-learner pipeline (exp::Experiment::
+// train_threads over core::TrainDriver); the bench reports per-variant
+// throughput and measures the pipeline's wall-clock speedup at 4 actor
+// threads against 1 — the two runs are bit-identical by construction, so
+// the speedup is free of any result drift.
 #include <iostream>
-#include <memory>
+#include <thread>
+#include <vector>
 
-#include "common/csv.hpp"
 #include "common/table.hpp"
 #include "support.hpp"
 
 using namespace vnfm;
-
-namespace {
-
-std::vector<double> train_curve(core::VnfEnv& env, core::Manager& manager,
-                                std::size_t episodes, double duration_s) {
-  core::EpisodeOptions episode;
-  episode.duration_s = duration_s;
-  const auto results = core::train_manager(env, manager, episodes, episode);
-  std::vector<double> rewards;
-  rewards.reserve(results.size());
-  for (const auto& r : results) rewards.push_back(r.total_reward);
-  return rewards;
-}
-
-}  // namespace
 
 int main() {
   const bench::Scale scale = bench::Scale::resolve();
@@ -35,9 +26,6 @@ int main() {
   std::cout << "=== Figure 3: training convergence (reward/episode, rate="
             << arrival_rate << "/s, " << episodes << " episodes x " << duration
             << "s) ===\n\n";
-
-  core::VnfEnv env(bench::make_env_options(arrival_rate));
-  auto& registry = exp::ManagerRegistry::instance();
 
   // Registry name + per-variant parameters; "dqn" keeps its historical
   // vanilla (non-double) configuration in this figure.
@@ -50,30 +38,46 @@ int main() {
       {"actor_critic", {}},
   };
 
-  std::vector<std::pair<std::string, std::vector<double>>> curves;
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> curves;
   for (const auto& [name, params] : variants) {
-    const auto manager = registry.create(name, env, params);
-    curves.emplace_back(manager->name(),
-                        train_curve(env, *manager, episodes, duration));
+    auto experiment =
+        exp::Experiment::from_options(bench::make_env_options(arrival_rate));
+    experiment.manager(name, params)
+        .train_threads(bench::train_threads())
+        .train_duration(duration)
+        .train(episodes);
+    labels.push_back(experiment.manager_ref().name());
+    std::vector<double> rewards;
+    rewards.reserve(episodes);
+    for (const auto& r : experiment.learning_curve())
+      rewards.push_back(r.total_reward);
+    curves.push_back(std::move(rewards));
+    // Full per-episode metrics + throughput stats for the headline variant.
+    if (name == "double_dqn")
+      experiment.write_curve_json("fig3_double_dqn_curve.json");
+    const auto& stats = experiment.train_stats();
+    std::cout << labels.back() << ": " << stats.transitions << " transitions in "
+              << stats.wall_seconds << " s (" << stats.steps_per_second()
+              << " steps/s, "
+              << (stats.parallel ? "actor-learner pipeline" : "sequential") << ", "
+              << stats.actor_threads << " actor thread(s))\n";
   }
+  std::cout << '\n';
 
   std::vector<std::string> header{"episode"};
-  for (const auto& [name, curve] : curves) header.push_back(name);
+  for (const auto& label : labels) header.push_back(label);
   AsciiTable table(header);
-  CsvWriter csv(bench::csv_path("fig3_convergence"), header);
   for (std::size_t e = 0; e < episodes; ++e) {
     std::vector<double> row;
     row.reserve(curves.size());
-    for (const auto& [name, curve] : curves) row.push_back(curve[e]);
+    for (const auto& curve : curves) row.push_back(curve[e]);
     table.add_row(std::to_string(e), row);
-    std::vector<double> csv_row{static_cast<double>(e)};
-    csv_row.insert(csv_row.end(), row.begin(), row.end());
-    csv.row(csv_row);
   }
   table.print(std::cout);
 
   // Shape check: late DQN reward should exceed early DQN reward.
-  const auto& ddqn = curves[1].second;
+  const auto& ddqn = curves[1];
   double early = 0.0, late = 0.0;
   const std::size_t k = std::max<std::size_t>(1, episodes / 4);
   for (std::size_t i = 0; i < k; ++i) early += ddqn[i];
@@ -81,6 +85,35 @@ int main() {
   std::cout << "\nDouble-DQN mean reward: first quartile " << early / k
             << " -> last quartile " << late / k
             << (late > early ? "  [improving]" : "  [NOT improving]") << "\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+
+  // ---- Pipeline speedup: 1 vs 4 actor threads (bit-identical runs) --------
+  std::cout << "\n--- Actor-learner pipeline speedup (double_dqn, "
+            << episodes / 2 << " episodes) ---\n";
+  double walls[2] = {0.0, 0.0};
+  std::vector<double> speedup_curves[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    auto experiment =
+        exp::Experiment::from_options(bench::make_env_options(arrival_rate));
+    experiment.manager("double_dqn", Config{{"seed", "8"}})
+        .train_threads(thread_counts[i])
+        .train_duration(duration)
+        .train(episodes / 2);
+    walls[i] = experiment.train_stats().wall_seconds;
+    for (const auto& r : experiment.learning_curve())
+      speedup_curves[i].push_back(r.total_reward);
+  }
+  const bool identical = speedup_curves[0] == speedup_curves[1];
+  std::cout << "1 thread: " << walls[0] << " s, 4 threads: " << walls[1]
+            << " s -> speedup " << (walls[1] > 0.0 ? walls[0] / walls[1] : 0.0)
+            << "x on " << std::thread::hardware_concurrency()
+            << " hardware core(s)\n";
+  std::cout << "learning curves bit-identical across thread counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  // Persist the full figure through the experiment report writers.
+  const std::string csv = bench::csv_path("fig3_convergence");
+  exp::write_reward_curves_csv(labels, curves, csv);
+  std::cout << "\nCSV written to " << csv << "\n";
+  return identical ? 0 : 1;
 }

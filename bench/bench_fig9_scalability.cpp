@@ -2,6 +2,10 @@
 // geo-distributed edge nodes grows at constant per-node load. Paper-shape
 // claim: more nodes give every policy more placement freedom (lower latency),
 // and the DRL manager's advantage persists as the action space grows.
+//
+// DQN training runs through the actor-learner TrainDriver pipeline; the
+// bench reports per-size training throughput (steps/s) so hot-path
+// regressions in the nn/rl layers are visible next to the paper metrics.
 #include <iostream>
 
 #include "common/csv.hpp"
@@ -31,7 +35,12 @@ int main() {
   for (const std::size_t nodes : node_counts) {
     const double rate = per_node_rate * static_cast<double>(nodes);
     core::VnfEnv env(bench::make_env_options(rate, nodes));
-    auto dqn = bench::train_policy(env, scale, "dqn");
+    core::TrainStats train_stats;
+    auto dqn = bench::train_policy(env, scale, "dqn", {}, &train_stats);
+    std::cout << nodes << " nodes: trained " << train_stats.transitions
+              << " transitions in " << train_stats.wall_seconds << " s ("
+              << train_stats.steps_per_second() << " steps/s, "
+              << train_stats.actor_threads << " actor thread(s))\n";
     const auto myopic = registry.create("myopic_cost", env);
     const auto greedy = registry.create("greedy_latency", env);
     const auto dqn_r = bench::evaluate_policy(env, *dqn, scale);
@@ -44,6 +53,7 @@ int main() {
     table.add_row(std::to_string(nodes), {row.begin() + 1, row.end()});
     csv.row(row);
   }
+  std::cout << '\n';
   table.print(std::cout);
   std::cout << "\nCSV written to " << csv.path() << "\n";
   return 0;

@@ -18,8 +18,14 @@ int main() {
   auto dqn = bench::train_policy(env, scale, "dqn");
   auto dueling = bench::train_policy(env, scale, "dueling_ddqn", Config{{"seed", "31"}});
 
+  // Full per-seed evaluation of the headline policy, persisted through the
+  // EvalReport writers (CSV row per held-out seed + JSON document).
+  const exp::EvalReport dqn_report = bench::evaluate_policy_report(env, *dqn, scale);
+  dqn_report.write_csv("table2_dqn_eval.csv");
+  dqn_report.write_json("table2_dqn_eval.json");
+
   std::vector<bench::PolicyRow> rows;
-  rows.push_back({"dqn", bench::evaluate_policy(env, *dqn, scale)});
+  rows.push_back({"dqn", dqn_report.mean});
   rows.push_back({"dueling_ddqn", bench::evaluate_policy(env, *dueling, scale)});
   for (auto& baseline : bench::evaluate_baselines(env, scale))
     rows.push_back(std::move(baseline));

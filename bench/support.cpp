@@ -1,5 +1,6 @@
 #include "support.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace vnfm::bench {
@@ -32,21 +33,36 @@ core::EpisodeOptions eval_options(const Scale& scale) {
   return episode;
 }
 
+std::size_t train_threads() {
+  const char* requested = std::getenv("REPRO_TRAIN_THREADS");
+  if (requested == nullptr || *requested == '\0') return 0;  // hardware
+  return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
+}
+
 std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
                                             const std::string& name,
-                                            const Config& params) {
+                                            const Config& params,
+                                            core::TrainStats* stats) {
   auto manager = exp::ManagerRegistry::instance().create(name, env, params);
-  core::EpisodeOptions episode;
-  episode.duration_s = scale.train_duration_s;
-  core::train_manager(env, *manager, scale.train_episodes, episode);
+  core::TrainOptions train;
+  train.episodes = scale.train_episodes;
+  train.threads = train_threads();
+  train.episode.duration_s = scale.train_duration_s;
+  const core::TrainResult result =
+      core::TrainDriver(env.options(), train).run(*manager);
+  if (stats != nullptr) *stats = result.stats;
   return manager;
 }
 
 core::EpisodeResult evaluate_policy(core::VnfEnv& env, core::Manager& manager,
                                     const Scale& scale, std::size_t repeats) {
+  return evaluate_policy_report(env, manager, scale, repeats).mean;
+}
+
+exp::EvalReport evaluate_policy_report(core::VnfEnv& env, core::Manager& manager,
+                                       const Scale& scale, std::size_t repeats) {
   if (repeats == 0) repeats = scale.eval_repeats;
-  return exp::evaluate_parallel(env.options(), manager, eval_options(scale), repeats)
-      .mean;
+  return exp::evaluate_parallel(env.options(), manager, eval_options(scale), repeats);
 }
 
 const std::vector<std::string>& baseline_names() {
@@ -85,6 +101,7 @@ std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
     auto experiment = exp::Experiment::scenario(
         "geo-distributed", Config{{"arrival_rate", to_config_value(rate)}});
     experiment.manager("dqn")
+        .train_threads(train_threads())
         .train_duration(scale.train_duration_s)
         .eval_duration(scale.eval_duration_s)
         .train(scale.train_episodes);

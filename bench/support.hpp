@@ -17,8 +17,10 @@
 #include "core/environment.hpp"
 #include "core/manager.hpp"
 #include "core/runner.hpp"
+#include "core/train_driver.hpp"
 #include "exp/experiment.hpp"
 #include "exp/registry.hpp"
+#include "exp/report_io.hpp"
 #include "exp/scenario.hpp"
 
 namespace vnfm::bench {
@@ -48,11 +50,21 @@ core::EnvOptions scenario_options(const std::string& scenario,
 core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
                                   std::uint64_t seed = 1);
 
-/// Builds the named registry policy and trains it on `env` for the scale's
-/// budget; returns it ready for evaluation.
+/// Actor threads for the training pipeline (core::TrainDriver): the
+/// REPRO_TRAIN_THREADS environment variable, defaulting to 0 = hardware
+/// concurrency. The pipeline is thread-count-invariant, so this only moves
+/// wall-clock, never results.
+std::size_t train_threads();
+
+/// Builds the named registry policy and trains it on `env`'s scenario for
+/// the scale's budget through the actor-learner TrainDriver (train_threads()
+/// workers; sequential fallback for inline learners); returns it ready for
+/// evaluation. When `stats` is non-null the training wall-clock/throughput
+/// summary is written there.
 std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
                                             const std::string& name,
-                                            const Config& params = {});
+                                            const Config& params = {},
+                                            core::TrainStats* stats = nullptr);
 
 /// Default evaluation options derived from the scale.
 core::EpisodeOptions eval_options(const Scale& scale);
@@ -62,6 +74,11 @@ core::EpisodeOptions eval_options(const Scale& scale);
 /// repeats = 0 uses scale.eval_repeats.
 core::EpisodeResult evaluate_policy(core::VnfEnv& env, core::Manager& manager,
                                     const Scale& scale, std::size_t repeats = 0);
+
+/// Same evaluation but returning the full per-seed report (persistable via
+/// EvalReport::write_csv / write_json).
+exp::EvalReport evaluate_policy_report(core::VnfEnv& env, core::Manager& manager,
+                                       const Scale& scale, std::size_t repeats = 0);
 
 /// One evaluated policy row.
 struct PolicyRow {

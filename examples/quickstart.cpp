@@ -6,6 +6,10 @@
 // Command-line key=value tokens override both the experiment knobs and the
 // scenario itself:
 //   ./quickstart [episodes=12] [arrival_rate=2.0] [nodes=8] [threads=0]
+//                [train_threads=0]
+//
+// Training uses the actor-learner pipeline (train_threads actor workers,
+// 0 = all cores); its results are bit-identical for every thread count.
 #include <iostream>
 
 #include "common/config.hpp"
@@ -23,6 +27,7 @@ int main(int argc, char** argv) {
   auto experiment = exp::Experiment::scenario("geo-distributed", config);
   experiment.manager("dqn")
       .threads(config.get_size("threads", 0))
+      .train_threads(config.get_size("train_threads", 0))
       .train_duration(0.5 * edgesim::kSecondsPerHour)
       .eval_duration(0.5 * edgesim::kSecondsPerHour);
 
@@ -37,8 +42,12 @@ int main(int argc, char** argv) {
   const auto& curve = experiment.learning_curve();
   if (!curve.empty()) {
     std::cout << "  first-episode reward " << curve.front().total_reward
-              << " -> last-episode reward " << curve.back().total_reward << "\n\n";
+              << " -> last-episode reward " << curve.back().total_reward << "\n";
   }
+  const auto& stats = experiment.train_stats();
+  std::cout << "  " << stats.transitions << " transitions in " << stats.wall_seconds
+            << " s (" << stats.steps_per_second() << " steps/s, "
+            << stats.actor_threads << " actor thread(s))\n\n";
 
   // Head-to-head evaluation on the same held-out seeds.
   const auto dqn_eval = experiment.evaluate(3).mean;

@@ -59,8 +59,7 @@ int DqnManager::select_action(VnfEnv& env) {
   return agent_->act_greedy(env.features(), env.action_mask());
 }
 
-void DqnManager::observe(const TransitionView& t) {
-  if (!training_) return;
+rl::Transition DqnManager::to_transition(const TransitionView& t) const {
   rl::Transition transition;
   transition.state.assign(t.state.begin(), t.state.end());
   transition.action = t.action;
@@ -74,13 +73,42 @@ void DqnManager::observe(const TransitionView& t) {
     transition.next_state.assign(t.next_state.begin(), t.next_state.end());
     transition.next_valid.assign(t.next_mask.begin(), t.next_mask.end());
   }
-  const auto loss = agent_->observe(std::move(transition));
+  return transition;
+}
+
+void DqnManager::observe(const TransitionView& t) {
+  if (!training_) return;
+  const auto loss = agent_->observe(to_transition(t));
   if (loss) last_loss_ = *loss;
+}
+
+void DqnManager::ingest(const TransitionView& t) {
+  if (!training_) return;
+  const auto loss = agent_->ingest(to_transition(t));
+  if (loss) last_loss_ = *loss;
+}
+
+std::unique_ptr<Manager> DqnManager::clone_for_acting() const {
+  return std::make_unique<DqnActorManager>(*this, name_);
 }
 
 void DqnManager::set_training(bool training) {
   training_ = training;
   agent_->set_exploration_enabled(training);
+}
+
+DqnActorManager::DqnActorManager(const DqnManager& learner, std::string name)
+    : name_(std::move(name)), view_(learner.agent()) {}
+
+int DqnActorManager::select_action(VnfEnv& env) {
+  return view_.act(env.features(), env.action_mask());
+}
+
+void DqnActorManager::sync_from_learner(const Manager& learner) {
+  const auto* dqn = dynamic_cast<const DqnManager*>(&learner);
+  if (dqn == nullptr)
+    throw std::invalid_argument("DqnActorManager can only sync from a DqnManager");
+  view_.sync(dqn->agent());
 }
 
 ReinforceManager::ReinforceManager(const VnfEnv& env, rl::ReinforceConfig config) {

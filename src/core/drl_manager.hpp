@@ -31,6 +31,12 @@ class DqnManager : public Manager {
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
+  // Actor-learner split (parallel TrainDriver): acting clones carry a
+  // DqnActorView weight snapshot; the learner ingests recorded transitions.
+  [[nodiscard]] bool supports_parallel_training() const override { return true; }
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_acting() const override;
+  void ingest(const TransitionView& transition) override;
+
   [[nodiscard]] rl::DqnAgent& agent() noexcept { return *agent_; }
   [[nodiscard]] const rl::DqnAgent& agent() const noexcept { return *agent_; }
   [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
@@ -39,10 +45,31 @@ class DqnManager : public Manager {
   void load(std::istream& is) { agent_->load(is); }
 
  private:
+  [[nodiscard]] rl::Transition to_transition(const TransitionView& view) const;
+
   std::string name_;
   std::unique_ptr<rl::DqnAgent> agent_;
   bool training_ = true;
   double last_loss_ = 0.0;
+};
+
+/// Acting half of the DqnManager split: an ε-greedy policy over a weight
+/// snapshot (rl::DqnActorView) that records nothing and learns nothing. The
+/// TrainDriver hands one to each actor thread, reseeds it per episode, and
+/// re-syncs it from the learner at round boundaries.
+class DqnActorManager : public Manager {
+ public:
+  DqnActorManager(const DqnManager& learner, std::string name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void set_training(bool training) override { view_.set_exploration_enabled(training); }
+  void reseed(std::uint64_t seed) override { view_.reseed(seed); }
+  void sync_from_learner(const Manager& learner) override;
+
+ private:
+  std::string name_;
+  rl::DqnActorView view_;
 };
 
 /// REINFORCE policy-gradient manager; updates at every chain end.

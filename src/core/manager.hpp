@@ -61,6 +61,37 @@ class Manager {
   [[nodiscard]] virtual std::unique_ptr<Manager> clone_for_eval() const {
     return nullptr;
   }
+
+  // ---- Parallel-training hooks (actor-learner split; see TrainDriver) ------
+
+  /// True when this manager implements the actor/learner split consumed by
+  /// the parallel training driver: clone_for_acting() returns detachable
+  /// acting policies and ingest() drives learning from recorded transitions.
+  /// Managers that learn inline (REINFORCE, actor-critic, tabular Q) keep the
+  /// default and are trained through the driver's sequential fallback.
+  [[nodiscard]] virtual bool supports_parallel_training() const { return false; }
+
+  /// Acting-side snapshot for one actor thread: selects actions with this
+  /// manager's current policy and exploration schedule but never learns.
+  /// Returns nullptr when unsupported.
+  [[nodiscard]] virtual std::unique_ptr<Manager> clone_for_acting() const {
+    return nullptr;
+  }
+
+  /// Re-derives an acting clone's exploration RNG stream. The driver calls
+  /// this once per episode with the episode seed so that action streams are
+  /// a function of the episode, not of which thread ran it.
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
+
+  /// Refreshes an acting clone's policy weights and exploration rate from
+  /// the learner (round-boundary weight republication).
+  virtual void sync_from_learner(const Manager& learner) { (void)learner; }
+
+  /// Learner-side ingestion of a transition recorded by an acting clone; the
+  /// default forwards to observe(). Managers whose learning cadence counts
+  /// decision steps inside select_action must advance those counters here,
+  /// since an actor-learner learner never selects actions itself.
+  virtual void ingest(const TransitionView& transition) { observe(transition); }
 };
 
 }  // namespace vnfm::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/train_driver.hpp"
+
 namespace vnfm::core {
 namespace {
 
@@ -112,15 +114,14 @@ EpisodeResult mean_result(const std::vector<EpisodeResult>& results) {
 
 std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
                                          std::size_t episodes, EpisodeOptions options) {
-  options.training = true;
-  std::vector<EpisodeResult> curve;
-  curve.reserve(episodes);
-  const std::uint64_t base_seed = options.seed;
-  for (std::size_t i = 0; i < episodes; ++i) {
-    options.seed = train_seed(base_seed, i);
-    curve.push_back(run_episode(env, manager, options));
-  }
-  return curve;
+  // Thin wrapper over the TrainDriver's sequential path, which preserves the
+  // historical online-learning semantics (the manager acts and learns within
+  // each episode). Parallel actor-learner training goes through TrainDriver
+  // or Experiment::train_threads directly.
+  TrainOptions train;
+  train.episodes = episodes;
+  train.episode = options;
+  return TrainDriver(env.options(), train).run_sequential(manager, &env).curve;
 }
 
 EpisodeResult evaluate_manager(VnfEnv& env, Manager& manager, EpisodeOptions options,

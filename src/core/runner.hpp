@@ -59,7 +59,9 @@ struct EpisodeResult {
 EpisodeResult run_episode(VnfEnv& env, Manager& manager, const EpisodeOptions& options);
 
 /// Trains for `episodes` episodes (seeds = base_seed + i); returns the
-/// learning curve of per-episode results.
+/// learning curve of per-episode results. Thin wrapper over the sequential
+/// path of core::TrainDriver (train_driver.hpp), which also provides the
+/// deterministic parallel actor-learner pipeline.
 std::vector<EpisodeResult> train_manager(VnfEnv& env, Manager& manager,
                                          std::size_t episodes,
                                          EpisodeOptions options);

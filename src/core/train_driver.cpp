@@ -1,0 +1,269 @@
+#include "core/train_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace vnfm::core {
+namespace {
+
+/// One recorded decision step (owned copies of the spans a TransitionView
+/// exposes, so the learner can replay it after the episode finished).
+struct RecordedStep {
+  std::vector<float> state;
+  std::vector<std::uint8_t> mask;
+  std::vector<float> coarse_state;
+  int action = 0;
+  float reward = 0.0F;
+  bool done = false;
+  std::vector<float> next_state;
+  std::vector<std::uint8_t> next_mask;
+  std::vector<float> next_coarse_state;
+};
+
+/// Everything one actor hands to the learner about one episode.
+struct EpisodeTranscript {
+  std::vector<RecordedStep> steps;
+  EpisodeResult result;
+};
+
+[[nodiscard]] TransitionView view_of(const RecordedStep& step) {
+  TransitionView view;
+  view.state = step.state;
+  view.mask = step.mask;
+  view.coarse_state = step.coarse_state;
+  view.action = step.action;
+  view.reward = step.reward;
+  view.done = step.done;
+  view.next_state = step.next_state;
+  view.next_mask = step.next_mask;
+  view.next_coarse_state = step.next_coarse_state;
+  return view;
+}
+
+/// Actor-side wrapper: delegates action selection to the acting clone and
+/// captures the transitions the runner would normally feed to a learner.
+class RecordingManager final : public Manager {
+ public:
+  RecordingManager(Manager& actor, std::vector<RecordedStep>* out)
+      : actor_(actor), out_(out) {}
+
+  [[nodiscard]] std::string name() const override { return actor_.name(); }
+  void on_episode_start(VnfEnv& env) override { actor_.on_episode_start(env); }
+  [[nodiscard]] int select_action(VnfEnv& env) override {
+    return actor_.select_action(env);
+  }
+  void on_chain_end(VnfEnv& env) override { actor_.on_chain_end(env); }
+  void set_training(bool training) override { actor_.set_training(training); }
+
+  void observe(const TransitionView& t) override {
+    RecordedStep step;
+    step.state.assign(t.state.begin(), t.state.end());
+    step.mask.assign(t.mask.begin(), t.mask.end());
+    step.coarse_state.assign(t.coarse_state.begin(), t.coarse_state.end());
+    step.action = t.action;
+    step.reward = t.reward;
+    step.done = t.done;
+    step.next_state.assign(t.next_state.begin(), t.next_state.end());
+    step.next_mask.assign(t.next_mask.begin(), t.next_mask.end());
+    step.next_coarse_state.assign(t.next_coarse_state.begin(),
+                                  t.next_coarse_state.end());
+    out_->push_back(std::move(step));
+  }
+
+ private:
+  Manager& actor_;
+  std::vector<RecordedStep>* out_;
+};
+
+/// Sequential-path wrapper: forwards everything, counts decision steps so
+/// both paths report transitions with the same definition.
+class CountingManager final : public Manager {
+ public:
+  CountingManager(Manager& inner, std::size_t* transitions)
+      : inner_(inner), transitions_(transitions) {}
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  void on_episode_start(VnfEnv& env) override { inner_.on_episode_start(env); }
+  [[nodiscard]] int select_action(VnfEnv& env) override {
+    return inner_.select_action(env);
+  }
+  void observe(const TransitionView& t) override {
+    ++*transitions_;
+    inner_.observe(t);
+  }
+  void on_chain_end(VnfEnv& env) override { inner_.on_chain_end(env); }
+  void set_training(bool training) override { inner_.set_training(training); }
+
+ private:
+  Manager& inner_;
+  std::size_t* transitions_;
+};
+
+[[nodiscard]] std::size_t resolve_threads(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  return threads == 0 ? 1 : threads;
+}
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+TrainDriver::TrainDriver(EnvOptions env_options, TrainOptions options)
+    : env_options_(std::move(env_options)), options_(std::move(options)) {}
+
+TrainResult TrainDriver::run(Manager& manager) const {
+  if (manager.supports_parallel_training()) return run_pipeline(manager);
+  return run_sequential(manager);
+}
+
+TrainResult TrainDriver::run_sequential(Manager& manager, VnfEnv* env) const {
+  const auto start = Clock::now();
+  TrainResult result;
+  result.curve.reserve(options_.episodes);
+  result.seeds.reserve(options_.episodes);
+
+  std::unique_ptr<VnfEnv> owned;
+  if (env == nullptr) {
+    owned = std::make_unique<VnfEnv>(env_options_);
+    env = owned.get();
+  }
+
+  EpisodeOptions episode = options_.episode;
+  episode.training = true;
+  const std::uint64_t base_seed = options_.episode.seed;
+  CountingManager counting(manager, &result.stats.transitions);
+  for (std::size_t i = 0; i < options_.episodes; ++i) {
+    episode.seed = train_seed(base_seed, options_.first_episode + i);
+    result.seeds.push_back(episode.seed);
+    result.curve.push_back(run_episode(*env, counting, episode));
+  }
+
+  result.stats.wall_seconds = seconds_since(start);
+  result.stats.episodes = options_.episodes;
+  result.stats.actor_threads = 1;
+  result.stats.parallel = false;
+  return result;
+}
+
+TrainResult TrainDriver::run_pipeline(Manager& learner) const {
+  const auto start = Clock::now();
+  const std::size_t episodes = options_.episodes;
+  const std::size_t sync_period = std::max<std::size_t>(1, options_.sync_period);
+
+  TrainResult result;
+  result.curve.resize(episodes);
+  result.seeds.resize(episodes);
+  const std::uint64_t base_seed = options_.episode.seed;
+  for (std::size_t i = 0; i < episodes; ++i)
+    result.seeds[i] = train_seed(base_seed, options_.first_episode + i);
+
+  EpisodeOptions episode = options_.episode;
+  episode.training = true;
+  learner.set_training(true);
+
+  // Persistent per-worker actors and environments; a round never needs more
+  // workers than it has episodes.
+  const std::size_t workers =
+      std::min(resolve_threads(options_.threads), std::max<std::size_t>(1, sync_period));
+  std::vector<std::unique_ptr<Manager>> actors;
+  std::vector<std::unique_ptr<VnfEnv>> envs;
+  actors.reserve(workers);
+  envs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    auto actor = learner.clone_for_acting();
+    if (actor == nullptr) return run_sequential(learner);  // capability lied
+    actor->set_training(true);
+    actors.push_back(std::move(actor));
+    envs.push_back(std::make_unique<VnfEnv>(env_options_));
+  }
+
+  for (std::size_t round_start = 0; round_start < episodes;
+       round_start += sync_period) {
+    const std::size_t count = std::min(sync_period, episodes - round_start);
+    ++result.stats.rounds;
+
+    // Round boundary: republish the learner's weights to every actor.
+    for (auto& actor : actors) actor->sync_from_learner(learner);
+
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    std::vector<EpisodeTranscript> transcripts(count);
+    std::vector<bool> ready(count, false);
+    bool worker_failed = false;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(workers);
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          while (true) {
+            const std::size_t k = next.fetch_add(1);
+            if (k >= count) break;
+            const std::size_t e = round_start + k;
+            // The action stream is a function of the episode seed and the
+            // round's weight snapshot only — not of which worker runs it.
+            actors[w]->reseed(result.seeds[e]);
+            EpisodeOptions opts = episode;
+            opts.seed = result.seeds[e];
+            EpisodeTranscript transcript;
+            RecordingManager recorder(*actors[w], &transcript.steps);
+            transcript.result = run_episode(*envs[w], recorder, opts);
+            {
+              const std::lock_guard<std::mutex> lock(mutex);
+              transcripts[k] = std::move(transcript);
+              ready[k] = true;
+            }
+            ready_cv.notify_all();
+          }
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            errors[w] = std::current_exception();
+            worker_failed = true;
+          }
+          ready_cv.notify_all();
+        }
+      });
+    }
+
+    // Deterministic merge: ingest per-episode transition queues in seed
+    // order, pipelined with the actors still running later episodes.
+    for (std::size_t k = 0; k < count; ++k) {
+      EpisodeTranscript transcript;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready_cv.wait(lock, [&] { return ready[k] || worker_failed; });
+        if (worker_failed) break;
+        transcript = std::move(transcripts[k]);
+      }
+      result.curve[round_start + k] = transcript.result;
+      result.stats.transitions += transcript.steps.size();
+      for (const RecordedStep& step : transcript.steps) learner.ingest(view_of(step));
+    }
+
+    for (auto& worker : pool) worker.join();
+    for (const auto& error : errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  result.stats.wall_seconds = seconds_since(start);
+  result.stats.episodes = episodes;
+  result.stats.actor_threads = workers;
+  result.stats.parallel = true;
+  return result;
+}
+
+}  // namespace vnfm::core

@@ -1,0 +1,103 @@
+// TrainDriver: the actor-learner training pipeline behind every training
+// entry point (core::train_manager, exp::Experiment::train, bench drivers).
+//
+// Parallel path (managers with supports_parallel_training()):
+//   N actor threads each own a private VnfEnv and an acting clone of the
+//   policy (Manager::clone_for_acting). Training proceeds in rounds of
+//   `sync_period` episodes: at a round boundary the learner republishes its
+//   weights to every actor (Manager::sync_from_learner), the actors then run
+//   the round's episodes — each reseeded from its core::train_seed — and
+//   record their transitions, while the single learner thread ingests the
+//   per-episode transition queues in fixed episode-seed order
+//   (Manager::ingest), filling replay and taking gradient steps.
+//
+// Determinism contract: within a round every actor acts on the same frozen
+// weight snapshot and an exploration stream derived only from the episode
+// seed, and the learner consumes transitions in seed order; therefore the
+// learning curve and the final policy are a function of (env options,
+// episode options, seeds, sync_period) only — `threads` changes wall-clock,
+// never results. threads=1 and threads=K are bit-identical.
+//
+// Sequential fallback (everything else, e.g. REINFORCE/actor-critic/tabular
+// which update inline or at chain end): the classic one-env loop where the
+// manager itself acts and observes online; this is also the exact legacy
+// behaviour of core::train_manager. Note the parallel path replays only
+// observe()-level transitions to the learner — managers whose *learning*
+// happens in on_chain_end(env) must keep the sequential fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/manager.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+
+/// Knobs of one training run.
+struct TrainOptions {
+  /// Number of training episodes (episode i runs on
+  /// train_seed(episode.seed, first_episode + i)).
+  std::size_t episodes = 0;
+  /// Actor worker threads; 0 = hardware concurrency. Any value >= 1 yields
+  /// bit-identical results on the parallel path (see file header).
+  std::size_t threads = 1;
+  /// Episodes per weight republication round on the parallel path. Smaller
+  /// values track the learner more tightly; larger values expose more
+  /// parallelism. Part of the algorithm definition: changing it changes
+  /// results (changing `threads` does not).
+  std::size_t sync_period = 4;
+  /// Offset into the training seed slice (continuing a previous run).
+  std::size_t first_episode = 0;
+  /// Per-episode options (duration, request cap, base seed). `training` is
+  /// forced on.
+  EpisodeOptions episode;
+};
+
+/// Timing/throughput summary of one training run.
+struct TrainStats {
+  double wall_seconds = 0.0;
+  std::size_t transitions = 0;  ///< decision steps fed to the learner
+  std::size_t episodes = 0;
+  std::size_t rounds = 0;  ///< weight republications (parallel path only)
+  std::size_t actor_threads = 1;
+  bool parallel = false;  ///< actor-learner pipeline vs sequential fallback
+
+  [[nodiscard]] double steps_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(transitions) / wall_seconds : 0.0;
+  }
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  std::vector<EpisodeResult> curve;  ///< per-episode results, seed order
+  std::vector<std::uint64_t> seeds;  ///< the train_seed of every episode
+  TrainStats stats;
+};
+
+/// Drives training of one manager over environments built from `env_options`
+/// (see file header for the two execution paths and the determinism
+/// contract).
+class TrainDriver {
+ public:
+  TrainDriver(EnvOptions env_options, TrainOptions options);
+
+  /// Trains `manager`: the actor-learner pipeline when the manager supports
+  /// it, the sequential fallback otherwise.
+  TrainResult run(Manager& manager) const;
+
+  /// The sequential one-env loop (legacy train_manager semantics: the
+  /// manager acts and learns online within each episode). When `env` is
+  /// non-null the episodes run in it; otherwise a private environment is
+  /// built from the driver's env options.
+  TrainResult run_sequential(Manager& manager, VnfEnv* env = nullptr) const;
+
+ private:
+  TrainResult run_pipeline(Manager& learner) const;
+
+  EnvOptions env_options_;
+  TrainOptions options_;
+};
+
+}  // namespace vnfm::core

@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "exp/registry.hpp"
+#include "exp/report_io.hpp"
 #include "exp/scenario.hpp"
 
 namespace vnfm::exp {
@@ -106,6 +108,8 @@ Experiment& Experiment::manager(const std::string& name, const Config& params) {
   manager_params_ = params;
   manager_.reset();  // rebuilt lazily with the new selection
   curve_.clear();
+  curve_seeds_.clear();
+  train_stats_ = {};
   return *this;
 }
 
@@ -114,6 +118,8 @@ Experiment& Experiment::use_manager(std::unique_ptr<core::Manager> manager) {
   manager_ = std::move(manager);
   manager_name_.clear();
   curve_.clear();
+  curve_seeds_.clear();
+  train_stats_ = {};
   return *this;
 }
 
@@ -124,6 +130,17 @@ Experiment& Experiment::seed(std::uint64_t seed) {
 
 Experiment& Experiment::threads(std::size_t threads) {
   threads_ = threads;
+  return *this;
+}
+
+Experiment& Experiment::train_threads(std::size_t threads) {
+  train_threads_ = threads;
+  return *this;
+}
+
+Experiment& Experiment::train_sync_period(std::size_t episodes) {
+  if (episodes == 0) throw std::invalid_argument("sync period needs at least 1 episode");
+  train_sync_period_ = episodes;
   return *this;
 }
 
@@ -157,16 +174,49 @@ core::Manager& Experiment::manager_ref() {
 }
 
 Experiment& Experiment::train(std::size_t episodes) {
-  core::EpisodeOptions options;
-  if (train_duration_s_ > 0.0) options.duration_s = train_duration_s_;
-  if (max_requests_ > 0) options.max_requests = max_requests_;
+  core::TrainOptions train;
+  train.episodes = episodes;
+  if (train_duration_s_ > 0.0) train.episode.duration_s = train_duration_s_;
+  if (max_requests_ > 0) train.episode.max_requests = max_requests_;
+  train.episode.seed = seed_;
   // Successive train() calls continue the training seed sequence instead of
   // replaying episode seeds already consumed.
-  options.seed = core::train_seed(seed_, curve_.size());
-  options.training = true;
-  const auto curve = core::train_manager(env(), manager_ref(), episodes, options);
-  curve_.insert(curve_.end(), curve.begin(), curve.end());
+  train.first_episode = curve_.size();
+  train.sync_period = train_sync_period_;
+  train.threads = train_threads_.value_or(1);
+
+  const core::TrainDriver driver(options_, train);
+  // Default: the classic inline loop in the experiment's own environment.
+  // train_threads(n) opts into the thread-count-invariant pipeline.
+  const core::TrainResult result = train_threads_.has_value()
+                                       ? driver.run(manager_ref())
+                                       : driver.run_sequential(manager_ref(), &env());
+  curve_.insert(curve_.end(), result.curve.begin(), result.curve.end());
+  curve_seeds_.insert(curve_seeds_.end(), result.seeds.begin(), result.seeds.end());
+  train_stats_.wall_seconds += result.stats.wall_seconds;
+  train_stats_.transitions += result.stats.transitions;
+  train_stats_.episodes += result.stats.episodes;
+  train_stats_.rounds += result.stats.rounds;
+  train_stats_.actor_threads =
+      std::max(train_stats_.actor_threads, result.stats.actor_threads);
+  train_stats_.parallel = train_stats_.parallel || result.stats.parallel;
   return *this;
+}
+
+void Experiment::write_curve_csv(const std::string& path) const {
+  exp::write_curve_csv(curve_, curve_seeds_, path);
+}
+
+void Experiment::write_curve_json(const std::string& path) const {
+  exp::write_curve_json(curve_, curve_seeds_, &train_stats_, path);
+}
+
+void EvalReport::write_csv(const std::string& path) const {
+  write_eval_csv(*this, path);
+}
+
+void EvalReport::write_json(const std::string& path) const {
+  write_eval_json(*this, path);
 }
 
 EvalReport Experiment::evaluate(std::size_t repeats) {

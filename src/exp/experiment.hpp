@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/environment.hpp"
 #include "core/manager.hpp"
 #include "core/runner.hpp"
+#include "core/train_driver.hpp"
 
 namespace vnfm::exp {
 
@@ -31,6 +33,11 @@ struct EvalReport {
   core::EpisodeResult mean;                   ///< field-wise mean over repeats
   std::vector<core::EpisodeResult> per_seed;  ///< one entry per repeat, seed order
   std::vector<std::uint64_t> seeds;           ///< the held-out episode seeds used
+
+  /// Persists the report: CSV with one row per held-out seed plus a final
+  /// mean row, or a structured JSON document (see exp/report_io.hpp).
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
 };
 
 /// Evaluates `prototype` over `repeats` held-out seeds (core::eval_seed of
@@ -64,6 +71,19 @@ class Experiment {
   Experiment& seed(std::uint64_t seed);
   /// Worker threads for evaluate(); 0 = hardware concurrency.
   Experiment& threads(std::size_t threads);
+  /// Opts train() into the actor-learner pipeline (core::TrainDriver) with
+  /// `threads` actor workers (0 = hardware concurrency). The pipeline's
+  /// results are bit-identical for every thread count — train_threads(1) and
+  /// train_threads(K) produce the same learning curve and final policy; only
+  /// wall-clock changes. Without this call train() keeps the classic inline
+  /// loop (the manager learns online within each episode), which is a
+  /// different — equally deterministic — algorithm. Managers without
+  /// parallel-training support fall back to the sequential path either way.
+  /// See README "Training architecture".
+  Experiment& train_threads(std::size_t threads);
+  /// Episodes per weight republication round of the pipeline (default 4).
+  /// Part of the algorithm definition: changing it changes results.
+  Experiment& train_sync_period(std::size_t episodes);
   Experiment& train_duration(double seconds);
   Experiment& eval_duration(double seconds);
   /// Optional cap on decided requests per episode.
@@ -87,6 +107,20 @@ class Experiment {
   [[nodiscard]] const std::vector<core::EpisodeResult>& learning_curve() const noexcept {
     return curve_;
   }
+  /// Episode seed of every learning-curve entry (aligned with learning_curve()).
+  [[nodiscard]] const std::vector<std::uint64_t>& learning_curve_seeds() const noexcept {
+    return curve_seeds_;
+  }
+  /// Wall-clock / throughput summary accumulated over every train() call.
+  [[nodiscard]] const core::TrainStats& train_stats() const noexcept {
+    return train_stats_;
+  }
+
+  // ---- Persistence (exp/report_io) ----------------------------------------
+  /// Writes the accumulated learning curve: CSV one row per episode, or JSON
+  /// with the train_stats() block attached.
+  void write_curve_csv(const std::string& path) const;
+  void write_curve_json(const std::string& path) const;
 
  private:
   Experiment() = default;
@@ -98,10 +132,15 @@ class Experiment {
   std::unique_ptr<core::Manager> manager_;
   std::uint64_t seed_ = 0;
   std::size_t threads_ = 0;
+  /// Unset = classic inline loop; set = pipeline (0 = hardware concurrency).
+  std::optional<std::size_t> train_threads_;
+  std::size_t train_sync_period_ = 4;
   std::size_t max_requests_ = 0;  ///< 0 = unlimited
   double train_duration_s_ = 0.0;  ///< 0 = EpisodeOptions default
   double eval_duration_s_ = 0.0;   ///< 0 = EpisodeOptions default
   std::vector<core::EpisodeResult> curve_;
+  std::vector<std::uint64_t> curve_seeds_;
+  core::TrainStats train_stats_;
 };
 
 }  // namespace vnfm::exp

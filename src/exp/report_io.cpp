@@ -1,0 +1,174 @@
+#include "exp/report_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/experiment.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+/// Round-trip precision double formatting (shared by CSV and JSON output).
+std::string number(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  return out;
+}
+
+void write_csv_header(std::ofstream& out, const std::vector<std::string>& prefix) {
+  bool first = true;
+  for (const std::string& column : prefix) {
+    if (!first) out << ',';
+    out << column;
+    first = false;
+  }
+  for (const std::string& column : episode_result_columns()) out << ',' << column;
+  out << '\n';
+}
+
+void write_csv_metrics(std::ofstream& out, const core::EpisodeResult& result) {
+  for (const double value : episode_result_row(result)) out << ',' << number(value);
+  out << '\n';
+}
+
+/// Emits `"key": <value>` pairs of one EpisodeResult (no braces).
+void write_json_metrics(std::ofstream& out, const core::EpisodeResult& result,
+                        const std::string& indent) {
+  const auto& columns = episode_result_columns();
+  const auto values = episode_result_row(result);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out << indent << '"' << columns[i] << "\": " << number(values[i]);
+    if (i + 1 < columns.size()) out << ',';
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& episode_result_columns() {
+  static const std::vector<std::string> columns{
+      "total_reward",      "requests",         "cost_per_request",
+      "total_cost",        "acceptance_ratio", "mean_latency_ms",
+      "p95_latency_ms",    "sla_violation_ratio", "mean_utilization",
+      "deployments",       "running_cost",     "revenue"};
+  return columns;
+}
+
+std::vector<double> episode_result_row(const core::EpisodeResult& result) {
+  return {result.total_reward,
+          static_cast<double>(result.requests),
+          result.cost_per_request,
+          result.total_cost,
+          result.acceptance_ratio,
+          result.mean_latency_ms,
+          result.p95_latency_ms,
+          result.sla_violation_ratio,
+          result.mean_utilization,
+          static_cast<double>(result.deployments),
+          result.running_cost,
+          result.revenue};
+}
+
+void write_eval_csv(const EvalReport& report, const std::string& path) {
+  auto out = open_or_throw(path);
+  write_csv_header(out, {"seed"});
+  for (std::size_t i = 0; i < report.per_seed.size(); ++i) {
+    out << (i < report.seeds.size() ? std::to_string(report.seeds[i]) : "");
+    write_csv_metrics(out, report.per_seed[i]);
+  }
+  out << "mean";
+  write_csv_metrics(out, report.mean);
+}
+
+void write_eval_json(const EvalReport& report, const std::string& path) {
+  auto out = open_or_throw(path);
+  out << "{\n  \"seeds\": [";
+  for (std::size_t i = 0; i < report.seeds.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << report.seeds[i];
+  }
+  out << "],\n  \"mean\": {\n";
+  write_json_metrics(out, report.mean, "    ");
+  out << "  },\n  \"per_seed\": [\n";
+  for (std::size_t i = 0; i < report.per_seed.size(); ++i) {
+    out << "    {\n";
+    if (i < report.seeds.size())
+      out << "      \"seed\": " << report.seeds[i] << ",\n";
+    write_json_metrics(out, report.per_seed[i], "      ");
+    out << "    }" << (i + 1 < report.per_seed.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+void write_curve_csv(const std::vector<core::EpisodeResult>& curve,
+                     const std::vector<std::uint64_t>& seeds,
+                     const std::string& path) {
+  auto out = open_or_throw(path);
+  const bool with_seeds = !seeds.empty();
+  write_csv_header(out, with_seeds ? std::vector<std::string>{"episode", "seed"}
+                                   : std::vector<std::string>{"episode"});
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    out << i;
+    if (with_seeds) out << ',' << (i < seeds.size() ? std::to_string(seeds[i]) : "");
+    write_csv_metrics(out, curve[i]);
+  }
+}
+
+void write_curve_json(const std::vector<core::EpisodeResult>& curve,
+                      const std::vector<std::uint64_t>& seeds,
+                      const core::TrainStats* stats, const std::string& path) {
+  auto out = open_or_throw(path);
+  out << "{\n  \"stats\": ";
+  if (stats == nullptr) {
+    out << "null";
+  } else {
+    out << "{\n"
+        << "    \"wall_seconds\": " << number(stats->wall_seconds) << ",\n"
+        << "    \"transitions\": " << stats->transitions << ",\n"
+        << "    \"steps_per_second\": " << number(stats->steps_per_second()) << ",\n"
+        << "    \"episodes\": " << stats->episodes << ",\n"
+        << "    \"rounds\": " << stats->rounds << ",\n"
+        << "    \"actor_threads\": " << stats->actor_threads << ",\n"
+        << "    \"parallel\": " << (stats->parallel ? "true" : "false") << "\n  }";
+  }
+  out << ",\n  \"episodes\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    out << "    {\n      \"episode\": " << i << ",\n";
+    if (i < seeds.size()) out << "      \"seed\": " << seeds[i] << ",\n";
+    write_json_metrics(out, curve[i], "      ");
+    out << "    }" << (i + 1 < curve.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+void write_reward_curves_csv(const std::vector<std::string>& labels,
+                             const std::vector<std::vector<double>>& curves,
+                             const std::string& path) {
+  if (labels.size() != curves.size())
+    throw std::invalid_argument("one label per curve required");
+  std::size_t episodes = 0;
+  for (const auto& curve : curves) {
+    if (!curves.empty() && curve.size() != curves.front().size())
+      throw std::invalid_argument("all curves must have equal length");
+    episodes = curve.size();
+  }
+  auto out = open_or_throw(path);
+  out << "episode";
+  for (const std::string& label : labels) out << ',' << label;
+  out << '\n';
+  for (std::size_t e = 0; e < episodes; ++e) {
+    out << e;
+    for (const auto& curve : curves) out << ',' << number(curve[e]);
+    out << '\n';
+  }
+}
+
+}  // namespace vnfm::exp

@@ -1,0 +1,51 @@
+// Persistence for experiment outputs: EvalReports and learning curves to
+// CSV (one row per seed/episode) and JSON (structured, self-describing).
+// Bench binaries use these instead of hand-rolling per-figure writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/train_driver.hpp"
+
+namespace vnfm::exp {
+
+struct EvalReport;
+
+/// Column names of the EpisodeResult metric block, in the order
+/// episode_result_row emits them.
+const std::vector<std::string>& episode_result_columns();
+
+/// The metric values of one EpisodeResult, aligned with
+/// episode_result_columns().
+std::vector<double> episode_result_row(const core::EpisodeResult& result);
+
+/// CSV: header `seed,<metrics...>`, one row per held-out seed, then a final
+/// `mean` row.
+void write_eval_csv(const EvalReport& report, const std::string& path);
+
+/// JSON: {"seeds": [...], "mean": {...}, "per_seed": [{"seed":..., ...}]}.
+void write_eval_json(const EvalReport& report, const std::string& path);
+
+/// CSV: header `episode,seed,<metrics...>`, one row per training episode.
+/// `seeds` may be empty (the column is then omitted).
+void write_curve_csv(const std::vector<core::EpisodeResult>& curve,
+                     const std::vector<std::uint64_t>& seeds,
+                     const std::string& path);
+
+/// JSON: {"stats": {...}, "episodes": [{"episode":..., "seed":..., ...}]}.
+/// `stats` may be null; `seeds` may be empty.
+void write_curve_json(const std::vector<core::EpisodeResult>& curve,
+                      const std::vector<std::uint64_t>& seeds,
+                      const core::TrainStats* stats, const std::string& path);
+
+/// Multi-series reward-curve CSV (bench figure 3 shape): header
+/// `episode,<labels...>`, one row per episode index. All curves must have
+/// equal length.
+void write_reward_curves_csv(const std::vector<std::string>& labels,
+                             const std::vector<std::vector<double>>& curves,
+                             const std::string& path);
+
+}  // namespace vnfm::exp

@@ -20,7 +20,7 @@ void Linear::init(Rng& rng, float scale_numerator) {
   b_.value.fill(0.0F);
 }
 
-void Linear::forward(const Matrix& x, Matrix& y) {
+void Linear::forward(const Matrix& x, Matrix& y) const {
   if (x.cols() != in_) throw std::invalid_argument("linear forward shape mismatch");
   cached_input_ = x;
   matmul_a_bt(x, w_.value, y);
@@ -48,7 +48,7 @@ const char* to_string(Activation a) noexcept {
   return "?";
 }
 
-void ActivationLayer::forward(const Matrix& x, Matrix& y) {
+void ActivationLayer::forward(const Matrix& x, Matrix& y) const {
   cached_input_ = x;
   y.resize(x.rows(), x.cols());
   const auto in = x.flat();

@@ -23,7 +23,10 @@ struct Param {
 ///
 /// forward() caches the input so that a subsequent backward() can compute
 /// parameter gradients; the cache is overwritten on every forward call, so
-/// each forward must be paired with at most one backward.
+/// each forward must be paired with at most one backward. The cache is
+/// mutable state: forward() is const (inference never changes the layer's
+/// observable parameters) but is NOT safe to call concurrently on a shared
+/// instance — give each thread its own copy.
 class Linear {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
@@ -32,7 +35,7 @@ class Linear {
   void init(Rng& rng, float scale_numerator = 2.0F);
 
   /// Y = X W^T + b; X is (batch, in), result (batch, out).
-  void forward(const Matrix& x, Matrix& y);
+  void forward(const Matrix& x, Matrix& y) const;
 
   /// Accumulates dW, db from cached X and d_out; writes d_in = d_out * W.
   void backward(const Matrix& d_out, Matrix& d_in);
@@ -50,19 +53,20 @@ class Linear {
   std::size_t out_;
   Param w_;  // [out, in]
   Param b_;  // [1, out]
-  Matrix cached_input_;
+  mutable Matrix cached_input_;  ///< backward cache; see class comment
 };
 
 enum class Activation : std::uint8_t { kReLU, kTanh, kIdentity };
 
 const char* to_string(Activation a) noexcept;
 
-/// Elementwise activation; caches pre-activation input for the backward pass.
+/// Elementwise activation; caches pre-activation input for the backward pass
+/// (mutable, so forward is const but not thread-safe on a shared instance).
 class ActivationLayer {
  public:
   explicit ActivationLayer(Activation kind) noexcept : kind_(kind) {}
 
-  void forward(const Matrix& x, Matrix& y);
+  void forward(const Matrix& x, Matrix& y) const;
   /// d_in = d_out ⊙ f'(cached pre-activation).
   void backward(const Matrix& d_out, Matrix& d_in) const;
 
@@ -70,7 +74,7 @@ class ActivationLayer {
 
  private:
   Activation kind_;
-  Matrix cached_input_;
+  mutable Matrix cached_input_;
 };
 
 }  // namespace vnfm::nn

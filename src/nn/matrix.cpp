@@ -48,13 +48,33 @@ void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape mismatch");
   out.resize(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  // The dot-product reduction runs in 8 independent lanes combined in a
+  // fixed tree: strict left-to-right float summation cannot be vectorised
+  // (FP addition is not associative, so the compiler must not reorder it),
+  // and this kernel is the training hot path — every forward pass of every
+  // Linear layer lands here. The lane split is part of the numeric
+  // definition: results are deterministic and identical on every run and
+  // thread count, just not bit-equal to a serial summation.
+  const std::size_t k8 = k - (k % 8);
   for (std::size_t i = 0; i < m; ++i) {
     const float* a_row = a.row(i).data();
     float* out_row = out.row(i).data();
     for (std::size_t j = 0; j < n; ++j) {
       const float* b_row = b.row(j).data();
-      float acc = 0.0F;
-      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      float l0 = 0.0F, l1 = 0.0F, l2 = 0.0F, l3 = 0.0F;
+      float l4 = 0.0F, l5 = 0.0F, l6 = 0.0F, l7 = 0.0F;
+      for (std::size_t p = 0; p < k8; p += 8) {
+        l0 += a_row[p] * b_row[p];
+        l1 += a_row[p + 1] * b_row[p + 1];
+        l2 += a_row[p + 2] * b_row[p + 2];
+        l3 += a_row[p + 3] * b_row[p + 3];
+        l4 += a_row[p + 4] * b_row[p + 4];
+        l5 += a_row[p + 5] * b_row[p + 5];
+        l6 += a_row[p + 6] * b_row[p + 6];
+        l7 += a_row[p + 7] * b_row[p + 7];
+      }
+      float acc = ((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7));
+      for (std::size_t p = k8; p < k; ++p) acc += a_row[p] * b_row[p];
       out_row[j] = acc;
     }
   }

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace vnfm::nn {
 
@@ -38,7 +39,7 @@ void Mlp::init(Rng& rng) {
   }
 }
 
-void Mlp::forward(const Matrix& input, Matrix& output) {
+void Mlp::forward(const Matrix& input, Matrix& output) const {
   const Matrix* current = &input;
   for (std::size_t i = 0; i < trunk_.size(); ++i) {
     trunk_[i].forward(*current, pre_acts_[i]);
@@ -65,11 +66,18 @@ void Mlp::forward(const Matrix& input, Matrix& output) {
   }
 }
 
-std::vector<float> Mlp::forward_row(std::span<const float> input) {
+std::vector<float> Mlp::forward_row(std::span<const float> input) const {
   Matrix in = Matrix::from_row(input);
   Matrix out;
   forward(in, out);
   return {out.flat().begin(), out.flat().end()};
+}
+
+void Mlp::forward_row(std::span<const float> input, std::vector<float>& output) const {
+  if (row_in_.cols() != input.size()) row_in_.resize(1, input.size());
+  std::copy(input.begin(), input.end(), row_in_.row(0).begin());
+  forward(row_in_, row_out_);
+  output.assign(row_out_.flat().begin(), row_out_.flat().end());
 }
 
 void Mlp::backward(const Matrix& d_output) {
@@ -123,6 +131,24 @@ std::vector<Param*> Mlp::parameters() {
   return params;
 }
 
+std::vector<const Param*> Mlp::parameters() const {
+  std::vector<const Param*> params;
+  for (const auto& layer : trunk_) {
+    params.push_back(&layer.weights());
+    params.push_back(&layer.bias());
+  }
+  if (config_.dueling) {
+    params.push_back(&std::as_const(*value_head_).weights());
+    params.push_back(&std::as_const(*value_head_).bias());
+    params.push_back(&std::as_const(*advantage_head_).weights());
+    params.push_back(&std::as_const(*advantage_head_).bias());
+  } else {
+    params.push_back(&std::as_const(*output_layer_).weights());
+    params.push_back(&std::as_const(*output_layer_).bias());
+  }
+  return params;
+}
+
 void Mlp::zero_grad() {
   for (Param* p : parameters()) p->zero_grad();
 }
@@ -142,7 +168,7 @@ double Mlp::clip_grad_norm(double max_norm) {
 
 void Mlp::copy_weights_from(const Mlp& other) {
   auto dst = parameters();
-  auto src = const_cast<Mlp&>(other).parameters();
+  auto src = other.parameters();
   if (dst.size() != src.size()) throw std::invalid_argument("architecture mismatch in copy");
   for (std::size_t i = 0; i < dst.size(); ++i) {
     if (dst[i]->value.size() != src[i]->value.size())
@@ -154,7 +180,7 @@ void Mlp::copy_weights_from(const Mlp& other) {
 
 void Mlp::soft_update_from(const Mlp& other, float tau) {
   auto dst = parameters();
-  auto src = const_cast<Mlp&>(other).parameters();
+  auto src = other.parameters();
   if (dst.size() != src.size()) throw std::invalid_argument("architecture mismatch in update");
   for (std::size_t i = 0; i < dst.size(); ++i) {
     auto d = dst[i]->value.flat();
@@ -169,8 +195,7 @@ void Mlp::save(std::ostream& os) const {
   for (const std::size_t h : config_.hidden_dims) os << ' ' << h;
   os << ' ' << config_.output_dim << ' ' << static_cast<int>(config_.activation) << ' '
      << (config_.dueling ? 1 : 0) << '\n';
-  auto params = const_cast<Mlp*>(this)->parameters();
-  for (const Param* p : params) {
+  for (const Param* p : parameters()) {
     os << p->value.rows() << ' ' << p->value.cols();
     for (const float v : p->value.flat()) os << ' ' << v;
     os << '\n';
@@ -205,7 +230,7 @@ Mlp Mlp::load(std::istream& is) {
 
 std::size_t Mlp::parameter_count() const {
   std::size_t total = 0;
-  for (Param* p : const_cast<Mlp*>(this)->parameters()) total += p->size();
+  for (const Param* p : parameters()) total += p->size();
   return total;
 }
 

@@ -34,17 +34,25 @@ class Mlp {
   void init(Rng& rng);
 
   /// Forward pass; input (batch, input_dim) -> output (batch, output_dim).
-  /// Caches intermediate activations for one backward pass.
-  void forward(const Matrix& input, Matrix& output);
+  /// Caches intermediate activations for one backward pass. Const because
+  /// inference never mutates parameters, but the caches make it unsafe to
+  /// call concurrently on a shared instance — each thread needs its own Mlp.
+  void forward(const Matrix& input, Matrix& output) const;
 
   /// Convenience single-row forward.
-  [[nodiscard]] std::vector<float> forward_row(std::span<const float> input);
+  [[nodiscard]] std::vector<float> forward_row(std::span<const float> input) const;
+
+  /// Allocation-free single-row forward for per-decision hot paths (actor
+  /// action selection): reuses internal scratch matrices and writes the
+  /// Q-row into `output` (resized to output_dim).
+  void forward_row(std::span<const float> input, std::vector<float>& output) const;
 
   /// Accumulates parameter gradients from d(loss)/d(output).
   void backward(const Matrix& d_output);
 
   /// All trainable parameters (stable order; same order across clones).
   [[nodiscard]] std::vector<Param*> parameters();
+  [[nodiscard]] std::vector<const Param*> parameters() const;
 
   void zero_grad();
 
@@ -73,11 +81,15 @@ class Mlp {
   std::unique_ptr<Linear> advantage_head_;  // dueling only
   std::unique_ptr<Linear> output_layer_;    // non-dueling only
 
-  // Forward caches.
-  std::vector<Matrix> pre_acts_;
-  std::vector<Matrix> post_acts_;
-  Matrix value_out_;
-  Matrix adv_out_;
+  // Forward caches (mutable: forward is const but not thread-safe; see
+  // forward's comment).
+  mutable std::vector<Matrix> pre_acts_;
+  mutable std::vector<Matrix> post_acts_;
+  mutable Matrix value_out_;
+  mutable Matrix adv_out_;
+  // Single-row scratch for the allocation-free forward_row overload.
+  mutable Matrix row_in_;
+  mutable Matrix row_out_;
 };
 
 }  // namespace vnfm::nn

@@ -26,6 +26,36 @@ bool is_valid(std::span<const std::uint8_t> mask, std::size_t action) {
 
 }  // namespace
 
+int greedy_masked_action(std::span<const float> q, std::span<const std::uint8_t> mask) {
+  int best = -1;
+  float best_value = -std::numeric_limits<float>::infinity();
+  for (std::size_t a = 0; a < q.size(); ++a) {
+    if (!is_valid(mask, a)) continue;
+    if (q[a] > best_value) {
+      best_value = q[a];
+      best = static_cast<int>(a);
+    }
+  }
+  if (best < 0) throw std::runtime_error("no valid action for greedy selection");
+  return best;
+}
+
+int random_valid_action(std::span<const std::uint8_t> mask, std::size_t action_dim,
+                        Rng& rng) {
+  if (mask.empty()) return static_cast<int>(rng.uniform_index(action_dim));
+  std::size_t valid_count = 0;
+  for (const auto m : mask)
+    if (m) ++valid_count;
+  if (valid_count == 0) throw std::runtime_error("no valid action to sample");
+  auto target = rng.uniform_index(valid_count);
+  for (std::size_t a = 0; a < mask.size(); ++a) {
+    if (!mask[a]) continue;
+    if (target == 0) return static_cast<int>(a);
+    --target;
+  }
+  return static_cast<int>(mask.size() - 1);
+}
+
 DqnAgent::DqnAgent(DqnConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
@@ -57,53 +87,23 @@ std::size_t DqnAgent::replay_size() const noexcept {
   return per_ ? per_->size() : replay_->size();
 }
 
-int DqnAgent::random_valid(std::span<const std::uint8_t> mask) {
-  if (mask.empty()) return static_cast<int>(rng_.uniform_index(config_.action_dim));
-  std::size_t valid_count = 0;
-  for (const auto m : mask)
-    if (m) ++valid_count;
-  if (valid_count == 0) throw std::runtime_error("no valid action to sample");
-  auto target = rng_.uniform_index(valid_count);
-  for (std::size_t a = 0; a < mask.size(); ++a) {
-    if (!mask[a]) continue;
-    if (target == 0) return static_cast<int>(a);
-    --target;
-  }
-  return static_cast<int>(mask.size() - 1);
-}
-
-int DqnAgent::greedy_from_q(std::span<const float> q,
-                            std::span<const std::uint8_t> mask) const {
-  int best = -1;
-  float best_value = -std::numeric_limits<float>::infinity();
-  for (std::size_t a = 0; a < q.size(); ++a) {
-    if (!is_valid(mask, a)) continue;
-    if (q[a] > best_value) {
-      best_value = q[a];
-      best = static_cast<int>(a);
-    }
-  }
-  if (best < 0) throw std::runtime_error("no valid action for greedy selection");
-  return best;
-}
-
 int DqnAgent::act(std::span<const float> state, std::span<const std::uint8_t> mask) {
   const double eps = epsilon();
   ++env_steps_;
-  if (explore_ && rng_.uniform() < eps) return random_valid(mask);
-  const auto q = online_.forward_row(state);
-  return greedy_from_q(q, mask);
+  if (explore_ && rng_.uniform() < eps)
+    return random_valid_action(mask, config_.action_dim, rng_);
+  online_.forward_row(state, q_scratch_);
+  return greedy_masked_action(q_scratch_, mask);
 }
 
 int DqnAgent::act_greedy(std::span<const float> state,
                          std::span<const std::uint8_t> mask) const {
-  auto& net = const_cast<nn::Mlp&>(online_);
-  const auto q = net.forward_row(state);
-  return greedy_from_q(q, mask);
+  online_.forward_row(state, q_scratch_);
+  return greedy_masked_action(q_scratch_, mask);
 }
 
 std::vector<float> DqnAgent::q_values(std::span<const float> state) const {
-  return const_cast<nn::Mlp&>(online_).forward_row(state);
+  return online_.forward_row(state);
 }
 
 void DqnAgent::push_to_replay(Transition t) {
@@ -151,6 +151,11 @@ std::optional<double> DqnAgent::observe(Transition t) {
   if (replay_size() < config_.min_replay_before_training) return std::nullopt;
   if (config_.train_period == 0 || env_steps_ % config_.train_period != 0) return std::nullopt;
   return train_step();
+}
+
+std::optional<double> DqnAgent::ingest(Transition t) {
+  ++env_steps_;  // the decision step happened in a detached actor
+  return observe(std::move(t));
 }
 
 double DqnAgent::train_step() {
@@ -202,7 +207,7 @@ double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
     if (!t.done) {
       const auto mask = std::span<const std::uint8_t>(t.next_valid);
       if (config_.double_dqn) {
-        const int best = greedy_from_q(online_next_q.row(i), mask);
+        const int best = greedy_masked_action(online_next_q.row(i), mask);
         bootstrap = target_next_q.at(i, static_cast<std::size_t>(best));
       } else {
         float best_value = -std::numeric_limits<float>::infinity();
@@ -260,6 +265,31 @@ void DqnAgent::load(std::istream& is) {
   nn::Mlp restored = nn::Mlp::load(is);
   online_.copy_weights_from(restored);
   target_.copy_weights_from(restored);
+}
+
+DqnActorView::DqnActorView(const DqnAgent& learner)
+    : net_(learner.online_net().config()),
+      action_dim_(learner.config().action_dim),
+      rng_(learner.config().seed) {
+  sync(learner);
+}
+
+void DqnActorView::sync(const DqnAgent& learner) {
+  net_.copy_weights_from(learner.online_net());
+  epsilon_ = learner.epsilon();
+}
+
+int DqnActorView::act(std::span<const float> state, std::span<const std::uint8_t> mask) {
+  if (explore_ && rng_.uniform() < epsilon_)
+    return random_valid_action(mask, action_dim_, rng_);
+  net_.forward_row(state, q_);
+  return greedy_masked_action(q_, mask);
+}
+
+int DqnActorView::act_greedy(std::span<const float> state,
+                             std::span<const std::uint8_t> mask) const {
+  net_.forward_row(state, q_);
+  return greedy_masked_action(q_, mask);
 }
 
 }  // namespace vnfm::rl

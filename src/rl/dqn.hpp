@@ -57,6 +57,16 @@ struct DqnConfig {
   std::uint64_t seed = 7;
 };
 
+/// Greedy argmax over the valid entries of `mask` (empty mask = all valid);
+/// throws std::runtime_error when no action is valid.
+[[nodiscard]] int greedy_masked_action(std::span<const float> q,
+                                       std::span<const std::uint8_t> mask);
+
+/// Uniform draw over the valid entries of `mask` (empty mask = all of
+/// [0, action_dim)); throws std::runtime_error when no action is valid.
+[[nodiscard]] int random_valid_action(std::span<const std::uint8_t> mask,
+                                      std::size_t action_dim, Rng& rng);
+
 /// Value-based agent over a discrete, maskable action space.
 class DqnAgent {
  public:
@@ -73,6 +83,13 @@ class DqnAgent {
   /// triggers training per the configured period. Returns the training loss
   /// when a gradient step ran.
   std::optional<double> observe(Transition t);
+
+  /// Learner-side ingestion of a transition collected by a detached actor
+  /// (DqnActorView). Identical to observe() except that it also advances the
+  /// environment-step counter, which act() normally drives: an actor-learner
+  /// learner never acts itself, yet its gradient cadence (train_period) and
+  /// exploration schedule must keep counting decision steps.
+  std::optional<double> ingest(Transition t);
 
   /// One gradient step from replay (callable directly for tests).
   double train_step();
@@ -93,10 +110,10 @@ class DqnAgent {
   /// Switches exploration off/on (evaluation mode).
   void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
 
+  /// Read access to the online network (weight snapshots for actor views).
+  [[nodiscard]] const nn::Mlp& online_net() const noexcept { return online_; }
+
  private:
-  [[nodiscard]] int greedy_from_q(std::span<const float> q,
-                                  std::span<const std::uint8_t> mask) const;
-  [[nodiscard]] int random_valid(std::span<const std::uint8_t> mask);
   double train_on_batch(const std::vector<const Transition*>& batch,
                         std::span<const float> is_weights,
                         std::vector<float>* td_errors_out);
@@ -104,9 +121,9 @@ class DqnAgent {
   void flush_n_step_buffer(bool episode_ended);
 
   DqnConfig config_;
-  mutable Rng rng_;
+  Rng rng_;
   nn::Mlp online_;
-  mutable nn::Mlp target_;
+  nn::Mlp target_;
   std::unique_ptr<nn::Adam> optimizer_;
   std::unique_ptr<ReplayBuffer> replay_;
   std::unique_ptr<PrioritizedReplay> per_;
@@ -116,6 +133,41 @@ class DqnAgent {
   std::size_t grad_steps_ = 0;
   bool explore_ = true;
   std::vector<Transition> n_step_buffer_;  ///< in-flight steps (n-step mode)
+  mutable std::vector<float> q_scratch_;   ///< reusable Q-row for act paths
+};
+
+/// Inference-only actor view of a DqnAgent for parallel actor-learner
+/// training: owns a private copy of the online network, an exploration-rate
+/// snapshot, and its own RNG stream, so N views can select actions from N
+/// threads while the learner keeps training. A view never learns; sync()
+/// republishes the learner's weights and exploration rate, reseed() derives
+/// a fresh exploration stream (call it once per episode with the episode
+/// seed to make action streams independent of thread scheduling).
+class DqnActorView {
+ public:
+  explicit DqnActorView(const DqnAgent& learner);
+
+  /// Re-copies policy weights and the current exploration rate.
+  void sync(const DqnAgent& learner);
+  /// Re-derives the exploration RNG stream from `seed`.
+  void reseed(std::uint64_t seed) noexcept { rng_ = Rng(seed); }
+  void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
+
+  /// ε-greedy action with the snapshot policy (allocation-free hot path).
+  [[nodiscard]] int act(std::span<const float> state, std::span<const std::uint8_t> mask);
+  /// Greedy action with the snapshot policy.
+  [[nodiscard]] int act_greedy(std::span<const float> state,
+                               std::span<const std::uint8_t> mask) const;
+
+  [[nodiscard]] double epsilon() const noexcept { return explore_ ? epsilon_ : 0.0; }
+
+ private:
+  nn::Mlp net_;
+  std::size_t action_dim_;
+  double epsilon_ = 0.0;
+  bool explore_ = true;
+  Rng rng_;
+  mutable std::vector<float> q_;  ///< reusable Q-row scratch
 };
 
 }  // namespace vnfm::rl

@@ -1,0 +1,195 @@
+// Regression tests for the actor-learner TrainDriver: thread-count
+// invariance (the tentpole determinism contract), the sequential fallback,
+// train_manager wrapper equivalence, seed-slice hygiene, and stats.
+#include "core/train_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/drl_manager.hpp"
+#include "core/heuristics.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 17;
+  return options;
+}
+
+rl::DqnConfig small_dqn_config(const VnfEnv& env) {
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {16, 16};
+  config.min_replay_before_training = 100;
+  config.train_period = 4;
+  config.epsilon_decay_steps = 2000;
+  return config;
+}
+
+TrainOptions short_train(std::size_t episodes, std::size_t threads) {
+  TrainOptions options;
+  options.episodes = episodes;
+  options.threads = threads;
+  options.episode.duration_s = 150.0;
+  options.episode.seed = 11;
+  return options;
+}
+
+std::string weights_of(const DqnManager& manager) {
+  std::ostringstream os;
+  manager.save(os);
+  return os.str();
+}
+
+void expect_identical(const EpisodeResult& a, const EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+TEST(TrainDriver, PipelineBitIdenticalAcrossThreadCounts) {
+  const EnvOptions env_options = small_options();
+  std::vector<TrainResult> results;
+  std::vector<std::string> weights;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    VnfEnv env(env_options);
+    DqnManager manager(env, small_dqn_config(env));
+    const TrainDriver driver(env_options, short_train(8, threads));
+    results.push_back(driver.run(manager));
+    weights.push_back(weights_of(manager));
+    EXPECT_TRUE(results.back().stats.parallel) << threads << " threads";
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[0].curve.size(), results[r].curve.size());
+    EXPECT_EQ(results[0].seeds, results[r].seeds);
+    EXPECT_EQ(results[0].stats.transitions, results[r].stats.transitions);
+    for (std::size_t i = 0; i < results[0].curve.size(); ++i)
+      expect_identical(results[0].curve[i], results[r].curve[i],
+                       "episode " + std::to_string(i) + " variant " + std::to_string(r));
+    // Same learning curve AND the same final policy, bit for bit.
+    EXPECT_EQ(weights[0], weights[r]) << "variant " << r;
+  }
+  // The run must have actually trained for the identity to be meaningful.
+  EXPECT_GT(results[0].stats.transitions, 100u);
+}
+
+TEST(TrainDriver, PipelineLearnerTakesGradientSteps) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  DqnManager manager(env, small_dqn_config(env));
+  const TrainDriver driver(env_options, short_train(6, 2));
+  const TrainResult result = driver.run(manager);
+  EXPECT_GT(manager.agent().gradient_steps(), 0u);
+  // The learner counts every recorded decision step exactly once.
+  EXPECT_EQ(manager.agent().steps(), result.stats.transitions);
+}
+
+TEST(TrainDriver, SequentialFallbackForInlineLearners) {
+  const EnvOptions env_options = small_options();
+  // REINFORCE learns at chain end and does not support the split.
+  VnfEnv env_a(env_options);
+  ReinforceManager reference(env_a, {});
+  EpisodeOptions episode = short_train(3, 4).episode;
+  const auto expected = train_manager(env_a, reference, 3, episode);
+
+  VnfEnv env_b(env_options);
+  ReinforceManager manager(env_b, {});
+  const TrainDriver driver(env_options, short_train(3, 4));
+  const TrainResult result = driver.run(manager);
+  EXPECT_FALSE(result.stats.parallel);
+  ASSERT_EQ(result.curve.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    expect_identical(result.curve[i], expected[i], "episode " + std::to_string(i));
+}
+
+TEST(TrainDriver, TrainManagerMatchesDriverSequential) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env_a(env_options);
+  GreedyLatencyManager a;
+  EpisodeOptions episode = short_train(3, 1).episode;
+  const auto wrapper_curve = train_manager(env_a, a, 3, episode);
+
+  GreedyLatencyManager b;
+  const TrainDriver driver(env_options, short_train(3, 1));
+  const TrainResult direct = driver.run_sequential(b);
+  ASSERT_EQ(wrapper_curve.size(), direct.curve.size());
+  for (std::size_t i = 0; i < wrapper_curve.size(); ++i)
+    expect_identical(wrapper_curve[i], direct.curve[i], "episode " + std::to_string(i));
+}
+
+TEST(TrainDriver, TrainingSeedsAreHeldOutFromEvalSeeds) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  DqnManager manager(env, small_dqn_config(env));
+  TrainOptions options = short_train(6, 2);
+  options.episode.max_requests = 2;
+  const TrainResult result = TrainDriver(env_options, options).run(manager);
+  ASSERT_EQ(result.seeds.size(), 6u);
+  const std::uint64_t base = options.episode.seed;
+  std::set<std::uint64_t> train_seeds;
+  for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+    EXPECT_EQ(result.seeds[i], train_seed(base, i));
+    train_seeds.insert(result.seeds[i]);
+  }
+  // The actor seed slice never touches the held-out evaluation slice.
+  for (std::size_t j = 0; j < 1000; ++j)
+    EXPECT_EQ(train_seeds.count(eval_seed(base, j)), 0u) << "repeat " << j;
+}
+
+TEST(TrainDriver, ContinuationOffsetsTheSeedSlice) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  DqnManager manager(env, small_dqn_config(env));
+  TrainOptions options = short_train(2, 2);
+  options.first_episode = 5;
+  options.episode.max_requests = 2;
+  const TrainResult result = TrainDriver(env_options, options).run(manager);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], train_seed(options.episode.seed, 5));
+  EXPECT_EQ(result.seeds[1], train_seed(options.episode.seed, 6));
+}
+
+TEST(TrainDriver, StatsReportThroughput) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  DqnManager manager(env, small_dqn_config(env));
+  TrainOptions options = short_train(5, 2);
+  options.sync_period = 2;
+  const TrainResult result = TrainDriver(env_options, options).run(manager);
+  EXPECT_EQ(result.stats.episodes, 5u);
+  EXPECT_EQ(result.stats.rounds, 3u);  // ceil(5 / 2)
+  EXPECT_EQ(result.stats.actor_threads, 2u);
+  EXPECT_GT(result.stats.transitions, 0u);
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+  EXPECT_GT(result.stats.steps_per_second(), 0.0);
+}
+
+TEST(TrainDriver, ZeroEpisodesIsANoOp) {
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  DqnManager manager(env, small_dqn_config(env));
+  const TrainResult result = TrainDriver(env_options, short_train(0, 4)).run(manager);
+  EXPECT_TRUE(result.curve.empty());
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_EQ(result.stats.transitions, 0u);
+}
+
+}  // namespace
+}  // namespace vnfm::core

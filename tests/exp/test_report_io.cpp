@@ -1,0 +1,158 @@
+// Tests for the experiment persistence layer: EvalReport and learning-curve
+// CSV/JSON writers (exp/report_io).
+#include "exp/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t line_count(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  return lines;
+}
+
+core::EpisodeResult sample_result(double scale) {
+  core::EpisodeResult result;
+  result.total_reward = 10.5 * scale;
+  result.requests = static_cast<std::size_t>(100 * scale);
+  result.cost_per_request = 0.25 * scale;
+  result.total_cost = 25.0 * scale;
+  result.acceptance_ratio = 0.5;
+  result.mean_latency_ms = 12.0;
+  result.p95_latency_ms = 30.0;
+  result.sla_violation_ratio = 0.1;
+  result.mean_utilization = 0.4;
+  result.deployments = 7;
+  result.running_cost = 3.0;
+  result.revenue = 40.0;
+  return result;
+}
+
+EvalReport sample_report() {
+  EvalReport report;
+  report.per_seed = {sample_result(1.0), sample_result(2.0)};
+  report.seeds = {1000011, 1000012};
+  report.mean = core::mean_result(report.per_seed);
+  return report;
+}
+
+TEST(ReportIo, EvalCsvHasSeedRowsAndMeanRow) {
+  const EvalReport report = sample_report();
+  const std::string path = temp_path("eval.csv");
+  report.write_csv(path);
+  const std::string text = slurp(path);
+  // Header + 2 seed rows + mean row.
+  EXPECT_EQ(line_count(text), 4u);
+  EXPECT_EQ(text.rfind("seed,total_reward,", 0), 0u) << text;
+  EXPECT_NE(text.find("\n1000011,"), std::string::npos);
+  EXPECT_NE(text.find("\n1000012,"), std::string::npos);
+  EXPECT_NE(text.find("\nmean,"), std::string::npos);
+}
+
+TEST(ReportIo, EvalJsonIsStructured) {
+  const EvalReport report = sample_report();
+  const std::string path = temp_path("eval.json");
+  report.write_json(path);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"seeds\": [1000011, 1000012]"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"mean\""), std::string::npos);
+  EXPECT_NE(text.find("\"per_seed\""), std::string::npos);
+  EXPECT_NE(text.find("\"total_reward\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+}
+
+TEST(ReportIo, CurveCsvOneRowPerEpisode) {
+  const std::vector<core::EpisodeResult> curve{sample_result(1.0), sample_result(2.0),
+                                               sample_result(3.0)};
+  const std::string path = temp_path("curve.csv");
+  write_curve_csv(curve, {11, 12, 13}, path);
+  const std::string text = slurp(path);
+  EXPECT_EQ(line_count(text), 4u);  // header + 3 episodes
+  EXPECT_EQ(text.rfind("episode,seed,total_reward", 0), 0u) << text;
+  EXPECT_NE(text.find("\n2,13,"), std::string::npos);
+}
+
+TEST(ReportIo, CurveJsonCarriesStats) {
+  const std::vector<core::EpisodeResult> curve{sample_result(1.0)};
+  core::TrainStats stats;
+  stats.wall_seconds = 2.0;
+  stats.transitions = 500;
+  stats.episodes = 1;
+  stats.rounds = 1;
+  stats.actor_threads = 4;
+  stats.parallel = true;
+  const std::string path = temp_path("curve.json");
+  write_curve_json(curve, {11}, &stats, path);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"steps_per_second\": 250"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"parallel\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"actor_threads\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"seed\": 11"), std::string::npos);
+}
+
+TEST(ReportIo, RewardCurvesCsvMatchesFig3Shape) {
+  const std::string path = temp_path("curves.csv");
+  write_reward_curves_csv({"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}}, path);
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("episode,a,b", 0), 0u) << text;
+  EXPECT_NE(text.find("\n0,1,3"), std::string::npos);
+  EXPECT_NE(text.find("\n1,2,4"), std::string::npos);
+}
+
+TEST(ReportIo, RewardCurvesCsvRejectsMismatchedInput) {
+  EXPECT_THROW(
+      write_reward_curves_csv({"a"}, {{1.0}, {2.0}}, temp_path("bad.csv")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      write_reward_curves_csv({"a", "b"}, {{1.0}, {2.0, 3.0}}, temp_path("bad.csv")),
+      std::invalid_argument);
+}
+
+TEST(ReportIo, ExperimentWritesItsCurve) {
+  auto experiment = Experiment::scenario(
+      "geo-distributed", Config{{"nodes", "4"}, {"arrival_rate", "1.0"}});
+  experiment.manager("tabular_q")
+      .seed(3)
+      .train_duration(200.0)
+      .max_requests(4)
+      .train(2);
+  const std::string csv_file = temp_path("exp_curve.csv");
+  const std::string json_file = temp_path("exp_curve.json");
+  experiment.write_curve_csv(csv_file);
+  experiment.write_curve_json(json_file);
+  EXPECT_EQ(line_count(slurp(csv_file)), 3u);  // header + 2 episodes
+  EXPECT_NE(slurp(json_file).find("\"episodes\""), std::string::npos);
+}
+
+TEST(ReportIo, UnwritablePathThrows) {
+  const EvalReport report = sample_report();
+  EXPECT_THROW(report.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+  EXPECT_THROW(report.write_json("/nonexistent-dir/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

@@ -1,0 +1,140 @@
+// Experiment-level regression tests for parallel training: the acceptance
+// contract is that train_threads(K) produces a bit-identical learning curve
+// (and evaluation) to train_threads(1) for the DQN manager, and that the
+// default train() path keeps the legacy inline-loop semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+void expect_identical(const core::EpisodeResult& a, const core::EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+Experiment small_experiment() {
+  return Experiment::scenario("geo-distributed",
+                              Config{{"nodes", "4"}, {"arrival_rate", "1.5"}});
+}
+
+TEST(TrainParallel, TrainThreadsBitIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<core::EpisodeResult>> curves;
+  std::vector<EvalReport> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    auto experiment = small_experiment();
+    experiment.manager("dqn")
+        .seed(11)
+        .train_threads(threads)
+        .train_duration(300.0)
+        .eval_duration(300.0)
+        .train(6);
+    EXPECT_TRUE(experiment.train_stats().parallel) << threads << " threads";
+    curves.push_back(experiment.learning_curve());
+    reports.push_back(experiment.evaluate(3));
+  }
+  for (std::size_t r = 1; r < curves.size(); ++r) {
+    ASSERT_EQ(curves[0].size(), curves[r].size());
+    for (std::size_t i = 0; i < curves[0].size(); ++i)
+      expect_identical(curves[0][i], curves[r][i],
+                       "episode " + std::to_string(i) + " variant " + std::to_string(r));
+    ASSERT_EQ(reports[0].per_seed.size(), reports[r].per_seed.size());
+    for (std::size_t i = 0; i < reports[0].per_seed.size(); ++i)
+      expect_identical(reports[0].per_seed[i], reports[r].per_seed[i],
+                       "eval repeat " + std::to_string(i));
+  }
+  // The runs must simulate real traffic for the identity to be meaningful.
+  EXPECT_GT(reports[0].mean.requests, 0u);
+  EXPECT_GT(curves[0].front().requests, 0u);
+}
+
+TEST(TrainParallel, DefaultTrainMatchesLegacyTrainManager) {
+  // Without train_threads(), train() must reproduce the historical inline
+  // loop exactly (same seeds, same online-learning semantics).
+  auto experiment = small_experiment();
+  experiment.manager("dqn").seed(11).train_duration(300.0).train(3);
+  EXPECT_FALSE(experiment.train_stats().parallel);
+
+  core::VnfEnv env(ScenarioCatalog::instance().build(
+      "geo-distributed", Config{{"nodes", "4"}, {"arrival_rate", "1.5"}}));
+  const auto manager = ManagerRegistry::instance().create("dqn", env);
+  core::EpisodeOptions episode;
+  episode.duration_s = 300.0;
+  episode.seed = 11;
+  const auto expected = core::train_manager(env, *manager, 3, episode);
+
+  ASSERT_EQ(experiment.learning_curve().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    expect_identical(experiment.learning_curve()[i], expected[i],
+                     "episode " + std::to_string(i));
+}
+
+TEST(TrainParallel, CurveSeedsContinueAcrossTrainCalls) {
+  auto experiment = small_experiment();
+  experiment.manager("dqn")
+      .seed(7)
+      .train_threads(2)
+      .train_duration(200.0)
+      .max_requests(2)
+      .train(2)
+      .train(2);
+  const auto& seeds = experiment.learning_curve_seeds();
+  ASSERT_EQ(seeds.size(), 4u);
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    EXPECT_EQ(seeds[i], core::train_seed(7, i));
+}
+
+TEST(TrainParallel, TrainStatsAccumulate) {
+  auto experiment = small_experiment();
+  experiment.manager("dqn")
+      .seed(7)
+      .train_threads(2)
+      .train_duration(200.0)
+      .max_requests(4)
+      .train(2);
+  const auto first = experiment.train_stats();
+  EXPECT_EQ(first.episodes, 2u);
+  EXPECT_GT(first.transitions, 0u);
+  EXPECT_GT(first.wall_seconds, 0.0);
+  experiment.train(2);
+  EXPECT_EQ(experiment.train_stats().episodes, 4u);
+  EXPECT_GE(experiment.train_stats().transitions, first.transitions);
+}
+
+TEST(TrainParallel, InlineLearnersFallBackToSequential) {
+  auto experiment = small_experiment();
+  experiment.manager("reinforce")
+      .seed(7)
+      .train_threads(4)
+      .train_duration(200.0)
+      .max_requests(4)
+      .train(2);
+  EXPECT_FALSE(experiment.train_stats().parallel);
+  EXPECT_EQ(experiment.learning_curve().size(), 2u);
+}
+
+TEST(TrainParallel, SyncPeriodRejectsZero) {
+  auto experiment = small_experiment();
+  EXPECT_THROW(experiment.train_sync_period(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

@@ -50,6 +50,37 @@ TEST(Mlp, ForwardRowMatchesBatched) {
   for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(row[j], y.at(0, j));
 }
 
+TEST(Mlp, ForwardIsConstCallable) {
+  // Inference needs no const_cast: forward/forward_row are const (the
+  // backward caches are mutable implementation detail).
+  Mlp mlp(small_config(true));
+  Rng rng(7);
+  mlp.init(rng);
+  Matrix x = random_input(2, 5, rng);
+  const Mlp& view = mlp;
+  Matrix y;
+  view.forward(x, y);
+  EXPECT_EQ(y.rows(), 2u);
+  const auto row = view.forward_row(x.row(1));
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(row[j], y.at(1, j));
+  EXPECT_EQ(view.parameters().size(), mlp.parameters().size());
+}
+
+TEST(Mlp, ScratchForwardRowMatchesAllocatingOverload) {
+  Mlp mlp(small_config(false));
+  Rng rng(9);
+  mlp.init(rng);
+  std::vector<float> out;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Matrix x = random_input(1, 5, rng);
+    const auto expected = mlp.forward_row(x.row(0));
+    mlp.forward_row(x.row(0), out);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j)
+      EXPECT_EQ(out[j], expected[j]) << "repeat " << repeat;
+  }
+}
+
 TEST(Mlp, DuelingOutputDecomposition) {
   // In a dueling head Q = V + A - mean(A), so mean_a(Q(s,·)) == V(s); the
   // advantage stream contributes zero mean.

@@ -267,5 +267,90 @@ INSTANTIATE_TEST_SUITE_P(
                       DqnVariant{false, true, false}, DqnVariant{true, true, false},
                       DqnVariant{true, false, true}, DqnVariant{true, true, true}));
 
+// ---- Actor view (parallel actor-learner split) -----------------------------
+
+TEST(DqnActorView, GreedyMatchesLearnerPolicy) {
+  DqnAgent agent(toy_config(2, 2));
+  train_on_matching_bandit(agent, 800);
+  const DqnActorView view(agent);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(view.act_greedy(one_hot(s, 2), {}), agent.act_greedy(one_hot(s, 2), {}))
+        << "state " << s;
+  }
+}
+
+TEST(DqnActorView, SnapshotsTheLearnerEpsilon) {
+  DqnAgent agent(toy_config(2, 2));
+  DqnActorView view(agent);
+  EXPECT_DOUBLE_EQ(view.epsilon(), agent.epsilon());  // fresh: epsilon_start
+  for (int i = 0; i < 500; ++i) (void)agent.act(one_hot(0, 2), {});
+  EXPECT_GT(view.epsilon(), agent.epsilon());  // view froze the old rate
+  view.sync(agent);
+  EXPECT_DOUBLE_EQ(view.epsilon(), agent.epsilon());
+  view.set_exploration_enabled(false);
+  EXPECT_DOUBLE_EQ(view.epsilon(), 0.0);
+}
+
+TEST(DqnActorView, ReseedReproducesTheActionStream) {
+  // At epsilon_start = 1.0 every action is an exploration draw, so the
+  // stream is a pure function of the RNG seed.
+  DqnAgent agent(toy_config(2, 4));
+  DqnActorView view(agent);
+  const auto state = one_hot(0, 2);
+  auto draw = [&](std::uint64_t seed) {
+    view.reseed(seed);
+    std::vector<int> actions;
+    for (int i = 0; i < 64; ++i) actions.push_back(view.act(state, {}));
+    return actions;
+  };
+  const auto first = draw(5);
+  const auto replay = draw(5);
+  EXPECT_EQ(first, replay);
+  EXPECT_NE(first, draw(6));
+}
+
+TEST(DqnActorView, SyncTracksLearnerWeights) {
+  DqnAgent agent(toy_config(2, 2));
+  DqnActorView view(agent);
+  train_on_matching_bandit(agent, 2500);  // the view's snapshot goes stale
+  view.sync(agent);
+  for (std::size_t s = 0; s < 2; ++s)
+    EXPECT_EQ(view.act_greedy(one_hot(s, 2), {}),
+              agent.act_greedy(one_hot(s, 2), {}));
+}
+
+TEST(DqnActorView, RespectsActionMask) {
+  DqnAgent agent(toy_config(2, 3));
+  DqnActorView view(agent);
+  view.reseed(3);
+  const auto state = one_hot(0, 2);
+  const std::vector<std::uint8_t> mask{0, 1, 0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(view.act(state, mask), 1);
+  EXPECT_EQ(view.act_greedy(state, mask), 1);
+}
+
+TEST(DqnAgent, IngestCountsStepsAndTrains) {
+  DqnConfig config = toy_config(2, 2);
+  config.min_replay_before_training = 16;
+  config.train_period = 4;
+  DqnAgent agent(config);
+  Rng env_rng(3);
+  for (int t = 0; t < 64; ++t) {
+    const std::size_t context = env_rng.uniform_index(2);
+    Transition tr;
+    tr.state = one_hot(context, 2);
+    tr.action = static_cast<int>(env_rng.uniform_index(2));
+    tr.reward = tr.action == static_cast<int>(context) ? 1.0F : 0.0F;
+    tr.next_state = one_hot(0, 2);
+    tr.done = true;
+    (void)agent.ingest(std::move(tr));
+  }
+  // The learner never acted, yet steps advanced once per ingested
+  // transition and gradient steps ran on the train_period cadence.
+  EXPECT_EQ(agent.steps(), 64u);
+  EXPECT_GT(agent.gradient_steps(), 0u);
+  EXPECT_EQ(agent.replay_size(), 64u);
+}
+
 }  // namespace
 }  // namespace vnfm::rl
