@@ -17,7 +17,8 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const std::size_t episodes = scale.train_episodes * 2;
   const double duration = scale.train_duration_s * 0.6;

@@ -13,7 +13,7 @@ using namespace vnfm;
 
 int main(int argc, char** argv) {
   const bench::Scale scale = bench::Scale::resolve();
-  const auto rates = bench::sweep_rates(scale, Config::from_args(argc, argv));
+  const auto rates = bench::sweep_rates(scale, bench::parse_args(argc, argv));
   std::cout << "=== Figure 5: mean latency (ms) vs arrival rate ===\n\n";
 
   const auto sweep = bench::run_load_sweep(rates, scale);

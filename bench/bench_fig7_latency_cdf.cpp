@@ -29,7 +29,8 @@ std::vector<double> latency_quantiles(core::VnfEnv& env, core::Manager& manager,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = 3.0;
   std::cout << "=== Figure 7: latency CDF at rate " << rate << "/s ===\n\n";

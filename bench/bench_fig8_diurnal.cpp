@@ -59,14 +59,15 @@ std::vector<HourSample> run_day(core::VnfEnv& env, core::Manager& manager,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = full_run_requested() ? 2.0 : 1.0;
   std::cout << "=== Figure 8: diurnal adaptation over 24h (rate " << rate
             << "/s, amplitude 0.8) ===\n\n";
 
   core::VnfEnv env(bench::scenario_options(
-      "geo-distributed", Config{{"arrival_rate", bench::to_config_value(rate)},
+      bench::default_scenario(), Config{{"arrival_rate", bench::to_config_value(rate)},
                                 {"diurnal_amplitude", "0.8"}}));
   auto& registry = exp::ManagerRegistry::instance();
 

@@ -15,7 +15,8 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const std::vector<std::size_t> node_counts =
       full_run_requested() ? std::vector<std::size_t>{4, 6, 8, 12, 16}

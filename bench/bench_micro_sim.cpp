@@ -16,7 +16,7 @@ void BM_WorkloadNext(benchmark::State& state) {
   const auto topo = edgesim::make_world_topology({.node_count = 8});
   const auto vnfs = edgesim::VnfCatalog::standard();
   const auto sfcs = edgesim::SfcCatalog::standard(vnfs);
-  edgesim::WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 1});
+  edgesim::PoissonDiurnalModel gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 1});
   edgesim::SimTime now = 0.0;
   for (auto _ : state) {
     const auto request = gen.next(now);
@@ -32,7 +32,7 @@ void BM_ChainPlaceCommitExpire(benchmark::State& state) {
   const auto vnfs = edgesim::VnfCatalog::standard();
   const auto sfcs = edgesim::SfcCatalog::standard(vnfs);
   edgesim::ClusterState cluster(topo, vnfs, sfcs, {});
-  edgesim::WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 2});
+  edgesim::PoissonDiurnalModel gen(topo, sfcs, {.global_arrival_rate = 5.0, .seed = 2});
   edgesim::SimTime now = 0.0;
   for (auto _ : state) {
     auto request = gen.next(now);

@@ -8,7 +8,8 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const core::EnvOptions options = bench::make_env_options(2.0);
   core::VnfEnv env(options);
 

@@ -9,7 +9,8 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = 3.0;
   std::cout << "=== Table II: policy summary at rate " << rate << "/s ===\n\n";

@@ -19,7 +19,8 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = 3.0;
   std::cout << "=== Table III: DQN ablations at rate " << rate << "/s ===\n\n";

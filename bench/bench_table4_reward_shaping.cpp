@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const bench::Scale scale = bench::Scale::resolve();
   const double rate = 3.0;
   const std::vector<double> latency_prices =
-      Config::from_args(argc, argv).get_double_list("prices", {0.002, 0.01, 0.05});
+      bench::parse_args(argc, argv).get_double_list("prices", {0.002, 0.01, 0.05});
   std::cout << "=== Table IV: reward-shaping ablation (w_latency_per_ms sweep, rate "
             << rate << "/s) ===\n\n";
 
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   for (const double price : latency_prices) {
     core::VnfEnv env(bench::scenario_options(
-        "geo-distributed",
+        bench::default_scenario(),
         Config{{"arrival_rate", bench::to_config_value(rate)},
                {"w_latency_per_ms", bench::to_config_value(price)}}));
     auto dqn = bench::train_policy(env, scale, "dqn");

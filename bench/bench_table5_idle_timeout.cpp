@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   // window must span several flow lifetimes for the GC knob to matter.
   const double rate = 0.7;
   const double duration_s = full_run_requested() ? 24.0 * 3600.0 : 3.0 * 3600.0;
-  const std::vector<double> timeouts = Config::from_args(argc, argv).get_double_list(
+  const std::vector<double> timeouts = bench::parse_args(argc, argv).get_double_list(
       "timeouts", {15.0, 60.0, 120.0, 600.0, 6.0 * 3600.0});
   std::cout << "=== Table V: idle-timeout GC ablation (myopic manager, rate " << rate
             << "/s, " << duration_s << "s horizon) ===\n\n";
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   for (const double timeout : timeouts) {
     core::VnfEnv env(bench::scenario_options(
-        "geo-distributed",
+        bench::default_scenario(),
         Config{{"arrival_rate", bench::to_config_value(rate)},
                {"diurnal_amplitude", "0.9"},
                {"idle_timeout_s", bench::to_config_value(timeout)}}));

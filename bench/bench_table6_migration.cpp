@@ -15,7 +15,8 @@
 
 using namespace vnfm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   // Low per-region load + strong diurnal swing: long-lived flows strand
   // near-empty nodes at regional night, which only migration can drain.
@@ -25,7 +26,7 @@ int main() {
             << "/s, diurnal 0.9, " << duration_s << "s horizon) ===\n\n";
 
   const core::EnvOptions options = bench::scenario_options(
-      "geo-distributed", Config{{"arrival_rate", bench::to_config_value(rate)},
+      bench::default_scenario(), Config{{"arrival_rate", bench::to_config_value(rate)},
                                 {"diurnal_amplitude", "0.9"},
                                 {"idle_timeout_s", "240"}});
 

@@ -1,6 +1,8 @@
 #include "support.hpp"
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <sstream>
 
 namespace vnfm::bench {
@@ -14,13 +16,29 @@ std::string to_config_value(double value) {
   return out.str();
 }
 
+Config parse_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      std::cout << exp::ScenarioCatalog::instance().describe();
+      std::exit(0);
+    }
+  }
+  return Config::from_args(argc, argv);
+}
+
+std::string default_scenario() {
+  const char* requested = std::getenv("REPRO_SCENARIO");
+  if (requested == nullptr || *requested == '\0') return "geo-distributed";
+  return requested;
+}
+
 core::EnvOptions scenario_options(const std::string& scenario, const Config& overrides) {
   return exp::ScenarioCatalog::instance().build(scenario, overrides);
 }
 
 core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes,
                                   std::uint64_t seed) {
-  return scenario_options("geo-distributed",
+  return scenario_options(default_scenario(),
                           Config{{"arrival_rate", to_config_value(arrival_rate)},
                                  {"nodes", std::to_string(nodes)},
                                  {"seed", std::to_string(seed)}});
@@ -99,7 +117,7 @@ std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
   sweep.reserve(rates.size());
   for (const double rate : rates) {
     auto experiment = exp::Experiment::scenario(
-        "geo-distributed", Config{{"arrival_rate", to_config_value(rate)}});
+        default_scenario(), Config{{"arrival_rate", to_config_value(rate)}});
     experiment.manager("dqn")
         .train_threads(train_threads())
         .train_duration(scale.train_duration_s)

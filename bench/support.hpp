@@ -40,13 +40,24 @@ struct Scale {
 /// Formats a double as a Config override value (round-trip precision).
 std::string to_config_value(double value);
 
-/// EnvOptions from the scenario catalog. The benches' standard setting is
-/// scenario "geo-distributed" (8 world metros, diurnal 0.6).
+/// Standard bench command-line entry point: handles --list-scenarios (prints
+/// the scenario/overlay catalog and composition grammar, then exits) and
+/// returns the remaining key=value tokens as a Config.
+Config parse_args(int argc, const char* const* argv);
+
+/// The scenario (composition expression) bench binaries run: the
+/// REPRO_SCENARIO environment variable, defaulting to "geo-distributed".
+/// Composed expressions work everywhere, e.g.
+///   REPRO_SCENARIO=geo-distributed+flash-crowd+node-failure ./bench_table2_summary
+std::string default_scenario();
+
+/// EnvOptions from the scenario catalog; `scenario` may be a composition
+/// expression ("<base>[+<overlay>...]").
 core::EnvOptions scenario_options(const std::string& scenario,
                                   const Config& overrides = {});
 
-/// The standard evaluation environment at an arrival rate: scenario
-/// "geo-distributed" with rate/nodes/seed overrides.
+/// The standard evaluation environment at an arrival rate: default_scenario()
+/// with rate/nodes/seed overrides.
 core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
                                   std::uint64_t seed = 1);
 

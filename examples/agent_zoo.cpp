@@ -12,6 +12,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
 
 using namespace vnfm;
 
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
   const auto episodes = config.get_size("episodes", 10);
 
-  Config overrides = config;
+  Config overrides = exp::ScenarioCatalog::instance().filter_known_overrides(config);
   if (!overrides.contains("arrival_rate")) overrides.set("arrival_rate", "2.5");
   if (!overrides.contains("seed")) overrides.set("seed", "4");
 

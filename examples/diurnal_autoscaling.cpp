@@ -10,6 +10,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
 
 using namespace vnfm;
 
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
   const auto train_episodes = config.get_size("train_episodes", 10);
 
-  Config overrides = config;
+  Config overrides = exp::ScenarioCatalog::instance().filter_known_overrides(config);
   if (!overrides.contains("seed")) overrides.set("seed", "2");
 
   auto experiment = exp::Experiment::scenario("diurnal", overrides);

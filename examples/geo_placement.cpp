@@ -13,13 +13,14 @@
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "exp/registry.hpp"
+#include "exp/scenario.hpp"
 
 using namespace vnfm;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
 
-  Config overrides = config;
+  Config overrides = exp::ScenarioCatalog::instance().filter_known_overrides(config);
   if (!overrides.contains("arrival_rate")) overrides.set("arrival_rate", "1.0");
   if (!overrides.contains("seed")) overrides.set("seed", "5");
 

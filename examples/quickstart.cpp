@@ -4,9 +4,9 @@
 // out over all cores, deterministically).
 //
 // Command-line key=value tokens override both the experiment knobs and the
-// scenario itself:
+// scenario itself; scenario= accepts composition expressions:
 //   ./quickstart [episodes=12] [arrival_rate=2.0] [nodes=8] [threads=0]
-//                [train_threads=0]
+//                [train_threads=0] [scenario=geo-distributed+flash-crowd]
 //
 // Training uses the actor-learner pipeline (train_threads actor workers,
 // 0 = all cores); its results are bit-identical for every thread count.
@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
 
 using namespace vnfm;
 
@@ -22,9 +23,12 @@ int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
   const auto episodes = config.get_size("episodes", 12);
 
-  // Unrecognised keys (episodes, threads, ...) are ignored by the scenario
-  // builder, so the whole command line doubles as scenario overrides.
-  auto experiment = exp::Experiment::scenario("geo-distributed", config);
+  // The scenario builder rejects unknown keys (to catch override typos), so
+  // strip the experiment-only knobs (episodes, threads, ...) before handing
+  // the command line over as scenario overrides.
+  auto experiment = exp::Experiment::scenario(
+      config.get_string("scenario", "geo-distributed"),
+      exp::ScenarioCatalog::instance().filter_known_overrides(config));
   experiment.manager("dqn")
       .threads(config.get_size("threads", 0))
       .train_threads(config.get_size("train_threads", 0))

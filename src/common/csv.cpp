@@ -43,4 +43,62 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   ++rows_;
 }
 
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::string join_comma(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::invalid_argument("CSV has no column '" + name +
+                              "' (columns: " + join_comma(header) + ")");
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  CsvTable table;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (table.header.empty()) {
+      table.header = std::move(cells);
+      continue;
+    }
+    if (cells.size() != table.header.size())
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": CSV row arity mismatch");
+    table.rows.push_back(std::move(cells));
+  }
+  if (table.header.empty()) throw std::runtime_error("empty CSV file: " + path);
+  return table;
+}
+
 }  // namespace vnfm

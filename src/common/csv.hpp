@@ -1,4 +1,5 @@
-// Minimal CSV writer used by bench binaries to dump figure/table series.
+// Minimal CSV writer/reader used by bench binaries to dump figure/table
+// series and by the trace-replay workload model to load recorded traces.
 #pragma once
 
 #include <fstream>
@@ -30,5 +31,25 @@ class CsvWriter {
 
 /// Formats a double compactly (trailing-zero trimmed, 6 significant digits).
 [[nodiscard]] std::string format_number(double value);
+
+/// Joins strings with ", " — the house style for listing known names/keys in
+/// error messages.
+[[nodiscard]] std::string join_comma(const std::vector<std::string>& items);
+
+/// In-memory CSV contents: one header row plus string cells (callers convert
+/// to their own types; parse errors then carry row/column context).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named header column; throws std::invalid_argument listing
+  /// the available columns when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Reads the whole file (same dialect CsvWriter emits: comma-separated, no
+/// quoting). Blank lines are skipped; every data row must match the header
+/// arity. Throws std::runtime_error on I/O failure or a ragged row.
+[[nodiscard]] CsvTable read_csv(const std::string& path);
 
 }  // namespace vnfm

@@ -41,10 +41,17 @@ VnfEnv::VnfEnv(EnvOptions options)
 void VnfEnv::rebuild() {
   edgesim::WorkloadOptions workload_options = options_.workload;
   workload_options.seed = options_.seed ^ (episode_seed_ * 0x9E3779B97F4A7C15ULL + 1);
-  workload_ = std::make_unique<edgesim::WorkloadGenerator>(topology_, sfcs_, workload_options);
+  if (options_.workload_model) {
+    workload_ = options_.workload_model(topology_, sfcs_, workload_options);
+    if (!workload_) throw std::invalid_argument("workload model factory returned null");
+  } else {
+    workload_ = std::make_unique<edgesim::PoissonDiurnalModel>(topology_, sfcs_,
+                                                               workload_options);
+  }
   cluster_ = std::make_unique<edgesim::ClusterState>(topology_, vnfs_, sfcs_,
                                                      options_.cluster);
   metrics_ = edgesim::MetricsCollector(options_.cost);
+  next_event_ = 0;
   pending_deploy_cost_ = 0.0;
   pending_nodes_.clear();
 }
@@ -62,10 +69,33 @@ int VnfEnv::reject_action() const noexcept {
   return static_cast<int>(topology_.node_count());
 }
 
+void VnfEnv::apply_events_until(double up_to) {
+  const auto& events = options_.events.events();
+  while (next_event_ < events.size() && events[next_event_].time_s <= up_to) {
+    const edgesim::ScheduledEvent& event = events[next_event_++];
+    if (event.time_s > cluster_->now()) {
+      cluster_->advance_to(event.time_s);
+      metrics_.on_running_cost(cluster_->drain_running_cost());
+    }
+    switch (event.kind) {
+      case edgesim::EventKind::kNodeFailure:
+        metrics_.on_chains_killed(cluster_->fail_node(event.node));
+        break;
+      case edgesim::EventKind::kNodeRecovery:
+        cluster_->recover_node(event.node);
+        break;
+      case edgesim::EventKind::kCapacityScale:
+        cluster_->set_capacity_scale(event.node, event.factor);
+        break;
+    }
+  }
+}
+
 bool VnfEnv::begin_next_request(double horizon_s) {
   if (cluster_->has_pending_chain())
     throw std::logic_error("begin_next_request with a chain pending");
   const Request request = workload_->next(cluster_->now());
+  apply_events_until(std::min(request.arrival_time, horizon_s));
   if (request.arrival_time > horizon_s) {
     cluster_->advance_to(horizon_s);
     metrics_.on_running_cost(cluster_->drain_running_cost());

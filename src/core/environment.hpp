@@ -16,18 +16,27 @@
 
 #include "edgesim/cluster.hpp"
 #include "edgesim/cost.hpp"
+#include "edgesim/events.hpp"
 #include "edgesim/metrics.hpp"
 #include "edgesim/topology.hpp"
 #include "edgesim/vnf.hpp"
 #include "edgesim/workload.hpp"
+#include "edgesim/workload_model.hpp"
 
 namespace vnfm::core {
 
 struct EnvOptions {
   edgesim::TopologyOptions topology;
   edgesim::WorkloadOptions workload;
+  /// Arrival-process factory invoked on every reset with the episode-derived
+  /// seed. Empty = the default Poisson-diurnal model over `workload` (the
+  /// legacy generator — request streams stay bit-identical).
+  edgesim::WorkloadModelFactory workload_model;
   edgesim::ClusterOptions cluster;
   edgesim::CostModel cost;
+  /// Timed node-failure/recovery and capacity-change events, applied between
+  /// request arrivals at fixed simulated instants (deterministic per seed).
+  edgesim::EventSchedule events;
   /// Rewards are costs scaled by -reward_scale to keep |r| in DQN-friendly
   /// range; the scale cancels out of policy comparisons.
   double reward_scale = 0.25;
@@ -78,7 +87,13 @@ class VnfEnv {
   [[nodiscard]] const edgesim::VnfCatalog& vnfs() const { return vnfs_; }
   [[nodiscard]] const edgesim::SfcCatalog& sfcs() const { return sfcs_; }
   [[nodiscard]] const edgesim::MetricsCollector& metrics() const { return metrics_; }
-  [[nodiscard]] const edgesim::WorkloadGenerator& workload() const { return *workload_; }
+  [[nodiscard]] const edgesim::WorkloadModel& workload() const { return *workload_; }
+  /// The fault script this environment replays (may be empty).
+  [[nodiscard]] const edgesim::EventSchedule& event_schedule() const noexcept {
+    return options_.events;
+  }
+  /// Scheduled events applied since the last reset().
+  [[nodiscard]] std::size_t events_applied() const noexcept { return next_event_; }
   [[nodiscard]] edgesim::SimTime now() const { return cluster_->now(); }
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
   /// Seed of the episode the environment was last reset() with.
@@ -104,16 +119,20 @@ class VnfEnv {
  private:
   void rebuild();
   void refresh_decision_state();
+  /// Applies every scheduled event with time <= up_to (advancing the cluster
+  /// to each event's instant first).
+  void apply_events_until(double up_to);
   [[nodiscard]] double prev_hop_latency_ms(edgesim::NodeId node) const;
 
   EnvOptions options_;
   edgesim::Topology topology_;
   edgesim::VnfCatalog vnfs_;
   edgesim::SfcCatalog sfcs_;
-  std::unique_ptr<edgesim::WorkloadGenerator> workload_;
+  std::unique_ptr<edgesim::WorkloadModel> workload_;
   std::unique_ptr<edgesim::ClusterState> cluster_;
   edgesim::MetricsCollector metrics_;
   std::uint64_t episode_seed_ = 0;
+  std::size_t next_event_ = 0;  ///< cursor into options_.events
 
   std::vector<float> features_;
   std::vector<std::uint8_t> mask_;

@@ -14,6 +14,8 @@ ClusterState::ClusterState(const Topology& topology, const VnfCatalog& vnfs,
   cpu_used_.assign(n, 0.0);
   mem_used_.assign(n, 0.0);
   wan_used_.assign(n, 0.0);
+  failed_.assign(n, 0);
+  capacity_scale_.assign(n, 1.0);
   by_node_type_.assign(n, std::vector<std::vector<InstanceId>>(vnfs_.size()));
 }
 
@@ -21,7 +23,7 @@ double ClusterState::cpu_used(NodeId node) const { return cpu_used_.at(index(nod
 double ClusterState::mem_used(NodeId node) const { return mem_used_.at(index(node)); }
 
 double ClusterState::cpu_utilization(NodeId node) const {
-  return cpu_used(node) / topology_.node(node).cpu_capacity;
+  return cpu_used(node) / effective_cpu_capacity(node);
 }
 
 std::size_t ClusterState::instance_count(NodeId node, VnfTypeId type) const {
@@ -40,13 +42,15 @@ double ClusterState::residual_capacity_rps(NodeId node, VnfTypeId type) const {
 }
 
 bool ClusterState::can_deploy(NodeId node, VnfTypeId type) const {
+  if (failed_.at(index(node))) return false;
   const VnfType& vnf = vnfs_.type(type);
   const EdgeNode& n = topology_.node(node);
-  return cpu_used(node) + vnf.cpu_units <= n.cpu_capacity &&
+  return cpu_used(node) + vnf.cpu_units <= effective_cpu_capacity(node) &&
          mem_used(node) + vnf.mem_gb <= n.mem_capacity_gb;
 }
 
 bool ClusterState::can_serve(NodeId node, VnfTypeId type, double rate) const {
+  if (failed_.at(index(node))) return false;
   const VnfType& vnf = vnfs_.type(type);
   const double usable = vnf.capacity_rps * options_.max_utilization;
   if (rate > usable) return false;  // a single flow larger than one instance
@@ -65,6 +69,7 @@ double ClusterState::queue_delay_ms(const VnfType& type, double load_after) cons
 
 double ClusterState::estimated_proc_delay_ms(NodeId node, VnfTypeId type,
                                              double rate) const {
+  if (failed_.at(index(node))) return std::numeric_limits<double>::infinity();
   const VnfType& vnf = vnfs_.type(type);
   const double usable = vnf.capacity_rps * options_.max_utilization;
   if (rate > usable) return std::numeric_limits<double>::infinity();
@@ -296,6 +301,64 @@ bool ClusterState::has_headroom_instance(NodeId node, VnfTypeId type, double rat
     if (instances_.at(id).load_rps + rate <= usable) return true;
   }
   return false;
+}
+
+std::size_t ClusterState::fail_node(NodeId node) {
+  if (failed_.at(index(node))) return 0;
+  if (pending_) throw std::logic_error("fail_node with a pending chain");
+  failed_[index(node)] = 1;
+
+  // Fail-stop: every live chain crossing the node dies with it. Collect and
+  // sort by request id so the teardown order is reproducible.
+  std::vector<RequestId> doomed;
+  for (const auto& [id, chain] : chains_) {
+    if (std::find(chain.nodes.begin(), chain.nodes.end(), node) != chain.nodes.end())
+      doomed.push_back(id);
+  }
+  std::sort(doomed.begin(), doomed.end(),
+            [](RequestId a, RequestId b) { return index(a) < index(b); });
+  for (const RequestId id : doomed) {
+    const ChainPlacement chain = chains_.at(id);
+    chains_.erase(id);
+    release_wan_along(chain.nodes, chain.rate_rps);
+    for (const InstanceId instance : chain.instances) {
+      const auto it = instances_.find(instance);
+      if (it == instances_.end()) continue;
+      VnfInstance& inst = it->second;
+      inst.load_rps -= chain.rate_rps;
+      if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
+      inst.last_active = now_;
+    }
+  }
+  chains_killed_ += doomed.size();
+
+  // All load on the node came from the chains just killed, so every one of
+  // its instances (pinned included) is idle and tears down cleanly.
+  std::vector<InstanceId> on_node;
+  for (const auto& bucket : by_node_type_.at(index(node)))
+    on_node.insert(on_node.end(), bucket.begin(), bucket.end());
+  for (const InstanceId id : on_node) release_instance(id);
+  return doomed.size();
+}
+
+void ClusterState::recover_node(NodeId node) { failed_.at(index(node)) = 0; }
+
+void ClusterState::set_capacity_scale(NodeId node, double factor) {
+  if (!std::isfinite(factor) || factor <= 0.0)
+    throw std::invalid_argument("capacity scale factor must be positive and finite");
+  capacity_scale_.at(index(node)) = factor;
+}
+
+bool ClusterState::node_failed(NodeId node) const {
+  return failed_.at(index(node)) != 0;
+}
+
+double ClusterState::capacity_scale(NodeId node) const {
+  return capacity_scale_.at(index(node));
+}
+
+double ClusterState::effective_cpu_capacity(NodeId node) const {
+  return topology_.node(node).cpu_capacity * capacity_scale_.at(index(node));
 }
 
 double ClusterState::wan_used_rps(NodeId node) const { return wan_used_.at(index(node)); }

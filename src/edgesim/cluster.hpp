@@ -76,6 +76,8 @@ class ClusterState {
 
   [[nodiscard]] double cpu_used(NodeId node) const;
   [[nodiscard]] double mem_used(NodeId node) const;
+  /// CPU used relative to the node's *effective* capacity (capacity scale
+  /// applied); can exceed 1 transiently after a capacity-down event.
   [[nodiscard]] double cpu_utilization(NodeId node) const;
   [[nodiscard]] std::size_t instance_count(NodeId node, VnfTypeId type) const;
   [[nodiscard]] std::size_t total_instance_count() const noexcept { return instances_.size(); }
@@ -155,6 +157,26 @@ class ClusterState {
 
   [[nodiscard]] std::uint64_t total_migrations() const noexcept { return migrations_; }
 
+  // ---- Infrastructure faults (edgesim/events.hpp scripts) ------------------
+  /// Fail-stop of a node: every live chain crossing it is killed (loads and
+  /// WAN usage released everywhere), all its instances — pinned included —
+  /// are torn down, and can_serve/can_deploy report false until recovery.
+  /// Returns the number of chains killed; no-op (0) if already failed.
+  std::size_t fail_node(NodeId node);
+  /// Clears the failed flag; the node starts empty but deployable again.
+  void recover_node(NodeId node);
+  /// Scales the node's effective CPU capacity (1.0 = nominal). Running
+  /// instances are not evicted on a scale-down; the node just stops
+  /// accepting deployments beyond the new ceiling.
+  void set_capacity_scale(NodeId node, double factor);
+
+  [[nodiscard]] bool node_failed(NodeId node) const;
+  [[nodiscard]] double capacity_scale(NodeId node) const;
+  /// Nominal CPU capacity x the current capacity scale.
+  [[nodiscard]] double effective_cpu_capacity(NodeId node) const;
+  /// Live chains killed by fail_node so far.
+  [[nodiscard]] std::uint64_t chains_killed() const noexcept { return chains_killed_; }
+
   // ---- WAN bandwidth -------------------------------------------------------
   /// Inter-node hop traffic currently charged against `node`'s WAN budget.
   [[nodiscard]] double wan_used_rps(NodeId node) const;
@@ -212,6 +234,8 @@ class ClusterState {
   std::vector<double> cpu_used_;
   std::vector<double> mem_used_;
   std::vector<double> wan_used_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<double> capacity_scale_;
   std::unordered_map<InstanceId, VnfInstance> instances_;
   /// [node][type] -> instance ids (dense index for fast lookup).
   std::vector<std::vector<std::vector<InstanceId>>> by_node_type_;
@@ -223,6 +247,7 @@ class ClusterState {
   std::uint64_t releases_ = 0;
   std::uint64_t expired_chains_ = 0;
   std::uint64_t migrations_ = 0;
+  std::uint64_t chains_killed_ = 0;
   double instance_seconds_ = 0.0;
   double running_cost_accumulator_ = 0.0;
 };

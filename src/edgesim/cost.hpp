@@ -35,6 +35,14 @@ struct CostModel {
 
   [[nodiscard]] double rejection_cost() const { return w_rejection; }
 
+  /// Service-interruption penalty for chains killed mid-life by a node
+  /// failure: each is at minimum a broken SLA, so it is priced like one.
+  /// Without this, an outage would *improve* reported cost (admission
+  /// revenue already credited, running cost stops accruing).
+  [[nodiscard]] double interruption_cost(std::size_t killed_chains) const {
+    return w_sla_violation * static_cast<double>(killed_chains);
+  }
+
   [[nodiscard]] double running_cost(double raw_running_cost) const {
     return w_running * raw_running_cost;
   }

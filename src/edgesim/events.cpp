@@ -1,0 +1,40 @@
+#include "edgesim/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+EventSchedule& EventSchedule::add(const ScheduledEvent& event) {
+  if (!(event.time_s >= 0.0))
+    throw std::invalid_argument("event times must be non-negative");
+  if (event.kind == EventKind::kCapacityScale &&
+      (!std::isfinite(event.factor) || event.factor <= 0.0))
+    throw std::invalid_argument("capacity scale factor must be positive and finite");
+  const auto at = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const ScheduledEvent& a, const ScheduledEvent& b) { return a.time_s < b.time_s; });
+  events_.insert(at, event);
+  return *this;
+}
+
+EventSchedule& EventSchedule::fail_node(SimTime time_s, NodeId node) {
+  return add({.time_s = time_s, .kind = EventKind::kNodeFailure, .node = node});
+}
+
+EventSchedule& EventSchedule::recover_node(SimTime time_s, NodeId node) {
+  return add({.time_s = time_s, .kind = EventKind::kNodeRecovery, .node = node});
+}
+
+EventSchedule& EventSchedule::scale_capacity(SimTime time_s, NodeId node, double factor) {
+  return add(
+      {.time_s = time_s, .kind = EventKind::kCapacityScale, .node = node, .factor = factor});
+}
+
+EventSchedule& EventSchedule::merge(const EventSchedule& other) {
+  for (const ScheduledEvent& event : other.events_) add(event);
+  return *this;
+}
+
+}  // namespace vnfm::edgesim

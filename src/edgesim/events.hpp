@@ -1,0 +1,59 @@
+// Deterministic infrastructure fault scripts: timed node failures,
+// recoveries, and CPU-capacity changes.
+//
+// An EventSchedule is a plain value (it copies with core::EnvOptions across
+// actor and evaluator threads) holding a time-ordered list of events.
+// core::VnfEnv applies every event whose time has come between request
+// arrivals, so managers face mid-episode faults at exactly the same
+// simulated instants on every run — results stay bit-identical for any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edgesim/types.hpp"
+
+namespace vnfm::edgesim {
+
+enum class EventKind {
+  kNodeFailure,    ///< fail-stop: live chains crossing the node are killed,
+                   ///< its instances released, and placements masked off
+  kNodeRecovery,   ///< the node accepts deployments again (starts empty)
+  kCapacityScale,  ///< the node's CPU capacity becomes `factor` x nominal
+};
+
+struct ScheduledEvent {
+  SimTime time_s = 0.0;
+  EventKind kind = EventKind::kNodeFailure;
+  NodeId node{};
+  double factor = 1.0;  ///< CPU-capacity scale; only read by kCapacityScale
+};
+
+/// Time-ordered fault script. add() keeps events sorted by time with
+/// insertion-stable ordering for ties, so composing schedules is
+/// deterministic regardless of how they were assembled.
+class EventSchedule {
+ public:
+  /// Validates and inserts; throws std::invalid_argument on a negative time
+  /// or a non-positive capacity factor.
+  EventSchedule& add(const ScheduledEvent& event);
+
+  EventSchedule& fail_node(SimTime time_s, NodeId node);
+  EventSchedule& recover_node(SimTime time_s, NodeId node);
+  EventSchedule& scale_capacity(SimTime time_s, NodeId node, double factor);
+
+  /// Appends every event of `other` (keeping time order).
+  EventSchedule& merge(const EventSchedule& other);
+
+  [[nodiscard]] const std::vector<ScheduledEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<ScheduledEvent> events_;
+};
+
+}  // namespace vnfm::edgesim

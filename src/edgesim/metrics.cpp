@@ -31,6 +31,11 @@ void MetricsCollector::on_migrations(std::size_t count) {
   total_cost_ += cost_model_.migration_cost(count);
 }
 
+void MetricsCollector::on_chains_killed(std::size_t count) {
+  chains_killed_ += count;
+  total_cost_ += cost_model_.interruption_cost(count);
+}
+
 void MetricsCollector::on_running_cost(double raw_running_cost) {
   running_cost_ += raw_running_cost;
   total_cost_ += cost_model_.running_cost(raw_running_cost);

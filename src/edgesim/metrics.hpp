@@ -27,6 +27,9 @@ class MetricsCollector {
   void on_running_cost(double raw_running_cost);
   /// Records live-chain migrations performed by a consolidation pass.
   void on_migrations(std::size_t count);
+  /// Records chains killed by a node failure; each is charged the
+  /// service-interruption penalty (CostModel::interruption_cost).
+  void on_chains_killed(std::size_t count);
   /// Samples node utilisations (called once per decision epoch or slot).
   void sample_utilization(const ClusterState& cluster);
 
@@ -37,6 +40,7 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t sla_violations() const noexcept { return sla_violations_; }
   [[nodiscard]] std::uint64_t deployments() const noexcept { return deployments_; }
   [[nodiscard]] std::uint64_t migrations() const noexcept { return migrations_; }
+  [[nodiscard]] std::uint64_t chains_killed() const noexcept { return chains_killed_; }
 
   [[nodiscard]] double acceptance_ratio() const noexcept;
   [[nodiscard]] double sla_violation_ratio() const noexcept;
@@ -63,6 +67,7 @@ class MetricsCollector {
   std::uint64_t sla_violations_ = 0;
   std::uint64_t deployments_ = 0;
   std::uint64_t migrations_ = 0;
+  std::uint64_t chains_killed_ = 0;
   double total_cost_ = 0.0;
   double running_cost_ = 0.0;
   double deploy_cost_ = 0.0;

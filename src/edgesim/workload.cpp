@@ -6,17 +6,13 @@
 
 namespace vnfm::edgesim {
 
-WorkloadGenerator::WorkloadGenerator(const Topology& topology, const SfcCatalog& sfcs,
-                                     WorkloadOptions options)
+PoissonArrivalModel::PoissonArrivalModel(const Topology& topology, const SfcCatalog& sfcs,
+                                         WorkloadOptions options)
     : topology_(topology), sfcs_(sfcs), options_(options), rng_(options.seed) {
   if (options_.global_arrival_rate <= 0.0)
     throw std::invalid_argument("arrival rate must be positive");
   if (options_.diurnal_amplitude < 0.0 || options_.diurnal_amplitude > 1.0)
     throw std::invalid_argument("diurnal amplitude must be in [0, 1]");
-  const double total_weight = topology_.total_traffic_weight();
-  region_share_.reserve(topology_.node_count());
-  for (const auto& node : topology_.nodes())
-    region_share_.push_back(node.traffic_weight / total_weight);
   // Request mix: inversely weight very long chains slightly so the mix is
   // dominated by the interactive services (web/voip/gaming).
   sfc_weights_.reserve(sfcs_.size());
@@ -24,30 +20,14 @@ WorkloadGenerator::WorkloadGenerator(const Topology& topology, const SfcCatalog&
     sfc_weights_.push_back(1.0 / std::sqrt(static_cast<double>(sfc.chain.size())));
 }
 
-double WorkloadGenerator::region_rate(NodeId region, SimTime t) const noexcept {
-  const double base =
-      options_.global_arrival_rate * region_share_[index(region)];
-  if (!options_.diurnal_enabled) return base;
-  // Local-time diurnal modulation: peak at peak_local_hour local time.
-  const double tz = topology_.node(region).tz_offset_hours;
-  const double local_hour = std::fmod(t / kSecondsPerHour + tz + 48.0, 24.0);
-  const double phase =
-      2.0 * std::numbers::pi * (local_hour - options_.peak_local_hour) / 24.0;
-  return base * (1.0 + options_.diurnal_amplitude * std::cos(phase));
-}
-
-double WorkloadGenerator::total_rate(SimTime t) const noexcept {
+double PoissonArrivalModel::total_rate(SimTime t) const {
   double total = 0.0;
   for (std::size_t i = 0; i < topology_.node_count(); ++i)
     total += region_rate(NodeId{static_cast<std::uint32_t>(i)}, t);
   return total;
 }
 
-double WorkloadGenerator::peak_total_rate() const noexcept {
-  return options_.global_arrival_rate * (1.0 + options_.diurnal_amplitude);
-}
-
-Request WorkloadGenerator::next(SimTime now) {
+Request PoissonArrivalModel::next(SimTime now) {
   // Poisson thinning: candidate arrivals at the envelope rate, accepted with
   // probability total_rate(t)/envelope; region then sampled by its share of
   // the instantaneous rate.
@@ -81,6 +61,30 @@ Request WorkloadGenerator::next(SimTime now) {
       return request;
     }
   }
+}
+
+PoissonDiurnalModel::PoissonDiurnalModel(const Topology& topology, const SfcCatalog& sfcs,
+                                         WorkloadOptions options)
+    : PoissonArrivalModel(topology, sfcs, options) {
+  const double total_weight = topology.total_traffic_weight();
+  region_share_.reserve(topology.node_count());
+  for (const auto& node : topology.nodes())
+    region_share_.push_back(node.traffic_weight / total_weight);
+}
+
+double PoissonDiurnalModel::region_rate(NodeId region, SimTime t) const {
+  const double base = options().global_arrival_rate * region_share_[index(region)];
+  if (!options().diurnal_enabled) return base;
+  // Local-time diurnal modulation: peak at peak_local_hour local time.
+  const double tz = topology().node(region).tz_offset_hours;
+  const double local_hour = std::fmod(t / kSecondsPerHour + tz + 48.0, 24.0);
+  const double phase =
+      2.0 * std::numbers::pi * (local_hour - options().peak_local_hour) / 24.0;
+  return base * (1.0 + options().diurnal_amplitude * std::cos(phase));
+}
+
+double PoissonDiurnalModel::peak_total_rate() const {
+  return options().global_arrival_rate * (1.0 + options().diurnal_amplitude);
 }
 
 }  // namespace vnfm::edgesim

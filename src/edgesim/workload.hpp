@@ -1,13 +1,19 @@
-// Request workload: Poisson arrivals per region modulated by phase-shifted
-// diurnal sinusoids (regions peak at their local daytime), heterogeneous
-// chain mixes, exponential flow durations and rate jitter.
+// Request workloads: the polymorphic WorkloadModel interface and the default
+// Poisson-diurnal process (Poisson arrivals per region modulated by
+// phase-shifted diurnal sinusoids — regions peak at their local daytime —
+// with heterogeneous chain mixes, exponential flow durations and rate
+// jitter).
 //
-// This substitutes for the unavailable operator traces: it reproduces the
-// two properties the DRL manager must exploit — geographic arrival skew and
-// temporal non-stationarity ("follow the sun").
+// The Poisson-diurnal model substitutes for the unavailable operator traces:
+// it reproduces the two properties the DRL manager must exploit — geographic
+// arrival skew and temporal non-stationarity ("follow the sun"). Further
+// models (trace replay, burst/scale overlays) live in workload_model.hpp and
+// compose through the same interface.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,27 +41,59 @@ struct WorkloadOptions {
   std::uint64_t seed = 1234;
 };
 
-/// Generates a time-ordered request stream via Poisson thinning against the
-/// time-varying regional rate surface.
-class WorkloadGenerator {
+/// Polymorphic arrival process. Implementations produce a time-ordered,
+/// never-exhausting request stream plus the instantaneous rate surface the
+/// environment featurises (and overlays modulate).
+class WorkloadModel {
  public:
-  WorkloadGenerator(const Topology& topology, const SfcCatalog& sfcs,
-                    WorkloadOptions options);
+  virtual ~WorkloadModel() = default;
 
-  /// Next request strictly after `now`; never exhausts.
-  [[nodiscard]] Request next(SimTime now);
+  /// Next request at or after `now`; never exhausts. Rate-driven models
+  /// return strictly increasing arrival times; trace-driven models may
+  /// return ties (rows sharing a recorded offset) but always make progress.
+  [[nodiscard]] virtual Request next(SimTime now) = 0;
 
   /// Instantaneous arrival rate (req/s) of `region` at absolute time t.
-  [[nodiscard]] double region_rate(NodeId region, SimTime t) const noexcept;
+  [[nodiscard]] virtual double region_rate(NodeId region, SimTime t) const = 0;
 
   /// Sum of regional rates at time t.
-  [[nodiscard]] double total_rate(SimTime t) const noexcept;
+  [[nodiscard]] virtual double total_rate(SimTime t) const = 0;
 
   /// Upper bound of total_rate over all t (thinning envelope).
-  [[nodiscard]] double peak_total_rate() const noexcept;
+  [[nodiscard]] virtual double peak_total_rate() const = 0;
 
-  [[nodiscard]] const WorkloadOptions& options() const noexcept { return options_; }
-  [[nodiscard]] std::uint64_t generated_count() const noexcept { return next_request_id_; }
+  /// Deep copy preserving the full stream state (RNG, cursors, id counter).
+  [[nodiscard]] virtual std::unique_ptr<WorkloadModel> clone() const = 0;
+
+  /// Human-readable model identity; overlays report "overlay(inner)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual const WorkloadOptions& options() const = 0;
+  [[nodiscard]] virtual std::uint64_t generated_count() const = 0;
+};
+
+/// Shared base for models that realise a time-varying rate surface as a
+/// Poisson stream: next() thins candidate arrivals at the envelope rate
+/// (peak_total_rate) against total_rate, samples the region by its share of
+/// the instantaneous rate, and draws request attributes (SFC mix, rate
+/// jitter, exponential duration). The RNG call sequence is bit-identical to
+/// the pre-refactor WorkloadGenerator, so any subclass whose rate surface
+/// matches the legacy formulas reproduces the legacy stream exactly.
+class PoissonArrivalModel : public WorkloadModel {
+ public:
+  PoissonArrivalModel(const Topology& topology, const SfcCatalog& sfcs,
+                      WorkloadOptions options);
+
+  [[nodiscard]] Request next(SimTime now) final;
+  [[nodiscard]] double total_rate(SimTime t) const override;
+  [[nodiscard]] const WorkloadOptions& options() const noexcept final { return options_; }
+  [[nodiscard]] std::uint64_t generated_count() const noexcept final {
+    return next_request_id_;
+  }
+
+ protected:
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const SfcCatalog& sfcs() const noexcept { return sfcs_; }
 
  private:
   const Topology& topology_;
@@ -63,8 +101,25 @@ class WorkloadGenerator {
   WorkloadOptions options_;
   Rng rng_;
   std::uint64_t next_request_id_ = 0;
+  std::vector<double> sfc_weights_;  ///< request-mix weights
+};
+
+/// The default workload: legacy Poisson-diurnal request streams, bit-identical
+/// to the pre-refactor WorkloadGenerator for equal options.
+class PoissonDiurnalModel final : public PoissonArrivalModel {
+ public:
+  PoissonDiurnalModel(const Topology& topology, const SfcCatalog& sfcs,
+                      WorkloadOptions options);
+
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double peak_total_rate() const override;
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return std::make_unique<PoissonDiurnalModel>(*this);
+  }
+  [[nodiscard]] std::string name() const override { return "poisson-diurnal"; }
+
+ private:
   std::vector<double> region_share_;  ///< normalised traffic weights
-  std::vector<double> sfc_weights_;   ///< request-mix weights
 };
 
 }  // namespace vnfm::edgesim

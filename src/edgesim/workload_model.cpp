@@ -1,0 +1,296 @@
+#include "edgesim/workload_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace vnfm::edgesim {
+
+namespace {
+
+constexpr std::size_t kTraceRateBuckets = 24;
+
+/// SplitMix64 finaliser: decorrelates consecutive window/loop indices into
+/// independent-looking draws without touching any stream RNG state.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double parse_cell(const std::string& cell, const std::string& path,
+                  const std::string& column) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(cell, &consumed);
+    if (consumed != cell.size()) throw std::invalid_argument(cell);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error(path + ": malformed " + column + " value '" + cell + "'");
+  }
+}
+
+std::uint32_t parse_index_cell(const std::string& cell, const std::string& path,
+                               const std::string& column) {
+  const double value = parse_cell(cell, path, column);
+  // Guard the float->uint32 conversion: out-of-range would be UB, not a wrap.
+  if (value < 0.0 || value >= 4294967296.0 || value != std::floor(value))
+    throw std::invalid_argument(path + ": " + column + " must be an index in [0, 2^32)");
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+WorkloadModelFactory poisson_diurnal_factory() {
+  return [](const Topology& topology, const SfcCatalog& sfcs,
+            const WorkloadOptions& options) -> std::unique_ptr<WorkloadModel> {
+    return std::make_unique<PoissonDiurnalModel>(topology, sfcs, options);
+  };
+}
+
+// ---- TraceReplayModel ------------------------------------------------------
+
+std::vector<TraceRow> TraceReplayModel::load(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  const std::size_t c_offset = table.column("offset_s");
+  const std::size_t c_region = table.column("region");
+  const std::size_t c_sfc = table.column("sfc");
+  const std::size_t c_rate = table.column("rate_rps");
+  const std::size_t c_duration = table.column("duration_s");
+
+  std::vector<TraceRow> trace;
+  trace.reserve(table.rows.size());
+  for (const auto& cells : table.rows) {
+    TraceRow row;
+    row.offset_s = parse_cell(cells[c_offset], path, "offset_s");
+    row.region = parse_index_cell(cells[c_region], path, "region");
+    row.sfc = parse_index_cell(cells[c_sfc], path, "sfc");
+    row.rate_rps = parse_cell(cells[c_rate], path, "rate_rps");
+    row.duration_s = parse_cell(cells[c_duration], path, "duration_s");
+    if (row.offset_s < 0.0)
+      throw std::invalid_argument(path + ": negative trace offset");
+    if (row.rate_rps <= 0.0 || row.duration_s <= 0.0)
+      throw std::invalid_argument(path + ": trace rates and durations must be positive");
+    if (!trace.empty() && row.offset_s < trace.back().offset_s)
+      throw std::invalid_argument(path + ": trace offsets must be non-decreasing");
+    trace.push_back(row);
+  }
+  if (trace.empty()) throw std::invalid_argument(path + ": trace has no rows");
+  return trace;
+}
+
+WorkloadModelFactory TraceReplayModel::factory(const std::string& path) {
+  // Eager load: a missing/malformed trace fails at scenario-build time, and
+  // every environment (actor threads included) shares one immutable copy.
+  auto trace = std::make_shared<const std::vector<TraceRow>>(load(path));
+  return [trace](const Topology& topology, const SfcCatalog& sfcs,
+                 const WorkloadOptions& options) -> std::unique_ptr<WorkloadModel> {
+    return std::make_unique<TraceReplayModel>(topology, sfcs, options, trace);
+  };
+}
+
+TraceReplayModel::TraceReplayModel(const Topology& topology, const SfcCatalog& sfcs,
+                                   WorkloadOptions options,
+                                   std::shared_ptr<const std::vector<TraceRow>> trace)
+    : topology_(topology),
+      sfcs_(sfcs),
+      options_(options),
+      trace_(std::move(trace)),
+      rng_(options.seed) {
+  if (!trace_ || trace_->empty()) throw std::invalid_argument("empty trace");
+  const double last_offset = trace_->back().offset_s;
+  const double mean_gap =
+      trace_->size() > 1 ? last_offset / static_cast<double>(trace_->size() - 1) : 1.0;
+  span_s_ = std::max(last_offset + std::max(mean_gap, 1e-9), 1e-9);
+
+  // Empirical rate surface: arrivals per region bucketed over the span.
+  const std::size_t n = topology_.node_count();
+  const double bucket_width = span_s_ / kTraceRateBuckets;
+  bucket_rate_.assign(n, std::vector<double>(kTraceRateBuckets, 0.0));
+  for (const TraceRow& row : *trace_) {
+    const std::size_t region = row.region % n;
+    const auto bucket = std::min<std::size_t>(
+        kTraceRateBuckets - 1, static_cast<std::size_t>(row.offset_s / bucket_width));
+    bucket_rate_[region][bucket] += 1.0 / bucket_width;
+  }
+  for (std::size_t b = 0; b < kTraceRateBuckets; ++b) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) total += bucket_rate_[r][b];
+    peak_total_rate_ = std::max(peak_total_rate_, total);
+  }
+}
+
+std::size_t TraceReplayModel::rate_bucket(SimTime t) const {
+  const double offset = std::fmod(std::max(t, 0.0), span_s_);
+  return std::min<std::size_t>(
+      kTraceRateBuckets - 1,
+      static_cast<std::size_t>(offset / (span_s_ / kTraceRateBuckets)));
+}
+
+double TraceReplayModel::region_rate(NodeId region, SimTime t) const {
+  return bucket_rate_.at(index(region)).at(rate_bucket(t));
+}
+
+double TraceReplayModel::total_rate(SimTime t) const {
+  const std::size_t bucket = rate_bucket(t);
+  double total = 0.0;
+  for (const auto& region : bucket_rate_) total += region[bucket];
+  return total;
+}
+
+double TraceReplayModel::peak_total_rate() const { return peak_total_rate_; }
+
+Request TraceReplayModel::next(SimTime now) {
+  for (;;) {
+    if (cursor_ >= trace_->size()) {
+      ++loop_;
+      cursor_ = 0;
+      // Jittered re-seeding: every replay loop draws from a fresh,
+      // loop-derived RNG so repeats are trace-shaped but not verbatim.
+      rng_ = Rng(options_.seed ^ mix64(loop_));
+    }
+    const TraceRow& row = (*trace_)[cursor_++];
+    const SimTime t = static_cast<double>(loop_) * span_s_ + row.offset_s;
+    // Ties are kept: load() accepts non-decreasing offsets, so rows sharing
+    // an offset are emitted back to back (t == now); the advancing cursor
+    // guarantees progress. Only genuinely past rows are skipped.
+    if (t < now) continue;
+
+    Request request;
+    request.id = RequestId{next_request_id_++};
+    request.arrival_time = t;
+    request.source_region =
+        NodeId{static_cast<std::uint32_t>(row.region % topology_.node_count())};
+    request.sfc = SfcId{static_cast<std::uint32_t>(row.sfc % sfcs_.size())};
+    double rate = row.rate_rps;
+    if (loop_ > 0 && options_.rate_jitter > 0.0)
+      rate *= 1.0 + options_.rate_jitter * (2.0 * rng_.uniform() - 1.0);
+    request.rate_rps = std::max(0.1, rate);
+    request.duration_s = row.duration_s;
+    return request;
+  }
+}
+
+// ---- FlashCrowdOverlay -----------------------------------------------------
+
+FlashCrowdOverlay::FlashCrowdOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                                     WorkloadOptions options,
+                                     std::unique_ptr<WorkloadModel> inner,
+                                     FlashCrowdOptions burst)
+    : PoissonArrivalModel(topology, sfcs, options),
+      inner_(std::move(inner)),
+      burst_(burst) {
+  if (!inner_) throw std::invalid_argument("flash-crowd overlay needs an inner model");
+  if (burst_.magnitude <= 0.0)
+    throw std::invalid_argument("flash-crowd magnitude must be positive");
+  if (burst_.period_s <= 0.0 || burst_.duration_s <= 0.0 ||
+      burst_.duration_s > burst_.period_s)
+    throw std::invalid_argument("flash-crowd needs 0 < duration_s <= period_s");
+  if (burst_.spread == 0) throw std::invalid_argument("flash-crowd spread must be >= 1");
+
+  // Correlated bursts: each epicentre boosts itself plus its nearest
+  // neighbours by propagation latency (geographic correlation).
+  const std::size_t n = topology.node_count();
+  const std::size_t spread = std::min(burst_.spread, n);
+  boosted_.resize(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0U);
+    const NodeId centre{static_cast<std::uint32_t>(e)};
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return topology.latency_ms(centre, NodeId{a}) <
+             topology.latency_ms(centre, NodeId{b});
+    });
+    boosted_[e].assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(spread));
+  }
+}
+
+FlashCrowdOverlay::FlashCrowdOverlay(const FlashCrowdOverlay& other)
+    : PoissonArrivalModel(other),
+      inner_(other.inner_->clone()),
+      burst_(other.burst_),
+      boosted_(other.boosted_) {}
+
+NodeId FlashCrowdOverlay::epicentre(std::uint64_t window) const {
+  return NodeId{static_cast<std::uint32_t>(mix64(options().seed ^ window) %
+                                           topology().node_count())};
+}
+
+bool FlashCrowdOverlay::in_burst(NodeId region, SimTime t) const {
+  const double since_start = t - burst_.start_s;
+  if (since_start < 0.0) return false;
+  const auto window = static_cast<std::uint64_t>(since_start / burst_.period_s);
+  const double into_window = since_start - static_cast<double>(window) * burst_.period_s;
+  if (into_window >= burst_.duration_s) return false;
+  const auto& boosted = boosted_[index(epicentre(window))];
+  return std::find(boosted.begin(), boosted.end(), index(region)) != boosted.end();
+}
+
+double FlashCrowdOverlay::region_rate(NodeId region, SimTime t) const {
+  const double base = inner_->region_rate(region, t);
+  return in_burst(region, t) ? base * burst_.magnitude : base;
+}
+
+double FlashCrowdOverlay::peak_total_rate() const {
+  return inner_->peak_total_rate() * std::max(1.0, burst_.magnitude);
+}
+
+// ---- RateScaleOverlay ------------------------------------------------------
+
+RateScaleOverlay::RateScaleOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                                   WorkloadOptions options,
+                                   std::unique_ptr<WorkloadModel> inner, double factor)
+    : PoissonArrivalModel(topology, sfcs, options),
+      inner_(std::move(inner)),
+      factor_(factor) {
+  if (!inner_) throw std::invalid_argument("rate-scale overlay needs an inner model");
+  if (factor_ <= 0.0) throw std::invalid_argument("rate-scale factor must be positive");
+}
+
+RateScaleOverlay::RateScaleOverlay(const RateScaleOverlay& other)
+    : PoissonArrivalModel(other), inner_(other.inner_->clone()), factor_(other.factor_) {}
+
+double RateScaleOverlay::region_rate(NodeId region, SimTime t) const {
+  return factor_ * inner_->region_rate(region, t);
+}
+
+double RateScaleOverlay::peak_total_rate() const {
+  return factor_ * inner_->peak_total_rate();
+}
+
+// ---- Factories -------------------------------------------------------------
+
+WorkloadModelFactory flash_crowd_factory(WorkloadModelFactory inner,
+                                         FlashCrowdOptions burst) {
+  return [inner, burst](const Topology& topology, const SfcCatalog& sfcs,
+                        const WorkloadOptions& options) -> std::unique_ptr<WorkloadModel> {
+    std::unique_ptr<WorkloadModel> inner_model;
+    if (inner) {
+      inner_model = inner(topology, sfcs, options);
+    } else {
+      inner_model = std::make_unique<PoissonDiurnalModel>(topology, sfcs, options);
+    }
+    return std::make_unique<FlashCrowdOverlay>(topology, sfcs, options,
+                                               std::move(inner_model), burst);
+  };
+}
+
+WorkloadModelFactory rate_scale_factory(WorkloadModelFactory inner, double factor) {
+  return [inner, factor](const Topology& topology, const SfcCatalog& sfcs,
+                         const WorkloadOptions& options) -> std::unique_ptr<WorkloadModel> {
+    std::unique_ptr<WorkloadModel> inner_model;
+    if (inner) {
+      inner_model = inner(topology, sfcs, options);
+    } else {
+      inner_model = std::make_unique<PoissonDiurnalModel>(topology, sfcs, options);
+    }
+    return std::make_unique<RateScaleOverlay>(topology, sfcs, options,
+                                              std::move(inner_model), factor);
+  };
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,186 @@
+// Composable workload models beyond the default Poisson-diurnal process:
+//
+//  - TraceReplayModel      replays a recorded request trace from CSV
+//                          (columns offset_s,region,sfc,rate_rps,duration_s),
+//                          looping forever; every loop after the first is
+//                          re-seeded and its per-flow rates re-jittered so
+//                          long episodes do not see a verbatim repeat.
+//  - FlashCrowdOverlay     correlated regional bursts: periodically boosts a
+//                          rotating epicentre metro and its nearest
+//                          neighbours by a rate multiplier.
+//  - RateScaleOverlay      scales the whole rate surface by a constant.
+//
+// Overlays wrap ANY inner WorkloadModel: they modulate the inner model's
+// rate surface and re-realise it as a Poisson stream (PoissonArrivalModel
+// thinning). Over a trace-driven inner model this preserves the trace's
+// rate shape, not its exact arrival instants — documented behaviour.
+//
+// A WorkloadModelFactory is how environments own models: core::EnvOptions
+// carries a factory (copyable, so options still copy freely across actor /
+// evaluator threads) and VnfEnv invokes it on every reset with the
+// episode-derived seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edgesim/workload.hpp"
+
+namespace vnfm::edgesim {
+
+/// Builds a workload model for a freshly reset environment. `options.seed`
+/// is already the episode-derived stream seed. An empty factory means the
+/// default Poisson-diurnal model (legacy, bit-identical streams).
+using WorkloadModelFactory = std::function<std::unique_ptr<WorkloadModel>(
+    const Topology& topology, const SfcCatalog& sfcs, const WorkloadOptions& options)>;
+
+/// The explicit form of the default: Poisson-diurnal over the options.
+[[nodiscard]] WorkloadModelFactory poisson_diurnal_factory();
+
+/// One recorded arrival, offsets relative to the trace start.
+struct TraceRow {
+  double offset_s = 0.0;
+  std::uint32_t region = 0;  ///< taken modulo the topology's node count
+  std::uint32_t sfc = 0;     ///< taken modulo the SFC catalog size
+  double rate_rps = 1.0;
+  double duration_s = 60.0;
+};
+
+/// Replays a recorded trace as the request stream. The trace loops forever:
+/// loop 0 is verbatim; loop l >= 1 re-seeds an RNG from (seed, l) and
+/// re-jitters each flow's rate by ±options.rate_jitter, so replay episodes
+/// stay trace-shaped without being periodic. Unlike the Poisson models,
+/// next(now) may return an arrival exactly at `now`: rows sharing an offset
+/// (second-resolution traces) are emitted back to back, never dropped. The
+/// rate surface exposed to features/overlays is the empirical per-region
+/// rate, bucketed over the trace span.
+class TraceReplayModel final : public WorkloadModel {
+ public:
+  TraceReplayModel(const Topology& topology, const SfcCatalog& sfcs,
+                   WorkloadOptions options,
+                   std::shared_ptr<const std::vector<TraceRow>> trace);
+
+  /// Parses a trace CSV (header offset_s,region,sfc,rate_rps,duration_s) via
+  /// common/csv. Throws std::runtime_error on I/O or malformed rows and
+  /// std::invalid_argument on an empty or unsorted trace.
+  [[nodiscard]] static std::vector<TraceRow> load(const std::string& path);
+
+  /// Factory replaying the trace at `path`. The file is read once, eagerly
+  /// (so a missing trace fails at scenario-build time, not mid-training),
+  /// and shared immutably by every environment the factory builds.
+  [[nodiscard]] static WorkloadModelFactory factory(const std::string& path);
+
+  [[nodiscard]] Request next(SimTime now) override;
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double total_rate(SimTime t) const override;
+  [[nodiscard]] double peak_total_rate() const override;
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return std::make_unique<TraceReplayModel>(*this);
+  }
+  [[nodiscard]] std::string name() const override { return "trace-replay"; }
+  [[nodiscard]] const WorkloadOptions& options() const noexcept override {
+    return options_;
+  }
+  [[nodiscard]] std::uint64_t generated_count() const noexcept override {
+    return next_request_id_;
+  }
+
+  /// Nominal trace duration (last offset plus the mean inter-arrival gap);
+  /// loop l replays the trace shifted by l * span_s().
+  [[nodiscard]] double span_s() const noexcept { return span_s_; }
+  [[nodiscard]] std::uint64_t loops_completed() const noexcept { return loop_; }
+
+ private:
+  [[nodiscard]] std::size_t rate_bucket(SimTime t) const;
+
+  const Topology& topology_;
+  const SfcCatalog& sfcs_;
+  WorkloadOptions options_;
+  std::shared_ptr<const std::vector<TraceRow>> trace_;
+  double span_s_ = 1.0;
+  std::vector<std::vector<double>> bucket_rate_;  ///< [region][bucket] req/s
+  double peak_total_rate_ = 0.0;
+
+  std::size_t cursor_ = 0;  ///< next trace row to emit
+  std::uint64_t loop_ = 0;
+  Rng rng_;
+  std::uint64_t next_request_id_ = 0;
+};
+
+struct FlashCrowdOptions {
+  double magnitude = 3.0;      ///< rate multiplier inside a burst
+  double period_s = 4.0 * 3600.0;  ///< burst spacing (one epicentre per window)
+  double duration_s = 1800.0;  ///< burst length at the start of each window
+  std::size_t spread = 3;      ///< epicentre + (spread-1) nearest metros boosted
+  double start_s = 1800.0;     ///< first window opens here
+};
+
+/// Correlated regional bursts over any inner model: during each burst window
+/// a deterministic, seed-derived epicentre metro and its nearest neighbours
+/// (by propagation latency) see their arrival rate multiplied.
+class FlashCrowdOverlay final : public PoissonArrivalModel {
+ public:
+  FlashCrowdOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                    WorkloadOptions options, std::unique_ptr<WorkloadModel> inner,
+                    FlashCrowdOptions burst = {});
+  FlashCrowdOverlay(const FlashCrowdOverlay& other);
+
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double peak_total_rate() const override;
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return std::make_unique<FlashCrowdOverlay>(*this);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "flash-crowd(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const WorkloadModel& inner() const noexcept { return *inner_; }
+  [[nodiscard]] const FlashCrowdOptions& burst_options() const noexcept { return burst_; }
+  /// True when `region` is boosted at absolute time t.
+  [[nodiscard]] bool in_burst(NodeId region, SimTime t) const;
+  /// Epicentre of burst window `window` (derived from the stream seed).
+  [[nodiscard]] NodeId epicentre(std::uint64_t window) const;
+
+ private:
+  std::unique_ptr<WorkloadModel> inner_;
+  FlashCrowdOptions burst_;
+  /// Per-epicentre boosted set: the metro plus its nearest neighbours.
+  std::vector<std::vector<std::uint32_t>> boosted_;
+};
+
+/// Multiplies the whole inner rate surface by a constant factor.
+class RateScaleOverlay final : public PoissonArrivalModel {
+ public:
+  RateScaleOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                   WorkloadOptions options, std::unique_ptr<WorkloadModel> inner,
+                   double factor);
+  RateScaleOverlay(const RateScaleOverlay& other);
+
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double peak_total_rate() const override;
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return std::make_unique<RateScaleOverlay>(*this);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "rate-scale(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const WorkloadModel& inner() const noexcept { return *inner_; }
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+
+ private:
+  std::unique_ptr<WorkloadModel> inner_;
+  double factor_ = 1.0;
+};
+
+/// Wraps `inner` (empty = Poisson-diurnal) with a flash-crowd overlay.
+[[nodiscard]] WorkloadModelFactory flash_crowd_factory(WorkloadModelFactory inner,
+                                                       FlashCrowdOptions burst = {});
+
+/// Wraps `inner` (empty = Poisson-diurnal) with a rate-scale overlay.
+[[nodiscard]] WorkloadModelFactory rate_scale_factory(WorkloadModelFactory inner,
+                                                      double factor);
+
+}  // namespace vnfm::edgesim

@@ -1,9 +1,47 @@
 #include "exp/scenario.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/csv.hpp"
+#include "edgesim/workload_model.hpp"
+
 namespace vnfm::exp {
+
+namespace {
+
+/// The shared keys apply_env_overrides reads (scenario/overlay keys are
+/// registered separately via ScenarioSpec/OverlaySpec::option_keys).
+const char* const kEnvOverrideKeys[] = {
+    "nodes",          "cpu_capacity_mean", "capacity_jitter",  "topology_seed",
+    "arrival_rate",   "diurnal",           "diurnal_amplitude", "rate_jitter",
+    "peak_local_hour", "workload_seed",    "idle_timeout_s",   "max_utilization",
+    "wan_bandwidth_rps", "w_deploy",       "w_running",        "w_latency_per_ms",
+    "w_sla_violation", "w_rejection",      "w_revenue",        "w_migration",
+    "reward_scale",   "seed"};
+
+}  // namespace
+
+std::vector<std::string> split_scenario_expression(const std::string& expression) {
+  std::vector<std::string> tokens;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto plus = expression.find('+', start);
+    std::string token = expression.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    const auto first = token.find_first_not_of(" \t");
+    const auto last = token.find_last_not_of(" \t");
+    token = first == std::string::npos ? std::string{}
+                                       : token.substr(first, last - first + 1);
+    if (token.empty())
+      throw std::invalid_argument("empty token in scenario expression '" + expression +
+                                  "'");
+    tokens.push_back(std::move(token));
+    if (plus == std::string::npos) return tokens;
+    start = plus + 1;
+  }
+}
 
 core::EnvOptions apply_env_overrides(core::EnvOptions options, const Config& overrides) {
   auto& topology = options.topology;
@@ -52,13 +90,29 @@ ScenarioCatalog& ScenarioCatalog::instance() {
 }
 
 void ScenarioCatalog::add(ScenarioSpec spec) {
+  if (spec.name.find('+') != std::string::npos)
+    throw std::invalid_argument("scenario names must not contain '+'");
   if (specs_.count(spec.name) > 0)
     throw std::invalid_argument("scenario '" + spec.name + "' is already registered");
+  accepted_keys_.insert(spec.option_keys.begin(), spec.option_keys.end());
   specs_[spec.name] = std::move(spec);
+}
+
+void ScenarioCatalog::add_overlay(OverlaySpec spec) {
+  if (spec.name.find('+') != std::string::npos)
+    throw std::invalid_argument("overlay names must not contain '+'");
+  if (overlays_.count(spec.name) > 0)
+    throw std::invalid_argument("overlay '" + spec.name + "' is already registered");
+  accepted_keys_.insert(spec.option_keys.begin(), spec.option_keys.end());
+  overlays_[spec.name] = std::move(spec);
 }
 
 bool ScenarioCatalog::contains(const std::string& name) const {
   return specs_.count(name) > 0;
+}
+
+bool ScenarioCatalog::contains_overlay(const std::string& name) const {
+  return overlays_.count(name) > 0;
 }
 
 std::vector<std::string> ScenarioCatalog::names() const {
@@ -68,23 +122,101 @@ std::vector<std::string> ScenarioCatalog::names() const {
   return out;
 }
 
+std::vector<std::string> ScenarioCatalog::overlay_names() const {
+  std::vector<std::string> out;
+  out.reserve(overlays_.size());
+  for (const auto& [name, spec] : overlays_) out.push_back(name);
+  return out;
+}
+
 const ScenarioSpec& ScenarioCatalog::spec(const std::string& name) const {
   const auto it = specs_.find(name);
-  if (it == specs_.end()) {
-    std::string known;
-    for (const auto& registered : names()) {
-      if (!known.empty()) known += ", ";
-      known += registered;
-    }
-    throw std::invalid_argument("unknown scenario '" + name + "' (registered: " + known +
-                                ")");
-  }
+  if (it == specs_.end())
+    throw std::invalid_argument("unknown scenario '" + name +
+                                "' (registered: " + join_comma(names()) + ")");
   return it->second;
 }
 
-core::EnvOptions ScenarioCatalog::build(const std::string& name,
+const OverlaySpec& ScenarioCatalog::overlay(const std::string& name) const {
+  const auto it = overlays_.find(name);
+  if (it == overlays_.end())
+    throw std::invalid_argument("unknown scenario overlay '" + name +
+                                "' (registered: " + join_comma(overlay_names()) + ")");
+  return it->second;
+}
+
+std::vector<std::string> ScenarioCatalog::accepted_keys() const {
+  return {accepted_keys_.begin(), accepted_keys_.end()};
+}
+
+Config ScenarioCatalog::filter_known_overrides(const Config& config) const {
+  Config filtered;
+  for (const auto& [key, value] : config.values())
+    if (accepted_keys_.count(key) > 0) filtered.set(key, value);
+  return filtered;
+}
+
+core::EnvOptions ScenarioCatalog::build(const std::string& expression,
                                         const Config& overrides) const {
-  return spec(name).build(overrides);
+  const auto tokens = split_scenario_expression(expression);
+  const ScenarioSpec& base = spec(tokens.front());
+  std::vector<const OverlaySpec*> chain;
+  chain.reserve(tokens.size() - 1);
+  for (std::size_t i = 1; i < tokens.size(); ++i) chain.push_back(&overlay(tokens[i]));
+
+  // Strict validation scoped to this expression: the shared env keys plus
+  // only the keys of the base and overlays actually named — a key of an
+  // absent overlay (flash_magnitude without +flash-crowd) is as much a
+  // silent no-op as a typo, so both throw.
+  std::set<std::string> allowed(std::begin(kEnvOverrideKeys), std::end(kEnvOverrideKeys));
+  allowed.insert(base.option_keys.begin(), base.option_keys.end());
+  for (const OverlaySpec* overlay_spec : chain)
+    allowed.insert(overlay_spec->option_keys.begin(), overlay_spec->option_keys.end());
+  for (const auto& [key, value] : overrides.values()) {
+    if (allowed.count(key) == 0)
+      throw std::invalid_argument(
+          "unrecognised override '" + key + "' for scenario '" + expression +
+          "' (accepted keys: " + join_comma({allowed.begin(), allowed.end()}) + ")");
+  }
+
+  core::EnvOptions options;
+  base.configure(options, overrides);
+  for (const OverlaySpec* overlay_spec : chain) overlay_spec->apply(options, overrides);
+  options = apply_env_overrides(options, overrides);
+
+  // The final node count is only known here (the `nodes` override lands
+  // after the overlays), so event node indices are checked last: failing at
+  // build() with the offending index beats an opaque out-of-range crash
+  // mid-episode.
+  for (const edgesim::ScheduledEvent& event : options.events.events()) {
+    if (edgesim::index(event.node) >= options.topology.node_count)
+      throw std::invalid_argument(
+          "scenario '" + expression + "' schedules an event on node " +
+          std::to_string(edgesim::index(event.node)) + " but the topology has only " +
+          std::to_string(options.topology.node_count) +
+          " nodes (check fail_node/capacity_node)");
+  }
+  return options;
+}
+
+std::string ScenarioCatalog::describe() const {
+  std::ostringstream out;
+  out << "Scenario expressions compose as <base>[+<overlay>...], e.g.\n"
+      << "  geo-distributed+flash-crowd+node-failure\n\nBase scenarios:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  " << name << "\n      " << spec.description << "\n";
+    if (!spec.option_keys.empty()) out << "      keys: " << join_comma(spec.option_keys) << "\n";
+  }
+  out << "\nOverlays:\n";
+  for (const auto& [name, overlay_spec] : overlays_) {
+    out << "  " << name << "\n      " << overlay_spec.description << "\n";
+    if (!overlay_spec.option_keys.empty())
+      out << "      keys: " << join_comma(overlay_spec.option_keys) << "\n";
+  }
+  out << "\nShared override keys:\n  " << join_comma({std::begin(kEnvOverrideKeys),
+                                                std::end(kEnvOverrideKeys)})
+      << "\n";
+  return out.str();
 }
 
 namespace {
@@ -94,17 +226,16 @@ ScenarioSpec make_scenario(std::string name, std::string description,
   ScenarioSpec spec;
   spec.name = std::move(name);
   spec.description = std::move(description);
-  spec.build = [defaults = std::move(defaults)](const Config& overrides) {
-    core::EnvOptions options;
-    defaults(options);
-    return apply_env_overrides(options, overrides);
-  };
+  spec.configure = [defaults = std::move(defaults)](core::EnvOptions& options,
+                                                    const Config&) { defaults(options); };
   return spec;
 }
 
 }  // namespace
 
 ScenarioCatalog::ScenarioCatalog() {
+  accepted_keys_.insert(std::begin(kEnvOverrideKeys), std::end(kEnvOverrideKeys));
+
   add(make_scenario("baseline",
                     "8 metros, flat (non-diurnal) Poisson traffic at 2 req/s — the "
                     "control scenario for isolating temporal effects",
@@ -156,6 +287,83 @@ ScenarioCatalog::ScenarioCatalog() {
                       options.workload.diurnal_amplitude = 0.6;
                       options.workload.global_arrival_rate = 4.8;
                     }));
+  add({.name = "trace-replay",
+       .description =
+           "trace-driven workload: replays a recorded request trace CSV "
+           "(offset_s,region,sfc,rate_rps,duration_s), looping with jittered "
+           "re-seeding; `trace` points at the file",
+       .option_keys = {"trace"},
+       .configure =
+           [](core::EnvOptions& options, const Config& overrides) {
+             options.workload.diurnal_enabled = false;
+             options.workload_model = edgesim::TraceReplayModel::factory(
+                 overrides.get_string("trace", "bench/data/trace_sample.csv"));
+           }});
+
+  add_overlay(
+      {.name = "flash-crowd",
+       .description =
+           "correlated regional bursts on top of any workload: every "
+           "`flash_period_s` a seed-derived epicentre metro and its "
+           "`flash_spread`-1 nearest neighbours run at `flash_magnitude`x rate "
+           "for `flash_duration_s`",
+       .option_keys = {"flash_magnitude", "flash_period_s", "flash_duration_s",
+                       "flash_spread", "flash_start_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             edgesim::FlashCrowdOptions burst;
+             burst.magnitude = overrides.get_double("flash_magnitude", burst.magnitude);
+             burst.period_s = overrides.get_double("flash_period_s", burst.period_s);
+             burst.duration_s =
+                 overrides.get_double("flash_duration_s", burst.duration_s);
+             burst.spread = overrides.get_size("flash_spread", burst.spread);
+             burst.start_s = overrides.get_double("flash_start_s", burst.start_s);
+             options.workload_model =
+                 edgesim::flash_crowd_factory(options.workload_model, burst);
+           }});
+  add_overlay({.name = "rate-scale",
+               .description = "multiplies the whole arrival-rate surface by "
+                              "`rate_scale` (default 1 = identity; set it to "
+                              "actually scale — load sweeps over composed scenarios)",
+               .option_keys = {"rate_scale"},
+               .apply =
+                   [](core::EnvOptions& options, const Config& overrides) {
+                     options.workload_model = edgesim::rate_scale_factory(
+                         options.workload_model,
+                         overrides.get_double("rate_scale", 1.0));
+                   }});
+  add_overlay(
+      {.name = "node-failure",
+       .description =
+           "fail-stop of node `fail_node` at `fail_at_s` (chains crossing it "
+           "are killed, placements masked off), recovering at `recover_at_s` "
+           "(0 = never)",
+       .option_keys = {"fail_node", "fail_at_s", "recover_at_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             const edgesim::NodeId node{
+                 static_cast<std::uint32_t>(overrides.get_size("fail_node", 0))};
+             options.events.fail_node(overrides.get_double("fail_at_s", 1800.0), node);
+             const double recover_at = overrides.get_double("recover_at_s", 5400.0);
+             if (recover_at > 0.0) options.events.recover_node(recover_at, node);
+           }});
+  add_overlay(
+      {.name = "capacity-drop",
+       .description =
+           "scales node `capacity_node`'s CPU capacity to `capacity_factor`x "
+           "at `capacity_at_s`, restoring it at `capacity_restore_s` (0 = never)",
+       .option_keys = {"capacity_node", "capacity_factor", "capacity_at_s",
+                       "capacity_restore_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             const edgesim::NodeId node{
+                 static_cast<std::uint32_t>(overrides.get_size("capacity_node", 0))};
+             options.events.scale_capacity(
+                 overrides.get_double("capacity_at_s", 1800.0), node,
+                 overrides.get_double("capacity_factor", 0.5));
+             const double restore_at = overrides.get_double("capacity_restore_s", 5400.0);
+             if (restore_at > 0.0) options.events.scale_capacity(restore_at, node, 1.0);
+           }});
 }
 
 }  // namespace vnfm::exp

@@ -1,15 +1,25 @@
-// ScenarioCatalog: named workload/topology scenarios that build EnvOptions
-// from Config key=value overrides, replacing hand-wired EnvOptions literals
-// in drivers. A scenario fixes the defaults (what the scenario *is*); the
-// overrides tune the knobs a sweep varies (arrival_rate, nodes, seed, cost
-// weights, ...).
+// ScenarioCatalog: composable, named workload/topology scenarios building
+// EnvOptions (workload-model factory + fault EventSchedule included) from
+// Config key=value overrides.
+//
+// Scenarios compose by expression: "<base>[+<overlay>...]". The first token
+// names a base scenario (what world), every further token an overlay that
+// wraps the workload-model factory (flash-crowd, rate-scale) or appends
+// infrastructure fault events (node-failure, capacity-drop):
 //
 //   core::VnfEnv env(exp::ScenarioCatalog::instance().build(
-//       "diurnal", Config{{"arrival_rate", "2.0"}}));
+//       "geo-distributed+flash-crowd+node-failure",
+//       Config{{"arrival_rate", "2.0"}, {"fail_node", "3"}}));
+//
+// Overrides are strictly validated: an unrecognised key makes build() throw
+// std::invalid_argument naming the key and the accepted key set (no more
+// silently ignored typos). Mixed command lines (experiment knobs + scenario
+// overrides in one Config) go through filter_known_overrides() first.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,37 +28,81 @@
 
 namespace vnfm::exp {
 
-/// One named scenario: defaults plus the override application.
+/// One named base scenario. `configure` applies the scenario's defaults —
+/// workload options, workload-model factory, fault events — onto fresh
+/// EnvOptions and may read its scenario-specific keys from the overrides;
+/// the shared env override keys are applied by build() afterwards.
 struct ScenarioSpec {
   std::string name;
   std::string description;
-  /// Builds EnvOptions: scenario defaults first, then `overrides` on top.
-  std::function<core::EnvOptions(const Config& overrides)> build;
+  /// Scenario-specific override keys `configure` reads (registered into the
+  /// catalog's accepted key set).
+  std::vector<std::string> option_keys;
+  std::function<void(core::EnvOptions& options, const Config& overrides)> configure;
 };
 
-/// Process-wide scenario name -> spec map with the built-in catalog.
+/// One named overlay: a transformation applied on top of a base scenario
+/// (or of earlier overlays) in a composition expression.
+struct OverlaySpec {
+  std::string name;
+  std::string description;
+  std::vector<std::string> option_keys;
+  std::function<void(core::EnvOptions& options, const Config& overrides)> apply;
+};
+
+/// Process-wide scenario/overlay registry with the built-in catalog.
 class ScenarioCatalog {
  public:
   static ScenarioCatalog& instance();
 
-  /// Registers a scenario; throws std::invalid_argument on a duplicate name.
+  /// Registers a base scenario; throws std::invalid_argument on a duplicate
+  /// name or a name containing '+'.
   void add(ScenarioSpec spec);
+  /// Registers an overlay (name may coincide with a base scenario: position
+  /// in the expression disambiguates — "flash-crowd" is a base first, an
+  /// overlay afterwards).
+  void add_overlay(OverlaySpec spec);
 
   [[nodiscard]] bool contains(const std::string& name) const;
-  /// All registered names, sorted.
+  [[nodiscard]] bool contains_overlay(const std::string& name) const;
+  /// All registered base-scenario names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
+  /// All registered overlay names, sorted.
+  [[nodiscard]] std::vector<std::string> overlay_names() const;
   [[nodiscard]] const ScenarioSpec& spec(const std::string& name) const;
+  [[nodiscard]] const OverlaySpec& overlay(const std::string& name) const;
 
-  /// Builds the named scenario's EnvOptions; throws std::invalid_argument
-  /// (listing the registered names) when `name` is unknown.
-  [[nodiscard]] core::EnvOptions build(const std::string& name,
+  /// Builds EnvOptions for a composition expression "<base>[+<overlay>...]".
+  /// Throws std::invalid_argument on an unknown base/overlay (listing the
+  /// registered names) or an unrecognised override key (listing the accepted
+  /// key set).
+  [[nodiscard]] core::EnvOptions build(const std::string& expression,
                                        const Config& overrides = {}) const;
 
+  /// Every override key build() accepts (shared env keys plus all
+  /// scenario/overlay keys), sorted.
+  [[nodiscard]] std::vector<std::string> accepted_keys() const;
+
+  /// Subset of `config` whose keys build() accepts — for command lines that
+  /// mix experiment knobs with scenario overrides.
+  [[nodiscard]] Config filter_known_overrides(const Config& config) const;
+
+  /// Human-readable catalog listing (bases, overlays, grammar) for
+  /// --list-scenarios style output.
+  [[nodiscard]] std::string describe() const;
+
  private:
-  ScenarioCatalog();  // registers the built-in scenarios
+  ScenarioCatalog();  // registers the built-in scenarios and overlays
 
   std::map<std::string, ScenarioSpec> specs_;
+  std::map<std::string, OverlaySpec> overlays_;
+  std::set<std::string> accepted_keys_;
 };
+
+/// Splits a composition expression on '+' (trimming whitespace); throws
+/// std::invalid_argument on empty tokens.
+[[nodiscard]] std::vector<std::string> split_scenario_expression(
+    const std::string& expression);
 
 /// Applies the shared override keys to `options` and returns the result.
 /// Recognised keys: nodes, cpu_capacity_mean, capacity_jitter, topology_seed,

@@ -205,7 +205,7 @@ TEST_F(ClusterTest, ResourceConservationUnderRandomWorkload) {
   // Property: after any mix of placements/aborts/expiries, cpu_used equals
   // the sum over live instances, and loads are non-negative.
   Rng rng(77);
-  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 3.0, .seed = 5});
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 3.0, .seed = 5});
   SimTime now = 0.0;
   for (int i = 0; i < 400; ++i) {
     Request r = gen.next(now);

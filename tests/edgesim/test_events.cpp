@@ -1,0 +1,173 @@
+#include "edgesim/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "edgesim/cluster.hpp"
+#include "edgesim/metrics.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+TEST(MetricsInterruption, KilledChainsAreChargedTheSlaPenalty) {
+  CostModel cost;
+  cost.w_sla_violation = 5.0;
+  MetricsCollector metrics(cost);
+  const double before = metrics.total_cost();
+  metrics.on_chains_killed(3);
+  EXPECT_EQ(metrics.chains_killed(), 3U);
+  EXPECT_DOUBLE_EQ(metrics.total_cost() - before, 15.0);
+  metrics.on_chains_killed(0);  // no-op
+  EXPECT_EQ(metrics.chains_killed(), 3U);
+}
+
+TEST(EventSchedule, KeepsEventsSortedByTime) {
+  EventSchedule schedule;
+  schedule.fail_node(300.0, NodeId{1})
+      .recover_node(600.0, NodeId{1})
+      .scale_capacity(100.0, NodeId{0}, 0.5);
+  ASSERT_EQ(schedule.size(), 3U);
+  EXPECT_DOUBLE_EQ(schedule.events()[0].time_s, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.events()[1].time_s, 300.0);
+  EXPECT_DOUBLE_EQ(schedule.events()[2].time_s, 600.0);
+}
+
+TEST(EventSchedule, TiesKeepInsertionOrder) {
+  EventSchedule schedule;
+  schedule.fail_node(100.0, NodeId{0}).recover_node(100.0, NodeId{1});
+  ASSERT_EQ(schedule.size(), 2U);
+  EXPECT_EQ(schedule.events()[0].kind, EventKind::kNodeFailure);
+  EXPECT_EQ(schedule.events()[1].kind, EventKind::kNodeRecovery);
+}
+
+TEST(EventSchedule, MergeCombinesSchedulesInTimeOrder) {
+  EventSchedule a;
+  a.fail_node(500.0, NodeId{0});
+  EventSchedule b;
+  b.scale_capacity(200.0, NodeId{1}, 0.5).recover_node(900.0, NodeId{0});
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3U);
+  EXPECT_DOUBLE_EQ(a.events()[0].time_s, 200.0);
+  EXPECT_DOUBLE_EQ(a.events()[2].time_s, 900.0);
+}
+
+TEST(EventSchedule, RejectsInvalidEvents) {
+  EventSchedule schedule;
+  EXPECT_THROW(schedule.fail_node(-1.0, NodeId{0}), std::invalid_argument);
+  EXPECT_THROW(schedule.scale_capacity(10.0, NodeId{0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(schedule.scale_capacity(10.0, NodeId{0},
+                                       std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+class ClusterFaultTest : public ::testing::Test {
+ protected:
+  ClusterFaultTest()
+      : topo_(make_world_topology({.node_count = 4, .cpu_capacity_mean = 32.0,
+                                   .capacity_jitter = 0.0})),
+        vnfs_(VnfCatalog::standard()),
+        sfcs_(SfcCatalog::standard(vnfs_)),
+        cluster_(topo_, vnfs_, sfcs_, {.idle_timeout_s = 60.0}) {}
+
+  Request make_request(const char* sfc_name, double rate = 2.0, double duration = 100.0,
+                       std::uint32_t region = 0) {
+    Request r;
+    r.id = RequestId{next_id_++};
+    r.arrival_time = cluster_.now();
+    r.source_region = NodeId{region};
+    r.sfc = sfcs_.by_name(sfc_name).id;
+    r.rate_rps = rate;
+    r.duration_s = duration;
+    return r;
+  }
+
+  ChainPlacement place_chain_on(const Request& r, NodeId node) {
+    cluster_.start_chain(r);
+    while (!cluster_.pending_complete()) cluster_.place_next(node);
+    return cluster_.commit_chain();
+  }
+
+  Topology topo_;
+  VnfCatalog vnfs_;
+  SfcCatalog sfcs_;
+  ClusterState cluster_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST_F(ClusterFaultTest, FailNodeKillsItsChainsAndReleasesInstances) {
+  place_chain_on(make_request("voip"), NodeId{0});
+  place_chain_on(make_request("voip"), NodeId{1});
+  ASSERT_EQ(cluster_.active_chain_count(), 2U);
+  const std::size_t instances_before = cluster_.total_instance_count();
+
+  const std::size_t killed = cluster_.fail_node(NodeId{0});
+  EXPECT_EQ(killed, 1U);
+  EXPECT_EQ(cluster_.chains_killed(), 1U);
+  EXPECT_TRUE(cluster_.node_failed(NodeId{0}));
+  EXPECT_EQ(cluster_.active_chain_count(), 1U);  // node 1's chain survives
+  EXPECT_LT(cluster_.total_instance_count(), instances_before);
+  EXPECT_DOUBLE_EQ(cluster_.cpu_used(NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.mem_used(NodeId{0}), 0.0);
+
+  // Failed nodes accept nothing.
+  const auto nat = vnfs_.by_name("nat").id;
+  EXPECT_FALSE(cluster_.can_deploy(NodeId{0}, nat));
+  EXPECT_FALSE(cluster_.can_serve(NodeId{0}, nat, 1.0));
+  EXPECT_TRUE(std::isinf(cluster_.estimated_proc_delay_ms(NodeId{0}, nat, 1.0)));
+
+  // Repeating the failure is a no-op.
+  EXPECT_EQ(cluster_.fail_node(NodeId{0}), 0U);
+  EXPECT_EQ(cluster_.chains_killed(), 1U);
+}
+
+TEST_F(ClusterFaultTest, FailNodeKillsMultiNodeChainsCrossingIt) {
+  const Request r = make_request("voip", 2.0, 100.0, 0);
+  cluster_.start_chain(r);
+  cluster_.place_next(NodeId{0});
+  cluster_.place_next(NodeId{1});
+  (void)cluster_.commit_chain();
+  ASSERT_EQ(cluster_.active_chain_count(), 1U);
+
+  // Failing node 1 kills the chain and releases node 0's load too.
+  EXPECT_EQ(cluster_.fail_node(NodeId{1}), 1U);
+  EXPECT_EQ(cluster_.active_chain_count(), 0U);
+  // Node 0 survives with an idle instance (released later by GC).
+  EXPECT_FALSE(cluster_.node_failed(NodeId{0}));
+  EXPECT_TRUE(cluster_.can_serve(NodeId{0}, vnfs_.by_name("nat").id, 1.0));
+}
+
+TEST_F(ClusterFaultTest, RecoveryMakesTheNodeDeployableAgain) {
+  place_chain_on(make_request("voip"), NodeId{0});
+  cluster_.fail_node(NodeId{0});
+  const auto nat = vnfs_.by_name("nat").id;
+  ASSERT_FALSE(cluster_.can_deploy(NodeId{0}, nat));
+
+  cluster_.recover_node(NodeId{0});
+  EXPECT_FALSE(cluster_.node_failed(NodeId{0}));
+  EXPECT_TRUE(cluster_.can_deploy(NodeId{0}, nat));
+  EXPECT_EQ(cluster_.total_instance_count(), 0U);  // recovered empty
+  place_chain_on(make_request("voip"), NodeId{0});
+  EXPECT_EQ(cluster_.active_chain_count(), 1U);
+}
+
+TEST_F(ClusterFaultTest, CapacityScaleLimitsDeploymentsWithoutEvicting) {
+  place_chain_on(make_request("voip"), NodeId{0});
+  const double used = cluster_.cpu_used(NodeId{0});
+  ASSERT_GT(used, 0.0);
+
+  // Scale the node down to exactly what is in use: nothing new fits.
+  cluster_.set_capacity_scale(NodeId{0}, used / topo_.node(NodeId{0}).cpu_capacity);
+  EXPECT_DOUBLE_EQ(cluster_.effective_cpu_capacity(NodeId{0}), used);
+  EXPECT_FALSE(cluster_.can_deploy(NodeId{0}, vnfs_.by_name("ids").id));
+  EXPECT_EQ(cluster_.active_chain_count(), 1U);  // nothing evicted
+  EXPECT_NEAR(cluster_.cpu_utilization(NodeId{0}), 1.0, 1e-12);
+
+  // Restoring nominal capacity re-opens the node.
+  cluster_.set_capacity_scale(NodeId{0}, 1.0);
+  EXPECT_TRUE(cluster_.can_deploy(NodeId{0}, vnfs_.by_name("ids").id));
+  EXPECT_THROW(cluster_.set_capacity_scale(NodeId{0}, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -16,7 +16,7 @@ TEST_P(MigrationFuzz, InvariantsHoldUnderRandomMigrations) {
   VnfCatalog vnfs = VnfCatalog::standard();
   SfcCatalog sfcs = SfcCatalog::standard(vnfs);
   ClusterState cluster(topo, vnfs, sfcs, {.idle_timeout_s = 90.0});
-  WorkloadGenerator gen(topo, sfcs, {.global_arrival_rate = 2.0, .seed = seed});
+  PoissonDiurnalModel gen(topo, sfcs, {.global_arrival_rate = 2.0, .seed = seed});
   Rng rng(seed * 31 + 1);
 
   SimTime now = 0.0;

@@ -15,7 +15,7 @@ class WorkloadTest : public ::testing::Test {
 };
 
 TEST_F(WorkloadTest, ArrivalsAreStrictlyOrdered) {
-  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 1});
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 1});
   SimTime now = 0.0;
   for (int i = 0; i < 500; ++i) {
     const Request r = gen.next(now);
@@ -25,7 +25,7 @@ TEST_F(WorkloadTest, ArrivalsAreStrictlyOrdered) {
 }
 
 TEST_F(WorkloadTest, RequestIdsMonotone) {
-  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 2});
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 2});
   SimTime now = 0.0;
   std::uint64_t prev = 0;
   for (int i = 0; i < 100; ++i) {
@@ -38,7 +38,7 @@ TEST_F(WorkloadTest, RequestIdsMonotone) {
 
 TEST_F(WorkloadTest, MeanArrivalRateMatchesConfig) {
   const double rate = 4.0;
-  WorkloadGenerator gen(topo_, sfcs_,
+  PoissonDiurnalModel gen(topo_, sfcs_,
                         {.global_arrival_rate = rate, .diurnal_enabled = false, .seed = 3});
   SimTime now = 0.0;
   const int n = 20'000;
@@ -47,7 +47,7 @@ TEST_F(WorkloadTest, MeanArrivalRateMatchesConfig) {
 }
 
 TEST_F(WorkloadTest, RegionSharesFollowTrafficWeights) {
-  WorkloadGenerator gen(topo_, sfcs_,
+  PoissonDiurnalModel gen(topo_, sfcs_,
                         {.global_arrival_rate = 10.0, .diurnal_enabled = false, .seed = 4});
   std::map<std::uint32_t, int> counts;
   SimTime now = 0.0;
@@ -66,7 +66,7 @@ TEST_F(WorkloadTest, RegionSharesFollowTrafficWeights) {
 }
 
 TEST_F(WorkloadTest, DiurnalRateOscillates) {
-  WorkloadGenerator gen(topo_, sfcs_,
+  PoissonDiurnalModel gen(topo_, sfcs_,
                         {.global_arrival_rate = 10.0, .diurnal_amplitude = 0.8, .seed = 5});
   const NodeId nyc{0};
   double min_rate = 1e18, max_rate = 0.0;
@@ -79,7 +79,7 @@ TEST_F(WorkloadTest, DiurnalRateOscillates) {
 }
 
 TEST_F(WorkloadTest, DiurnalPeaksFollowTimezones) {
-  WorkloadGenerator gen(topo_, sfcs_,
+  PoissonDiurnalModel gen(topo_, sfcs_,
                         {.global_arrival_rate = 10.0, .diurnal_amplitude = 0.8,
                          .peak_local_hour = 14.0, .seed = 6});
   // Find UTC hour of peak for New York (tz -5): expect ~19 UTC.
@@ -109,7 +109,7 @@ TEST_F(WorkloadTest, DiurnalPeaksFollowTimezones) {
 }
 
 TEST_F(WorkloadTest, TotalRateBoundedByPeak) {
-  WorkloadGenerator gen(topo_, sfcs_,
+  PoissonDiurnalModel gen(topo_, sfcs_,
                         {.global_arrival_rate = 7.0, .diurnal_amplitude = 0.6, .seed = 7});
   for (int hour = 0; hour < 48; ++hour) {
     EXPECT_LE(gen.total_rate(hour * kSecondsPerHour), gen.peak_total_rate() + 1e-9);
@@ -117,7 +117,7 @@ TEST_F(WorkloadTest, TotalRateBoundedByPeak) {
 }
 
 TEST_F(WorkloadTest, RequestFieldsWithinModelBounds) {
-  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .rate_jitter = 0.5,
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .rate_jitter = 0.5,
                                        .seed = 8});
   SimTime now = 0.0;
   for (int i = 0; i < 2000; ++i) {
@@ -133,7 +133,7 @@ TEST_F(WorkloadTest, RequestFieldsWithinModelBounds) {
 }
 
 TEST_F(WorkloadTest, AllSfcTypesAppear) {
-  WorkloadGenerator gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 9});
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 9});
   std::map<std::uint32_t, int> counts;
   SimTime now = 0.0;
   for (int i = 0; i < 5000; ++i) {
@@ -146,8 +146,8 @@ TEST_F(WorkloadTest, AllSfcTypesAppear) {
 }
 
 TEST_F(WorkloadTest, DeterministicForSeed) {
-  WorkloadGenerator a(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 10});
-  WorkloadGenerator b(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 10});
+  PoissonDiurnalModel a(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 10});
+  PoissonDiurnalModel b(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 10});
   SimTime now_a = 0.0, now_b = 0.0;
   for (int i = 0; i < 100; ++i) {
     const Request ra = a.next(now_a);
@@ -162,10 +162,61 @@ TEST_F(WorkloadTest, DeterministicForSeed) {
 }
 
 TEST_F(WorkloadTest, RejectsBadOptions) {
-  EXPECT_THROW(WorkloadGenerator(topo_, sfcs_, {.global_arrival_rate = 0.0}),
+  EXPECT_THROW(PoissonDiurnalModel(topo_, sfcs_, {.global_arrival_rate = 0.0}),
                std::invalid_argument);
-  EXPECT_THROW(WorkloadGenerator(topo_, sfcs_, {.diurnal_amplitude = 1.5}),
+  EXPECT_THROW(PoissonDiurnalModel(topo_, sfcs_, {.diurnal_amplitude = 1.5}),
                std::invalid_argument);
+}
+
+// Golden stream captured from the pre-refactor WorkloadGenerator (6 metros,
+// rate 5.0, seed 77). PoissonDiurnalModel must reproduce it bit-for-bit:
+// the polymorphic split is a pure restructuring of the legacy generator.
+TEST_F(WorkloadTest, BitIdenticalToPreRefactorGenerator) {
+  struct Golden {
+    double arrival_time;
+    std::uint32_t region;
+    std::uint32_t sfc;
+    double rate_rps;
+    double duration_s;
+  };
+  const Golden golden[] = {
+      {0.10282155435658082, 3, 4, 0.97628234363139921, 1571.1628962928428},
+      {0.51283340354941542, 5, 0, 4.5537183787614266, 625.46332620407213},
+      {0.56484537863644835, 0, 1, 1.7031974059522594, 507.15129985459754},
+      {0.68401951013548656, 3, 3, 3.0960904116492545, 826.00992028273083},
+      {0.70381163006229874, 5, 4, 0.54502209117119249, 89.881257217923775},
+      {1.1244166701827043, 3, 3, 5.4553146496053495, 30.592962829999824},
+      {1.3325829797869948, 0, 1, 2.6871614693518575, 1155.7034145072946},
+      {1.4690474932158071, 0, 2, 5.4830232592230814, 396.51432460425633},
+  };
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 77});
+  SimTime now = 0.0;
+  for (const Golden& expected : golden) {
+    const Request r = gen.next(now);
+    now = r.arrival_time;
+    EXPECT_DOUBLE_EQ(r.arrival_time, expected.arrival_time);
+    EXPECT_EQ(index(r.source_region), expected.region);
+    EXPECT_EQ(index(r.sfc), expected.sfc);
+    EXPECT_DOUBLE_EQ(r.rate_rps, expected.rate_rps);
+    EXPECT_DOUBLE_EQ(r.duration_s, expected.duration_s);
+  }
+}
+
+TEST_F(WorkloadTest, CloneContinuesTheStreamExactly) {
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 5.0, .seed = 12});
+  SimTime now = 0.0;
+  for (int i = 0; i < 50; ++i) now = gen.next(now).arrival_time;
+  const auto clone = gen.clone();
+  SimTime now_clone = now;
+  for (int i = 0; i < 50; ++i) {
+    const Request a = gen.next(now);
+    const Request b = clone->next(now_clone);
+    now = a.arrival_time;
+    now_clone = b.arrival_time;
+    EXPECT_DOUBLE_EQ(a.arrival_time, b.arrival_time);
+    EXPECT_EQ(index(a.source_region), index(b.source_region));
+    EXPECT_DOUBLE_EQ(a.rate_rps, b.rate_rps);
+  }
 }
 
 /// Property sweep: thinning preserves the configured mean rate across
@@ -177,7 +228,7 @@ TEST_P(DiurnalSweep, LongRunRateUnbiased) {
   Topology topo = make_world_topology({.node_count = 6});
   VnfCatalog vnfs = VnfCatalog::standard();
   SfcCatalog sfcs = SfcCatalog::standard(vnfs);
-  WorkloadGenerator gen(topo, sfcs,
+  PoissonDiurnalModel gen(topo, sfcs,
                         {.global_arrival_rate = 6.0, .diurnal_amplitude = amplitude,
                          .seed = 11});
   SimTime now = 0.0;

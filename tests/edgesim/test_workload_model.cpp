@@ -1,0 +1,284 @@
+#include "edgesim/workload_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace vnfm::edgesim {
+namespace {
+
+class WorkloadModelTest : public ::testing::Test {
+ protected:
+  Topology topo_ = make_world_topology({.node_count = 6});
+  VnfCatalog vnfs_ = VnfCatalog::standard();
+  SfcCatalog sfcs_ = SfcCatalog::standard(vnfs_);
+
+  std::shared_ptr<const std::vector<TraceRow>> small_trace() const {
+    std::vector<TraceRow> rows;
+    for (int i = 0; i < 20; ++i) {
+      TraceRow row;
+      row.offset_s = 5.0 * (i + 1);
+      row.region = static_cast<std::uint32_t>(i % 4);
+      row.sfc = static_cast<std::uint32_t>(i % 3);
+      row.rate_rps = 1.0 + 0.25 * i;
+      row.duration_s = 120.0;
+      rows.push_back(row);
+    }
+    return std::make_shared<const std::vector<TraceRow>>(std::move(rows));
+  }
+};
+
+TEST_F(WorkloadModelTest, TraceReplayEmitsTheTraceVerbatimOnLoopZero) {
+  TraceReplayModel model(topo_, sfcs_, {.seed = 3}, small_trace());
+  SimTime now = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const Request r = model.next(now);
+    now = r.arrival_time;
+    EXPECT_DOUBLE_EQ(r.arrival_time, 5.0 * (i + 1));
+    EXPECT_EQ(index(r.source_region), static_cast<std::uint32_t>(i % 4));
+    EXPECT_EQ(index(r.sfc), static_cast<std::uint32_t>(i % 3));
+    EXPECT_DOUBLE_EQ(r.rate_rps, 1.0 + 0.25 * i);
+    EXPECT_DOUBLE_EQ(r.duration_s, 120.0);
+  }
+  EXPECT_EQ(model.loops_completed(), 0U);
+}
+
+TEST_F(WorkloadModelTest, TraceReplayLoopsWithJitteredReseeding) {
+  TraceReplayModel model(topo_, sfcs_, {.rate_jitter = 0.5, .seed = 4}, small_trace());
+  SimTime now = 0.0;
+  // Drain loop 0 then read one full second loop.
+  for (int i = 0; i < 20; ++i) now = model.next(now).arrival_time;
+  bool any_jittered = false;
+  for (int i = 0; i < 20; ++i) {
+    const Request r = model.next(now);
+    EXPECT_GT(r.arrival_time, now);
+    EXPECT_GT(r.arrival_time, model.span_s());  // shifted into the second loop
+    now = r.arrival_time;
+    const double base = 1.0 + 0.25 * i;
+    EXPECT_GE(r.rate_rps, base * 0.5 - 1e-9);
+    EXPECT_LE(r.rate_rps, base * 1.5 + 1e-9);
+    if (std::abs(r.rate_rps - base) > 1e-12) any_jittered = true;
+  }
+  EXPECT_EQ(model.loops_completed(), 1U);
+  EXPECT_TRUE(any_jittered);  // re-seeded loops must not replay verbatim
+}
+
+TEST_F(WorkloadModelTest, TraceReplayDeterministicPerSeedAndClonable) {
+  const auto trace = small_trace();
+  TraceReplayModel a(topo_, sfcs_, {.rate_jitter = 0.5, .seed = 9}, trace);
+  TraceReplayModel b(topo_, sfcs_, {.rate_jitter = 0.5, .seed = 9}, trace);
+  SimTime now_a = 0.0, now_b = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const Request ra = a.next(now_a);
+    const Request rb = b.next(now_b);
+    now_a = ra.arrival_time;
+    now_b = rb.arrival_time;
+    EXPECT_DOUBLE_EQ(ra.arrival_time, rb.arrival_time);
+    EXPECT_DOUBLE_EQ(ra.rate_rps, rb.rate_rps);
+  }
+  const auto clone = a.clone();
+  for (int i = 0; i < 30; ++i) {
+    const Request ra = a.next(now_a);
+    const Request rc = clone->next(now_b);
+    now_a = ra.arrival_time;
+    now_b = rc.arrival_time;
+    EXPECT_DOUBLE_EQ(ra.arrival_time, rc.arrival_time);
+    EXPECT_DOUBLE_EQ(ra.rate_rps, rc.rate_rps);
+  }
+}
+
+TEST_F(WorkloadModelTest, TraceReplayKeepsTiedOffsets) {
+  // Second-resolution traces often record several arrivals at one offset;
+  // none may be dropped, in any loop.
+  std::vector<TraceRow> rows;
+  for (int i = 0; i < 6; ++i) {
+    TraceRow row;
+    row.offset_s = 10.0 * (1 + i / 2);  // pairs of tied offsets: 10,10,20,20,30,30
+    row.region = static_cast<std::uint32_t>(i);
+    row.rate_rps = 1.0;
+    row.duration_s = 60.0;
+    rows.push_back(row);
+  }
+  TraceReplayModel model(topo_, sfcs_, {.rate_jitter = 0.0, .seed = 2},
+                         std::make_shared<const std::vector<TraceRow>>(rows));
+  SimTime now = 0.0;
+  for (int loop = 0; loop < 3; ++loop) {
+    for (int i = 0; i < 6; ++i) {
+      const Request r = model.next(now);
+      EXPECT_GE(r.arrival_time, now);
+      EXPECT_EQ(index(r.source_region), static_cast<std::uint32_t>(i));  // none skipped
+      now = r.arrival_time;
+    }
+  }
+  EXPECT_EQ(model.generated_count(), 18U);
+}
+
+TEST_F(WorkloadModelTest, TraceReplayRateSurfaceIsEmpiricalAndBounded) {
+  TraceReplayModel model(topo_, sfcs_, {.seed = 1}, small_trace());
+  for (double t = 0.0; t < 3.0 * model.span_s(); t += model.span_s() / 10.0) {
+    EXPECT_LE(model.total_rate(t), model.peak_total_rate() + 1e-9);
+  }
+  // Regions 4/5 never appear in the trace: their empirical rate is zero.
+  EXPECT_DOUBLE_EQ(model.region_rate(NodeId{4}, 10.0), 0.0);
+  EXPECT_GT(model.peak_total_rate(), 0.0);
+}
+
+TEST_F(WorkloadModelTest, LoadsTheCheckedInSampleTrace) {
+  const std::string path = std::string(VNFM_SOURCE_DIR) + "/bench/data/trace_sample.csv";
+  const auto rows = TraceReplayModel::load(path);
+  ASSERT_GT(rows.size(), 100U);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i].offset_s, rows[i - 1].offset_s);
+  const auto factory = TraceReplayModel::factory(path);
+  const auto model = factory(topo_, sfcs_, {.seed = 5});
+  SimTime now = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Request r = model->next(now);
+    EXPECT_GT(r.arrival_time, now);
+    EXPECT_LT(index(r.source_region), topo_.node_count());
+    EXPECT_LT(index(r.sfc), sfcs_.size());
+    now = r.arrival_time;
+  }
+}
+
+TEST_F(WorkloadModelTest, TraceLoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/bad_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "offset_s,region,sfc,rate_rps,duration_s\n10,0,0,1.0,60\n5,1,0,1.0,60\n";
+  }
+  EXPECT_THROW((void)TraceReplayModel::load(path), std::invalid_argument);  // unsorted
+  {
+    std::ofstream out(path);
+    out << "offset_s,region\n1,0\n";
+  }
+  EXPECT_THROW((void)TraceReplayModel::load(path), std::invalid_argument);  // columns
+  {
+    std::ofstream out(path);
+    out << "offset_s,region,sfc,rate_rps,duration_s\n1,-1,0,1.0,60\n";
+  }
+  EXPECT_THROW((void)TraceReplayModel::load(path), std::invalid_argument);  // bad index
+  {
+    std::ofstream out(path);
+    out << "offset_s,region,sfc,rate_rps,duration_s\n1,0,1.5,1.0,60\n";
+  }
+  EXPECT_THROW((void)TraceReplayModel::load(path), std::invalid_argument);  // fractional
+  EXPECT_THROW((void)TraceReplayModel::load("/nonexistent/trace.csv"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadModelTest, FlashCrowdBoostsEpicentreDuringBurstWindows) {
+  WorkloadOptions options{.global_arrival_rate = 4.0, .seed = 6};
+  FlashCrowdOptions burst{.magnitude = 3.0, .period_s = 3600.0, .duration_s = 600.0,
+                          .spread = 2, .start_s = 0.0};
+  FlashCrowdOverlay overlay(topo_, sfcs_, options,
+                            std::make_unique<PoissonDiurnalModel>(topo_, sfcs_, options),
+                            burst);
+  const PoissonDiurnalModel inner(topo_, sfcs_, options);
+  const NodeId centre = overlay.epicentre(0);
+  // Inside the first window the epicentre runs at magnitude x the inner rate.
+  EXPECT_TRUE(overlay.in_burst(centre, 10.0));
+  EXPECT_DOUBLE_EQ(overlay.region_rate(centre, 10.0),
+                   3.0 * inner.region_rate(centre, 10.0));
+  // Outside the window everything matches the inner surface.
+  EXPECT_FALSE(overlay.in_burst(centre, 700.0));
+  EXPECT_DOUBLE_EQ(overlay.region_rate(centre, 700.0), inner.region_rate(centre, 700.0));
+  // Exactly `spread` regions are boosted, and the envelope bounds the total.
+  std::size_t boosted = 0;
+  for (std::size_t i = 0; i < topo_.node_count(); ++i)
+    if (overlay.in_burst(NodeId{static_cast<std::uint32_t>(i)}, 10.0)) ++boosted;
+  EXPECT_EQ(boosted, 2U);
+  for (double t = 0.0; t < 2.0 * 3600.0; t += 60.0)
+    EXPECT_LE(overlay.total_rate(t), overlay.peak_total_rate() + 1e-9);
+}
+
+TEST_F(WorkloadModelTest, FlashCrowdEpicentresRotateDeterministically) {
+  WorkloadOptions options{.global_arrival_rate = 4.0, .seed = 6};
+  const auto make = [&] {
+    return FlashCrowdOverlay(topo_, sfcs_, options,
+                             std::make_unique<PoissonDiurnalModel>(topo_, sfcs_, options));
+  };
+  const auto a = make();
+  const auto b = make();
+  std::set<std::uint32_t> centres;
+  for (std::uint64_t w = 0; w < 16; ++w) {
+    EXPECT_EQ(index(a.epicentre(w)), index(b.epicentre(w)));
+    centres.insert(index(a.epicentre(w)));
+  }
+  EXPECT_GT(centres.size(), 1U);  // the epicentre moves across windows
+}
+
+TEST_F(WorkloadModelTest, FlashCrowdStreamIsDeterministicPerSeed) {
+  WorkloadOptions options{.global_arrival_rate = 4.0, .seed = 8};
+  const auto factory = flash_crowd_factory({}, {.period_s = 1800.0, .duration_s = 300.0,
+                                                .start_s = 0.0});
+  const auto a = factory(topo_, sfcs_, options);
+  const auto b = factory(topo_, sfcs_, options);
+  SimTime now_a = 0.0, now_b = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Request ra = a->next(now_a);
+    const Request rb = b->next(now_b);
+    now_a = ra.arrival_time;
+    now_b = rb.arrival_time;
+    EXPECT_DOUBLE_EQ(ra.arrival_time, rb.arrival_time);
+    EXPECT_EQ(index(ra.source_region), index(rb.source_region));
+    EXPECT_DOUBLE_EQ(ra.rate_rps, rb.rate_rps);
+  }
+}
+
+TEST_F(WorkloadModelTest, RateScaleMultipliesTheWholeSurface) {
+  WorkloadOptions options{.global_arrival_rate = 2.0, .seed = 7};
+  RateScaleOverlay overlay(topo_, sfcs_, options,
+                           std::make_unique<PoissonDiurnalModel>(topo_, sfcs_, options),
+                           2.5);
+  const PoissonDiurnalModel inner(topo_, sfcs_, options);
+  for (double t = 0.0; t < 86400.0; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(overlay.total_rate(t), 2.5 * inner.total_rate(t));
+  }
+  EXPECT_DOUBLE_EQ(overlay.peak_total_rate(), 2.5 * inner.peak_total_rate());
+  EXPECT_EQ(overlay.name(), "rate-scale(poisson-diurnal)");
+}
+
+TEST_F(WorkloadModelTest, OverlaysComposeOverTraceInners) {
+  // An overlay over a trace re-realises the trace's empirical rate surface
+  // as a Poisson stream (documented: shape preserved, instants not).
+  WorkloadOptions options{.seed = 11};
+  auto trace_model = std::make_unique<TraceReplayModel>(topo_, sfcs_, options,
+                                                        small_trace());
+  const double trace_peak = trace_model->peak_total_rate();
+  RateScaleOverlay overlay(topo_, sfcs_, options, std::move(trace_model), 2.0);
+  EXPECT_DOUBLE_EQ(overlay.peak_total_rate(), 2.0 * trace_peak);
+  EXPECT_EQ(overlay.name(), "rate-scale(trace-replay)");
+  SimTime now = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const Request r = overlay.next(now);
+    EXPECT_GT(r.arrival_time, now);
+    now = r.arrival_time;
+  }
+}
+
+TEST_F(WorkloadModelTest, OverlayValidation) {
+  WorkloadOptions options{.global_arrival_rate = 2.0, .seed = 1};
+  auto inner = [&] {
+    return std::make_unique<PoissonDiurnalModel>(topo_, sfcs_, options);
+  };
+  EXPECT_THROW(RateScaleOverlay(topo_, sfcs_, options, inner(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(RateScaleOverlay(topo_, sfcs_, options, nullptr, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdOverlay(topo_, sfcs_, options, inner(),
+                                 {.magnitude = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdOverlay(topo_, sfcs_, options, inner(),
+                                 {.period_s = 100.0, .duration_s = 200.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdOverlay(topo_, sfcs_, options, inner(), {.spread = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

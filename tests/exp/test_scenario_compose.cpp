@@ -1,0 +1,203 @@
+// Acceptance coverage for composable scenario programs: composed expressions
+// yield environments whose request streams and fault events are
+// deterministic per seed, legacy scenario names keep their pre-refactor
+// request streams bit-for-bit, and parallel evaluation/training stay
+// thread-count-invariant under events and overlays.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+/// Exact comparison of every EpisodeResult field.
+void expect_identical(const core::EpisodeResult& a, const core::EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+const Config kComposedOverrides{{"nodes", "4"},       {"arrival_rate", "2.0"},
+                                {"fail_node", "0"},   {"fail_at_s", "300"},
+                                {"recover_at_s", "900"}, {"flash_period_s", "600"},
+                                {"flash_duration_s", "200"}, {"flash_start_s", "0"}};
+
+// Golden env-level stream captured from the pre-refactor WorkloadGenerator
+// through the scenario catalog ("geo-distributed", episode seed 3). Legacy
+// scenario names must keep producing these exact requests.
+TEST(ScenarioCompose, LegacyScenarioStreamIsBitIdenticalToPreRefactor) {
+  struct Golden {
+    double arrival_time;
+    std::uint32_t region;
+    std::uint32_t sfc;
+    double rate_rps;
+    double duration_s;
+  };
+  const Golden golden[] = {
+      {0.089551607965743657, 7, 1, 1.8724779608674662, 237.27597977834014},
+      {0.38585783493436221, 7, 0, 4.6183537246389106, 272.91610731583177},
+      {0.68236210482195314, 2, 3, 5.0691344194498109, 301.54606322252909},
+      {1.7125276656268429, 2, 2, 8.2766377459859939, 26.261103736406493},
+      {1.734477038288565, 5, 2, 6.627265028748206, 392.34933090678396},
+      {2.97361783900234, 6, 1, 1.5822678076525964, 80.668443787526058},
+  };
+  core::VnfEnv env(ScenarioCatalog::instance().build("geo-distributed"));
+  env.reset(3);
+  for (const Golden& expected : golden) {
+    ASSERT_TRUE(env.begin_next_request());
+    const edgesim::Request& r = env.pending_request();
+    EXPECT_DOUBLE_EQ(r.arrival_time, expected.arrival_time);
+    EXPECT_EQ(edgesim::index(r.source_region), expected.region);
+    EXPECT_EQ(edgesim::index(r.sfc), expected.sfc);
+    EXPECT_DOUBLE_EQ(r.rate_rps, expected.rate_rps);
+    EXPECT_DOUBLE_EQ(r.duration_s, expected.duration_s);
+    env.step(env.reject_action());
+  }
+}
+
+TEST(ScenarioCompose, ComposedEnvironmentIsDeterministicPerSeed) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+flash-crowd+node-failure", kComposedOverrides);
+  core::VnfEnv a(options);
+  core::VnfEnv b(options);
+  a.reset(5);
+  b.reset(5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.begin_next_request());
+    ASSERT_TRUE(b.begin_next_request());
+    const edgesim::Request& ra = a.pending_request();
+    const edgesim::Request& rb = b.pending_request();
+    EXPECT_DOUBLE_EQ(ra.arrival_time, rb.arrival_time);
+    EXPECT_EQ(edgesim::index(ra.source_region), edgesim::index(rb.source_region));
+    EXPECT_DOUBLE_EQ(ra.rate_rps, rb.rate_rps);
+    EXPECT_EQ(a.events_applied(), b.events_applied());
+    a.step(a.reject_action());
+    b.step(b.reject_action());
+  }
+  // A different seed produces a different stream.
+  core::VnfEnv c(options);
+  c.reset(6);
+  ASSERT_TRUE(c.begin_next_request());
+  a.reset(5);
+  ASSERT_TRUE(a.begin_next_request());
+  EXPECT_NE(a.pending_request().arrival_time, c.pending_request().arrival_time);
+}
+
+TEST(ScenarioCompose, FaultEventsFireMidEpisodeAtExactInstants) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+node-failure",
+      Config{{"nodes", "4"}, {"arrival_rate", "2.0"}, {"fail_node", "0"},
+             {"fail_at_s", "300"}, {"recover_at_s", "900"}});
+  core::VnfEnv env(options);
+  env.reset(1);
+  const auto manager = ManagerRegistry::instance().create("greedy_latency", env);
+  core::EpisodeOptions episode;
+  episode.duration_s = 1500.0;
+  episode.training = false;
+  episode.seed = 1;
+  const core::EpisodeResult result = core::run_episode(env, *manager, episode);
+  EXPECT_GT(result.requests, 0U);
+  EXPECT_EQ(env.events_applied(), 2U);  // failure + recovery both consumed
+  EXPECT_FALSE(env.cluster().node_failed(edgesim::NodeId{0}));  // recovered
+  EXPECT_GT(env.cluster().chains_killed(), 0U);  // the outage had victims
+  // Each killed chain is charged the interruption penalty in the metrics,
+  // so an outage can never improve the reported cost.
+  EXPECT_EQ(env.metrics().chains_killed(), env.cluster().chains_killed());
+}
+
+TEST(ScenarioCompose, ParallelEvalBitIdenticalUnderEventsAndOverlays) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+flash-crowd+node-failure", kComposedOverrides);
+  core::VnfEnv env(options);
+  const auto manager = ManagerRegistry::instance().create("greedy_latency", env);
+  core::EpisodeOptions episode;
+  episode.duration_s = 1200.0;
+  episode.seed = 11;
+  episode.training = false;
+  const EvalReport one = evaluate_parallel(options, *manager, episode, 6, 1);
+  const EvalReport four = evaluate_parallel(options, *manager, episode, 6, 4);
+  ASSERT_EQ(one.per_seed.size(), four.per_seed.size());
+  EXPECT_EQ(one.seeds, four.seeds);
+  for (std::size_t i = 0; i < one.per_seed.size(); ++i)
+    expect_identical(one.per_seed[i], four.per_seed[i],
+                     "repeat " + std::to_string(i));
+  EXPECT_GT(one.mean.requests, 0U);
+}
+
+TEST(ScenarioCompose, ParallelTrainingBitIdenticalUnderComposedScenario) {
+  std::vector<std::vector<core::EpisodeResult>> curves;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    auto experiment =
+        Experiment::scenario("geo-distributed+flash-crowd+node-failure",
+                             kComposedOverrides);
+    experiment.manager("dqn")
+        .seed(2)
+        .train_threads(threads)
+        .train_duration(400.0)
+        .eval_duration(400.0)
+        .train(4);
+    curves.push_back(experiment.learning_curve());
+  }
+  ASSERT_EQ(curves[0].size(), curves[1].size());
+  for (std::size_t i = 0; i < curves[0].size(); ++i)
+    expect_identical(curves[0][i], curves[1][i], "episode " + std::to_string(i));
+}
+
+TEST(ScenarioCompose, TraceReplayScenarioIsDeterministicPerSeed) {
+  const std::string trace =
+      std::string(VNFM_SOURCE_DIR) + "/bench/data/trace_sample.csv";
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "trace-replay", Config{{"trace", trace}, {"nodes", "8"}});
+  core::VnfEnv a(options);
+  core::VnfEnv b(options);
+  a.reset(4);
+  b.reset(4);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(a.begin_next_request());
+    ASSERT_TRUE(b.begin_next_request());
+    EXPECT_DOUBLE_EQ(a.pending_request().arrival_time,
+                     b.pending_request().arrival_time);
+    EXPECT_DOUBLE_EQ(a.pending_request().rate_rps, b.pending_request().rate_rps);
+    a.step(a.reject_action());
+    b.step(b.reject_action());
+  }
+  EXPECT_EQ(a.workload().name(), "trace-replay");
+}
+
+TEST(ScenarioCompose, TraceReplayComposesWithOverlaysAndEvents) {
+  const std::string trace =
+      std::string(VNFM_SOURCE_DIR) + "/bench/data/trace_sample.csv";
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "trace-replay+rate-scale+node-failure",
+      Config{{"trace", trace}, {"rate_scale", "2"}, {"fail_at_s", "120"},
+             {"recover_at_s", "240"}});
+  core::VnfEnv env(options);
+  env.reset(2);
+  EXPECT_EQ(env.workload().name(), "rate-scale(trace-replay)");
+  const auto manager = ManagerRegistry::instance().create("first_fit", env);
+  core::EpisodeOptions episode;
+  episode.duration_s = 400.0;
+  episode.training = false;
+  episode.seed = 2;
+  const core::EpisodeResult result = core::run_episode(env, *manager, episode);
+  EXPECT_GT(result.requests, 0U);
+  EXPECT_EQ(env.events_applied(), 2U);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

@@ -11,15 +11,26 @@ TEST(ScenarioCatalog, ContainsTheBuiltinScenarios) {
   const auto names = ScenarioCatalog::instance().names();
   for (const std::string expected :
        {"baseline", "geo-distributed", "diurnal", "flash-crowd",
-        "heterogeneous-nodes", "large-scale"}) {
+        "heterogeneous-nodes", "large-scale", "trace-replay"}) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
         << "missing builtin scenario: " << expected;
     EXPECT_FALSE(ScenarioCatalog::instance().spec(expected).description.empty());
   }
 }
 
+TEST(ScenarioCatalog, ContainsTheBuiltinOverlays) {
+  const auto names = ScenarioCatalog::instance().overlay_names();
+  for (const std::string expected :
+       {"flash-crowd", "rate-scale", "node-failure", "capacity-drop"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected) == 1)
+        << "missing builtin overlay: " << expected;
+    EXPECT_FALSE(ScenarioCatalog::instance().overlay(expected).description.empty());
+  }
+}
+
 TEST(ScenarioCatalog, EveryScenarioBuildsAValidEnvironment) {
   for (const auto& name : ScenarioCatalog::instance().names()) {
+    if (name == "trace-replay") continue;  // needs a trace file (covered below)
     const core::EnvOptions options = ScenarioCatalog::instance().build(name);
     EXPECT_GE(options.topology.node_count, 1U) << name;
     EXPECT_GT(options.workload.global_arrival_rate, 0.0) << name;
@@ -69,6 +80,50 @@ TEST(ScenarioCatalog, UnknownScenarioThrowsListingNames) {
   }
 }
 
+TEST(ScenarioCatalog, UnknownOverrideKeyThrowsListingAcceptedKeys) {
+  try {
+    (void)ScenarioCatalog::instance().build("baseline",
+                                            Config{{"arival_rate", "2.0"}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("arival_rate"), std::string::npos);  // the typo, named
+    EXPECT_NE(message.find("arrival_rate"), std::string::npos);  // the accepted set
+  }
+}
+
+TEST(ScenarioCatalog, KeysOfAbsentOverlaysAreRejected) {
+  // flash_magnitude without +flash-crowd would be a silent no-op: throw.
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "geo-distributed", Config{{"flash_magnitude", "3"}}),
+               std::invalid_argument);
+  // With the overlay in the expression the same key is accepted.
+  EXPECT_NO_THROW((void)ScenarioCatalog::instance().build(
+      "geo-distributed+flash-crowd", Config{{"flash_magnitude", "3"}}));
+  // Base-scenario keys stay scoped to their base, too.
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "baseline", Config{{"trace", "x.csv"}}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCatalog, AcceptedKeysCoverSharedAndScenarioKeys) {
+  const auto keys = ScenarioCatalog::instance().accepted_keys();
+  for (const std::string expected :
+       {"arrival_rate", "nodes", "seed", "trace", "flash_magnitude", "rate_scale",
+        "fail_node", "capacity_factor"}) {
+    EXPECT_TRUE(std::count(keys.begin(), keys.end(), expected) == 1)
+        << "missing accepted key: " << expected;
+  }
+}
+
+TEST(ScenarioCatalog, FilterKnownOverridesDropsForeignKeys) {
+  const Config mixed{{"episodes", "12"}, {"arrival_rate", "2.0"}, {"threads", "4"}};
+  const Config filtered = ScenarioCatalog::instance().filter_known_overrides(mixed);
+  EXPECT_FALSE(filtered.contains("episodes"));
+  EXPECT_FALSE(filtered.contains("threads"));
+  EXPECT_EQ(filtered.get_double("arrival_rate", 0.0), 2.0);
+}
+
 TEST(ScenarioCatalog, MalformedOverrideValueThrows) {
   EXPECT_THROW((void)ScenarioCatalog::instance().build(
                    "baseline", Config{{"arrival_rate", "fast"}}),
@@ -78,11 +133,80 @@ TEST(ScenarioCatalog, MalformedOverrideValueThrows) {
                std::invalid_argument);
 }
 
+TEST(ScenarioCatalog, CompositionAppendsOverlays) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+flash-crowd+node-failure",
+      Config{{"fail_node", "2"}, {"fail_at_s", "600"}, {"recover_at_s", "1200"}});
+  ASSERT_TRUE(static_cast<bool>(options.workload_model));
+  ASSERT_EQ(options.events.size(), 2U);
+  EXPECT_EQ(options.events.events()[0].kind, edgesim::EventKind::kNodeFailure);
+  EXPECT_DOUBLE_EQ(options.events.events()[0].time_s, 600.0);
+  EXPECT_EQ(edgesim::index(options.events.events()[0].node), 2U);
+  EXPECT_EQ(options.events.events()[1].kind, edgesim::EventKind::kNodeRecovery);
+}
+
+TEST(ScenarioCatalog, EventNodesAreRangeCheckedAtBuildTime) {
+  try {
+    (void)ScenarioCatalog::instance().build(
+        "geo-distributed+node-failure", Config{{"fail_node", "99"}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("99"), std::string::npos);
+    EXPECT_NE(message.find("fail_node"), std::string::npos);
+  }
+  // The check uses the *final* node count (the `nodes` override applies last).
+  EXPECT_NO_THROW((void)ScenarioCatalog::instance().build(
+      "geo-distributed+node-failure", Config{{"fail_node", "11"}, {"nodes", "12"}}));
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "geo-distributed+capacity-drop",
+                   Config{{"capacity_node", "4"}, {"nodes", "4"}}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCatalog, RateScaleDefaultsToIdentity) {
+  // Appending +rate-scale without the key must not silently change load.
+  const core::EnvOptions scaled = ScenarioCatalog::instance().build(
+      "baseline+rate-scale");
+  core::VnfEnv env(scaled);
+  env.reset(1);
+  const core::EnvOptions plain = ScenarioCatalog::instance().build("baseline");
+  core::VnfEnv reference(plain);
+  reference.reset(1);
+  EXPECT_DOUBLE_EQ(env.workload().total_rate(0.0), reference.workload().total_rate(0.0));
+  EXPECT_DOUBLE_EQ(env.workload().peak_total_rate(),
+                   reference.workload().peak_total_rate());
+}
+
+TEST(ScenarioCatalog, CompositionExpressionErrors) {
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("geo-distributed+"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("+flash-crowd"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("geo-distributed+no_such_overlay"),
+               std::invalid_argument);
+  // "node-failure" exists only as an overlay, not as a base.
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("node-failure"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCatalog, DescribeListsBasesOverlaysAndGrammar) {
+  const std::string listing = ScenarioCatalog::instance().describe();
+  EXPECT_NE(listing.find("geo-distributed"), std::string::npos);
+  EXPECT_NE(listing.find("node-failure"), std::string::npos);
+  EXPECT_NE(listing.find("<base>[+<overlay>...]"), std::string::npos);
+  EXPECT_NE(listing.find("trace-replay"), std::string::npos);
+}
+
 TEST(ScenarioCatalog, DuplicateRegistrationThrows) {
   ScenarioSpec spec;
   spec.name = "baseline";
-  spec.build = [](const Config&) { return core::EnvOptions{}; };
+  spec.configure = [](core::EnvOptions&, const Config&) {};
   EXPECT_THROW(ScenarioCatalog::instance().add(spec), std::invalid_argument);
+  OverlaySpec overlay;
+  overlay.name = "node-failure";
+  overlay.apply = [](core::EnvOptions&, const Config&) {};
+  EXPECT_THROW(ScenarioCatalog::instance().add_overlay(overlay), std::invalid_argument);
 }
 
 }  // namespace
