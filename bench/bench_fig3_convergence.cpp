@@ -46,8 +46,10 @@ int main(int argc, char** argv) {
         exp::Experiment::from_options(bench::make_env_options(arrival_rate));
     experiment.manager(name, params)
         .train_threads(bench::train_threads())
-        .train_duration(duration)
-        .train(episodes);
+        .train_duration(duration);
+    // Long convergence runs checkpoint under REPRO_CHECKPOINT_DIR/<variant>
+    // and REPRO_RESUME=1 continues them bit-identically after interruption.
+    bench::train_resumable(experiment, episodes, name);
     labels.push_back(experiment.manager_ref().name());
     std::vector<double> rewards;
     rewards.reserve(episodes);

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
     const double rate = per_node_rate * static_cast<double>(nodes);
     core::VnfEnv env(bench::make_env_options(rate, nodes));
     core::TrainStats train_stats;
-    auto dqn = bench::train_policy(env, scale, "dqn", {}, &train_stats);
+    // Per-node-count checkpoint label: each sweep point resumes on its own.
+    auto dqn = bench::train_policy(env, scale, "dqn", {}, &train_stats,
+                                   "dqn_n" + std::to_string(nodes));
     std::cout << nodes << " nodes: trained " << train_stats.transitions
               << " transitions in " << train_stats.wall_seconds << " s ("
               << train_stats.steps_per_second() << " steps/s, "

@@ -5,6 +5,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
+
 namespace vnfm::bench {
 
 Scale Scale::resolve() { return full_run_requested() ? full() : quick(); }
@@ -16,7 +18,24 @@ std::string to_config_value(double value) {
   return out.str();
 }
 
+namespace {
+
+/// Basename of the running bench binary (set by parse_args); namespaces
+/// checkpoint directories so binaries sharing one REPRO_CHECKPOINT_DIR never
+/// resume each other's archives.
+std::string& bench_binary_name() {
+  static std::string name = "bench";
+  return name;
+}
+
+}  // namespace
+
 Config parse_args(int argc, const char* const* argv) {
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    bench_binary_name() = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-scenarios") == 0) {
       std::cout << exp::ScenarioCatalog::instance().describe();
@@ -57,18 +76,106 @@ std::size_t train_threads() {
   return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
 }
 
+std::string checkpoint_dir() {
+  const char* dir = std::getenv("REPRO_CHECKPOINT_DIR");
+  return dir == nullptr ? std::string{} : std::string{dir};
+}
+
+std::size_t checkpoint_every() {
+  const char* every = std::getenv("REPRO_CHECKPOINT_EVERY");
+  if (every == nullptr || *every == '\0') return 8;
+  return static_cast<std::size_t>(std::strtoull(every, nullptr, 10));
+}
+
+bool resume_requested() {
+  const char* resume = std::getenv("REPRO_RESUME");
+  return resume != nullptr && *resume != '\0';
+}
+
+namespace {
+
+/// The REPRO_CHECKPOINT_DIR / REPRO_RESUME policy resolved for one labelled
+/// training run: the per-label directory (empty = checkpointing off) and the
+/// newest archive to resume from (empty = start at episode 0).
+struct ResumePlan {
+  std::string dir;
+  std::string archive;
+};
+
+ResumePlan resolve_resume(const std::string& label) {
+  ResumePlan plan;
+  const std::string base = checkpoint_dir();
+  if (base.empty()) return plan;
+  // Namespace by binary and scenario expression: two benches (or one bench
+  // under different REPRO_SCENARIO values) train the same policy name on
+  // different worlds, and resuming across them would silently produce a
+  // policy trained for the wrong figure.
+  plan.dir = base + "/" + bench_binary_name() + "/" + default_scenario() + "/" + label;
+  if (resume_requested()) plan.archive = core::latest_checkpoint(plan.dir);
+  return plan;
+}
+
+void log_resume(const std::string& label, const std::string& archive,
+                std::size_t done, std::size_t total) {
+  std::cout << "  [" << label << "] resumed from " << archive << " (" << done << "/"
+            << total << " episodes done)\n";
+}
+
+}  // namespace
+
+void train_resumable(exp::Experiment& experiment, std::size_t total_episodes,
+                     const std::string& label) {
+  const ResumePlan plan = resolve_resume(label);
+  if (!plan.dir.empty())
+    experiment.checkpoint_dir(plan.dir).checkpoint_every(checkpoint_every());
+  std::size_t done = 0;
+  if (!plan.archive.empty()) {
+    experiment.resume(plan.archive);
+    done = experiment.learning_curve().size();
+    log_resume(label, plan.archive, done, total_episodes);
+  }
+  if (total_episodes > done) experiment.train(total_episodes - done);
+}
+
 std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
                                             const std::string& name,
                                             const Config& params,
-                                            core::TrainStats* stats) {
+                                            core::TrainStats* stats,
+                                            const std::string& label) {
   auto manager = exp::ManagerRegistry::instance().create(name, env, params);
   core::TrainOptions train;
   train.episodes = scale.train_episodes;
   train.threads = train_threads();
   train.episode.duration_s = scale.train_duration_s;
+
+  const ResumePlan plan = resolve_resume(label.empty() ? name : label);
+  if (!plan.dir.empty()) {
+    train.checkpoint_dir = plan.dir;
+    train.checkpoint_every = checkpoint_every();
+  }
+  core::TrainStats prior;
+  if (!plan.archive.empty()) {
+    const core::TrainCheckpoint restored =
+        core::read_checkpoint(plan.archive, *manager);
+    train.first_episode = restored.episodes_done;
+    train.episodes = scale.train_episodes > restored.episodes_done
+                         ? scale.train_episodes - restored.episodes_done
+                         : 0;
+    train.prior_curve = restored.curve;
+    train.prior_seeds = restored.seeds;
+    train.prior_stats = restored.stats;
+    prior = restored.stats;
+    log_resume(label.empty() ? name : label, plan.archive, restored.episodes_done,
+               scale.train_episodes);
+  }
+
   const core::TrainResult result =
       core::TrainDriver(env.options(), train).run(*manager);
-  if (stats != nullptr) *stats = result.stats;
+  if (stats != nullptr) {
+    // Report the whole training history, not just this leg after a resume.
+    *stats = result.stats;
+    stats->accumulate(prior);
+  }
   return manager;
 }
 

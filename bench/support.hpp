@@ -67,15 +67,41 @@ core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
 /// wall-clock, never results.
 std::size_t train_threads();
 
+/// Base directory for resumable training checkpoints: the
+/// REPRO_CHECKPOINT_DIR environment variable ("" = checkpointing off). Each
+/// training run writes under "<dir>/<bench binary>/<scenario>/<label>" so
+/// different benches, scenarios, and policies never resume each other's
+/// archives.
+std::string checkpoint_dir();
+
+/// Checkpoint cadence in completed episodes: REPRO_CHECKPOINT_EVERY
+/// (default 8; pipeline runs align writes to sync-period round boundaries).
+std::size_t checkpoint_every();
+
+/// True when REPRO_RESUME is set non-empty: training continues from the
+/// newest archive in the run's checkpoint directory instead of episode 0
+/// (bit-identical to never having been interrupted — see docs/REPRODUCING.md).
+bool resume_requested();
+
+/// Trains `experiment` up to `total_episodes` *total* episodes under the
+/// REPRO_CHECKPOINT_DIR / REPRO_RESUME policy: periodic checkpoints under
+/// the per-label directory, and — when resuming — only the episodes the
+/// newest archive is missing actually run. Call after selecting the manager.
+void train_resumable(exp::Experiment& experiment, std::size_t total_episodes,
+                     const std::string& label);
+
 /// Builds the named registry policy and trains it on `env`'s scenario for
 /// the scale's budget through the actor-learner TrainDriver (train_threads()
 /// workers; sequential fallback for inline learners); returns it ready for
 /// evaluation. When `stats` is non-null the training wall-clock/throughput
-/// summary is written there.
+/// summary is written there. Honours REPRO_CHECKPOINT_DIR / REPRO_RESUME
+/// under `label` (defaulting to `name`); pass distinct labels when one bench
+/// trains the same policy several times (e.g. per node count).
 std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scale,
                                             const std::string& name,
                                             const Config& params = {},
-                                            core::TrainStats* stats = nullptr);
+                                            core::TrainStats* stats = nullptr,
+                                            const std::string& label = "");
 
 /// Default evaluation options derived from the scale.
 core::EpisodeOptions eval_options(const Scale& scale);

@@ -1,12 +1,15 @@
 // Quickstart: the Experiment API end to end — build the geo-distributed edge
-// scenario, train the DQN VNF manager for a handful of episodes, and compare
-// it against the greedy latency baseline on held-out seeds (evaluation fans
-// out over all cores, deterministically).
+// scenario, train the DQN VNF manager for a handful of episodes, compare it
+// against the greedy latency baseline on held-out seeds (evaluation fans out
+// over all cores, deterministically), then demonstrate checkpoint/resume:
+// the trained state is saved, restored into a brand-new experiment, and the
+// restored policy must evaluate identically.
 //
 // Command-line key=value tokens override both the experiment knobs and the
 // scenario itself; scenario= accepts composition expressions:
 //   ./quickstart [episodes=12] [arrival_rate=2.0] [nodes=8] [threads=0]
 //                [train_threads=0] [scenario=geo-distributed+flash-crowd]
+//                [checkpoint=/tmp/vnfm_quickstart.vnfmc]
 //
 // Training uses the actor-learner pipeline (train_threads actor workers,
 // 0 = all cores); its results are bit-identical for every thread count.
@@ -71,5 +74,29 @@ int main(int argc, char** argv) {
   add("dqn", dqn_eval);
   add("greedy_latency", greedy_eval);
   table.print(std::cout);
-  return 0;
+
+  // ---- Checkpoint/resume demo (docs/ARCHITECTURE.md, invariant 5) ---------
+  // Save the full training state, restore it into a fresh experiment (as a
+  // restarted process would), and verify the restored policy reproduces the
+  // evaluation bit-for-bit. Resumed training would likewise continue the
+  // learning curve exactly where the archive stopped.
+  const std::string ckpt =
+      config.get_string("checkpoint", "/tmp/vnfm_quickstart.vnfmc");
+  experiment.save_checkpoint(ckpt);
+  auto restored = exp::Experiment::scenario(
+      config.get_string("scenario", "geo-distributed"),
+      exp::ScenarioCatalog::instance().filter_known_overrides(config));
+  restored.manager("dqn")
+      .threads(config.get_size("threads", 0))
+      .eval_duration(0.5 * edgesim::kSecondsPerHour)
+      .resume(ckpt);
+  const auto restored_eval = restored.evaluate(3).mean;
+  const bool identical =
+      restored_eval.cost_per_request == dqn_eval.cost_per_request &&
+      restored_eval.mean_latency_ms == dqn_eval.mean_latency_ms &&
+      restored_eval.acceptance_ratio == dqn_eval.acceptance_ratio;
+  std::cout << "\nCheckpoint round-trip via " << ckpt << ": restored policy ("
+            << restored.learning_curve().size() << " episodes of history) evaluates "
+            << (identical ? "identically" : "DIFFERENTLY — checkpoint bug!") << "\n";
+  return identical ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+
+#include "common/serialize.hpp"
 
 namespace vnfm {
 namespace {
@@ -138,5 +141,23 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::split() noexcept { return Rng{(*this)()}; }
+
+void save_rng(Serializer& out, const Rng& rng) {
+  const Rng::State state = rng.state();
+  out.write_u64_vec(state.words);
+  out.write_f64(state.cached_normal);
+  out.write_bool(state.has_cached_normal);
+}
+
+void load_rng(Deserializer& in, Rng& rng) {
+  Rng::State state;
+  const auto words = in.read_u64_vec();
+  if (words.size() != state.words.size())
+    throw SerializeError("malformed RNG state in checkpoint");
+  std::copy(words.begin(), words.end(), state.words.begin());
+  state.cached_normal = in.read_f64();
+  state.has_cached_normal = in.read_bool();
+  rng.set_state(state);
+}
 
 }  // namespace vnfm

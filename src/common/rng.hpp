@@ -13,6 +13,9 @@
 
 namespace vnfm {
 
+class Serializer;
+class Deserializer;
+
 /// xoshiro256** pseudo-random generator with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator so it can interoperate with <random>
@@ -73,10 +76,36 @@ class Rng {
   /// Derives an independent generator (for parallel streams / sub-systems).
   Rng split() noexcept;
 
+  /// Complete generator state (checkpointing): the xoshiro256** words plus
+  /// the Box-Muller cached-normal carry.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  /// Snapshot of the full generator state.
+  [[nodiscard]] State state() const noexcept {
+    return {state_, cached_normal_, has_cached_normal_};
+  }
+
+  /// Restores a state captured by state(); the stream continues bit-exactly.
+  void set_state(const State& state) noexcept {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// Writes the full generator state (checkpointing; see Rng::state()).
+void save_rng(Serializer& out, const Rng& rng);
+/// Restores a generator state written by save_rng(); the stream continues
+/// bit-exactly from where it was captured.
+void load_rng(Deserializer& in, Rng& rng);
 
 }  // namespace vnfm

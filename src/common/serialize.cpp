@@ -1,0 +1,302 @@
+#include "common/serialize.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace vnfm {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'V', 'N', 'F', 'M'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const std::uint8_t b : bytes) crc = crc_table()[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+// ---- Serializer ------------------------------------------------------------
+
+Serializer::Serializer() {
+  buffer_.reserve(256);
+  for (const std::uint8_t byte : kMagic) buffer_.push_back(byte);
+  write_u32(kFormatVersion);
+}
+
+void Serializer::write_u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void Serializer::write_bool(bool value) { write_u8(value ? 1 : 0); }
+
+void Serializer::write_u32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void Serializer::write_u64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void Serializer::write_i64(std::int64_t value) {
+  write_u64(static_cast<std::uint64_t>(value));
+}
+
+void Serializer::write_f32(float value) { write_u32(std::bit_cast<std::uint32_t>(value)); }
+
+void Serializer::write_f64(double value) { write_u64(std::bit_cast<std::uint64_t>(value)); }
+
+void Serializer::write_string(std::string_view value) {
+  write_u64(value.size());
+  buffer_.insert(buffer_.end(), value.begin(), value.end());
+}
+
+void Serializer::write_u8_vec(std::span<const std::uint8_t> values) {
+  write_u64(values.size());
+  buffer_.insert(buffer_.end(), values.begin(), values.end());
+}
+
+void Serializer::write_u64_vec(std::span<const std::uint64_t> values) {
+  write_u64(values.size());
+  for (const std::uint64_t v : values) write_u64(v);
+}
+
+void Serializer::write_f32_vec(std::span<const float> values) {
+  write_u64(values.size());
+  for (const float v : values) write_f32(v);
+}
+
+void Serializer::write_f64_vec(std::span<const double> values) {
+  write_u64(values.size());
+  for (const double v : values) write_f64(v);
+}
+
+void Serializer::begin_chunk(std::string_view tag) {
+  write_string(tag);
+  open_chunks_.push_back(buffer_.size());
+  write_u64(0);  // payload-length placeholder, patched by end_chunk()
+}
+
+void Serializer::end_chunk() {
+  if (open_chunks_.empty()) throw SerializeError("end_chunk without begin_chunk");
+  const std::size_t length_at = open_chunks_.back();
+  open_chunks_.pop_back();
+  const std::size_t payload_start = length_at + 8;
+  const std::uint64_t payload_len = buffer_.size() - payload_start;
+  for (int i = 0; i < 8; ++i)
+    buffer_[length_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  write_u32(crc32({buffer_.data() + payload_start, payload_len}));
+}
+
+void Serializer::finish(std::ostream& os) const {
+  if (!open_chunks_.empty())
+    throw SerializeError("finish() with " + std::to_string(open_chunks_.size()) +
+                         " unclosed chunk(s)");
+  os.write(reinterpret_cast<const char*>(buffer_.data()),
+           static_cast<std::streamsize>(buffer_.size()));
+  if (!os) throw SerializeError("archive write failed");
+}
+
+void Serializer::save_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SerializeError("cannot open '" + tmp + "' for writing");
+    finish(out);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw SerializeError("cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+// ---- Deserializer ----------------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> slurp_stream(std::istream& is) {
+  std::vector<std::uint8_t> bytes;
+  std::array<char, 4096> block{};
+  while (is.read(block.data(), block.size()) || is.gcount() > 0)
+    bytes.insert(bytes.end(), block.begin(), block.begin() + is.gcount());
+  return bytes;
+}
+
+}  // namespace
+
+Deserializer::Deserializer(std::istream& is) : Deserializer(slurp_stream(is)) {}
+
+Deserializer::Deserializer(std::vector<std::uint8_t> bytes) : buffer_(std::move(bytes)) {
+  require(4, "magic");
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (buffer_[i] != kMagic[i]) throw SerializeError("bad archive magic");
+  }
+  cursor_ = kMagic.size();
+  version_ = read_u32();
+  if (version_ == 0 || version_ > kFormatVersion)
+    throw SerializeError("unsupported archive format version " +
+                         std::to_string(version_));
+}
+
+Deserializer Deserializer::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("cannot open checkpoint '" + path + "'");
+  return Deserializer(in);
+}
+
+void Deserializer::require(std::uint64_t count, const char* what) const {
+  // Overflow-safe: `count` is untrusted (often read from the archive), so
+  // compare against the remaining bytes instead of computing cursor_ + count.
+  const std::size_t bound = chunk_ends_.empty() ? buffer_.size() : chunk_ends_.back();
+  if (cursor_ > bound || count > bound - cursor_)
+    throw SerializeError(std::string("truncated archive while reading ") + what);
+}
+
+void Deserializer::require_items(std::uint64_t count, std::size_t item_size,
+                                 const char* what) const {
+  const std::size_t bound = chunk_ends_.empty() ? buffer_.size() : chunk_ends_.back();
+  const std::size_t avail = cursor_ > bound ? 0 : bound - cursor_;
+  // count * item_size could wrap; divide instead.
+  if (count > avail / item_size)
+    throw SerializeError(std::string("truncated archive while reading ") + what);
+}
+
+std::uint8_t Deserializer::read_u8() {
+  require(1, "u8");
+  return buffer_[cursor_++];
+}
+
+bool Deserializer::read_bool() {
+  const std::uint8_t v = read_u8();
+  if (v > 1) throw SerializeError("malformed bool");
+  return v != 0;
+}
+
+std::uint32_t Deserializer::read_u32() {
+  require(4, "u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(buffer_[cursor_++]) << (8 * i);
+  return value;
+}
+
+std::uint64_t Deserializer::read_u64() {
+  require(8, "u64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(buffer_[cursor_++]) << (8 * i);
+  return value;
+}
+
+std::int64_t Deserializer::read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+float Deserializer::read_f32() { return std::bit_cast<float>(read_u32()); }
+
+double Deserializer::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+std::string Deserializer::read_string() {
+  const std::uint64_t size = read_u64();
+  require(size, "string");
+  std::string value(reinterpret_cast<const char*>(buffer_.data() + cursor_), size);
+  cursor_ += size;
+  return value;
+}
+
+std::vector<std::uint8_t> Deserializer::read_u8_vec() {
+  const std::uint64_t size = read_u64();
+  require(size, "byte vector");
+  std::vector<std::uint8_t> values(buffer_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                   buffer_.begin() +
+                                       static_cast<std::ptrdiff_t>(cursor_ + size));
+  cursor_ += size;
+  return values;
+}
+
+std::vector<std::uint64_t> Deserializer::read_u64_vec() {
+  const std::uint64_t size = read_u64();
+  require_items(size, 8, "u64 vector");
+  std::vector<std::uint64_t> values(size);
+  for (auto& v : values) v = read_u64();
+  return values;
+}
+
+std::vector<float> Deserializer::read_f32_vec() {
+  const std::uint64_t size = read_u64();
+  require_items(size, 4, "f32 vector");
+  std::vector<float> values(size);
+  for (auto& v : values) v = read_f32();
+  return values;
+}
+
+std::vector<double> Deserializer::read_f64_vec() {
+  const std::uint64_t size = read_u64();
+  require_items(size, 8, "f64 vector");
+  std::vector<double> values(size);
+  for (auto& v : values) v = read_f64();
+  return values;
+}
+
+std::string Deserializer::peek_chunk_tag() const {
+  // Manual non-mutating parse (copying the whole archive to peek a few
+  // bytes would be O(archive size)).
+  require(8, "chunk tag length");
+  std::uint64_t size = 0;
+  for (int i = 0; i < 8; ++i)
+    size |= static_cast<std::uint64_t>(buffer_[cursor_ + static_cast<std::size_t>(i)])
+            << (8 * i);
+  const std::size_t bound = chunk_ends_.empty() ? buffer_.size() : chunk_ends_.back();
+  if (size > bound - cursor_ - 8)
+    throw SerializeError("truncated archive while reading chunk tag");
+  return {reinterpret_cast<const char*>(buffer_.data() + cursor_ + 8),
+          static_cast<std::size_t>(size)};
+}
+
+void Deserializer::enter_chunk(std::string_view tag) {
+  const std::string found = read_string();
+  if (found != tag)
+    throw SerializeError("expected chunk '" + std::string(tag) + "', found '" + found +
+                         "'");
+  const std::uint64_t payload_len = read_u64();
+  // First bound the untrusted length by the buffer (no wrap possible after
+  // this: payload_len <= remaining bytes), then demand room for the CRC too.
+  require(payload_len, "chunk payload");
+  require(payload_len + 4, "chunk payload");
+  const std::size_t payload_start = cursor_;
+  // Validate the checksum before handing out any payload bytes.
+  const std::uint32_t stored_crc = [&] {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+      value |= static_cast<std::uint32_t>(buffer_[payload_start + payload_len +
+                                                  static_cast<std::size_t>(i)])
+               << (8 * i);
+    return value;
+  }();
+  const std::uint32_t computed = crc32({buffer_.data() + payload_start, payload_len});
+  if (stored_crc != computed)
+    throw SerializeError("checksum mismatch in chunk '" + std::string(tag) + "'");
+  chunk_ends_.push_back(payload_start + payload_len);
+}
+
+void Deserializer::leave_chunk() {
+  if (chunk_ends_.empty()) throw SerializeError("leave_chunk without enter_chunk");
+  cursor_ = chunk_ends_.back() + 4;  // skip payload remainder + CRC
+  chunk_ends_.pop_back();
+}
+
+}  // namespace vnfm

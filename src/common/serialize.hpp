@@ -1,0 +1,167 @@
+// Versioned binary serialization for checkpoint/resume.
+//
+// Archives are endian-stable (all integers little-endian, floats as IEEE-754
+// bit patterns) so a checkpoint written on one machine restores bit-identical
+// state on any other. The layout is
+//
+//   [magic "VNFM"][u32 format version][chunk...]
+//
+// where every chunk is `[tag][u64 payload length][payload][u32 CRC-32]`.
+// Chunks nest freely (a manager chunk contains per-component sub-chunks);
+// readers that enter a chunk may stop reading early — leave_chunk() skips any
+// unread suffix, which is how newer writers stay loadable by older readers.
+// The CRC detects torn or corrupted files before any state is mutated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vnfm {
+
+/// Thrown on any malformed archive: bad magic, unsupported version, tag
+/// mismatch, checksum failure, or truncation.
+class SerializeError : public std::runtime_error {
+ public:
+  /// Wraps the human-readable reason (already prefixed with context).
+  using std::runtime_error::runtime_error;
+};
+
+/// Buffered binary archive writer. All state accumulates in memory; call
+/// finish() (or save_file()) once every chunk has been closed.
+class Serializer {
+ public:
+  /// Starts an archive: writes the magic and format-version header.
+  Serializer();
+
+  /// Opens a typed chunk; every write until the matching end_chunk() lands in
+  /// its payload. Chunks nest (LIFO).
+  void begin_chunk(std::string_view tag);
+  /// Closes the innermost open chunk, patching its length and CRC-32.
+  void end_chunk();
+
+  /// Writes one byte.
+  void write_u8(std::uint8_t value);
+  /// Writes a bool as one byte (0/1).
+  void write_bool(bool value);
+  /// Writes a 32-bit unsigned integer (little-endian).
+  void write_u32(std::uint32_t value);
+  /// Writes a 64-bit unsigned integer (little-endian).
+  void write_u64(std::uint64_t value);
+  /// Writes a 64-bit signed integer (two's-complement, little-endian).
+  void write_i64(std::int64_t value);
+  /// Writes a float as its IEEE-754 bit pattern (exact round-trip).
+  void write_f32(float value);
+  /// Writes a double as its IEEE-754 bit pattern (exact round-trip).
+  void write_f64(double value);
+  /// Writes a length-prefixed byte string.
+  void write_string(std::string_view value);
+  /// Writes a length-prefixed byte vector.
+  void write_u8_vec(std::span<const std::uint8_t> values);
+  /// Writes a length-prefixed vector of 64-bit unsigned integers.
+  void write_u64_vec(std::span<const std::uint64_t> values);
+  /// Writes a length-prefixed vector of floats (exact bit patterns).
+  void write_f32_vec(std::span<const float> values);
+  /// Writes a length-prefixed vector of doubles (exact bit patterns).
+  void write_f64_vec(std::span<const double> values);
+
+  /// The archive bytes written so far (header + closed and open chunks).
+  /// Byte-for-byte equality of two archives implies equality of everything
+  /// serialized into them — the state-comparison primitive the checkpoint
+  /// tests build on.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_;
+  }
+
+  /// Flushes the archive to a stream; throws SerializeError if a chunk is
+  /// still open or the stream fails.
+  void finish(std::ostream& os) const;
+  /// Writes the archive to `path` atomically-ish (temp file + rename).
+  void save_file(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::vector<std::size_t> open_chunks_;  ///< offsets of length placeholders
+};
+
+/// Binary archive reader; the mirror of Serializer. Validates the header at
+/// construction and each chunk's tag and CRC-32 on entry.
+class Deserializer {
+ public:
+  /// Reads the whole stream and validates magic + format version.
+  explicit Deserializer(std::istream& is);
+  /// Parses an in-memory archive (as produced by Serializer::bytes()).
+  explicit Deserializer(std::vector<std::uint8_t> bytes);
+  /// Opens the archive file at `path`; throws SerializeError when unreadable.
+  static Deserializer from_file(const std::string& path);
+
+  /// Enters the chunk at the cursor; throws SerializeError when its tag is
+  /// not `tag` or its payload fails the checksum.
+  void enter_chunk(std::string_view tag);
+  /// Leaves the innermost chunk, skipping any unread payload suffix (forward
+  /// compatibility with writers that appended fields).
+  void leave_chunk();
+  /// Tag of the chunk at the cursor without entering it (archive inspection).
+  [[nodiscard]] std::string peek_chunk_tag() const;
+
+  /// Reads one byte.
+  [[nodiscard]] std::uint8_t read_u8();
+  /// Reads a bool written by write_bool().
+  [[nodiscard]] bool read_bool();
+  /// Reads a 32-bit unsigned integer.
+  [[nodiscard]] std::uint32_t read_u32();
+  /// Reads a 64-bit unsigned integer.
+  [[nodiscard]] std::uint64_t read_u64();
+  /// Reads a 64-bit signed integer.
+  [[nodiscard]] std::int64_t read_i64();
+  /// Reads a float (exact bit pattern).
+  [[nodiscard]] float read_f32();
+  /// Reads a double (exact bit pattern).
+  [[nodiscard]] double read_f64();
+  /// Reads a length-prefixed byte string.
+  [[nodiscard]] std::string read_string();
+  /// Reads a length-prefixed byte vector.
+  [[nodiscard]] std::vector<std::uint8_t> read_u8_vec();
+  /// Reads a length-prefixed vector of 64-bit unsigned integers.
+  [[nodiscard]] std::vector<std::uint64_t> read_u64_vec();
+  /// Reads a length-prefixed vector of floats.
+  [[nodiscard]] std::vector<float> read_f32_vec();
+  /// Reads a length-prefixed vector of doubles.
+  [[nodiscard]] std::vector<double> read_f64_vec();
+
+  /// Archive format version from the header.
+  [[nodiscard]] std::uint32_t format_version() const noexcept { return version_; }
+
+  /// Validates that `count` items of at least `min_item_bytes` serialized
+  /// bytes each still fit inside the current chunk bounds; throws
+  /// SerializeError otherwise. Call before resize()/reserve()-ing containers
+  /// from archive-declared counts, so a corrupted count fails cleanly
+  /// instead of attempting an enormous allocation.
+  void expect_items(std::uint64_t count, std::size_t min_item_bytes,
+                    const char* what) const {
+    require_items(count, min_item_bytes, what);
+  }
+
+ private:
+  /// Throws SerializeError unless `count` more bytes fit in the current
+  /// bounds (overflow-safe against untrusted counts).
+  void require(std::uint64_t count, const char* what) const;
+  /// require() for `count` items of `item_size` bytes, guarding against
+  /// count * item_size overflow.
+  void require_items(std::uint64_t count, std::size_t item_size,
+                     const char* what) const;
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> chunk_ends_;  ///< payload end offsets (LIFO)
+  std::uint32_t version_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) over a byte range; exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+}  // namespace vnfm

@@ -44,6 +44,11 @@ class Ewma {
   }
   [[nodiscard]] double value() const noexcept { return value_; }
   [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  /// Restores a state captured via value()/initialized() (checkpointing).
+  void restore(double value, bool initialized) noexcept {
+    value_ = value;
+    initialized_ = initialized;
+  }
 
  private:
   double alpha_;

@@ -1,0 +1,150 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/serialize.hpp"
+
+namespace vnfm::core {
+namespace {
+
+void save_episode_result(Serializer& out, const EpisodeResult& r) {
+  out.write_f64(r.total_reward);
+  out.write_u64(r.requests);
+  out.write_f64(r.cost_per_request);
+  out.write_f64(r.total_cost);
+  out.write_f64(r.acceptance_ratio);
+  out.write_f64(r.mean_latency_ms);
+  out.write_f64(r.p95_latency_ms);
+  out.write_f64(r.sla_violation_ratio);
+  out.write_f64(r.mean_utilization);
+  out.write_u64(r.deployments);
+  out.write_f64(r.running_cost);
+  out.write_f64(r.revenue);
+}
+
+EpisodeResult load_episode_result(Deserializer& in) {
+  EpisodeResult r;
+  r.total_reward = in.read_f64();
+  r.requests = in.read_u64();
+  r.cost_per_request = in.read_f64();
+  r.total_cost = in.read_f64();
+  r.acceptance_ratio = in.read_f64();
+  r.mean_latency_ms = in.read_f64();
+  r.p95_latency_ms = in.read_f64();
+  r.sla_violation_ratio = in.read_f64();
+  r.mean_utilization = in.read_f64();
+  r.deployments = in.read_u64();
+  r.running_cost = in.read_f64();
+  r.revenue = in.read_f64();
+  return r;
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const Manager& manager,
+                      const TrainCheckpoint& data) {
+  Serializer out;
+  out.begin_chunk("train_checkpoint");
+
+  out.begin_chunk("meta");
+  out.write_u64(data.episodes_done);
+  out.write_u64(data.base_seed);
+  out.write_string(manager.checkpoint_state());
+  out.end_chunk();
+
+  out.begin_chunk("curve");
+  out.write_u64(data.curve.size());
+  for (const EpisodeResult& r : data.curve) save_episode_result(out, r);
+  out.write_u64_vec(data.seeds);
+  out.end_chunk();
+
+  out.begin_chunk("stats");
+  out.write_f64(data.stats.wall_seconds);
+  out.write_u64(data.stats.transitions);
+  out.write_u64(data.stats.episodes);
+  out.write_u64(data.stats.rounds);
+  out.write_u64(data.stats.actor_threads);
+  out.write_bool(data.stats.parallel);
+  out.end_chunk();
+
+  out.begin_chunk("manager");
+  manager.save(out);
+  out.end_chunk();
+
+  out.end_chunk();
+  out.save_file(path);
+}
+
+TrainCheckpoint read_checkpoint(const std::string& path, Manager& manager) {
+  Deserializer in = Deserializer::from_file(path);
+  in.enter_chunk("train_checkpoint");
+
+  TrainCheckpoint data;
+  in.enter_chunk("meta");
+  data.episodes_done = in.read_u64();
+  data.base_seed = in.read_u64();
+  const std::string policy = in.read_string();
+  if (policy != manager.checkpoint_state())
+    throw SerializeError("checkpoint '" + path + "' holds policy '" + policy +
+                         "', cannot restore into '" + manager.checkpoint_state() + "'");
+  in.leave_chunk();
+
+  in.enter_chunk("curve");
+  const std::uint64_t episodes = in.read_u64();
+  in.expect_items(episodes, 96, "learning curve");  // 12 8-byte fields each
+  data.curve.resize(episodes);
+  for (EpisodeResult& r : data.curve) r = load_episode_result(in);
+  data.seeds = in.read_u64_vec();
+  in.leave_chunk();
+
+  in.enter_chunk("stats");
+  data.stats.wall_seconds = in.read_f64();
+  data.stats.transitions = in.read_u64();
+  data.stats.episodes = in.read_u64();
+  data.stats.rounds = in.read_u64();
+  data.stats.actor_threads = in.read_u64();
+  data.stats.parallel = in.read_bool();
+  in.leave_chunk();
+
+  in.enter_chunk("manager");
+  manager.load(in);
+  in.leave_chunk();
+
+  in.leave_chunk();
+  return data;
+}
+
+std::string read_checkpoint_policy(const std::string& path) {
+  Deserializer in = Deserializer::from_file(path);
+  in.enter_chunk("train_checkpoint");
+  in.enter_chunk("meta");
+  (void)in.read_u64();  // episodes_done
+  (void)in.read_u64();  // base_seed
+  return in.read_string();
+}
+
+std::string checkpoint_filename(std::uint64_t episodes_done) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%09llu.vnfmc",
+                static_cast<unsigned long long>(episodes_done));
+  return name;
+}
+
+std::string latest_checkpoint(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::string best;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0 || name.size() < 6) continue;
+    if (entry.path().extension() != ".vnfmc") continue;
+    // The zero-padded episode count makes lexicographic order numeric order.
+    if (best.empty() || name > fs::path(best).filename().string())
+      best = entry.path().string();
+  }
+  return best;
+}
+
+}  // namespace vnfm::core

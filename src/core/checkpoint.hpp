@@ -1,0 +1,53 @@
+// Training-run checkpoint archives (built on common/serialize).
+//
+// A checkpoint captures everything needed to continue a training run
+// bit-identically: the manager's full learning state (via Manager::save),
+// the number of episodes completed, the base seed, the learning curve so
+// far, and the accumulated TrainStats. TrainDriver writes one at configured
+// episode boundaries (round boundaries on the parallel path); resume rebuilds
+// the manager from the same configuration, restores the archive, and trains
+// the remaining episodes with TrainOptions::first_episode = episodes_done.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/runner.hpp"
+#include "core/train_driver.hpp"
+
+namespace vnfm::core {
+
+/// Training history stored alongside the manager state in a checkpoint.
+struct TrainCheckpoint {
+  std::uint64_t episodes_done = 0;   ///< training episodes completed (from 0)
+  std::uint64_t base_seed = 0;       ///< episode-seed base of the run
+  std::vector<EpisodeResult> curve;  ///< per-episode results [0, episodes_done)
+  std::vector<std::uint64_t> seeds;  ///< train_seed of every curve entry
+  TrainStats stats;                  ///< accumulated wall-clock / throughput
+};
+
+/// Writes manager state + training history to `path` (temp file + rename, so
+/// a crash mid-write never leaves a torn checkpoint under the final name).
+void write_checkpoint(const std::string& path, const Manager& manager,
+                      const TrainCheckpoint& data);
+
+/// Restores `path` into `manager` (which must be freshly constructed with
+/// the same configuration) and returns the training history. Throws
+/// SerializeError when the archive's policy tag differs from
+/// manager.checkpoint_state() or the archive is corrupt.
+TrainCheckpoint read_checkpoint(const std::string& path, Manager& manager);
+
+/// Policy tag stored in the archive at `path` (inspection without a manager).
+std::string read_checkpoint_policy(const std::string& path);
+
+/// Standard checkpoint filename for a run that completed `episodes_done`
+/// episodes ("ckpt-<episodes, zero-padded>.vnfmc").
+std::string checkpoint_filename(std::uint64_t episodes_done);
+
+/// Path of the checkpoint file with the most completed episodes in `dir`
+/// (by the checkpoint_filename naming scheme), or "" when none exists.
+std::string latest_checkpoint(const std::string& dir);
+
+}  // namespace vnfm::core

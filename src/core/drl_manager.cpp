@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace vnfm::core {
 
 rl::DqnConfig default_dqn_config(const VnfEnv& env, std::uint64_t seed) {
@@ -97,6 +99,20 @@ void DqnManager::set_training(bool training) {
   agent_->set_exploration_enabled(training);
 }
 
+void DqnManager::save(Serializer& out) const {
+  out.write_string(name_);
+  out.write_bool(training_);
+  out.write_f64(last_loss_);
+  agent_->save_state(out);
+}
+
+void DqnManager::load(Deserializer& in) {
+  name_ = in.read_string();
+  training_ = in.read_bool();
+  last_loss_ = in.read_f64();
+  agent_->load_state(in);
+}
+
 DqnActorManager::DqnActorManager(const DqnManager& learner, std::string name)
     : name_(std::move(name)), view_(learner.agent()) {}
 
@@ -136,6 +152,16 @@ void ReinforceManager::on_chain_end(VnfEnv& env) {
 
 void ReinforceManager::set_training(bool training) { training_ = training; }
 
+void ReinforceManager::save(Serializer& out) const {
+  out.write_bool(training_);
+  agent_->save_state(out);
+}
+
+void ReinforceManager::load(Deserializer& in) {
+  training_ = in.read_bool();
+  agent_->load_state(in);
+}
+
 std::unique_ptr<Manager> ReinforceManager::clone_for_eval() const {
   auto clone = std::unique_ptr<ReinforceManager>(new ReinforceManager());
   clone->agent_ = std::make_unique<rl::ReinforceAgent>(agent_->config());
@@ -162,6 +188,16 @@ void A2cManager::observe(const TransitionView& t) {
 }
 
 void A2cManager::set_training(bool training) { training_ = training; }
+
+void A2cManager::save(Serializer& out) const {
+  out.write_bool(training_);
+  agent_->save_state(out);
+}
+
+void A2cManager::load(Deserializer& in) {
+  training_ = in.read_bool();
+  agent_->load_state(in);
+}
 
 std::unique_ptr<Manager> A2cManager::clone_for_eval() const {
   auto clone = std::unique_ptr<A2cManager>(new A2cManager());
@@ -196,6 +232,18 @@ void TabularManager::observe(const TransitionView& t) {
 }
 
 void TabularManager::set_training(bool training) { training_ = training; }
+
+void TabularManager::save(Serializer& out) const {
+  out.write_u64(buckets_);
+  out.write_bool(training_);
+  agent_->save_state(out);
+}
+
+void TabularManager::load(Deserializer& in) {
+  buckets_ = in.read_u64();
+  training_ = in.read_bool();
+  agent_->load_state(in);
+}
 
 std::unique_ptr<Manager> TabularManager::clone_for_eval() const {
   auto clone = std::unique_ptr<TabularManager>(new TabularManager());

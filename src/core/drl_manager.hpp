@@ -41,8 +41,14 @@ class DqnManager : public Manager {
   [[nodiscard]] const rl::DqnAgent& agent() const noexcept { return *agent_; }
   [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
 
+  // Legacy weight-only persistence (text format; policy shipping).
   void save(std::ostream& os) const { agent_->save(os); }
   void load(std::istream& is) { agent_->load(is); }
+
+  // Full-state checkpointing (resume-capable; see core/checkpoint.hpp).
+  [[nodiscard]] std::string checkpoint_state() const override { return "dqn/v1"; }
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
 
  private:
   [[nodiscard]] rl::Transition to_transition(const TransitionView& view) const;
@@ -84,6 +90,10 @@ class ReinforceManager : public Manager {
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
+  [[nodiscard]] std::string checkpoint_state() const override { return "reinforce/v1"; }
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
+
   [[nodiscard]] rl::ReinforceAgent& agent() noexcept { return *agent_; }
 
  private:
@@ -104,6 +114,12 @@ class A2cManager : public Manager {
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "actor_critic/v1";
+  }
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
+
   [[nodiscard]] rl::ActorCriticAgent& agent() noexcept { return *agent_; }
 
  private:
@@ -123,6 +139,10 @@ class TabularManager : public Manager {
   void observe(const TransitionView& transition) override;
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
+
+  [[nodiscard]] std::string checkpoint_state() const override { return "tabular_q/v1"; }
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
 
   [[nodiscard]] rl::TabularQAgent& agent() noexcept { return *agent_; }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace vnfm::core {
 
 using edgesim::NodeId;
@@ -130,6 +132,24 @@ int StaticProvisionManager::select_action(VnfEnv& env) {
     }
   }
   return best;
+}
+
+void RandomManager::save(Serializer& out) const {
+  out.write_u64(seed_);
+  save_rng(out, rng_);
+}
+
+void RandomManager::load(Deserializer& in) {
+  seed_ = in.read_u64();
+  load_rng(in, rng_);
+}
+
+void StaticProvisionManager::save(Serializer& out) const {
+  out.write_i64(instances_per_type_);
+}
+
+void StaticProvisionManager::load(Deserializer& in) {
+  instances_per_type_ = static_cast<int>(in.read_i64());
 }
 
 }  // namespace vnfm::core

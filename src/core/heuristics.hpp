@@ -18,6 +18,10 @@ class GreedyLatencyManager : public Manager {
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
     return std::make_unique<GreedyLatencyManager>(*this);
   }
+  /// Stateless policy: the tag alone makes checkpoints self-identifying.
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "greedy_latency/v1";
+  }
 };
 
 /// Myopically minimises the immediate objective-cost increment of the hop:
@@ -31,6 +35,10 @@ class MyopicCostManager : public Manager {
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
     return std::make_unique<MyopicCostManager>(*this);
   }
+  /// Stateless policy: the tag alone makes checkpoints self-identifying.
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "myopic_cost/v1";
+  }
 };
 
 /// First-fit consolidation: reuse the lowest-indexed node holding an
@@ -42,6 +50,10 @@ class FirstFitManager : public Manager {
   [[nodiscard]] int select_action(VnfEnv& env) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
     return std::make_unique<FirstFitManager>(*this);
+  }
+  /// Stateless policy: the tag alone makes checkpoints self-identifying.
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "first_fit/v1";
   }
 };
 
@@ -60,6 +72,11 @@ class RandomManager : public Manager {
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
     return std::make_unique<RandomManager>(*this);
   }
+
+  [[nodiscard]] std::string checkpoint_state() const override { return "random/v1"; }
+  /// Serialises the base seed and the live RNG stream.
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
 
  private:
   std::uint64_t seed_;
@@ -80,6 +97,13 @@ class StaticProvisionManager : public Manager {
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override {
     return std::make_unique<StaticProvisionManager>(*this);
   }
+
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "static_provision/v1";
+  }
+  /// Serialises the provisioning knob so a restored baseline matches.
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
 
  private:
   int instances_per_type_;

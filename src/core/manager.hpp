@@ -9,6 +9,11 @@
 
 #include "core/environment.hpp"
 
+namespace vnfm {
+class Serializer;
+class Deserializer;
+}  // namespace vnfm
+
 namespace vnfm::core {
 
 /// Everything a learning manager needs from one decision step. Views are
@@ -61,6 +66,27 @@ class Manager {
   [[nodiscard]] virtual std::unique_ptr<Manager> clone_for_eval() const {
     return nullptr;
   }
+
+  // ---- Checkpoint/resume hooks (see core/checkpoint.hpp) -------------------
+
+  /// Tag naming this policy's serialized layout (e.g. "dqn/v1"). Written
+  /// into checkpoint archives and validated on load, so a checkpoint can
+  /// never be restored into a different policy type; bump the suffix when a
+  /// policy's save() layout changes.
+  [[nodiscard]] virtual std::string checkpoint_state() const {
+    return "stateless/v1";
+  }
+
+  /// Serialises everything resume needs into the archive: learners write
+  /// policy weights, optimizer moments, replay contents, schedule positions,
+  /// and RNG streams; stateful heuristics write their counters; stateless
+  /// policies keep this default no-op. The bit-identity contract: restoring
+  /// into a freshly constructed manager of the same configuration and
+  /// continuing training must match an uninterrupted run exactly.
+  virtual void save(Serializer& out) const { (void)out; }
+
+  /// Restores state written by save() into this manager.
+  virtual void load(Deserializer& in) { (void)in; }
 
   // ---- Parallel-training hooks (actor-learner split; see TrainDriver) ------
 

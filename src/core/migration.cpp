@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <vector>
+
+#include "common/serialize.hpp"
 
 namespace vnfm::core {
 
@@ -136,5 +139,21 @@ void ConsolidatingManager::on_chain_end(VnfEnv& env) {
 }
 
 void ConsolidatingManager::set_training(bool training) { inner_.set_training(training); }
+
+std::string ConsolidatingManager::checkpoint_state() const {
+  return "consolidating(" + inner_.checkpoint_state() + ")/v1";
+}
+
+void ConsolidatingManager::save(Serializer& out) const {
+  out.write_u64(chains_since_pass_);
+  out.write_u64(migrations_triggered_);
+  inner_.save(out);
+}
+
+void ConsolidatingManager::load(Deserializer& in) {
+  chains_since_pass_ = in.read_u64();
+  migrations_triggered_ = in.read_u64();
+  inner_.load(in);
+}
 
 }  // namespace vnfm::core

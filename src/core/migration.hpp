@@ -52,6 +52,14 @@ class ConsolidatingManager : public Manager {
     return migrations_triggered_;
   }
 
+  /// Decorator tag wraps the inner policy's tag, so a checkpoint can only be
+  /// restored into the same decorator/inner combination.
+  [[nodiscard]] std::string checkpoint_state() const override;
+  /// Serialises the pass cadence counters, then delegates to the inner
+  /// policy's save().
+  void save(Serializer& out) const override;
+  void load(Deserializer& in) override;
+
  private:
   std::unique_ptr<Manager> owned_inner_;  ///< set only by the owning ctor
   Manager& inner_;

@@ -5,10 +5,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "core/checkpoint.hpp"
 
 namespace vnfm::core {
 namespace {
@@ -122,6 +125,35 @@ using Clock = std::chrono::steady_clock;
 TrainDriver::TrainDriver(EnvOptions env_options, TrainOptions options)
     : env_options_(std::move(env_options)), options_(std::move(options)) {}
 
+void TrainDriver::write_run_checkpoint(const Manager& manager, const TrainResult& result,
+                                       std::size_t completed,
+                                       double partial_seconds) const {
+  if (options_.checkpoint_every == 0 || options_.checkpoint_dir.empty()) return;
+  std::filesystem::create_directories(options_.checkpoint_dir);
+
+  TrainCheckpoint data;
+  data.episodes_done = options_.first_episode + completed;
+  data.base_seed = options_.episode.seed;
+  data.curve = options_.prior_curve;
+  data.curve.insert(data.curve.end(), result.curve.begin(),
+                    result.curve.begin() + static_cast<std::ptrdiff_t>(completed));
+  data.seeds = options_.prior_seeds;
+  data.seeds.insert(data.seeds.end(), result.seeds.begin(),
+                    result.seeds.begin() + static_cast<std::ptrdiff_t>(completed));
+  // result.stats mid-run: wall_seconds/episodes are not final yet, so patch
+  // in the progress so far before folding onto the prior history.
+  TrainStats partial = result.stats;
+  partial.wall_seconds = partial_seconds;
+  partial.episodes = completed;
+  data.stats = options_.prior_stats;
+  data.stats.accumulate(partial);
+
+  const std::filesystem::path file =
+      std::filesystem::path(options_.checkpoint_dir) /
+      checkpoint_filename(data.episodes_done);
+  write_checkpoint(file.string(), manager, data);
+}
+
 TrainResult TrainDriver::run(Manager& manager) const {
   if (manager.supports_parallel_training()) return run_pipeline(manager);
   return run_sequential(manager);
@@ -142,17 +174,21 @@ TrainResult TrainDriver::run_sequential(Manager& manager, VnfEnv* env) const {
   EpisodeOptions episode = options_.episode;
   episode.training = true;
   const std::uint64_t base_seed = options_.episode.seed;
+  result.stats.actor_threads = 1;
+  result.stats.parallel = false;
   CountingManager counting(manager, &result.stats.transitions);
   for (std::size_t i = 0; i < options_.episodes; ++i) {
     episode.seed = train_seed(base_seed, options_.first_episode + i);
     result.seeds.push_back(episode.seed);
     result.curve.push_back(run_episode(*env, counting, episode));
+    // Sequential learners update inline, so any episode boundary is a
+    // resume-exact cut point.
+    if (options_.checkpoint_every != 0 && (i + 1) % options_.checkpoint_every == 0)
+      write_run_checkpoint(manager, result, i + 1, seconds_since(start));
   }
 
   result.stats.wall_seconds = seconds_since(start);
   result.stats.episodes = options_.episodes;
-  result.stats.actor_threads = 1;
-  result.stats.parallel = false;
   return result;
 }
 
@@ -188,6 +224,9 @@ TrainResult TrainDriver::run_pipeline(Manager& learner) const {
     envs.push_back(std::make_unique<VnfEnv>(env_options_));
   }
 
+  result.stats.actor_threads = workers;
+  result.stats.parallel = true;
+  std::size_t last_checkpoint = 0;
   for (std::size_t round_start = 0; round_start < episodes;
        round_start += sync_period) {
     const std::size_t count = std::min(sync_period, episodes - round_start);
@@ -257,12 +296,20 @@ TrainResult TrainDriver::run_pipeline(Manager& learner) const {
     for (auto& worker : pool) worker.join();
     for (const auto& error : errors)
       if (error) std::rethrow_exception(error);
+
+    // Round boundaries are the pipeline's only resume-exact cut points: the
+    // next round republishes the learner's weights to every actor, exactly
+    // what a resumed run reconstructs from the restored learner.
+    const std::size_t completed = round_start + count;
+    if (options_.checkpoint_every != 0 &&
+        completed - last_checkpoint >= options_.checkpoint_every) {
+      write_run_checkpoint(learner, result, completed, seconds_since(start));
+      last_checkpoint = completed;
+    }
   }
 
   result.stats.wall_seconds = seconds_since(start);
   result.stats.episodes = episodes;
-  result.stats.actor_threads = workers;
-  result.stats.parallel = true;
   return result;
 }
 

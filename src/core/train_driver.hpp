@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/environment.hpp"
@@ -34,6 +35,31 @@
 #include "core/runner.hpp"
 
 namespace vnfm::core {
+
+/// Timing/throughput summary of one training run.
+struct TrainStats {
+  double wall_seconds = 0.0;
+  std::size_t transitions = 0;  ///< decision steps fed to the learner
+  std::size_t episodes = 0;
+  std::size_t rounds = 0;  ///< weight republications (parallel path only)
+  std::size_t actor_threads = 1;
+  bool parallel = false;  ///< actor-learner pipeline vs sequential fallback
+
+  [[nodiscard]] double steps_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(transitions) / wall_seconds : 0.0;
+  }
+
+  /// Folds another run's stats into this one (continuation/resume totals):
+  /// durations and counts add, actor_threads takes the max, parallel ORs.
+  void accumulate(const TrainStats& other) noexcept {
+    wall_seconds += other.wall_seconds;
+    transitions += other.transitions;
+    episodes += other.episodes;
+    rounds += other.rounds;
+    if (other.actor_threads > actor_threads) actor_threads = other.actor_threads;
+    parallel = parallel || other.parallel;
+  }
+};
 
 /// Knobs of one training run.
 struct TrainOptions {
@@ -53,20 +79,24 @@ struct TrainOptions {
   /// Per-episode options (duration, request cap, base seed). `training` is
   /// forced on.
   EpisodeOptions episode;
-};
 
-/// Timing/throughput summary of one training run.
-struct TrainStats {
-  double wall_seconds = 0.0;
-  std::size_t transitions = 0;  ///< decision steps fed to the learner
-  std::size_t episodes = 0;
-  std::size_t rounds = 0;  ///< weight republications (parallel path only)
-  std::size_t actor_threads = 1;
-  bool parallel = false;  ///< actor-learner pipeline vs sequential fallback
-
-  [[nodiscard]] double steps_per_second() const noexcept {
-    return wall_seconds > 0.0 ? static_cast<double>(transitions) / wall_seconds : 0.0;
-  }
+  // ---- Checkpointing (see core/checkpoint.hpp) -----------------------------
+  /// Write a resumable checkpoint roughly every N completed episodes into
+  /// `checkpoint_dir` (0 = off). Checkpoints land at episode boundaries on
+  /// the learner thread; on the parallel path they align to sync_period
+  /// round boundaries — the weight-republication points — because only there
+  /// is resumed training bit-identical to the uninterrupted run.
+  std::size_t checkpoint_every = 0;
+  /// Directory for checkpoint files (created on demand).
+  std::string checkpoint_dir;
+  /// Training history preceding first_episode (continuation/resume):
+  /// prepended to the curve stored in every checkpoint so archives always
+  /// describe episodes [0, first_episode + k).
+  std::vector<EpisodeResult> prior_curve;
+  /// Episode seeds aligned with prior_curve.
+  std::vector<std::uint64_t> prior_seeds;
+  /// Stats accumulated before this run (merged into checkpointed stats).
+  TrainStats prior_stats;
 };
 
 /// Outcome of one training run.
@@ -95,6 +125,11 @@ class TrainDriver {
 
  private:
   TrainResult run_pipeline(Manager& learner) const;
+  /// Writes a checkpoint for `completed` finished episodes of this run
+  /// (absolute index first_episode + completed); no-op when checkpointing is
+  /// off. `partial_seconds` is the wall-clock spent in this run so far.
+  void write_run_checkpoint(const Manager& manager, const TrainResult& result,
+                            std::size_t completed, double partial_seconds) const;
 
   EnvOptions env_options_;
   TrainOptions options_;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "exp/registry.hpp"
 #include "exp/report_io.hpp"
 #include "exp/scenario.hpp"
@@ -110,6 +111,7 @@ Experiment& Experiment::manager(const std::string& name, const Config& params) {
   curve_.clear();
   curve_seeds_.clear();
   train_stats_ = {};
+  episodes_done_ = 0;
   return *this;
 }
 
@@ -120,6 +122,7 @@ Experiment& Experiment::use_manager(std::unique_ptr<core::Manager> manager) {
   curve_.clear();
   curve_seeds_.clear();
   train_stats_ = {};
+  episodes_done_ = 0;
   return *this;
 }
 
@@ -180,10 +183,18 @@ Experiment& Experiment::train(std::size_t episodes) {
   if (max_requests_ > 0) train.episode.max_requests = max_requests_;
   train.episode.seed = seed_;
   // Successive train() calls continue the training seed sequence instead of
-  // replaying episode seeds already consumed.
-  train.first_episode = curve_.size();
+  // replaying episode seeds already consumed (resume() restores the offset).
+  train.first_episode = episodes_done_;
   train.sync_period = train_sync_period_;
   train.threads = train_threads_.value_or(1);
+  train.checkpoint_every = checkpoint_every_;
+  train.checkpoint_dir = checkpoint_dir_;
+  if (checkpoint_every_ > 0 && !checkpoint_dir_.empty()) {
+    // Archives describe the full history from episode 0, not just this call.
+    train.prior_curve = curve_;
+    train.prior_seeds = curve_seeds_;
+    train.prior_stats = train_stats_;
+  }
 
   const core::TrainDriver driver(options_, train);
   // Default: the classic inline loop in the experiment's own environment.
@@ -191,16 +202,41 @@ Experiment& Experiment::train(std::size_t episodes) {
   const core::TrainResult result = train_threads_.has_value()
                                        ? driver.run(manager_ref())
                                        : driver.run_sequential(manager_ref(), &env());
+  episodes_done_ += result.curve.size();
   curve_.insert(curve_.end(), result.curve.begin(), result.curve.end());
   curve_seeds_.insert(curve_seeds_.end(), result.seeds.begin(), result.seeds.end());
-  train_stats_.wall_seconds += result.stats.wall_seconds;
-  train_stats_.transitions += result.stats.transitions;
-  train_stats_.episodes += result.stats.episodes;
-  train_stats_.rounds += result.stats.rounds;
-  train_stats_.actor_threads =
-      std::max(train_stats_.actor_threads, result.stats.actor_threads);
-  train_stats_.parallel = train_stats_.parallel || result.stats.parallel;
+  train_stats_.accumulate(result.stats);
   return *this;
+}
+
+Experiment& Experiment::checkpoint_every(std::size_t episodes) {
+  checkpoint_every_ = episodes;
+  return *this;
+}
+
+Experiment& Experiment::checkpoint_dir(const std::string& path) {
+  checkpoint_dir_ = path;
+  return *this;
+}
+
+Experiment& Experiment::resume(const std::string& path) {
+  const core::TrainCheckpoint data = core::read_checkpoint(path, manager_ref());
+  seed_ = data.base_seed;
+  episodes_done_ = data.episodes_done;
+  curve_ = data.curve;
+  curve_seeds_ = data.seeds;
+  train_stats_ = data.stats;
+  return *this;
+}
+
+void Experiment::save_checkpoint(const std::string& path) {
+  core::TrainCheckpoint data;
+  data.episodes_done = episodes_done_;
+  data.base_seed = seed_;
+  data.curve = curve_;
+  data.seeds = curve_seeds_;
+  data.stats = train_stats_;
+  core::write_checkpoint(path, manager_ref(), data);
 }
 
 void Experiment::write_curve_csv(const std::string& path) const {

@@ -34,9 +34,10 @@ struct EvalReport {
   std::vector<core::EpisodeResult> per_seed;  ///< one entry per repeat, seed order
   std::vector<std::uint64_t> seeds;           ///< the held-out episode seeds used
 
-  /// Persists the report: CSV with one row per held-out seed plus a final
-  /// mean row, or a structured JSON document (see exp/report_io.hpp).
+  /// Persists the report as CSV: one row per held-out seed plus a final
+  /// mean row (see exp/report_io.hpp).
   void write_csv(const std::string& path) const;
+  /// Persists the report as a structured JSON document (exp/report_io.hpp).
   void write_json(const std::string& path) const;
 };
 
@@ -84,7 +85,9 @@ class Experiment {
   /// Episodes per weight republication round of the pipeline (default 4).
   /// Part of the algorithm definition: changing it changes results.
   Experiment& train_sync_period(std::size_t episodes);
+  /// Simulated seconds per training episode (0 = EpisodeOptions default).
   Experiment& train_duration(double seconds);
+  /// Simulated seconds per evaluation episode (0 = EpisodeOptions default).
   Experiment& eval_duration(double seconds);
   /// Optional cap on decided requests per episode.
   Experiment& max_requests(std::size_t max_requests);
@@ -92,6 +95,25 @@ class Experiment {
   /// Trains the selected manager now for `episodes` episodes; the learning
   /// curve accumulates across calls.
   Experiment& train(std::size_t episodes);
+
+  // ---- Checkpoint / resume (core/checkpoint.hpp) ---------------------------
+  /// Writes a resumable checkpoint roughly every `episodes` completed
+  /// training episodes (0 = off) into checkpoint_dir(). On the pipeline path
+  /// checkpoints align to train_sync_period() round boundaries, the only
+  /// resume-exact cut points.
+  Experiment& checkpoint_every(std::size_t episodes);
+  /// Directory train() writes checkpoint files into (created on demand).
+  Experiment& checkpoint_dir(const std::string& path);
+  /// Restores a checkpoint written by a previous run: the manager's full
+  /// learning state, the episode index (subsequent train() calls continue
+  /// the training seed sequence where the archive stopped), the learning
+  /// curve, and train_stats(). Call after selecting the manager with the
+  /// same configuration that wrote the archive; the resumed run's curve and
+  /// final weights are bit-identical to never having been interrupted.
+  Experiment& resume(const std::string& path);
+  /// Writes the current manager state + accumulated training history to
+  /// `path` right now (explicit snapshot, independent of checkpoint_every).
+  void save_checkpoint(const std::string& path);
 
   /// Runs the multi-repeat held-out evaluation (training/exploration off).
   [[nodiscard]] EvalReport evaluate(std::size_t repeats);
@@ -104,6 +126,7 @@ class Experiment {
   [[nodiscard]] core::VnfEnv& env();
   /// The selected manager (lazily constructed).
   [[nodiscard]] core::Manager& manager_ref();
+  /// Per-episode results accumulated over every train() call (and resume()).
   [[nodiscard]] const std::vector<core::EpisodeResult>& learning_curve() const noexcept {
     return curve_;
   }
@@ -117,9 +140,9 @@ class Experiment {
   }
 
   // ---- Persistence (exp/report_io) ----------------------------------------
-  /// Writes the accumulated learning curve: CSV one row per episode, or JSON
-  /// with the train_stats() block attached.
+  /// Writes the accumulated learning curve as CSV, one row per episode.
   void write_curve_csv(const std::string& path) const;
+  /// Writes the learning curve as JSON with the train_stats() block attached.
   void write_curve_json(const std::string& path) const;
 
  private:
@@ -138,6 +161,11 @@ class Experiment {
   std::size_t max_requests_ = 0;  ///< 0 = unlimited
   double train_duration_s_ = 0.0;  ///< 0 = EpisodeOptions default
   double eval_duration_s_ = 0.0;   ///< 0 = EpisodeOptions default
+  std::size_t checkpoint_every_ = 0;  ///< 0 = no periodic checkpoints
+  std::string checkpoint_dir_;
+  /// Training episodes completed (next train() continues the seed sequence
+  /// here); kept separate from curve_.size() so resume stays authoritative.
+  std::size_t episodes_done_ = 0;
   std::vector<core::EpisodeResult> curve_;
   std::vector<std::uint64_t> curve_seeds_;
   core::TrainStats train_stats_;

@@ -28,11 +28,13 @@ using ManagerFactory = std::function<std::unique_ptr<core::Manager>(
 /// at static-initialisation time).
 class ManagerRegistry {
  public:
+  /// The process-wide registry (built-ins registered on first access).
   static ManagerRegistry& instance();
 
   /// Registers a factory; throws std::invalid_argument on a duplicate name.
   void add(const std::string& name, ManagerFactory factory);
 
+  /// True when a factory of this name is registered.
   [[nodiscard]] bool contains(const std::string& name) const;
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
@@ -53,6 +55,7 @@ class ManagerRegistry {
 ///   static exp::ManagerRegistrar reg("my_policy", [](const auto& env,
 ///                                                    const Config& params) {...});
 struct ManagerRegistrar {
+  /// Adds `factory` under `name` to the process-wide registry.
   ManagerRegistrar(const std::string& name, ManagerFactory factory) {
     ManagerRegistry::instance().add(name, std::move(factory));
   }

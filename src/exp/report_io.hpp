@@ -12,7 +12,7 @@
 
 namespace vnfm::exp {
 
-struct EvalReport;
+struct EvalReport;  ///< defined in exp/experiment.hpp
 
 /// Column names of the EpisodeResult metric block, in the order
 /// episode_result_row emits them.

@@ -33,26 +33,30 @@ namespace vnfm::exp {
 /// EnvOptions and may read its scenario-specific keys from the overrides;
 /// the shared env override keys are applied by build() afterwards.
 struct ScenarioSpec {
-  std::string name;
-  std::string description;
+  std::string name;         ///< expression token selecting this base
+  std::string description;  ///< one-liner for --list-scenarios output
   /// Scenario-specific override keys `configure` reads (registered into the
   /// catalog's accepted key set).
   std::vector<std::string> option_keys;
+  /// Applies the scenario's defaults onto fresh EnvOptions (see above).
   std::function<void(core::EnvOptions& options, const Config& overrides)> configure;
 };
 
 /// One named overlay: a transformation applied on top of a base scenario
 /// (or of earlier overlays) in a composition expression.
 struct OverlaySpec {
-  std::string name;
-  std::string description;
-  std::vector<std::string> option_keys;
+  std::string name;         ///< expression token selecting this overlay
+  std::string description;  ///< one-liner for --list-scenarios output
+  std::vector<std::string> option_keys;  ///< override keys `apply` reads
+  /// Transforms the options built so far (wraps the workload-model factory
+  /// or appends fault events).
   std::function<void(core::EnvOptions& options, const Config& overrides)> apply;
 };
 
 /// Process-wide scenario/overlay registry with the built-in catalog.
 class ScenarioCatalog {
  public:
+  /// The process-wide catalog (built-ins registered on first access).
   static ScenarioCatalog& instance();
 
   /// Registers a base scenario; throws std::invalid_argument on a duplicate
@@ -63,13 +67,17 @@ class ScenarioCatalog {
   /// overlay afterwards).
   void add_overlay(OverlaySpec spec);
 
+  /// True when a base scenario of this name is registered.
   [[nodiscard]] bool contains(const std::string& name) const;
+  /// True when an overlay of this name is registered.
   [[nodiscard]] bool contains_overlay(const std::string& name) const;
   /// All registered base-scenario names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
   /// All registered overlay names, sorted.
   [[nodiscard]] std::vector<std::string> overlay_names() const;
+  /// The named base scenario; throws std::invalid_argument when unknown.
   [[nodiscard]] const ScenarioSpec& spec(const std::string& name) const;
+  /// The named overlay; throws std::invalid_argument when unknown.
   [[nodiscard]] const OverlaySpec& overlay(const std::string& name) const;
 
   /// Builds EnvOptions for a composition expression "<base>[+<overlay>...]".

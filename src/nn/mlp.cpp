@@ -1,5 +1,6 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -226,6 +227,50 @@ Mlp Mlp::load(std::istream& is) {
   }
   if (!is) throw std::runtime_error("truncated MLP file");
   return mlp;
+}
+
+void Mlp::save(Serializer& out) const {
+  out.begin_chunk("mlp");
+  out.write_u64(config_.input_dim);
+  out.write_u64(config_.hidden_dims.size());
+  for (const std::size_t h : config_.hidden_dims) out.write_u64(h);
+  out.write_u64(config_.output_dim);
+  out.write_u8(static_cast<std::uint8_t>(config_.activation));
+  out.write_bool(config_.dueling);
+  for (const Param* p : parameters()) {
+    out.write_u64(p->value.rows());
+    out.write_u64(p->value.cols());
+    out.write_f32_vec(p->value.flat());
+  }
+  out.end_chunk();
+}
+
+void Mlp::load(Deserializer& in) {
+  in.enter_chunk("mlp");
+  MlpConfig config;
+  config.input_dim = in.read_u64();
+  const std::uint64_t hidden_count = in.read_u64();
+  in.expect_items(hidden_count, 8, "hidden dims");
+  config.hidden_dims.resize(hidden_count);
+  for (auto& h : config.hidden_dims) h = in.read_u64();
+  config.output_dim = in.read_u64();
+  config.activation = static_cast<Activation>(in.read_u8());
+  config.dueling = in.read_bool();
+  if (config.input_dim != config_.input_dim || config.hidden_dims != config_.hidden_dims ||
+      config.output_dim != config_.output_dim ||
+      config.activation != config_.activation || config.dueling != config_.dueling)
+    throw SerializeError("MLP architecture mismatch in checkpoint");
+  for (Param* p : parameters()) {
+    const std::size_t rows = in.read_u64();
+    const std::size_t cols = in.read_u64();
+    if (rows != p->value.rows() || cols != p->value.cols())
+      throw SerializeError("MLP parameter shape mismatch in checkpoint");
+    const auto values = in.read_f32_vec();
+    if (values.size() != p->value.flat().size())
+      throw SerializeError("MLP parameter size mismatch in checkpoint");
+    std::copy(values.begin(), values.end(), p->value.flat().begin());
+  }
+  in.leave_chunk();
 }
 
 std::size_t Mlp::parameter_count() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "nn/layers.hpp"
 
 namespace vnfm::nn {
@@ -69,6 +70,13 @@ class Mlp {
   void save(std::ostream& os) const;
   /// Restores a network previously written by save().
   static Mlp load(std::istream& is);
+
+  /// Binary checkpoint write: architecture + exact weight bit patterns
+  /// (unlike the text format, restoring is bit-identical).
+  void save(Serializer& out) const;
+  /// Restores weights written by save(Serializer&) into this network;
+  /// throws SerializeError when the archived architecture differs.
+  void load(Deserializer& in);
 
   [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t parameter_count() const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace vnfm::nn {
 
@@ -26,6 +27,33 @@ void Sgd::step() {
       values[j] -= options_.learning_rate * g;
     }
   }
+}
+
+void Adam::save(Serializer& out) const {
+  out.begin_chunk("adam");
+  out.write_u64(step_count_);
+  out.write_u64(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out.write_f32_vec(m_[i]);
+    out.write_f32_vec(v_[i]);
+  }
+  out.end_chunk();
+}
+
+void Adam::load(Deserializer& in) {
+  in.enter_chunk("adam");
+  step_count_ = in.read_u64();
+  if (in.read_u64() != params_.size())
+    throw SerializeError("Adam parameter-count mismatch in checkpoint");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto m = in.read_f32_vec();
+    auto v = in.read_f32_vec();
+    if (m.size() != m_[i].size() || v.size() != v_[i].size())
+      throw SerializeError("Adam moment shape mismatch in checkpoint");
+    m_[i] = std::move(m);
+    v_[i] = std::move(v);
+  }
+  in.leave_chunk();
 }
 
 Adam::Adam(std::vector<Param*> params, Options options)

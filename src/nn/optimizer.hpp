@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "nn/layers.hpp"
 
 namespace vnfm::nn {
@@ -49,6 +50,13 @@ class Adam {
   [[nodiscard]] const Options& options() const noexcept { return options_; }
   void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
   [[nodiscard]] std::size_t steps_taken() const noexcept { return step_count_; }
+
+  /// Checkpoint write: first/second moments and the bias-correction step
+  /// counter (exact bit patterns).
+  void save(Serializer& out) const;
+  /// Restores state written by save(); throws SerializeError when the moment
+  /// shapes do not match this optimizer's parameters.
+  void load(Deserializer& in);
 
  private:
   std::vector<Param*> params_;

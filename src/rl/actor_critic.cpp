@@ -107,6 +107,40 @@ std::vector<float> ActorCriticAgent::action_probabilities(
   return masked_probs(actor_.forward_row(state), mask);
 }
 
+void ActorCriticAgent::save_state(Serializer& out) const {
+  out.begin_chunk("a2c_agent");
+  out.write_u64(config_.state_dim);
+  out.write_u64(config_.action_dim);
+  out.write_u64(updates_);
+  save_rng(out, rng_);
+  actor_.save(out);
+  critic_.save(out);
+  actor_opt_->save(out);
+  critic_opt_->save(out);
+  out.write_bool(has_pending_);
+  out.write_f32_vec(pending_state_);
+  out.write_u8_vec(pending_mask_);
+  out.write_i64(pending_action_);
+  out.end_chunk();
+}
+
+void ActorCriticAgent::load_state(Deserializer& in) {
+  in.enter_chunk("a2c_agent");
+  if (in.read_u64() != config_.state_dim || in.read_u64() != config_.action_dim)
+    throw SerializeError("actor-critic config mismatch in checkpoint");
+  updates_ = in.read_u64();
+  load_rng(in, rng_);
+  actor_.load(in);
+  critic_.load(in);
+  actor_opt_->load(in);
+  critic_opt_->load(in);
+  has_pending_ = in.read_bool();
+  pending_state_ = in.read_f32_vec();
+  pending_mask_ = in.read_u8_vec();
+  pending_action_ = static_cast<int>(in.read_i64());
+  in.leave_chunk();
+}
+
 double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
                                bool done) {
   if (!has_pending_) throw std::runtime_error("learn without a pending act");

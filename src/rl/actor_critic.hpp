@@ -52,6 +52,14 @@ class ActorCriticAgent {
   [[nodiscard]] const ActorCriticConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
 
+  /// Full learner-state checkpoint: actor/critic weights, both optimizers'
+  /// moments, the update counter, the RNG stream, and the pending step.
+  /// Restoring into an agent built from the same config continues
+  /// bit-identically.
+  void save_state(Serializer& out) const;
+  /// Restores state written by save_state().
+  void load_state(Deserializer& in);
+
   /// Network access (weight transfer between agents, diagnostics).
   [[nodiscard]] nn::Mlp& actor() noexcept { return actor_; }
   [[nodiscard]] const nn::Mlp& actor() const noexcept { return actor_; }

@@ -259,6 +259,60 @@ double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
   return loss;
 }
 
+void DqnAgent::save_state(Serializer& out) const {
+  out.begin_chunk("dqn_agent");
+  // Config fingerprint: fields that change the serialized layout or the
+  // learning algorithm — restoring a vanilla-DQN archive into a double-DQN
+  // agent would silently resume with the wrong TD targets.
+  out.write_u64(config_.state_dim);
+  out.write_u64(config_.action_dim);
+  out.write_bool(config_.prioritized_replay);
+  out.write_u64(config_.n_step);
+  out.write_bool(config_.double_dqn);
+  out.write_bool(config_.dueling);
+  out.write_u64(env_steps_);
+  out.write_u64(grad_steps_);
+  out.write_bool(explore_);
+  save_rng(out, rng_);
+  online_.save(out);
+  target_.save(out);
+  optimizer_->save(out);
+  if (per_) {
+    per_->save(out);
+  } else {
+    replay_->save(out);
+  }
+  out.write_u64(n_step_buffer_.size());
+  for (const Transition& t : n_step_buffer_) save_transition(out, t);
+  out.end_chunk();
+}
+
+void DqnAgent::load_state(Deserializer& in) {
+  in.enter_chunk("dqn_agent");
+  if (in.read_u64() != config_.state_dim || in.read_u64() != config_.action_dim ||
+      in.read_bool() != config_.prioritized_replay || in.read_u64() != config_.n_step ||
+      in.read_bool() != config_.double_dqn || in.read_bool() != config_.dueling)
+    throw SerializeError("DQN config mismatch in checkpoint");
+  env_steps_ = in.read_u64();
+  grad_steps_ = in.read_u64();
+  explore_ = in.read_bool();
+  load_rng(in, rng_);
+  online_.load(in);
+  target_.load(in);
+  optimizer_->load(in);
+  if (per_) {
+    per_->load(in);
+  } else {
+    replay_->load(in);
+  }
+  n_step_buffer_.clear();
+  const std::uint64_t in_flight = in.read_u64();
+  in.expect_items(in_flight, 41, "n-step buffer");
+  n_step_buffer_.resize(in_flight);
+  for (Transition& t : n_step_buffer_) t = load_transition(in);
+  in.leave_chunk();
+}
+
 void DqnAgent::save(std::ostream& os) const { online_.save(os); }
 
 void DqnAgent::load(std::istream& is) {

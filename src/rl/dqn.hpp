@@ -107,6 +107,16 @@ class DqnAgent {
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
+  /// Full learner-state checkpoint: online and target networks, optimizer
+  /// moments, replay contents + ring cursor, step counters (which position
+  /// the epsilon/beta schedules), the exploration RNG stream, and the
+  /// in-flight n-step buffer. Restoring into an agent built from the same
+  /// config continues training bit-identically.
+  void save_state(Serializer& out) const;
+  /// Restores state written by save_state(); throws SerializeError on a
+  /// config/architecture mismatch or corrupted archive.
+  void load_state(Deserializer& in);
+
   /// Switches exploration off/on (evaluation mode).
   void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
 

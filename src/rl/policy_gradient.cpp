@@ -98,6 +98,49 @@ std::vector<float> ReinforceAgent::action_probabilities(
   return masked_probs(logits, mask);
 }
 
+void ReinforceAgent::save_state(Serializer& out) const {
+  out.begin_chunk("reinforce_agent");
+  out.write_u64(config_.state_dim);
+  out.write_u64(config_.action_dim);
+  save_rng(out, rng_);
+  policy_.save(out);
+  optimizer_->save(out);
+  out.write_f64(baseline_.value());
+  out.write_bool(baseline_.initialized());
+  out.write_u64(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    out.write_f32_vec(states_[i]);
+    out.write_u8_vec(masks_[i]);
+    out.write_i64(actions_[i]);
+    out.write_f32(rewards_[i]);
+  }
+  out.end_chunk();
+}
+
+void ReinforceAgent::load_state(Deserializer& in) {
+  in.enter_chunk("reinforce_agent");
+  if (in.read_u64() != config_.state_dim || in.read_u64() != config_.action_dim)
+    throw SerializeError("REINFORCE config mismatch in checkpoint");
+  load_rng(in, rng_);
+  policy_.load(in);
+  optimizer_->load(in);
+  const double baseline_value = in.read_f64();
+  baseline_.restore(baseline_value, in.read_bool());
+  const std::uint64_t steps = in.read_u64();
+  in.expect_items(steps, 28, "trajectory steps");
+  states_.resize(steps);
+  masks_.resize(steps);
+  actions_.resize(steps);
+  rewards_.resize(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    states_[i] = in.read_f32_vec();
+    masks_[i] = in.read_u8_vec();
+    actions_[i] = static_cast<int>(in.read_i64());
+    rewards_[i] = in.read_f32();
+  }
+  in.leave_chunk();
+}
+
 double ReinforceAgent::finish_episode() {
   if (actions_.empty()) return 0.0;
   const std::size_t n = actions_.size();

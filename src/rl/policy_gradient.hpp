@@ -57,6 +57,13 @@ class ReinforceAgent {
   [[nodiscard]] nn::Mlp& policy() noexcept { return policy_; }
   [[nodiscard]] const nn::Mlp& policy() const noexcept { return policy_; }
 
+  /// Full learner-state checkpoint: policy weights, optimizer moments, the
+  /// EWMA baseline, the RNG stream, and any in-flight trajectory. Restoring
+  /// into an agent built from the same config continues bit-identically.
+  void save_state(Serializer& out) const;
+  /// Restores state written by save_state().
+  void load_state(Deserializer& in);
+
  private:
   [[nodiscard]] std::vector<float> masked_probs(std::span<const float> logits,
                                                 std::span<const std::uint8_t> mask) const;

@@ -123,4 +123,89 @@ void PrioritizedReplay::update_priorities(const std::vector<std::size_t>& indice
   }
 }
 
+void save_transition(Serializer& out, const Transition& t) {
+  out.write_f32_vec(t.state);
+  out.write_i64(t.action);
+  out.write_f32(t.reward);
+  out.write_f32_vec(t.next_state);
+  out.write_bool(t.done);
+  out.write_u8_vec(t.next_valid);
+  out.write_f32(t.bootstrap_discount);
+}
+
+Transition load_transition(Deserializer& in) {
+  Transition t;
+  t.state = in.read_f32_vec();
+  t.action = static_cast<int>(in.read_i64());
+  t.reward = in.read_f32();
+  t.next_state = in.read_f32_vec();
+  t.done = in.read_bool();
+  t.next_valid = in.read_u8_vec();
+  t.bootstrap_discount = in.read_f32();
+  return t;
+}
+
+void ReplayBuffer::save(Serializer& out) const {
+  out.begin_chunk("replay");
+  out.write_u64(capacity_);
+  out.write_u64(next_);
+  out.write_u64(storage_.size());
+  for (const Transition& t : storage_) save_transition(out, t);
+  out.end_chunk();
+}
+
+void ReplayBuffer::load(Deserializer& in) {
+  in.enter_chunk("replay");
+  if (in.read_u64() != capacity_)
+    throw SerializeError("replay capacity mismatch in checkpoint");
+  next_ = in.read_u64();
+  if (next_ >= capacity_)
+    throw SerializeError("replay cursor out of range in checkpoint");
+  const std::uint64_t count = in.read_u64();
+  if (count > capacity_)
+    throw SerializeError("replay size exceeds capacity in checkpoint");
+  in.expect_items(count, 41, "replay transitions");  // min serialized size
+  storage_.clear();
+  storage_.resize(count);
+  for (Transition& t : storage_) t = load_transition(in);
+  in.leave_chunk();
+}
+
+void PrioritizedReplay::save(Serializer& out) const {
+  out.begin_chunk("per");
+  out.write_u64(options_.capacity);
+  out.write_u64(next_);
+  out.write_f64(max_priority_);
+  out.write_f64(options_.beta);
+  out.write_u64(storage_.size());
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    save_transition(out, storage_[i]);
+    out.write_f64(tree_.get(i));
+  }
+  out.end_chunk();
+}
+
+void PrioritizedReplay::load(Deserializer& in) {
+  in.enter_chunk("per");
+  if (in.read_u64() != options_.capacity)
+    throw SerializeError("prioritized replay capacity mismatch in checkpoint");
+  next_ = in.read_u64();
+  if (next_ >= options_.capacity)
+    throw SerializeError("prioritized replay cursor out of range in checkpoint");
+  max_priority_ = in.read_f64();
+  options_.beta = in.read_f64();
+  storage_.clear();
+  tree_ = SumTree(options_.capacity);
+  const std::uint64_t count = in.read_u64();
+  if (count > options_.capacity)
+    throw SerializeError("prioritized replay size exceeds capacity in checkpoint");
+  in.expect_items(count, 49, "prioritized transitions");  // transition + priority
+  storage_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    storage_[i] = load_transition(in);
+    tree_.set(i, in.read_f64());
+  }
+  in.leave_chunk();
+}
+
 }  // namespace vnfm::rl

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 
 namespace vnfm::rl {
 
@@ -24,6 +25,12 @@ struct Transition {
   float bootstrap_discount = -1.0F;
 };
 
+/// Writes one transition into the open chunk (checkpoint building block
+/// shared by the replay buffers and the DQN n-step buffer).
+void save_transition(Serializer& out, const Transition& t);
+/// Reads a transition written by save_transition().
+[[nodiscard]] Transition load_transition(Deserializer& in);
+
 /// Fixed-capacity uniform replay: overwrites the oldest transition when full.
 class ReplayBuffer {
  public:
@@ -38,6 +45,13 @@ class ReplayBuffer {
   [[nodiscard]] std::vector<const Transition*> sample(std::size_t count, Rng& rng) const;
 
   [[nodiscard]] const Transition& at(std::size_t i) const { return storage_.at(i); }
+
+  /// Checkpoint write: every stored transition plus the ring cursor, so a
+  /// restored buffer overwrites in the same order the original would have.
+  void save(Serializer& out) const;
+  /// Restores state written by save(); throws SerializeError when the
+  /// archived capacity differs from this buffer's.
+  void load(Deserializer& in);
 
  private:
   std::size_t capacity_;
@@ -96,6 +110,13 @@ class PrioritizedReplay {
   [[nodiscard]] std::size_t capacity() const noexcept { return options_.capacity; }
   void set_beta(double beta) noexcept { options_.beta = beta; }
   [[nodiscard]] double beta() const noexcept { return options_.beta; }
+
+  /// Checkpoint write: transitions, ring cursor, per-slot priorities, and the
+  /// running max priority.
+  void save(Serializer& out) const;
+  /// Restores state written by save() (rebuilding the sum tree); throws
+  /// SerializeError when the archived capacity differs.
+  void load(Deserializer& in);
 
  private:
   Options options_;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "common/serialize.hpp"
 
 namespace vnfm::rl {
 
@@ -90,6 +93,45 @@ void TabularQAgent::update(std::uint64_t state_key, int action, double reward,
 
 double TabularQAgent::q_value(std::uint64_t state_key, int action) const {
   return row(state_key).at(static_cast<std::size_t>(action));
+}
+
+void TabularQAgent::save_state(Serializer& out) const {
+  out.begin_chunk("tabular_agent");
+  out.write_u64(config_.action_dim);
+  out.write_u64(steps_);
+  save_rng(out, rng_);
+  // Sorted key order: unordered_map iteration is unspecified, and byte-stable
+  // archives let the checkpoint tests compare serialized state for equality.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, row] : table_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out.write_u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    out.write_u64(key);
+    out.write_f64_vec(table_.at(key));
+  }
+  out.end_chunk();
+}
+
+void TabularQAgent::load_state(Deserializer& in) {
+  in.enter_chunk("tabular_agent");
+  if (in.read_u64() != config_.action_dim)
+    throw SerializeError("tabular config mismatch in checkpoint");
+  steps_ = in.read_u64();
+  load_rng(in, rng_);
+  table_.clear();
+  const std::uint64_t entries = in.read_u64();
+  in.expect_items(entries, 16, "Q-table entries");  // key + row length per entry
+  table_.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint64_t key = in.read_u64();
+    auto row = in.read_f64_vec();
+    if (row.size() != config_.action_dim)
+      throw SerializeError("tabular row width mismatch in checkpoint");
+    table_.emplace(key, std::move(row));
+  }
+  in.leave_chunk();
 }
 
 std::uint64_t TabularQAgent::discretize(std::span<const float> features,

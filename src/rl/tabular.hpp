@@ -49,6 +49,13 @@ class TabularQAgent {
   [[nodiscard]] static std::uint64_t discretize(std::span<const float> features,
                                                 std::size_t buckets);
 
+  /// Full learner-state checkpoint: the Q-table (written in sorted key order
+  /// so archives are byte-stable), the step counter positioning the epsilon
+  /// schedule, and the RNG stream.
+  void save_state(Serializer& out) const;
+  /// Restores state written by save_state().
+  void load_state(Deserializer& in);
+
  private:
   [[nodiscard]] const std::vector<double>& row(std::uint64_t key) const;
   [[nodiscard]] std::vector<double>& row_mutable(std::uint64_t key);

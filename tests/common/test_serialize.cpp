@@ -1,0 +1,235 @@
+// Tests for the versioned binary checkpoint archive (common/serialize):
+// primitive round-trips, exact float bit patterns, nested typed chunks,
+// checksum/truncation/magic validation, and the endian-stable golden layout.
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace vnfm {
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  Serializer out;
+  out.begin_chunk("test");
+  out.write_u8(0xAB);
+  out.write_bool(true);
+  out.write_bool(false);
+  out.write_u32(0xDEADBEEFU);
+  out.write_u64(0x0123456789ABCDEFULL);
+  out.write_i64(-42);
+  out.write_f32(1.5F);
+  out.write_f64(-2.25);
+  out.write_string("hello checkpoint");
+  out.end_chunk();
+
+  Deserializer in(out.bytes());
+  in.enter_chunk("test");
+  EXPECT_EQ(in.read_u8(), 0xAB);
+  EXPECT_TRUE(in.read_bool());
+  EXPECT_FALSE(in.read_bool());
+  EXPECT_EQ(in.read_u32(), 0xDEADBEEFU);
+  EXPECT_EQ(in.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(in.read_i64(), -42);
+  EXPECT_EQ(in.read_f32(), 1.5F);
+  EXPECT_EQ(in.read_f64(), -2.25);
+  EXPECT_EQ(in.read_string(), "hello checkpoint");
+  in.leave_chunk();
+}
+
+TEST(Serialize, FloatBitPatternsAreExact) {
+  const std::vector<float> specials{0.0F,
+                                    -0.0F,
+                                    std::numeric_limits<float>::denorm_min(),
+                                    std::numeric_limits<float>::infinity(),
+                                    -std::numeric_limits<float>::infinity(),
+                                    std::nextafterf(1.0F, 2.0F)};
+  Serializer out;
+  out.begin_chunk("f");
+  out.write_f32_vec(specials);
+  out.write_f64(std::numeric_limits<double>::quiet_NaN());
+  out.end_chunk();
+
+  Deserializer in(out.bytes());
+  in.enter_chunk("f");
+  const auto restored = in.read_f32_vec();
+  ASSERT_EQ(restored.size(), specials.size());
+  for (std::size_t i = 0; i < specials.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(restored[i]),
+              std::bit_cast<std::uint32_t>(specials[i]));
+  }
+  EXPECT_TRUE(std::isnan(in.read_f64()));
+  in.leave_chunk();
+}
+
+TEST(Serialize, VectorsRoundTrip) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  const std::vector<std::uint64_t> words{10, 20, 1ULL << 62};
+  const std::vector<double> doubles{0.1, -0.2, 1e300};
+  Serializer out;
+  out.begin_chunk("v");
+  out.write_u8_vec(bytes);
+  out.write_u64_vec(words);
+  out.write_f64_vec(doubles);
+  out.end_chunk();
+
+  Deserializer in(out.bytes());
+  in.enter_chunk("v");
+  EXPECT_EQ(in.read_u8_vec(), bytes);
+  EXPECT_EQ(in.read_u64_vec(), words);
+  EXPECT_EQ(in.read_f64_vec(), doubles);
+  in.leave_chunk();
+}
+
+TEST(Serialize, ChunksNestAndSkipUnreadSuffix) {
+  Serializer out;
+  out.begin_chunk("outer");
+  out.write_u32(7);
+  out.begin_chunk("inner");
+  out.write_string("nested");
+  out.write_u64(99);  // a field this reader version does not consume
+  out.end_chunk();
+  out.write_u32(8);
+  out.end_chunk();
+
+  Deserializer in(out.bytes());
+  in.enter_chunk("outer");
+  EXPECT_EQ(in.read_u32(), 7U);
+  EXPECT_EQ(in.peek_chunk_tag(), "inner");
+  in.enter_chunk("inner");
+  EXPECT_EQ(in.read_string(), "nested");
+  in.leave_chunk();  // skips the unread u64 — forward compatibility
+  EXPECT_EQ(in.read_u32(), 8U);
+  in.leave_chunk();
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  Serializer out;
+  out.begin_chunk("alpha");
+  out.end_chunk();
+  Deserializer in(out.bytes());
+  EXPECT_THROW(in.enter_chunk("beta"), SerializeError);
+}
+
+TEST(Serialize, CorruptionIsDetectedByChecksum) {
+  Serializer out;
+  out.begin_chunk("data");
+  out.write_u64(123456789);
+  out.end_chunk();
+  auto bytes = out.bytes();
+  bytes[bytes.size() - 7] ^= 0x01;  // flip one payload bit
+  Deserializer in(std::move(bytes));
+  EXPECT_THROW(in.enter_chunk("data"), SerializeError);
+}
+
+TEST(Serialize, TruncationThrows) {
+  Serializer out;
+  out.begin_chunk("data");
+  const std::vector<double> payload{1.0, 2.0, 3.0};
+  out.write_f64_vec(payload);
+  out.end_chunk();
+  auto bytes = out.bytes();
+  bytes.resize(bytes.size() - 6);
+  EXPECT_THROW(
+      {
+        Deserializer in(std::move(bytes));
+        in.enter_chunk("data");
+      },
+      SerializeError);
+}
+
+TEST(Serialize, HugeCorruptedLengthsThrowInsteadOfOverflowing) {
+  // A chunk whose length field is corrupted to ~UINT64_MAX must fail the
+  // bounds check, not wrap around it and read out of bounds.
+  Serializer out;
+  out.begin_chunk("data");
+  out.write_u64(7);
+  out.end_chunk();
+  auto bytes = out.bytes();
+  // Layout: magic(4) + version(4) + tag len u64(8) + "data"(4) + payload len.
+  const std::size_t length_at = 4 + 4 + 8 + 4;
+  for (std::size_t i = 0; i < 8; ++i) bytes[length_at + i] = 0xFF;
+  Deserializer in(std::move(bytes));
+  EXPECT_THROW(in.enter_chunk("data"), SerializeError);
+
+  // A vector length whose byte count (size * 8) wraps must throw too.
+  Serializer vec_out;
+  vec_out.begin_chunk("v");
+  vec_out.write_u64(0xFFFFFFFFFFFFFFFFULL);  // claims 2^64-1 doubles follow
+  vec_out.end_chunk();
+  Deserializer vec_in(vec_out.bytes());
+  vec_in.enter_chunk("v");
+  EXPECT_THROW((void)vec_in.read_f64_vec(), SerializeError);
+}
+
+TEST(Serialize, BadMagicAndVersionThrow) {
+  Serializer out;
+  auto bad_magic = out.bytes();
+  bad_magic[0] = 'X';
+  EXPECT_THROW(Deserializer{std::move(bad_magic)}, SerializeError);
+
+  auto bad_version = out.bytes();
+  bad_version[4] = 0xFF;  // version 255 — from the future
+  EXPECT_THROW(Deserializer{std::move(bad_version)}, SerializeError);
+}
+
+TEST(Serialize, UnclosedChunkFailsFinish) {
+  Serializer out;
+  out.begin_chunk("open");
+  std::ostringstream sink;
+  EXPECT_THROW(out.finish(sink), SerializeError);
+}
+
+TEST(Serialize, StreamRoundTrip) {
+  Serializer out;
+  out.begin_chunk("s");
+  out.write_string("via stream");
+  out.end_chunk();
+  std::stringstream stream;
+  out.finish(stream);
+  Deserializer in(stream);
+  in.enter_chunk("s");
+  EXPECT_EQ(in.read_string(), "via stream");
+  in.leave_chunk();
+}
+
+// The byte layout is part of the on-disk contract: integers little-endian,
+// floats as IEEE-754 bit patterns. A layout change must bump the format
+// version, not silently alter these bytes.
+TEST(Serialize, GoldenLayoutIsEndianStable) {
+  Serializer out;
+  out.write_u32(0x01020304U);
+  out.write_f32(1.0F);
+  const auto& b = out.bytes();
+  ASSERT_EQ(b.size(), 4u + 4u + 4u + 4u);  // magic + version + u32 + f32
+  EXPECT_EQ(b[0], 'V');
+  EXPECT_EQ(b[1], 'N');
+  EXPECT_EQ(b[2], 'F');
+  EXPECT_EQ(b[3], 'M');
+  EXPECT_EQ(b[4], 1);  // format version 1, little-endian
+  // 0x01020304 little-endian.
+  EXPECT_EQ(b[8], 0x04);
+  EXPECT_EQ(b[9], 0x03);
+  EXPECT_EQ(b[10], 0x02);
+  EXPECT_EQ(b[11], 0x01);
+  // 1.0f = 0x3F800000 little-endian.
+  EXPECT_EQ(b[12], 0x00);
+  EXPECT_EQ(b[13], 0x00);
+  EXPECT_EQ(b[14], 0x80);
+  EXPECT_EQ(b[15], 0x3F);
+}
+
+TEST(Serialize, Crc32MatchesKnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string data = "123456789";
+  const std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926U);
+}
+
+}  // namespace
+}  // namespace vnfm

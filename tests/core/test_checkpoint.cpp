@@ -1,0 +1,281 @@
+// The checkpoint/resume bit-identity contract (core/checkpoint +
+// TrainDriver): train-to-episode-K, kill, resume must reproduce the exact
+// learning curve and final manager state of an uninterrupted run — for the
+// DQN pipeline at 1 and 4 actor threads, for tabular Q, and for an inline
+// learner (actor-critic) on the sequential path. Plus archive hygiene:
+// policy-tag validation, latest-checkpoint discovery, and full-state
+// round-trips for every manager layer below the Experiment façade.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "core/drl_manager.hpp"
+#include "core/heuristics.hpp"
+#include "core/migration.hpp"
+#include "core/train_driver.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 17;
+  return options;
+}
+
+rl::DqnConfig small_dqn_config(const VnfEnv& env) {
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {16, 16};
+  config.min_replay_before_training = 100;
+  config.train_period = 4;
+  config.epsilon_decay_steps = 2000;
+  return config;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Full serialized manager state; byte equality == state equality (weights,
+/// optimizer moments, replay contents, RNG streams, counters — everything).
+std::vector<std::uint8_t> state_bytes(const Manager& manager) {
+  Serializer out;
+  out.begin_chunk("state");
+  manager.save(out);
+  out.end_chunk();
+  return out.bytes();
+}
+
+void expect_identical(const EpisodeResult& a, const EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+void expect_identical_curves(const std::vector<EpisodeResult>& a,
+                             const std::vector<EpisodeResult>& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_identical(a[i], b[i], label + " episode " + std::to_string(i));
+}
+
+TrainOptions train_options(std::size_t episodes, std::size_t threads,
+                           std::size_t sync_period) {
+  TrainOptions options;
+  options.episodes = episodes;
+  options.threads = threads;
+  options.sync_period = sync_period;
+  options.episode.duration_s = 150.0;
+  options.episode.seed = 11;
+  return options;
+}
+
+/// The kill-and-resume drill shared by every policy variant:
+///  1. reference run: `total` episodes straight through;
+///  2. interrupted run: same setup, checkpointing every `every` episodes,
+///     killed after `kill_at` episodes (the manager is discarded);
+///  3. resumed run: a fresh manager restored from the newest archive trains
+///     the remaining episodes.
+/// Curve and final serialized state must match the reference bit-for-bit.
+/// On the pipeline path `kill_at` must be a round boundary of the full-length
+/// schedule (a multiple of sync_period): mid-round state never reaches disk —
+/// the driver only checkpoints after merged rounds — so a real kill always
+/// resumes from such a boundary. `resumed_at` (optional) receives the episode
+/// index resume started from.
+template <typename MakeManager>
+void run_resume_drill(const MakeManager& make_manager, std::size_t total,
+                      std::size_t kill_at, std::size_t every, std::size_t threads,
+                      std::size_t sync_period, const std::string& label,
+                      std::size_t* resumed_at = nullptr) {
+  const EnvOptions env_options = small_options();
+
+  // 1. Uninterrupted reference.
+  auto reference = make_manager(env_options);
+  const TrainResult full =
+      TrainDriver(env_options, train_options(total, threads, sync_period))
+          .run(*reference);
+
+  // 2. Interrupted run: dies after kill_at episodes with checkpoints on disk.
+  const std::string dir = fresh_dir(label);
+  auto interrupted = make_manager(env_options);
+  TrainOptions first_leg = train_options(total, threads, sync_period);
+  first_leg.episodes = kill_at;
+  first_leg.checkpoint_every = every;
+  first_leg.checkpoint_dir = dir;
+  TrainDriver(env_options, first_leg).run(*interrupted);
+  const std::string archive = latest_checkpoint(dir);
+  ASSERT_FALSE(archive.empty()) << label;
+
+  // 3. Resume in a fresh manager, as a restarted process would.
+  auto resumed = make_manager(env_options);
+  const TrainCheckpoint restored = read_checkpoint(archive, *resumed);
+  EXPECT_EQ(restored.base_seed, 11u) << label;
+  ASSERT_EQ(restored.curve.size(), restored.episodes_done) << label;
+  ASSERT_LE(restored.episodes_done, kill_at) << label;
+  TrainOptions second_leg = train_options(total, threads, sync_period);
+  second_leg.episodes = total - restored.episodes_done;
+  second_leg.first_episode = restored.episodes_done;
+  const TrainResult rest = TrainDriver(env_options, second_leg).run(*resumed);
+
+  // Stitched curve == uninterrupted curve, episode by episode, bit for bit.
+  std::vector<EpisodeResult> stitched = restored.curve;
+  stitched.insert(stitched.end(), rest.curve.begin(), rest.curve.end());
+  expect_identical_curves(full.curve, stitched, label);
+  std::vector<std::uint64_t> seeds = restored.seeds;
+  seeds.insert(seeds.end(), rest.seeds.begin(), rest.seeds.end());
+  EXPECT_EQ(full.seeds, seeds) << label;
+
+  // Final learner state (weights, optimizer, replay, RNG) — bit-identical.
+  EXPECT_EQ(state_bytes(*reference), state_bytes(*resumed)) << label;
+  if (resumed_at != nullptr) *resumed_at = restored.episodes_done;
+}
+
+std::unique_ptr<Manager> make_dqn(const EnvOptions& env_options) {
+  VnfEnv env(env_options);
+  return std::make_unique<DqnManager>(env, small_dqn_config(env));
+}
+
+TEST(CheckpointResume, DqnPipelineOneActorThread) {
+  run_resume_drill(make_dqn, 8, 4, 4, 1, 4, "dqn_1thread");
+}
+
+TEST(CheckpointResume, DqnPipelineFourActorThreads) {
+  run_resume_drill(make_dqn, 8, 4, 4, 4, 4, "dqn_4threads");
+}
+
+TEST(CheckpointResume, DqnPipelineChkptCadenceBelowSyncPeriod) {
+  // checkpoint_every(2) below sync_period(4): the driver must defer each
+  // write to the next round boundary — the only resume-exact cut point — so
+  // the newest archive sits at episode 4, not 2.
+  std::size_t resumed_at = 0;
+  run_resume_drill(make_dqn, 8, 4, 2, 2, 4, "dqn_round_aligned", &resumed_at);
+  EXPECT_EQ(resumed_at, 4u);
+}
+
+TEST(CheckpointResume, TabularQSequential) {
+  run_resume_drill(
+      [](const EnvOptions& env_options) {
+        VnfEnv env(env_options);
+        return std::make_unique<TabularManager>(env, rl::TabularQConfig{}, 4);
+      },
+      6, 3, 3, 1, 4, "tabular");
+}
+
+TEST(CheckpointResume, ActorCriticInlineLearner) {
+  run_resume_drill(
+      [](const EnvOptions& env_options) {
+        VnfEnv env(env_options);
+        return std::make_unique<A2cManager>(env, rl::ActorCriticConfig{});
+      },
+      6, 3, 3, 1, 4, "actor_critic");
+}
+
+TEST(CheckpointResume, ReinforceInlineLearner) {
+  run_resume_drill(
+      [](const EnvOptions& env_options) {
+        VnfEnv env(env_options);
+        return std::make_unique<ReinforceManager>(env, rl::ReinforceConfig{});
+      },
+      6, 3, 3, 1, 4, "reinforce");
+}
+
+TEST(CheckpointResume, RandomHeuristicCountersSurvive) {
+  run_resume_drill(
+      [](const EnvOptions&) { return std::make_unique<RandomManager>(99); }, 6, 3, 3,
+      1, 4, "random");
+}
+
+TEST(Checkpoint, PolicyTagMismatchThrows) {
+  const EnvOptions env_options = small_options();
+  const std::string dir = fresh_dir("mismatch");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/x.vnfmc";
+
+  auto dqn = make_dqn(env_options);
+  write_checkpoint(path, *dqn, {});
+  EXPECT_EQ(read_checkpoint_policy(path), "dqn/v1");
+
+  VnfEnv env(env_options);
+  TabularManager tabular(env, rl::TabularQConfig{}, 4);
+  EXPECT_THROW(read_checkpoint(path, tabular), SerializeError);
+}
+
+TEST(Checkpoint, ConsolidatingDecoratorTagWrapsInner) {
+  GreedyLatencyManager inner;
+  const ConsolidatingManager decorated(inner, {});
+  EXPECT_EQ(decorated.checkpoint_state(), "consolidating(greedy_latency/v1)/v1");
+}
+
+TEST(Checkpoint, LatestCheckpointPicksHighestEpisode) {
+  const std::string dir = fresh_dir("latest");
+  std::filesystem::create_directories(dir);
+  GreedyLatencyManager stateless;
+  for (const std::uint64_t episodes : {4u, 12u, 8u}) {
+    TrainCheckpoint data;
+    data.episodes_done = episodes;
+    write_checkpoint(dir + "/" + checkpoint_filename(episodes), stateless, data);
+  }
+  const std::string best = latest_checkpoint(dir);
+  EXPECT_EQ(std::filesystem::path(best).filename().string(), checkpoint_filename(12));
+  EXPECT_EQ(latest_checkpoint(fresh_dir("empty")), "");
+}
+
+TEST(Checkpoint, HistoryRoundTrips) {
+  const std::string dir = fresh_dir("history");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/h.vnfmc";
+
+  TrainCheckpoint data;
+  data.episodes_done = 3;
+  data.base_seed = 21;
+  EpisodeResult episode;
+  episode.total_reward = -12.5;
+  episode.requests = 42;
+  episode.deployments = 7;
+  data.curve = {episode, episode, episode};
+  data.seeds = {21, 22, 23};
+  data.stats.wall_seconds = 1.5;
+  data.stats.transitions = 999;
+  data.stats.episodes = 3;
+  data.stats.rounds = 2;
+  data.stats.actor_threads = 4;
+  data.stats.parallel = true;
+
+  GreedyLatencyManager stateless;
+  write_checkpoint(path, stateless, data);
+  GreedyLatencyManager restored_into;
+  const TrainCheckpoint restored = read_checkpoint(path, restored_into);
+  EXPECT_EQ(restored.episodes_done, 3u);
+  EXPECT_EQ(restored.base_seed, 21u);
+  EXPECT_EQ(restored.seeds, data.seeds);
+  expect_identical_curves(data.curve, restored.curve, "history");
+  EXPECT_EQ(restored.stats.wall_seconds, 1.5);
+  EXPECT_EQ(restored.stats.transitions, 999u);
+  EXPECT_EQ(restored.stats.rounds, 2u);
+  EXPECT_EQ(restored.stats.actor_threads, 4u);
+  EXPECT_TRUE(restored.stats.parallel);
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -146,6 +150,169 @@ TEST(ReportIo, ExperimentWritesItsCurve) {
   experiment.write_curve_json(json_file);
   EXPECT_EQ(line_count(slurp(csv_file)), 3u);  // header + 2 episodes
   EXPECT_NE(slurp(json_file).find("\"episodes\""), std::string::npos);
+}
+
+// ---- Round-trip coverage: re-parse the written files and compare every
+// ---- field against the source report (including NaN and empty curves). ----
+
+/// Parses "nan"/"-nan" like strtod so NaN metrics survive the comparison.
+double parse_number(const std::string& token) {
+  return std::strtod(token.c_str(), nullptr);
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, sep)) out.push_back(field);
+  return out;
+}
+
+/// Parses a CSV written by report_io into header + rows.
+struct ParsedCsv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+ParsedCsv parse_csv(const std::string& path) {
+  std::ifstream in(path);
+  ParsedCsv parsed;
+  std::string line;
+  if (std::getline(in, line)) parsed.header = split(line, ',');
+  while (std::getline(in, line))
+    if (!line.empty()) parsed.rows.push_back(split(line, ','));
+  return parsed;
+}
+
+/// Extracts `"key": <number>` from a JSON object block (first occurrence at
+/// or after `from`); returns the parsed number.
+double json_number(const std::string& text, const std::string& key,
+                   std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  EXPECT_NE(at, std::string::npos) << key;
+  if (at == std::string::npos) return 0.0;
+  return parse_number(text.substr(at + needle.size()));
+}
+
+void expect_metrics_match(const std::vector<std::string>& header,
+                          const std::vector<std::string>& row,
+                          std::size_t value_offset, const core::EpisodeResult& expected,
+                          const std::string& label) {
+  const auto values = episode_result_row(expected);
+  const auto& columns = episode_result_columns();
+  ASSERT_EQ(row.size(), value_offset + columns.size()) << label;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    EXPECT_EQ(header[value_offset + c], columns[c]) << label;
+    const double parsed = parse_number(row[value_offset + c]);
+    if (std::isnan(values[c])) {
+      EXPECT_TRUE(std::isnan(parsed)) << label << " column " << columns[c];
+    } else {
+      EXPECT_EQ(parsed, values[c]) << label << " column " << columns[c];
+    }
+  }
+}
+
+TEST(ReportIoRoundTrip, EvalCsvFieldByField) {
+  const EvalReport report = sample_report();
+  const std::string path = temp_path("rt_eval.csv");
+  report.write_csv(path);
+
+  const ParsedCsv parsed = parse_csv(path);
+  ASSERT_EQ(parsed.rows.size(), report.per_seed.size() + 1);  // seeds + mean
+  for (std::size_t i = 0; i < report.per_seed.size(); ++i) {
+    EXPECT_EQ(parsed.rows[i][0], std::to_string(report.seeds[i]));
+    expect_metrics_match(parsed.header, parsed.rows[i], 1, report.per_seed[i],
+                         "seed row " + std::to_string(i));
+  }
+  EXPECT_EQ(parsed.rows.back()[0], "mean");
+  expect_metrics_match(parsed.header, parsed.rows.back(), 1, report.mean, "mean row");
+}
+
+TEST(ReportIoRoundTrip, EvalJsonFieldByField) {
+  const EvalReport report = sample_report();
+  const std::string path = temp_path("rt_eval.json");
+  report.write_json(path);
+  const std::string text = slurp(path);
+
+  const auto& columns = episode_result_columns();
+  // Mean block: first occurrence of every metric key.
+  const std::size_t mean_at = text.find("\"mean\"");
+  const auto mean_values = episode_result_row(report.mean);
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    EXPECT_EQ(json_number(text, columns[c], mean_at), mean_values[c])
+        << "mean." << columns[c];
+  // Per-seed blocks, in order.
+  std::size_t cursor = text.find("\"per_seed\"");
+  ASSERT_NE(cursor, std::string::npos);
+  for (std::size_t i = 0; i < report.per_seed.size(); ++i) {
+    cursor = text.find("\"seed\":", cursor);
+    ASSERT_NE(cursor, std::string::npos) << "per_seed " << i;
+    EXPECT_EQ(static_cast<std::uint64_t>(json_number(text, "seed", cursor)),
+              report.seeds[i]);
+    const auto values = episode_result_row(report.per_seed[i]);
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      EXPECT_EQ(json_number(text, columns[c], cursor), values[c])
+          << "per_seed " << i << "." << columns[c];
+    cursor += 1;
+  }
+}
+
+TEST(ReportIoRoundTrip, CurveCsvFieldByField) {
+  const std::vector<core::EpisodeResult> curve{sample_result(1.0), sample_result(-2.5),
+                                               sample_result(0.0)};
+  const std::vector<std::uint64_t> seeds{11, 12, 13};
+  const std::string path = temp_path("rt_curve.csv");
+  write_curve_csv(curve, seeds, path);
+
+  const ParsedCsv parsed = parse_csv(path);
+  ASSERT_EQ(parsed.rows.size(), curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(parsed.rows[i][0], std::to_string(i));
+    EXPECT_EQ(parsed.rows[i][1], std::to_string(seeds[i]));
+    expect_metrics_match(parsed.header, parsed.rows[i], 2, curve[i],
+                         "episode " + std::to_string(i));
+  }
+}
+
+TEST(ReportIoRoundTrip, NanMetricsSurviveBothFormats) {
+  EvalReport report;
+  core::EpisodeResult nan_result = sample_result(1.0);
+  nan_result.p95_latency_ms = std::numeric_limits<double>::quiet_NaN();
+  nan_result.mean_latency_ms = std::numeric_limits<double>::quiet_NaN();
+  report.per_seed = {nan_result};
+  report.seeds = {1000011};
+  report.mean = nan_result;
+
+  const std::string csv_file = temp_path("rt_nan.csv");
+  report.write_csv(csv_file);
+  const ParsedCsv parsed = parse_csv(csv_file);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  expect_metrics_match(parsed.header, parsed.rows[0], 1, nan_result, "nan seed row");
+
+  const std::string json_file = temp_path("rt_nan.json");
+  report.write_json(json_file);
+  const std::string text = slurp(json_file);
+  EXPECT_TRUE(std::isnan(json_number(text, "p95_latency_ms")));
+  // Non-NaN fields still round-trip exactly next to the NaN ones.
+  EXPECT_EQ(json_number(text, "total_reward"), nan_result.total_reward);
+}
+
+TEST(ReportIoRoundTrip, EmptyCurveProducesHeaderOnlyCsvAndValidJson) {
+  const std::string csv_file = temp_path("rt_empty.csv");
+  write_curve_csv({}, {}, csv_file);
+  const ParsedCsv parsed = parse_csv(csv_file);
+  EXPECT_TRUE(parsed.rows.empty());
+  ASSERT_FALSE(parsed.header.empty());
+  EXPECT_EQ(parsed.header[0], "episode");
+
+  const std::string json_file = temp_path("rt_empty.json");
+  write_curve_json({}, {}, nullptr, json_file);
+  const std::string text = slurp(json_file);
+  EXPECT_NE(text.find("\"stats\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"episodes\": [\n  ]"), std::string::npos) << text;
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
 }
 
 TEST(ReportIo, UnwritablePathThrows) {

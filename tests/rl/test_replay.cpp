@@ -181,5 +181,65 @@ TEST(PrioritizedReplay, WrapsAroundCapacity) {
   for (const Transition* t : s.transitions) EXPECT_GE(t->reward, 6.0F);
 }
 
+TEST(ReplayCheckpoint, RoundTripRestoresContentsAndCursor) {
+  ReplayBuffer original(4);
+  for (int i = 0; i < 6; ++i) original.push(make_transition(static_cast<float>(i)));
+  Serializer out;
+  original.save(out);
+
+  ReplayBuffer restored(4);
+  Deserializer in(out.bytes());
+  restored.load(in);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(restored.at(i).reward, original.at(i).reward) << i;
+  // The ring cursor continues where the original would: the next push must
+  // overwrite the same slot in both buffers.
+  original.push(make_transition(100.0F));
+  restored.push(make_transition(100.0F));
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(restored.at(i).reward, original.at(i).reward) << "post-push " << i;
+}
+
+TEST(ReplayCheckpoint, RejectsOutOfRangeCursorAndOversizedCount) {
+  // Hand-built archives with internally consistent CRCs but hostile values:
+  // the loaders must throw SerializeError, never index or allocate wildly.
+  {
+    Serializer out;
+    out.begin_chunk("replay");
+    out.write_u64(4);   // capacity (matches)
+    out.write_u64(99);  // cursor way past capacity
+    out.write_u64(0);   // no transitions
+    out.end_chunk();
+    ReplayBuffer buffer(4);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(buffer.load(in), SerializeError);
+  }
+  {
+    Serializer out;
+    out.begin_chunk("replay");
+    out.write_u64(4);
+    out.write_u64(0);
+    out.write_u64(1ULL << 60);  // absurd transition count
+    out.end_chunk();
+    ReplayBuffer buffer(4);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(buffer.load(in), SerializeError);
+  }
+  {
+    Serializer out;
+    out.begin_chunk("per");
+    out.write_u64(4);
+    out.write_u64(7);  // cursor out of range
+    out.write_f64(1.0);
+    out.write_f64(0.4);
+    out.write_u64(0);
+    out.end_chunk();
+    PrioritizedReplay replay({.capacity = 4});
+    Deserializer in(out.bytes());
+    EXPECT_THROW(replay.load(in), SerializeError);
+  }
+}
+
 }  // namespace
 }  // namespace vnfm::rl

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Doc-coverage gate for the public API surface: every public declaration in
+# the exp headers (the repo's public entry point) and common/serialize.hpp
+# (the checkpoint archive contract) must carry a doc comment — either a
+# `//`-comment line directly above, or a trailing `///<`.
+#
+# Heuristic line-based check (no compiler needed, runs in CI):
+#   * inside `struct`/`public:` sections, a line that starts a declaration
+#     (identifier at member indent, not a continuation of the previous line)
+#     must be documented;
+#   * top-level `class`/`struct`/`enum`/free-function declarations likewise;
+#   * private/protected sections, implementation blocks, and continuation
+#     lines are exempt.
+# Exit status: 0 when fully documented, 1 otherwise (listing every miss).
+set -u
+cd "$(dirname "$0")/.."
+
+FILES=$(ls src/exp/*.hpp src/common/serialize.hpp)
+status=0
+
+for file in $FILES; do
+  misses=$(awk '
+    function code_of(line) {           # strip trailing // comment
+      sub(/[[:space:]]*\/\/.*$/, "", line)
+      return line
+    }
+    BEGIN { access = "public"; prev_comment = 0; prev_open = 1; depth = 0 }
+    {
+      line = $0
+      # Track access sections.
+      if (line ~ /^[[:space:]]*(private|protected):/) { access = "private"; prev_comment = 0; prev_open = 1; next }
+      if (line ~ /^[[:space:]]*public:/)              { access = "public";  prev_comment = 0; prev_open = 1; next }
+      # class => private until public:, struct => public.
+      if (line ~ /^(class|struct|enum)[[:space:]]/ && depth == 0) {
+        if (!prev_comment && line !~ /\/\/\//) printf "%d: %s\n", NR, line
+        access = (line ~ /^class/) ? "private" : "public"
+      } else if (depth == 0 || (depth == 1 && access == "public")) {
+        code = code_of(line)
+        is_code = code ~ /[^[:space:]]/
+        starts_decl = 0
+        if (is_code && prev_open) {
+          if (depth == 0 && code ~ /^[A-Za-z_\[]/ &&
+              code !~ /^(namespace|using|template|\}|\{|#)/)
+            starts_decl = 1
+          if (depth == 1 && code ~ /^  [A-Za-z_~\[]/ &&
+              code !~ /^  (using namespace|\}|\{)/)
+            starts_decl = 1
+        }
+        if (starts_decl && !prev_comment && line !~ /\/\/\//)
+          printf "%d: %s\n", NR, line
+      }
+      # Bookkeeping for the next line.
+      code = code_of(line)
+      if (code ~ /[^[:space:]]/) {
+        prev_comment = (line ~ /^[[:space:]]*\/\//)
+        # The next line starts a new declaration only if this code line
+        # finished one (or opened/closed a scope).
+        prev_open = (code ~ /[;{}]([[:space:]])*$/ || line ~ /^[[:space:]]*\/\//)
+      } else {
+        prev_comment = (line ~ /^[[:space:]]*\/\//)
+        prev_open = 1
+      }
+      # Brace depth (namespace braces are balanced on their own lines here).
+      n_open = gsub(/\{/, "{", code); n_close = gsub(/\}/, "}", code)
+      depth += n_open - n_close
+      if (line ~ /^namespace .*\{/) depth -= 1   # namespaces do not nest API depth
+    }
+  ' "$file")
+  if [ -n "$misses" ]; then
+    echo "UNDOCUMENTED public declarations in $file:"
+    echo "$misses" | sed 's/^/  /'
+    status=1
+  fi
+done
+
+if [ $status -eq 0 ]; then
+  echo "doc coverage OK: every public declaration in $(echo $FILES | wc -w) header(s) is documented"
+fi
+exit $status
