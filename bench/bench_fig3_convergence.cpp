@@ -6,8 +6,10 @@
 // Training runs through the actor-learner pipeline (exp::Experiment::
 // train_threads over core::TrainDriver); the bench reports per-variant
 // throughput and measures the pipeline's wall-clock speedup at 4 actor
-// threads against 1 — the two runs are bit-identical by construction, so
-// the speedup is free of any result drift.
+// threads against 1, plus the data-parallel gradient engine's grad-step
+// speedup at 4 learner threads against 1 (REPRO_LEARNER_THREADS) — each
+// pair of runs is bit-identical by construction (exit 1 otherwise), so the
+// speedups are free of any result drift.
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
         exp::Experiment::from_options(bench::make_env_options(arrival_rate));
     experiment.manager(name, params)
         .train_threads(bench::train_threads())
+        .learner_threads(bench::learner_threads())
         .train_duration(duration);
     // Long convergence runs checkpoint under REPRO_CHECKPOINT_DIR/<variant>
     // and REPRO_RESUME=1 continues them bit-identically after interruption.
@@ -64,7 +67,9 @@ int main(int argc, char** argv) {
               << stats.wall_seconds << " s (" << stats.steps_per_second()
               << " steps/s, "
               << (stats.parallel ? "actor-learner pipeline" : "sequential") << ", "
-              << stats.actor_threads << " actor thread(s))\n";
+              << stats.actor_threads << " actor thread(s), " << stats.learner_threads
+              << " learner thread(s), " << stats.grad_step_micros()
+              << " us/grad-step)\n";
   }
   std::cout << '\n';
 
@@ -114,9 +119,39 @@ int main(int argc, char** argv) {
   std::cout << "learning curves bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
 
+  // ---- Learner-thread speedup: 1 vs 4 gradient workers (bit-identical) ----
+  // The data-parallel gradient engine must leave curves untouched while
+  // cutting per-gradient-step latency on multi-core hosts.
+  std::cout << "\n--- Data-parallel gradient engine (double_dqn, "
+            << episodes / 2 << " episodes) ---\n";
+  double grad_micros[2] = {0.0, 0.0};
+  std::vector<double> learner_curves[2];
+  const std::size_t learner_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    auto experiment =
+        exp::Experiment::from_options(bench::make_env_options(arrival_rate));
+    experiment.manager("double_dqn", Config{{"seed", "8"}})
+        .train_threads(1)
+        .learner_threads(learner_counts[i])
+        .train_duration(duration)
+        .train(episodes / 2);
+    grad_micros[i] = experiment.train_stats().grad_step_micros();
+    for (const auto& r : experiment.learning_curve())
+      learner_curves[i].push_back(r.total_reward);
+  }
+  const bool learner_identical = learner_curves[0] == learner_curves[1];
+  std::cout << "1 learner thread: " << grad_micros[0]
+            << " us/grad-step, 4 learner threads: " << grad_micros[1]
+            << " us/grad-step -> grad-step speedup "
+            << (grad_micros[1] > 0.0 ? grad_micros[0] / grad_micros[1] : 0.0)
+            << "x on " << std::thread::hardware_concurrency()
+            << " hardware core(s)\n";
+  std::cout << "learning curves bit-identical across learner-thread counts: "
+            << (learner_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
   // Persist the full figure through the experiment report writers.
   const std::string csv = bench::csv_path("fig3_convergence");
   exp::write_reward_curves_csv(labels, curves, csv);
   std::cout << "\nCSV written to " << csv << "\n";
-  return identical ? 0 : 1;
+  return identical && learner_identical ? 0 : 1;
 }

@@ -1,0 +1,139 @@
+// Grad-step perf regression harness: micro-benchmarks the learner's batched
+// DQN gradient step through the data-parallel gradient engine at 1/2/4
+// learner threads, emits BENCH_grad_step.json for CI artifact tracking, and
+// asserts the engine's core contract — the final learner state after N
+// identical steps is byte-identical for every thread count (exit 1 on any
+// divergence; the speedup itself is reported, not gated, because CI runner
+// core counts vary).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "nn/grad_pool.hpp"
+#include "rl/dqn.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+rl::DqnConfig bench_config() {
+  rl::DqnConfig config;
+  // Paper-scale-ish dimensions: large enough that one gradient step is a
+  // few hundred µs of real GEMM work (batch 64 → 8 blocks of 8 rows), so
+  // per-step pool overhead cannot mask the parallel section.
+  config.state_dim = 64;
+  config.action_dim = 32;
+  config.hidden_dims = {128, 128};
+  config.batch_size = 64;
+  config.replay_capacity = 8192;
+  config.min_replay_before_training = 1U << 30;  // never auto-train; we drive
+  config.double_dqn = true;
+  config.seed = 7;
+  return config;
+}
+
+/// Deterministic synthetic transition stream (independent of the simulator:
+/// this bench measures the nn/rl layers only).
+void fill_replay(rl::DqnAgent& agent, std::size_t count) {
+  const auto& config = agent.config();
+  Rng rng(1234);
+  rl::Transition t;
+  for (std::size_t i = 0; i < count; ++i) {
+    t.state.resize(config.state_dim);
+    t.next_state.resize(config.state_dim);
+    for (auto& v : t.state) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    for (auto& v : t.next_state) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    t.action = static_cast<int>(rng.uniform_index(config.action_dim));
+    t.reward = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    t.done = rng.uniform() < 0.05;
+    t.next_valid.clear();
+    agent.observe(t);
+  }
+}
+
+std::vector<std::uint8_t> learner_state_bytes(const rl::DqnAgent& agent) {
+  Serializer out;
+  agent.save_state(out);
+  return out.bytes();
+}
+
+struct Sample {
+  std::size_t learner_threads = 0;
+  double us_per_step = 0.0;
+  double steps_per_s = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("REPRO_FULL") != nullptr;
+  const std::size_t warmup_steps = full ? 50 : 10;
+  const std::size_t timed_steps = full ? 1000 : 200;
+  const std::vector<std::size_t> thread_counts{1, 2, 4};
+
+  std::cout << "=== bench_grad_step: data-parallel DQN gradient step ("
+            << timed_steps << " steps, batch " << bench_config().batch_size
+            << ", block " << nn::kGradBlockRows << " rows) ===\n";
+
+  std::vector<Sample> samples;
+  std::vector<std::uint8_t> reference_state;
+  bool identical = true;
+  for (const std::size_t threads : thread_counts) {
+    rl::DqnAgent agent(bench_config());
+    agent.set_learner_threads(threads);
+    fill_replay(agent, 4096);
+
+    for (std::size_t i = 0; i < warmup_steps; ++i) (void)agent.train_step();
+    const double before = agent.grad_seconds();
+    for (std::size_t i = 0; i < timed_steps; ++i) (void)agent.train_step();
+    const double seconds = agent.grad_seconds() - before;
+
+    Sample sample;
+    sample.learner_threads = threads;
+    sample.us_per_step = seconds * 1e6 / static_cast<double>(timed_steps);
+    sample.steps_per_s = seconds > 0.0 ? static_cast<double>(timed_steps) / seconds : 0.0;
+    samples.push_back(sample);
+
+    // Identical seeds + identical step count ⇒ the full learner state
+    // (weights, optimizer moments, replay, RNG) must be byte-equal.
+    const auto state = learner_state_bytes(agent);
+    if (reference_state.empty()) {
+      reference_state = state;
+    } else if (state != reference_state) {
+      identical = false;
+    }
+    std::cout << "  learner_threads=" << threads << ": " << sample.us_per_step
+              << " us/step (" << sample.steps_per_s << " steps/s)\n";
+  }
+
+  const double speedup =
+      samples.back().us_per_step > 0.0
+          ? samples.front().us_per_step / samples.back().us_per_step
+          : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "speedup 4 vs 1 learner threads: " << speedup << "x on " << cores
+            << " hardware core(s)"
+            << (cores < 4 ? " (parallel gain needs >= 4 cores)" : "") << "\n";
+  std::cout << "learner state bit-identical across thread counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  std::ofstream json("BENCH_grad_step.json");
+  json << "{\n  \"batch_size\": " << bench_config().batch_size
+       << ",\n  \"block_rows\": " << nn::kGradBlockRows
+       << ",\n  \"hardware_cores\": " << cores
+       << ",\n  \"timed_steps\": " << timed_steps << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    json << "    {\"learner_threads\": " << samples[i].learner_threads
+         << ", \"us_per_step\": " << samples[i].us_per_step
+         << ", \"steps_per_s\": " << samples[i].steps_per_s << "}"
+         << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_4_vs_1\": " << speedup
+       << ",\n  \"bit_identical\": " << (identical ? "true" : "false") << "\n}\n";
+  std::cout << "JSON written to BENCH_grad_step.json\n";
+  return identical ? 0 : 1;
+}

@@ -76,6 +76,12 @@ std::size_t train_threads() {
   return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
 }
 
+std::size_t learner_threads() {
+  const char* requested = std::getenv("REPRO_LEARNER_THREADS");
+  if (requested == nullptr || *requested == '\0') return 0;  // hardware
+  return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
+}
+
 std::string checkpoint_dir() {
   const char* dir = std::getenv("REPRO_CHECKPOINT_DIR");
   return dir == nullptr ? std::string{} : std::string{dir};
@@ -146,6 +152,7 @@ std::unique_ptr<core::Manager> train_policy(core::VnfEnv& env, const Scale& scal
   core::TrainOptions train;
   train.episodes = scale.train_episodes;
   train.threads = train_threads();
+  train.learner_threads = learner_threads();
   train.episode.duration_s = scale.train_duration_s;
 
   const ResumePlan plan = resolve_resume(label.empty() ? name : label);
@@ -227,6 +234,7 @@ std::vector<SweepRow> run_load_sweep(const std::vector<double>& rates,
         default_scenario(), Config{{"arrival_rate", to_config_value(rate)}});
     experiment.manager("dqn")
         .train_threads(train_threads())
+        .learner_threads(learner_threads())
         .train_duration(scale.train_duration_s)
         .eval_duration(scale.eval_duration_s)
         .train(scale.train_episodes);

@@ -67,6 +67,12 @@ core::EnvOptions make_env_options(double arrival_rate, std::size_t nodes = 8,
 /// wall-clock, never results.
 std::size_t train_threads();
 
+/// Learner-side workers for the data-parallel minibatch gradient engine
+/// (nn::GradWorkPool): the REPRO_LEARNER_THREADS environment variable,
+/// defaulting to 0 = hardware concurrency. Like actor threads, bit-identical
+/// at any value — it moves gradient-step wall-clock only.
+std::size_t learner_threads();
+
 /// Base directory for resumable training checkpoints: the
 /// REPRO_CHECKPOINT_DIR environment variable ("" = checkpointing off). Each
 /// training run writes under "<dir>/<bench binary>/<scenario>/<label>" so

@@ -11,7 +11,13 @@ namespace vnfm {
 namespace {
 
 constexpr std::array<std::uint8_t, 4> kMagic{'V', 'N', 'F', 'M'};
-constexpr std::uint32_t kFormatVersion = 1;
+// Format history:
+//   v1 — initial layout (PR 4).
+//   v2 — train-run checkpoint archives gained an optional trailing "xstats"
+//        chunk (gradient-step accounting; see core/checkpoint.cpp). Readers
+//        accept every version up to kFormatVersion: older chunks are always
+//        a prefix of newer archives, and unread suffix chunks are skipped.
+constexpr std::uint32_t kFormatVersion = 2;
 
 const std::array<std::uint32_t, 256>& crc_table() {
   static const std::array<std::uint32_t, 256> table = [] {

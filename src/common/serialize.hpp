@@ -136,6 +136,15 @@ class Deserializer {
   /// Archive format version from the header.
   [[nodiscard]] std::uint32_t format_version() const noexcept { return version_; }
 
+  /// Unread payload bytes left in the innermost open chunk (whole remaining
+  /// archive when no chunk is open). Version negotiation uses this before
+  /// peek_chunk_tag() to probe for optional suffix chunks that older
+  /// writers did not emit: 0 means the chunk holds nothing further.
+  [[nodiscard]] std::uint64_t remaining_in_chunk() const noexcept {
+    const std::size_t bound = chunk_ends_.empty() ? buffer_.size() : chunk_ends_.back();
+    return cursor_ > bound ? 0 : bound - cursor_;
+  }
+
   /// Validates that `count` items of at least `min_item_bytes` serialized
   /// bytes each still fit inside the current chunk bounds; throws
   /// SerializeError otherwise. Call before resize()/reserve()-ing containers

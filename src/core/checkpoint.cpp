@@ -1,7 +1,9 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "common/serialize.hpp"
 
@@ -72,6 +74,19 @@ void write_checkpoint(const std::string& path, const Manager& manager,
   manager.save(out);
   out.end_chunk();
 
+  // Format v2: gradient-step accounting in a skippable suffix chunk. New
+  // stats ride in suffix chunks (not in "stats") so the v1 chunk sequence
+  // stays a prefix of every newer archive — a reader that stops after
+  // "manager" still loads cleanly, and this reader probes for the suffix
+  // instead of assuming it (v1 archives end at "manager").
+  // (stats.learner_threads is deliberately NOT archived, like the rest of
+  // the execution configuration: invariant #8 keeps thread counts out of
+  // checkpoints, so a resumed run reports only its own thread counts.)
+  out.begin_chunk("xstats");
+  out.write_u64(data.stats.grad_steps);
+  out.write_f64(data.stats.grad_seconds);
+  out.end_chunk();
+
   out.end_chunk();
   out.save_file(path);
 }
@@ -111,6 +126,15 @@ TrainCheckpoint read_checkpoint(const std::string& path, Manager& manager) {
   manager.load(in);
   in.leave_chunk();
 
+  // Optional v2 suffix (absent in v1 archives: grad stats default to 0).
+  // Unknown later suffix chunks are skipped by the final leave_chunk().
+  if (in.remaining_in_chunk() > 0 && in.peek_chunk_tag() == "xstats") {
+    in.enter_chunk("xstats");
+    data.stats.grad_steps = in.read_u64();
+    data.stats.grad_seconds = in.read_f64();
+    in.leave_chunk();
+  }
+
   in.leave_chunk();
   return data;
 }
@@ -131,20 +155,47 @@ std::string checkpoint_filename(std::uint64_t episodes_done) {
   return name;
 }
 
-std::string latest_checkpoint(const std::string& dir) {
+namespace {
+
+/// Checkpoint archives in `dir` by the checkpoint_filename naming scheme,
+/// sorted by filename (the zero-padded episode count makes lexicographic
+/// order numeric order, oldest first).
+std::vector<std::filesystem::path> list_checkpoints(const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  std::string best;
+  std::vector<fs::path> archives;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (name.rfind("ckpt-", 0) != 0 || name.size() < 6) continue;
     if (entry.path().extension() != ".vnfmc") continue;
-    // The zero-padded episode count makes lexicographic order numeric order.
-    if (best.empty() || name > fs::path(best).filename().string())
-      best = entry.path().string();
+    archives.push_back(entry.path());
   }
-  return best;
+  std::sort(archives.begin(), archives.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return archives;
+}
+
+}  // namespace
+
+std::string latest_checkpoint(const std::string& dir) {
+  const auto archives = list_checkpoints(dir);
+  return archives.empty() ? std::string{} : archives.back().string();
+}
+
+std::size_t prune_checkpoints(const std::string& dir, std::size_t keep_last_n) {
+  if (keep_last_n == 0) return 0;
+  const auto archives = list_checkpoints(dir);
+  if (archives.size() <= keep_last_n) return 0;
+  const std::size_t excess = archives.size() - keep_last_n;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    if (std::filesystem::remove(archives[i], ec)) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace vnfm::core

@@ -50,4 +50,11 @@ std::string checkpoint_filename(std::uint64_t episodes_done);
 /// (by the checkpoint_filename naming scheme), or "" when none exists.
 std::string latest_checkpoint(const std::string& dir);
 
+/// Deletes all but the newest `keep_last_n` checkpoint archives in `dir`
+/// (by the checkpoint_filename naming scheme; other files are untouched)
+/// and returns the number removed. keep_last_n == 0 keeps everything.
+/// TrainDriver calls this after every write when TrainOptions::keep_last_n
+/// is set, so multi-day runs do not accumulate archives without bound.
+std::size_t prune_checkpoints(const std::string& dir, std::size_t keep_last_n);
+
 }  // namespace vnfm::core

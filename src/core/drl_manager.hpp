@@ -37,6 +37,14 @@ class DqnManager : public Manager {
   [[nodiscard]] std::unique_ptr<Manager> clone_for_acting() const override;
   void ingest(const TransitionView& transition) override;
 
+  // Data-parallel gradient engine (learner-side worker pool).
+  void set_learner_threads(std::size_t workers) override {
+    agent_->set_learner_threads(workers);
+  }
+  [[nodiscard]] GradStepStats grad_step_stats() const override {
+    return {agent_->gradient_steps(), agent_->grad_seconds()};
+  }
+
   [[nodiscard]] rl::DqnAgent& agent() noexcept { return *agent_; }
   [[nodiscard]] const rl::DqnAgent& agent() const noexcept { return *agent_; }
   [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
@@ -94,6 +102,14 @@ class ReinforceManager : public Manager {
   void save(Serializer& out) const override;
   void load(Deserializer& in) override;
 
+  // Data-parallel gradient engine (batched per-episode update).
+  void set_learner_threads(std::size_t workers) override {
+    agent_->set_learner_threads(workers);
+  }
+  [[nodiscard]] GradStepStats grad_step_stats() const override {
+    return {agent_->gradient_steps(), agent_->grad_seconds()};
+  }
+
   [[nodiscard]] rl::ReinforceAgent& agent() noexcept { return *agent_; }
 
  private:
@@ -119,6 +135,14 @@ class A2cManager : public Manager {
   }
   void save(Serializer& out) const override;
   void load(Deserializer& in) override;
+
+  // Data-parallel gradient engine (single-row updates: one block).
+  void set_learner_threads(std::size_t workers) override {
+    agent_->set_learner_threads(workers);
+  }
+  [[nodiscard]] GradStepStats grad_step_stats() const override {
+    return {agent_->updates(), agent_->grad_seconds()};
+  }
 
   [[nodiscard]] rl::ActorCriticAgent& agent() noexcept { return *agent_; }
 

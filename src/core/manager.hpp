@@ -30,6 +30,14 @@ struct TransitionView {
   std::span<const float> next_coarse_state;
 };
 
+/// Lifetime gradient-step accounting a learning manager can expose (count
+/// of batched gradient steps and the wall-clock spent inside them); the
+/// TrainDriver reports per-run deltas through TrainStats.
+struct GradStepStats {
+  std::size_t steps = 0;   ///< gradient steps taken so far
+  double seconds = 0.0;    ///< wall-clock seconds spent in gradient work
+};
+
 /// Interface implemented by the DRL manager and every baseline.
 class Manager {
  public:
@@ -87,6 +95,21 @@ class Manager {
 
   /// Restores state written by save() into this manager.
   virtual void load(Deserializer& in) { (void)in; }
+
+  // ---- Learner-side data-parallel gradient hooks (see nn/grad_pool.hpp) ----
+
+  /// Sizes the worker pool of the manager's data-parallel gradient engine
+  /// (block-wise minibatch forward/backward with fixed-order reduction).
+  /// The contract: ANY value produces bit-identical learning curves, final
+  /// weights, and checkpoint archives (modulo the archives' wall-clock
+  /// stats fields) — learner threads move gradient-step wall-clock only.
+  /// Runtime execution config, never serialized; the default ignores the
+  /// value (policies without batched gradient steps).
+  virtual void set_learner_threads(std::size_t workers) { (void)workers; }
+
+  /// Lifetime gradient-step accounting (see GradStepStats); the default
+  /// returns zeros for policies without gradient work.
+  [[nodiscard]] virtual GradStepStats grad_step_stats() const { return {}; }
 
   // ---- Parallel-training hooks (actor-learner split; see TrainDriver) ------
 

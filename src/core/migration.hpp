@@ -48,6 +48,16 @@ class ConsolidatingManager : public Manager {
   void on_chain_end(VnfEnv& env) override;
   void set_training(bool training) override;
 
+  // The gradient-engine hooks pass straight through to the wrapped policy,
+  // so a decorated learner still gets its worker pool and reports its
+  // gradient work.
+  void set_learner_threads(std::size_t workers) override {
+    inner_.set_learner_threads(workers);
+  }
+  [[nodiscard]] GradStepStats grad_step_stats() const override {
+    return inner_.grad_step_stats();
+  }
+
   [[nodiscard]] std::uint64_t migrations_triggered() const noexcept {
     return migrations_triggered_;
   }

@@ -120,16 +120,32 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Writes the manager's gradient work since `before` into `stats` (the
+/// manager counts lifetime totals; a run reports only its own delta).
+void fold_grad_delta(TrainStats& stats, const GradStepStats& before,
+                     const GradStepStats& now) {
+  stats.grad_steps = now.steps - before.steps;
+  stats.grad_seconds = now.seconds - before.seconds;
+}
+
 }  // namespace
 
 TrainDriver::TrainDriver(EnvOptions env_options, TrainOptions options)
     : env_options_(std::move(env_options)), options_(std::move(options)) {}
 
 void TrainDriver::write_run_checkpoint(const Manager& manager, const TrainResult& result,
-                                       std::size_t completed,
-                                       double partial_seconds) const {
+                                       std::size_t completed, double partial_seconds,
+                                       const GradStepStats& grad_before) const {
   if (options_.checkpoint_every == 0 || options_.checkpoint_dir.empty()) return;
   std::filesystem::create_directories(options_.checkpoint_dir);
+
+  // result.stats mid-run: wall_seconds/episodes/grad work are not final
+  // yet, so patch in the progress so far before folding onto the prior
+  // history.
+  TrainStats partial = result.stats;
+  partial.wall_seconds = partial_seconds;
+  partial.episodes = completed;
+  fold_grad_delta(partial, grad_before, manager.grad_step_stats());
 
   TrainCheckpoint data;
   data.episodes_done = options_.first_episode + completed;
@@ -140,11 +156,6 @@ void TrainDriver::write_run_checkpoint(const Manager& manager, const TrainResult
   data.seeds = options_.prior_seeds;
   data.seeds.insert(data.seeds.end(), result.seeds.begin(),
                     result.seeds.begin() + static_cast<std::ptrdiff_t>(completed));
-  // result.stats mid-run: wall_seconds/episodes are not final yet, so patch
-  // in the progress so far before folding onto the prior history.
-  TrainStats partial = result.stats;
-  partial.wall_seconds = partial_seconds;
-  partial.episodes = completed;
   data.stats = options_.prior_stats;
   data.stats.accumulate(partial);
 
@@ -152,6 +163,8 @@ void TrainDriver::write_run_checkpoint(const Manager& manager, const TrainResult
       std::filesystem::path(options_.checkpoint_dir) /
       checkpoint_filename(data.episodes_done);
   write_checkpoint(file.string(), manager, data);
+  if (options_.keep_last_n > 0)
+    prune_checkpoints(options_.checkpoint_dir, options_.keep_last_n);
 }
 
 TrainResult TrainDriver::run(Manager& manager) const {
@@ -174,8 +187,12 @@ TrainResult TrainDriver::run_sequential(Manager& manager, VnfEnv* env) const {
   EpisodeOptions episode = options_.episode;
   episode.training = true;
   const std::uint64_t base_seed = options_.episode.seed;
+  const std::size_t learner_workers = resolve_threads(options_.learner_threads);
+  manager.set_learner_threads(learner_workers);
+  const GradStepStats grad_before = manager.grad_step_stats();
   result.stats.actor_threads = 1;
   result.stats.parallel = false;
+  result.stats.learner_threads = learner_workers;
   CountingManager counting(manager, &result.stats.transitions);
   for (std::size_t i = 0; i < options_.episodes; ++i) {
     episode.seed = train_seed(base_seed, options_.first_episode + i);
@@ -184,11 +201,12 @@ TrainResult TrainDriver::run_sequential(Manager& manager, VnfEnv* env) const {
     // Sequential learners update inline, so any episode boundary is a
     // resume-exact cut point.
     if (options_.checkpoint_every != 0 && (i + 1) % options_.checkpoint_every == 0)
-      write_run_checkpoint(manager, result, i + 1, seconds_since(start));
+      write_run_checkpoint(manager, result, i + 1, seconds_since(start), grad_before);
   }
 
   result.stats.wall_seconds = seconds_since(start);
   result.stats.episodes = options_.episodes;
+  fold_grad_delta(result.stats, grad_before, manager.grad_step_stats());
   return result;
 }
 
@@ -207,6 +225,9 @@ TrainResult TrainDriver::run_pipeline(Manager& learner) const {
   EpisodeOptions episode = options_.episode;
   episode.training = true;
   learner.set_training(true);
+  const std::size_t learner_workers = resolve_threads(options_.learner_threads);
+  learner.set_learner_threads(learner_workers);
+  const GradStepStats grad_before = learner.grad_step_stats();
 
   // Persistent per-worker actors and environments; a round never needs more
   // workers than it has episodes.
@@ -226,6 +247,7 @@ TrainResult TrainDriver::run_pipeline(Manager& learner) const {
 
   result.stats.actor_threads = workers;
   result.stats.parallel = true;
+  result.stats.learner_threads = learner_workers;
   std::size_t last_checkpoint = 0;
   for (std::size_t round_start = 0; round_start < episodes;
        round_start += sync_period) {
@@ -303,13 +325,15 @@ TrainResult TrainDriver::run_pipeline(Manager& learner) const {
     const std::size_t completed = round_start + count;
     if (options_.checkpoint_every != 0 &&
         completed - last_checkpoint >= options_.checkpoint_every) {
-      write_run_checkpoint(learner, result, completed, seconds_since(start));
+      write_run_checkpoint(learner, result, completed, seconds_since(start),
+                           grad_before);
       last_checkpoint = completed;
     }
   }
 
   result.stats.wall_seconds = seconds_since(start);
   result.stats.episodes = episodes;
+  fold_grad_delta(result.stats, grad_before, learner.grad_step_stats());
   return result;
 }
 

@@ -44,13 +44,26 @@ struct TrainStats {
   std::size_t rounds = 0;  ///< weight republications (parallel path only)
   std::size_t actor_threads = 1;
   bool parallel = false;  ///< actor-learner pipeline vs sequential fallback
+  /// Learner-side gradient workers (data-parallel minibatch engine; see
+  /// nn/grad_pool.hpp). Like actor_threads, never changes results.
+  std::size_t learner_threads = 1;
+  std::size_t grad_steps = 0;  ///< batched gradient steps taken this run
+  /// Wall-clock spent inside batched gradient steps, end to end: replay
+  /// sampling and priority updates included, not just the block-parallel
+  /// forward/backward section.
+  double grad_seconds = 0.0;
 
   [[nodiscard]] double steps_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(transitions) / wall_seconds : 0.0;
   }
 
+  /// Mean microseconds per batched gradient step (0 when no step ran).
+  [[nodiscard]] double grad_step_micros() const noexcept {
+    return grad_steps > 0 ? grad_seconds * 1e6 / static_cast<double>(grad_steps) : 0.0;
+  }
+
   /// Folds another run's stats into this one (continuation/resume totals):
-  /// durations and counts add, actor_threads takes the max, parallel ORs.
+  /// durations and counts add, thread counts take the max, parallel ORs.
   void accumulate(const TrainStats& other) noexcept {
     wall_seconds += other.wall_seconds;
     transitions += other.transitions;
@@ -58,6 +71,9 @@ struct TrainStats {
     rounds += other.rounds;
     if (other.actor_threads > actor_threads) actor_threads = other.actor_threads;
     parallel = parallel || other.parallel;
+    if (other.learner_threads > learner_threads) learner_threads = other.learner_threads;
+    grad_steps += other.grad_steps;
+    grad_seconds += other.grad_seconds;
   }
 };
 
@@ -74,6 +90,12 @@ struct TrainOptions {
   /// parallelism. Part of the algorithm definition: changing it changes
   /// results (changing `threads` does not).
   std::size_t sync_period = 4;
+  /// Learner-side workers for the data-parallel minibatch gradient engine
+  /// (Manager::set_learner_threads); 0 = hardware concurrency. Like
+  /// `threads`, any value yields bit-identical curves, weights, and
+  /// checkpoint archives (modulo archived wall-clock stats) — it moves
+  /// gradient-step wall-clock only.
+  std::size_t learner_threads = 1;
   /// Offset into the training seed slice (continuing a previous run).
   std::size_t first_episode = 0;
   /// Per-episode options (duration, request cap, base seed). `training` is
@@ -89,6 +111,11 @@ struct TrainOptions {
   std::size_t checkpoint_every = 0;
   /// Directory for checkpoint files (created on demand).
   std::string checkpoint_dir;
+  /// Keep only the newest N checkpoint archives in checkpoint_dir, pruning
+  /// older ones after every successful write (0 = unlimited). Multi-day
+  /// runs checkpoint thousands of times; without pruning the archives
+  /// accumulate without bound.
+  std::size_t keep_last_n = 0;
   /// Training history preceding first_episode (continuation/resume):
   /// prepended to the curve stored in every checkpoint so archives always
   /// describe episodes [0, first_episode + k).
@@ -127,9 +154,13 @@ class TrainDriver {
   TrainResult run_pipeline(Manager& learner) const;
   /// Writes a checkpoint for `completed` finished episodes of this run
   /// (absolute index first_episode + completed); no-op when checkpointing is
-  /// off. `partial_seconds` is the wall-clock spent in this run so far.
+  /// off. Patches the run's in-progress stats (wall-clock `partial_seconds`,
+  /// episode count, gradient work since `grad_before`) onto result.stats
+  /// before folding the prior history in; prunes old archives per
+  /// keep_last_n afterwards.
   void write_run_checkpoint(const Manager& manager, const TrainResult& result,
-                            std::size_t completed, double partial_seconds) const;
+                            std::size_t completed, double partial_seconds,
+                            const GradStepStats& grad_before) const;
 
   EnvOptions env_options_;
   TrainOptions options_;

@@ -147,6 +147,11 @@ Experiment& Experiment::train_sync_period(std::size_t episodes) {
   return *this;
 }
 
+Experiment& Experiment::learner_threads(std::size_t threads) {
+  learner_threads_ = threads;
+  return *this;
+}
+
 Experiment& Experiment::train_duration(double seconds) {
   train_duration_s_ = seconds;
   return *this;
@@ -187,8 +192,10 @@ Experiment& Experiment::train(std::size_t episodes) {
   train.first_episode = episodes_done_;
   train.sync_period = train_sync_period_;
   train.threads = train_threads_.value_or(1);
+  train.learner_threads = learner_threads_;
   train.checkpoint_every = checkpoint_every_;
   train.checkpoint_dir = checkpoint_dir_;
+  train.keep_last_n = checkpoint_keep_last_;
   if (checkpoint_every_ > 0 && !checkpoint_dir_.empty()) {
     // Archives describe the full history from episode 0, not just this call.
     train.prior_curve = curve_;
@@ -216,6 +223,11 @@ Experiment& Experiment::checkpoint_every(std::size_t episodes) {
 
 Experiment& Experiment::checkpoint_dir(const std::string& path) {
   checkpoint_dir_ = path;
+  return *this;
+}
+
+Experiment& Experiment::checkpoint_keep_last(std::size_t n) {
+  checkpoint_keep_last_ = n;
   return *this;
 }
 

@@ -85,6 +85,13 @@ class Experiment {
   /// Episodes per weight republication round of the pipeline (default 4).
   /// Part of the algorithm definition: changing it changes results.
   Experiment& train_sync_period(std::size_t episodes);
+  /// Learner-side workers for the data-parallel minibatch gradient engine
+  /// (0 = hardware concurrency, default 1). Orthogonal to train_threads():
+  /// actor threads parallelise episode rollouts, learner threads the
+  /// batched gradient step itself. Any value produces bit-identical curves,
+  /// weights, and checkpoint archives (modulo archived wall-clock stats) —
+  /// only grad-step wall-clock changes (train_stats().grad_step_micros()).
+  Experiment& learner_threads(std::size_t threads);
   /// Simulated seconds per training episode (0 = EpisodeOptions default).
   Experiment& train_duration(double seconds);
   /// Simulated seconds per evaluation episode (0 = EpisodeOptions default).
@@ -104,6 +111,10 @@ class Experiment {
   Experiment& checkpoint_every(std::size_t episodes);
   /// Directory train() writes checkpoint files into (created on demand).
   Experiment& checkpoint_dir(const std::string& path);
+  /// Keeps only the newest `n` archives in checkpoint_dir(), pruning older
+  /// ones after each periodic write (0 = unlimited, the default), so
+  /// multi-day runs do not accumulate checkpoints without bound.
+  Experiment& checkpoint_keep_last(std::size_t n);
   /// Restores a checkpoint written by a previous run: the manager's full
   /// learning state, the episode index (subsequent train() calls continue
   /// the training seed sequence where the archive stopped), the learning
@@ -158,11 +169,13 @@ class Experiment {
   /// Unset = classic inline loop; set = pipeline (0 = hardware concurrency).
   std::optional<std::size_t> train_threads_;
   std::size_t train_sync_period_ = 4;
+  std::size_t learner_threads_ = 1;  ///< gradient-engine workers (0 = hardware)
   std::size_t max_requests_ = 0;  ///< 0 = unlimited
   double train_duration_s_ = 0.0;  ///< 0 = EpisodeOptions default
   double eval_duration_s_ = 0.0;   ///< 0 = EpisodeOptions default
   std::size_t checkpoint_every_ = 0;  ///< 0 = no periodic checkpoints
   std::string checkpoint_dir_;
+  std::size_t checkpoint_keep_last_ = 0;  ///< 0 = keep every archive
   /// Training episodes completed (next train() continues the seed sequence
   /// here); kept separate from curve_.size() so resume stays authoritative.
   std::size_t episodes_done_ = 0;

@@ -137,6 +137,9 @@ void write_curve_json(const std::vector<core::EpisodeResult>& curve,
         << "    \"episodes\": " << stats->episodes << ",\n"
         << "    \"rounds\": " << stats->rounds << ",\n"
         << "    \"actor_threads\": " << stats->actor_threads << ",\n"
+        << "    \"learner_threads\": " << stats->learner_threads << ",\n"
+        << "    \"grad_steps\": " << stats->grad_steps << ",\n"
+        << "    \"grad_step_micros\": " << number(stats->grad_step_micros()) << ",\n"
         << "    \"parallel\": " << (stats->parallel ? "true" : "false") << "\n  }";
   }
   out << ",\n  \"episodes\": [\n";

@@ -1,0 +1,95 @@
+#include "nn/grad_pool.hpp"
+
+namespace vnfm::nn {
+
+GradWorkPool::GradWorkPool(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  errors_.resize(workers_);
+  helpers_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w)
+    helpers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+GradWorkPool::~GradWorkPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& helper : helpers_) helper.join();
+}
+
+void GradWorkPool::run_impl(std::size_t blocks, BlockFn invoke, void* ctx) {
+  if (blocks == 0) return;
+  if (workers_ == 1 || blocks == 1) {
+    // Sequential path: same block decomposition, no synchronisation at all.
+    for (std::size_t b = 0; b < blocks; ++b) invoke(ctx, b, 0);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
+    job_blocks_ = blocks;
+    next_block_.store(0, std::memory_order_relaxed);
+    helpers_running_ = helpers_.size();
+    ++generation_;
+    for (auto& error : errors_) error = nullptr;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0.
+  try {
+    while (true) {
+      const std::size_t b = next_block_.fetch_add(1);
+      if (b >= blocks) break;
+      invoke(ctx, b, 0);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    errors_[0] = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return helpers_running_ == 0; });
+  job_invoke_ = nullptr;
+  job_ctx_ = nullptr;
+  for (const auto& error : errors_)
+    if (error) std::rethrow_exception(error);
+}
+
+void GradWorkPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    BlockFn invoke = nullptr;
+    void* ctx = nullptr;
+    std::size_t blocks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      invoke = job_invoke_;
+      ctx = job_ctx_;
+      blocks = job_blocks_;
+    }
+    try {
+      while (true) {
+        const std::size_t b = next_block_.fetch_add(1);
+        if (b >= blocks) break;
+        invoke(ctx, b, worker);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      errors_[worker] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --helpers_running_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace vnfm::nn

@@ -1,0 +1,96 @@
+// GradWorkPool: the learner-side worker pool behind the deterministic
+// data-parallel gradient engine.
+//
+// A minibatch gradient step splits its rows into fixed-size blocks of
+// kGradBlockRows; the pool runs one forward+backward per block (each block
+// writing its own gradient accumulator), and the caller reduces the
+// per-block accumulators in ascending block index afterwards. Because the
+// block size is a compile-time constant and the reduction order is fixed,
+// the summed gradient is bit-identical for ANY worker count — workers only
+// decide which CPU computes a block, never what the block computes or the
+// order partial sums combine (determinism invariant #8 in
+// docs/ARCHITECTURE.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vnfm::nn {
+
+/// Rows per gradient block. Part of the numeric definition of a training
+/// run (like the 8-lane split in matmul_a_bt): changing it changes where
+/// float partial sums combine and therefore the results — it must never be
+/// derived from the worker count or hardware.
+inline constexpr std::size_t kGradBlockRows = 8;
+
+/// Number of kGradBlockRows-sized blocks covering `rows` rows.
+[[nodiscard]] constexpr std::size_t grad_block_count(std::size_t rows) noexcept {
+  return (rows + kGradBlockRows - 1) / kGradBlockRows;
+}
+
+/// A small persistent worker pool executing per-block closures. The calling
+/// thread participates as worker 0; `workers - 1` helper threads are spawned
+/// once and parked between jobs, so a pool adds no per-step thread-creation
+/// cost. With workers == 1 every job runs inline on the caller and no thread
+/// is ever spawned — the 1-worker pool is the sequential path.
+class GradWorkPool {
+ public:
+  /// Creates a pool of `workers` workers (>= 1; 0 is clamped to 1).
+  explicit GradWorkPool(std::size_t workers);
+  ~GradWorkPool();
+
+  GradWorkPool(const GradWorkPool&) = delete;
+  GradWorkPool& operator=(const GradWorkPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Runs fn(block, worker) for every block in [0, blocks), distributing
+  /// blocks dynamically over the workers, and returns once all blocks are
+  /// done. `worker` is in [0, workers()) and identifies reusable per-worker
+  /// scratch; which worker runs which block is scheduling-dependent, so fn
+  /// must write per-BLOCK outputs only (per-worker state must not leak into
+  /// results). Exceptions thrown by fn are rethrown here after the job ends.
+  /// fn is invoked through a raw function-pointer trampoline (no
+  /// std::function), so submitting a job allocates nothing — this runs once
+  /// per gradient step on the training hot path.
+  template <typename Fn>
+  void run(std::size_t blocks, Fn&& fn) {
+    run_impl(
+        blocks,
+        [](void* ctx, std::size_t block, std::size_t worker) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(block, worker);
+        },
+        std::addressof(fn));
+  }
+
+ private:
+  using BlockFn = void (*)(void* ctx, std::size_t block, std::size_t worker);
+
+  void run_impl(std::size_t blocks, BlockFn invoke, void* ctx);
+  void worker_loop(std::size_t worker);
+
+  std::size_t workers_;
+  std::vector<std::thread> helpers_;  // workers_ - 1 parked threads
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  BlockFn job_invoke_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_blocks_ = 0;
+  std::atomic<std::size_t> next_block_{0};
+  std::size_t helpers_running_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace vnfm::nn

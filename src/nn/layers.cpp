@@ -21,8 +21,12 @@ void Linear::init(Rng& rng, float scale_numerator) {
 }
 
 void Linear::forward(const Matrix& x, Matrix& y) const {
-  if (x.cols() != in_) throw std::invalid_argument("linear forward shape mismatch");
   cached_input_ = x;
+  forward_block(x, y);
+}
+
+void Linear::forward_block(const Matrix& x, Matrix& y) const {
+  if (x.cols() != in_) throw std::invalid_argument("linear forward shape mismatch");
   matmul_a_bt(x, w_.value, y);
   add_row_vector(y, b_.value.row(0));
 }
@@ -30,11 +34,18 @@ void Linear::forward(const Matrix& x, Matrix& y) const {
 void Linear::backward(const Matrix& d_out, Matrix& d_in) {
   if (d_out.cols() != out_ || d_out.rows() != cached_input_.rows())
     throw std::invalid_argument("linear backward shape mismatch");
-  // dW += d_out^T * X  (shapes: (out,batch) x (batch,in) -> (out,in)).
   Matrix dw;
-  matmul_at_b(d_out, cached_input_, dw);
-  axpy(1.0F, dw, w_.grad);
-  column_sums(d_out, b_.grad.row(0));
+  backward_block(cached_input_, d_out, dw, w_.grad, b_.grad, d_in);
+}
+
+void Linear::backward_block(const Matrix& x, const Matrix& d_out, Matrix& dw_scratch,
+                            Matrix& dw_accum, Matrix& db_accum, Matrix& d_in) const {
+  if (d_out.cols() != out_ || d_out.rows() != x.rows())
+    throw std::invalid_argument("linear backward shape mismatch");
+  // dW += d_out^T * X  (shapes: (out,batch) x (batch,in) -> (out,in)).
+  matmul_at_b(d_out, x, dw_scratch);
+  axpy(1.0F, dw_scratch, dw_accum);
+  column_sums(d_out, db_accum.row(0));
   // dX = d_out * W  (shapes: (batch,out) x (out,in) -> (batch,in)).
   matmul(d_out, w_.value, d_in);
 }
@@ -50,6 +61,14 @@ const char* to_string(Activation a) noexcept {
 
 void ActivationLayer::forward(const Matrix& x, Matrix& y) const {
   cached_input_ = x;
+  forward_block(x, y);
+}
+
+void ActivationLayer::backward(const Matrix& d_out, Matrix& d_in) const {
+  backward_block(cached_input_, d_out, d_in);
+}
+
+void ActivationLayer::forward_block(const Matrix& x, Matrix& y) const {
   y.resize(x.rows(), x.cols());
   const auto in = x.flat();
   const auto out = y.flat();
@@ -66,11 +85,12 @@ void ActivationLayer::forward(const Matrix& x, Matrix& y) const {
   }
 }
 
-void ActivationLayer::backward(const Matrix& d_out, Matrix& d_in) const {
-  if (d_out.rows() != cached_input_.rows() || d_out.cols() != cached_input_.cols())
+void ActivationLayer::backward_block(const Matrix& pre_act, const Matrix& d_out,
+                                     Matrix& d_in) const {
+  if (d_out.rows() != pre_act.rows() || d_out.cols() != pre_act.cols())
     throw std::invalid_argument("activation backward shape mismatch");
   d_in.resize(d_out.rows(), d_out.cols());
-  const auto pre = cached_input_.flat();
+  const auto pre = pre_act.flat();
   const auto grad_out = d_out.flat();
   const auto grad_in = d_in.flat();
   switch (kind_) {

@@ -40,6 +40,19 @@ class Linear {
   /// Accumulates dW, db from cached X and d_out; writes d_in = d_out * W.
   void backward(const Matrix& d_out, Matrix& d_in);
 
+  /// Cache-free forward for the block-parallel gradient engine: the same
+  /// math as forward() but nothing is stored — the caller keeps `x` for
+  /// backward_block. Safe to call concurrently on a shared instance.
+  void forward_block(const Matrix& x, Matrix& y) const;
+
+  /// Cache-free backward: accumulates dW into `dw_accum` and db into
+  /// `db_accum` (shaped like weights().grad / bias().grad, caller-owned
+  /// per-block accumulators) from the caller-kept input `x`, and writes
+  /// d_in = d_out * W. `dw_scratch` is reusable workspace. Safe to call
+  /// concurrently on a shared instance (parameters are only read).
+  void backward_block(const Matrix& x, const Matrix& d_out, Matrix& dw_scratch,
+                      Matrix& dw_accum, Matrix& db_accum, Matrix& d_in) const;
+
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
 
@@ -69,6 +82,12 @@ class ActivationLayer {
   void forward(const Matrix& x, Matrix& y) const;
   /// d_in = d_out ⊙ f'(cached pre-activation).
   void backward(const Matrix& d_out, Matrix& d_in) const;
+
+  /// Cache-free forward (block-parallel engine); safe concurrently.
+  void forward_block(const Matrix& x, Matrix& y) const;
+  /// Cache-free backward from the caller-kept pre-activation `pre`:
+  /// d_in = d_out ⊙ f'(pre). Safe concurrently.
+  void backward_block(const Matrix& pre, const Matrix& d_out, Matrix& d_in) const;
 
   [[nodiscard]] Activation kind() const noexcept { return kind_; }
 

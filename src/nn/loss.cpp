@@ -51,35 +51,4 @@ double huber_loss(const Matrix& pred, const Matrix& target, Matrix& grad, float 
   return loss / n;
 }
 
-double masked_huber_loss(const Matrix& pred, const Matrix& target, const Matrix& mask,
-                         Matrix& grad, float delta) {
-  check_same_shape(pred, target);
-  check_same_shape(pred, mask);
-  grad.resize(pred.rows(), pred.cols());
-  grad.fill(0.0F);
-  const auto p = pred.flat();
-  const auto t = target.flat();
-  const auto m = mask.flat();
-  const auto g = grad.flat();
-  std::size_t active = 0;
-  for (const float v : m)
-    if (v != 0.0F) ++active;
-  if (active == 0) return 0.0;
-  const auto n = static_cast<double>(active);
-  double loss = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    if (m[i] == 0.0F) continue;
-    const float diff = p[i] - t[i];
-    const float abs_diff = std::fabs(diff);
-    if (abs_diff <= delta) {
-      loss += 0.5 * static_cast<double>(diff) * diff;
-      g[i] = static_cast<float>(diff / n);
-    } else {
-      loss += delta * (abs_diff - 0.5 * delta);
-      g[i] = static_cast<float>((diff > 0 ? delta : -delta) / n);
-    }
-  }
-  return loss / n;
-}
-
 }  // namespace vnfm::nn

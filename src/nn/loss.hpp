@@ -1,21 +1,42 @@
 // Scalar losses with analytic gradients for regression targets.
 #pragma once
 
+#include <cmath>
+
 #include "nn/matrix.hpp"
 
 namespace vnfm::nn {
+
+/// One Huber element: loss contribution and d(loss)/d(pred) of a single
+/// prediction error.
+struct HuberTerm {
+  double loss = 0.0;  ///< un-normalised loss contribution of this element
+  float grad = 0.0F;  ///< gradient, already divided by `norm`
+};
+
+/// Huber (smooth-L1) loss/gradient of one element with error `diff` =
+/// pred - target, threshold `delta`, and gradient normaliser `norm` (the
+/// active-element count of the batch). This is the per-element definition
+/// behind the DQN block-parallel gradient engine (one active action per
+/// batch row; see rl/dqn.cpp) — its absolute numerics are pinned by unit
+/// tests, which the cross-thread-count bit-identity tests cannot do.
+[[nodiscard]] inline HuberTerm huber_term(float diff, float delta,
+                                          double norm) noexcept {
+  const float abs_diff = std::fabs(diff);
+  if (abs_diff <= delta)
+    return {0.5 * static_cast<double>(diff) * diff, static_cast<float>(diff / norm)};
+  return {delta * (abs_diff - 0.5 * delta),
+          static_cast<float>((diff > 0 ? delta : -delta) / norm)};
+}
 
 /// Mean squared error over all elements; writes d(loss)/d(pred) into grad.
 /// Returns the loss value. Gradient is averaged over the element count.
 double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad);
 
-/// Huber (smooth-L1) loss with threshold delta; element-averaged.
+/// Huber (smooth-L1) loss with threshold delta; element-averaged. The DQN
+/// learner applies the same per-element Huber inline in its block-parallel
+/// gradient engine (one active action per row; see rl/dqn.cpp), where the
+/// per-row form avoids materialising full target/mask matrices.
 double huber_loss(const Matrix& pred, const Matrix& target, Matrix& grad, float delta = 1.0F);
-
-/// Masked Huber loss: only elements with mask != 0 contribute; averaged over
-/// the number of active elements. Used for per-action TD updates where only
-/// the taken action's Q-value receives a learning signal.
-double masked_huber_loss(const Matrix& pred, const Matrix& target, const Matrix& mask,
-                         Matrix& grad, float delta = 1.0F);
 
 }  // namespace vnfm::nn

@@ -26,6 +26,19 @@ Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
   }
   pre_acts_.resize(trunk_.size());
   post_acts_.resize(trunk_.size());
+  for (auto& layer : trunk_) {
+    params_.push_back(&layer.weights());
+    params_.push_back(&layer.bias());
+  }
+  if (config_.dueling) {
+    params_.push_back(&value_head_->weights());
+    params_.push_back(&value_head_->bias());
+    params_.push_back(&advantage_head_->weights());
+    params_.push_back(&advantage_head_->bias());
+  } else {
+    params_.push_back(&output_layer_->weights());
+    params_.push_back(&output_layer_->bias());
+  }
 }
 
 void Mlp::init(Rng& rng) {
@@ -65,6 +78,110 @@ void Mlp::forward(const Matrix& input, Matrix& output) const {
     float* out = output.row(i).data();
     for (std::size_t j = 0; j < actions; ++j) out[j] = value + adv[j] - mean;
   }
+}
+
+void GradAccumulator::reset(Mlp& net) {
+  const auto& params = net.parameters();
+  grads.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (grads[i].rows() != params[i]->grad.rows() ||
+        grads[i].cols() != params[i]->grad.cols())
+      grads[i].resize(params[i]->grad.rows(), params[i]->grad.cols());
+    else
+      grads[i].fill(0.0F);
+  }
+}
+
+void Mlp::forward_block(const Matrix& input, std::size_t row_begin, std::size_t rows,
+                        Matrix& output, MlpWorkspace& ws) const {
+  if (row_begin + rows > input.rows() || input.cols() != config_.input_dim)
+    throw std::invalid_argument("forward_block row range out of bounds");
+  if (output.rows() != input.rows() || output.cols() != config_.output_dim)
+    throw std::invalid_argument("forward_block output not pre-sized");
+  if (ws.input.rows() != rows || ws.input.cols() != input.cols())
+    ws.input.resize(rows, input.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto src = input.row(row_begin + r);
+    std::copy(src.begin(), src.end(), ws.input.row(r).begin());
+  }
+  ws.pre_acts.resize(trunk_.size());
+  ws.post_acts.resize(trunk_.size());
+  const Matrix* current = &ws.input;
+  for (std::size_t i = 0; i < trunk_.size(); ++i) {
+    trunk_[i].forward_block(*current, ws.pre_acts[i]);
+    acts_[i].forward_block(ws.pre_acts[i], ws.post_acts[i]);
+    current = &ws.post_acts[i];
+  }
+  if (!config_.dueling) {
+    output_layer_->forward_block(*current, ws.head_out);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto src = ws.head_out.row(r);
+      std::copy(src.begin(), src.end(), output.row(row_begin + r).begin());
+    }
+    return;
+  }
+  value_head_->forward_block(*current, ws.value_out);
+  advantage_head_->forward_block(*current, ws.adv_out);
+  const std::size_t actions = ws.adv_out.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* adv = ws.adv_out.row(r).data();
+    float mean = 0.0F;
+    for (std::size_t j = 0; j < actions; ++j) mean += adv[j];
+    mean /= static_cast<float>(actions);
+    const float value = ws.value_out.at(r, 0);
+    float* out = output.row(row_begin + r).data();
+    for (std::size_t j = 0; j < actions; ++j) out[j] = value + adv[j] - mean;
+  }
+}
+
+void Mlp::backward_block(const Matrix& d_output, MlpWorkspace& ws,
+                         GradAccumulator& accum) const {
+  if (d_output.rows() != ws.input.rows() || d_output.cols() != config_.output_dim)
+    throw std::invalid_argument("backward_block shape mismatch");
+  if (accum.grads.size() != params_.size())
+    throw std::invalid_argument("backward_block accumulator not reset");
+  // accum.grads indices mirror parameters(): trunk (w, b) pairs then heads.
+  const std::size_t head = trunk_.size() * 2;
+  const Matrix& last =
+      trunk_.empty() ? ws.input : ws.post_acts[trunk_.size() - 1];
+  if (config_.dueling) {
+    const std::size_t rows = d_output.rows();
+    const std::size_t actions = d_output.cols();
+    // dV_i = sum_j dQ_ij ; dA_ij = dQ_ij - mean_j(dQ_ij).
+    ws.d_value.resize(rows, 1);
+    ws.d_adv.resize(rows, actions);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* dq = d_output.row(r).data();
+      float sum = 0.0F;
+      for (std::size_t j = 0; j < actions; ++j) sum += dq[j];
+      ws.d_value.at(r, 0) = sum;
+      const float mean = sum / static_cast<float>(actions);
+      float* da = ws.d_adv.row(r).data();
+      for (std::size_t j = 0; j < actions; ++j) da[j] = dq[j] - mean;
+    }
+    value_head_->backward_block(last, ws.d_value, ws.dw_scratch, accum.grads[head],
+                                accum.grads[head + 1], ws.d_hidden);
+    advantage_head_->backward_block(last, ws.d_adv, ws.dw_scratch,
+                                    accum.grads[head + 2], accum.grads[head + 3],
+                                    ws.d_hidden_adv);
+    axpy(1.0F, ws.d_hidden_adv, ws.d_hidden);
+  } else {
+    output_layer_->backward_block(last, d_output, ws.dw_scratch, accum.grads[head],
+                                  accum.grads[head + 1], ws.d_hidden);
+  }
+  for (std::size_t i = trunk_.size(); i-- > 0;) {
+    acts_[i].backward_block(ws.pre_acts[i], ws.d_hidden, ws.d_pre);
+    const Matrix& layer_in = i == 0 ? ws.input : ws.post_acts[i - 1];
+    trunk_[i].backward_block(layer_in, ws.d_pre, ws.dw_scratch, accum.grads[2 * i],
+                             accum.grads[2 * i + 1], ws.d_hidden);
+  }
+}
+
+void Mlp::apply_gradients(const GradAccumulator& accum) {
+  if (accum.grads.size() != params_.size())
+    throw std::invalid_argument("apply_gradients accumulator shape mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    axpy(1.0F, accum.grads[i], params_[i]->grad);
 }
 
 std::vector<float> Mlp::forward_row(std::span<const float> input) const {
@@ -112,24 +229,6 @@ void Mlp::backward(const Matrix& d_output) {
     acts_[i].backward(d_hidden, d_pre);
     trunk_[i].backward(d_pre, d_hidden);
   }
-}
-
-std::vector<Param*> Mlp::parameters() {
-  std::vector<Param*> params;
-  for (auto& layer : trunk_) {
-    params.push_back(&layer.weights());
-    params.push_back(&layer.bias());
-  }
-  if (config_.dueling) {
-    params.push_back(&value_head_->weights());
-    params.push_back(&value_head_->bias());
-    params.push_back(&advantage_head_->weights());
-    params.push_back(&advantage_head_->bias());
-  } else {
-    params.push_back(&output_layer_->weights());
-    params.push_back(&output_layer_->bias());
-  }
-  return params;
 }
 
 std::vector<const Param*> Mlp::parameters() const {

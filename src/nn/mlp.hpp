@@ -27,6 +27,44 @@ struct MlpConfig {
   bool dueling = false;
 };
 
+class Mlp;
+
+/// Per-worker reusable workspace for the block-parallel gradient engine
+/// (forward caches for one row block plus backward scratch). One worker
+/// reuses its workspace across blocks and steps, so the hot path is
+/// allocation-free after warm-up; workspace contents are fully rewritten by
+/// every forward_block, so they can never leak one block's data into
+/// another (which would break worker-count invariance).
+struct MlpWorkspace {
+  Matrix input;                   ///< copy of the block's input rows
+  std::vector<Matrix> pre_acts;   ///< per-trunk-layer pre-activations
+  std::vector<Matrix> post_acts;  ///< per-trunk-layer post-activations
+  Matrix value_out;               ///< dueling value head output
+  Matrix adv_out;                 ///< dueling advantage head output
+  Matrix head_out;                ///< non-dueling head output
+  Matrix d_hidden;                ///< backward: gradient flowing into trunk
+  Matrix d_pre;                   ///< backward: pre-activation gradient
+  Matrix d_value;                 ///< dueling backward: value-head grad
+  Matrix d_adv;                   ///< dueling backward: advantage-head grad
+  Matrix d_hidden_adv;            ///< dueling backward: advantage branch
+  Matrix dw_scratch;              ///< per-layer dW staging
+};
+
+/// Per-BLOCK gradient accumulator of the block-parallel engine: one matrix
+/// per Mlp parameter (same order as Mlp::parameters()). Each block writes
+/// its own accumulator; Mlp::apply_gradients reduces them into the
+/// network's parameter gradients in ascending block index — the fixed
+/// block-reduction order that makes the summed gradient independent of the
+/// worker count.
+struct GradAccumulator {
+  /// One gradient matrix per parameter, Mlp::parameters() order.
+  std::vector<Matrix> grads;
+
+  /// Sizes `grads` to match `net`'s parameters and zeroes every entry
+  /// (cheap after the first call: shapes are stable, so no reallocation).
+  void reset(Mlp& net);
+};
+
 class Mlp {
  public:
   explicit Mlp(MlpConfig config);
@@ -51,8 +89,36 @@ class Mlp {
   /// Accumulates parameter gradients from d(loss)/d(output).
   void backward(const Matrix& d_output);
 
+  // ---- Block-parallel gradient engine (see nn/grad_pool.hpp) ---------------
+  // forward_block/backward_block touch no Mlp state (all caches live in the
+  // caller's workspace), so N workers can run them concurrently on a shared
+  // network. forward_block is bit-identical to forward() on the same rows —
+  // every forward op is per-row — and the 1-worker blocked backward defines
+  // the reference numerics that any worker count reproduces exactly.
+
+  /// Forward over rows [row_begin, row_begin + rows) of `input`, writing the
+  /// same rows of `output` (pre-sized to (batch, output_dim) by the caller;
+  /// blocks write disjoint rows, so concurrent calls may share `output`).
+  /// Caches the block's activations in `ws` for a following backward_block.
+  void forward_block(const Matrix& input, std::size_t row_begin, std::size_t rows,
+                     Matrix& output, MlpWorkspace& ws) const;
+
+  /// Backward for the block most recently run through forward_block with
+  /// `ws`: `d_output` holds d(loss)/d(output) for the block's rows only
+  /// (rows x output_dim). Accumulates parameter gradients into `accum`
+  /// (which the caller reset() beforehand).
+  void backward_block(const Matrix& d_output, MlpWorkspace& ws,
+                      GradAccumulator& accum) const;
+
+  /// Adds `accum`'s gradients onto the parameters' grad fields. Callers
+  /// reduce per-block accumulators in ascending block index — the fixed
+  /// reduction order of determinism invariant #8.
+  void apply_gradients(const GradAccumulator& accum);
+
   /// All trainable parameters (stable order; same order across clones).
-  [[nodiscard]] std::vector<Param*> parameters();
+  /// The list is built once at construction — the gradient engine reads it
+  /// per block, so it must not allocate per call.
+  [[nodiscard]] const std::vector<Param*>& parameters() noexcept { return params_; }
   [[nodiscard]] std::vector<const Param*> parameters() const;
 
   void zero_grad();
@@ -88,6 +154,10 @@ class Mlp {
   std::unique_ptr<Linear> value_head_;      // dueling only
   std::unique_ptr<Linear> advantage_head_;  // dueling only
   std::unique_ptr<Linear> output_layer_;    // non-dueling only
+  // Cached parameter list (trunk (w,b) pairs then heads), built once in the
+  // constructor. The pointees live in trunk_'s heap buffer and the head
+  // unique_ptrs, so the pointers stay valid under move.
+  std::vector<Param*> params_;
 
   // Forward caches (mutable: forward is const but not thread-safe; see
   // forward's comment).

@@ -1,6 +1,7 @@
 #include "rl/actor_critic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -145,20 +146,25 @@ double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
                                bool done) {
   if (!has_pending_) throw std::runtime_error("learn without a pending act");
   has_pending_ = false;
+  const auto start = std::chrono::steady_clock::now();
 
   const float value = state_value(pending_state_);
   const float bootstrap = done ? 0.0F : state_value(next_state);
   const float td_error = reward + config_.gamma * bootstrap - value;
 
+  // Both updates run through the block-wise gradient engine (one row = one
+  // block; see set_learner_threads), same as the DQN/REINFORCE learners.
   // Critic: minimise 0.5 * td^2 -> d(loss)/dV = -td.
   {
     nn::Matrix input = nn::Matrix::from_row(pending_state_);
-    nn::Matrix out;
-    critic_.forward(input, out);
+    nn::Matrix out(1, 1);
+    critic_.forward_block(input, 0, 1, out, critic_ws_);
     nn::Matrix grad(1, 1);
     grad.at(0, 0) = -td_error;
+    critic_accum_.reset(critic_);
+    critic_.backward_block(grad, critic_ws_, critic_accum_);
     critic_.zero_grad();
-    critic_.backward(grad);
+    critic_.apply_gradients(critic_accum_);
     critic_.clip_grad_norm(config_.grad_clip_norm);
     critic_opt_->step();
   }
@@ -166,8 +172,8 @@ double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
   // Actor: policy gradient with the TD error as advantage (+ entropy).
   {
     nn::Matrix input = nn::Matrix::from_row(pending_state_);
-    nn::Matrix logits;
-    actor_.forward(input, logits);
+    nn::Matrix logits(1, config_.action_dim);
+    actor_.forward_block(input, 0, 1, logits, actor_ws_);
     const auto probs = masked_probs(logits.row(0), pending_mask_);
     float entropy = 0.0F;
     for (const float p : probs)
@@ -181,12 +187,16 @@ double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
       if (config_.entropy_bonus > 0.0F && probs[a] > 1e-8F)
         g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy);
     }
+    actor_accum_.reset(actor_);
+    actor_.backward_block(grad, actor_ws_, actor_accum_);
     actor_.zero_grad();
-    actor_.backward(grad);
+    actor_.apply_gradients(actor_accum_);
     actor_.clip_grad_norm(config_.grad_clip_norm);
     actor_opt_->step();
   }
   ++updates_;
+  grad_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return td_error;
 }
 

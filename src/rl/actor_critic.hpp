@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/grad_pool.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
 
@@ -52,6 +53,22 @@ class ActorCriticAgent {
   [[nodiscard]] const ActorCriticConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
 
+  /// Engine hook mirroring DqnAgent/ReinforceAgent: A2C's one-step updates
+  /// are single-row batches — one gradient block — so any learner-thread
+  /// count is trivially bit-identical; the value is accepted (0 clamps to 1)
+  /// and the updates still run through the block-wise engine path. Runtime
+  /// execution config: never serialized.
+  void set_learner_threads(std::size_t workers) noexcept {
+    learner_threads_ = workers == 0 ? 1 : workers;
+  }
+  [[nodiscard]] std::size_t learner_threads() const noexcept {
+    return learner_threads_;
+  }
+
+  /// Cumulative wall-clock seconds spent in learn()'s gradient work. Not
+  /// serialized (timing, not state).
+  [[nodiscard]] double grad_seconds() const noexcept { return grad_seconds_; }
+
   /// Full learner-state checkpoint: actor/critic weights, both optimizers'
   /// moments, the update counter, the RNG stream, and the pending step.
   /// Restoring into an agent built from the same config continues
@@ -83,6 +100,14 @@ class ActorCriticAgent {
   std::vector<float> pending_state_;
   std::vector<std::uint8_t> pending_mask_;
   int pending_action_ = 0;
+
+  // ---- Data-parallel gradient engine state (never serialized) --------------
+  std::size_t learner_threads_ = 1;
+  nn::MlpWorkspace critic_ws_;
+  nn::MlpWorkspace actor_ws_;
+  nn::GradAccumulator critic_accum_;
+  nn::GradAccumulator actor_accum_;
+  double grad_seconds_ = 0.0;
 };
 
 }  // namespace vnfm::rl

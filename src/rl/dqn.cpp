@@ -1,7 +1,7 @@
 #include "rl/dqn.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -158,8 +158,15 @@ std::optional<double> DqnAgent::ingest(Transition t) {
   return observe(std::move(t));
 }
 
+void DqnAgent::set_learner_threads(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  if (learner_threads() == workers) return;
+  pool_ = workers > 1 ? std::make_unique<nn::GradWorkPool>(workers) : nullptr;
+}
+
 double DqnAgent::train_step() {
   if (replay_size() == 0) throw std::runtime_error("training with empty replay");
+  const auto start = std::chrono::steady_clock::now();
   double loss = 0.0;
   if (per_) {
     per_->set_beta(beta_schedule_.value(grad_steps_));
@@ -178,82 +185,110 @@ double DqnAgent::train_step() {
              grad_steps_ % config_.target_update_period == 0) {
     target_.copy_weights_from(online_);
   }
+  grad_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return loss;
 }
 
 double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
                                 std::span<const float> is_weights,
                                 std::vector<float>* td_errors_out) {
+  // Data-parallel gradient engine: the minibatch splits into fixed
+  // nn::kGradBlockRows-row blocks; each block runs its forwards and its
+  // backward independently (per-block gradient accumulator), and the
+  // accumulators reduce in ascending block index afterwards. Block size and
+  // reduction order are fixed, so the step is bit-identical for any worker
+  // count (determinism invariant #8).
   const std::size_t n = batch.size();
-  nn::Matrix states(n, config_.state_dim);
-  nn::Matrix next_states(n, config_.state_dim);
+  const std::size_t blocks = nn::grad_block_count(n);
+  if (batch_states_.rows() != n || batch_states_.cols() != config_.state_dim) {
+    batch_states_.resize(n, config_.state_dim);
+    batch_next_states_.resize(n, config_.state_dim);
+    q_pred_.resize(n, config_.action_dim);
+    target_next_q_.resize(n, config_.action_dim);
+    online_next_q_.resize(n, config_.action_dim);
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    std::copy(batch[i]->state.begin(), batch[i]->state.end(), states.row(i).begin());
+    std::copy(batch[i]->state.begin(), batch[i]->state.end(),
+              batch_states_.row(i).begin());
     std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
-              next_states.row(i).begin());
+              batch_next_states_.row(i).begin());
   }
+  const std::size_t workers = pool_ ? pool_->workers() : 1;
+  if (worker_scratch_.size() < workers) worker_scratch_.resize(workers);
+  if (accums_.size() < blocks) accums_.resize(blocks);
+  block_loss_.assign(blocks, 0.0);
+  if (td_errors_out) td_errors_out->resize(n);
 
-  // Bootstrap targets. Double DQN selects argmax with the online net and
-  // evaluates with the target net; vanilla DQN does both with the target net.
-  nn::Matrix target_next_q;
-  target_.forward(next_states, target_next_q);
-  nn::Matrix online_next_q;
-  if (config_.double_dqn) online_.forward(next_states, online_next_q);
+  auto run_block = [&](std::size_t b, std::size_t w) {
+    const std::size_t row0 = b * nn::kGradBlockRows;
+    const std::size_t rows = std::min(nn::kGradBlockRows, n - row0);
+    WorkerScratch& ws = worker_scratch_[w];
 
-  std::vector<float> targets(n, 0.0F);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Transition& t = *batch[i];
-    float bootstrap = 0.0F;
-    if (!t.done) {
-      const auto mask = std::span<const std::uint8_t>(t.next_valid);
-      if (config_.double_dqn) {
-        const int best = greedy_masked_action(online_next_q.row(i), mask);
-        bootstrap = target_next_q.at(i, static_cast<std::size_t>(best));
-      } else {
-        float best_value = -std::numeric_limits<float>::infinity();
-        const auto q_row = target_next_q.row(i);
-        for (std::size_t a = 0; a < q_row.size(); ++a) {
-          if (!is_valid(mask, a)) continue;
-          best_value = std::max(best_value, q_row[a]);
+    // Bootstrap targets. Double DQN selects argmax with the online net and
+    // evaluates with the target net; vanilla DQN does both with the target.
+    target_.forward_block(batch_next_states_, row0, rows, target_next_q_, ws.target);
+    if (config_.double_dqn)
+      online_.forward_block(batch_next_states_, row0, rows, online_next_q_,
+                            ws.online_next);
+    online_.forward_block(batch_states_, row0, rows, q_pred_, ws.online);
+
+    ws.d_out.resize(rows, config_.action_dim);  // zeroed by resize
+    double loss_partial = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t i = row0 + r;
+      const Transition& t = *batch[i];
+      float bootstrap = 0.0F;
+      if (!t.done) {
+        const auto mask = std::span<const std::uint8_t>(t.next_valid);
+        if (config_.double_dqn) {
+          const int best = greedy_masked_action(online_next_q_.row(i), mask);
+          bootstrap = target_next_q_.at(i, static_cast<std::size_t>(best));
+        } else {
+          float best_value = -std::numeric_limits<float>::infinity();
+          const auto q_row = target_next_q_.row(i);
+          for (std::size_t a = 0; a < q_row.size(); ++a) {
+            if (!is_valid(mask, a)) continue;
+            best_value = std::max(best_value, q_row[a]);
+          }
+          bootstrap = best_value;
         }
-        bootstrap = best_value;
       }
-    }
-    const float discount =
-        t.bootstrap_discount >= 0.0F ? t.bootstrap_discount : config_.gamma;
-    targets[i] = t.reward + (t.done ? 0.0F : discount * bootstrap);
-  }
+      const float discount =
+          t.bootstrap_discount >= 0.0F ? t.bootstrap_discount : config_.gamma;
+      const float target = t.reward + (t.done ? 0.0F : discount * bootstrap);
 
-  // Forward online net and build per-action masked regression target.
-  nn::Matrix q_pred;
-  online_.forward(states, q_pred);
-  nn::Matrix q_target = q_pred;
-  nn::Matrix mask(n, config_.action_dim, 0.0F);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto action = static_cast<std::size_t>(batch[i]->action);
-    q_target.at(i, action) = targets[i];
-    mask.at(i, action) = 1.0F;
-  }
-
-  if (td_errors_out) {
-    td_errors_out->resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto action = static_cast<std::size_t>(batch[i]->action);
-      (*td_errors_out)[i] = q_pred.at(i, action) - targets[i];
+      // Masked Huber on the taken action only, normalised by the full-batch
+      // active count (exactly one active action per row → n).
+      const auto action = static_cast<std::size_t>(t.action);
+      const float diff = q_pred_.at(i, action) - target;
+      if (td_errors_out) (*td_errors_out)[i] = diff;
+      const nn::HuberTerm huber =
+          nn::huber_term(diff, config_.huber_delta, static_cast<double>(n));
+      loss_partial += huber.loss;
+      float g = huber.grad;
+      if (!is_weights.empty()) g *= is_weights[i];
+      ws.d_out.at(r, action) = g;
     }
-  }
+    block_loss_[b] = loss_partial;
 
-  nn::Matrix grad;
-  const double loss =
-      nn::masked_huber_loss(q_pred, q_target, mask, grad, config_.huber_delta);
-  if (!is_weights.empty()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      float* row = grad.row(i).data();
-      for (std::size_t a = 0; a < config_.action_dim; ++a) row[a] *= is_weights[i];
-    }
-  }
+    accums_[b].reset(online_);
+    online_.backward_block(ws.d_out, ws.online, accums_[b]);
+  };
+  if (pool_)
+    pool_->run(blocks, run_block);
+  else
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b, 0);
+
+  // Fixed block-index reduction: the only cross-block float summation.
   online_.zero_grad();
-  online_.backward(grad);
+  double loss = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    online_.apply_gradients(accums_[b]);
+    loss += block_loss_[b];
+  }
+  loss /= static_cast<double>(n);
+
   online_.clip_grad_norm(config_.grad_clip_norm);
   optimizer_->step();
   return loss;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/grad_pool.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
 #include "rl/replay.hpp"
@@ -120,10 +121,37 @@ class DqnAgent {
   /// Switches exploration off/on (evaluation mode).
   void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
 
+  /// Sizes the learner-side worker pool of the data-parallel gradient
+  /// engine (nn::GradWorkPool): each minibatch splits into fixed
+  /// nn::kGradBlockRows-row blocks whose per-block gradients reduce in
+  /// ascending block index, so ANY worker count (0 clamps to 1) produces
+  /// bit-identical weights, curves, and serialized learner state — only
+  /// grad-step wall-clock changes. Runtime execution config: never
+  /// serialized.
+  void set_learner_threads(std::size_t workers);
+  [[nodiscard]] std::size_t learner_threads() const noexcept {
+    return pool_ ? pool_->workers() : 1;
+  }
+
+  /// Cumulative wall-clock seconds spent inside train_step() (sampling +
+  /// forward/backward + optimizer); pairs with gradient_steps() for
+  /// µs-per-grad-step reporting. Not serialized (timing, not state).
+  [[nodiscard]] double grad_seconds() const noexcept { return grad_seconds_; }
+
   /// Read access to the online network (weight snapshots for actor views).
   [[nodiscard]] const nn::Mlp& online_net() const noexcept { return online_; }
 
  private:
+  /// Per-worker engine scratch: one MlpWorkspace per blocked forward pass
+  /// (target net, online-on-next double-DQN pass, online-on-states pass)
+  /// plus the block's d(loss)/d(Q) rows.
+  struct WorkerScratch {
+    nn::MlpWorkspace target;
+    nn::MlpWorkspace online_next;
+    nn::MlpWorkspace online;
+    nn::Matrix d_out;
+  };
+
   double train_on_batch(const std::vector<const Transition*>& batch,
                         std::span<const float> is_weights,
                         std::vector<float>* td_errors_out);
@@ -144,6 +172,18 @@ class DqnAgent {
   bool explore_ = true;
   std::vector<Transition> n_step_buffer_;  ///< in-flight steps (n-step mode)
   mutable std::vector<float> q_scratch_;   ///< reusable Q-row for act paths
+
+  // ---- Data-parallel gradient engine state (never serialized) --------------
+  std::unique_ptr<nn::GradWorkPool> pool_;     ///< null = 1 worker, inline
+  std::vector<WorkerScratch> worker_scratch_;  ///< indexed by worker id
+  std::vector<nn::GradAccumulator> accums_;    ///< indexed by block id
+  std::vector<double> block_loss_;             ///< per-block loss partials
+  nn::Matrix batch_states_;                    ///< minibatch state rows
+  nn::Matrix batch_next_states_;               ///< minibatch next-state rows
+  nn::Matrix q_pred_;                          ///< online Q on states
+  nn::Matrix target_next_q_;                   ///< target Q on next states
+  nn::Matrix online_next_q_;                   ///< online Q on next states
+  double grad_seconds_ = 0.0;                  ///< cumulative train_step time
 };
 
 /// Inference-only actor view of a DqnAgent for parallel actor-learner

@@ -1,6 +1,7 @@
 #include "rl/policy_gradient.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -141,8 +142,15 @@ void ReinforceAgent::load_state(Deserializer& in) {
   in.leave_chunk();
 }
 
+void ReinforceAgent::set_learner_threads(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  if (learner_threads() == workers) return;
+  pool_ = workers > 1 ? std::make_unique<nn::GradWorkPool>(workers) : nullptr;
+}
+
 double ReinforceAgent::finish_episode() {
   if (actions_.empty()) return 0.0;
+  const auto start = std::chrono::steady_clock::now();
   const std::size_t n = actions_.size();
 
   // Discounted returns-to-go.
@@ -156,38 +164,69 @@ double ReinforceAgent::finish_episode() {
   baseline_.add(episode_return);
   const auto baseline = static_cast<float>(baseline_.value());
 
-  // One batched policy-gradient step:
-  //   d(-J)/d(logit_a) = (pi_a - 1{a taken}) * advantage / n  (+ entropy term)
+  // One batched policy-gradient step,
+  //   d(-J)/d(logit_a) = (pi_a - 1{a taken}) * advantage / n  (+ entropy term),
+  // run through the data-parallel gradient engine: the trajectory splits
+  // into fixed nn::kGradBlockRows-row blocks (every per-row term above is
+  // independent), each block backwards into its own accumulator, and the
+  // accumulators reduce in ascending block index — bit-identical for any
+  // worker count (determinism invariant #8).
   nn::Matrix states(n, config_.state_dim);
   for (std::size_t i = 0; i < n; ++i)
     std::copy(states_[i].begin(), states_[i].end(), states.row(i).begin());
-  nn::Matrix logits;
-  policy_.forward(states, logits);
+  nn::Matrix logits(n, config_.action_dim);
 
-  nn::Matrix grad(n, config_.action_dim, 0.0F);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto probs = masked_probs(logits.row(i), masks_[i]);
-    const float advantage = returns[i] - baseline;
-    float* g = grad.row(i).data();
-    for (std::size_t a = 0; a < probs.size(); ++a) {
-      if (!masks_[i].empty() && !masks_[i][a]) continue;
-      const float indicator = static_cast<int>(a) == actions_[i] ? 1.0F : 0.0F;
-      g[a] = (probs[a] - indicator) * advantage / static_cast<float>(n);
-      // Entropy regularisation: d(-H)/d(logit_a) = pi_a * (log pi_a + H).
-      if (config_.entropy_bonus > 0.0F && probs[a] > 1e-8F) {
-        float entropy = 0.0F;
-        for (const float p : probs)
-          if (p > 1e-8F) entropy -= p * std::log(p);
-        g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy) /
-                static_cast<float>(n);
+  const std::size_t blocks = nn::grad_block_count(n);
+  const std::size_t workers = pool_ ? pool_->workers() : 1;
+  if (worker_ws_.size() < workers) {
+    worker_ws_.resize(workers);
+    worker_d_out_.resize(workers);
+  }
+  if (accums_.size() < blocks) accums_.resize(blocks);
+
+  auto run_block = [&](std::size_t b, std::size_t w) {
+    const std::size_t row0 = b * nn::kGradBlockRows;
+    const std::size_t rows = std::min(nn::kGradBlockRows, n - row0);
+    nn::MlpWorkspace& ws = worker_ws_[w];
+    policy_.forward_block(states, row0, rows, logits, ws);
+
+    nn::Matrix& d_out = worker_d_out_[w];
+    d_out.resize(rows, config_.action_dim);  // zeroed by resize
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t i = row0 + r;
+      const auto probs = masked_probs(logits.row(i), masks_[i]);
+      const float advantage = returns[i] - baseline;
+      float* g = d_out.row(r).data();
+      for (std::size_t a = 0; a < probs.size(); ++a) {
+        if (!masks_[i].empty() && !masks_[i][a]) continue;
+        const float indicator = static_cast<int>(a) == actions_[i] ? 1.0F : 0.0F;
+        g[a] = (probs[a] - indicator) * advantage / static_cast<float>(n);
+        // Entropy regularisation: d(-H)/d(logit_a) = pi_a * (log pi_a + H).
+        if (config_.entropy_bonus > 0.0F && probs[a] > 1e-8F) {
+          float entropy = 0.0F;
+          for (const float p : probs)
+            if (p > 1e-8F) entropy -= p * std::log(p);
+          g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy) /
+                  static_cast<float>(n);
+        }
       }
     }
-  }
+
+    accums_[b].reset(policy_);
+    policy_.backward_block(d_out, ws, accums_[b]);
+  };
+  if (pool_)
+    pool_->run(blocks, run_block);
+  else
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b, 0);
 
   policy_.zero_grad();
-  policy_.backward(grad);
+  for (std::size_t b = 0; b < blocks; ++b) policy_.apply_gradients(accums_[b]);
   policy_.clip_grad_norm(config_.grad_clip_norm);
   optimizer_->step();
+  ++grad_steps_;
+  grad_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
   states_.clear();
   masks_.clear();

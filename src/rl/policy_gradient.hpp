@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "nn/grad_pool.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
 
@@ -53,6 +54,21 @@ class ReinforceAgent {
   [[nodiscard]] const ReinforceConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t trajectory_length() const noexcept { return actions_.size(); }
 
+  /// Sizes the worker pool of the data-parallel gradient engine used by
+  /// finish_episode()'s batched policy-gradient step (fixed block size and
+  /// reduction order: any worker count is bit-identical; 0 clamps to 1).
+  /// Runtime execution config: never serialized.
+  void set_learner_threads(std::size_t workers);
+  [[nodiscard]] std::size_t learner_threads() const noexcept {
+    return pool_ ? pool_->workers() : 1;
+  }
+
+  /// Gradient steps taken (one per non-empty finish_episode()).
+  [[nodiscard]] std::size_t gradient_steps() const noexcept { return grad_steps_; }
+  /// Cumulative wall-clock seconds spent in finish_episode()'s gradient
+  /// work. Not serialized (timing, not state).
+  [[nodiscard]] double grad_seconds() const noexcept { return grad_seconds_; }
+
   /// Policy network access (weight transfer between agents, diagnostics).
   [[nodiscard]] nn::Mlp& policy() noexcept { return policy_; }
   [[nodiscard]] const nn::Mlp& policy() const noexcept { return policy_; }
@@ -78,6 +94,14 @@ class ReinforceAgent {
   std::vector<std::vector<std::uint8_t>> masks_;
   std::vector<int> actions_;
   std::vector<float> rewards_;
+
+  // ---- Data-parallel gradient engine state (never serialized) --------------
+  std::unique_ptr<nn::GradWorkPool> pool_;        ///< null = 1 worker, inline
+  std::vector<nn::MlpWorkspace> worker_ws_;       ///< per-worker forward caches
+  std::vector<nn::Matrix> worker_d_out_;          ///< per-worker grad rows
+  std::vector<nn::GradAccumulator> accums_;       ///< per-block accumulators
+  std::size_t grad_steps_ = 0;
+  double grad_seconds_ = 0.0;
 };
 
 }  // namespace vnfm::rl

@@ -211,7 +211,8 @@ TEST(Serialize, GoldenLayoutIsEndianStable) {
   EXPECT_EQ(b[1], 'N');
   EXPECT_EQ(b[2], 'F');
   EXPECT_EQ(b[3], 'M');
-  EXPECT_EQ(b[4], 1);  // format version 1, little-endian
+  EXPECT_EQ(b[4], 2);  // format version 2 (v2 added the train-checkpoint
+                       // xstats suffix chunk), little-endian
   // 0x01020304 little-endian.
   EXPECT_EQ(b[8], 0x04);
   EXPECT_EQ(b[9], 0x03);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -239,6 +240,168 @@ TEST(Checkpoint, LatestCheckpointPicksHighestEpisode) {
   const std::string best = latest_checkpoint(dir);
   EXPECT_EQ(std::filesystem::path(best).filename().string(), checkpoint_filename(12));
   EXPECT_EQ(latest_checkpoint(fresh_dir("empty")), "");
+}
+
+TEST(Checkpoint, XstatsGradFieldsRoundTrip) {
+  // Format v2: gradient-step accounting rides in the skippable "xstats"
+  // suffix chunk and must round-trip through write/read.
+  const std::string dir = fresh_dir("xstats");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/x.vnfmc";
+
+  TrainCheckpoint data;
+  data.episodes_done = 2;
+  data.stats.grad_steps = 321;
+  data.stats.grad_seconds = 0.75;
+  data.stats.learner_threads = 4;
+  GreedyLatencyManager stateless;
+  write_checkpoint(path, stateless, data);
+
+  GreedyLatencyManager restored_into;
+  const TrainCheckpoint restored = read_checkpoint(path, restored_into);
+  EXPECT_EQ(restored.stats.grad_steps, 321u);
+  EXPECT_EQ(restored.stats.grad_seconds, 0.75);
+  // Thread counts are execution config, deliberately not archived
+  // (invariant #8): the restored value is the default, not the writer's.
+  EXPECT_EQ(restored.stats.learner_threads, 1u);
+}
+
+/// Hand-writes a train-checkpoint archive in the v1 layout (no xstats
+/// suffix; exactly what the PR-4-era writer produced) and optionally
+/// appends extra unknown suffix chunks, then patches the header format
+/// version to `version`. Exercises real version negotiation: the v2 reader
+/// must load v1 archives (grad stats defaulting to 0) and skip unknown
+/// suffix chunks written by any future version.
+std::vector<std::uint8_t> make_archive(const Manager& manager, std::uint32_t version,
+                                       bool with_unknown_suffix) {
+  Serializer out;
+  out.begin_chunk("train_checkpoint");
+  out.begin_chunk("meta");
+  out.write_u64(3);   // episodes_done
+  out.write_u64(21);  // base_seed
+  out.write_string(manager.checkpoint_state());
+  out.end_chunk();
+  out.begin_chunk("curve");
+  out.write_u64(0);
+  out.write_u64_vec(std::vector<std::uint64_t>{});
+  out.end_chunk();
+  out.begin_chunk("stats");
+  out.write_f64(1.0);   // wall_seconds
+  out.write_u64(42);    // transitions
+  out.write_u64(3);     // episodes
+  out.write_u64(1);     // rounds
+  out.write_u64(1);     // actor_threads
+  out.write_bool(false);
+  out.end_chunk();
+  out.begin_chunk("manager");
+  manager.save(out);
+  out.end_chunk();
+  if (with_unknown_suffix) {
+    out.begin_chunk("from_the_future");
+    out.write_u64(0xDEADBEEF);
+    out.end_chunk();
+  }
+  out.end_chunk();
+
+  std::vector<std::uint8_t> bytes = out.bytes();
+  // Patch the little-endian u32 format version at offset 4 (after "VNFM").
+  for (int i = 0; i < 4; ++i)
+    bytes[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(version >> (8 * i));
+  return bytes;
+}
+
+TEST(Checkpoint, V1ArchiveLoadsUnderV2Reader) {
+  GreedyLatencyManager manager;
+  const auto bytes = make_archive(manager, 1, false);
+  EXPECT_EQ(Deserializer(bytes).format_version(), 1u);
+
+  // Read through the real checkpoint reader path via a temp file.
+  const std::string dir = fresh_dir("v1_compat");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/v1.vnfmc";
+  {
+    std::ofstream file(path, std::ios::binary);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+  }
+  GreedyLatencyManager restored_into;
+  const TrainCheckpoint restored = read_checkpoint(path, restored_into);
+  EXPECT_EQ(restored.episodes_done, 3u);
+  EXPECT_EQ(restored.base_seed, 21u);
+  EXPECT_EQ(restored.stats.transitions, 42u);
+  // v1 carries no xstats chunk: grad accounting defaults to zero.
+  EXPECT_EQ(restored.stats.grad_steps, 0u);
+  EXPECT_EQ(restored.stats.grad_seconds, 0.0);
+}
+
+TEST(Checkpoint, UnknownSuffixChunksAreSkipped) {
+  GreedyLatencyManager manager;
+  const std::string dir = fresh_dir("future_suffix");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/future.vnfmc";
+  {
+    const auto bytes = make_archive(manager, 2, true);
+    std::ofstream file(path, std::ios::binary);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+  }
+  GreedyLatencyManager restored_into;
+  const TrainCheckpoint restored = read_checkpoint(path, restored_into);
+  EXPECT_EQ(restored.episodes_done, 3u);
+  EXPECT_EQ(restored.stats.transitions, 42u);
+}
+
+TEST(Checkpoint, FutureFormatVersionIsRejected) {
+  GreedyLatencyManager manager;
+  EXPECT_THROW(Deserializer{make_archive(manager, 3, false)}, SerializeError);
+}
+
+TEST(Checkpoint, PruneKeepsNewestArchives) {
+  const std::string dir = fresh_dir("prune");
+  std::filesystem::create_directories(dir);
+  GreedyLatencyManager stateless;
+  for (const std::uint64_t episodes : {4u, 8u, 12u, 16u, 20u}) {
+    TrainCheckpoint data;
+    data.episodes_done = episodes;
+    write_checkpoint(dir + "/" + checkpoint_filename(episodes), stateless, data);
+  }
+  // An unrelated file must survive pruning.
+  { std::ofstream(dir + "/notes.txt") << "keep me"; }
+
+  EXPECT_EQ(prune_checkpoints(dir, 2), 3u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + checkpoint_filename(16)));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + checkpoint_filename(20)));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + checkpoint_filename(4)));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + checkpoint_filename(8)));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + checkpoint_filename(12)));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+  EXPECT_EQ(latest_checkpoint(dir),
+            (std::filesystem::path(dir) / checkpoint_filename(20)).string());
+  // keep_last_n == 0 keeps everything; pruning again is a no-op.
+  EXPECT_EQ(prune_checkpoints(dir, 0), 0u);
+  EXPECT_EQ(prune_checkpoints(dir, 2), 0u);
+}
+
+TEST(Checkpoint, DriverPrunesWithKeepLastN) {
+  // keep_last_n in TrainOptions: after 6 checkpointed episodes at cadence 2
+  // only the newest 2 archives remain on disk.
+  const EnvOptions env_options = small_options();
+  VnfEnv env(env_options);
+  TabularManager manager(env, rl::TabularQConfig{}, 4);
+  const std::string dir = fresh_dir("driver_prune");
+  TrainOptions options = train_options(6, 1, 4);
+  options.checkpoint_every = 2;
+  options.checkpoint_dir = dir;
+  options.keep_last_n = 2;
+  TrainDriver(env_options, options).run(manager);
+
+  std::size_t archives = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".vnfmc") ++archives;
+  EXPECT_EQ(archives, 2u);
+  EXPECT_EQ(std::filesystem::path(latest_checkpoint(dir)).filename().string(),
+            checkpoint_filename(6));
 }
 
 TEST(Checkpoint, HistoryRoundTrips) {

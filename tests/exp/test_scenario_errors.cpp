@@ -1,0 +1,118 @@
+// ScenarioCatalog error paths, exercised directly (previously only implicit
+// in the happy-path composition tests): typo'd override keys must throw
+// naming the key and listing the accepted set, keys of overlays absent from
+// the expression are rejected the same way, unknown bases/overlays list the
+// registered names, and out-of-range event node indices fail at build()
+// time with the offending index — not mid-episode.
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace vnfm::exp {
+namespace {
+
+/// Runs `fn`, requiring it to throw std::invalid_argument, and returns the
+/// exception message for content checks.
+template <typename Fn>
+std::string message_of(const Fn& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return {};
+}
+
+TEST(ScenarioErrors, TypoedOverrideKeyListsAcceptedSet) {
+  const std::string message = message_of([] {
+    (void)ScenarioCatalog::instance().build("geo-distributed",
+                                            Config{{"arival_rate", "2.0"}});
+  });
+  // Names the offending key, the expression, and the accepted keys.
+  EXPECT_NE(message.find("arival_rate"), std::string::npos) << message;
+  EXPECT_NE(message.find("geo-distributed"), std::string::npos) << message;
+  EXPECT_NE(message.find("accepted keys"), std::string::npos) << message;
+  EXPECT_NE(message.find("arrival_rate"), std::string::npos) << message;
+  EXPECT_NE(message.find("nodes"), std::string::npos) << message;
+}
+
+TEST(ScenarioErrors, KeyOfAbsentOverlayIsRejected) {
+  // flash_magnitude belongs to the flash-crowd overlay; without the overlay
+  // in the expression it would be a silent no-op, so build() throws.
+  const std::string message = message_of([] {
+    (void)ScenarioCatalog::instance().build("geo-distributed",
+                                            Config{{"flash_magnitude", "3.0"}});
+  });
+  EXPECT_NE(message.find("flash_magnitude"), std::string::npos) << message;
+  EXPECT_NE(message.find("accepted keys"), std::string::npos) << message;
+
+  // The same key is accepted once the overlay joins the expression.
+  EXPECT_NO_THROW((void)ScenarioCatalog::instance().build(
+      "geo-distributed+flash-crowd", Config{{"flash_magnitude", "3.0"}}));
+}
+
+TEST(ScenarioErrors, UnknownBaseListsRegisteredScenarios) {
+  const std::string message = message_of(
+      [] { (void)ScenarioCatalog::instance().build("geo-distribted"); });
+  EXPECT_NE(message.find("geo-distribted"), std::string::npos) << message;
+  EXPECT_NE(message.find("registered"), std::string::npos) << message;
+  EXPECT_NE(message.find("geo-distributed"), std::string::npos) << message;
+}
+
+TEST(ScenarioErrors, UnknownOverlayListsRegisteredOverlays) {
+  const std::string message = message_of([] {
+    (void)ScenarioCatalog::instance().build("geo-distributed+flashcrowd");
+  });
+  EXPECT_NE(message.find("flashcrowd"), std::string::npos) << message;
+  EXPECT_NE(message.find("registered"), std::string::npos) << message;
+  EXPECT_NE(message.find("node-failure"), std::string::npos) << message;
+}
+
+TEST(ScenarioErrors, EmptyExpressionTokensThrow) {
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(""), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("geo-distributed+"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioCatalog::instance().build("+flash-crowd"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioErrors, OutOfRangeEventNodeIndexThrowsAtBuildTime) {
+  // fail_node 9 on an 8-node topology: the event schedule is validated when
+  // the final node count is known, with the offending index in the message.
+  const std::string message = message_of([] {
+    (void)ScenarioCatalog::instance().build("geo-distributed+node-failure",
+                                            Config{{"fail_node", "9"}});
+  });
+  EXPECT_NE(message.find("node 9"), std::string::npos) << message;
+  EXPECT_NE(message.find("8 nodes"), std::string::npos) << message;
+  EXPECT_NE(message.find("fail_node"), std::string::npos) << message;
+}
+
+TEST(ScenarioErrors, NodeIndexValidationUsesFinalNodeCount) {
+  // The `nodes` override lands after the overlays, so validation must use
+  // the final topology: node 9 is invalid at the default 8 nodes but valid
+  // once the same expression is built with nodes=12.
+  EXPECT_THROW((void)ScenarioCatalog::instance().build(
+                   "geo-distributed+capacity-drop", Config{{"capacity_node", "9"}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)ScenarioCatalog::instance().build(
+      "geo-distributed+capacity-drop",
+      Config{{"capacity_node", "9"}, {"nodes", "12"}}));
+}
+
+TEST(ScenarioErrors, FilterKnownOverridesDropsOnlyUnknownKeys) {
+  const Config mixed{{"arrival_rate", "2.0"},
+                     {"episodes", "12"},  // experiment knob, not a scenario key
+                     {"flash_magnitude", "3.0"}};
+  const Config filtered = ScenarioCatalog::instance().filter_known_overrides(mixed);
+  EXPECT_TRUE(filtered.contains("arrival_rate"));
+  EXPECT_TRUE(filtered.contains("flash_magnitude"));
+  EXPECT_FALSE(filtered.contains("episodes"));
+}
+
+}  // namespace
+}  // namespace vnfm::exp

@@ -136,5 +136,32 @@ TEST(TrainParallel, SyncPeriodRejectsZero) {
   EXPECT_THROW(experiment.train_sync_period(0), std::invalid_argument);
 }
 
+TEST(TrainParallel, LearnerThreadsBitIdenticalThroughFacade) {
+  // Experiment::learner_threads(n) drives the data-parallel gradient
+  // engine; curves and train stats counters must match the 1-learner run,
+  // and the grad-step accounting must be populated.
+  std::vector<std::vector<core::EpisodeResult>> curves;
+  std::vector<core::TrainStats> stats;
+  for (const std::size_t learners : {std::size_t{1}, std::size_t{4}}) {
+    auto experiment = small_experiment();
+    experiment.manager("dqn", Config{{"min_replay_before_training", "50"}})
+        .seed(11)
+        .train_threads(2)
+        .learner_threads(learners)
+        .train_duration(300.0)
+        .train(6);
+    EXPECT_EQ(experiment.train_stats().learner_threads, learners);
+    curves.push_back(experiment.learning_curve());
+    stats.push_back(experiment.train_stats());
+  }
+  ASSERT_EQ(curves[0].size(), curves[1].size());
+  for (std::size_t i = 0; i < curves[0].size(); ++i)
+    expect_identical(curves[0][i], curves[1][i], "episode " + std::to_string(i));
+  EXPECT_GT(stats[0].grad_steps, 0u);
+  EXPECT_EQ(stats[0].grad_steps, stats[1].grad_steps);
+  EXPECT_GT(stats[0].grad_seconds, 0.0);
+  EXPECT_GT(stats[0].grad_step_micros(), 0.0);
+}
+
 }  // namespace
 }  // namespace vnfm::exp

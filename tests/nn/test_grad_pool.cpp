@@ -1,0 +1,197 @@
+// Unit tests of the data-parallel gradient engine primitives: GradWorkPool
+// scheduling/exception semantics, block-wise Mlp forward bit-equality with
+// the monolithic forward, and the worker-count invariance of the blocked
+// backward (per-block accumulators reduced in fixed block order).
+#include "nn/grad_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace vnfm::nn {
+namespace {
+
+MlpConfig make_config(bool dueling) {
+  MlpConfig config;
+  config.input_dim = 11;
+  config.hidden_dims = {16, 16};
+  config.output_dim = 5;
+  config.activation = Activation::kReLU;
+  config.dueling = dueling;
+  return config;
+}
+
+Matrix random_batch(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  return m;
+}
+
+TEST(GradWorkPool, RunsEveryBlockExactlyOnce) {
+  GradWorkPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr std::size_t kBlocks = 23;
+  std::vector<std::atomic<int>> hits(kBlocks);
+  pool.run(kBlocks, [&](std::size_t block, std::size_t worker) {
+    ASSERT_LT(worker, 4u);
+    hits[block].fetch_add(1);
+  });
+  for (std::size_t b = 0; b < kBlocks; ++b) EXPECT_EQ(hits[b].load(), 1) << b;
+}
+
+TEST(GradWorkPool, SingleWorkerRunsInline) {
+  GradWorkPool pool(1);
+  std::size_t sum = 0;  // no synchronisation: everything on the caller
+  pool.run(5, [&](std::size_t block, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    sum += block;
+  });
+  EXPECT_EQ(sum, 0u + 1 + 2 + 3 + 4);
+}
+
+TEST(GradWorkPool, ZeroWorkersClampsToOne) {
+  GradWorkPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+}
+
+TEST(GradWorkPool, WorkerExceptionPropagates) {
+  GradWorkPool pool(3);
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t block, std::size_t) {
+                          if (block == 5) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a failed job and runs the next one.
+  std::atomic<int> count{0};
+  pool.run(4, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(MlpBlocks, ForwardBlockMatchesMonolithicForwardBitForBit) {
+  for (const bool dueling : {false, true}) {
+    Mlp net(make_config(dueling));
+    Rng rng(7);
+    net.init(rng);
+    const Matrix input = random_batch(21, 11, 3);  // 3 blocks, ragged tail
+
+    Matrix full;
+    net.forward(input, full);
+
+    Matrix blocked(21, 5);
+    MlpWorkspace ws;
+    for (std::size_t b = 0; b < grad_block_count(21); ++b) {
+      const std::size_t row0 = b * kGradBlockRows;
+      const std::size_t rows = std::min(kGradBlockRows, 21 - row0);
+      net.forward_block(input, row0, rows, blocked, ws);
+    }
+    for (std::size_t i = 0; i < full.flat().size(); ++i)
+      EXPECT_EQ(full.flat()[i], blocked.flat()[i]) << (dueling ? "dueling " : "")
+                                                   << "element " << i;
+  }
+}
+
+TEST(MlpBlocks, BlockedBackwardCloselyMatchesMonolithicBackward) {
+  // The blocked path re-associates the row summation of dW/db at block
+  // boundaries, so it is not bit-equal to the monolithic backward — but it
+  // must be the same gradient numerically.
+  for (const bool dueling : {false, true}) {
+    Mlp net(make_config(dueling));
+    Rng rng(7);
+    net.init(rng);
+    const Matrix input = random_batch(24, 11, 3);
+    const Matrix d_out = random_batch(24, 5, 4);
+
+    Matrix output;
+    net.forward(input, output);
+    net.zero_grad();
+    net.backward(d_out);
+    std::vector<std::vector<float>> reference;
+    for (const Param* p : std::as_const(net).parameters())
+      reference.emplace_back(p->grad.flat().begin(), p->grad.flat().end());
+
+    Matrix blocked_out(24, 5);
+    MlpWorkspace ws;
+    Matrix d_block;
+    std::vector<GradAccumulator> accums(grad_block_count(24));
+    for (std::size_t b = 0; b < accums.size(); ++b) {
+      const std::size_t row0 = b * kGradBlockRows;
+      const std::size_t rows = std::min(kGradBlockRows, 24 - row0);
+      net.forward_block(input, row0, rows, blocked_out, ws);
+      d_block.resize(rows, 5);
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+          d_block.at(r, c) = d_out.at(row0 + r, c);
+      accums[b].reset(net);
+      net.backward_block(d_block, ws, accums[b]);
+    }
+    net.zero_grad();
+    for (const GradAccumulator& accum : accums) net.apply_gradients(accum);
+
+    const auto params = std::as_const(net).parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto grad = params[i]->grad.flat();
+      for (std::size_t j = 0; j < grad.size(); ++j)
+        EXPECT_NEAR(grad[j], reference[i][j],
+                    1e-5 * std::max(1.0F, std::fabs(reference[i][j])))
+            << "param " << i << " element " << j;
+    }
+  }
+}
+
+TEST(MlpBlocks, BlockedBackwardIsWorkerCountInvariantBitForBit) {
+  for (const bool dueling : {false, true}) {
+    const Matrix input = random_batch(29, 11, 5);  // 4 blocks, ragged tail
+    const Matrix d_out = random_batch(29, 5, 6);
+    const std::size_t blocks = grad_block_count(29);
+
+    std::vector<std::vector<float>> reference;
+    for (const std::size_t workers : {1, 2, 4}) {
+      Mlp net(make_config(dueling));
+      Rng rng(7);
+      net.init(rng);
+      GradWorkPool pool(workers);
+      std::vector<MlpWorkspace> ws(pool.workers());
+      std::vector<Matrix> d_block(pool.workers());
+      std::vector<GradAccumulator> accums(blocks);
+      Matrix output(29, 5);
+      pool.run(blocks, [&](std::size_t b, std::size_t w) {
+        const std::size_t row0 = b * kGradBlockRows;
+        const std::size_t rows = std::min(kGradBlockRows, 29 - row0);
+        net.forward_block(input, row0, rows, output, ws[w]);
+        d_block[w].resize(rows, 5);
+        for (std::size_t r = 0; r < rows; ++r)
+          for (std::size_t c = 0; c < 5; ++c)
+            d_block[w].at(r, c) = d_out.at(row0 + r, c);
+        accums[b].reset(net);
+        net.backward_block(d_block[w], ws[w], accums[b]);
+      });
+      net.zero_grad();
+      for (const GradAccumulator& accum : accums) net.apply_gradients(accum);
+
+      std::vector<std::vector<float>> grads;
+      for (const Param* p : std::as_const(net).parameters())
+        grads.emplace_back(p->grad.flat().begin(), p->grad.flat().end());
+      if (reference.empty()) {
+        reference = grads;
+      } else {
+        // Bit-for-bit: float equality, not tolerance.
+        ASSERT_EQ(grads.size(), reference.size());
+        for (std::size_t i = 0; i < grads.size(); ++i)
+          EXPECT_EQ(grads[i], reference[i])
+              << (dueling ? "dueling " : "") << workers << " workers, param " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vnfm::nn

@@ -50,33 +50,43 @@ TEST(HuberLoss, NegativeErrorsSymmetric) {
   EXPECT_NEAR(grad.at(0, 0), -1.0, 1e-6);
 }
 
-TEST(MaskedHuberLoss, OnlyMaskedElementsContribute) {
-  Matrix pred(1, 3), target(1, 3), mask(1, 3), grad;
-  pred.at(0, 0) = 10.0F;  // masked out: would dominate
-  pred.at(0, 1) = 0.5F;   // active
-  pred.at(0, 2) = 0.0F;   // masked out
-  target.fill(0.0F);
-  mask.at(0, 1) = 1.0F;
-  const double loss = masked_huber_loss(pred, target, mask, grad, 1.0F);
-  EXPECT_NEAR(loss, 0.5 * 0.25, 1e-6);
-  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0F);
-  EXPECT_NEAR(grad.at(0, 1), 0.5, 1e-6);
-  EXPECT_FLOAT_EQ(grad.at(0, 2), 0.0F);
+// huber_term is the per-element definition behind the DQN block-parallel
+// gradient engine; these hand-computed values pin its absolute numerics
+// (the engine's own tests only compare runs against each other, which a
+// uniform numeric regression would pass).
+TEST(HuberTerm, QuadraticInsideDelta) {
+  const HuberTerm t = huber_term(0.5F, 1.0F, 4.0);
+  EXPECT_NEAR(t.loss, 0.5 * 0.25, 1e-9);        // 0.5 * diff^2, un-normalised
+  EXPECT_NEAR(t.grad, 0.5 / 4.0, 1e-7);         // diff / norm
 }
 
-TEST(MaskedHuberLoss, EmptyMaskGivesZero) {
-  Matrix pred(2, 2, 1.0F), target(2, 2, 0.0F), mask(2, 2, 0.0F), grad;
-  EXPECT_DOUBLE_EQ(masked_huber_loss(pred, target, mask, grad), 0.0);
-  for (const float g : grad.flat()) EXPECT_FLOAT_EQ(g, 0.0F);
+TEST(HuberTerm, LinearOutsideDelta) {
+  const HuberTerm t = huber_term(5.0F, 1.0F, 2.0);
+  EXPECT_NEAR(t.loss, 1.0 * (5.0 - 0.5), 1e-9);  // delta * (|diff| - delta/2)
+  EXPECT_NEAR(t.grad, 1.0 / 2.0, 1e-7);          // clipped to delta / norm
 }
 
-TEST(MaskedHuberLoss, AveragesOverActiveCount) {
-  Matrix pred(1, 4, 1.0F), target(1, 4, 0.0F), mask(1, 4, 0.0F), grad;
-  mask.at(0, 0) = 1.0F;
-  mask.at(0, 1) = 1.0F;
-  const double loss = masked_huber_loss(pred, target, mask, grad, 10.0F);
-  EXPECT_NEAR(loss, 0.5, 1e-6);  // two 0.5 quadratic terms / 2 active
-  EXPECT_NEAR(grad.at(0, 0), 0.5, 1e-6);
+TEST(HuberTerm, NegativeErrorsSymmetric) {
+  const HuberTerm inside = huber_term(-0.5F, 1.0F, 1.0);
+  EXPECT_NEAR(inside.loss, 0.5 * 0.25, 1e-9);
+  EXPECT_NEAR(inside.grad, -0.5, 1e-7);
+  const HuberTerm outside = huber_term(-5.0F, 1.0F, 1.0);
+  EXPECT_NEAR(outside.loss, 4.5, 1e-9);
+  EXPECT_NEAR(outside.grad, -1.0, 1e-7);
+}
+
+TEST(HuberTerm, ZeroErrorIsZero) {
+  const HuberTerm t = huber_term(0.0F, 1.0F, 32.0);
+  EXPECT_DOUBLE_EQ(t.loss, 0.0);
+  EXPECT_FLOAT_EQ(t.grad, 0.0F);
+}
+
+TEST(HuberTerm, BoundaryUsesQuadraticBranch) {
+  // |diff| == delta belongs to the quadratic branch (<=), where the two
+  // branches agree in value and gradient.
+  const HuberTerm t = huber_term(1.0F, 1.0F, 1.0);
+  EXPECT_NEAR(t.loss, 0.5, 1e-9);
+  EXPECT_NEAR(t.grad, 1.0, 1e-7);
 }
 
 TEST(HuberLoss, GradientIsFiniteDifferenceOfLoss) {
