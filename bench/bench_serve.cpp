@@ -1,0 +1,127 @@
+// Serving-engine bench: drives core::ServeDriver over a shards × batch-size
+// grid on the standard scenario, reports decision throughput and
+// p50/p95/p99/max decision latency per cell, emits BENCH_serve.json for CI
+// artifact tracking, and asserts the engine's core contract — the
+// deterministic half of ServeStats (per-partition requests/decisions/accept
+// counts, cost, decision digest) is bit-identical across EVERY grid cell
+// (exit 1 on any divergence; throughput itself is reported, not gated,
+// because CI runner core counts vary).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+struct Cell {
+  std::size_t shards = 0;
+  std::size_t batch_max = 0;
+  core::ServeStats stats;
+};
+
+void append_unique(std::vector<std::size_t>& values, std::size_t value) {
+  for (const std::size_t existing : values)
+    if (existing == value) return;
+  values.push_back(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  const bool full = std::getenv("REPRO_FULL") != nullptr;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  core::ServeOptions base;
+  base.partitions = 4;
+  base.requests_per_partition = full ? 512 : 96;
+  base.batch_max = bench::serve_batch_max();
+  base.queue_capacity = 64;
+
+  // The 1/2/4 invariance grid, plus the REPRO_SERVE_SHARDS request
+  // (0 = hardware concurrency) when it adds a new point. ServeDriver clamps
+  // shards to the partition count, so oversized requests fold into 4.
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  const std::size_t requested = bench::serve_shards();
+  append_unique(shard_counts,
+                std::min<std::size_t>(base.partitions,
+                                      requested > 0 ? requested
+                                                    : (cores > 0 ? cores : 1)));
+  std::vector<std::size_t> batch_sizes{1};
+  append_unique(batch_sizes, base.batch_max);
+
+  std::cout << "=== bench_serve: sharded batched serving engine ("
+            << base.partitions << " partitions x " << base.requests_per_partition
+            << " requests, scenario " << bench::default_scenario() << ") ===\n";
+
+  exp::Experiment experiment =
+      exp::Experiment::from_options(bench::scenario_options(bench::default_scenario(),
+                                                            config));
+  experiment.manager("dqn").seed(1);
+
+  std::vector<Cell> cells;
+  bool bit_identical = true;
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t batch_max : batch_sizes) {
+      core::ServeOptions options = base;
+      options.shards = shards;
+      options.batch_max = batch_max;
+      Cell cell;
+      cell.shards = shards;
+      cell.batch_max = batch_max;
+      cell.stats = experiment.serve(options);
+      if (!cells.empty() && !cell.stats.deterministically_equal(cells.front().stats))
+        bit_identical = false;
+      std::cout << "  shards=" << shards << " batch_max=" << batch_max << ": "
+                << cell.stats.decisions_per_second() << " decisions/s, p50="
+                << cell.stats.latency_micros(0.50) << "us p95="
+                << cell.stats.latency_micros(0.95) << "us p99="
+                << cell.stats.latency_micros(0.99) << "us max="
+                << cell.stats.latency.max_micros() << "us, queue_hw="
+                << cell.stats.queue_high_water << ", backpressure="
+                << cell.stats.backpressure_waits << "\n";
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::cout << "deterministic serve stats bit-identical across "
+            << cells.size() << " grid cells: "
+            << (bit_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  // Full per-shard/per-partition report of the last (widest) cell through
+  // the shared exp:: writer.
+  exp::write_serve_json(cells.back().stats, base, "BENCH_serve_detail.json");
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n  \"hardware_cores\": " << cores
+       << ",\n  \"partitions\": " << base.partitions
+       << ",\n  \"requests_per_partition\": " << base.requests_per_partition
+       << ",\n  \"scenario\": \"" << bench::default_scenario() << "\""
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json << "    {\"shards\": " << cell.shards
+         << ", \"batch_max\": " << cell.batch_max
+         << ", \"decisions_per_s\": " << cell.stats.decisions_per_second()
+         << ", \"requests_per_s\": " << cell.stats.requests_per_second()
+         << ", \"latency_p50_us\": " << cell.stats.latency_micros(0.50)
+         << ", \"latency_p95_us\": " << cell.stats.latency_micros(0.95)
+         << ", \"latency_p99_us\": " << cell.stats.latency_micros(0.99)
+         << ", \"latency_max_us\": " << cell.stats.latency.max_micros()
+         << ", \"queue_high_water\": " << cell.stats.queue_high_water
+         << ", \"backpressure_waits\": " << cell.stats.backpressure_waits
+         << ", \"batched_decisions\": " << cell.stats.batched_decisions
+         << ", \"single_decisions\": " << cell.stats.single_decisions << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "JSON written to BENCH_serve.json (detail: BENCH_serve_detail.json)\n";
+  return bit_identical ? 0 : 1;
+}

@@ -82,6 +82,18 @@ std::size_t learner_threads() {
   return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
 }
 
+std::size_t serve_shards() {
+  const char* requested = std::getenv("REPRO_SERVE_SHARDS");
+  if (requested == nullptr || *requested == '\0') return 0;  // hardware
+  return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
+}
+
+std::size_t serve_batch_max() {
+  const char* requested = std::getenv("REPRO_SERVE_BATCH_MAX");
+  if (requested == nullptr || *requested == '\0') return 8;
+  return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
+}
+
 std::string checkpoint_dir() {
   const char* dir = std::getenv("REPRO_CHECKPOINT_DIR");
   return dir == nullptr ? std::string{} : std::string{dir};

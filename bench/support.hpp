@@ -73,6 +73,18 @@ std::size_t train_threads();
 /// at any value — it moves gradient-step wall-clock only.
 std::size_t learner_threads();
 
+/// Extra serving shard count for bench_serve's sweep grid: the
+/// REPRO_SERVE_SHARDS environment variable, defaulting to 0 = hardware
+/// concurrency. Appended to the bench's fixed 1/2/4 invariance grid; the
+/// serving engine is shard-count-invariant on its deterministic stats, so
+/// this only moves throughput/latency, never decisions.
+std::size_t serve_shards();
+
+/// Micro-batch ceiling for the serving engine (ServeOptions::batch_max):
+/// the REPRO_SERVE_BATCH_MAX environment variable, defaulting to 8.
+/// Batching is decision-invariant — any value changes wall-clock only.
+std::size_t serve_batch_max();
+
 /// Base directory for resumable training checkpoints: the
 /// REPRO_CHECKPOINT_DIR environment variable ("" = checkpointing off). Each
 /// training run writes under "<dir>/<bench binary>/<scenario>/<label>" so

@@ -75,6 +75,74 @@ std::vector<double> QuantileSketch::sorted_sample() const {
   return sorted;
 }
 
+namespace {
+
+/// Bit width of the linear floor (kSubBuckets == 2^kSubBucketBits).
+constexpr std::size_t kSubBucketBits = 5;
+static_assert(LatencyHistogram::kSubBuckets == (std::size_t{1} << kSubBucketBits));
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(double micros) noexcept {
+  if (!(micros > 0.0)) return 0;
+  const auto u = static_cast<std::uint64_t>(micros);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  // exp = floor(log2(u)) >= kSubBucketBits; the octave [2^exp, 2^(exp+1))
+  // splits into kSubBuckets equal sub-buckets of width 2^(exp - bits).
+  std::size_t exp = kSubBucketBits;
+  while ((u >> (exp + 1)) != 0) ++exp;
+  const std::size_t octave = exp - kSubBucketBits;
+  if (octave >= kOctaves) return kBuckets - 1;
+  const auto sub = static_cast<std::size_t>((u >> (exp - kSubBucketBits)) - kSubBuckets);
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_lo(std::size_t i) noexcept {
+  if (i < kSubBuckets) return static_cast<double>(i);
+  const std::size_t octave = (i - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (i - kSubBuckets) % kSubBuckets;
+  const double base = static_cast<double>(std::uint64_t{1} << (kSubBucketBits + octave));
+  const double width = base / static_cast<double>(kSubBuckets);
+  return base + width * static_cast<double>(sub);
+}
+
+double LatencyHistogram::bucket_hi(std::size_t i) noexcept {
+  if (i + 1 < kBuckets) return bucket_lo(i + 1);
+  return 2.0 * bucket_lo(i);  // the last bucket's nominal top
+}
+
+void LatencyHistogram::add(double micros) noexcept {
+  ++counts_[bucket_index(micros)];
+  ++total_;
+  if (micros > max_) max_ = micros;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // p100 is the exactly-tracked maximum (HDR convention), not a bucket
+  // midpoint — the top bucket's midpoint can under-report the true max.
+  if (q >= 1.0) return max_;
+  // Rank of the requested sample, 1-based (q = 0 -> first, q = 1 -> last).
+  const auto target = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const double mid = 0.5 * (bucket_lo(i) + bucket_hi(i));
+      return std::min(mid, max_);
+    }
+  }
+  return max_;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram range");

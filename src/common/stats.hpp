@@ -1,12 +1,22 @@
 // Streaming statistics used by the simulator metrics and experiment harness.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace vnfm {
+
+/// Mean microseconds per operation, 0 when no operation ran: the one µs/op
+/// formula shared by TrainStats::grad_step_micros() and the serving engine's
+/// ServeStats reporting, so perf numbers in curves, serve reports, and bench
+/// JSON can never disagree on rounding or the no-op case.
+[[nodiscard]] constexpr double mean_micros_per(double seconds,
+                                               std::size_t ops) noexcept {
+  return ops > 0 ? seconds * 1e6 / static_cast<double>(ops) : 0.0;
+}
 
 /// Numerically stable single-pass mean/variance accumulator (Welford).
 class RunningStat {
@@ -74,6 +84,56 @@ class QuantileSketch {
   std::uint64_t rng_state_;
   std::size_t total_ = 0;
   std::vector<double> sample_;
+};
+
+/// HDR-style fixed-layout latency histogram (microsecond domain).
+///
+/// The bucket layout is log-linear and compile-time fixed: values below
+/// kSubBuckets µs get 1 µs-wide buckets (exact), and each power-of-two range
+/// [2^e, 2^(e+1)) above that is split into kSubBuckets linear sub-buckets, so
+/// relative quantile error is bounded by 1/kSubBuckets (~3%) across the full
+/// [0, ~2^31 µs] range with a few KiB of counters and O(1) add. Because the
+/// layout never depends on the data, two histograms always merge bucket by
+/// bucket (integer adds), which makes merged quantiles independent of merge
+/// order — the property the serving engine's fixed-order stats reducer
+/// relies on. The exact maximum is tracked separately (a tail quantile of a
+/// bucketed histogram can never exceed it).
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two range (also the width-1 µs floor).
+  static constexpr std::size_t kSubBuckets = 32;
+  /// Power-of-two ranges above the linear floor; the top of the highest
+  /// range (2^(5 + kOctaves) µs ≈ 36 minutes) clamps into the last bucket.
+  static constexpr std::size_t kOctaves = 26;
+  /// Total bucket count of the fixed layout.
+  static constexpr std::size_t kBuckets = kSubBuckets + kOctaves * kSubBuckets;
+
+  /// Records one latency sample (negative values count as 0).
+  void add(double micros) noexcept;
+  /// Adds another histogram's counts and max (bucket-aligned by layout).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  /// Exact maximum recorded value in µs (0 when empty).
+  [[nodiscard]] double max_micros() const noexcept { return max_; }
+  /// Quantile q in [0, 1], in µs: the midpoint of the bucket holding the
+  /// rank-⌈q·count⌉ sample (clamped by the exact max); 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  /// Raw count of bucket `i` (layout introspection / tests).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  /// Inclusive lower bound of bucket `i` in µs.
+  [[nodiscard]] static double bucket_lo(std::size_t i) noexcept;
+  /// Exclusive upper bound of bucket `i` in µs.
+  [[nodiscard]] static double bucket_hi(std::size_t i) noexcept;
+  /// Index of the bucket that a value in µs lands in.
+  [[nodiscard]] static std::size_t bucket_index(double micros) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double max_ = 0.0;
 };
 
 /// Fixed-bin histogram over [lo, hi); under/overflow tracked separately.

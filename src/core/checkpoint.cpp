@@ -148,6 +148,51 @@ std::string read_checkpoint_policy(const std::string& path) {
   return in.read_string();
 }
 
+CheckpointInfo inspect_checkpoint(const std::string& path) {
+  Deserializer in = Deserializer::from_file(path);
+  in.enter_chunk("train_checkpoint");
+
+  CheckpointInfo info;
+  in.enter_chunk("meta");
+  info.episodes_done = in.read_u64();
+  info.base_seed = in.read_u64();
+  info.policy = in.read_string();
+  in.leave_chunk();
+
+  in.enter_chunk("curve");
+  const std::uint64_t episodes = in.read_u64();
+  in.expect_items(episodes, 96, "learning curve");  // 12 8-byte fields each
+  info.curve.resize(episodes);
+  for (EpisodeResult& r : info.curve) r = load_episode_result(in);
+  info.seeds = in.read_u64_vec();
+  in.leave_chunk();
+
+  in.enter_chunk("stats");
+  info.stats.wall_seconds = in.read_f64();
+  info.stats.transitions = in.read_u64();
+  info.stats.episodes = in.read_u64();
+  info.stats.rounds = in.read_u64();
+  info.stats.actor_threads = in.read_u64();
+  info.stats.parallel = in.read_bool();
+  in.leave_chunk();
+
+  // The manager state is opaque without the policy's loader: report its
+  // size and skip it (leave_chunk discards the unread payload).
+  in.enter_chunk("manager");
+  info.manager_bytes = in.remaining_in_chunk();
+  in.leave_chunk();
+
+  if (in.remaining_in_chunk() > 0 && in.peek_chunk_tag() == "xstats") {
+    in.enter_chunk("xstats");
+    info.stats.grad_steps = in.read_u64();
+    info.stats.grad_seconds = in.read_f64();
+    in.leave_chunk();
+  }
+
+  in.leave_chunk();
+  return info;
+}
+
 std::string checkpoint_filename(std::uint64_t episodes_done) {
   char name[32];
   std::snprintf(name, sizeof(name), "ckpt-%09llu.vnfmc",

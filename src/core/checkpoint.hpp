@@ -42,6 +42,25 @@ TrainCheckpoint read_checkpoint(const std::string& path, Manager& manager);
 /// Policy tag stored in the archive at `path` (inspection without a manager).
 std::string read_checkpoint_policy(const std::string& path);
 
+/// Manager-free view of a checkpoint archive (the vnfmc-inspect CLI):
+/// everything read_checkpoint() returns plus the archive meta, without
+/// needing — or restoring into — a constructed manager.
+struct CheckpointInfo {
+  std::uint64_t episodes_done = 0;  ///< training episodes completed
+  std::uint64_t base_seed = 0;      ///< episode-seed base of the run
+  std::string policy;               ///< Manager::checkpoint_state() tag
+  std::vector<EpisodeResult> curve; ///< per-episode results [0, episodes_done)
+  std::vector<std::uint64_t> seeds; ///< train_seed of every curve entry
+  TrainStats stats;                 ///< accumulated wall-clock / throughput
+  std::uint64_t manager_bytes = 0;  ///< size of the opaque manager-state chunk
+};
+
+/// Parses the archive at `path` without a manager: meta, curve, and stats
+/// chunks are read, the opaque manager chunk is skipped (its payload size is
+/// reported), and the v2 xstats suffix is probed like read_checkpoint().
+/// Throws SerializeError on a corrupt or non-checkpoint archive.
+CheckpointInfo inspect_checkpoint(const std::string& path);
+
 /// Standard checkpoint filename for a run that completed `episodes_done`
 /// episodes ("ckpt-<episodes, zero-padded>.vnfmc").
 std::string checkpoint_filename(std::uint64_t episodes_done);

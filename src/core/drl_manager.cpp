@@ -1,5 +1,6 @@
 #include "core/drl_manager.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -59,6 +60,27 @@ std::unique_ptr<Manager> DqnManager::clone_for_eval() const {
 int DqnManager::select_action(VnfEnv& env) {
   if (training_) return agent_->act(env.features(), env.action_mask());
   return agent_->act_greedy(env.features(), env.action_mask());
+}
+
+void DqnManager::select_actions(std::span<VnfEnv* const> envs, std::span<int> actions) {
+  if (training_) {
+    // ε-greedy draws one RNG sample per decision in call order; only the
+    // sequential loop preserves that stream.
+    Manager::select_actions(envs, actions);
+    return;
+  }
+  const std::size_t n = envs.size();
+  if (n == 0) return;
+  const std::size_t dim = envs[0]->state_dim();
+  if (batch_states_.rows() != n || batch_states_.cols() != dim)
+    batch_states_.resize(n, dim);
+  batch_masks_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto features = envs[i]->features();
+    std::copy(features.begin(), features.end(), batch_states_.row(i).begin());
+    batch_masks_[i] = &envs[i]->action_mask();
+  }
+  agent_->act_greedy_block(batch_states_, batch_masks_, actions);
 }
 
 rl::Transition DqnManager::to_transition(const TransitionView& t) const {

@@ -27,6 +27,12 @@ class DqnManager : public Manager {
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] int select_action(VnfEnv& env) override;
+  /// Batched greedy decisions (serving engine): gathers every environment's
+  /// feature row and validity mask and runs one DqnAgent::act_greedy_block
+  /// forward — decision-identical to looping select_action, it only
+  /// amortises inference cost. In training mode (where ε-greedy consumes
+  /// the exploration RNG once per call) it keeps the sequential base loop.
+  void select_actions(std::span<VnfEnv* const> envs, std::span<int> actions) override;
   void observe(const TransitionView& transition) override;
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
@@ -65,6 +71,9 @@ class DqnManager : public Manager {
   std::unique_ptr<rl::DqnAgent> agent_;
   bool training_ = true;
   double last_loss_ = 0.0;
+  // select_actions staging (reused across calls; serving hot path).
+  nn::Matrix batch_states_;
+  std::vector<const std::vector<std::uint8_t>*> batch_masks_;
 };
 
 /// Acting half of the DqnManager split: an ε-greedy policy over a weight

@@ -40,7 +40,7 @@ VnfEnv::VnfEnv(EnvOptions options)
 
 void VnfEnv::rebuild() {
   edgesim::WorkloadOptions workload_options = options_.workload;
-  workload_options.seed = options_.seed ^ (episode_seed_ * 0x9E3779B97F4A7C15ULL + 1);
+  workload_options.seed = stream_seed(options_.seed, episode_seed_);
   if (options_.workload_model) {
     workload_ = options_.workload_model(topology_, sfcs_, workload_options);
     if (!workload_) throw std::invalid_argument("workload model factory returned null");

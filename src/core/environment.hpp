@@ -98,6 +98,15 @@ class VnfEnv {
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
   /// Seed of the episode the environment was last reset() with.
   [[nodiscard]] std::uint64_t episode_seed() const noexcept { return episode_seed_; }
+  /// The workload-stream seed an environment built with `options_seed` and
+  /// reset with `episode_seed` derives internally (golden-ratio mix). Public
+  /// so external drivers — the serving engine's open-loop load generator —
+  /// can instantiate their own WorkloadModel that reproduces this
+  /// environment's request-arrival instants exactly.
+  [[nodiscard]] static constexpr std::uint64_t stream_seed(
+      std::uint64_t options_seed, std::uint64_t episode_seed) noexcept {
+    return options_seed ^ (episode_seed * 0x9E3779B97F4A7C15ULL + 1);
+  }
   [[nodiscard]] const edgesim::CostModel& cost_model() const noexcept { return options_.cost; }
 
   /// Pending request currently being placed (valid while a chain pends).

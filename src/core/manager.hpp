@@ -52,6 +52,17 @@ class Manager {
   /// Must return an action that is valid under env.action_mask().
   [[nodiscard]] virtual int select_action(VnfEnv& env) = 0;
 
+  /// Batched decision entry point (serving engine): chooses one action per
+  /// environment, each at its own pending decision point, writing
+  /// actions[i] for envs[i]. MUST be decision-equivalent to calling
+  /// select_action(*envs[i]) one by one — batching is an inference-cost
+  /// optimisation, never a policy change — so the default does exactly
+  /// that loop. Policies with batched inference (DQN) override it to run
+  /// all rows through one network forward.
+  virtual void select_actions(std::span<VnfEnv* const> envs, std::span<int> actions) {
+    for (std::size_t i = 0; i < envs.size(); ++i) actions[i] = select_action(*envs[i]);
+  }
+
   /// Receives the transition produced by the last select_action (only
   /// called by the runner when training is enabled).
   virtual void observe(const TransitionView& transition) { (void)transition; }

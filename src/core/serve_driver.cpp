@@ -1,0 +1,341 @@
+#include "core/serve_driver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace vnfm::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a style fold of one 64-bit word into a running digest.
+constexpr std::uint64_t fnv_fold(std::uint64_t digest, std::uint64_t word) noexcept {
+  return (digest ^ word) * kFnvPrime;
+}
+
+/// One placement-request token of the open-loop generator: which partition
+/// must serve its next request, and when the token entered the queue (the
+/// start of the request's decision-latency clock).
+struct Token {
+  std::uint32_t partition = 0;
+  Clock::time_point enqueued;
+};
+
+/// Bounded blocking queue between the load generator and one shard worker.
+/// push() blocks while full (open-loop backpressure) and fails once closed;
+/// pop_batch() drains up to `max` tokens per call — the adaptive micro-batch
+/// window — and returns 0 only when the queue is closed AND drained.
+class ServeQueue {
+ public:
+  explicit ServeQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool push(const Token& token) {
+    std::unique_lock lock(mutex_);
+    if (queue_.size() >= capacity_ && !closed_) {
+      ++backpressure_waits_;
+      not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    }
+    if (closed_) return false;
+    queue_.push_back(token);
+    high_water_ = std::max(high_water_, queue_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::size_t pop_batch(std::vector<Token>& out, std::size_t max) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    const std::size_t n = std::min(max, queue_.size());
+    out.assign(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+  [[nodiscard]] std::uint64_t backpressure_waits() const {
+    std::lock_guard lock(mutex_);
+    return backpressure_waits_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Token> queue_;
+  std::size_t high_water_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  bool closed_ = false;
+};
+
+/// Everything one shard worker owns: its partition subset (global indices
+/// ascending; partition p has local index p / shard_count), one environment
+/// per partition, an inference clone of the manager, its queue, and its
+/// stats. Workers write only their own context — no cross-shard state.
+struct ShardContext {
+  std::vector<std::size_t> partition_ids;
+  std::vector<std::unique_ptr<VnfEnv>> envs;
+  std::unique_ptr<Manager> policy;
+  std::unique_ptr<ServeQueue> queue;
+  ServeShardStats stats;
+  std::vector<ServePartitionStats> pstats;  ///< parallel to partition_ids
+  std::exception_ptr error;
+};
+
+/// Shard worker loop: drain a micro-batch of tokens, start the next request
+/// on every drained partition (each partition strictly in token order), then
+/// resolve the concurrently pending chains in lockstep rounds — one batched
+/// select_actions per round over every chain that still has a decision
+/// pending. Decisions per partition depend only on that partition's
+/// environment trajectory, so the cross-partition batching can never change
+/// them (the select_actions decision-equivalence contract).
+void run_shard(ShardContext& ctx, std::size_t shard_count, std::size_t batch_max) {
+  try {
+    const std::size_t nlocal = ctx.envs.size();
+    std::vector<Token> drained;
+    std::vector<std::deque<Token>> backlog(nlocal);
+    std::vector<VnfEnv*> round_envs;
+    std::vector<std::size_t> round_local;
+    std::vector<Token> round_tokens;
+    std::vector<char> round_done;
+    std::vector<VnfEnv*> live;
+    std::vector<std::size_t> live_round;
+    std::vector<int> actions;
+
+    for (;;) {
+      const std::size_t n = ctx.queue->pop_batch(drained, batch_max);
+      if (n == 0) break;  // closed and fully drained
+      ++ctx.stats.batches;
+      for (const Token& token : drained)
+        backlog[token.partition / shard_count].push_back(token);
+
+      for (;;) {
+        round_envs.clear();
+        round_local.clear();
+        round_tokens.clear();
+        // Open the next pending request of every backlogged partition
+        // (ascending local order = ascending global partition).
+        for (std::size_t i = 0; i < nlocal; ++i) {
+          if (backlog[i].empty()) continue;
+          round_tokens.push_back(backlog[i].front());
+          backlog[i].pop_front();
+          VnfEnv& env = *ctx.envs[i];
+          if (!env.begin_next_request())
+            throw std::runtime_error("serving workload stream ended unexpectedly");
+          round_envs.push_back(&env);
+          round_local.push_back(i);
+        }
+        if (round_envs.empty()) break;
+
+        round_done.assign(round_envs.size(), 0);
+        std::size_t remaining = round_envs.size();
+        while (remaining > 0) {
+          live.clear();
+          live_round.clear();
+          for (std::size_t j = 0; j < round_envs.size(); ++j) {
+            if (round_done[j]) continue;
+            live.push_back(round_envs[j]);
+            live_round.push_back(j);
+          }
+          actions.resize(live.size());
+          ctx.policy->select_actions(live, actions);
+          if (live.size() > 1)
+            ctx.stats.batched_decisions += live.size();
+          else
+            ++ctx.stats.single_decisions;
+          for (std::size_t k = 0; k < live.size(); ++k) {
+            const std::size_t j = live_round[k];
+            ServePartitionStats& ps = ctx.pstats[round_local[j]];
+            ++ps.decisions;
+            ps.decision_digest = fnv_fold(
+                ps.decision_digest,
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(actions[k])));
+            const StepResult result = live[k]->step(actions[k]);
+            if (!result.chain_done) continue;
+            round_done[j] = 1;
+            --remaining;
+            ++ps.requests;
+            if (result.accepted)
+              ++ps.accepted;
+            else
+              ++ps.rejected;
+            ctx.stats.latency.add(std::chrono::duration<double, std::micro>(
+                                      Clock::now() - round_tokens[j].enqueued)
+                                      .count());
+          }
+        }
+      }
+    }
+    // The objective cost is deterministic per partition: it depends on the
+    // partition's request stream and decisions only, never on scheduling.
+    for (std::size_t i = 0; i < nlocal; ++i)
+      ctx.pstats[i].total_cost = ctx.envs[i]->metrics().total_cost();
+  } catch (...) {
+    ctx.error = std::current_exception();
+    ctx.queue->close();  // fail the generator's next push into this shard
+  }
+}
+
+}  // namespace
+
+ServeDriver::ServeDriver(EnvOptions env_options, ServeOptions options)
+    : env_options_(std::move(env_options)), options_(options) {
+  if (options_.partitions == 0)
+    throw std::invalid_argument("serving needs at least one partition");
+  if (options_.batch_max == 0)
+    throw std::invalid_argument("serve batch_max must be >= 1");
+  if (options_.queue_capacity == 0)
+    throw std::invalid_argument("serve queue_capacity must be >= 1");
+  if (options_.shards == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    options_.shards = hw > 0 ? hw : 1;
+  }
+  options_.shards = std::min(options_.shards, options_.partitions);
+}
+
+ServeStats ServeDriver::run(const Manager& manager) const {
+  const std::size_t shard_count = options_.shards;
+  const std::size_t partition_count = options_.partitions;
+
+  // Build every shard's context up front so a clone/env failure throws here,
+  // before any thread exists.
+  std::vector<ShardContext> shards(shard_count);
+  for (std::size_t p = 0; p < partition_count; ++p) {
+    ShardContext& ctx = shards[p % shard_count];
+    ctx.partition_ids.push_back(p);
+    auto env = std::make_unique<VnfEnv>(env_options_);
+    env->reset(serve_seed(options_.seed, p));
+    ctx.envs.push_back(std::move(env));
+    ctx.pstats.emplace_back();
+  }
+  for (ShardContext& ctx : shards) {
+    ctx.policy = manager.clone_for_eval();
+    if (!ctx.policy)
+      throw std::invalid_argument(
+          "serving requires a snapshot-able manager (clone_for_eval)");
+    ctx.policy->set_training(false);
+    ctx.queue = std::make_unique<ServeQueue>(options_.queue_capacity);
+  }
+
+  // Per-partition arrival streams, reproducing each partition environment's
+  // own workload stream exactly (same model, same derived seed), so the
+  // generator issues tokens at the instants the partitions' requests arrive.
+  const edgesim::Topology topology = edgesim::make_world_topology(env_options_.topology);
+  const edgesim::VnfCatalog vnfs = edgesim::VnfCatalog::standard();
+  const edgesim::SfcCatalog sfcs = edgesim::SfcCatalog::standard(vnfs);
+  std::vector<std::unique_ptr<edgesim::WorkloadModel>> streams;
+  std::vector<double> next_arrival(partition_count, 0.0);
+  streams.reserve(partition_count);
+  for (std::size_t p = 0; p < partition_count; ++p) {
+    edgesim::WorkloadOptions workload_options = env_options_.workload;
+    workload_options.seed =
+        VnfEnv::stream_seed(env_options_.seed, serve_seed(options_.seed, p));
+    if (env_options_.workload_model) {
+      streams.push_back(env_options_.workload_model(topology, sfcs, workload_options));
+      if (!streams.back())
+        throw std::invalid_argument("workload model factory returned null");
+    } else {
+      streams.push_back(std::make_unique<edgesim::PoissonDiurnalModel>(
+          topology, sfcs, workload_options));
+    }
+    next_arrival[p] = streams[p]->next(0.0).arrival_time;
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(shard_count);
+  for (ShardContext& ctx : shards)
+    workers.emplace_back(
+        [&ctx, shard_count, batch_max = options_.batch_max] {
+          run_shard(ctx, shard_count, batch_max);
+        });
+
+  // Open-loop load generator (caller thread): globally merge the partition
+  // arrival streams by earliest instant (ties to the lowest partition) and
+  // push each token into the owning shard's queue, blocking when full.
+  std::vector<std::uint64_t> issued(partition_count, 0);
+  for (;;) {
+    std::size_t next = partition_count;
+    for (std::size_t p = 0; p < partition_count; ++p) {
+      if (issued[p] >= options_.requests_per_partition) continue;
+      if (next == partition_count || next_arrival[p] < next_arrival[next]) next = p;
+    }
+    if (next == partition_count) break;  // every partition fully issued
+    if (options_.time_scale > 0.0) {
+      const auto offset =
+          std::chrono::duration<double>(next_arrival[next] / options_.time_scale);
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<Clock::duration>(offset));
+    }
+    const Token token{static_cast<std::uint32_t>(next), Clock::now()};
+    if (!shards[next % shard_count].queue->push(token)) break;  // shard failed
+    ++issued[next];
+    if (issued[next] < options_.requests_per_partition)
+      next_arrival[next] = streams[next]->next(next_arrival[next]).arrival_time;
+  }
+
+  for (ShardContext& ctx : shards) ctx.queue->close();
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (ShardContext& ctx : shards)  // first failure in ascending shard order
+    if (ctx.error) std::rethrow_exception(ctx.error);
+
+  // Fixed-merge-order reduction: deterministic block in ascending partition
+  // index, wall-clock block in ascending shard index.
+  ServeStats stats;
+  stats.wall_seconds = wall_seconds;
+  stats.partitions.resize(partition_count);
+  for (std::size_t p = 0; p < partition_count; ++p) {
+    const ServePartitionStats& ps = shards[p % shard_count].pstats[p / shard_count];
+    stats.partitions[p] = ps;
+    stats.requests += ps.requests;
+    stats.decisions += ps.decisions;
+    stats.accepted += ps.accepted;
+    stats.rejected += ps.rejected;
+    stats.total_cost += ps.total_cost;
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.requests);
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.decisions);
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.accepted);
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.rejected);
+    stats.decision_digest =
+        fnv_fold(stats.decision_digest, std::bit_cast<std::uint64_t>(ps.total_cost));
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.decision_digest);
+  }
+  stats.shards.reserve(shard_count);
+  for (ShardContext& ctx : shards) {
+    ctx.stats.queue_high_water = ctx.queue->high_water();
+    ctx.stats.backpressure_waits = ctx.queue->backpressure_waits();
+    stats.batches += ctx.stats.batches;
+    stats.batched_decisions += ctx.stats.batched_decisions;
+    stats.single_decisions += ctx.stats.single_decisions;
+    stats.backpressure_waits += ctx.stats.backpressure_waits;
+    stats.queue_high_water = std::max(stats.queue_high_water, ctx.stats.queue_high_water);
+    stats.latency.merge(ctx.stats.latency);
+    stats.shards.push_back(std::move(ctx.stats));
+  }
+  return stats;
+}
+
+}  // namespace vnfm::core

@@ -1,0 +1,178 @@
+// Production serving engine: ServeDriver answers placement requests with a
+// frozen policy at high throughput. M shard threads each own a subset of the
+// fixed logical environment partitions plus an inference clone of the manager
+// (Manager::clone_for_eval), pull requests from a per-shard bounded queue fed
+// by an open-loop load generator, and micro-batch the decisions of
+// concurrently pending chains through one network forward per round
+// (Manager::select_actions) — falling back to the single-row inference path
+// whenever a drain yields exactly one request.
+//
+// Determinism contract (invariant #9): the logical PARTITION — not the shard
+// — is the unit of reproducibility. Partition p always serves the
+// environment seeded with serve_seed(options.seed, p) and processes its
+// requests strictly in arrival order, and batched action selection is
+// decision-equivalent to one-by-one selection (the select_actions contract),
+// so per-request decisions and the deterministic half of ServeStats
+// (requests, decisions, accepted/rejected, cost, decision digest) are a pure
+// function of (env options, serve options): bit-identical for ANY shard
+// count and ANY batch_max. Shards and batching move only the wall-clock half
+// (throughput, latency percentiles, queue depths, batch occupancy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/environment.hpp"
+#include "core/manager.hpp"
+
+namespace vnfm::core {
+
+/// Gap between the training/evaluation seed spaces and the serving seed
+/// space (train episode i: base + i; eval repeat j: base + 1'000'000 + j;
+/// serve partition p: base + kServeSeedOffset + p), so serving workloads are
+/// held out from both training and evaluation for any realistic budget.
+inline constexpr std::uint64_t kServeSeedOffset = 2'000'000;
+
+/// Episode seed of serving partition `partition` under base seed `base_seed`.
+[[nodiscard]] constexpr std::uint64_t serve_seed(std::uint64_t base_seed,
+                                                 std::size_t partition) noexcept {
+  return base_seed + kServeSeedOffset + partition;
+}
+
+/// Knobs of one serving run.
+struct ServeOptions {
+  /// Shard worker threads; 0 = hardware concurrency. Clamped to
+  /// `partitions` (a shard without partitions would idle). Any value
+  /// produces bit-identical deterministic stats — shards move wall-clock
+  /// only (see file header).
+  std::size_t shards = 1;
+  /// Fixed logical environment partitions — the determinism unit. Part of
+  /// the workload definition: changing it changes which requests exist.
+  /// Partition p is owned by shard (p % shards).
+  std::size_t partitions = 4;
+  /// Requests served per partition before the run drains and stops.
+  std::size_t requests_per_partition = 256;
+  /// Adaptive micro-batch ceiling: a shard drains up to this many queued
+  /// requests per round and batches their decisions through one network
+  /// forward; a drain of one request takes the single-row inference path.
+  /// Never changes decisions, only amortises inference cost.
+  std::size_t batch_max = 8;
+  /// Bounded per-shard queue capacity; a full queue blocks the load
+  /// generator (open-loop backpressure, counted per blocked push).
+  std::size_t queue_capacity = 64;
+  /// Arrival pacing: simulated seconds that elapse per wall-clock second in
+  /// the load generator (requests are issued at the workload model's
+  /// arrival instants scaled by this). 0 = open throttle, no pacing — the
+  /// generator pushes as fast as queues accept (throughput benching).
+  double time_scale = 0.0;
+  /// Base seed of the serving seed slice (see serve_seed()).
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic per-partition serving outcome: a pure function of
+/// (env options, serve options), bit-identical for any shard count and
+/// batch_max. operator== is the bit-identity check the bench and tests use.
+struct ServePartitionStats {
+  std::uint64_t requests = 0;   ///< chain requests resolved
+  std::uint64_t decisions = 0;  ///< per-VNF placement decisions taken
+  std::uint64_t accepted = 0;   ///< chains fully placed
+  std::uint64_t rejected = 0;   ///< chains rejected (policy or infeasible)
+  double total_cost = 0.0;      ///< objective cost charged to the partition
+  /// FNV-1a fold of every action in decision order — any divergence in any
+  /// decision changes it.
+  std::uint64_t decision_digest = 14695981039346656037ULL;
+
+  [[nodiscard]] bool operator==(const ServePartitionStats&) const = default;
+};
+
+/// Wall-clock observability of one shard thread (NOT part of the
+/// bit-identity contract: scheduling-dependent by nature).
+struct ServeShardStats {
+  std::uint64_t batches = 0;            ///< queue drains processed
+  std::uint64_t batched_decisions = 0;  ///< decisions taken via batched rounds
+  std::uint64_t single_decisions = 0;   ///< decisions via the single-row path
+  std::uint64_t backpressure_waits = 0; ///< generator pushes that blocked
+  std::size_t queue_high_water = 0;     ///< max queue depth observed
+  LatencyHistogram latency;             ///< per-request decision latency (µs)
+};
+
+/// Aggregated outcome of one serving run. The deterministic block merges
+/// per-partition stats in ascending partition index and the wall-clock block
+/// merges per-shard stats in ascending shard index — fixed merge orders, so
+/// equal inputs can never aggregate to different totals.
+struct ServeStats {
+  // ---- Deterministic block (bit-identical for any shards / batch_max) ----
+  std::uint64_t requests = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  double total_cost = 0.0;
+  /// FNV-1a fold of every partition's deterministic stats in ascending
+  /// partition order: one u64 that any cross-run decision divergence flips.
+  std::uint64_t decision_digest = 14695981039346656037ULL;
+  /// Per-partition deterministic outcomes, ascending partition index.
+  std::vector<ServePartitionStats> partitions;
+
+  // ---- Wall-clock block (observability; varies run to run) ---------------
+  double wall_seconds = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_decisions = 0;
+  std::uint64_t single_decisions = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::size_t queue_high_water = 0;  ///< max over shards
+  LatencyHistogram latency;          ///< merged per-request latency (µs)
+  /// Per-shard wall-clock stats, ascending shard index.
+  std::vector<ServeShardStats> shards;
+
+  /// Decision throughput over the whole run (0 when instantaneous).
+  [[nodiscard]] double decisions_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(decisions) / wall_seconds : 0.0;
+  }
+  /// Request throughput over the whole run (0 when instantaneous).
+  [[nodiscard]] double requests_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+  }
+  /// Mean wall-clock µs per decision (shared µs/op math with TrainStats).
+  [[nodiscard]] double decision_micros() const noexcept {
+    return mean_micros_per(wall_seconds, decisions);
+  }
+  /// Per-request decision-latency quantile in µs (q in [0, 1]).
+  [[nodiscard]] double latency_micros(double q) const noexcept {
+    return latency.quantile(q);
+  }
+  /// True when the deterministic blocks of two runs are bit-identical —
+  /// the cross-shard-count reproducibility check of bench_serve.
+  [[nodiscard]] bool deterministically_equal(const ServeStats& other) const {
+    return requests == other.requests && decisions == other.decisions &&
+           accepted == other.accepted && rejected == other.rejected &&
+           total_cost == other.total_cost &&
+           decision_digest == other.decision_digest &&
+           partitions == other.partitions;
+  }
+};
+
+/// Drives one serving run: spawns the shard workers, feeds them through the
+/// open-loop load generator on the calling thread, and aggregates ServeStats
+/// in fixed merge order (see file header for the determinism contract).
+class ServeDriver {
+ public:
+  /// Throws std::invalid_argument on degenerate options (0 partitions,
+  /// 0 batch_max, 0 queue_capacity).
+  ServeDriver(EnvOptions env_options, ServeOptions options);
+
+  /// Serves options.partitions × options.requests_per_partition requests
+  /// with inference clones of `manager` (one per shard, exploration off).
+  /// Throws std::invalid_argument when the manager cannot be snapshotted
+  /// (clone_for_eval() returns nullptr); rethrows the first shard failure
+  /// (ascending shard index) after shutting the run down.
+  [[nodiscard]] ServeStats run(const Manager& manager) const;
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+
+ private:
+  EnvOptions env_options_;
+  ServeOptions options_;
+};
+
+}  // namespace vnfm::core

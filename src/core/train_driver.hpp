@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/environment.hpp"
 #include "core/manager.hpp"
 #include "core/runner.hpp"
@@ -57,9 +58,10 @@ struct TrainStats {
     return wall_seconds > 0.0 ? static_cast<double>(transitions) / wall_seconds : 0.0;
   }
 
-  /// Mean microseconds per batched gradient step (0 when no step ran).
+  /// Mean microseconds per batched gradient step (0 when no step ran);
+  /// shared µs/op math with ServeStats (common/stats mean_micros_per).
   [[nodiscard]] double grad_step_micros() const noexcept {
-    return grad_steps > 0 ? grad_seconds * 1e6 / static_cast<double>(grad_steps) : 0.0;
+    return mean_micros_per(grad_seconds, grad_steps);
   }
 
   /// Folds another run's stats into this one (continuation/resume totals):

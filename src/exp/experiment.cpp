@@ -276,4 +276,10 @@ EvalReport Experiment::evaluate(std::size_t repeats) {
   return evaluate_parallel(options_, manager_ref(), options, repeats, threads_);
 }
 
+core::ServeStats Experiment::serve(core::ServeOptions options) {
+  if (options.seed == 0) options.seed = seed_;
+  const core::ServeDriver driver(options_, options);
+  return driver.run(manager_ref());
+}
+
 }  // namespace vnfm::exp

@@ -24,6 +24,7 @@
 #include "core/environment.hpp"
 #include "core/manager.hpp"
 #include "core/runner.hpp"
+#include "core/serve_driver.hpp"
 #include "core/train_driver.hpp"
 
 namespace vnfm::exp {
@@ -128,6 +129,14 @@ class Experiment {
 
   /// Runs the multi-repeat held-out evaluation (training/exploration off).
   [[nodiscard]] EvalReport evaluate(std::size_t repeats);
+
+  /// Runs the production serving engine (core::ServeDriver) against the
+  /// selected manager's current policy: sharded workers micro-batch
+  /// placement decisions under an open-loop load generator and report
+  /// throughput/latency plus the bit-reproducible per-partition outcomes.
+  /// A zero `options.seed` inherits the experiment's seed(); everything
+  /// else passes through unchanged (see core/serve_driver.hpp).
+  [[nodiscard]] core::ServeStats serve(core::ServeOptions options);
 
   // ---- Introspection -------------------------------------------------------
   [[nodiscard]] const core::EnvOptions& env_options() const noexcept {

@@ -152,6 +152,65 @@ void write_curve_json(const std::vector<core::EpisodeResult>& curve,
   out << "  ]\n}\n";
 }
 
+void write_serve_json(const core::ServeStats& stats, const core::ServeOptions& options,
+                      const std::string& path) {
+  auto out = open_or_throw(path);
+  out << "{\n  \"options\": {\n"
+      << "    \"shards\": " << options.shards << ",\n"
+      << "    \"partitions\": " << options.partitions << ",\n"
+      << "    \"requests_per_partition\": " << options.requests_per_partition << ",\n"
+      << "    \"batch_max\": " << options.batch_max << ",\n"
+      << "    \"queue_capacity\": " << options.queue_capacity << ",\n"
+      << "    \"time_scale\": " << number(options.time_scale) << ",\n"
+      << "    \"seed\": " << options.seed << "\n  },\n";
+  out << "  \"deterministic\": {\n"
+      << "    \"requests\": " << stats.requests << ",\n"
+      << "    \"decisions\": " << stats.decisions << ",\n"
+      << "    \"accepted\": " << stats.accepted << ",\n"
+      << "    \"rejected\": " << stats.rejected << ",\n"
+      << "    \"total_cost\": " << number(stats.total_cost) << ",\n"
+      << "    \"decision_digest\": \"" << std::hex << stats.decision_digest << std::dec
+      << "\",\n    \"partitions\": [\n";
+  for (std::size_t p = 0; p < stats.partitions.size(); ++p) {
+    const core::ServePartitionStats& ps = stats.partitions[p];
+    out << "      {\"partition\": " << p << ", \"requests\": " << ps.requests
+        << ", \"decisions\": " << ps.decisions << ", \"accepted\": " << ps.accepted
+        << ", \"rejected\": " << ps.rejected
+        << ", \"total_cost\": " << number(ps.total_cost) << ", \"decision_digest\": \""
+        << std::hex << ps.decision_digest << std::dec << "\"}"
+        << (p + 1 < stats.partitions.size() ? "," : "") << '\n';
+  }
+  out << "    ]\n  },\n";
+  out << "  \"wall_clock\": {\n"
+      << "    \"wall_seconds\": " << number(stats.wall_seconds) << ",\n"
+      << "    \"decisions_per_second\": " << number(stats.decisions_per_second()) << ",\n"
+      << "    \"requests_per_second\": " << number(stats.requests_per_second()) << ",\n"
+      << "    \"decision_micros\": " << number(stats.decision_micros()) << ",\n"
+      << "    \"latency_p50_micros\": " << number(stats.latency_micros(0.50)) << ",\n"
+      << "    \"latency_p95_micros\": " << number(stats.latency_micros(0.95)) << ",\n"
+      << "    \"latency_p99_micros\": " << number(stats.latency_micros(0.99)) << ",\n"
+      << "    \"latency_max_micros\": " << number(stats.latency.max_micros()) << ",\n"
+      << "    \"batches\": " << stats.batches << ",\n"
+      << "    \"batched_decisions\": " << stats.batched_decisions << ",\n"
+      << "    \"single_decisions\": " << stats.single_decisions << ",\n"
+      << "    \"backpressure_waits\": " << stats.backpressure_waits << ",\n"
+      << "    \"queue_high_water\": " << stats.queue_high_water << ",\n"
+      << "    \"shards\": [\n";
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const core::ServeShardStats& ss = stats.shards[s];
+    out << "      {\"shard\": " << s << ", \"requests\": " << ss.latency.count()
+        << ", \"batches\": " << ss.batches
+        << ", \"batched_decisions\": " << ss.batched_decisions
+        << ", \"single_decisions\": " << ss.single_decisions
+        << ", \"backpressure_waits\": " << ss.backpressure_waits
+        << ", \"queue_high_water\": " << ss.queue_high_water
+        << ", \"latency_p50_micros\": " << number(ss.latency.quantile(0.50))
+        << ", \"latency_p99_micros\": " << number(ss.latency.quantile(0.99)) << "}"
+        << (s + 1 < stats.shards.size() ? "," : "") << '\n';
+  }
+  out << "    ]\n  }\n}\n";
+}
+
 void write_reward_curves_csv(const std::vector<std::string>& labels,
                              const std::vector<std::vector<double>>& curves,
                              const std::string& path) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "core/serve_driver.hpp"
 #include "core/train_driver.hpp"
 
 namespace vnfm::exp {
@@ -40,6 +41,14 @@ void write_curve_csv(const std::vector<core::EpisodeResult>& curve,
 void write_curve_json(const std::vector<core::EpisodeResult>& curve,
                       const std::vector<std::uint64_t>& seeds,
                       const core::TrainStats* stats, const std::string& path);
+
+/// JSON report of one serving run (core::ServeDriver): the deterministic
+/// block (requests/decisions/accept counts, cost, decision digest, one
+/// object per partition), the wall-clock block (throughput, p50/p95/p99/max
+/// decision latency in µs, batch occupancy, backpressure, one object per
+/// shard), and the ServeOptions that produced it.
+void write_serve_json(const core::ServeStats& stats, const core::ServeOptions& options,
+                      const std::string& path);
 
 /// Multi-series reward-curve CSV (bench figure 3 shape): header
 /// `episode,<labels...>`, one row per episode index. All curves must have

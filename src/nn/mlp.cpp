@@ -92,6 +92,12 @@ void GradAccumulator::reset(Mlp& net) {
   }
 }
 
+void Mlp::forward_batch(const Matrix& input, Matrix& output, MlpWorkspace& ws) const {
+  if (output.rows() != input.rows() || output.cols() != config_.output_dim)
+    output.resize(input.rows(), config_.output_dim);
+  forward_block(input, 0, input.rows(), output, ws);
+}
+
 void Mlp::forward_block(const Matrix& input, std::size_t row_begin, std::size_t rows,
                         Matrix& output, MlpWorkspace& ws) const {
   if (row_begin + rows > input.rows() || input.cols() != config_.input_dim)

@@ -96,6 +96,16 @@ class Mlp {
   // every forward op is per-row — and the 1-worker blocked backward defines
   // the reference numerics that any worker count reproduces exactly.
 
+  /// Batched inference entry point (serving engine): forward over ALL rows
+  /// of `input` through caller-owned caches, resizing `output` to
+  /// (input.rows(), output_dim). A thin wrapper over forward_block, so it is
+  /// bit-identical to forward()/forward_row() on the same rows, allocation-
+  /// free once `ws` and `output` are warm, and safe to call concurrently on
+  /// a shared net as long as every caller owns its workspace — which lets N
+  /// serving shards batch cross-request decisions through one network clone
+  /// without any Mlp-internal cache contention.
+  void forward_batch(const Matrix& input, Matrix& output, MlpWorkspace& ws) const;
+
   /// Forward over rows [row_begin, row_begin + rows) of `input`, writing the
   /// same rows of `output` (pre-sized to (batch, output_dim) by the caller;
   /// blocks write disjoint rows, so concurrent calls may share `output`).

@@ -62,7 +62,8 @@ DqnAgent::DqnAgent(DqnConfig config)
       online_(network_config(config_)),
       target_(network_config(config_)),
       epsilon_schedule_(config_.epsilon_start, config_.epsilon_end, config_.epsilon_decay_steps),
-      beta_schedule_(config_.per_beta0, 1.0, config_.epsilon_decay_steps * 4) {
+      beta_schedule_(config_.per_beta0, 1.0, config_.epsilon_decay_steps * 4),
+      pool_(std::make_unique<nn::GradWorkPool>(1)) {
   if (config_.state_dim == 0 || config_.action_dim == 0)
     throw std::invalid_argument("DQN needs non-zero state and action dims");
   online_.init(rng_);
@@ -100,6 +101,29 @@ int DqnAgent::act_greedy(std::span<const float> state,
                          std::span<const std::uint8_t> mask) const {
   online_.forward_row(state, q_scratch_);
   return greedy_masked_action(q_scratch_, mask);
+}
+
+void DqnAgent::act_greedy_block(
+    const nn::Matrix& states, std::span<const std::vector<std::uint8_t>* const> masks,
+    std::span<int> actions) const {
+  const std::size_t n = states.rows();
+  if (masks.size() != n || actions.size() != n)
+    throw std::invalid_argument("act_greedy_block size mismatch");
+  if (n == 0) return;
+  if (n == 1) {
+    // Single queued request: skip the batch staging and take the
+    // allocation-free row path (same math, so same action).
+    actions[0] = act_greedy(states.row(0),
+                            masks[0] ? std::span<const std::uint8_t>(*masks[0])
+                                     : std::span<const std::uint8_t>{});
+    return;
+  }
+  online_.forward_batch(states, batch_q_, infer_ws_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto mask = masks[r] ? std::span<const std::uint8_t>(*masks[r])
+                               : std::span<const std::uint8_t>{};
+    actions[r] = greedy_masked_action(batch_q_.row(r), mask);
+  }
 }
 
 std::vector<float> DqnAgent::q_values(std::span<const float> state) const {
@@ -160,8 +184,8 @@ std::optional<double> DqnAgent::ingest(Transition t) {
 
 void DqnAgent::set_learner_threads(std::size_t workers) {
   if (workers == 0) workers = 1;
-  if (learner_threads() == workers) return;
-  pool_ = workers > 1 ? std::make_unique<nn::GradWorkPool>(workers) : nullptr;
+  if (pool_->workers() == workers) return;
+  pool_ = std::make_unique<nn::GradWorkPool>(workers);
 }
 
 double DqnAgent::train_step() {
@@ -214,7 +238,7 @@ double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
     std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
               batch_next_states_.row(i).begin());
   }
-  const std::size_t workers = pool_ ? pool_->workers() : 1;
+  const std::size_t workers = pool_->workers();
   if (worker_scratch_.size() < workers) worker_scratch_.resize(workers);
   if (accums_.size() < blocks) accums_.resize(blocks);
   block_loss_.assign(blocks, 0.0);
@@ -275,10 +299,7 @@ double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
     accums_[b].reset(online_);
     online_.backward_block(ws.d_out, ws.online, accums_[b]);
   };
-  if (pool_)
-    pool_->run(blocks, run_block);
-  else
-    for (std::size_t b = 0; b < blocks; ++b) run_block(b, 0);
+  pool_->run(blocks, run_block);
 
   // Fixed block-index reduction: the only cross-block float summation.
   online_.zero_grad();

@@ -80,6 +80,17 @@ class DqnAgent {
   [[nodiscard]] int act_greedy(std::span<const float> state,
                                std::span<const std::uint8_t> mask) const;
 
+  /// Batched greedy actions (serving hot path): row r of `states` is one
+  /// decision state, masks[r] its validity mask (nullptr = all valid), and
+  /// actions[r] receives the greedy action. One nn::Mlp::forward_batch over
+  /// all rows through agent-owned inference scratch — bit-identical to
+  /// calling act_greedy row by row (forward_batch is per-row math), so
+  /// micro-batching can never change a decision, only amortise per-decision
+  /// inference overhead across a shard's queue drain.
+  void act_greedy_block(const nn::Matrix& states,
+                        std::span<const std::vector<std::uint8_t>* const> masks,
+                        std::span<int> actions) const;
+
   /// Stores a transition (aggregating n-step returns when configured) and
   /// triggers training per the configured period. Returns the training loss
   /// when a gradient step ran.
@@ -130,7 +141,7 @@ class DqnAgent {
   /// serialized.
   void set_learner_threads(std::size_t workers);
   [[nodiscard]] std::size_t learner_threads() const noexcept {
-    return pool_ ? pool_->workers() : 1;
+    return pool_->workers();
   }
 
   /// Cumulative wall-clock seconds spent inside train_step() (sampling +
@@ -172,9 +183,14 @@ class DqnAgent {
   bool explore_ = true;
   std::vector<Transition> n_step_buffer_;  ///< in-flight steps (n-step mode)
   mutable std::vector<float> q_scratch_;   ///< reusable Q-row for act paths
+  mutable nn::Matrix batch_q_;             ///< act_greedy_block Q output
+  mutable nn::MlpWorkspace infer_ws_;      ///< act_greedy_block forward caches
 
   // ---- Data-parallel gradient engine state (never serialized) --------------
-  std::unique_ptr<nn::GradWorkPool> pool_;     ///< null = 1 worker, inline
+  // pool_ is never null: a 1-worker pool runs every block inline on the
+  // caller (no helper thread), so holding it unconditionally keeps the
+  // gradient path branch-free without changing single-threaded numerics.
+  std::unique_ptr<nn::GradWorkPool> pool_;
   std::vector<WorkerScratch> worker_scratch_;  ///< indexed by worker id
   std::vector<nn::GradAccumulator> accums_;    ///< indexed by block id
   std::vector<double> block_loss_;             ///< per-block loss partials

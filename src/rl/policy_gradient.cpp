@@ -25,7 +25,8 @@ ReinforceAgent::ReinforceAgent(ReinforceConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
       policy_(network_config(config_)),
-      baseline_(config_.baseline_alpha) {
+      baseline_(config_.baseline_alpha),
+      pool_(std::make_unique<nn::GradWorkPool>(1)) {
   if (config_.state_dim == 0 || config_.action_dim == 0)
     throw std::invalid_argument("REINFORCE needs non-zero state and action dims");
   policy_.init(rng_);
@@ -144,8 +145,8 @@ void ReinforceAgent::load_state(Deserializer& in) {
 
 void ReinforceAgent::set_learner_threads(std::size_t workers) {
   if (workers == 0) workers = 1;
-  if (learner_threads() == workers) return;
-  pool_ = workers > 1 ? std::make_unique<nn::GradWorkPool>(workers) : nullptr;
+  if (pool_->workers() == workers) return;
+  pool_ = std::make_unique<nn::GradWorkPool>(workers);
 }
 
 double ReinforceAgent::finish_episode() {
@@ -177,7 +178,7 @@ double ReinforceAgent::finish_episode() {
   nn::Matrix logits(n, config_.action_dim);
 
   const std::size_t blocks = nn::grad_block_count(n);
-  const std::size_t workers = pool_ ? pool_->workers() : 1;
+  const std::size_t workers = pool_->workers();
   if (worker_ws_.size() < workers) {
     worker_ws_.resize(workers);
     worker_d_out_.resize(workers);
@@ -215,10 +216,7 @@ double ReinforceAgent::finish_episode() {
     accums_[b].reset(policy_);
     policy_.backward_block(d_out, ws, accums_[b]);
   };
-  if (pool_)
-    pool_->run(blocks, run_block);
-  else
-    for (std::size_t b = 0; b < blocks; ++b) run_block(b, 0);
+  pool_->run(blocks, run_block);
 
   policy_.zero_grad();
   for (std::size_t b = 0; b < blocks; ++b) policy_.apply_gradients(accums_[b]);

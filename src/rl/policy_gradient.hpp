@@ -60,7 +60,7 @@ class ReinforceAgent {
   /// Runtime execution config: never serialized.
   void set_learner_threads(std::size_t workers);
   [[nodiscard]] std::size_t learner_threads() const noexcept {
-    return pool_ ? pool_->workers() : 1;
+    return pool_->workers();
   }
 
   /// Gradient steps taken (one per non-empty finish_episode()).
@@ -96,7 +96,9 @@ class ReinforceAgent {
   std::vector<float> rewards_;
 
   // ---- Data-parallel gradient engine state (never serialized) --------------
-  std::unique_ptr<nn::GradWorkPool> pool_;        ///< null = 1 worker, inline
+  // pool_ is never null: a 1-worker pool runs every block inline on the
+  // caller (no helper thread), keeping the gradient path branch-free.
+  std::unique_ptr<nn::GradWorkPool> pool_;
   std::vector<nn::MlpWorkspace> worker_ws_;       ///< per-worker forward caches
   std::vector<nn::Matrix> worker_d_out_;          ///< per-worker grad rows
   std::vector<nn::GradAccumulator> accums_;       ///< per-block accumulators

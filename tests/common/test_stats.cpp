@@ -166,5 +166,87 @@ TEST_P(StatSweep, WelfordMatchesTwoPass) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, StatSweep, ::testing::Values(2, 10, 100, 1000));
 
+TEST(MeanMicrosPer, SharedFormula) {
+  EXPECT_DOUBLE_EQ(mean_micros_per(0.0, 0), 0.0);   // no-op case
+  EXPECT_DOUBLE_EQ(mean_micros_per(1.5, 0), 0.0);   // ops gate, not time
+  EXPECT_DOUBLE_EQ(mean_micros_per(1.0, 1000), 1000.0);
+  EXPECT_DOUBLE_EQ(mean_micros_per(0.002, 4), 500.0);
+}
+
+TEST(LatencyHistogram, ExactBelowLinearFloor) {
+  // Values under kSubBuckets µs land in 1 µs-wide buckets: exact quantiles.
+  LatencyHistogram h;
+  for (int i = 1; i <= 10; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.max_micros(), 10.0);
+  // Rank ceil(0.5 * 10) = 5 → the 5 µs bucket [5, 6), midpoint 5.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);  // rank clamps to the first sample
+  // q = 1 → the 10 µs bucket, midpoint 10.5 clamped by the exact max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(LatencyHistogram, QuantilesOfKnownUniformDistribution) {
+  // 1..100000 µs uniformly: every quantile estimate must sit within the
+  // layout's ~1/kSubBuckets relative error of the exact answer.
+  LatencyHistogram h;
+  const int n = 100000;
+  for (int i = 1; i <= n; ++i) h.add(static_cast<double>(i));
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = q * n;
+    const double rel = 1.0 / static_cast<double>(LatencyHistogram::kSubBuckets);
+    EXPECT_NEAR(h.quantile(q), exact, exact * rel) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(n));  // exact max wins
+}
+
+TEST(LatencyHistogram, BucketLayoutInvariants) {
+  // Every value maps into the bucket whose [lo, hi) range contains it, and
+  // bucket boundaries tile the axis without gaps.
+  for (const double v : {0.0, 1.0, 31.0, 32.0, 33.9, 63.0, 64.0, 1000.0,
+                         4095.9, 1e6, 3.6e9}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(i, LatencyHistogram::kBuckets);
+    EXPECT_GE(v, LatencyHistogram::bucket_lo(i)) << v;
+    if (i + 1 < LatencyHistogram::kBuckets)  // top bucket clamps
+      EXPECT_LT(v, LatencyHistogram::bucket_hi(i)) << v;
+  }
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i)
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_hi(i), LatencyHistogram::bucket_lo(i + 1));
+  // Negative and zero samples land in bucket 0.
+  EXPECT_EQ(LatencyHistogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+}
+
+TEST(LatencyHistogram, MergeIsOrderIndependent) {
+  // Bucket-aligned integer merges: any merge order yields identical counts
+  // and quantiles — the property the serving stats reducer relies on.
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 500; ++i) {
+    a.add(10.0 + i);
+    b.add(5000.0 + 7.0 * i);
+    c.add(0.5 * i);
+  }
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  ab.merge(c);
+  LatencyHistogram cb = c;
+  cb.merge(b);
+  cb.merge(a);
+  EXPECT_EQ(ab.count(), cb.count());
+  EXPECT_DOUBLE_EQ(ab.max_micros(), cb.max_micros());
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+    ASSERT_EQ(ab.bucket_count(i), cb.bucket_count(i)) << "bucket " << i;
+  for (const double q : {0.25, 0.5, 0.75, 0.99})
+    EXPECT_DOUBLE_EQ(ab.quantile(q), cb.quantile(q));
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace vnfm

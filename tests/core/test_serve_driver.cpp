@@ -1,0 +1,278 @@
+// Regression tests for the serving engine: shard-count and batch-size
+// bit-identity (determinism invariant #9), batched-vs-sequential decision
+// equivalence, bounded-queue backpressure, aggregate bookkeeping, option
+// validation, and the serve seed slice.
+#include "core/serve_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/drl_manager.hpp"
+#include "core/heuristics.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+EnvOptions small_options() {
+  EnvOptions options;
+  options.topology.node_count = 4;
+  options.workload.global_arrival_rate = 2.0;
+  options.seed = 17;
+  return options;
+}
+
+rl::DqnConfig small_dqn_config(const VnfEnv& env) {
+  rl::DqnConfig config = default_dqn_config(env);
+  config.hidden_dims = {16, 16};
+  config.min_replay_before_training = 100;
+  config.train_period = 4;
+  config.epsilon_decay_steps = 2000;
+  return config;
+}
+
+ServeOptions small_serve() {
+  ServeOptions options;
+  options.shards = 1;
+  options.partitions = 4;
+  options.requests_per_partition = 24;
+  options.batch_max = 8;
+  options.queue_capacity = 16;
+  options.seed = 17;
+  return options;
+}
+
+/// A fresh untrained DQN manager — serving determinism must hold for any
+/// frozen policy, so the cheapest one suffices.
+std::unique_ptr<DqnManager> small_dqn(const EnvOptions& env_options) {
+  VnfEnv env(env_options);
+  return std::make_unique<DqnManager>(env, small_dqn_config(env));
+}
+
+void expect_deterministically_identical(const ServeStats& a, const ServeStats& b,
+                                        const std::string& label) {
+  EXPECT_TRUE(a.deterministically_equal(b)) << label;
+  ASSERT_EQ(a.partitions.size(), b.partitions.size()) << label;
+  for (std::size_t p = 0; p < a.partitions.size(); ++p) {
+    EXPECT_EQ(a.partitions[p].decision_digest, b.partitions[p].decision_digest)
+        << label << " partition " << p;
+    EXPECT_TRUE(a.partitions[p] == b.partitions[p]) << label << " partition " << p;
+  }
+}
+
+TEST(ServeDriver, BitIdenticalAcrossShardCounts) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  std::vector<ServeStats> runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ServeOptions options = small_serve();
+    options.shards = shards;
+    const ServeDriver driver(env_options, options);
+    runs.push_back(driver.run(*manager));
+    EXPECT_EQ(runs.back().shards.size(), shards);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    expect_deterministically_identical(runs[0], runs[r],
+                                       "shards 1 vs " + std::to_string(1u << r));
+}
+
+TEST(ServeDriver, BitIdenticalAcrossBatchSizes) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  std::vector<ServeStats> runs;
+  for (const std::size_t batch_max : {std::size_t{1}, std::size_t{8}}) {
+    ServeOptions options = small_serve();
+    options.shards = 2;
+    options.batch_max = batch_max;
+    const ServeDriver driver(env_options, options);
+    runs.push_back(driver.run(*manager));
+  }
+  expect_deterministically_identical(runs[0], runs[1], "batch_max 1 vs 8");
+  // batch_max == 1 must never take the batched inference path.
+  EXPECT_EQ(runs[0].batched_decisions, 0u);
+  EXPECT_EQ(runs[0].single_decisions, runs[0].decisions);
+}
+
+TEST(ServeDriver, RepeatedRunsAreBitIdentical) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  const ServeDriver driver(env_options, small_serve());
+  const ServeStats first = driver.run(*manager);
+  const ServeStats second = driver.run(*manager);
+  expect_deterministically_identical(first, second, "repeat");
+}
+
+TEST(ServeDriver, BatchedSelectionMatchesSequentialContract) {
+  // select_actions on a frozen DqnManager must be decision-equivalent to the
+  // base-class loop over select_action — the contract batching rests on.
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  const auto batched = manager->clone_for_eval();
+  const auto sequential = manager->clone_for_eval();
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(sequential, nullptr);
+  batched->set_training(false);
+  sequential->set_training(false);
+
+  std::vector<std::unique_ptr<VnfEnv>> envs_a, envs_b;
+  for (std::size_t p = 0; p < 3; ++p) {
+    envs_a.push_back(std::make_unique<VnfEnv>(env_options));
+    envs_b.push_back(std::make_unique<VnfEnv>(env_options));
+    envs_a[p]->reset(serve_seed(17, p));
+    envs_b[p]->reset(serve_seed(17, p));
+  }
+  for (int request = 0; request < 8; ++request) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      ASSERT_TRUE(envs_a[p]->begin_next_request());
+      ASSERT_TRUE(envs_b[p]->begin_next_request());
+    }
+    for (;;) {
+      std::vector<VnfEnv*> live_a, live_b;
+      for (std::size_t p = 0; p < 3; ++p) {
+        if (envs_a[p]->has_pending_chain()) live_a.push_back(envs_a[p].get());
+        if (envs_b[p]->has_pending_chain()) live_b.push_back(envs_b[p].get());
+      }
+      ASSERT_EQ(live_a.size(), live_b.size());
+      if (live_a.empty()) break;
+      std::vector<int> actions(live_a.size());
+      batched->select_actions(live_a, actions);
+      for (std::size_t i = 0; i < live_b.size(); ++i) {
+        const int expected = sequential->select_action(*live_b[i]);
+        EXPECT_EQ(actions[i], expected) << "request " << request << " env " << i;
+        (void)live_a[i]->step(actions[i]);
+        (void)live_b[i]->step(expected);
+      }
+    }
+  }
+}
+
+TEST(ServeDriver, AggregatesMatchPartitionSums) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  const ServeOptions options = small_serve();
+  const ServeDriver driver(env_options, options);
+  const ServeStats stats = driver.run(*manager);
+
+  EXPECT_EQ(stats.requests, options.partitions * options.requests_per_partition);
+  ASSERT_EQ(stats.partitions.size(), options.partitions);
+  std::uint64_t requests = 0, decisions = 0, accepted = 0, rejected = 0;
+  for (const ServePartitionStats& p : stats.partitions) {
+    EXPECT_EQ(p.requests, options.requests_per_partition);
+    EXPECT_EQ(p.accepted + p.rejected, p.requests);
+    EXPECT_GE(p.decisions, p.requests);  // ≥ one decision per chain
+    requests += p.requests;
+    decisions += p.decisions;
+    accepted += p.accepted;
+    rejected += p.rejected;
+  }
+  EXPECT_EQ(stats.requests, requests);
+  EXPECT_EQ(stats.decisions, decisions);
+  EXPECT_EQ(stats.accepted, accepted);
+  EXPECT_EQ(stats.rejected, rejected);
+  // Every request contributes exactly one latency sample.
+  EXPECT_EQ(stats.latency.count(), stats.requests);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.decisions_per_second(), 0.0);
+  EXPECT_GT(stats.decision_micros(), 0.0);
+  // Shard batch accounting covers every decision.
+  EXPECT_EQ(stats.batched_decisions + stats.single_decisions, stats.decisions);
+}
+
+TEST(ServeDriver, DistinctPartitionsServeDistinctWorkloads) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  const ServeDriver driver(env_options, small_serve());
+  const ServeStats stats = driver.run(*manager);
+  std::set<std::uint64_t> digests;
+  for (const ServePartitionStats& p : stats.partitions)
+    digests.insert(p.decision_digest);
+  // Different serve seeds ⇒ different request streams ⇒ different digests.
+  EXPECT_EQ(digests.size(), stats.partitions.size());
+}
+
+TEST(ServeDriver, TinyQueueBackpressureStillBitIdentical) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  ServeOptions tiny = small_serve();
+  tiny.queue_capacity = 1;
+  tiny.shards = 2;
+  const ServeDriver tiny_driver(env_options, tiny);
+  const ServeStats throttled = tiny_driver.run(*manager);
+  const ServeDriver roomy_driver(env_options, small_serve());
+  const ServeStats roomy = roomy_driver.run(*manager);
+  expect_deterministically_identical(throttled, roomy, "capacity 1 vs 16");
+  // A capacity-1 queue can never hold more than one token.
+  EXPECT_LE(throttled.queue_high_water, 1u);
+  for (const ServeShardStats& s : throttled.shards)
+    EXPECT_LE(s.queue_high_water, 1u);
+}
+
+TEST(ServeDriver, ShardsClampedToPartitions) {
+  const EnvOptions env_options = small_options();
+  const auto manager = small_dqn(env_options);
+  ServeOptions options = small_serve();
+  options.shards = 64;  // > partitions: must clamp, not spawn idle workers
+  const ServeDriver driver(env_options, options);
+  const ServeStats stats = driver.run(*manager);
+  EXPECT_EQ(stats.shards.size(), options.partitions);
+  const ServeDriver reference(env_options, small_serve());
+  expect_deterministically_identical(stats, reference.run(*manager), "clamped");
+}
+
+TEST(ServeDriver, RejectsDegenerateOptions) {
+  const EnvOptions env_options = small_options();
+  ServeOptions no_partitions = small_serve();
+  no_partitions.partitions = 0;
+  EXPECT_THROW(ServeDriver(env_options, no_partitions), std::invalid_argument);
+  ServeOptions no_batch = small_serve();
+  no_batch.batch_max = 0;
+  EXPECT_THROW(ServeDriver(env_options, no_batch), std::invalid_argument);
+  ServeOptions no_queue = small_serve();
+  no_queue.queue_capacity = 0;
+  EXPECT_THROW(ServeDriver(env_options, no_queue), std::invalid_argument);
+}
+
+/// Manager whose learning state cannot be snapshotted (clone_for_eval
+/// returns nullptr, the base-class default).
+class UncloneableManager final : public Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "uncloneable"; }
+  [[nodiscard]] int select_action(VnfEnv& env) override {
+    return env.reject_action();
+  }
+};
+
+TEST(ServeDriver, RejectsUncloneableManager) {
+  const ServeDriver driver(small_options(), small_serve());
+  UncloneableManager manager;
+  EXPECT_THROW((void)driver.run(manager), std::invalid_argument);
+}
+
+TEST(ServeDriver, HeuristicManagerServes) {
+  // The engine is policy-agnostic: any cloneable manager serves.
+  const EnvOptions env_options = small_options();
+  MyopicCostManager manager;
+  ServeOptions options = small_serve();
+  options.shards = 2;
+  const ServeDriver driver(env_options, options);
+  const ServeStats a = driver.run(manager);
+  const ServeStats b = driver.run(manager);
+  expect_deterministically_identical(a, b, "greedy repeat");
+  EXPECT_EQ(a.requests, options.partitions * options.requests_per_partition);
+}
+
+TEST(ServeSeeds, SliceDisjointFromTrainAndEval) {
+  // Serving seeds sit 2M above the base — beyond the eval slice (base + 1M)
+  // for any realistic episode budget.
+  EXPECT_EQ(serve_seed(0, 0), kServeSeedOffset);
+  EXPECT_EQ(serve_seed(11, 3), 11u + 2'000'000u + 3u);
+  EXPECT_GT(serve_seed(11, 0), eval_seed(11, 999'999));
+  EXPECT_GT(serve_seed(11, 0), train_seed(11, 999'999));
+}
+
+}  // namespace
+}  // namespace vnfm::core

@@ -1,0 +1,86 @@
+// Serving through the Experiment façade: seed defaulting, shard invariance
+// end-to-end, and the BENCH_serve JSON report writer.
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/report_io.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+const Config& small_scenario_overrides() {
+  static const Config overrides{
+      {"nodes", "4"}, {"arrival_rate", "2.0"}, {"seed", "17"}};
+  return overrides;
+}
+
+Experiment small_experiment() {
+  Experiment experiment = Experiment::scenario("geo-distributed",
+                                               small_scenario_overrides());
+  experiment.manager("dqn").seed(11);
+  return experiment;
+}
+
+core::ServeOptions small_serve() {
+  core::ServeOptions options;
+  options.shards = 2;
+  options.partitions = 4;
+  options.requests_per_partition = 16;
+  options.queue_capacity = 16;
+  return options;
+}
+
+TEST(ExperimentServe, DefaultsSeedToExperimentSeed) {
+  Experiment experiment = small_experiment();
+  const core::ServeStats defaulted = experiment.serve(small_serve());
+  core::ServeOptions pinned = small_serve();
+  pinned.seed = 11;  // the experiment seed
+  const core::ServeStats explicit_seed = experiment.serve(pinned);
+  EXPECT_TRUE(defaulted.deterministically_equal(explicit_seed));
+  core::ServeOptions other = small_serve();
+  other.seed = 99;
+  EXPECT_FALSE(experiment.serve(other).deterministically_equal(defaulted));
+}
+
+TEST(ExperimentServe, ShardInvarianceEndToEnd) {
+  Experiment experiment = small_experiment();
+  core::ServeOptions one = small_serve();
+  one.shards = 1;
+  core::ServeOptions four = small_serve();
+  four.shards = 4;
+  const core::ServeStats a = experiment.serve(one);
+  const core::ServeStats b = experiment.serve(four);
+  EXPECT_TRUE(a.deterministically_equal(b));
+  EXPECT_EQ(a.requests, one.partitions * one.requests_per_partition);
+}
+
+TEST(ExperimentServe, WriteServeJsonEmitsReport) {
+  Experiment experiment = small_experiment();
+  const core::ServeOptions options = small_serve();
+  const core::ServeStats stats = experiment.serve(options);
+  const std::string path = ::testing::TempDir() + "serve_report.json";
+  write_serve_json(stats, options, path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  for (const char* key :
+       {"\"options\"", "\"deterministic\"", "\"wall_clock\"", "\"requests\"",
+        "\"decision_digest\"", "\"partitions\"", "\"latency_p99_micros\"",
+        "\"shards\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_NE(json.find("\"requests\": " + std::to_string(stats.requests)),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vnfm::exp

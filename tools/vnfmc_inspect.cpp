@@ -1,0 +1,183 @@
+// vnfmc-inspect: dumps a training checkpoint archive (.vnfmc) without
+// constructing the policy that wrote it — meta (episodes/seed/policy tag),
+// accumulated train stats (including the v2 xstats gradient suffix), and the
+// learning curve, as human-readable text or JSON.
+//
+//   vnfmc_inspect <archive.vnfmc>            summary text
+//   vnfmc_inspect --curve <archive.vnfmc>    text plus every curve row
+//   vnfmc_inspect --json <archive.vnfmc>     full JSON document
+//   vnfmc_inspect --selftest                 writes, inspects, and verifies a
+//                                            scratch archive (CI smoke test)
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/manager.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+std::string number(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+void print_text(const core::CheckpointInfo& info, bool with_curve) {
+  std::cout << "policy:          " << info.policy << "\n"
+            << "episodes_done:   " << info.episodes_done << "\n"
+            << "base_seed:       " << info.base_seed << "\n"
+            << "manager_bytes:   " << info.manager_bytes << "\n"
+            << "wall_seconds:    " << info.stats.wall_seconds << "\n"
+            << "transitions:     " << info.stats.transitions << "\n"
+            << "episodes:        " << info.stats.episodes << "\n"
+            << "rounds:          " << info.stats.rounds << "\n"
+            << "actor_threads:   " << info.stats.actor_threads << "\n"
+            << "parallel:        " << (info.stats.parallel ? "yes" : "no") << "\n"
+            << "grad_steps:      " << info.stats.grad_steps << "\n"
+            << "grad_step_us:    " << info.stats.grad_step_micros() << "\n"
+            << "curve_entries:   " << info.curve.size() << "\n";
+  if (!info.curve.empty()) {
+    const core::EpisodeResult& last = info.curve.back();
+    std::cout << "last_episode:    reward=" << last.total_reward
+              << " cost/req=" << last.cost_per_request
+              << " acceptance=" << last.acceptance_ratio << "\n";
+  }
+  if (with_curve) {
+    std::cout << "episode,seed,total_reward,cost_per_request,acceptance_ratio\n";
+    for (std::size_t i = 0; i < info.curve.size(); ++i) {
+      std::cout << i << ','
+                << (i < info.seeds.size() ? std::to_string(info.seeds[i]) : "") << ','
+                << info.curve[i].total_reward << ',' << info.curve[i].cost_per_request
+                << ',' << info.curve[i].acceptance_ratio << "\n";
+    }
+  }
+}
+
+void print_json(const core::CheckpointInfo& info) {
+  std::cout << "{\n  \"policy\": \"" << info.policy << "\",\n"
+            << "  \"episodes_done\": " << info.episodes_done << ",\n"
+            << "  \"base_seed\": " << info.base_seed << ",\n"
+            << "  \"manager_bytes\": " << info.manager_bytes << ",\n"
+            << "  \"stats\": {\n"
+            << "    \"wall_seconds\": " << number(info.stats.wall_seconds) << ",\n"
+            << "    \"transitions\": " << info.stats.transitions << ",\n"
+            << "    \"episodes\": " << info.stats.episodes << ",\n"
+            << "    \"rounds\": " << info.stats.rounds << ",\n"
+            << "    \"actor_threads\": " << info.stats.actor_threads << ",\n"
+            << "    \"parallel\": " << (info.stats.parallel ? "true" : "false") << ",\n"
+            << "    \"grad_steps\": " << info.stats.grad_steps << ",\n"
+            << "    \"grad_seconds\": " << number(info.stats.grad_seconds) << ",\n"
+            << "    \"grad_step_micros\": " << number(info.stats.grad_step_micros())
+            << "\n  },\n  \"curve\": [\n";
+  for (std::size_t i = 0; i < info.curve.size(); ++i) {
+    const core::EpisodeResult& r = info.curve[i];
+    std::cout << "    {\"episode\": " << i;
+    if (i < info.seeds.size()) std::cout << ", \"seed\": " << info.seeds[i];
+    std::cout << ", \"total_reward\": " << number(r.total_reward)
+              << ", \"requests\": " << r.requests
+              << ", \"cost_per_request\": " << number(r.cost_per_request)
+              << ", \"total_cost\": " << number(r.total_cost)
+              << ", \"acceptance_ratio\": " << number(r.acceptance_ratio)
+              << ", \"mean_latency_ms\": " << number(r.mean_latency_ms)
+              << ", \"sla_violation_ratio\": " << number(r.sla_violation_ratio) << "}"
+              << (i + 1 < info.curve.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+}
+
+/// Minimal stateless manager — just enough for write_checkpoint to stamp a
+/// policy tag onto the selftest archive.
+class SelftestManager final : public core::Manager {
+ public:
+  [[nodiscard]] std::string name() const override { return "selftest"; }
+  [[nodiscard]] int select_action(core::VnfEnv& env) override {
+    return env.reject_action();
+  }
+  [[nodiscard]] std::string checkpoint_state() const override {
+    return "selftest/v1";
+  }
+};
+
+/// Round-trips a scratch archive through write_checkpoint →
+/// inspect_checkpoint and verifies every inspected field.
+int selftest() {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "vnfmc_inspect_selftest.vnfmc";
+
+  core::TrainCheckpoint data;
+  data.episodes_done = 3;
+  data.base_seed = 42;
+  data.curve.resize(3);
+  for (std::size_t i = 0; i < data.curve.size(); ++i) {
+    data.curve[i].total_reward = static_cast<double>(i) * 1.5;
+    data.curve[i].requests = 10 + i;
+    data.seeds.push_back(core::train_seed(42, i));
+  }
+  data.stats.wall_seconds = 1.25;
+  data.stats.transitions = 30;
+  data.stats.episodes = 3;
+  data.stats.grad_steps = 7;
+  data.stats.grad_seconds = 0.7;
+
+  const SelftestManager manager;
+  core::write_checkpoint(path.string(), manager, data);
+  const core::CheckpointInfo info = core::inspect_checkpoint(path.string());
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  const bool ok = info.policy == "selftest/v1" && info.episodes_done == 3 &&
+                  info.base_seed == 42 && info.curve.size() == 3 &&
+                  info.seeds == data.seeds &&
+                  info.curve[2].total_reward == 3.0 &&
+                  info.curve[2].requests == 12 &&
+                  info.stats.transitions == 30 && info.stats.grad_steps == 7 &&
+                  info.stats.grad_seconds == 0.7;
+  std::cout << "vnfmc_inspect selftest: " << (ok ? "ok" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool with_curve = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") return selftest();
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--curve") {
+      with_curve = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vnfmc_inspect [--json|--curve] <archive.vnfmc>\n"
+                   "       vnfmc_inspect --selftest\n";
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: vnfmc_inspect [--json|--curve] <archive.vnfmc>\n";
+    return 2;
+  }
+  try {
+    const core::CheckpointInfo info = core::inspect_checkpoint(path);
+    if (json)
+      print_json(info);
+    else
+      print_text(info, with_curve);
+  } catch (const std::exception& error) {
+    std::cerr << "vnfmc_inspect: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
