@@ -1,0 +1,169 @@
+// Environment-step bench: decision latency and throughput of the three
+// feature-builder modes as the cluster grows from 50 to 10k nodes.
+//
+//   dense        — the legacy O(nodes) reference scan (dense_features=1)
+//   incremental  — the default O(1)-amortised cached queries (still O(nodes)
+//                  row writes, but no per-node capacity scans)
+//   pruned       — candidate-set pruning (candidate_k=32): fixed-width
+//                  layout, O(dirty + k) per decision
+//
+// dense and incremental run the identical action stream and must produce
+// bit-identical features, masks, and episode accounting at every node count
+// (determinism invariant #10) — any divergence exits 1, which CI gates on.
+// Emits BENCH_env_step.json with env-step microseconds and decisions/s per
+// (nodes, mode) cell plus the 10k-node speedup over dense.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  std::size_t nodes = 0;
+  std::size_t decisions = 0;
+  double env_step_us = 0.0;
+  double decisions_per_s = 0.0;
+  std::uint64_t digest = 0;  ///< FNV-1a over every decision's features+mask
+  std::size_t accepted = 0;
+  double total_cost = 0.0;
+};
+
+/// FNV-1a over raw bytes, chained across calls.
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+}
+
+core::EnvOptions options_for(std::size_t nodes, const std::string& mode) {
+  const std::string base = nodes >= 10'000 ? "large-scale-10k" : "large-scale-1k";
+  Config overrides{{"nodes", std::to_string(nodes)}, {"seed", "1"}};
+  if (mode == "dense") {
+    overrides.set("dense_features", "1");
+    overrides.set("candidate_k", "0");
+  } else if (mode == "incremental") {
+    overrides.set("dense_features", "0");
+    overrides.set("candidate_k", "0");
+  }  // "pruned" keeps the base's candidate_k=32
+  return bench::scenario_options(base, overrides);
+}
+
+/// Runs `requests` chains with a seeded random-valid-action policy; dense and
+/// incremental see identical masks, so the shared seed yields the identical
+/// action stream and their digests are directly comparable.
+ModeResult run_mode(std::size_t nodes, const std::string& mode, std::size_t requests) {
+  ModeResult result;
+  result.mode = mode;
+  result.nodes = nodes;
+  core::VnfEnv env(options_for(nodes, mode));
+  env.reset(1);
+  Rng rng(99);
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  std::vector<int> valid;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (!env.begin_next_request()) break;
+    core::StepResult step;
+    do {
+      const auto features = env.features();
+      const auto& mask = env.action_mask();
+      mix_bytes(digest, features.data(), features.size() * sizeof(float));
+      mix_bytes(digest, mask.data(), mask.size());
+      valid.clear();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) valid.push_back(static_cast<int>(a));
+      step = env.step(valid[rng.uniform_index(valid.size())]);
+      ++result.decisions;
+    } while (!step.chain_done);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  result.env_step_us = elapsed.count() * 1e6 / static_cast<double>(result.decisions);
+  result.decisions_per_s = static_cast<double>(result.decisions) / elapsed.count();
+  result.digest = digest;
+  result.accepted = env.metrics().accepted();
+  result.total_cost = env.metrics().total_cost();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  const bool full = std::getenv("REPRO_FULL") != nullptr;
+  const std::vector<std::size_t> node_counts{50, 200, 1'000, 10'000};
+  const std::vector<std::string> modes{"dense", "incremental", "pruned"};
+
+  std::cout << "=== bench_env_step: env decision latency vs cluster scale ===\n\n";
+
+  std::vector<ModeResult> results;
+  bool bit_identical = true;
+  for (const std::size_t nodes : node_counts) {
+    // Fewer chains at 10k: the dense reference alone dominates wall-clock.
+    const std::size_t requests =
+        full ? (nodes >= 10'000 ? 200 : 400) : (nodes >= 10'000 ? 60 : 150);
+    const ModeResult* dense = nullptr;
+    for (const std::string& mode : modes) {
+      results.push_back(run_mode(nodes, mode, requests));
+      const ModeResult& row = results.back();
+      std::cout << "  nodes=" << nodes << " mode=" << row.mode << ": "
+                << row.decisions << " decisions, " << row.env_step_us
+                << " us/step, " << row.decisions_per_s << " decisions/s\n";
+      if (row.mode == "dense") dense = &row;
+      if (row.mode == "incremental" && dense != nullptr) {
+        // Invariant #10, at scale: identical digests AND identical accounting.
+        if (row.digest != dense->digest || row.accepted != dense->accepted ||
+            row.total_cost != dense->total_cost) {
+          bit_identical = false;
+          std::cout << "  DIVERGENCE at " << nodes
+                    << " nodes: incremental != dense (digest "
+                    << row.digest << " vs " << dense->digest << ")\n";
+        }
+      }
+    }
+  }
+
+  // Headline: decisions/s at 10k nodes relative to the dense reference.
+  double dense_10k = 0.0, incremental_10k = 0.0, pruned_10k = 0.0;
+  for (const ModeResult& row : results) {
+    if (row.nodes != 10'000) continue;
+    if (row.mode == "dense") dense_10k = row.decisions_per_s;
+    if (row.mode == "incremental") incremental_10k = row.decisions_per_s;
+    if (row.mode == "pruned") pruned_10k = row.decisions_per_s;
+  }
+  const double speedup_incremental = incremental_10k / dense_10k;
+  const double speedup_pruned = pruned_10k / dense_10k;
+  std::cout << "\n10k-node speedup vs dense: incremental " << speedup_incremental
+            << "x, incremental+pruned " << speedup_pruned << "x\n";
+  std::cout << "dense vs incremental bit-identical at all node counts: "
+            << (bit_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  std::ofstream json("BENCH_env_step.json");
+  json << "{\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& row = results[i];
+    json << "    {\"nodes\": " << row.nodes << ", \"mode\": \"" << row.mode
+         << "\", \"decisions\": " << row.decisions
+         << ", \"env_step_us\": " << row.env_step_us
+         << ", \"decisions_per_s\": " << row.decisions_per_s
+         << ", \"accepted\": " << row.accepted << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_10k_incremental\": " << speedup_incremental
+       << ",\n  \"speedup_10k_pruned\": " << speedup_pruned
+       << ",\n  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "JSON written to BENCH_env_step.json\n";
+  return bit_identical ? 0 : 1;
+}

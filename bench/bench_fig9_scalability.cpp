@@ -3,39 +3,90 @@
 // claim: more nodes give every policy more placement freedom (lower latency),
 // and the DRL manager's advantage persists as the action space grows.
 //
+// Node counts above the 16-metro list come from the large-scale-1k scenario
+// base (synthetic metro-anchored sites, candidate-set pruning on), so one
+// binary sweeps from the paper's 4-node setup to 1000 nodes. Each sweep
+// point also reports the raw environment decision latency (env_step_us,
+// random-valid-action policy) next to the paper metrics, so hot-path
+// regressions in the simulator are visible independently of the nn/rl stack.
+//
 // DQN training runs through the actor-learner TrainDriver pipeline; the
 // bench reports per-size training throughput (steps/s) so hot-path
 // regressions in the nn/rl layers are visible next to the paper metrics.
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "support.hpp"
 
 using namespace vnfm;
 
+namespace {
+
+core::EnvOptions sweep_env_options(std::size_t nodes, double rate) {
+  // The legacy base covers the paper's metro list; beyond it the
+  // large-scale base supplies synthetic sites and the pruned action layout.
+  if (nodes <= edgesim::world_metro_count())
+    return bench::make_env_options(rate, nodes);
+  return bench::scenario_options(
+      "large-scale-1k", Config{{"nodes", std::to_string(nodes)},
+                               {"arrival_rate", bench::to_config_value(rate)},
+                               {"seed", "1"}});
+}
+
+/// Mean env-step decision latency (µs) under a random-valid-action policy.
+double measure_env_step_us(const core::EnvOptions& options, std::size_t requests) {
+  core::VnfEnv env(options);
+  env.reset(1);
+  Rng rng(99);
+  std::vector<int> valid;
+  std::size_t decisions = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (!env.begin_next_request()) break;
+    core::StepResult step;
+    do {
+      const auto& mask = env.action_mask();
+      valid.clear();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) valid.push_back(static_cast<int>(a));
+      step = env.step(valid[rng.uniform_index(valid.size())]);
+      ++decisions;
+    } while (!step.chain_done);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count() * 1e6 / static_cast<double>(decisions);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_args(argc, argv);
   const bench::Scale scale = bench::Scale::resolve();
   const std::vector<std::size_t> node_counts =
-      full_run_requested() ? std::vector<std::size_t>{4, 6, 8, 12, 16}
-                           : std::vector<std::size_t>{4, 8, 12};
+      full_run_requested() ? std::vector<std::size_t>{4, 8, 16, 50, 200, 1000}
+                           : std::vector<std::size_t>{4, 8, 16, 50};
   const double per_node_rate = 0.3;
 
   std::cout << "=== Figure 9: scalability over node count (rate "
             << per_node_rate << "/s per node) ===\n\n";
 
   AsciiTable table({"nodes", "dqn_cost", "myopic_cost", "greedy_cost", "dqn_lat_ms",
-                    "myopic_lat_ms", "greedy_lat_ms"});
+                    "myopic_lat_ms", "greedy_lat_ms", "env_step_us"});
   CsvWriter csv(bench::csv_path("fig9_scalability"),
                 {"nodes", "dqn_cost", "myopic_cost", "greedy_cost", "dqn_lat_ms",
-                 "myopic_lat_ms", "greedy_lat_ms"});
+                 "myopic_lat_ms", "greedy_lat_ms", "env_step_us"});
 
   auto& registry = exp::ManagerRegistry::instance();
   for (const std::size_t nodes : node_counts) {
     const double rate = per_node_rate * static_cast<double>(nodes);
-    core::VnfEnv env(bench::make_env_options(rate, nodes));
+    const core::EnvOptions env_options = sweep_env_options(nodes, rate);
+    const double env_step_us = measure_env_step_us(env_options, 100);
+    core::VnfEnv env(env_options);
     core::TrainStats train_stats;
     // Per-node-count checkpoint label: each sweep point resumes on its own.
     auto dqn = bench::train_policy(env, scale, "dqn", {}, &train_stats,
@@ -43,7 +94,8 @@ int main(int argc, char** argv) {
     std::cout << nodes << " nodes: trained " << train_stats.transitions
               << " transitions in " << train_stats.wall_seconds << " s ("
               << train_stats.steps_per_second() << " steps/s, "
-              << train_stats.actor_threads << " actor thread(s))\n";
+              << train_stats.actor_threads << " actor thread(s)), env step "
+              << env_step_us << " us\n";
     const auto myopic = registry.create("myopic_cost", env);
     const auto greedy = registry.create("greedy_latency", env);
     const auto dqn_r = bench::evaluate_policy(env, *dqn, scale);
@@ -52,7 +104,7 @@ int main(int argc, char** argv) {
     const std::vector<double> row{
         static_cast<double>(nodes), dqn_r.cost_per_request, myo_r.cost_per_request,
         gre_r.cost_per_request,     dqn_r.mean_latency_ms,  myo_r.mean_latency_ms,
-        gre_r.mean_latency_ms};
+        gre_r.mean_latency_ms,      env_step_us};
     table.add_row(std::to_string(nodes), {row.begin() + 1, row.end()});
     csv.row(row);
   }

@@ -22,6 +22,7 @@ namespace {
 struct Cell {
   std::size_t shards = 0;
   std::size_t batch_max = 0;
+  double time_scale = 0.0;
   core::ServeStats stats;
 };
 
@@ -90,6 +91,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional closed-loop paced cell (REPRO_SERVE_TIME_SCALE preset): arrivals
+  // follow the workload model's instants instead of saturating the queues, so
+  // the latency percentiles reflect steady-state serving. Pacing must not
+  // move a single decision — the cell joins the bit-identity check.
+  const double pacing = bench::serve_time_scale();
+  if (pacing > 0.0) {
+    core::ServeOptions options = base;
+    options.shards = base.partitions;
+    options.time_scale = pacing;
+    Cell cell;
+    cell.shards = options.shards;
+    cell.batch_max = options.batch_max;
+    cell.time_scale = pacing;
+    cell.stats = experiment.serve(options);
+    if (!cell.stats.deterministically_equal(cells.front().stats))
+      bit_identical = false;
+    std::cout << "  paced: time_scale=" << pacing << " shards=" << cell.shards
+              << " batch_max=" << cell.batch_max << ": "
+              << cell.stats.decisions_per_second() << " decisions/s, p50="
+              << cell.stats.latency_micros(0.50) << "us p95="
+              << cell.stats.latency_micros(0.95) << "us p99="
+              << cell.stats.latency_micros(0.99) << "us max="
+              << cell.stats.latency.max_micros() << "us\n";
+    cells.push_back(std::move(cell));
+  }
+
   std::cout << "deterministic serve stats bit-identical across "
             << cells.size() << " grid cells: "
             << (bit_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
@@ -108,6 +135,7 @@ int main(int argc, char** argv) {
     const Cell& cell = cells[i];
     json << "    {\"shards\": " << cell.shards
          << ", \"batch_max\": " << cell.batch_max
+         << ", \"time_scale\": " << cell.time_scale
          << ", \"decisions_per_s\": " << cell.stats.decisions_per_second()
          << ", \"requests_per_s\": " << cell.stats.requests_per_second()
          << ", \"latency_p50_us\": " << cell.stats.latency_micros(0.50)

@@ -94,6 +94,12 @@ std::size_t serve_batch_max() {
   return static_cast<std::size_t>(std::strtoull(requested, nullptr, 10));
 }
 
+double serve_time_scale() {
+  const char* requested = std::getenv("REPRO_SERVE_TIME_SCALE");
+  if (requested == nullptr || *requested == '\0') return 0.0;  // open throttle
+  return std::strtod(requested, nullptr);
+}
+
 std::string checkpoint_dir() {
   const char* dir = std::getenv("REPRO_CHECKPOINT_DIR");
   return dir == nullptr ? std::string{} : std::string{dir};

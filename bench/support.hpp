@@ -85,6 +85,16 @@ std::size_t serve_shards();
 /// Batching is decision-invariant — any value changes wall-clock only.
 std::size_t serve_batch_max();
 
+/// Arrival pacing preset for the serving engine (ServeOptions::time_scale):
+/// the REPRO_SERVE_TIME_SCALE environment variable — simulated seconds that
+/// elapse per wall-clock second in the load generator. 0 (the default) keeps
+/// the throttle open (throughput benching); a positive value makes
+/// bench_serve add a closed-loop paced cell whose latency percentiles
+/// reflect steady-state arrivals instead of a saturated queue. Pacing is
+/// decision-invariant: the paced cell's deterministic stats must stay
+/// bit-identical to the unpaced grid.
+double serve_time_scale();
+
 /// Base directory for resumable training checkpoints: the
 /// REPRO_CHECKPOINT_DIR environment variable ("" = checkpointing off). Each
 /// training run writes under "<dir>/<bench binary>/<scenario>/<label>" so

@@ -11,8 +11,10 @@ namespace vnfm::core {
 rl::DqnConfig default_dqn_config(const VnfEnv& env, std::uint64_t seed) {
   rl::DqnConfig config;
   // State/action dims require a live decision point to size the featuriser;
-  // construct from static layout instead: per-node block + catalogs + globals.
-  config.state_dim = env.topology().node_count() * 6 + env.vnfs().size() +
+  // construct from static layout instead: per-row block + catalogs + globals.
+  // feature_rows() is candidate_k under pruning, so model size is independent
+  // of cluster scale there.
+  config.state_dim = env.feature_rows() * 6 + env.vnfs().size() +
                      env.sfcs().size() + 8;
   config.action_dim = static_cast<std::size_t>(env.action_count());
   config.hidden_dims = {64, 64};
@@ -253,6 +255,18 @@ void TabularManager::observe(const TransitionView& t) {
   agent_->update(key, t.action, t.reward, next_key, t.done, t.next_mask);
 }
 
+void TabularManager::ingest(const TransitionView& t) {
+  if (!training_) return;
+  const auto key = rl::TabularQAgent::discretize(t.coarse_state, buckets_);
+  const auto next_key =
+      t.done ? 0 : rl::TabularQAgent::discretize(t.next_coarse_state, buckets_);
+  agent_->ingest(key, t.action, t.reward, next_key, t.done, t.next_mask);
+}
+
+std::unique_ptr<Manager> TabularManager::clone_for_acting() const {
+  return std::make_unique<TabularActorManager>(*this, name());
+}
+
 void TabularManager::set_training(bool training) { training_ = training; }
 
 void TabularManager::save(Serializer& out) const {
@@ -273,6 +287,23 @@ std::unique_ptr<Manager> TabularManager::clone_for_eval() const {
   clone->buckets_ = buckets_;
   clone->training_ = training_;
   return clone;
+}
+
+TabularActorManager::TabularActorManager(const TabularManager& learner,
+                                         std::string name)
+    : name_(std::move(name)), buckets_(learner.buckets()), view_(learner.agent()) {}
+
+int TabularActorManager::select_action(VnfEnv& env) {
+  const auto key = rl::TabularQAgent::discretize(env.coarse_features(), buckets_);
+  return view_.act(key, env.action_mask());
+}
+
+void TabularActorManager::sync_from_learner(const Manager& learner) {
+  const auto* tabular = dynamic_cast<const TabularManager*>(&learner);
+  if (tabular == nullptr)
+    throw std::invalid_argument(
+        "TabularActorManager can only sync from a TabularManager");
+  view_.sync(tabular->agent());
 }
 
 }  // namespace vnfm::core

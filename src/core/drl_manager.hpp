@@ -173,11 +173,21 @@ class TabularManager : public Manager {
   void set_training(bool training) override;
   [[nodiscard]] std::unique_ptr<Manager> clone_for_eval() const override;
 
+  // Actor-learner split (parallel TrainDriver): acting clones carry a
+  // rl::TabularActorView Q-table snapshot; the learner ingests recorded
+  // transitions (which also advances the epsilon schedule it no longer
+  // drives by acting).
+  [[nodiscard]] bool supports_parallel_training() const override { return true; }
+  [[nodiscard]] std::unique_ptr<Manager> clone_for_acting() const override;
+  void ingest(const TransitionView& transition) override;
+
   [[nodiscard]] std::string checkpoint_state() const override { return "tabular_q/v1"; }
   void save(Serializer& out) const override;
   void load(Deserializer& in) override;
 
   [[nodiscard]] rl::TabularQAgent& agent() noexcept { return *agent_; }
+  [[nodiscard]] const rl::TabularQAgent& agent() const noexcept { return *agent_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
 
  private:
   TabularManager() = default;  // clone_for_eval scaffolding
@@ -185,6 +195,26 @@ class TabularManager : public Manager {
   std::unique_ptr<rl::TabularQAgent> agent_;
   std::size_t buckets_ = 4;
   bool training_ = true;
+};
+
+/// Acting half of the TabularManager split: ε-greedy over a Q-table snapshot
+/// (rl::TabularActorView) that records nothing and learns nothing. The
+/// TrainDriver hands one to each actor thread, reseeds it per episode, and
+/// re-syncs it from the learner at round boundaries.
+class TabularActorManager : public Manager {
+ public:
+  TabularActorManager(const TabularManager& learner, std::string name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int select_action(VnfEnv& env) override;
+  void set_training(bool training) override { view_.set_exploration_enabled(training); }
+  void reseed(std::uint64_t seed) override { view_.reseed(seed); }
+  void sync_from_learner(const Manager& learner) override;
+
+ private:
+  std::string name_;
+  std::size_t buckets_;
+  rl::TabularActorView view_;
 };
 
 /// Convenience factory: DQN config tuned for this environment's scale.

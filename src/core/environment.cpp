@@ -23,6 +23,10 @@ constexpr double kRateNormRps = 15.0;
 constexpr double kDurationNormS = 1200.0;
 constexpr std::size_t kPerNodeFeatures = 6;
 
+// Candidate-pruning score bands over free effective CPU.
+constexpr std::size_t kScoreBands = 64;
+constexpr std::uint8_t kNoBand = 0xFF;  // failed node: excluded from bands
+
 float clamp01(double v) noexcept {
   return static_cast<float>(std::clamp(v, 0.0, 1.0));
 }
@@ -54,6 +58,8 @@ void VnfEnv::rebuild() {
   next_event_ = 0;
   pending_deploy_cost_ = 0.0;
   pending_nodes_.clear();
+  candidates_.clear();
+  if (options_.candidate_k > 0) rebuild_bands();
 }
 
 void VnfEnv::reset(std::uint64_t episode_seed) {
@@ -61,12 +67,28 @@ void VnfEnv::reset(std::uint64_t episode_seed) {
   rebuild();
 }
 
+std::size_t VnfEnv::feature_rows() const noexcept {
+  return options_.candidate_k > 0 ? options_.candidate_k : topology_.node_count();
+}
+
 int VnfEnv::action_count() const noexcept {
-  return static_cast<int>(topology_.node_count()) + 1;
+  return static_cast<int>(feature_rows()) + 1;
 }
 
 int VnfEnv::reject_action() const noexcept {
-  return static_cast<int>(topology_.node_count());
+  return static_cast<int>(feature_rows());
+}
+
+edgesim::NodeId VnfEnv::candidate_node(int slot) const {
+  if (options_.candidate_k == 0) return NodeId{static_cast<std::uint32_t>(slot)};
+  return candidates_.at(static_cast<std::size_t>(slot));
+}
+
+std::optional<int> VnfEnv::action_for_node(edgesim::NodeId node) const {
+  if (options_.candidate_k == 0) return static_cast<int>(edgesim::index(node));
+  for (std::size_t s = 0; s < candidates_.size(); ++s)
+    if (candidates_[s] == node) return static_cast<int>(s);
+  return std::nullopt;
 }
 
 void VnfEnv::apply_events_until(double up_to) {
@@ -121,16 +143,25 @@ double VnfEnv::prev_hop_latency_ms(NodeId node) const {
 }
 
 void VnfEnv::refresh_decision_state() {
+  features_.clear();
+  features_.reserve(feature_rows() * kPerNodeFeatures + vnfs_.size() + sfcs_.size() + 8);
+  mask_.assign(static_cast<std::size_t>(action_count()), 0);
+  if (options_.candidate_k > 0) {
+    refresh_pruned();
+  } else if (options_.dense_features) {
+    refresh_dense();
+  } else {
+    refresh_incremental();
+  }
+  mask_.back() = 1;  // reject is always allowed
+  append_request_tail();
+}
+
+void VnfEnv::refresh_dense() {
   const std::size_t n = topology_.node_count();
   const Request& request = cluster_->pending_request();
   const VnfTypeId type = cluster_->pending_vnf_type();
   const edgesim::VnfType& vnf = vnfs_.type(type);
-  const edgesim::SfcTemplate& sfc = sfcs_.sfc(request.sfc);
-  const std::size_t max_len = sfcs_.max_chain_length();
-
-  features_.clear();
-  features_.reserve(n * kPerNodeFeatures + vnfs_.size() + sfcs_.size() + 8);
-  mask_.assign(static_cast<std::size_t>(action_count()), 0);
 
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId node{static_cast<std::uint32_t>(i)};
@@ -149,7 +180,128 @@ void VnfEnv::refresh_decision_state() {
         cluster_->can_link(pending_nodes_.back(), node, request.rate_rps);
     mask_[i] = (cluster_->can_serve(node, type, request.rate_rps) && link_ok) ? 1 : 0;
   }
-  mask_.back() = 1;  // reject is always allowed
+}
+
+void VnfEnv::write_node_features(NodeId node, VnfTypeId type,
+                                 const edgesim::VnfType& vnf, const Request& request) {
+  const edgesim::EdgeNode& edge = topology_.node(node);
+  features_.push_back(clamp01(cluster_->cpu_utilization(node)));
+  features_.push_back(clamp01(cluster_->mem_used(node) / edge.mem_capacity_gb));
+  features_.push_back(clamp01(
+      static_cast<double>(cluster_->instance_count(node, type)) / kInstanceCountNorm));
+  features_.push_back(clamp01(cluster_->residual_capacity_cached_rps(node, type) /
+                              (kResidualCapacityNorm * vnf.capacity_rps)));
+  const double proc =
+      cluster_->estimated_proc_delay_cached_ms(node, type, request.rate_rps);
+  features_.push_back(clamp01(std::isfinite(proc) ? proc / kProcDelayNormMs : 1.0));
+  features_.push_back(clamp01(prev_hop_latency_ms(node) / kLatencyNormMs));
+}
+
+void VnfEnv::refresh_incremental() {
+  const std::size_t n = topology_.node_count();
+  const Request& request = cluster_->pending_request();
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  const edgesim::VnfType& vnf = vnfs_.type(type);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    write_node_features(node, type, vnf, request);
+    const bool link_ok =
+        pending_nodes_.empty() ||
+        cluster_->can_link(pending_nodes_.back(), node, request.rate_rps);
+    mask_[i] =
+        (cluster_->can_serve_cached(node, type, request.rate_rps) && link_ok) ? 1 : 0;
+  }
+}
+
+std::size_t VnfEnv::score_band(NodeId node) const {
+  const double free = cluster_->effective_cpu_capacity(node) - cluster_->cpu_used(node);
+  const int b = static_cast<int>(free / max_nominal_cpu_ *
+                                 static_cast<double>(kScoreBands));
+  return static_cast<std::size_t>(std::clamp(b, 0, static_cast<int>(kScoreBands) - 1));
+}
+
+void VnfEnv::update_band(std::uint32_t i) {
+  const NodeId node{i};
+  const std::uint8_t fresh = cluster_->node_failed(node)
+                                 ? kNoBand
+                                 : static_cast<std::uint8_t>(score_band(node));
+  const std::uint8_t current = node_band_[i];
+  if (current == fresh) return;
+  if (current != kNoBand) bands_[current].erase(i);
+  if (fresh != kNoBand) bands_[fresh].insert(i);
+  node_band_[i] = fresh;
+}
+
+void VnfEnv::rebuild_bands() {
+  bands_.assign(kScoreBands, {});
+  node_band_.assign(topology_.node_count(), kNoBand);
+  max_nominal_cpu_ = 1.0;
+  for (const auto& node : topology_.nodes())
+    max_nominal_cpu_ = std::max(max_nominal_cpu_, node.cpu_capacity);
+  for (std::uint32_t i = 0; i < topology_.node_count(); ++i) update_band(i);
+  cluster_->clear_dirty();
+}
+
+void VnfEnv::refresh_pruned() {
+  const Request& request = cluster_->pending_request();
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  const edgesim::VnfType& vnf = vnfs_.type(type);
+  const double rate = request.rate_rps;
+  const std::size_t k = options_.candidate_k;
+
+  // O(dirty): re-band only nodes mutated since the last decision.
+  for (const std::uint32_t i : cluster_->dirty_nodes()) update_band(i);
+  cluster_->clear_dirty();
+
+  const auto feasible = [&](NodeId node) {
+    if (!cluster_->can_serve_cached(node, type, rate)) return false;
+    return pending_nodes_.empty() ||
+           cluster_->can_link(pending_nodes_.back(), node, rate);
+  };
+
+  candidates_.clear();
+  // Locality anchors jump the score queue: the previous hop (no WAN cost)
+  // and the user's source region (no access latency) dominate good chains.
+  NodeId anchors[2];
+  std::size_t anchor_count = 0;
+  if (!pending_nodes_.empty()) anchors[anchor_count++] = pending_nodes_.back();
+  if (anchor_count == 0 || anchors[0] != request.source_region)
+    anchors[anchor_count++] = request.source_region;
+  for (std::size_t a = 0; a < anchor_count && candidates_.size() < k; ++a)
+    if (feasible(anchors[a])) candidates_.push_back(anchors[a]);
+
+  // Fill the remaining slots best-band first, ascending node id within a band.
+  for (int b = static_cast<int>(kScoreBands) - 1;
+       b >= 0 && candidates_.size() < k; --b) {
+    for (const std::uint32_t i : bands_[static_cast<std::size_t>(b)]) {
+      const NodeId node{i};
+      bool is_anchor = false;
+      for (std::size_t a = 0; a < anchor_count; ++a) is_anchor |= anchors[a] == node;
+      if (is_anchor || !feasible(node)) continue;
+      candidates_.push_back(node);
+      if (candidates_.size() >= k) break;
+    }
+  }
+  // Ascending node-id slots: with k >= the feasible-node count this is
+  // exactly the legacy ordering restricted to feasible nodes.
+  std::sort(candidates_.begin(), candidates_.end(),
+            [](NodeId a, NodeId b) { return edgesim::index(a) < edgesim::index(b); });
+
+  for (std::size_t s = 0; s < candidates_.size(); ++s) {
+    write_node_features(candidates_[s], type, vnf, request);
+    mask_[s] = 1;  // candidates are feasible by construction
+  }
+  // Pad slots: zero rows, masked out.
+  for (std::size_t s = candidates_.size(); s < k; ++s)
+    features_.insert(features_.end(), kPerNodeFeatures, 0.0F);
+}
+
+void VnfEnv::append_request_tail() {
+  const Request& request = cluster_->pending_request();
+  const VnfTypeId type = cluster_->pending_vnf_type();
+  const edgesim::SfcTemplate& sfc = sfcs_.sfc(request.sfc);
+  const std::size_t max_len = sfcs_.max_chain_length();
 
   // VNF type one-hot.
   for (std::size_t v = 0; v < vnfs_.size(); ++v)
@@ -199,7 +351,7 @@ StepResult VnfEnv::step(int action) {
     return result;
   }
 
-  const NodeId node{static_cast<std::uint32_t>(action)};
+  const NodeId node = candidate_node(action);
   const VnfTypeId type = cluster_->pending_vnf_type();
   const edgesim::PlaceStepResult placed = cluster_->place_next(node);
   pending_nodes_.push_back(node);

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -40,6 +42,18 @@ struct EnvOptions {
   /// Rewards are costs scaled by -reward_scale to keep |r| in DQN-friendly
   /// range; the scale cancels out of policy comparisons.
   double reward_scale = 0.25;
+  /// Feature-builder mode: false (default) serves the per-node rows from the
+  /// cluster's incremental O(1)-amortised caches — bit-identical to the dense
+  /// rebuild (determinism invariant #10); true forces the dense O(nodes)
+  /// reference scan (cross-check and bench baseline).
+  bool dense_features = false;
+  /// Candidate-set pruning: 0 (default) keeps the legacy layout (one action
+  /// slot per node + reject). k > 0 makes the net see a fixed-width
+  /// k-candidate layout — the top-k feasible nodes by a cheap free-CPU score
+  /// (bucketed over the incremental aggregates) plus locality anchors — so
+  /// model size is independent of cluster scale. Slots remap to real node
+  /// ids via candidate_node()/action_for_node().
+  std::size_t candidate_k = 0;
   std::uint64_t seed = 1;
 };
 
@@ -75,6 +89,22 @@ class VnfEnv {
   [[nodiscard]] std::size_t state_dim() const noexcept { return features_.size(); }
   [[nodiscard]] int action_count() const noexcept;
   [[nodiscard]] int reject_action() const noexcept;
+
+  // ---- Action-slot layout --------------------------------------------------
+  /// Per-node feature rows the net sees: candidate_k when pruning is on,
+  /// otherwise the cluster's node count.
+  [[nodiscard]] std::size_t feature_rows() const noexcept;
+  /// Real node behind action slot `slot` (identity when pruning is off;
+  /// throws for pad slots — they are always masked out).
+  [[nodiscard]] edgesim::NodeId candidate_node(int slot) const;
+  /// Nodes behind the candidate slots this decision, ascending by node id
+  /// (empty when pruning is off — slots are node ids then).
+  [[nodiscard]] std::span<const edgesim::NodeId> candidate_nodes() const noexcept {
+    return candidates_;
+  }
+  /// Slot currently mapped to `node` (identity when pruning is off);
+  /// nullopt if the node is not among this decision's candidates.
+  [[nodiscard]] std::optional<int> action_for_node(edgesim::NodeId node) const;
 
   /// Applies a placement/reject action to the pending chain.
   StepResult step(int action);
@@ -128,6 +158,23 @@ class VnfEnv {
  private:
   void rebuild();
   void refresh_decision_state();
+  /// Dense O(nodes) reference feature scan (the legacy builder, verbatim).
+  void refresh_dense();
+  /// Same rows/mask as refresh_dense, served from the cluster's incremental
+  /// caches — bit-identical by construction (invariant #10).
+  void refresh_incremental();
+  /// Fixed-width k-candidate layout: top-k feasible nodes by score band.
+  void refresh_pruned();
+  /// Request-scoped tail block (VNF/SFC one-hots + 8 scalars).
+  void append_request_tail();
+  /// Appends one node's 6-float feature row using the incremental caches.
+  void write_node_features(edgesim::NodeId node, edgesim::VnfTypeId type,
+                           const edgesim::VnfType& vnf, const edgesim::Request& request);
+  /// Rebuilds the pruning score bands from scratch (reset-time).
+  void rebuild_bands();
+  /// Re-banding of one node after a cluster mutation (dirty-list drain).
+  void update_band(std::uint32_t i);
+  [[nodiscard]] std::size_t score_band(edgesim::NodeId node) const;
   /// Applies every scheduled event with time <= up_to (advancing the cluster
   /// to each event's instant first).
   void apply_events_until(double up_to);
@@ -145,6 +192,13 @@ class VnfEnv {
 
   std::vector<float> features_;
   std::vector<std::uint8_t> mask_;
+  // Candidate-set pruning state (populated only when options_.candidate_k > 0):
+  // the slot -> node remap for the current decision, plus the free-CPU score
+  // bands (ordered node-id sets) maintained from the cluster's dirty list.
+  std::vector<edgesim::NodeId> candidates_;
+  std::vector<std::set<std::uint32_t>> bands_;
+  std::vector<std::uint8_t> node_band_;
+  double max_nominal_cpu_ = 1.0;
   double pending_deploy_cost_ = 0.0;  ///< raw deploy cost of the pending chain
   double pending_charged_cost_ = 0.0;  ///< objective cost already charged as reward
   std::vector<edgesim::NodeId> pending_nodes_;  ///< nodes chosen so far

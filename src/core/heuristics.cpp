@@ -12,8 +12,8 @@ using edgesim::NodeId;
 
 int GreedyLatencyManager::select_action(VnfEnv& env) {
   const auto& mask = env.action_mask();
-  const std::size_t n = env.topology().node_count();
-  // Per-node feature block layout: [..., est_proc(4), prev_hop_latency(5)].
+  const std::size_t n = env.feature_rows();
+  // Per-row feature block layout: [..., est_proc(4), prev_hop_latency(5)].
   const auto features = env.features();
   constexpr std::size_t kPerNode = 6;
   int best = env.reject_action();
@@ -38,7 +38,7 @@ int MyopicCostManager::select_action(VnfEnv& env) {
   const auto& request = env.pending_request();
   const auto type = env.pending_vnf_type();
   const auto& vnf = env.vnfs().type(type);
-  const std::size_t n = env.topology().node_count();
+  const std::size_t n = env.feature_rows();
   const auto features = env.features();
   constexpr std::size_t kPerNode = 6;
   constexpr double kLatencyNormMs = 200.0;
@@ -47,7 +47,7 @@ int MyopicCostManager::select_action(VnfEnv& env) {
   double best_cost = cost.rejection_cost();  // rejecting is the fallback
   for (std::size_t i = 0; i < n; ++i) {
     if (!mask[i]) continue;
-    const NodeId node{static_cast<std::uint32_t>(i)};
+    const NodeId node = env.candidate_node(static_cast<int>(i));
     const bool needs_deploy = !cluster.has_headroom_instance(node, type, request.rate_rps);
     const double proc = cluster.estimated_proc_delay_ms(node, type, request.rate_rps);
     // Recover the propagation latency from the normalised feature.
@@ -67,11 +67,11 @@ int FirstFitManager::select_action(VnfEnv& env) {
   const auto& cluster = env.cluster();
   const auto& request = env.pending_request();
   const auto type = env.pending_vnf_type();
-  const std::size_t n = env.topology().node_count();
+  const std::size_t n = env.feature_rows();
   // Pass 1: reuse an existing instance.
   for (std::size_t i = 0; i < n; ++i) {
     if (!mask[i]) continue;
-    const NodeId node{static_cast<std::uint32_t>(i)};
+    const NodeId node = env.candidate_node(static_cast<int>(i));
     if (cluster.has_headroom_instance(node, type, request.rate_rps))
       return static_cast<int>(i);
   }
@@ -84,7 +84,7 @@ int FirstFitManager::select_action(VnfEnv& env) {
 
 int RandomManager::select_action(VnfEnv& env) {
   const auto& mask = env.action_mask();
-  const std::size_t n = env.topology().node_count();
+  const std::size_t n = env.feature_rows();
   std::vector<int> feasible;
   feasible.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -114,14 +114,14 @@ int StaticProvisionManager::select_action(VnfEnv& env) {
   const auto& cluster = env.cluster();
   const auto& request = env.pending_request();
   const auto type = env.pending_vnf_type();
-  const std::size_t n = env.topology().node_count();
+  const std::size_t n = env.feature_rows();
   const auto features = env.features();
   constexpr std::size_t kPerNode = 6;
   int best = env.reject_action();
   double best_latency = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
     if (!mask[i]) continue;
-    const NodeId node{static_cast<std::uint32_t>(i)};
+    const NodeId node = env.candidate_node(static_cast<int>(i));
     // Never deploys: only nodes with spare pre-provisioned capacity count.
     if (!cluster.has_headroom_instance(node, type, request.rate_rps)) continue;
     const double latency = static_cast<double>(features[i * kPerNode + 4]) +

@@ -17,6 +17,108 @@ ClusterState::ClusterState(const Topology& topology, const VnfCatalog& vnfs,
   failed_.assign(n, 0);
   capacity_scale_.assign(n, 1.0);
   by_node_type_.assign(n, std::vector<std::vector<InstanceId>>(vnfs_.size()));
+  node_version_.assign(n, 0);
+  dirty_flag_.assign(n, 0);
+  instances_on_node_.assign(n, 0);
+  node_type_stats_.assign(n * vnfs_.size(), NodeTypeStats{});
+  for (const auto& node : topology_.nodes())
+    total_effective_cpu_capacity_ += node.cpu_capacity;
+}
+
+void ClusterState::touch(std::size_t i) {
+  node_version_[i] = ++version_;
+  if (!dirty_flag_[i]) {
+    dirty_flag_[i] = 1;
+    dirty_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void ClusterState::clear_dirty() noexcept {
+  for (const std::uint32_t i : dirty_list_) dirty_flag_[i] = 0;
+  dirty_list_.clear();
+}
+
+const ClusterState::NodeTypeStats& ClusterState::stats(NodeId node,
+                                                       VnfTypeId type) const {
+  const std::size_t i = index(node);
+  NodeTypeStats& s = node_type_stats_[i * vnfs_.size() + index(type)];
+  if (s.version != node_version_[i]) {
+    const VnfType& vnf = vnfs_.type(type);
+    const double usable = vnf.capacity_rps * options_.max_utilization;
+    s.residual_rps = 0.0;
+    s.min_load_rps = std::numeric_limits<double>::infinity();
+    const auto& bucket = by_node_type_[i][index(type)];
+    s.count = bucket.size();
+    for (const InstanceId id : bucket) {
+      const VnfInstance& inst = instances_.at(id);
+      s.residual_rps += std::max(0.0, usable - inst.load_rps);
+      s.min_load_rps = std::min(s.min_load_rps, inst.load_rps);
+    }
+    s.version = node_version_[i];
+  }
+  return s;
+}
+
+double ClusterState::residual_capacity_cached_rps(NodeId node, VnfTypeId type) const {
+  return stats(node, type).residual_rps;
+}
+
+bool ClusterState::can_serve_cached(NodeId node, VnfTypeId type, double rate) const {
+  if (failed_.at(index(node))) return false;
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  if (rate > usable) return false;
+  // Any instance fits iff the least-loaded one does.
+  const NodeTypeStats& s = stats(node, type);
+  if (s.count > 0 && s.min_load_rps + rate <= usable) return true;
+  return can_deploy(node, type);
+}
+
+double ClusterState::estimated_proc_delay_cached_ms(NodeId node, VnfTypeId type,
+                                                    double rate) const {
+  if (failed_.at(index(node))) return std::numeric_limits<double>::infinity();
+  const VnfType& vnf = vnfs_.type(type);
+  const double usable = vnf.capacity_rps * options_.max_utilization;
+  if (rate > usable) return std::numeric_limits<double>::infinity();
+  // When any instance is feasible, the least-loaded feasible instance is the
+  // globally least-loaded one, so the dense best_load equals min_load_rps.
+  const NodeTypeStats& s = stats(node, type);
+  if (s.count > 0 && s.min_load_rps + rate <= usable)
+    return queue_delay_ms(vnf, s.min_load_rps + rate);
+  if (can_deploy(node, type)) return queue_delay_ms(vnf, rate);
+  return std::numeric_limits<double>::infinity();
+}
+
+void ClusterState::verify_aggregates() const {
+  const auto close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-6 * std::max({1.0, std::abs(a), std::abs(b)});
+  };
+  const std::size_t n = topology_.node_count();
+  std::vector<double> cpu(n, 0.0);
+  std::vector<double> mem(n, 0.0);
+  std::vector<std::size_t> count(n, 0);
+  for (const auto& [id, inst] : instances_) {
+    const VnfType& vnf = vnfs_.type(inst.type);
+    cpu[index(inst.node)] += vnf.cpu_units;
+    mem[index(inst.node)] += vnf.mem_gb;
+    ++count[index(inst.node)];
+  }
+  double total_cpu = 0.0;
+  double total_mem = 0.0;
+  double total_capacity = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    if (!close(cpu[i], cpu_used_[i]) || !close(mem[i], mem_used_[i]))
+      throw std::logic_error("per-node cpu/mem aggregates diverged");
+    if (count[i] != instances_on_node_[i])
+      throw std::logic_error("per-node instance count diverged");
+    total_cpu += cpu[i];
+    total_mem += mem[i];
+    total_capacity += topology_.node(node).cpu_capacity * capacity_scale_[i];
+  }
+  if (!close(total_cpu, total_cpu_used_) || !close(total_mem, total_mem_used_) ||
+      !close(total_capacity, total_effective_cpu_capacity_))
+    throw std::logic_error("cluster-wide aggregates diverged");
 }
 
 double ClusterState::cpu_used(NodeId node) const { return cpu_used_.at(index(node)); }
@@ -149,6 +251,10 @@ InstanceId ClusterState::deploy_instance(NodeId node, VnfTypeId type) {
   by_node_type_[index(node)][index(type)].push_back(id);
   cpu_used_[index(node)] += vnf.cpu_units;
   mem_used_[index(node)] += vnf.mem_gb;
+  total_cpu_used_ += vnf.cpu_units;
+  total_mem_used_ += vnf.mem_gb;
+  ++instances_on_node_[index(node)];
+  touch(index(node));
   ++deployments_;
   return id;
 }
@@ -161,6 +267,10 @@ void ClusterState::release_instance(InstanceId id) {
   const VnfType& vnf = vnfs_.type(inst.type);
   cpu_used_[index(inst.node)] -= vnf.cpu_units;
   mem_used_[index(inst.node)] -= vnf.mem_gb;
+  total_cpu_used_ -= vnf.cpu_units;
+  total_mem_used_ -= vnf.mem_gb;
+  --instances_on_node_[index(inst.node)];
+  touch(index(inst.node));
   auto& bucket = by_node_type_[index(inst.node)][index(inst.type)];
   bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
   instances_.erase(it);
@@ -189,6 +299,7 @@ PlaceStepResult ClusterState::place_next(NodeId node) {
   }
   target->load_rps += rate;
   target->last_active = now_;
+  touch(index(node));
   result.instance = target->id;
   result.proc_latency_ms = queue_delay_ms(vnf, target->load_rps);
 
@@ -246,6 +357,7 @@ void ClusterState::abort_chain() {
     VnfInstance& inst = instances_.at(pending.instances[i]);
     inst.load_rps -= pending.request.rate_rps;
     if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
+    touch(index(inst.node));
   }
   for (const InstanceId id : pending.new_instances) release_instance(id);
   release_wan_along(pending.nodes, pending.request.rate_rps);
@@ -253,6 +365,9 @@ void ClusterState::abort_chain() {
   deployments_ -= pending.new_instances.size();
   releases_ -= pending.new_instances.size();
   pending_.reset();
+#ifndef NDEBUG
+  verify_aggregates();
+#endif
 }
 
 void ClusterState::accumulate_instance_seconds(SimTime from, SimTime to) {
@@ -274,6 +389,7 @@ void ClusterState::expire_chain(const ChainPlacement& chain) {
     inst.load_rps -= chain.rate_rps;
     if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
     inst.last_active = now_;
+    touch(index(inst.node));
   }
   ++expired_chains_;
 }
@@ -307,6 +423,7 @@ std::size_t ClusterState::fail_node(NodeId node) {
   if (failed_.at(index(node))) return 0;
   if (pending_) throw std::logic_error("fail_node with a pending chain");
   failed_[index(node)] = 1;
+  touch(index(node));
 
   // Fail-stop: every live chain crossing the node dies with it. Collect and
   // sort by request id so the teardown order is reproducible.
@@ -328,6 +445,7 @@ std::size_t ClusterState::fail_node(NodeId node) {
       inst.load_rps -= chain.rate_rps;
       if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
       inst.last_active = now_;
+      touch(index(inst.node));
     }
   }
   chains_killed_ += doomed.size();
@@ -338,15 +456,27 @@ std::size_t ClusterState::fail_node(NodeId node) {
   for (const auto& bucket : by_node_type_.at(index(node)))
     on_node.insert(on_node.end(), bucket.begin(), bucket.end());
   for (const InstanceId id : on_node) release_instance(id);
+#ifndef NDEBUG
+  verify_aggregates();
+#endif
   return doomed.size();
 }
 
-void ClusterState::recover_node(NodeId node) { failed_.at(index(node)) = 0; }
+void ClusterState::recover_node(NodeId node) {
+  failed_.at(index(node)) = 0;
+  touch(index(node));
+}
 
 void ClusterState::set_capacity_scale(NodeId node, double factor) {
   if (!std::isfinite(factor) || factor <= 0.0)
     throw std::invalid_argument("capacity scale factor must be positive and finite");
-  capacity_scale_.at(index(node)) = factor;
+  double& scale = capacity_scale_.at(index(node));
+  total_effective_cpu_capacity_ += (factor - scale) * topology_.node(node).cpu_capacity;
+  scale = factor;
+  touch(index(node));
+#ifndef NDEBUG
+  verify_aggregates();
+#endif
 }
 
 bool ClusterState::node_failed(NodeId node) const {
@@ -438,11 +568,13 @@ ClusterState::MigrationResult ClusterState::migrate_chain_vnf(RequestId request,
   }
   target->load_rps += chain.rate_rps;
   target->last_active = now_;
+  touch(index(new_node));
   result.new_instance = target->id;
 
   old_inst.load_rps -= chain.rate_rps;
   if (old_inst.load_rps < 1e-9) old_inst.load_rps = 0.0;
   old_inst.last_active = now_;
+  touch(index(old_node));
 
   chain.instances[position] = target->id;
   chain.nodes[position] = new_node;
@@ -476,6 +608,9 @@ void ClusterState::advance_to(SimTime to) {
   accumulate_instance_seconds(now_, to);
   now_ = to;
   collect_idle_instances();
+#ifndef NDEBUG
+  verify_aggregates();
+#endif
 }
 
 double ClusterState::drain_running_cost() {

@@ -8,8 +8,10 @@
 // mirrors the sequential MDP the DRL manager acts in.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -93,6 +95,53 @@ class ClusterState {
   /// `type`, assuming least-loaded-fit; infinity if it cannot be served.
   [[nodiscard]] double estimated_proc_delay_ms(NodeId node, VnfTypeId type,
                                                double rate) const;
+
+  // ---- Incremental queries (O(1) amortised, bit-identical to the dense
+  // scans above — backed by a version-stamped per-(node,type) stats cache
+  // refreshed lazily when the node was mutated since the last read) ---------
+  /// Same value as residual_capacity_rps, served from the stats cache.
+  [[nodiscard]] double residual_capacity_cached_rps(NodeId node, VnfTypeId type) const;
+  /// Same verdict as can_serve, decided from the cached minimum load.
+  [[nodiscard]] bool can_serve_cached(NodeId node, VnfTypeId type, double rate) const;
+  /// Same value as estimated_proc_delay_ms, decided from the cached minimum
+  /// load (the least-loaded feasible instance is the globally least-loaded
+  /// one whenever any instance is feasible).
+  [[nodiscard]] double estimated_proc_delay_cached_ms(NodeId node, VnfTypeId type,
+                                                      double rate) const;
+
+  // ---- Dirty-node tracking + running aggregates ---------------------------
+  /// Node indices mutated (load/instances/failed/capacity) since the last
+  /// clear_dirty(), deduplicated, in first-touch order.
+  [[nodiscard]] std::span<const std::uint32_t> dirty_nodes() const noexcept {
+    return dirty_list_;
+  }
+  /// Resets the dirty-node list (consumers drain it each decision).
+  void clear_dirty() noexcept;
+  /// Monotonic per-node mutation stamp (bumps on every mutation of `node`).
+  [[nodiscard]] std::uint64_t node_version(NodeId node) const {
+    return node_version_.at(index(node));
+  }
+  /// Cluster-wide CPU units in use (maintained incrementally).
+  [[nodiscard]] double total_cpu_used() const noexcept { return total_cpu_used_; }
+  /// Cluster-wide memory in use (maintained incrementally).
+  [[nodiscard]] double total_mem_used() const noexcept { return total_mem_used_; }
+  /// Sum of effective (capacity-scaled) CPU capacity over all nodes.
+  [[nodiscard]] double total_effective_cpu_capacity() const noexcept {
+    return total_effective_cpu_capacity_;
+  }
+  /// Cluster-wide CPU utilisation from the running aggregates.
+  [[nodiscard]] double total_cpu_utilization() const noexcept {
+    return total_cpu_used_ / total_effective_cpu_capacity_;
+  }
+  /// Instances currently running on `node` (all types), maintained
+  /// incrementally.
+  [[nodiscard]] std::size_t instances_on_node(NodeId node) const {
+    return instances_on_node_.at(index(node));
+  }
+  /// Full-recompute cross-check of every incrementally maintained aggregate
+  /// against the instance table; throws std::logic_error on divergence.
+  /// Debug builds run it automatically after state-changing events.
+  void verify_aggregates() const;
 
   [[nodiscard]] const VnfInstance& instance(InstanceId id) const;
 
@@ -212,8 +261,23 @@ class ClusterState {
     std::vector<InstanceId> new_instances;  // rollback set
   };
 
+  /// Per-(node,type) bucket summary, recomputed lazily when the owning
+  /// node's version moved past the stamp. `residual_rps` accumulates in
+  /// bucket order (same order as the dense scan, so the sum is bit-equal);
+  /// `min_load_rps` is +infinity for an empty bucket.
+  struct NodeTypeStats {
+    double residual_rps = 0.0;
+    double min_load_rps = std::numeric_limits<double>::infinity();
+    std::size_t count = 0;
+    std::uint64_t version = std::numeric_limits<std::uint64_t>::max();
+  };
+
   [[nodiscard]] VnfInstance* find_least_loaded_with_headroom(NodeId node, VnfTypeId type,
                                                              double rate);
+  /// Marks node index `i` mutated: bumps its version and records it dirty.
+  void touch(std::size_t i);
+  /// Lazily refreshed stats for (node, type); O(bucket) only when stale.
+  [[nodiscard]] const NodeTypeStats& stats(NodeId node, VnfTypeId type) const;
   /// Adds (rate > 0) or releases (rate < 0) WAN usage for hop a -> b.
   void adjust_wan(NodeId a, NodeId b, double rate);
   /// Releases the WAN usage of every inter-node hop along `nodes`.
@@ -241,6 +305,18 @@ class ClusterState {
   std::vector<std::vector<std::vector<InstanceId>>> by_node_type_;
   std::unordered_map<RequestId, ChainPlacement> chains_;
   std::optional<PendingChain> pending_;
+
+  // Incremental-state machinery: per-node mutation stamps, the deduplicated
+  // dirty list, running aggregates, and the lazy per-(node,type) cache.
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> node_version_;
+  std::vector<std::uint32_t> dirty_list_;
+  std::vector<std::uint8_t> dirty_flag_;
+  double total_cpu_used_ = 0.0;
+  double total_mem_used_ = 0.0;
+  double total_effective_cpu_capacity_ = 0.0;
+  std::vector<std::uint32_t> instances_on_node_;
+  mutable std::vector<NodeTypeStats> node_type_stats_;  // [node * T + type]
 
   std::uint64_t next_instance_id_ = 0;
   std::uint64_t deployments_ = 0;

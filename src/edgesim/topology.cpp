@@ -20,12 +20,14 @@ Topology::Topology(std::vector<EdgeNode> nodes, LatencyModel model)
       throw std::invalid_argument("topology node ids must be dense and ordered");
   }
   const std::size_t n = nodes_.size();
-  latency_matrix_.resize(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      latency_matrix_[i * n + j] =
-          i == j ? model_.intra_node_ms
-                 : model_.latency_ms(nodes_[i].location, nodes_[j].location);
+  if (n <= kDenseLatencyMatrixMaxNodes) {
+    latency_matrix_.resize(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        latency_matrix_[i * n + j] =
+            i == j ? model_.intra_node_ms
+                   : model_.latency_ms(nodes_[i].location, nodes_[j].location);
+      }
     }
   }
 }
@@ -34,7 +36,12 @@ const EdgeNode& Topology::node(NodeId id) const { return nodes_.at(index(id)); }
 
 double Topology::latency_ms(NodeId a, NodeId b) const {
   const std::size_t n = nodes_.size();
-  return latency_matrix_.at(index(a) * n + index(b));
+  if (!latency_matrix_.empty()) return latency_matrix_.at(index(a) * n + index(b));
+  // Large topology: compute on demand, mirroring the matrix construction so
+  // the value is bit-identical to what the dense matrix would hold.
+  const EdgeNode& na = nodes_.at(index(a));
+  const EdgeNode& nb = nodes_.at(index(b));
+  return a == b ? model_.intra_node_ms : model_.latency_ms(na.location, nb.location);
 }
 
 double Topology::user_latency_ms(NodeId region, NodeId target) const {
@@ -86,20 +93,28 @@ constexpr std::array<Metro, 16> kMetros{{
 std::size_t world_metro_count() noexcept { return kMetros.size(); }
 
 Topology make_world_topology(const TopologyOptions& options) {
-  if (options.node_count == 0 || options.node_count > kMetros.size())
-    throw std::invalid_argument("node_count must be in [1, " +
-                                std::to_string(kMetros.size()) + "]");
+  if (options.node_count == 0)
+    throw std::invalid_argument("node_count must be at least 1");
   Rng rng(options.seed);
   std::vector<EdgeNode> nodes;
   nodes.reserve(options.node_count);
   for (std::size_t i = 0; i < options.node_count; ++i) {
-    const Metro& metro = kMetros[i];
+    const Metro& metro = kMetros[i % kMetros.size()];
     EdgeNode node;
     node.id = NodeId{static_cast<std::uint32_t>(i)};
     node.name = metro.name;
     node.location = GeoPoint{metro.lat, metro.lon};
     node.tz_offset_hours = metro.tz;
     node.traffic_weight = metro.weight;
+    if (i >= kMetros.size()) {
+      // Synthetic site near the base metro: a suburb/secondary facility a few
+      // degrees away. Drawn after the base metros, so the first 16 nodes stay
+      // bit-identical to the small topologies regardless of node_count.
+      constexpr double kGeoJitterDeg = 3.0;
+      node.name += "_" + std::to_string(i);
+      node.location.lat_deg += kGeoJitterDeg * (2.0 * rng.uniform() - 1.0);
+      node.location.lon_deg += kGeoJitterDeg * (2.0 * rng.uniform() - 1.0);
+    }
     const double jitter = 1.0 + options.capacity_jitter * (2.0 * rng.uniform() - 1.0);
     node.cpu_capacity = options.cpu_capacity_mean * jitter;
     node.mem_capacity_gb = 2.0 * node.cpu_capacity;  // 2 GB per vCPU

@@ -54,8 +54,16 @@ class Topology {
  private:
   std::vector<EdgeNode> nodes_;
   LatencyModel model_;
-  std::vector<double> latency_matrix_;  // row-major node x node
+  // Dense row-major node x node matrix, built only for small topologies;
+  // empty above kDenseLatencyMatrixMaxNodes, where latency_ms computes the
+  // (bit-identical) value directly from the geographic model on demand.
+  std::vector<double> latency_matrix_;
 };
+
+/// Largest node count for which Topology precomputes the dense n^2 latency
+/// matrix; beyond it entries are computed on demand (same values, no O(n^2)
+/// memory).
+inline constexpr std::size_t kDenseLatencyMatrixMaxNodes = 512;
 
 /// Options for the built-in topology generator.
 struct TopologyOptions {
@@ -65,8 +73,11 @@ struct TopologyOptions {
   std::uint64_t seed = 42;
 };
 
-/// Builds a topology over a fixed list of world metro areas (up to 16),
-/// with capacities jittered around the mean for heterogeneity.
+/// Builds a topology over a fixed list of world metro areas, with capacities
+/// jittered around the mean for heterogeneity. Node counts beyond the metro
+/// list synthesise additional sites around the base metros (jittered
+/// coordinates, suffixed names); the first world_metro_count() nodes are
+/// bit-identical regardless of total node_count.
 [[nodiscard]] Topology make_world_topology(const TopologyOptions& options);
 
 /// Number of metros available to make_world_topology.

@@ -68,19 +68,66 @@ PoissonDiurnalModel::PoissonDiurnalModel(const Topology& topology, const SfcCata
     : PoissonArrivalModel(topology, sfcs, options) {
   const double total_weight = topology.total_traffic_weight();
   region_share_.reserve(topology.node_count());
-  for (const auto& node : topology.nodes())
+  base_rate_.reserve(topology.node_count());
+  tz_group_.reserve(topology.node_count());
+  for (const auto& node : topology.nodes()) {
     region_share_.push_back(node.traffic_weight / total_weight);
+    base_rate_.push_back(this->options().global_arrival_rate * region_share_.back());
+    // Synthetic large-scale nodes inherit their anchor metro's tz offset, so
+    // the distinct-offset list stays metro-sized even at 10k nodes.
+    std::size_t group = tz_offsets_.size();
+    for (std::size_t g = 0; g < tz_offsets_.size(); ++g)
+      if (tz_offsets_[g] == node.tz_offset_hours) {
+        group = g;
+        break;
+      }
+    if (group == tz_offsets_.size()) tz_offsets_.push_back(node.tz_offset_hours);
+    tz_group_.push_back(static_cast<std::uint32_t>(group));
+  }
+  tz_factor_.assign(tz_offsets_.size(), 1.0);
+}
+
+void PoissonDiurnalModel::refresh_factors(SimTime t) const {
+  if (factor_valid_ && factor_time_ == t) return;
+  for (std::size_t g = 0; g < tz_offsets_.size(); ++g) {
+    // Local-time diurnal modulation: peak at peak_local_hour local time.
+    // Same expressions as the pre-cache per-node formula, so every factor is
+    // bit-equal to what the node-by-node evaluation produced.
+    const double local_hour =
+        std::fmod(t / kSecondsPerHour + tz_offsets_[g] + 48.0, 24.0);
+    const double phase =
+        2.0 * std::numbers::pi * (local_hour - options().peak_local_hour) / 24.0;
+    tz_factor_[g] = 1.0 + options().diurnal_amplitude * std::cos(phase);
+  }
+  factor_time_ = t;
+  factor_valid_ = true;
 }
 
 double PoissonDiurnalModel::region_rate(NodeId region, SimTime t) const {
-  const double base = options().global_arrival_rate * region_share_[index(region)];
+  const double base = base_rate_[index(region)];
   if (!options().diurnal_enabled) return base;
-  // Local-time diurnal modulation: peak at peak_local_hour local time.
-  const double tz = topology().node(region).tz_offset_hours;
-  const double local_hour = std::fmod(t / kSecondsPerHour + tz + 48.0, 24.0);
-  const double phase =
-      2.0 * std::numbers::pi * (local_hour - options().peak_local_hour) / 24.0;
-  return base * (1.0 + options().diurnal_amplitude * std::cos(phase));
+  refresh_factors(t);
+  return base * tz_factor_[tz_group_[index(region)]];
+}
+
+double PoissonDiurnalModel::total_rate(SimTime t) const {
+  if (total_valid_ && total_time_ == t) return total_value_;
+  double total = 0.0;
+  if (!options().diurnal_enabled) {
+    for (const double base : base_rate_) total += base;
+  } else {
+    refresh_factors(t);
+    // Node summation order matches the generic per-node scan bit-for-bit;
+    // each term is the rounded product the uncached region_rate returned.
+    for (std::size_t i = 0; i < base_rate_.size(); ++i) {
+      const double term = base_rate_[i] * tz_factor_[tz_group_[i]];
+      total += term;
+    }
+  }
+  total_time_ = t;
+  total_value_ = total;
+  total_valid_ = true;
+  return total;
 }
 
 double PoissonDiurnalModel::peak_total_rate() const {

@@ -106,12 +106,20 @@ class PoissonArrivalModel : public WorkloadModel {
 
 /// The default workload: legacy Poisson-diurnal request streams, bit-identical
 /// to the pre-refactor WorkloadGenerator for equal options.
+///
+/// Rate queries are cached so they stay cheap at 10k nodes: nodes share the
+/// timezone offsets of their anchor metros, so the diurnal factor is computed
+/// once per (distinct tz, query time) instead of per node, and total_rate(t)
+/// is memoised per time instant (the environment featurises the same t once
+/// per placement decision of a chain). Both caches reproduce the uncached
+/// arithmetic bit-for-bit — same expressions, same node summation order.
 class PoissonDiurnalModel final : public PoissonArrivalModel {
  public:
   PoissonDiurnalModel(const Topology& topology, const SfcCatalog& sfcs,
                       WorkloadOptions options);
 
   [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double total_rate(SimTime t) const override;
   [[nodiscard]] double peak_total_rate() const override;
   [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
     return std::make_unique<PoissonDiurnalModel>(*this);
@@ -119,7 +127,19 @@ class PoissonDiurnalModel final : public PoissonArrivalModel {
   [[nodiscard]] std::string name() const override { return "poisson-diurnal"; }
 
  private:
-  std::vector<double> region_share_;  ///< normalised traffic weights
+  /// Recomputes tz_factor_ for time t unless already valid for t.
+  void refresh_factors(SimTime t) const;
+
+  std::vector<double> region_share_;    ///< normalised traffic weights
+  std::vector<double> base_rate_;       ///< global rate x share, per node
+  std::vector<std::uint32_t> tz_group_; ///< node -> index into tz_offsets_
+  std::vector<double> tz_offsets_;      ///< distinct tz offsets, first-seen order
+  mutable std::vector<double> tz_factor_;  ///< diurnal factor per tz offset
+  mutable SimTime factor_time_ = 0.0;
+  mutable bool factor_valid_ = false;
+  mutable SimTime total_time_ = 0.0;
+  mutable double total_value_ = 0.0;
+  mutable bool total_valid_ = false;
 };
 
 }  // namespace vnfm::edgesim

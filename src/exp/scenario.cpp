@@ -19,7 +19,7 @@ const char* const kEnvOverrideKeys[] = {
     "peak_local_hour", "workload_seed",    "idle_timeout_s",   "max_utilization",
     "wan_bandwidth_rps", "w_deploy",       "w_running",        "w_latency_per_ms",
     "w_sla_violation", "w_rejection",      "w_revenue",        "w_migration",
-    "reward_scale",   "seed"};
+    "reward_scale",   "dense_features",    "candidate_k",      "seed"};
 
 }  // namespace
 
@@ -80,6 +80,8 @@ core::EnvOptions apply_env_overrides(core::EnvOptions options, const Config& ove
   cost.w_migration = overrides.get_double("w_migration", cost.w_migration);
 
   options.reward_scale = overrides.get_double("reward_scale", options.reward_scale);
+  options.dense_features = overrides.get_bool("dense_features", options.dense_features);
+  options.candidate_k = overrides.get_size("candidate_k", options.candidate_k);
   options.seed = overrides.get_uint64("seed", options.seed);
   return options;
 }
@@ -286,6 +288,27 @@ ScenarioCatalog::ScenarioCatalog() {
                       options.workload.diurnal_enabled = true;
                       options.workload.diurnal_amplitude = 0.6;
                       options.workload.global_arrival_rate = 4.8;
+                    }));
+  add(make_scenario("large-scale-1k",
+                    "1000 nodes (16 metros + synthetic satellite sites), diurnal "
+                    "amplitude 0.6, 10 req/s, candidate-set pruning k=32 — the "
+                    "incremental-state scalability setting",
+                    [](core::EnvOptions& options) {
+                      options.topology.node_count = 1000;
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.6;
+                      options.workload.global_arrival_rate = 10.0;
+                      options.candidate_k = 32;
+                    }));
+  add(make_scenario("large-scale-10k",
+                    "10000 nodes, diurnal amplitude 0.6, 50 req/s, candidate-set "
+                    "pruning k=32 — city-scale stress for the O(dirty) environment",
+                    [](core::EnvOptions& options) {
+                      options.topology.node_count = 10000;
+                      options.workload.diurnal_enabled = true;
+                      options.workload.diurnal_amplitude = 0.6;
+                      options.workload.global_arrival_rate = 50.0;
+                      options.candidate_k = 32;
                     }));
   add({.name = "trace-replay",
        .description =

@@ -91,6 +91,13 @@ void TabularQAgent::update(std::uint64_t state_key, int action, double reward,
   q[a] += config_.learning_rate * (target - q[a]);
 }
 
+void TabularQAgent::ingest(std::uint64_t state_key, int action, double reward,
+                           std::uint64_t next_state_key, bool done,
+                           std::span<const std::uint8_t> next_mask) {
+  ++steps_;  // actors hold snapshots; the schedule advances per ingested step
+  update(state_key, action, reward, next_state_key, done, next_mask);
+}
+
 double TabularQAgent::q_value(std::uint64_t state_key, int action) const {
   return row(state_key).at(static_cast<std::size_t>(action));
 }
@@ -132,6 +139,34 @@ void TabularQAgent::load_state(Deserializer& in) {
     table_.emplace(key, std::move(row));
   }
   in.leave_chunk();
+}
+
+TabularActorView::TabularActorView(const TabularQAgent& learner)
+    : snapshot_(learner), epsilon_(learner.epsilon()),
+      rng_(learner.config().seed) {}
+
+void TabularActorView::sync(const TabularQAgent& learner) {
+  snapshot_ = learner;
+  epsilon_ = learner.epsilon();
+}
+
+int TabularActorView::act(std::uint64_t state_key, std::span<const std::uint8_t> mask) {
+  const double eps = epsilon();
+  if (rng_.uniform() < eps) {
+    if (mask.empty())
+      return static_cast<int>(rng_.uniform_index(snapshot_.config().action_dim));
+    std::size_t valid = 0;
+    for (const auto m : mask)
+      if (m) ++valid;
+    if (valid == 0) throw std::runtime_error("no valid action to sample");
+    auto target = rng_.uniform_index(valid);
+    for (std::size_t a = 0; a < mask.size(); ++a) {
+      if (!mask[a]) continue;
+      if (target == 0) return static_cast<int>(a);
+      --target;
+    }
+  }
+  return snapshot_.act_greedy(state_key, mask);
 }
 
 std::uint64_t TabularQAgent::discretize(std::span<const float> features,

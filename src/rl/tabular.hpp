@@ -39,10 +39,19 @@ class TabularQAgent {
               std::uint64_t next_state_key, bool done,
               std::span<const std::uint8_t> next_mask);
 
+  /// Learner-side backup for the actor/learner split: identical to update()
+  /// but also advances the step counter. In the parallel pipeline the learner
+  /// never calls act() (actors hold TabularActorView snapshots), so the
+  /// epsilon schedule must be driven by ingested transitions instead.
+  void ingest(std::uint64_t state_key, int action, double reward,
+              std::uint64_t next_state_key, bool done,
+              std::span<const std::uint8_t> next_mask);
+
   [[nodiscard]] double q_value(std::uint64_t state_key, int action) const;
   [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
   [[nodiscard]] double epsilon() const noexcept;
   [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const TabularQConfig& config() const noexcept { return config_; }
 
   /// Hashes a coarse discretisation of a continuous feature vector: each
   /// feature is quantised to `buckets` levels in [0,1] and mixed (FNV-1a).
@@ -68,6 +77,33 @@ class TabularQAgent {
   std::size_t steps_ = 0;
   std::unordered_map<std::uint64_t, std::vector<double>> table_;
   std::vector<double> default_row_;
+};
+
+/// Acting-side snapshot for the actor/learner training split: a copy of the
+/// learner's Q-table plus its exploration rate frozen at sync time. Actors
+/// act ε-greedily from the snapshot with their own RNG stream (reseeded per
+/// episode by the TrainDriver) and never mutate the table; sync() refreshes
+/// both the table and the exploration rate at round boundaries.
+class TabularActorView {
+ public:
+  explicit TabularActorView(const TabularQAgent& learner);
+
+  /// Re-copies the learner's table and exploration rate.
+  void sync(const TabularQAgent& learner);
+
+  /// ε-greedy action using the frozen snapshot (same masked-uniform sampling
+  /// scheme as TabularQAgent::act, drawing from this view's RNG).
+  [[nodiscard]] int act(std::uint64_t state_key, std::span<const std::uint8_t> mask);
+
+  void reseed(std::uint64_t seed) noexcept { rng_ = Rng(seed); }
+  void set_exploration_enabled(bool enabled) noexcept { explore_ = enabled; }
+  [[nodiscard]] double epsilon() const noexcept { return explore_ ? epsilon_ : 0.0; }
+
+ private:
+  TabularQAgent snapshot_;
+  double epsilon_ = 0.0;
+  bool explore_ = true;
+  Rng rng_;
 };
 
 }  // namespace vnfm::rl

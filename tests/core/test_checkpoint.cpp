@@ -174,13 +174,15 @@ TEST(CheckpointResume, DqnPipelineChkptCadenceBelowSyncPeriod) {
   EXPECT_EQ(resumed_at, 4u);
 }
 
-TEST(CheckpointResume, TabularQSequential) {
+TEST(CheckpointResume, TabularQPipeline) {
+  // Tabular now takes the pipeline path too, so kill_at sits on a round
+  // boundary (a multiple of sync_period) like the DQN drills above.
   run_resume_drill(
       [](const EnvOptions& env_options) {
         VnfEnv env(env_options);
         return std::make_unique<TabularManager>(env, rl::TabularQConfig{}, 4);
       },
-      6, 3, 3, 1, 4, "tabular");
+      8, 4, 4, 1, 4, "tabular");
 }
 
 TEST(CheckpointResume, ActorCriticInlineLearner) {

@@ -1,0 +1,241 @@
+// Determinism invariant #10: the incremental feature builder (the default)
+// serves per-node rows and masks bit-identical to the dense O(nodes)
+// reference scan, across arbitrary action sequences, fault events, capacity
+// scaling, and chain kills — plus the candidate-set pruning layout contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "core/drl_manager.hpp"
+#include "core/environment.hpp"
+#include "core/runner.hpp"
+
+namespace vnfm::core {
+namespace {
+
+using edgesim::NodeId;
+
+EnvOptions stress_options(bool dense) {
+  EnvOptions options;
+  options.topology.node_count = 12;
+  options.workload.global_arrival_rate = 6.0;
+  options.seed = 21;
+  options.dense_features = dense;
+  // Fault script covering every cluster mutation path the caches track:
+  // fail (chain kills + releases), recover, and capacity scaling both ways.
+  options.events.fail_node(30.0, NodeId{2})
+      .scale_capacity(60.0, NodeId{7}, 0.5)
+      .recover_node(120.0, NodeId{2})
+      .scale_capacity(200.0, NodeId{7}, 1.25)
+      .fail_node(260.0, NodeId{0})
+      .recover_node(320.0, NodeId{0});
+  return options;
+}
+
+/// Full serialized manager state; byte equality == state equality.
+std::vector<std::uint8_t> state_bytes(const Manager& manager) {
+  Serializer out;
+  out.begin_chunk("state");
+  manager.save(out);
+  out.end_chunk();
+  return out.bytes();
+}
+
+TEST(EnvIncremental, BitIdenticalToDenseUnderStress) {
+  VnfEnv dense(stress_options(true));
+  VnfEnv incremental(stress_options(false));
+  Rng rng(77);
+  for (const std::uint64_t episode : {0ULL, 1ULL, 2ULL}) {
+    dense.reset(episode);
+    incremental.reset(episode);
+    for (int request = 0; request < 150; ++request) {
+      const bool more = dense.begin_next_request(400.0);
+      ASSERT_EQ(more, incremental.begin_next_request(400.0));
+      if (!more) break;
+      StepResult result;
+      do {
+        const auto fa = dense.features();
+        const auto fb = incremental.features();
+        ASSERT_EQ(fa.size(), fb.size());
+        // Bit-for-bit float equality, not approximate.
+        ASSERT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin()))
+            << "episode " << episode << " request " << request;
+        ASSERT_EQ(dense.action_mask(), incremental.action_mask());
+        // Random valid action; the shared draw sometimes picks the reject
+        // slot mid-chain, exercising the abort/rollback path too.
+        const auto& mask = dense.action_mask();
+        std::vector<int> valid;
+        for (std::size_t a = 0; a < mask.size(); ++a)
+          if (mask[a]) valid.push_back(static_cast<int>(a));
+        const int action = valid[rng.uniform_index(valid.size())];
+        result = dense.step(action);
+        const StepResult other = incremental.step(action);
+        ASSERT_EQ(result.reward, other.reward);
+        ASSERT_EQ(result.chain_done, other.chain_done);
+        ASSERT_EQ(result.accepted, other.accepted);
+      } while (!result.chain_done);
+    }
+    // Episode-level accounting agrees exactly, fault handling included.
+    EXPECT_EQ(dense.metrics().accepted(), incremental.metrics().accepted());
+    EXPECT_EQ(dense.metrics().rejected(), incremental.metrics().rejected());
+    EXPECT_EQ(dense.metrics().total_cost(), incremental.metrics().total_cost());
+    EXPECT_EQ(dense.events_applied(), incremental.events_applied());
+    EXPECT_EQ(dense.now(), incremental.now());
+  }
+}
+
+TEST(EnvIncremental, TrainingCheckpointArchivesByteEqualAcrossModes) {
+  // A learning run (greedy table reads + epsilon stream + Q updates) must
+  // produce byte-identical checkpoints whichever feature builder served it.
+  std::vector<std::vector<std::uint8_t>> archives;
+  std::vector<std::vector<EpisodeResult>> curves;
+  for (const bool dense : {true, false}) {
+    EnvOptions options = stress_options(dense);
+    VnfEnv env(options);
+    TabularManager manager(env, rl::TabularQConfig{}, 4);
+    EpisodeOptions episode;
+    episode.duration_s = 300.0;
+    episode.seed = 11;
+    curves.push_back(train_manager(env, manager, 3, episode));
+    archives.push_back(state_bytes(manager));
+  }
+  ASSERT_EQ(curves[0].size(), curves[1].size());
+  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+    EXPECT_EQ(curves[0][i].total_reward, curves[1][i].total_reward) << i;
+    EXPECT_EQ(curves[0][i].total_cost, curves[1][i].total_cost) << i;
+  }
+  EXPECT_EQ(archives[0], archives[1]);
+}
+
+EnvOptions pruned_options(std::size_t k) {
+  EnvOptions options;
+  options.topology.node_count = 6;
+  options.workload.global_arrival_rate = 4.0;
+  options.seed = 5;
+  options.candidate_k = k;
+  return options;
+}
+
+TEST(EnvPruning, LayoutIsFixedWidthWithRejectAlwaysPresent) {
+  VnfEnv env(pruned_options(3));
+  EXPECT_EQ(env.feature_rows(), 3u);
+  EXPECT_EQ(env.action_count(), 4);
+  EXPECT_EQ(env.reject_action(), 3);
+  env.reset(0);
+  ASSERT_TRUE(env.begin_next_request());
+  EXPECT_EQ(env.action_mask().size(), 4u);
+  EXPECT_EQ(env.action_mask().back(), 1);  // reject slot always valid
+  // State width is k-based, independent of cluster scale.
+  EXPECT_EQ(env.state_dim(), 3u * 6 + env.vnfs().size() + env.sfcs().size() + 8);
+}
+
+TEST(EnvPruning, StateWidthIndependentOfNodeCount) {
+  EnvOptions small = pruned_options(4);
+  EnvOptions big = pruned_options(4);
+  big.topology.node_count = 16;
+  VnfEnv env_small(small);
+  VnfEnv env_big(big);
+  env_small.reset(0);
+  env_big.reset(0);
+  ASSERT_TRUE(env_small.begin_next_request());
+  ASSERT_TRUE(env_big.begin_next_request());
+  EXPECT_EQ(env_small.state_dim(), env_big.state_dim());
+  EXPECT_EQ(env_small.action_count(), env_big.action_count());
+}
+
+TEST(EnvPruning, LargeKDegeneratesToLegacyFeasibleSetInOrder) {
+  // With k >= node_count every feasible node is a candidate, ascending by
+  // id — the legacy ordering restricted to feasible nodes — and each row
+  // equals the legacy row of the node it remaps to.
+  EnvOptions legacy_options = pruned_options(0);
+  legacy_options.candidate_k = 0;
+  VnfEnv legacy(legacy_options);
+  VnfEnv pruned(pruned_options(8));  // 8 > 6 nodes
+  Rng rng(3);
+  legacy.reset(1);
+  pruned.reset(1);
+  for (int request = 0; request < 40; ++request) {
+    ASSERT_TRUE(legacy.begin_next_request());
+    ASSERT_TRUE(pruned.begin_next_request());
+    StepResult result;
+    do {
+      const auto& legacy_mask = legacy.action_mask();
+      const auto candidates = pruned.candidate_nodes();
+      // Candidates == feasible legacy slots, strictly ascending.
+      std::vector<std::uint32_t> feasible;
+      for (std::size_t i = 0; i < legacy.feature_rows(); ++i)
+        if (legacy_mask[i]) feasible.push_back(static_cast<std::uint32_t>(i));
+      ASSERT_EQ(candidates.size(), feasible.size());
+      const auto legacy_features = legacy.features();
+      const auto pruned_features = pruned.features();
+      for (std::size_t s = 0; s < candidates.size(); ++s) {
+        ASSERT_EQ(edgesim::index(candidates[s]), feasible[s]);
+        ASSERT_EQ(pruned.action_mask()[s], 1);
+        for (std::size_t f = 0; f < 6; ++f)
+          ASSERT_EQ(pruned_features[s * 6 + f], legacy_features[feasible[s] * 6 + f]);
+        // Remap round-trips.
+        ASSERT_EQ(pruned.candidate_node(static_cast<int>(s)), candidates[s]);
+        const auto slot = pruned.action_for_node(candidates[s]);
+        ASSERT_TRUE(slot.has_value());
+        ASSERT_EQ(*slot, static_cast<int>(s));
+      }
+      // Pad slots are zeroed and masked off.
+      for (std::size_t s = candidates.size(); s < pruned.feature_rows(); ++s) {
+        ASSERT_EQ(pruned.action_mask()[s], 0);
+        for (std::size_t f = 0; f < 6; ++f) ASSERT_EQ(pruned_features[s * 6 + f], 0.0F);
+      }
+      // Take the same placement through both layouts.
+      int legacy_action = legacy.reject_action();
+      int pruned_action = pruned.reject_action();
+      if (!candidates.empty() && !rng.bernoulli(0.1)) {
+        const std::size_t pick = rng.uniform_index(candidates.size());
+        pruned_action = static_cast<int>(pick);
+        legacy_action = static_cast<int>(edgesim::index(candidates[pick]));
+      }
+      result = pruned.step(pruned_action);
+      const StepResult expected = legacy.step(legacy_action);
+      ASSERT_EQ(result.reward, expected.reward);
+      ASSERT_EQ(result.chain_done, expected.chain_done);
+      ASSERT_EQ(result.accepted, expected.accepted);
+    } while (!result.chain_done);
+  }
+  EXPECT_EQ(legacy.metrics().accepted(), pruned.metrics().accepted());
+  EXPECT_EQ(legacy.metrics().total_cost(), pruned.metrics().total_cost());
+}
+
+TEST(EnvPruning, SmallKSelectsFeasibleSubsetAndPlacesChains) {
+  VnfEnv env(pruned_options(2));
+  env.reset(0);
+  std::size_t accepted = 0;
+  for (int request = 0; request < 30; ++request) {
+    ASSERT_TRUE(env.begin_next_request());
+    StepResult result;
+    do {
+      const auto candidates = env.candidate_nodes();
+      ASSERT_LE(candidates.size(), 2u);
+      // Every candidate slot must be feasible and remappable.
+      for (std::size_t s = 0; s < candidates.size(); ++s) {
+        ASSERT_EQ(env.action_mask()[s], 1);
+        ASSERT_EQ(env.action_for_node(candidates[s]).value(), static_cast<int>(s));
+      }
+      // A node outside the candidate set has no slot.
+      for (std::uint32_t i = 0; i < env.topology().node_count(); ++i) {
+        const NodeId node{i};
+        const bool listed =
+            std::find(candidates.begin(), candidates.end(), node) != candidates.end();
+        ASSERT_EQ(env.action_for_node(node).has_value(), listed);
+      }
+      result = env.step(candidates.empty() ? env.reject_action() : 0);
+      if (result.chain_done && result.accepted) ++accepted;
+    } while (!result.chain_done);
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_EQ(env.metrics().accepted(), accepted);
+}
+
+}  // namespace
+}  // namespace vnfm::core

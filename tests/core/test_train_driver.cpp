@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "core/drl_manager.hpp"
 #include "core/heuristics.hpp"
 
@@ -87,6 +89,37 @@ TEST(TrainDriver, PipelineBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(weights[0], weights[r]) << "variant " << r;
   }
   // The run must have actually trained for the identity to be meaningful.
+  EXPECT_GT(results[0].stats.transitions, 100u);
+}
+
+TEST(TrainDriver, TabularPipelineBitIdenticalAcrossThreadCounts) {
+  // The actor/learner split now covers tabular Q: same determinism contract
+  // as the DQN pipeline — curve, seeds, and final Q-table must not depend on
+  // the actor thread count.
+  const EnvOptions env_options = small_options();
+  std::vector<TrainResult> results;
+  std::vector<std::vector<std::uint8_t>> states;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    VnfEnv env(env_options);
+    TabularManager manager(env, rl::TabularQConfig{}, 4);
+    const TrainDriver driver(env_options, short_train(8, threads));
+    results.push_back(driver.run(manager));
+    Serializer out;
+    out.begin_chunk("state");
+    manager.save(out);
+    out.end_chunk();
+    states.push_back(out.bytes());
+    EXPECT_TRUE(results.back().stats.parallel) << threads << " threads";
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[0].curve.size(), results[r].curve.size());
+    EXPECT_EQ(results[0].seeds, results[r].seeds);
+    EXPECT_EQ(results[0].stats.transitions, results[r].stats.transitions);
+    for (std::size_t i = 0; i < results[0].curve.size(); ++i)
+      expect_identical(results[0].curve[i], results[r].curve[i],
+                       "episode " + std::to_string(i) + " variant " + std::to_string(r));
+    EXPECT_EQ(states[0], states[r]) << "variant " << r;
+  }
   EXPECT_GT(results[0].stats.transitions, 100u);
 }
 

@@ -242,5 +242,104 @@ TEST_F(ClusterTest, ResourceConservationUnderRandomWorkload) {
   }
 }
 
+TEST_F(ClusterTest, DirtyListTracksMutatedNodesDeduplicated) {
+  cluster_.clear_dirty();
+  EXPECT_TRUE(cluster_.dirty_nodes().empty());
+  const std::uint64_t v0 = cluster_.node_version(NodeId{1});
+  place_chain_on(make_request("voip"), NodeId{1});  // deploy x2 + load x2
+  ASSERT_EQ(cluster_.dirty_nodes().size(), 1u);     // deduplicated
+  EXPECT_EQ(cluster_.dirty_nodes()[0], 1u);
+  EXPECT_GT(cluster_.node_version(NodeId{1}), v0);  // version still bumps per touch
+  cluster_.clear_dirty();
+  EXPECT_TRUE(cluster_.dirty_nodes().empty());
+  cluster_.set_capacity_scale(NodeId{2}, 0.5);
+  ASSERT_EQ(cluster_.dirty_nodes().size(), 1u);
+  EXPECT_EQ(cluster_.dirty_nodes()[0], 2u);
+}
+
+TEST_F(ClusterTest, AggregatesSurviveEveryMutationPath) {
+  // verify_aggregates() recomputes utilisation/counts from scratch and
+  // throws on divergence; drive each incremental update path through it.
+  place_chain_on(make_request("voip", 2.0, 50.0), NodeId{0});
+  cluster_.verify_aggregates();
+  EXPECT_GT(cluster_.total_cpu_used(), 0.0);
+  EXPECT_GT(cluster_.total_mem_used(), 0.0);
+  EXPECT_EQ(cluster_.instances_on_node(NodeId{0}), 2u);
+  EXPECT_GT(cluster_.total_cpu_utilization(), 0.0);
+
+  cluster_.start_chain(make_request("web"));
+  cluster_.place_next(NodeId{1});
+  cluster_.abort_chain();  // rollback path
+  cluster_.verify_aggregates();
+
+  cluster_.set_capacity_scale(NodeId{0}, 0.5);  // effective-capacity delta
+  cluster_.verify_aggregates();
+  const double scaled = cluster_.total_effective_cpu_capacity();
+  cluster_.set_capacity_scale(NodeId{0}, 1.0);
+  cluster_.verify_aggregates();
+  EXPECT_GT(cluster_.total_effective_cpu_capacity(), scaled);
+
+  cluster_.fail_node(NodeId{0});  // kills the voip chain, releases instances
+  cluster_.verify_aggregates();
+  EXPECT_EQ(cluster_.instances_on_node(NodeId{0}), 0u);
+  EXPECT_DOUBLE_EQ(cluster_.total_cpu_used(), 0.0);
+  cluster_.recover_node(NodeId{0});
+  cluster_.verify_aggregates();
+
+  cluster_.advance_to(200.0);  // expiry + idle GC path
+  cluster_.verify_aggregates();
+}
+
+TEST_F(ClusterTest, CachedQueriesBitIdenticalToDenseUnderRandomWorkload) {
+  // The incremental featuriser's contract: the cached per-(node,type)
+  // queries return the exact doubles of their dense counterparts after any
+  // mutation mix (placements, aborts, expiries, faults, capacity changes).
+  Rng rng(13);
+  PoissonDiurnalModel gen(topo_, sfcs_, {.global_arrival_rate = 3.0, .seed = 9});
+  SimTime now = 0.0;
+  bool node3_failed = false;
+  for (int i = 0; i < 200; ++i) {
+    Request r = gen.next(now);
+    now = r.arrival_time;
+    cluster_.advance_to(now);
+    if (i == 60) { cluster_.fail_node(NodeId{3}); node3_failed = true; }
+    if (i == 90) { cluster_.recover_node(NodeId{3}); node3_failed = false; }
+    if (i == 120) cluster_.set_capacity_scale(NodeId{1}, 0.75);
+    cluster_.start_chain(r);
+    bool aborted = false;
+    while (!cluster_.pending_complete()) {
+      std::vector<NodeId> feasible;
+      for (const auto& node : topo_.nodes()) {
+        const VnfTypeId type = cluster_.pending_vnf_type();
+        ASSERT_EQ(cluster_.can_serve(node.id, type, r.rate_rps),
+                  cluster_.can_serve_cached(node.id, type, r.rate_rps));
+        if (cluster_.can_serve(node.id, type, r.rate_rps)) feasible.push_back(node.id);
+      }
+      if (feasible.empty() || rng.bernoulli(0.1)) {
+        cluster_.abort_chain();
+        aborted = true;
+        break;
+      }
+      cluster_.place_next(feasible[rng.uniform_index(feasible.size())]);
+    }
+    if (!aborted) cluster_.commit_chain();
+    for (const auto& node : topo_.nodes()) {
+      for (const auto& vnf : vnfs_.all()) {
+        ASSERT_EQ(cluster_.residual_capacity_rps(node.id, vnf.id),
+                  cluster_.residual_capacity_cached_rps(node.id, vnf.id))
+            << "node " << index(node.id) << " vnf " << index(vnf.id);
+        const double dense = cluster_.estimated_proc_delay_ms(node.id, vnf.id, 2.0);
+        const double cached = cluster_.estimated_proc_delay_cached_ms(node.id, vnf.id, 2.0);
+        if (std::isfinite(dense) || std::isfinite(cached)) {
+          ASSERT_EQ(dense, cached)
+              << "node " << index(node.id) << " vnf " << index(vnf.id);
+        }
+      }
+    }
+    cluster_.verify_aggregates();
+  }
+  (void)node3_failed;
+}
+
 }  // namespace
 }  // namespace vnfm::edgesim

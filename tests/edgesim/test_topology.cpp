@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace vnfm::edgesim {
 namespace {
 
@@ -73,8 +75,50 @@ TEST(Topology, DeterministicForSeed) {
 
 TEST(Topology, RejectsBadNodeCount) {
   EXPECT_THROW(make_world_topology({.node_count = 0}), std::invalid_argument);
-  EXPECT_THROW(make_world_topology({.node_count = world_metro_count() + 1}),
-               std::invalid_argument);
+}
+
+TEST(Topology, SynthesisesNodesBeyondMetroList) {
+  const std::size_t metros = world_metro_count();
+  const Topology topo = make_world_topology({.node_count = 50, .seed = 7});
+  ASSERT_EQ(topo.node_count(), 50u);
+  // Base metros keep their legacy names; synthetic sites get an index suffix.
+  EXPECT_EQ(topo.node(NodeId{0}).name, "new_york");
+  EXPECT_EQ(topo.node(NodeId{static_cast<std::uint32_t>(metros)}).name,
+            "new_york_" + std::to_string(metros));
+  // Synthetic sites sit near their base metro, not on top of it.
+  const EdgeNode& base = topo.node(NodeId{0});
+  const EdgeNode& synth = topo.node(NodeId{static_cast<std::uint32_t>(metros)});
+  EXPECT_NE(base.location, synth.location);
+  EXPECT_LE(std::abs(base.location.lat_deg - synth.location.lat_deg), 3.0 + 1e-9);
+  EXPECT_LE(std::abs(base.location.lon_deg - synth.location.lon_deg), 3.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(base.tz_offset_hours, synth.tz_offset_hours);
+}
+
+TEST(Topology, FirstMetrosBitIdenticalAcrossNodeCounts) {
+  // Growing node_count must not perturb the shared prefix: the generator
+  // draws each node's randomness sequentially, so small topologies embed
+  // exactly into large ones.
+  const Topology small = make_world_topology({.node_count = 16, .seed = 42});
+  const Topology large = make_world_topology({.node_count = 200, .seed = 42});
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const NodeId id{i};
+    EXPECT_EQ(small.node(id).name, large.node(id).name);
+    EXPECT_EQ(small.node(id).location, large.node(id).location);
+    EXPECT_DOUBLE_EQ(small.node(id).cpu_capacity, large.node(id).cpu_capacity);
+  }
+}
+
+TEST(Topology, LargeTopologyLatencyMatchesModelWithoutMatrix) {
+  // Above kDenseLatencyMatrixMaxNodes the n^2 matrix is skipped; on-demand
+  // latencies must equal what the matrix construction would have stored.
+  const Topology topo =
+      make_world_topology({.node_count = kDenseLatencyMatrixMaxNodes + 8, .seed = 5});
+  const LatencyModel& model = topo.latency_model();
+  const NodeId a{3}, b{517};
+  EXPECT_DOUBLE_EQ(topo.latency_ms(a, a), model.intra_node_ms);
+  EXPECT_DOUBLE_EQ(topo.latency_ms(a, b),
+                   model.latency_ms(topo.node(a).location, topo.node(b).location));
+  EXPECT_DOUBLE_EQ(topo.latency_ms(a, b), topo.latency_ms(b, a));
 }
 
 TEST(Topology, TimezonesSpanTheGlobe) {

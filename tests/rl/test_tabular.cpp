@@ -113,5 +113,50 @@ TEST(TabularQAgent, RejectsZeroActions) {
   EXPECT_THROW(TabularQAgent{config}, std::invalid_argument);
 }
 
+TEST(TabularQAgent, IngestMatchesUpdateAndAdvancesSchedule) {
+  TabularQAgent reference(toy_config(2));
+  TabularQAgent learner(toy_config(2));
+  reference.update(1, 0, 1.0, 2, true, {});
+  learner.ingest(1, 0, 1.0, 2, true, {});
+  EXPECT_EQ(reference.q_value(1, 0), learner.q_value(1, 0));
+  // update() leaves the schedule alone; ingest() drives it (the pipeline
+  // learner never acts, so ingested steps are its only clock).
+  EXPECT_EQ(reference.steps(), 0u);
+  EXPECT_EQ(learner.steps(), 1u);
+  for (int i = 0; i < 99; ++i) learner.ingest(1, 0, 1.0, 2, true, {});
+  EXPECT_LT(learner.epsilon(), reference.epsilon());
+}
+
+TEST(TabularActorView, SnapshotIsFrozenUntilSync) {
+  TabularQAgent learner(toy_config(2));
+  for (int i = 0; i < 100; ++i) learner.update(7, 1, 1.0, 0, true, {});
+  TabularActorView view(learner);
+  view.set_exploration_enabled(false);
+  EXPECT_EQ(view.act(7, {}), 1);
+  // Learner moves on; the view must not see it until sync().
+  for (int i = 0; i < 500; ++i) learner.update(7, 0, 5.0, 0, true, {});
+  EXPECT_EQ(learner.act_greedy(7, {}), 0);
+  EXPECT_EQ(view.act(7, {}), 1);
+  view.sync(learner);
+  EXPECT_EQ(view.act(7, {}), 0);
+}
+
+TEST(TabularActorView, ExplorationRespectsMask) {
+  TabularQAgent learner(toy_config(3));
+  TabularActorView view(learner);  // epsilon_start = 1.0: always exploring
+  const std::vector<std::uint8_t> mask{0, 1, 0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(view.act(3, mask), 1);
+}
+
+TEST(TabularActorView, ReseededViewsShareActionStream) {
+  TabularQAgent learner(toy_config(3));
+  TabularActorView a(learner);
+  TabularActorView b(learner);
+  a.reseed(99);
+  b.reseed(99);
+  const std::vector<std::uint8_t> mask{1, 1, 1};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.act(0, mask), b.act(0, mask));
+}
+
 }  // namespace
 }  // namespace vnfm::rl
