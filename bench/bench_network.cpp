@@ -1,0 +1,201 @@
+// Network-model bench: cost and effect of the flow-level network model.
+//
+// Three sections, two of which are CI gates (non-zero exit on failure):
+//
+//   golden    — GATE: the default constant model must reproduce the pre-PR
+//               byte-exact rollout digests on representative scenarios
+//               (determinism invariant #11, constant half).
+//   overhead  — µs/decision of constant vs two-tier flow fabric at 50/200/1k
+//               nodes: the price of per-hop flow registration and O(dirty)
+//               max-min re-sharing.
+//   incast    — GATE: on fat-tree-k4 under an incast hotspot, the SAME seed
+//               and action stream must show strictly higher p99 chain latency
+//               under the flow model than under the constant model —
+//               contention-driven latency actually emerges.
+//
+// Emits BENCH_network.json with every cell for CI artifact tracking.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+/// FNV-1a over raw bytes, chained across calls.
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+}
+
+struct Rollout {
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  std::size_t decisions = 0;
+  std::size_t accepted = 0;
+  double total_cost = 0.0;
+  double p99_latency_ms = 0.0;
+  double decision_us = 0.0;
+};
+
+/// Seeded random-valid-action rollout (the golden-capture policy). Absent
+/// failures the flow model never changes masks, so constant and flow runs of
+/// the same seed see the identical action stream — latency differences are
+/// purely the network model's doing.
+Rollout run_rollout(core::VnfEnv& env, std::uint64_t episode_seed,
+                    std::size_t requests) {
+  Rollout out;
+  env.reset(episode_seed);
+  Rng rng(99);
+  std::vector<int> valid;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (!env.begin_next_request()) break;
+    core::StepResult step;
+    do {
+      const auto features = env.features();
+      const auto& mask = env.action_mask();
+      mix_bytes(out.digest, features.data(), features.size() * sizeof(float));
+      mix_bytes(out.digest, mask.data(), mask.size());
+      valid.clear();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) valid.push_back(static_cast<int>(a));
+      step = env.step(valid[rng.uniform_index(valid.size())]);
+      mix_bytes(out.digest, &step.reward, sizeof(step.reward));
+      ++out.decisions;
+    } while (!step.chain_done);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  out.decision_us = elapsed.count() * 1e6 / static_cast<double>(out.decisions);
+  out.accepted = env.metrics().accepted();
+  out.total_cost = env.metrics().total_cost();
+  out.p99_latency_ms = env.metrics().latency_sketch().quantile(0.99);
+  return out;
+}
+
+struct GoldenCase {
+  const char* scenario;
+  const char* nodes_override;  ///< nullptr = none
+  std::uint64_t seed;
+  std::size_t requests;
+  std::uint64_t digest;
+};
+
+// Captured against the tree immediately before the network subsystem landed.
+const GoldenCase kGolden[] = {
+    {"geo-distributed", nullptr, 1, 120, 0x9BFE5DD24484EA14ULL},
+    {"flash-crowd+node-failure", nullptr, 3, 150, 0xA2A345C95AF67B90ULL},
+    {"large-scale", nullptr, 2, 100, 0xF66F1DCD2AC4131EULL},
+    {"large-scale-1k", "200", 1, 60, 0xF3D588B1EBC7ACF6ULL},
+};
+
+struct OverheadRow {
+  std::size_t nodes = 0;
+  std::string model;
+  double decision_us = 0.0;
+  std::size_t decisions = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  const bool full = std::getenv("REPRO_FULL") != nullptr;
+
+  std::cout << "=== bench_network: flow-level network model ===\n\n";
+
+  // ---- Gate 1: constant-model golden bit-identity --------------------------
+  bool golden_ok = true;
+  std::cout << "[golden] constant model vs pre-PR digests\n";
+  for (const GoldenCase& c : kGolden) {
+    Config overrides;
+    if (c.nodes_override != nullptr) overrides.set("nodes", c.nodes_override);
+    core::VnfEnv env(exp::ScenarioCatalog::instance().build(c.scenario, overrides));
+    const Rollout r = run_rollout(env, c.seed, c.requests);
+    const bool ok = r.digest == c.digest;
+    golden_ok = golden_ok && ok;
+    std::cout << "  " << c.scenario << ": " << (ok ? "bit-identical" : "DIVERGED")
+              << "\n";
+  }
+
+  // ---- Overhead: constant vs two-tier flow fabric --------------------------
+  std::cout << "\n[overhead] us/decision, constant vs two-tier-edge\n";
+  const std::vector<std::size_t> node_counts{50, 200, 1'000};
+  const std::size_t overhead_requests = full ? 400 : 120;
+  std::vector<OverheadRow> overhead;
+  for (const std::size_t nodes : node_counts) {
+    for (const std::string model : {"constant", "two-tier-edge"}) {
+      core::VnfEnv env(bench::scenario_options(
+          "large-scale-1k", Config{{"nodes", std::to_string(nodes)},
+                                   {"topology", model},
+                                   {"seed", "1"}}));
+      const Rollout r = run_rollout(env, 1, overhead_requests);
+      overhead.push_back({nodes, model, r.decision_us, r.decisions});
+      std::cout << "  nodes=" << nodes << " model=" << model << ": "
+                << r.decision_us << " us/decision (" << r.decisions
+                << " decisions)\n";
+    }
+  }
+
+  // ---- Gate 2: contention-driven latency on fat-tree + incast --------------
+  // Constrained fabric (thin uplinks, heavy payload) plus a sustained
+  // single-region hotspot: identical seed and action stream, so any p99
+  // difference is pure link contention.
+  const std::size_t incast_requests = full ? 600 : 250;
+  const Config incast_base{{"incast_region", "2"},    {"incast_magnitude", "8"},
+                           {"incast_start_s", "0"},   {"incast_duration_s", "86400"},
+                           {"payload_mbit", "64"},    {"link_gbps", "5"},
+                           {"seed", "1"}};
+  Config incast_flow = incast_base;
+  incast_flow.set("topology", "fat-tree-k4");
+  core::VnfEnv constant_env(exp::ScenarioCatalog::instance().build(
+      "geo-distributed+incast", incast_base));
+  core::VnfEnv flow_env(exp::ScenarioCatalog::instance().build(
+      "geo-distributed+incast", incast_flow));
+  const Rollout constant_r = run_rollout(constant_env, 7, incast_requests);
+  const Rollout flow_r = run_rollout(flow_env, 7, incast_requests);
+  const bool contention_ok = flow_r.p99_latency_ms > constant_r.p99_latency_ms;
+  std::cout << "\n[incast] fat-tree-k4 p99 chain latency: flow "
+            << flow_r.p99_latency_ms << " ms vs constant "
+            << constant_r.p99_latency_ms << " ms -> "
+            << (contention_ok ? "contention visible" : "NO CONTENTION (gate fails)")
+            << "\n";
+
+  std::ofstream json("BENCH_network.json");
+  json << "{\n  \"golden_bit_identical\": " << (golden_ok ? "true" : "false")
+       << ",\n  \"overhead\": [\n";
+  for (std::size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadRow& row = overhead[i];
+    json << "    {\"nodes\": " << row.nodes << ", \"model\": \"" << row.model
+         << "\", \"decision_us\": " << row.decision_us
+         << ", \"decisions\": " << row.decisions << "}"
+         << (i + 1 < overhead.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"incast\": {\"constant_p99_ms\": " << constant_r.p99_latency_ms
+       << ", \"flow_p99_ms\": " << flow_r.p99_latency_ms
+       << ", \"constant_accepted\": " << constant_r.accepted
+       << ", \"flow_accepted\": " << flow_r.accepted
+       << ", \"contention_visible\": " << (contention_ok ? "true" : "false")
+       << "}\n}\n";
+  std::cout << "JSON written to BENCH_network.json\n";
+
+  if (!golden_ok) {
+    std::cout << "FAIL: constant model diverged from the pre-PR golden digests\n";
+    return 1;
+  }
+  if (!contention_ok) {
+    std::cout << "FAIL: flow model shows no contention-driven latency\n";
+    return 1;
+  }
+  return 0;
+}

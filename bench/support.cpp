@@ -52,6 +52,15 @@ std::string default_scenario() {
 }
 
 core::EnvOptions scenario_options(const std::string& scenario, const Config& overrides) {
+  // REPRO_TOPOLOGY swaps the network model under any bench scenario (an
+  // explicit topology= override still wins over the environment variable).
+  const char* topology = std::getenv("REPRO_TOPOLOGY");
+  if (topology != nullptr && *topology != '\0' &&
+      overrides.get_string("topology", "").empty()) {
+    Config with_topology = overrides;
+    with_topology.set("topology", topology);
+    return exp::ScenarioCatalog::instance().build(scenario, with_topology);
+  }
   return exp::ScenarioCatalog::instance().build(scenario, overrides);
 }
 

@@ -52,7 +52,9 @@ Config parse_args(int argc, const char* const* argv);
 std::string default_scenario();
 
 /// EnvOptions from the scenario catalog; `scenario` may be a composition
-/// expression ("<base>[+<overlay>...]").
+/// expression ("<base>[+<overlay>...]"). The REPRO_TOPOLOGY environment
+/// variable injects a `topology` override (network model: "constant",
+/// "two-tier-edge", "fat-tree-k<k>") unless the Config already sets one.
 core::EnvOptions scenario_options(const std::string& scenario,
                                   const Config& overrides = {});
 

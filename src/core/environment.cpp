@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
 #include <stdexcept>
 
@@ -52,8 +53,17 @@ void VnfEnv::rebuild() {
     workload_ = std::make_unique<edgesim::PoissonDiurnalModel>(topology_, sfcs_,
                                                                workload_options);
   }
+  // REPRO_TRACE_DUMP=<path>: record the episode's request stream to a CSV
+  // replayable via the trace-replay scenario (rewritten on every reset, so
+  // the file holds the most recent episode).
+  if (const char* dump = std::getenv("REPRO_TRACE_DUMP"); dump != nullptr && *dump != '\0')
+    workload_ = std::make_unique<edgesim::TraceRecordingModel>(std::move(workload_), dump);
+  std::unique_ptr<edgesim::NetworkModel> network =
+      options_.network_model ? options_.network_model(topology_)
+                             : edgesim::make_network_model(topology_, options_.network);
+  if (!network) throw std::invalid_argument("network model factory returned null");
   cluster_ = std::make_unique<edgesim::ClusterState>(topology_, vnfs_, sfcs_,
-                                                     options_.cluster);
+                                                     options_.cluster, std::move(network));
   metrics_ = edgesim::MetricsCollector(options_.cost);
   next_event_ = 0;
   pending_deploy_cost_ = 0.0;
@@ -109,6 +119,12 @@ void VnfEnv::apply_events_until(double up_to) {
       case edgesim::EventKind::kCapacityScale:
         cluster_->set_capacity_scale(event.node, event.factor);
         break;
+      case edgesim::EventKind::kLinkFailure:
+        metrics_.on_chains_killed(cluster_->fail_rack_uplink(event.node));
+        break;
+      case edgesim::EventKind::kLinkRecovery:
+        cluster_->recover_rack_uplinks(event.node);
+        break;
     }
   }
 }
@@ -137,9 +153,11 @@ bool VnfEnv::begin_next_request(double horizon_s) {
 
 double VnfEnv::prev_hop_latency_ms(NodeId node) const {
   const Request& request = cluster_->pending_request();
+  // Stateless network-model probes: identical to the topology values under
+  // the constant model, a contention estimate under the flow model.
   if (pending_nodes_.empty())
-    return topology_.user_latency_ms(request.source_region, node);
-  return topology_.latency_ms(pending_nodes_.back(), node);
+    return cluster_->network().user_latency_ms(request.source_region, node);
+  return cluster_->network().hop_latency_ms(pending_nodes_.back(), node);
 }
 
 void VnfEnv::refresh_decision_state() {
@@ -371,9 +389,7 @@ StepResult VnfEnv::step(int action) {
     const edgesim::SfcTemplate& sfc = sfcs_.sfc(placement.sfc);
     // Terminal costs not yet charged on per-hop steps: the return-path
     // latency, the SLA penalty, and the admission revenue.
-    const double return_path_ms = topology_.user_latency_ms(
-        placement.source_region, placement.nodes.back());
-    step_cost += cost.w_latency_per_ms * return_path_ms;
+    step_cost += cost.w_latency_per_ms * placement.return_path_ms;
     if (placement.sla_violated()) step_cost += cost.w_sla_violation;
     step_cost -= cost.w_revenue * sfc.revenue;
     metrics_.on_accept(placement, pending_deploy_cost_, sfc.revenue);

@@ -20,6 +20,7 @@
 #include "edgesim/cost.hpp"
 #include "edgesim/events.hpp"
 #include "edgesim/metrics.hpp"
+#include "edgesim/network_model.hpp"
 #include "edgesim/topology.hpp"
 #include "edgesim/vnf.hpp"
 #include "edgesim/workload.hpp"
@@ -35,6 +36,14 @@ struct EnvOptions {
   /// legacy generator — request streams stay bit-identical).
   edgesim::WorkloadModelFactory workload_model;
   edgesim::ClusterOptions cluster;
+  /// Network model configuration: `network.topology` of "constant" (default)
+  /// keeps the legacy geographic-latency behaviour bit-identical; a fabric
+  /// name ("two-tier-edge", "fat-tree-k4", ...) makes hop latency emerge
+  /// from max-min fair link sharing.
+  edgesim::NetworkOptions network;
+  /// Network-model factory invoked on every reset; empty = derive the model
+  /// from `network` via make_network_model (mirrors workload_model).
+  edgesim::NetworkModelFactory network_model;
   edgesim::CostModel cost;
   /// Timed node-failure/recovery and capacity-change events, applied between
   /// request arrivals at fixed simulated instants (deterministic per seed).

@@ -33,6 +33,9 @@ struct Token {
 /// push() blocks while full (open-loop backpressure) and fails once closed;
 /// pop_batch() drains up to `max` tokens per call — the adaptive micro-batch
 /// window — and returns 0 only when the queue is closed AND drained.
+/// Outcome of a non-blocking ServeQueue::try_push.
+enum class PushResult { kPushed, kFull, kClosed };
+
 class ServeQueue {
  public:
   explicit ServeQueue(std::size_t capacity) : capacity_(capacity) {}
@@ -48,6 +51,18 @@ class ServeQueue {
     high_water_ = std::max(high_water_, queue_.size());
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking push for shed_when_full: a full queue reports kFull
+  /// immediately (the caller counts the shed) instead of waiting.
+  PushResult try_push(const Token& token) {
+    std::lock_guard lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
+    queue_.push_back(token);
+    high_water_ = std::max(high_water_, queue_.size());
+    not_empty_.notify_one();
+    return PushResult::kPushed;
   }
 
   std::size_t pop_batch(std::vector<Token>& out, std::size_t max) {
@@ -275,6 +290,7 @@ ServeStats ServeDriver::run(const Manager& manager) const {
   // arrival streams by earliest instant (ties to the lowest partition) and
   // push each token into the owning shard's queue, blocking when full.
   std::vector<std::uint64_t> issued(partition_count, 0);
+  std::vector<std::uint64_t> shed_counts(partition_count, 0);
   for (;;) {
     std::size_t next = partition_count;
     for (std::size_t p = 0; p < partition_count; ++p) {
@@ -289,7 +305,15 @@ ServeStats ServeDriver::run(const Manager& manager) const {
           start + std::chrono::duration_cast<Clock::duration>(offset));
     }
     const Token token{static_cast<std::uint32_t>(next), Clock::now()};
-    if (!shards[next % shard_count].queue->push(token)) break;  // shard failed
+    if (options_.shed_when_full) {
+      // Admission control: a full shard queue drops the request on the floor
+      // (counted per partition) instead of stalling the generator's pacing.
+      const PushResult r = shards[next % shard_count].queue->try_push(token);
+      if (r == PushResult::kClosed) break;  // shard failed
+      if (r == PushResult::kFull) ++shed_counts[next];
+    } else {
+      if (!shards[next % shard_count].queue->push(token)) break;  // shard failed
+    }
     ++issued[next];
     if (issued[next] < options_.requests_per_partition)
       next_arrival[next] = streams[next]->next(next_arrival[next]).arrival_time;
@@ -308,17 +332,20 @@ ServeStats ServeDriver::run(const Manager& manager) const {
   stats.wall_seconds = wall_seconds;
   stats.partitions.resize(partition_count);
   for (std::size_t p = 0; p < partition_count; ++p) {
-    const ServePartitionStats& ps = shards[p % shard_count].pstats[p / shard_count];
+    ServePartitionStats& ps = shards[p % shard_count].pstats[p / shard_count];
+    ps.shed = shed_counts[p];
     stats.partitions[p] = ps;
     stats.requests += ps.requests;
     stats.decisions += ps.decisions;
     stats.accepted += ps.accepted;
     stats.rejected += ps.rejected;
+    stats.shed += ps.shed;
     stats.total_cost += ps.total_cost;
     stats.decision_digest = fnv_fold(stats.decision_digest, ps.requests);
     stats.decision_digest = fnv_fold(stats.decision_digest, ps.decisions);
     stats.decision_digest = fnv_fold(stats.decision_digest, ps.accepted);
     stats.decision_digest = fnv_fold(stats.decision_digest, ps.rejected);
+    stats.decision_digest = fnv_fold(stats.decision_digest, ps.shed);
     stats.decision_digest =
         fnv_fold(stats.decision_digest, std::bit_cast<std::uint64_t>(ps.total_cost));
     stats.decision_digest = fnv_fold(stats.decision_digest, ps.decision_digest);

@@ -61,6 +61,14 @@ struct ServeOptions {
   /// Bounded per-shard queue capacity; a full queue blocks the load
   /// generator (open-loop backpressure, counted per blocked push).
   std::size_t queue_capacity = 64;
+  /// Admission control: when true, a full shard queue sheds the request
+  /// (count-and-drop, per-partition shed counters) instead of blocking the
+  /// generator. Shedding keeps the generator's pacing honest under overload
+  /// but makes WHICH requests are served scheduling-dependent, so the
+  /// bit-identity guarantee of the deterministic block only holds while no
+  /// request was actually shed. Default off: behaviour (and every digest)
+  /// is unchanged and shed counts are always zero.
+  bool shed_when_full = false;
   /// Arrival pacing: simulated seconds that elapse per wall-clock second in
   /// the load generator (requests are issued at the workload model's
   /// arrival instants scaled by this). 0 = open throttle, no pacing — the
@@ -78,6 +86,9 @@ struct ServePartitionStats {
   std::uint64_t decisions = 0;  ///< per-VNF placement decisions taken
   std::uint64_t accepted = 0;   ///< chains fully placed
   std::uint64_t rejected = 0;   ///< chains rejected (policy or infeasible)
+  /// Requests dropped at the shard queue under shed_when_full (0 whenever
+  /// shedding is off). requests + shed == requests_per_partition always.
+  std::uint64_t shed = 0;
   double total_cost = 0.0;      ///< objective cost charged to the partition
   /// FNV-1a fold of every action in decision order — any divergence in any
   /// decision changes it.
@@ -107,6 +118,7 @@ struct ServeStats {
   std::uint64_t decisions = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;  ///< total requests dropped under shed_when_full
   double total_cost = 0.0;
   /// FNV-1a fold of every partition's deterministic stats in ascending
   /// partition order: one u64 that any cross-run decision divergence flips.
@@ -146,7 +158,7 @@ struct ServeStats {
   [[nodiscard]] bool deterministically_equal(const ServeStats& other) const {
     return requests == other.requests && decisions == other.decisions &&
            accepted == other.accepted && rejected == other.rejected &&
-           total_cost == other.total_cost &&
+           shed == other.shed && total_cost == other.total_cost &&
            decision_digest == other.decision_digest &&
            partitions == other.partitions;
   }

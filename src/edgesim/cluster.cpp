@@ -8,8 +8,14 @@
 namespace vnfm::edgesim {
 
 ClusterState::ClusterState(const Topology& topology, const VnfCatalog& vnfs,
-                           const SfcCatalog& sfcs, ClusterOptions options)
-    : topology_(topology), vnfs_(vnfs), sfcs_(sfcs), options_(options) {
+                           const SfcCatalog& sfcs, ClusterOptions options,
+                           std::unique_ptr<NetworkModel> network)
+    : topology_(topology),
+      vnfs_(vnfs),
+      sfcs_(sfcs),
+      network_(network ? std::move(network)
+                       : std::make_unique<ConstantLatencyModel>(topology)),
+      options_(options) {
   const std::size_t n = topology_.node_count();
   cpu_used_.assign(n, 0.0);
   mem_used_.assign(n, 0.0);
@@ -304,11 +310,16 @@ PlaceStepResult ClusterState::place_next(NodeId node) {
   result.proc_latency_ms = queue_delay_ms(vnf, target->load_rps);
 
   // Propagation: user -> first node, otherwise previous node -> this node.
+  // Each hop is registered as a network flow (the constant model just
+  // returns the topology latency without tracking anything).
+  const FlowKey hop_key{pending.request.id,
+                        static_cast<std::uint32_t>(pending.position)};
   if (pending.position == 0) {
-    result.hop_latency_ms =
-        topology_.user_latency_ms(pending.request.source_region, node);
+    result.hop_latency_ms = network_->add_access_flow(
+        hop_key, pending.request.source_region, node, rate);
   } else {
-    result.hop_latency_ms = topology_.latency_ms(pending.nodes.back(), node);
+    result.hop_latency_ms =
+        network_->add_flow(hop_key, pending.nodes.back(), node, rate);
     adjust_wan(pending.nodes.back(), node, rate);
   }
   pending.latency_ms += result.hop_latency_ms + result.proc_latency_ms;
@@ -338,9 +349,11 @@ ChainPlacement ClusterState::commit_chain() {
   placement.admitted_at = now_;
   placement.expires_at = now_ + pending.request.duration_s;
   // Return path: traffic egresses back to the user's region.
-  placement.latency_ms =
-      pending.latency_ms +
-      topology_.user_latency_ms(pending.request.source_region, pending.nodes.back());
+  placement.return_path_ms = network_->add_return_flow(
+      {pending.request.id, static_cast<std::uint32_t>(pending.chain.size())},
+      pending.nodes.back(), pending.request.source_region,
+      pending.request.rate_rps);
+  placement.latency_ms = pending.latency_ms + placement.return_path_ms;
   placement.sla_latency_ms = pending.sla_latency_ms;
   placement.new_deployments = static_cast<int>(pending.new_instances.size());
 
@@ -361,6 +374,10 @@ void ClusterState::abort_chain() {
   }
   for (const InstanceId id : pending.new_instances) release_instance(id);
   release_wan_along(pending.nodes, pending.request.rate_rps);
+  // Retire the partial chain's flows (reverse placement order; no return
+  // flow exists before commit).
+  for (std::size_t i = pending.instances.size(); i-- > 0;)
+    network_->remove_flow({pending.request.id, static_cast<std::uint32_t>(i)});
   // Deployment/release counters should not count rolled-back placements.
   deployments_ -= pending.new_instances.size();
   releases_ -= pending.new_instances.size();
@@ -380,8 +397,15 @@ void ClusterState::accumulate_instance_seconds(SimTime from, SimTime to) {
   }
 }
 
+void ClusterState::remove_chain_flows(const ChainPlacement& chain) {
+  // Access (0), inter-node hops (1..n-1), and the return hop (n).
+  for (std::size_t i = chain.nodes.size() + 1; i-- > 0;)
+    network_->remove_flow({chain.request, static_cast<std::uint32_t>(i)});
+}
+
 void ClusterState::expire_chain(const ChainPlacement& chain) {
   release_wan_along(chain.nodes, chain.rate_rps);
+  remove_chain_flows(chain);
   for (const InstanceId id : chain.instances) {
     const auto it = instances_.find(id);
     if (it == instances_.end()) continue;  // released by a racing GC pass
@@ -434,21 +458,7 @@ std::size_t ClusterState::fail_node(NodeId node) {
   }
   std::sort(doomed.begin(), doomed.end(),
             [](RequestId a, RequestId b) { return index(a) < index(b); });
-  for (const RequestId id : doomed) {
-    const ChainPlacement chain = chains_.at(id);
-    chains_.erase(id);
-    release_wan_along(chain.nodes, chain.rate_rps);
-    for (const InstanceId instance : chain.instances) {
-      const auto it = instances_.find(instance);
-      if (it == instances_.end()) continue;
-      VnfInstance& inst = it->second;
-      inst.load_rps -= chain.rate_rps;
-      if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
-      inst.last_active = now_;
-      touch(index(inst.node));
-    }
-  }
-  chains_killed_ += doomed.size();
+  kill_chains(doomed);
 
   // All load on the node came from the chains just killed, so every one of
   // its instances (pinned included) is idle and tears down cleanly.
@@ -460,6 +470,48 @@ std::size_t ClusterState::fail_node(NodeId node) {
   verify_aggregates();
 #endif
   return doomed.size();
+}
+
+std::size_t ClusterState::kill_chains(const std::vector<RequestId>& doomed) {
+  for (const RequestId id : doomed) {
+    const ChainPlacement chain = chains_.at(id);
+    chains_.erase(id);
+    release_wan_along(chain.nodes, chain.rate_rps);
+    remove_chain_flows(chain);
+    for (const InstanceId instance : chain.instances) {
+      const auto it = instances_.find(instance);
+      if (it == instances_.end()) continue;
+      VnfInstance& inst = it->second;
+      inst.load_rps -= chain.rate_rps;
+      if (inst.load_rps < 1e-9) inst.load_rps = 0.0;
+      inst.last_active = now_;
+      touch(index(inst.node));
+    }
+  }
+  chains_killed_ += doomed.size();
+  return doomed.size();
+}
+
+std::size_t ClusterState::fail_rack_uplink(NodeId anchor) {
+  if (pending_) throw std::logic_error("fail_rack_uplink with a pending chain");
+  // The network model reroutes what it can and reports the flows left
+  // without a path; their chains die fail-stop like fail_node victims.
+  const std::vector<FlowKey> stranded = network_->fail_link_at(anchor);
+  std::vector<RequestId> doomed;
+  for (const FlowKey& key : stranded)
+    if (chains_.contains(key.request)) doomed.push_back(key.request);
+  std::sort(doomed.begin(), doomed.end(),
+            [](RequestId a, RequestId b) { return index(a) < index(b); });
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  const std::size_t killed = kill_chains(doomed);
+#ifndef NDEBUG
+  verify_aggregates();
+#endif
+  return killed;
+}
+
+void ClusterState::recover_rack_uplinks(NodeId anchor) {
+  network_->recover_link_at(anchor);
 }
 
 void ClusterState::recover_node(NodeId node) {
@@ -494,7 +546,9 @@ double ClusterState::effective_cpu_capacity(NodeId node) const {
 double ClusterState::wan_used_rps(NodeId node) const { return wan_used_.at(index(node)); }
 
 bool ClusterState::can_link(NodeId a, NodeId b, double rate) const {
-  if (a == b || !std::isfinite(options_.wan_bandwidth_rps)) return true;
+  if (a == b) return true;
+  if (!network_->can_route(a, b)) return false;  // always routable if constant
+  if (!std::isfinite(options_.wan_bandwidth_rps)) return true;
   return wan_used_.at(index(a)) + rate <= options_.wan_bandwidth_rps &&
          wan_used_.at(index(b)) + rate <= options_.wan_bandwidth_rps;
 }
@@ -512,13 +566,16 @@ void ClusterState::release_wan_along(const std::vector<NodeId>& nodes, double ra
 }
 
 double ClusterState::recompute_chain_latency(const ChainPlacement& chain) const {
-  double latency = topology_.user_latency_ms(chain.source_region, chain.nodes.front());
+  // Network hops use the model's stateless probes (identical to the topology
+  // values under the constant model; a contention estimate under the flow
+  // model), processing delays use current instance loads.
+  double latency = network_->user_latency_ms(chain.source_region, chain.nodes.front());
   for (std::size_t i = 0; i < chain.instances.size(); ++i) {
-    if (i > 0) latency += topology_.latency_ms(chain.nodes[i - 1], chain.nodes[i]);
+    if (i > 0) latency += network_->hop_latency_ms(chain.nodes[i - 1], chain.nodes[i]);
     const VnfInstance& inst = instances_.at(chain.instances[i]);
     latency += queue_delay_ms(vnfs_.type(inst.type), inst.load_rps);
   }
-  latency += topology_.user_latency_ms(chain.source_region, chain.nodes.back());
+  latency += network_->user_latency_ms(chain.source_region, chain.nodes.back());
   return latency;
 }
 
@@ -578,6 +635,31 @@ ClusterState::MigrationResult ClusterState::migrate_chain_vnf(RequestId request,
 
   chain.instances[position] = target->id;
   chain.nodes[position] = new_node;
+
+  // Re-register the network flows whose endpoints moved with the VNF: the
+  // hop into `position`, the hop out of it, and the return hop if it was
+  // the chain's last VNF (no-ops under the constant model).
+  const auto hop_key = [&](std::size_t h) {
+    return FlowKey{request, static_cast<std::uint32_t>(h)};
+  };
+  network_->remove_flow(hop_key(position));
+  if (position == 0) {
+    network_->add_access_flow(hop_key(0), chain.source_region, new_node,
+                              chain.rate_rps);
+  } else {
+    network_->add_flow(hop_key(position), chain.nodes[position - 1], new_node,
+                       chain.rate_rps);
+  }
+  if (position + 1 < chain.nodes.size()) {
+    network_->remove_flow(hop_key(position + 1));
+    network_->add_flow(hop_key(position + 1), new_node, chain.nodes[position + 1],
+                       chain.rate_rps);
+  } else {
+    network_->remove_flow(hop_key(chain.nodes.size()));
+    chain.return_path_ms = network_->add_return_flow(
+        hop_key(chain.nodes.size()), new_node, chain.source_region, chain.rate_rps);
+  }
+
   chain.latency_ms = recompute_chain_latency(chain);
   result.new_latency_ms = chain.latency_ms;
   ++migrations_;

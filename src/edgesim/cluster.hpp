@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "edgesim/network_model.hpp"
 #include "edgesim/topology.hpp"
 #include "edgesim/vnf.hpp"
 #include "edgesim/workload.hpp"
@@ -44,6 +46,9 @@ struct ChainPlacement {
   SimTime expires_at = 0.0;
   double latency_ms = 0.0;
   double sla_latency_ms = 0.0;
+  /// Return-path latency snapshotted at commit (already included in
+  /// latency_ms); under the flow model it reflects contention at admission.
+  double return_path_ms = 0.0;
   int new_deployments = 0;
   [[nodiscard]] bool sla_violated() const noexcept { return latency_ms > sla_latency_ms; }
 };
@@ -67,11 +72,16 @@ struct PlaceStepResult {
 
 class ClusterState {
  public:
+  /// `network` defaults to the constant-latency model over `topology`
+  /// (bit-identical legacy behaviour); pass a FlowNetworkModel to make hop
+  /// latencies emerge from link contention. The cluster owns the model and
+  /// registers every chain hop as a flow for its lifetime.
   ClusterState(const Topology& topology, const VnfCatalog& vnfs, const SfcCatalog& sfcs,
-               ClusterOptions options);
+               ClusterOptions options, std::unique_ptr<NetworkModel> network = nullptr);
 
   // ---- Read-only queries -------------------------------------------------
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const NetworkModel& network() const noexcept { return *network_; }
   [[nodiscard]] const VnfCatalog& vnfs() const noexcept { return vnfs_; }
   [[nodiscard]] const SfcCatalog& sfcs() const noexcept { return sfcs_; }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -219,6 +229,15 @@ class ClusterState {
   /// accepting deployments beyond the new ceiling.
   void set_capacity_scale(NodeId node, double factor);
 
+  /// Rack-correlated link failure (edgesim/events.hpp kLinkFailure): fails
+  /// one uplink pair of `anchor`'s rack switch in the network model. Chains
+  /// whose flows lose their last path die fail-stop exactly like fail_node
+  /// victims; chains with an alternate path are rerouted in place. Returns
+  /// the number of chains killed (always 0 under the constant model).
+  std::size_t fail_rack_uplink(NodeId anchor);
+  /// Recovers every failed uplink of `anchor`'s rack (kLinkRecovery).
+  void recover_rack_uplinks(NodeId anchor);
+
   [[nodiscard]] bool node_failed(NodeId node) const;
   [[nodiscard]] double capacity_scale(NodeId node) const;
   /// Nominal CPU capacity x the current capacity scale.
@@ -282,6 +301,11 @@ class ClusterState {
   void adjust_wan(NodeId a, NodeId b, double rate);
   /// Releases the WAN usage of every inter-node hop along `nodes`.
   void release_wan_along(const std::vector<NodeId>& nodes, double rate);
+  /// Tears down live chains (sorted request ids): releases loads, WAN usage,
+  /// and network flows. Shared by fail_node and fail_rack_uplink.
+  std::size_t kill_chains(const std::vector<RequestId>& doomed);
+  /// Retires every network flow of a chain (access + hops + return).
+  void remove_chain_flows(const ChainPlacement& chain);
   InstanceId deploy_instance(NodeId node, VnfTypeId type);
   void release_instance(InstanceId id);
   void accumulate_instance_seconds(SimTime from, SimTime to);
@@ -292,6 +316,7 @@ class ClusterState {
   const Topology& topology_;
   const VnfCatalog& vnfs_;
   const SfcCatalog& sfcs_;
+  std::unique_ptr<NetworkModel> network_;
   ClusterOptions options_;
   SimTime now_ = 0.0;
 

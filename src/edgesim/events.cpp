@@ -32,6 +32,14 @@ EventSchedule& EventSchedule::scale_capacity(SimTime time_s, NodeId node, double
       {.time_s = time_s, .kind = EventKind::kCapacityScale, .node = node, .factor = factor});
 }
 
+EventSchedule& EventSchedule::fail_link(SimTime time_s, NodeId node) {
+  return add({.time_s = time_s, .kind = EventKind::kLinkFailure, .node = node});
+}
+
+EventSchedule& EventSchedule::recover_link(SimTime time_s, NodeId node) {
+  return add({.time_s = time_s, .kind = EventKind::kLinkRecovery, .node = node});
+}
+
 EventSchedule& EventSchedule::merge(const EventSchedule& other) {
   for (const ScheduledEvent& event : other.events_) add(event);
   return *this;

@@ -21,6 +21,10 @@ enum class EventKind {
                    ///< its instances released, and placements masked off
   kNodeRecovery,   ///< the node accepts deployments again (starts empty)
   kCapacityScale,  ///< the node's CPU capacity becomes `factor` x nominal
+  kLinkFailure,    ///< rack-correlated: one uplink pair of `node`'s rack ToR
+                   ///< fails; crossing chains reroute or die fail-stop
+                   ///< (no-op under the constant network model)
+  kLinkRecovery,   ///< all failed uplinks of `node`'s rack come back
 };
 
 struct ScheduledEvent {
@@ -42,6 +46,8 @@ class EventSchedule {
   EventSchedule& fail_node(SimTime time_s, NodeId node);
   EventSchedule& recover_node(SimTime time_s, NodeId node);
   EventSchedule& scale_capacity(SimTime time_s, NodeId node, double factor);
+  EventSchedule& fail_link(SimTime time_s, NodeId node);
+  EventSchedule& recover_link(SimTime time_s, NodeId node);
 
   /// Appends every event of `other` (keeping time order).
   EventSchedule& merge(const EventSchedule& other);

@@ -1,0 +1,211 @@
+#include "edgesim/link.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfm::edgesim {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// SplitMix64 finaliser — the deterministic ECMP tie-breaker. Pure integer
+/// arithmetic, so routes are identical on every platform and run.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+NetworkGraph::NetworkGraph(std::size_t host_count, std::vector<VertexKind> switch_kinds,
+                           std::vector<Link> links)
+    : host_count_(host_count), links_(std::move(links)) {
+  if (host_count_ == 0) throw std::invalid_argument("network graph needs hosts");
+  kinds_.assign(host_count_, VertexKind::kHost);
+  kinds_.insert(kinds_.end(), switch_kinds.begin(), switch_kinds.end());
+  adjacency_.assign(kinds_.size(), {});
+  uplinks_.assign(kinds_.size(), {});
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    Link& link = links_[i];
+    link.id = static_cast<LinkId>(i);
+    if (link.src >= kinds_.size() || link.dst >= kinds_.size())
+      throw std::invalid_argument("link endpoint out of range");
+    if (link.capacity_gbps <= 0.0)
+      throw std::invalid_argument("link capacity must be positive");
+    adjacency_[link.src].push_back(link.id);
+  }
+  // First-hop switch of every host: the destination of its only out-link.
+  tor_of_host_.assign(host_count_, 0);
+  for (std::size_t h = 0; h < host_count_; ++h) {
+    if (adjacency_[h].empty()) throw std::invalid_argument("host without an access link");
+    tor_of_host_[h] = links_[adjacency_[h].front()].dst;
+  }
+  // Uplink pairs of every ToR/edge switch: out-links towards non-host
+  // vertices, paired with the reverse link.
+  for (std::uint32_t v = static_cast<std::uint32_t>(host_count_); v < kinds_.size(); ++v) {
+    if (kinds_[v] != VertexKind::kTor) continue;
+    for (const LinkId up : adjacency_[v]) {
+      const std::uint32_t peer = links_[up].dst;
+      if (peer < host_count_) continue;  // downlink to a host
+      for (const LinkId down : adjacency_[peer]) {
+        if (links_[down].dst == v) {
+          uplinks_[v].emplace_back(up, down);
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t NetworkGraph::tor_of(std::uint32_t host) const {
+  return tor_of_host_.at(host);
+}
+
+const std::vector<std::pair<LinkId, LinkId>>& NetworkGraph::rack_uplinks(
+    std::uint32_t host) const {
+  return uplinks_.at(tor_of(host));
+}
+
+std::vector<LinkId> NetworkGraph::route(std::uint32_t src, std::uint32_t dst,
+                                        const std::vector<std::uint8_t>& failed) const {
+  if (src == dst) return {};
+  // BFS from dst over reverse edges conceptually — implemented as BFS from
+  // dst over forward adjacency of the reverse link, which the symmetric
+  // fabrics guarantee exists. Simpler and equivalent: BFS distances TO dst
+  // computed by BFS FROM dst over the reversed graph; since every cable is
+  // two directed links, dist_to_dst(v) equals BFS-from-dst over out-links.
+  std::vector<std::uint32_t> dist(kinds_.size(), kUnreached);
+  std::vector<std::uint32_t> frontier{dst};
+  dist[dst] = 0;
+  while (!frontier.empty()) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t v : frontier) {
+      for (const LinkId out : adjacency_[v]) {
+        if (!failed.empty() && failed[out]) continue;
+        const std::uint32_t peer = links_[out].dst;
+        if (dist[peer] != kUnreached) continue;
+        dist[peer] = dist[v] + 1;
+        next.push_back(peer);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (dist[src] == kUnreached) return {};
+
+  // Walk downhill in distance, breaking equal-cost ties by hash — every
+  // (src, dst) pair spreads over the ECMP fan-out deterministically.
+  std::vector<LinkId> path;
+  path.reserve(dist[src]);
+  std::uint32_t cur = src;
+  while (cur != dst) {
+    std::vector<LinkId> candidates;
+    for (const LinkId out : adjacency_[cur]) {
+      if (!failed.empty() && failed[out]) continue;
+      const std::uint32_t peer = links_[out].dst;
+      if (dist[peer] != kUnreached && dist[peer] + 1 == dist[cur])
+        candidates.push_back(out);
+    }
+    if (candidates.empty()) return {};  // cannot happen on a consistent mask
+    const std::uint64_t h =
+        mix64((static_cast<std::uint64_t>(src) << 40) ^
+              (static_cast<std::uint64_t>(dst) << 20) ^ cur);
+    const LinkId chosen = candidates[h % candidates.size()];
+    path.push_back(chosen);
+    cur = links_[chosen].dst;
+  }
+  return path;
+}
+
+bool NetworkGraph::reachable(std::uint32_t src, std::uint32_t dst,
+                             const std::vector<std::uint8_t>& failed) const {
+  if (src == dst) return true;
+  return !route(src, dst, failed).empty();
+}
+
+NetworkGraph make_two_tier_edge(std::size_t host_count,
+                                const FlowNetworkOptions& options) {
+  if (options.rack_size == 0) throw std::invalid_argument("rack_size must be >= 1");
+  const std::size_t racks = (host_count + options.rack_size - 1) / options.rack_size;
+  // Vertices: hosts, then one ToR per rack, then one core switch.
+  std::vector<VertexKind> switches(racks, VertexKind::kTor);
+  switches.push_back(VertexKind::kCore);
+  const auto tor_vertex = [&](std::size_t rack) {
+    return static_cast<std::uint32_t>(host_count + rack);
+  };
+  const auto core_vertex = static_cast<std::uint32_t>(host_count + racks);
+
+  std::vector<Link> links;
+  links.reserve(2 * (host_count + racks));
+  const auto cable = [&](std::uint32_t a, std::uint32_t b, double gbps) {
+    links.push_back({.src = a, .dst = b, .capacity_gbps = gbps,
+                     .delay_ms = options.link_delay_ms});
+    links.push_back({.src = b, .dst = a, .capacity_gbps = gbps,
+                     .delay_ms = options.link_delay_ms});
+  };
+  for (std::size_t h = 0; h < host_count; ++h)
+    cable(static_cast<std::uint32_t>(h), tor_vertex(h / options.rack_size),
+          options.link_gbps);
+  for (std::size_t r = 0; r < racks; ++r)
+    cable(tor_vertex(r), core_vertex, options.core_gbps);
+  return NetworkGraph(host_count, std::move(switches), std::move(links));
+}
+
+std::size_t fat_tree_k_for(std::size_t host_count, std::size_t min_k) noexcept {
+  std::size_t k = std::max<std::size_t>(min_k, 4);
+  if (k % 2 != 0) ++k;
+  while (k * k * k / 4 < host_count) k += 2;
+  return k;
+}
+
+NetworkGraph make_fat_tree(std::size_t host_count, std::size_t min_k,
+                           const FlowNetworkOptions& options) {
+  const std::size_t k = fat_tree_k_for(host_count, min_k);
+  const std::size_t half = k / 2;
+  const std::size_t edges = k * half;  // k pods x k/2 edge switches
+  const std::size_t aggs = k * half;
+  const std::size_t cores = half * half;
+
+  std::vector<VertexKind> switches;
+  switches.insert(switches.end(), edges, VertexKind::kTor);
+  switches.insert(switches.end(), aggs, VertexKind::kAgg);
+  switches.insert(switches.end(), cores, VertexKind::kCore);
+  const auto edge_vertex = [&](std::size_t e) {
+    return static_cast<std::uint32_t>(host_count + e);
+  };
+  const auto agg_vertex = [&](std::size_t a) {
+    return static_cast<std::uint32_t>(host_count + edges + a);
+  };
+  const auto core_vertex = [&](std::size_t c) {
+    return static_cast<std::uint32_t>(host_count + edges + aggs + c);
+  };
+
+  std::vector<Link> links;
+  const auto cable = [&](std::uint32_t a, std::uint32_t b, double gbps) {
+    links.push_back({.src = a, .dst = b, .capacity_gbps = gbps,
+                     .delay_ms = options.link_delay_ms});
+    links.push_back({.src = b, .dst = a, .capacity_gbps = gbps,
+                     .delay_ms = options.link_delay_ms});
+  };
+  // Hosts fill edge switches sequentially (k/2 slots each).
+  for (std::size_t h = 0; h < host_count; ++h)
+    cable(static_cast<std::uint32_t>(h), edge_vertex(h / half), options.link_gbps);
+  // Pod wiring: full bipartite edge x agg within each pod.
+  for (std::size_t pod = 0; pod < k; ++pod)
+    for (std::size_t e = 0; e < half; ++e)
+      for (std::size_t a = 0; a < half; ++a)
+        cable(edge_vertex(pod * half + e), agg_vertex(pod * half + a),
+              options.link_gbps);
+  // Core wiring: agg j of every pod connects to cores [j*half, (j+1)*half).
+  for (std::size_t pod = 0; pod < k; ++pod)
+    for (std::size_t a = 0; a < half; ++a)
+      for (std::size_t c = 0; c < half; ++c)
+        cable(agg_vertex(pod * half + a), core_vertex(a * half + c),
+              options.core_gbps);
+  return NetworkGraph(host_count, std::move(switches), std::move(links));
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,121 @@
+// Explicit network fabric for the flow-level model: links with capacity and
+// propagation delay, a node -> ToR -> aggregation vertex graph, and the two
+// generated datacenter-style topologies (two-tier edge, fat-tree).
+//
+// The graph is pure structure: it knows vertices, directed links, and
+// deterministic routes, but nothing about flows or bandwidth sharing — that
+// lives in network_model.hpp. Every physical cable is represented as two
+// directed links (one per direction), so contention is modelled per
+// direction, as in real fabrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edgesim/types.hpp"
+
+namespace vnfm::edgesim {
+
+/// Index of a directed link in the NetworkGraph.
+using LinkId = std::uint32_t;
+
+/// One directed link of the fabric.
+struct Link {
+  LinkId id = 0;
+  std::uint32_t src = 0;  ///< source vertex
+  std::uint32_t dst = 0;  ///< destination vertex
+  double capacity_gbps = 10.0;
+  double delay_ms = 0.05;  ///< propagation across this link
+};
+
+/// Role of a graph vertex. Hosts are the edge nodes of the Topology (vertex
+/// index == node index); switches follow after the hosts.
+enum class VertexKind : std::uint8_t { kHost, kTor, kAgg, kCore };
+
+/// Immutable switched fabric over the topology's nodes: vertices, directed
+/// links, adjacency, and deterministic shortest-path routing with hash-based
+/// ECMP tie-breaking. Link failure state is owned by the caller (the flow
+/// model) and passed into route() as a mask, keeping the graph shareable.
+class NetworkGraph {
+ public:
+  NetworkGraph(std::size_t host_count, std::vector<VertexKind> switch_kinds,
+               std::vector<Link> links);
+
+  [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return kinds_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+  [[nodiscard]] VertexKind kind(std::uint32_t vertex) const { return kinds_.at(vertex); }
+
+  /// Vertex of node `id` (hosts occupy vertices 0..host_count-1).
+  [[nodiscard]] static std::uint32_t host_vertex(NodeId id) noexcept { return index(id); }
+
+  /// First-hop switch (ToR / edge switch) of a host vertex.
+  [[nodiscard]] std::uint32_t tor_of(std::uint32_t host) const;
+
+  /// Uplink pairs (up LinkId, down LinkId) of the ToR/edge switch serving
+  /// `host`'s rack, ascending by up-link id — the unit rack-correlated
+  /// link-failure events act on.
+  [[nodiscard]] const std::vector<std::pair<LinkId, LinkId>>& rack_uplinks(
+      std::uint32_t host) const;
+
+  /// Directed links leaving `vertex` (LinkIds, ascending).
+  [[nodiscard]] const std::vector<LinkId>& out_links(std::uint32_t vertex) const {
+    return adjacency_.at(vertex);
+  }
+
+  /// Shortest route (fewest links) from vertex `src` to vertex `dst`,
+  /// skipping links whose id is set in `failed`. Equal-cost choices are
+  /// broken by a deterministic hash of (src, dst, current vertex), so the
+  /// route is a pure function of the endpoints and the failure mask (ECMP
+  /// spreading without RNG state). Returns an empty vector when src == dst
+  /// or when dst is unreachable — distinguish via reachable().
+  [[nodiscard]] std::vector<LinkId> route(std::uint32_t src, std::uint32_t dst,
+                                          const std::vector<std::uint8_t>& failed) const;
+
+  /// True when `dst` is reachable from `src` under the failure mask.
+  [[nodiscard]] bool reachable(std::uint32_t src, std::uint32_t dst,
+                               const std::vector<std::uint8_t>& failed) const;
+
+ private:
+  std::size_t host_count_ = 0;
+  std::vector<VertexKind> kinds_;                 ///< per vertex
+  std::vector<Link> links_;                       ///< by LinkId
+  std::vector<std::vector<LinkId>> adjacency_;    ///< out-links per vertex
+  std::vector<std::uint32_t> tor_of_host_;        ///< first-hop switch per host
+  /// Uplink (up, down) pairs per switch vertex index (empty for non-ToR).
+  std::vector<std::vector<std::pair<LinkId, LinkId>>> uplinks_;
+};
+
+/// Capacities and delays of the generated fabrics plus the per-request
+/// transfer size the flow model charges on every hop.
+struct FlowNetworkOptions {
+  std::size_t rack_size = 4;   ///< hosts per ToR (two-tier-edge)
+  double link_gbps = 10.0;     ///< host access / edge-layer link capacity
+  double core_gbps = 40.0;     ///< aggregation / core link capacity
+  double link_delay_ms = 0.05; ///< propagation per directed link
+  double payload_mbit = 8.0;   ///< per-request transfer size on every hop
+};
+
+/// Two-tier edge fabric: racks of `rack_size` hosts behind one ToR each,
+/// every ToR single-homed to one core switch. A rack's ToR has exactly one
+/// uplink pair, so failing it disconnects the rack (fail-stop of crossing
+/// chains) — the simplest correlated-failure fabric.
+[[nodiscard]] NetworkGraph make_two_tier_edge(std::size_t host_count,
+                                              const FlowNetworkOptions& options);
+
+/// Folded-Clos fat-tree: k pods of k/2 edge + k/2 aggregation switches, k/2
+/// hosts per edge switch, (k/2)^2 core switches — k^3/4 host slots. `min_k`
+/// is raised to the smallest even k >= max(min_k, 4) whose slot count covers
+/// `host_count`. Edge switches have k/2 uplinks, so single uplink failures
+/// reroute instead of disconnecting.
+[[nodiscard]] NetworkGraph make_fat_tree(std::size_t host_count, std::size_t min_k,
+                                         const FlowNetworkOptions& options);
+
+/// Smallest even k >= max(min_k, 4) with k^3/4 >= host_count.
+[[nodiscard]] std::size_t fat_tree_k_for(std::size_t host_count,
+                                         std::size_t min_k) noexcept;
+
+}  // namespace vnfm::edgesim

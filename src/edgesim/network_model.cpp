@@ -1,0 +1,357 @@
+#include "edgesim/network_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <string_view>
+
+namespace vnfm::edgesim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Finite probe latency for an unroutable pair — large enough that masked
+/// features saturate, small enough to keep rewards finite if it ever leaks.
+constexpr double kUnroutableMs = 1.0e4;
+/// Saturation threshold of the water-filling loop (absolute, in Gbps).
+constexpr double kFillEps = 1.0e-12;
+
+}  // namespace
+
+FlowNetworkModel::FlowNetworkModel(const Topology& topology, NetworkGraph graph,
+                                   FlowNetworkOptions options)
+    : topology_(topology), graph_(std::move(graph)), options_(options) {
+  if (graph_.host_count() < topology_.node_count())
+    throw std::invalid_argument("network graph does not cover the topology");
+  if (options_.payload_mbit <= 0.0)
+    throw std::invalid_argument("payload_mbit must be positive");
+  failed_.assign(graph_.link_count(), 0);
+  link_flows_.assign(graph_.link_count(), {});
+}
+
+const std::vector<LinkId>& FlowNetworkModel::cached_route(std::uint32_t src,
+                                                          std::uint32_t dst) const {
+  const auto key = std::make_pair(src, dst);
+  auto it = route_cache_.find(key);
+  if (it == route_cache_.end())
+    it = route_cache_.emplace(key, graph_.route(src, dst, failed_)).first;
+  return it->second;
+}
+
+double FlowNetworkModel::propagation_ms(const std::vector<LinkId>& links) const {
+  double ms = 0.0;
+  for (const LinkId id : links) ms += graph_.link(id).delay_ms;
+  return ms;
+}
+
+double FlowNetworkModel::probe_transfer_ms(const std::vector<LinkId>& links) const {
+  // Estimate of the fair share a NEW flow over `links` would receive: the
+  // tightest link's capacity split among its current flows plus this one.
+  double share = kInf;
+  for (const LinkId id : links) {
+    const double flows_here = static_cast<double>(link_flows_[id].size()) + 1.0;
+    share = std::min(share, graph_.link(id).capacity_gbps / flows_here);
+  }
+  return options_.payload_mbit / share;  // Mbit / Gbps == ms
+}
+
+double FlowNetworkModel::hop_latency_ms(NodeId a, NodeId b) const {
+  if (a == b) return topology_.latency_ms(a, b);  // intra-node hop
+  const auto& links = cached_route(NetworkGraph::host_vertex(a),
+                                   NetworkGraph::host_vertex(b));
+  if (links.empty()) return kUnroutableMs;
+  return propagation_ms(links) + probe_transfer_ms(links);
+}
+
+double FlowNetworkModel::user_latency_ms(NodeId region, NodeId target) const {
+  // The topology's last-mile constant, recovered without duplicating it.
+  const double last_mile = topology_.user_latency_ms(region, region);
+  if (region == target) return last_mile;
+  const auto& links = cached_route(NetworkGraph::host_vertex(region),
+                                   NetworkGraph::host_vertex(target));
+  if (links.empty()) return last_mile + kUnroutableMs;
+  return last_mile + propagation_ms(links) + probe_transfer_ms(links);
+}
+
+double FlowNetworkModel::add_flow(FlowKey key, NodeId a, NodeId b, double) {
+  return add_vertex_flow(key, NetworkGraph::host_vertex(a),
+                         NetworkGraph::host_vertex(b), kInf, /*user_hop=*/false);
+}
+
+double FlowNetworkModel::add_access_flow(FlowKey key, NodeId region, NodeId first,
+                                         double) {
+  return add_vertex_flow(key, NetworkGraph::host_vertex(region),
+                         NetworkGraph::host_vertex(first), kInf, /*user_hop=*/true);
+}
+
+double FlowNetworkModel::add_return_flow(FlowKey key, NodeId last, NodeId region,
+                                         double) {
+  return add_vertex_flow(key, NetworkGraph::host_vertex(last),
+                         NetworkGraph::host_vertex(region), kInf, /*user_hop=*/true);
+}
+
+double FlowNetworkModel::add_flow_between(FlowKey key, std::uint32_t src,
+                                          std::uint32_t dst, double demand_gbps) {
+  return add_vertex_flow(key, src, dst, demand_gbps, /*user_hop=*/false);
+}
+
+double FlowNetworkModel::add_vertex_flow(FlowKey key, std::uint32_t src,
+                                         std::uint32_t dst, double demand_gbps,
+                                         bool user_hop) {
+  if (flows_.contains(key)) throw std::invalid_argument("duplicate flow key");
+  Flow flow{.src = src, .dst = dst, .demand_gbps = demand_gbps,
+            .alloc_gbps = 0.0, .user_hop = user_hop};
+  if (src != dst) flow.links = cached_route(src, dst);
+  const std::vector<LinkId> seeds = flow.links;
+  attach(key, std::move(flow));
+  reshare_component(seeds);
+  return latency_of(flows_.at(key));
+}
+
+void FlowNetworkModel::remove_flow(FlowKey key) {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;  // uniform teardown across models
+  const std::vector<LinkId> seeds = it->second.links;
+  detach_links(it->second, key);
+  flows_.erase(it);
+  reshare_component(seeds);
+}
+
+void FlowNetworkModel::attach(FlowKey key, Flow flow) {
+  for (const LinkId id : flow.links) {
+    auto& keys = link_flows_[id];
+    keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
+  }
+  flows_.emplace(key, std::move(flow));
+}
+
+void FlowNetworkModel::detach_links(const Flow& flow, FlowKey key) {
+  for (const LinkId id : flow.links) {
+    auto& keys = link_flows_[id];
+    keys.erase(std::lower_bound(keys.begin(), keys.end(), key));
+  }
+}
+
+void FlowNetworkModel::reshare_component(const std::vector<LinkId>& seed_links) {
+  if (seed_links.empty()) return;
+  // Each seed expands to its full connected component of the flow<->link
+  // bipartite graph; components are water-filled independently so a flow's
+  // allocation is a pure function of its component's content — incremental
+  // recomputes and full rebuilds produce bit-identical numbers.
+  std::vector<std::uint8_t> seen_link(graph_.link_count(), 0);
+  std::set<FlowKey> seen_flow;
+  for (const LinkId seed : seed_links) {
+    if (seen_link[seed]) continue;
+    std::vector<LinkId> comp_links;
+    std::vector<FlowKey> comp_flows;
+    std::vector<LinkId> frontier{seed};
+    seen_link[seed] = 1;
+    while (!frontier.empty()) {
+      const LinkId link = frontier.back();
+      frontier.pop_back();
+      comp_links.push_back(link);
+      for (const FlowKey key : link_flows_[link]) {
+        if (!seen_flow.insert(key).second) continue;
+        comp_flows.push_back(key);
+        for (const LinkId other : flows_.at(key).links) {
+          if (seen_link[other]) continue;
+          seen_link[other] = 1;
+          frontier.push_back(other);
+        }
+      }
+    }
+    std::sort(comp_links.begin(), comp_links.end());
+    std::sort(comp_flows.begin(), comp_flows.end());
+    water_fill(comp_links, comp_flows);
+  }
+}
+
+void FlowNetworkModel::water_fill(const std::vector<LinkId>& comp_links,
+                                  const std::vector<FlowKey>& comp_flows) {
+  // Progressive filling from zero: raise every unfrozen flow's rate by the
+  // largest uniform increment any link or demand allows, freeze the flows
+  // that hit a saturated link or their demand, repeat. Every round freezes
+  // at least one flow, so the loop terminates in <= |comp_flows| rounds.
+  const std::size_t n = comp_flows.size();
+  std::vector<Flow*> flows(n);
+  std::vector<double> alloc(n, 0.0);
+  std::vector<std::uint8_t> frozen(n, 0);
+  for (std::size_t i = 0; i < n; ++i) flows[i] = &flows_.at(comp_flows[i]);
+
+  // Component-local link state: remaining capacity + unfrozen flow count.
+  // comp_links is sorted, so binary search maps LinkId -> local index.
+  const auto local = [&](LinkId id) {
+    return static_cast<std::size_t>(
+        std::lower_bound(comp_links.begin(), comp_links.end(), id) -
+        comp_links.begin());
+  };
+  std::vector<double> remaining(comp_links.size());
+  std::vector<std::size_t> active(comp_links.size(), 0);
+  for (std::size_t l = 0; l < comp_links.size(); ++l)
+    remaining[l] = graph_.link(comp_links[l]).capacity_gbps;
+  for (std::size_t i = 0; i < n; ++i)
+    for (const LinkId id : flows[i]->links) ++active[local(id)];
+
+  std::size_t unfrozen = n;
+  while (unfrozen > 0) {
+    // Largest uniform increment: min over links of remaining/active and over
+    // flows of demand headroom.
+    double step = kInf;
+    for (std::size_t l = 0; l < comp_links.size(); ++l)
+      if (active[l] > 0)
+        step = std::min(step, remaining[l] / static_cast<double>(active[l]));
+    for (std::size_t i = 0; i < n; ++i)
+      if (!frozen[i]) step = std::min(step, flows[i]->demand_gbps - alloc[i]);
+    for (std::size_t l = 0; l < comp_links.size(); ++l)
+      if (active[l] > 0) remaining[l] -= step * static_cast<double>(active[l]);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!frozen[i]) alloc[i] += step;
+    // Freeze flows at demand or crossing a saturated link.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      bool freeze = alloc[i] >= flows[i]->demand_gbps - kFillEps;
+      for (const LinkId id : flows[i]->links)
+        if (remaining[local(id)] <= kFillEps) freeze = true;
+      if (!freeze) continue;
+      frozen[i] = 1;
+      --unfrozen;
+      for (const LinkId id : flows[i]->links) --active[local(id)];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) flows[i]->alloc_gbps = alloc[i];
+}
+
+double FlowNetworkModel::latency_of(const Flow& flow) const {
+  const double base =
+      flow.user_hop
+          ? topology_.user_latency_ms(static_cast<NodeId>(flow.src),
+                                      static_cast<NodeId>(flow.src))  // last mile
+          : 0.0;
+  if (flow.links.empty()) {
+    if (flow.src == flow.dst)
+      return flow.user_hop ? base
+                           : topology_.latency_ms(static_cast<NodeId>(flow.src),
+                                                  static_cast<NodeId>(flow.dst));
+    return base + kUnroutableMs;  // registered but currently unroutable
+  }
+  return base + propagation_ms(flow.links) +
+         options_.payload_mbit / flow.alloc_gbps;
+}
+
+bool FlowNetworkModel::can_route(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  return !cached_route(NetworkGraph::host_vertex(a), NetworkGraph::host_vertex(b))
+              .empty();
+}
+
+std::vector<FlowKey> FlowNetworkModel::fail_link_at(NodeId anchor) {
+  const auto& uplinks = graph_.rack_uplinks(NetworkGraph::host_vertex(anchor));
+  const auto next = std::find_if(uplinks.begin(), uplinks.end(), [&](const auto& pair) {
+    return !failed_[pair.first];
+  });
+  if (next == uplinks.end()) return {};  // rack already fully cut
+  failed_[next->first] = 1;
+  failed_[next->second] = 1;
+  route_cache_.clear();
+
+  // Flows crossing either direction of the failed cable, in key order.
+  std::vector<FlowKey> crossing = link_flows_[next->first];
+  crossing.insert(crossing.end(), link_flows_[next->second].begin(),
+                  link_flows_[next->second].end());
+  std::sort(crossing.begin(), crossing.end());
+  crossing.erase(std::unique(crossing.begin(), crossing.end()), crossing.end());
+
+  std::vector<LinkId> seeds{next->first, next->second};
+  std::vector<FlowKey> doomed;
+  for (const FlowKey key : crossing) {
+    Flow& flow = flows_.at(key);
+    seeds.insert(seeds.end(), flow.links.begin(), flow.links.end());
+    detach_links(flow, key);
+    flow.links = cached_route(flow.src, flow.dst);
+    if (flow.links.empty()) {
+      // No remaining path: the chain dies fail-stop; the caller tears it
+      // down, which removes this (now routeless) flow.
+      flow.alloc_gbps = 0.0;
+      doomed.push_back(key);
+    } else {
+      for (const LinkId id : flow.links) {
+        auto& keys = link_flows_[id];
+        keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
+      }
+      seeds.insert(seeds.end(), flow.links.begin(), flow.links.end());
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  reshare_component(seeds);
+  return doomed;
+}
+
+void FlowNetworkModel::recover_link_at(NodeId anchor) {
+  const auto& uplinks = graph_.rack_uplinks(NetworkGraph::host_vertex(anchor));
+  bool changed = false;
+  for (const auto& [up, down] : uplinks) {
+    if (!failed_[up]) continue;
+    failed_[up] = 0;
+    failed_[down] = 0;
+    changed = true;
+  }
+  // Existing flows keep their routes (no traffic moves on recovery); new and
+  // rerouted flows see the recovered links via the cleared route cache.
+  if (changed) route_cache_.clear();
+}
+
+std::string FlowNetworkModel::name() const {
+  return "flow-network";
+}
+
+const FlowNetworkModel::Flow& FlowNetworkModel::flow(FlowKey key) const {
+  return flows_.at(key);
+}
+
+double FlowNetworkModel::flow_latency_ms(FlowKey key) const {
+  return latency_of(flows_.at(key));
+}
+
+double FlowNetworkModel::link_utilization_gbps(LinkId link) const {
+  double total = 0.0;
+  for (const FlowKey key : link_flows_.at(link)) total += flows_.at(key).alloc_gbps;
+  return total;
+}
+
+std::size_t FlowNetworkModel::failed_link_count() const {
+  return static_cast<std::size_t>(
+      std::count(failed_.begin(), failed_.end(), std::uint8_t{1}));
+}
+
+std::unique_ptr<NetworkModel> make_network_model(const Topology& topology,
+                                                 const NetworkOptions& options) {
+  const std::string& name = options.topology;
+  if (name.empty() || name == "constant")
+    return std::make_unique<ConstantLatencyModel>(topology);
+  if (name == "two-tier-edge")
+    return std::make_unique<FlowNetworkModel>(
+        topology, make_two_tier_edge(topology.node_count(), options.flow),
+        options.flow);
+  if (constexpr std::string_view prefix = "fat-tree-k"; name.starts_with(prefix)) {
+    std::size_t min_k = 0;
+    try {
+      min_k = std::stoul(name.substr(prefix.size()));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad fat-tree spec: " + name);
+    }
+    return std::make_unique<FlowNetworkModel>(
+        topology, make_fat_tree(topology.node_count(), min_k, options.flow),
+        options.flow);
+  }
+  throw std::invalid_argument("unknown network topology: " + name);
+}
+
+NetworkModelFactory network_model_factory(NetworkOptions options) {
+  return [options = std::move(options)](const Topology& topology) {
+    return make_network_model(topology, options);
+  };
+}
+
+}  // namespace vnfm::edgesim

@@ -1,0 +1,237 @@
+// Polymorphic network model: the latency a chain hop experiences, as a
+// subsystem alongside WorkloadModel.
+//
+//  - ConstantLatencyModel  wraps the Topology's geographic LatencyModel
+//                          verbatim — the default, bit-identical to the
+//                          pre-NetworkModel behaviour on every scenario.
+//  - FlowNetworkModel      explicit racks/ToRs/links (link.hpp): every chain
+//                          hop is a Flow routed over the fabric, throughput
+//                          comes from iterative max-min fair sharing of link
+//                          capacity, and hop latency = route propagation +
+//                          payload transfer at the allocated bandwidth — so
+//                          chain latency and SLA violations emerge from
+//                          actual contention instead of constants.
+//
+// Allocation is recomputed incrementally: adding/removing/rerouting a flow
+// marks its links dirty, the recompute closes over the flow<->link component
+// reachable from the dirty links, and water-fills only that component.
+// Components are link-disjoint from the rest of the flow table, so the
+// restricted recompute equals the global max-min allocation — the O(dirty)
+// discipline of the incremental cluster state carries over to the network.
+//
+// ClusterState owns one NetworkModel and routes every latency/routability
+// query through it; core::EnvOptions carries a copyable NetworkOptions value
+// (plus an optional factory override) that VnfEnv turns into a model on
+// every reset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edgesim/link.hpp"
+#include "edgesim/topology.hpp"
+
+namespace vnfm::edgesim {
+
+/// Identity of one registered flow: the owning chain request plus the hop
+/// index within it (0 = user access hop, i >= 1 = the hop into chain
+/// position i, chain length = the return hop to the user).
+struct FlowKey {
+  RequestId request{};
+  std::uint32_t hop = 0;
+
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+/// Abstract network: latency queries plus a flow lifecycle. The constant
+/// model ignores flows entirely; the flow model shares bandwidth among them.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  // ---- Stateless latency probes (features, chain-latency recomputation) ---
+  /// Latency of a hop between two nodes under current conditions, without
+  /// registering anything. Constant model: Topology::latency_ms verbatim.
+  [[nodiscard]] virtual double hop_latency_ms(NodeId a, NodeId b) const = 0;
+  /// Latency from a user in `region`'s metro to `target`, without
+  /// registering anything. Constant model: Topology::user_latency_ms.
+  [[nodiscard]] virtual double user_latency_ms(NodeId region, NodeId target) const = 0;
+
+  // ---- Flow lifecycle (no-ops returning the probe in the constant model) --
+  /// Registers the inter-node hop `a -> b` of a chain and returns the hop
+  /// latency the chain is charged (flow model: after re-sharing bandwidth).
+  virtual double add_flow(FlowKey key, NodeId a, NodeId b, double rate_rps) = 0;
+  /// Registers the user access hop (user in `region` -> `first`).
+  virtual double add_access_flow(FlowKey key, NodeId region, NodeId first,
+                                 double rate_rps) = 0;
+  /// Registers the return hop (`last` -> user in `region`).
+  virtual double add_return_flow(FlowKey key, NodeId last, NodeId region,
+                                 double rate_rps) = 0;
+  /// Retires a flow (no-op if the key is unknown, so teardown paths can be
+  /// uniform across models and partially placed chains).
+  virtual void remove_flow(FlowKey key) = 0;
+
+  // ---- Routability and faults ---------------------------------------------
+  /// True when traffic can currently be routed between the two nodes
+  /// (constant model: always). Placement masks AND this into can_link.
+  [[nodiscard]] virtual bool can_route(NodeId a, NodeId b) const = 0;
+  /// Rack-correlated link failure: fails the first non-failed uplink pair of
+  /// the ToR/edge switch serving `anchor`'s rack, reroutes crossing flows
+  /// where the fabric still has a path, and returns the keys of flows left
+  /// with no route (the caller kills their chains, fail-stop). Constant
+  /// model: no fabric, returns empty.
+  virtual std::vector<FlowKey> fail_link_at(NodeId anchor) = 0;
+  /// Recovers every failed uplink of `anchor`'s rack (existing flows keep
+  /// their current routes; new and rerouted flows see the recovered links).
+  virtual void recover_link_at(NodeId anchor) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t active_flow_count() const = 0;
+};
+
+/// The legacy behaviour as a NetworkModel: every query delegates to the
+/// Topology's geographic latency model, flows are not tracked, links do not
+/// exist. Bit-identical to the pre-NetworkModel code paths by construction.
+class ConstantLatencyModel final : public NetworkModel {
+ public:
+  explicit ConstantLatencyModel(const Topology& topology) : topology_(topology) {}
+
+  [[nodiscard]] double hop_latency_ms(NodeId a, NodeId b) const override {
+    return topology_.latency_ms(a, b);
+  }
+  [[nodiscard]] double user_latency_ms(NodeId region, NodeId target) const override {
+    return topology_.user_latency_ms(region, target);
+  }
+  double add_flow(FlowKey, NodeId a, NodeId b, double) override {
+    return topology_.latency_ms(a, b);
+  }
+  double add_access_flow(FlowKey, NodeId region, NodeId first, double) override {
+    return topology_.user_latency_ms(region, first);
+  }
+  double add_return_flow(FlowKey, NodeId last, NodeId region, double) override {
+    return topology_.user_latency_ms(region, last);
+  }
+  void remove_flow(FlowKey) override {}
+  [[nodiscard]] bool can_route(NodeId, NodeId) const override { return true; }
+  std::vector<FlowKey> fail_link_at(NodeId) override { return {}; }
+  void recover_link_at(NodeId) override {}
+  [[nodiscard]] std::string name() const override { return "constant-latency"; }
+  [[nodiscard]] std::size_t active_flow_count() const override { return 0; }
+
+ private:
+  const Topology& topology_;
+};
+
+/// Flow-level model over an explicit fabric. See the file header for the
+/// allocation and incremental-recompute contract.
+class FlowNetworkModel final : public NetworkModel {
+ public:
+  /// One registered flow and its current allocation.
+  struct Flow {
+    std::uint32_t src = 0;           ///< source vertex
+    std::uint32_t dst = 0;           ///< destination vertex
+    double demand_gbps = 0.0;        ///< cap on the fair share (inf = elastic)
+    double alloc_gbps = 0.0;         ///< current max-min allocation
+    bool user_hop = false;           ///< charged the last-mile constant
+    std::vector<LinkId> links;       ///< current route (empty = same vertex)
+  };
+
+  FlowNetworkModel(const Topology& topology, NetworkGraph graph,
+                   FlowNetworkOptions options);
+
+  [[nodiscard]] double hop_latency_ms(NodeId a, NodeId b) const override;
+  [[nodiscard]] double user_latency_ms(NodeId region, NodeId target) const override;
+  double add_flow(FlowKey key, NodeId a, NodeId b, double rate_rps) override;
+  double add_access_flow(FlowKey key, NodeId region, NodeId first,
+                         double rate_rps) override;
+  double add_return_flow(FlowKey key, NodeId last, NodeId region,
+                         double rate_rps) override;
+  void remove_flow(FlowKey key) override;
+  [[nodiscard]] bool can_route(NodeId a, NodeId b) const override;
+  std::vector<FlowKey> fail_link_at(NodeId anchor) override;
+  void recover_link_at(NodeId anchor) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t active_flow_count() const override {
+    return flows_.size();
+  }
+
+  // ---- Introspection (tests, benches) -------------------------------------
+  [[nodiscard]] const NetworkGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const FlowNetworkOptions& options() const noexcept { return options_; }
+  /// Registers a raw vertex-to-vertex flow with an explicit demand cap and
+  /// returns its latency — exercises demand-capped water-filling in tests
+  /// (chain hops registered via the NetworkModel interface are elastic).
+  double add_flow_between(FlowKey key, std::uint32_t src, std::uint32_t dst,
+                          double demand_gbps);
+  /// Current allocation of a registered flow; throws std::out_of_range on an
+  /// unknown key.
+  [[nodiscard]] const Flow& flow(FlowKey key) const;
+  /// Latency a registered flow currently experiences (propagation + payload
+  /// transfer at its allocation, + last mile for user hops).
+  [[nodiscard]] double flow_latency_ms(FlowKey key) const;
+  /// Sum of allocations crossing a link (diagnostics; recomputed on demand).
+  [[nodiscard]] double link_utilization_gbps(LinkId link) const;
+  [[nodiscard]] std::size_t failed_link_count() const;
+
+ private:
+  /// Registers a flow between two vertices (demand in Gbps, infinity =
+  /// elastic), re-shares its component, and returns its latency. User hops
+  /// additionally carry the topology's last-mile constant.
+  double add_vertex_flow(FlowKey key, std::uint32_t src, std::uint32_t dst,
+                         double demand_gbps, bool user_hop);
+  /// Re-water-fills every flow<->link connected component that contains one
+  /// of `seed_links`, each component independently from zero.
+  void reshare_component(const std::vector<LinkId>& seed_links);
+  /// Progressive filling of one connected component (sorted links + keys).
+  void water_fill(const std::vector<LinkId>& comp_links,
+                  const std::vector<FlowKey>& comp_flows);
+  [[nodiscard]] const std::vector<LinkId>& cached_route(std::uint32_t src,
+                                                        std::uint32_t dst) const;
+  [[nodiscard]] double latency_of(const Flow& flow) const;
+  [[nodiscard]] double propagation_ms(const std::vector<LinkId>& links) const;
+  /// Fair-share estimate for one additional flow over `links` (probes).
+  [[nodiscard]] double probe_transfer_ms(const std::vector<LinkId>& links) const;
+  void attach(FlowKey key, Flow flow);
+  void detach_links(const Flow& flow, FlowKey key);
+
+  const Topology& topology_;
+  NetworkGraph graph_;
+  FlowNetworkOptions options_;
+  std::map<FlowKey, Flow> flows_;  ///< deterministic iteration order
+  std::vector<std::uint8_t> failed_;              ///< per LinkId
+  std::vector<std::vector<FlowKey>> link_flows_;  ///< sorted keys per link
+  /// Route cache keyed by (src, dst) vertex pair; invalidated on any
+  /// failure-state change. Routes are pure functions of endpoints + mask, so
+  /// the cache can never change results, only cost.
+  mutable std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<LinkId>>
+      route_cache_;
+};
+
+/// Copyable network configuration carried by core::EnvOptions. `topology`
+/// selects the model: "constant" (default, bit-identical legacy behaviour),
+/// "two-tier-edge", or "fat-tree-k<k>" (e.g. "fat-tree-k4"; k is auto-raised
+/// to cover the node count).
+struct NetworkOptions {
+  std::string topology = "constant";
+  FlowNetworkOptions flow;
+};
+
+/// Builds a network model for a freshly reset environment. An empty factory
+/// means make_network_model over core::EnvOptions::network.
+using NetworkModelFactory =
+    std::function<std::unique_ptr<NetworkModel>(const Topology& topology)>;
+
+/// Instantiates the model `options` names over `topology`; throws
+/// std::invalid_argument on an unknown topology string.
+[[nodiscard]] std::unique_ptr<NetworkModel> make_network_model(
+    const Topology& topology, const NetworkOptions& options);
+
+/// The explicit factory form of make_network_model (captures a copy of
+/// `options`).
+[[nodiscard]] NetworkModelFactory network_model_factory(NetworkOptions options);
+
+}  // namespace vnfm::edgesim

@@ -262,6 +262,67 @@ double RateScaleOverlay::peak_total_rate() const {
   return factor_ * inner_->peak_total_rate();
 }
 
+// ---- HotspotOverlay --------------------------------------------------------
+
+HotspotOverlay::HotspotOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                               WorkloadOptions options,
+                               std::unique_ptr<WorkloadModel> inner,
+                               HotspotOptions hotspot)
+    : PoissonArrivalModel(topology, sfcs, options),
+      inner_(std::move(inner)),
+      hotspot_(hotspot),
+      region_{static_cast<std::uint32_t>(hotspot.region % topology.node_count())} {
+  if (!inner_) throw std::invalid_argument("incast overlay needs an inner model");
+  if (hotspot_.magnitude <= 0.0)
+    throw std::invalid_argument("incast magnitude must be positive");
+  if (hotspot_.start_s < 0.0 || hotspot_.duration_s <= 0.0)
+    throw std::invalid_argument("incast needs start_s >= 0 and duration_s > 0");
+}
+
+HotspotOverlay::HotspotOverlay(const HotspotOverlay& other)
+    : PoissonArrivalModel(other),
+      inner_(other.inner_->clone()),
+      hotspot_(other.hotspot_),
+      region_(other.region_) {}
+
+double HotspotOverlay::region_rate(NodeId region, SimTime t) const {
+  const double base = inner_->region_rate(region, t);
+  if (region != region_) return base;
+  if (t < hotspot_.start_s || t >= hotspot_.start_s + hotspot_.duration_s) return base;
+  return base * hotspot_.magnitude;
+}
+
+double HotspotOverlay::peak_total_rate() const {
+  return inner_->peak_total_rate() * std::max(1.0, hotspot_.magnitude);
+}
+
+// ---- TraceRecordingModel ---------------------------------------------------
+
+TraceRecordingModel::TraceRecordingModel(std::unique_ptr<WorkloadModel> inner,
+                                         const std::string& path)
+    : inner_(std::move(inner)), out_(std::make_shared<std::ofstream>(path)) {
+  if (!inner_) throw std::invalid_argument("trace recording needs an inner model");
+  if (!out_->is_open())
+    throw std::runtime_error("cannot open trace dump file: " + path);
+  // Round-trippable doubles: 17 significant digits reproduce the exact bits
+  // on parse, so replayed arrival instants match the recorded stream.
+  out_->precision(17);
+  *out_ << "offset_s,region,sfc,rate_rps,duration_s\n";
+  out_->flush();
+}
+
+Request TraceRecordingModel::next(SimTime now) {
+  const Request request = inner_->next(now);
+  // Offsets are absolute arrival times, so a TraceReplayModel over the dump
+  // reproduces the arrival instants of this stream exactly (loop 0).
+  (*out_) << request.arrival_time << ',' << index(request.source_region) << ','
+          << index(request.sfc) << ',' << request.rate_rps << ','
+          << request.duration_s << '\n';
+  out_->flush();
+  ++rows_;
+  return request;
+}
+
 // ---- Factories -------------------------------------------------------------
 
 WorkloadModelFactory flash_crowd_factory(WorkloadModelFactory inner,
@@ -290,6 +351,20 @@ WorkloadModelFactory rate_scale_factory(WorkloadModelFactory inner, double facto
     }
     return std::make_unique<RateScaleOverlay>(topology, sfcs, options,
                                               std::move(inner_model), factor);
+  };
+}
+
+WorkloadModelFactory hotspot_factory(WorkloadModelFactory inner, HotspotOptions hotspot) {
+  return [inner, hotspot](const Topology& topology, const SfcCatalog& sfcs,
+                          const WorkloadOptions& options) -> std::unique_ptr<WorkloadModel> {
+    std::unique_ptr<WorkloadModel> inner_model;
+    if (inner) {
+      inner_model = inner(topology, sfcs, options);
+    } else {
+      inner_model = std::make_unique<PoissonDiurnalModel>(topology, sfcs, options);
+    }
+    return std::make_unique<HotspotOverlay>(topology, sfcs, options,
+                                            std::move(inner_model), hotspot);
   };
 }
 

@@ -21,6 +21,7 @@
 // episode-derived seed.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -175,6 +176,89 @@ class RateScaleOverlay final : public PoissonArrivalModel {
   double factor_ = 1.0;
 };
 
+struct HotspotOptions {
+  std::uint32_t region = 0;    ///< boosted region (modulo the node count)
+  double magnitude = 6.0;      ///< rate multiplier during the hotspot
+  double start_s = 600.0;      ///< window opens here
+  double duration_s = 1800.0;  ///< window length (one window, not periodic)
+};
+
+/// Incast hotspot: ONE fixed region's arrival rate is multiplied during a
+/// single time window. Unlike FlashCrowdOverlay the epicentre never rotates
+/// and never spreads — the point is to drive sustained load (and, under the
+/// flow network model, link contention) into one rack's uplinks.
+class HotspotOverlay final : public PoissonArrivalModel {
+ public:
+  HotspotOverlay(const Topology& topology, const SfcCatalog& sfcs,
+                 WorkloadOptions options, std::unique_ptr<WorkloadModel> inner,
+                 HotspotOptions hotspot = {});
+  HotspotOverlay(const HotspotOverlay& other);
+
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override;
+  [[nodiscard]] double peak_total_rate() const override;
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return std::make_unique<HotspotOverlay>(*this);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "incast(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const WorkloadModel& inner() const noexcept { return *inner_; }
+  [[nodiscard]] const HotspotOptions& hotspot_options() const noexcept {
+    return hotspot_;
+  }
+  [[nodiscard]] NodeId hotspot_region() const noexcept { return region_; }
+
+ private:
+  std::unique_ptr<WorkloadModel> inner_;
+  HotspotOptions hotspot_;
+  NodeId region_{};  ///< hotspot_.region reduced modulo the node count
+};
+
+/// Records the stream of any inner model to a CSV replayable by
+/// TraceReplayModel (header offset_s,region,sfc,rate_rps,duration_s; one row
+/// per generated request, offset = absolute arrival time, flushed per row).
+/// All queries delegate to the inner model, so the wrapped stream is
+/// bit-identical to the unwrapped one. clone() returns a clone of the inner
+/// model WITHOUT recording — cloned streams (actor threads, serving
+/// partitions) would interleave rows non-deterministically in one file.
+class TraceRecordingModel final : public WorkloadModel {
+ public:
+  /// Opens `path` truncating; throws std::runtime_error if it cannot.
+  TraceRecordingModel(std::unique_ptr<WorkloadModel> inner, const std::string& path);
+
+  [[nodiscard]] Request next(SimTime now) override;
+  [[nodiscard]] double region_rate(NodeId region, SimTime t) const override {
+    return inner_->region_rate(region, t);
+  }
+  [[nodiscard]] double total_rate(SimTime t) const override {
+    return inner_->total_rate(t);
+  }
+  [[nodiscard]] double peak_total_rate() const override {
+    return inner_->peak_total_rate();
+  }
+  [[nodiscard]] std::unique_ptr<WorkloadModel> clone() const override {
+    return inner_->clone();
+  }
+  [[nodiscard]] std::string name() const override {
+    return "trace-recording(" + inner_->name() + ")";
+  }
+  [[nodiscard]] const WorkloadOptions& options() const override {
+    return inner_->options();
+  }
+  [[nodiscard]] std::uint64_t generated_count() const override {
+    return inner_->generated_count();
+  }
+
+  [[nodiscard]] const WorkloadModel& inner() const noexcept { return *inner_; }
+  [[nodiscard]] std::uint64_t rows_recorded() const noexcept { return rows_; }
+
+ private:
+  std::unique_ptr<WorkloadModel> inner_;
+  std::shared_ptr<std::ofstream> out_;
+  std::uint64_t rows_ = 0;
+};
+
 /// Wraps `inner` (empty = Poisson-diurnal) with a flash-crowd overlay.
 [[nodiscard]] WorkloadModelFactory flash_crowd_factory(WorkloadModelFactory inner,
                                                        FlashCrowdOptions burst = {});
@@ -182,5 +266,9 @@ class RateScaleOverlay final : public PoissonArrivalModel {
 /// Wraps `inner` (empty = Poisson-diurnal) with a rate-scale overlay.
 [[nodiscard]] WorkloadModelFactory rate_scale_factory(WorkloadModelFactory inner,
                                                       double factor);
+
+/// Wraps `inner` (empty = Poisson-diurnal) with an incast hotspot overlay.
+[[nodiscard]] WorkloadModelFactory hotspot_factory(WorkloadModelFactory inner,
+                                                   HotspotOptions hotspot = {});
 
 }  // namespace vnfm::edgesim

@@ -19,7 +19,9 @@ const char* const kEnvOverrideKeys[] = {
     "peak_local_hour", "workload_seed",    "idle_timeout_s",   "max_utilization",
     "wan_bandwidth_rps", "w_deploy",       "w_running",        "w_latency_per_ms",
     "w_sla_violation", "w_rejection",      "w_revenue",        "w_migration",
-    "reward_scale",   "dense_features",    "candidate_k",      "seed"};
+    "reward_scale",   "dense_features",    "candidate_k",      "topology",
+    "rack_size",      "link_gbps",         "core_gbps",        "link_delay_ms",
+    "payload_mbit",   "seed"};
 
 }  // namespace
 
@@ -78,6 +80,16 @@ core::EnvOptions apply_env_overrides(core::EnvOptions options, const Config& ove
   cost.w_rejection = overrides.get_double("w_rejection", cost.w_rejection);
   cost.w_revenue = overrides.get_double("w_revenue", cost.w_revenue);
   cost.w_migration = overrides.get_double("w_migration", cost.w_migration);
+
+  auto& network = options.network;
+  network.topology = overrides.get_string("topology", network.topology);
+  network.flow.rack_size = overrides.get_size("rack_size", network.flow.rack_size);
+  network.flow.link_gbps = overrides.get_double("link_gbps", network.flow.link_gbps);
+  network.flow.core_gbps = overrides.get_double("core_gbps", network.flow.core_gbps);
+  network.flow.link_delay_ms =
+      overrides.get_double("link_delay_ms", network.flow.link_delay_ms);
+  network.flow.payload_mbit =
+      overrides.get_double("payload_mbit", network.flow.payload_mbit);
 
   options.reward_scale = overrides.get_double("reward_scale", options.reward_scale);
   options.dense_features = overrides.get_bool("dense_features", options.dense_features);
@@ -369,6 +381,61 @@ ScenarioCatalog::ScenarioCatalog() {
              options.events.fail_node(overrides.get_double("fail_at_s", 1800.0), node);
              const double recover_at = overrides.get_double("recover_at_s", 5400.0);
              if (recover_at > 0.0) options.events.recover_node(recover_at, node);
+           }});
+  add_overlay(
+      {.name = "incast",
+       .description =
+           "sustained single-region hotspot on top of any workload: metro "
+           "`incast_region` runs at `incast_magnitude`x rate from "
+           "`incast_start_s` for `incast_duration_s` — with a flow network "
+           "topology this concentrates traffic on one rack's uplinks",
+       .option_keys = {"incast_region", "incast_magnitude", "incast_start_s",
+                       "incast_duration_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             edgesim::HotspotOptions hotspot;
+             hotspot.region = static_cast<std::uint32_t>(
+                 overrides.get_size("incast_region", hotspot.region));
+             hotspot.magnitude =
+                 overrides.get_double("incast_magnitude", hotspot.magnitude);
+             hotspot.start_s = overrides.get_double("incast_start_s", hotspot.start_s);
+             hotspot.duration_s =
+                 overrides.get_double("incast_duration_s", hotspot.duration_s);
+             options.workload_model =
+                 edgesim::hotspot_factory(options.workload_model, hotspot);
+           }});
+  add_overlay(
+      {.name = "cross-rack",
+       .description =
+           "heavier east-west traffic profile: raises the per-hop payload to "
+           "`cross_rack_payload_mbit` and scales core/aggregation capacity by "
+           "`cross_rack_core_factor` — makes inter-rack hops the bottleneck "
+           "under a flow network topology (no effect on the constant model)",
+       .option_keys = {"cross_rack_payload_mbit", "cross_rack_core_factor"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             options.network.flow.payload_mbit =
+                 overrides.get_double("cross_rack_payload_mbit", 32.0);
+             options.network.flow.core_gbps *=
+                 overrides.get_double("cross_rack_core_factor", 0.5);
+           }});
+  add_overlay(
+      {.name = "link-failure",
+       .description =
+           "rack-correlated fabric fault: at `link_fail_at_s` one uplink pair "
+           "of node `link_fail_node`'s rack ToR fails — crossing chains "
+           "reroute where the fabric allows it and are killed fail-stop where "
+           "it does not — with every failed uplink of the rack recovering at "
+           "`link_recover_at_s` (0 = never); a no-op under the constant model",
+       .option_keys = {"link_fail_node", "link_fail_at_s", "link_recover_at_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             const edgesim::NodeId node{
+                 static_cast<std::uint32_t>(overrides.get_size("link_fail_node", 0))};
+             options.events.fail_link(overrides.get_double("link_fail_at_s", 1800.0),
+                                      node);
+             const double recover_at = overrides.get_double("link_recover_at_s", 5400.0);
+             if (recover_at > 0.0) options.events.recover_link(recover_at, node);
            }});
   add_overlay(
       {.name = "capacity-drop",

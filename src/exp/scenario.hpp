@@ -117,7 +117,9 @@ class ScenarioCatalog {
 /// arrival_rate, diurnal (bool), diurnal_amplitude, rate_jitter,
 /// peak_local_hour, workload_seed, idle_timeout_s, max_utilization,
 /// wan_bandwidth_rps, w_deploy, w_running, w_latency_per_ms, w_sla_violation,
-/// w_rejection, w_revenue, w_migration, reward_scale, seed.
+/// w_rejection, w_revenue, w_migration, reward_scale, topology (network model:
+/// "constant", "two-tier-edge", "fat-tree-k<k>"), rack_size, link_gbps,
+/// core_gbps, link_delay_ms, payload_mbit, seed.
 [[nodiscard]] core::EnvOptions apply_env_overrides(core::EnvOptions options,
                                                    const Config& overrides);
 

@@ -1,0 +1,266 @@
+#include "edgesim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "edgesim/link.hpp"
+#include "edgesim/topology.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FlowKey key(std::uint64_t request, std::uint32_t hop = 0) {
+  return FlowKey{RequestId{request}, hop};
+}
+
+Topology eight_metros() {
+  TopologyOptions options;
+  options.node_count = 8;
+  return make_world_topology(options);
+}
+
+// ---- Constant model: verbatim delegation (the bit-identity anchor) --------
+
+TEST(ConstantLatencyModel, DelegatesEveryQueryToTheTopology) {
+  const Topology topology = eight_metros();
+  ConstantLatencyModel model(topology);
+  for (std::uint32_t a = 0; a < topology.node_count(); ++a) {
+    for (std::uint32_t b = 0; b < topology.node_count(); ++b) {
+      EXPECT_EQ(model.hop_latency_ms(NodeId{a}, NodeId{b}),
+                topology.latency_ms(NodeId{a}, NodeId{b}));
+      EXPECT_EQ(model.user_latency_ms(NodeId{a}, NodeId{b}),
+                topology.user_latency_ms(NodeId{a}, NodeId{b}));
+      EXPECT_TRUE(model.can_route(NodeId{a}, NodeId{b}));
+    }
+  }
+  // Flow registration is a no-op that returns the matching probe.
+  EXPECT_EQ(model.add_flow(key(1, 1), NodeId{0}, NodeId{3}, 5.0),
+            topology.latency_ms(NodeId{0}, NodeId{3}));
+  EXPECT_EQ(model.add_access_flow(key(1, 0), NodeId{2}, NodeId{3}, 5.0),
+            topology.user_latency_ms(NodeId{2}, NodeId{3}));
+  EXPECT_EQ(model.add_return_flow(key(1, 2), NodeId{3}, NodeId{2}, 5.0),
+            topology.user_latency_ms(NodeId{2}, NodeId{3}));
+  EXPECT_EQ(model.active_flow_count(), 0U);
+  EXPECT_TRUE(model.fail_link_at(NodeId{0}).empty());
+}
+
+// ---- Fabric structure ------------------------------------------------------
+
+TEST(NetworkGraph, TwoTierEdgeShape) {
+  FlowNetworkOptions options;
+  options.rack_size = 4;
+  const NetworkGraph graph = make_two_tier_edge(8, options);
+  // 8 hosts + 2 ToRs + 1 core; every host cable and ToR uplink is 2 directed
+  // links: 8*2 + 2*2 = 20.
+  EXPECT_EQ(graph.host_count(), 8U);
+  EXPECT_EQ(graph.vertex_count(), 11U);
+  EXPECT_EQ(graph.link_count(), 20U);
+  EXPECT_EQ(graph.kind(0), VertexKind::kHost);
+  EXPECT_EQ(graph.kind(8), VertexKind::kTor);
+  EXPECT_EQ(graph.kind(10), VertexKind::kCore);
+  EXPECT_EQ(graph.tor_of(0), graph.tor_of(3));  // same rack
+  EXPECT_NE(graph.tor_of(3), graph.tor_of(4));  // rack boundary
+  // Single-homed: one uplink pair per rack — failing it strands the rack.
+  EXPECT_EQ(graph.rack_uplinks(0).size(), 1U);
+}
+
+TEST(NetworkGraph, FatTreeKSelection) {
+  EXPECT_EQ(fat_tree_k_for(1, 0), 4U);     // floor at k=4 (16 slots)
+  EXPECT_EQ(fat_tree_k_for(16, 0), 4U);    // exactly full
+  EXPECT_EQ(fat_tree_k_for(17, 0), 6U);    // next even k (54 slots)
+  EXPECT_EQ(fat_tree_k_for(100, 0), 8U);   // 128 slots
+  EXPECT_EQ(fat_tree_k_for(4, 6), 6U);     // min_k respected
+  EXPECT_EQ(fat_tree_k_for(4, 5), 6U);     // odd min_k rounded up to even
+}
+
+TEST(NetworkGraph, FatTreeHasRedundantUplinks) {
+  const NetworkGraph graph = make_fat_tree(16, 4, FlowNetworkOptions{});
+  EXPECT_EQ(graph.host_count(), 16U);
+  // k=4: 16 hosts + 8 edge + 8 agg + 4 core.
+  EXPECT_EQ(graph.vertex_count(), 36U);
+  // Edge switches have k/2 = 2 uplink pairs: one failure must not strand.
+  EXPECT_EQ(graph.rack_uplinks(0).size(), 2U);
+}
+
+TEST(NetworkGraph, RoutesAreDeterministicAndRespectFailures) {
+  const NetworkGraph graph = make_fat_tree(16, 4, FlowNetworkOptions{});
+  const std::vector<std::uint8_t> none(graph.link_count(), 0);
+  const auto route_a = graph.route(0, 15, none);
+  const auto route_b = graph.route(0, 15, none);
+  ASSERT_FALSE(route_a.empty());
+  EXPECT_EQ(route_a, route_b);  // pure function of endpoints + mask
+  EXPECT_TRUE(graph.route(3, 3, none).empty());
+  // Fail the route's edge->agg uplink (index 1; index 0 is the host's only
+  // access link): the redundant fabric must offer a different route.
+  ASSERT_GE(route_a.size(), 2U);
+  std::vector<std::uint8_t> failed(graph.link_count(), 0);
+  failed[route_a[1]] = 1;
+  const auto rerouted = graph.route(0, 15, failed);
+  ASSERT_FALSE(rerouted.empty());
+  EXPECT_NE(rerouted, route_a);
+  EXPECT_TRUE(graph.reachable(0, 15, failed));
+}
+
+// ---- Max-min fair sharing --------------------------------------------------
+
+class FlowModelTest : public ::testing::Test {
+ protected:
+  FlowModelTest() : topology_(eight_metros()) {}
+
+  FlowNetworkModel make_two_tier() {
+    FlowNetworkOptions options;  // 10 Gbps access, 40 Gbps core, 8 Mbit payload
+    return FlowNetworkModel(topology_, make_two_tier_edge(8, options), options);
+  }
+
+  Topology topology_;
+};
+
+TEST_F(FlowModelTest, SingleElasticFlowGetsTheBottleneckLink) {
+  FlowNetworkModel model = make_two_tier();
+  // Cross-rack route host0 -> host4: 4 links of 0.05 ms; the 10 Gbps host
+  // uplink bottlenecks an elastic flow, so transfer = 8 Mbit / 10 Gbps.
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{4}, 5.0);
+  EXPECT_DOUBLE_EQ(model.flow(key(1, 1)).alloc_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(model.flow_latency_ms(key(1, 1)), 4 * 0.05 + 8.0 / 10.0);
+}
+
+TEST_F(FlowModelTest, ElasticFlowsSplitASharedLinkEqually) {
+  FlowNetworkModel model = make_two_tier();
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{1}, 5.0);
+  model.add_flow(key(2, 1), NodeId{0}, NodeId{2}, 5.0);
+  // Both cross host0's 10 Gbps uplink: max-min gives 5 each.
+  EXPECT_DOUBLE_EQ(model.flow(key(1, 1)).alloc_gbps, 5.0);
+  EXPECT_DOUBLE_EQ(model.flow(key(2, 1)).alloc_gbps, 5.0);
+}
+
+TEST_F(FlowModelTest, DemandCappedFlowFreesBandwidthForElasticOnes) {
+  FlowNetworkModel model = make_two_tier();
+  const auto up = model.graph().out_links(0).front();  // host0's uplink route
+  const auto uplink_src = model.graph().link(up).src;
+  ASSERT_EQ(uplink_src, 0U);
+  // Three flows over host0's 10 Gbps uplink: demands {2, inf, inf} must
+  // allocate {2, 4, 4} — the textbook max-min fixture.
+  model.add_flow_between(key(1), 0, 1, 2.0);
+  model.add_flow_between(key(2), 0, 2, kInf);
+  model.add_flow_between(key(3), 0, 3, kInf);
+  EXPECT_DOUBLE_EQ(model.flow(key(1)).alloc_gbps, 2.0);
+  EXPECT_DOUBLE_EQ(model.flow(key(2)).alloc_gbps, 4.0);
+  EXPECT_DOUBLE_EQ(model.flow(key(3)).alloc_gbps, 4.0);
+  EXPECT_DOUBLE_EQ(model.link_utilization_gbps(up), 10.0);
+  model.remove_flow(key(2));
+  EXPECT_DOUBLE_EQ(model.flow(key(1)).alloc_gbps, 2.0);
+  EXPECT_DOUBLE_EQ(model.flow(key(3)).alloc_gbps, 8.0);
+}
+
+TEST_F(FlowModelTest, ProbeEstimatesTheShareOfOneMoreFlow) {
+  FlowNetworkModel model = make_two_tier();
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{1}, 5.0);
+  // A second flow over host0's uplink would get 10/2 = 5 Gbps.
+  EXPECT_DOUBLE_EQ(model.hop_latency_ms(NodeId{0}, NodeId{2}),
+                   2 * 0.05 + 8.0 / 5.0);
+  // Same-node hops never touch the fabric.
+  EXPECT_EQ(model.hop_latency_ms(NodeId{3}, NodeId{3}),
+            topology_.latency_ms(NodeId{3}, NodeId{3}));
+}
+
+TEST_F(FlowModelTest, IncrementalRecomputeMatchesAFreshRebuildBitExactly) {
+  FlowNetworkModel incremental = make_two_tier();
+  // A churny history: adds and removes across racks in interleaved order.
+  incremental.add_flow(key(1, 1), NodeId{0}, NodeId{5}, 1.0);
+  incremental.add_flow_between(key(2), 1, 5, 3.0);
+  incremental.add_flow(key(3, 1), NodeId{0}, NodeId{1}, 1.0);
+  incremental.add_access_flow(key(4, 0), NodeId{2}, NodeId{6}, 1.0);
+  incremental.remove_flow(key(1, 1));
+  incremental.add_return_flow(key(5, 2), NodeId{6}, NodeId{2}, 1.0);
+  incremental.add_flow(key(6, 1), NodeId{4}, NodeId{7}, 1.0);
+  incremental.remove_flow(key(3, 1));
+
+  // Fresh model registering only the surviving flows, in a different order.
+  FlowNetworkModel fresh = make_two_tier();
+  fresh.add_flow(key(6, 1), NodeId{4}, NodeId{7}, 1.0);
+  fresh.add_return_flow(key(5, 2), NodeId{6}, NodeId{2}, 1.0);
+  fresh.add_flow_between(key(2), 1, 5, 3.0);
+  fresh.add_access_flow(key(4, 0), NodeId{2}, NodeId{6}, 1.0);
+
+  ASSERT_EQ(incremental.active_flow_count(), fresh.active_flow_count());
+  for (const FlowKey k : {key(2), key(4, 0), key(5, 2), key(6, 1)}) {
+    EXPECT_EQ(incremental.flow(k).links, fresh.flow(k).links);
+    // Bit-exact, not approximately equal: the per-component water-fill makes
+    // the allocation a pure function of the surviving flow set.
+    EXPECT_EQ(incremental.flow(k).alloc_gbps, fresh.flow(k).alloc_gbps);
+    EXPECT_EQ(incremental.flow_latency_ms(k), fresh.flow_latency_ms(k));
+  }
+}
+
+// ---- Faults ----------------------------------------------------------------
+
+TEST_F(FlowModelTest, UplinkFailureStrandsTheRackInTwoTier) {
+  FlowNetworkModel model = make_two_tier();
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{5}, 1.0);  // crosses rack 0's uplink
+  model.add_flow(key(2, 1), NodeId{4}, NodeId{5}, 1.0);  // stays in rack 1
+  const auto doomed = model.fail_link_at(NodeId{0});
+  ASSERT_EQ(doomed.size(), 1U);
+  EXPECT_EQ(doomed.front(), key(1, 1));
+  EXPECT_EQ(model.failed_link_count(), 2U);  // one pair, both directions
+  EXPECT_FALSE(model.can_route(NodeId{0}, NodeId{5}));
+  EXPECT_TRUE(model.can_route(NodeId{4}, NodeId{5}));
+  EXPECT_DOUBLE_EQ(model.flow(key(2, 1)).alloc_gbps, 10.0);  // untouched
+
+  model.recover_link_at(NodeId{0});
+  EXPECT_EQ(model.failed_link_count(), 0U);
+  EXPECT_TRUE(model.can_route(NodeId{0}, NodeId{5}));
+}
+
+TEST_F(FlowModelTest, FatTreeReroutesThenKillsWhenTheRackIsCut) {
+  FlowNetworkOptions options;
+  FlowNetworkModel model(topology_, make_fat_tree(8, 4, options), options);
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{7}, 1.0);  // pod 0 -> pod 1
+  // k=4 edge switches have two uplink pairs: the first failure reroutes (or
+  // leaves the flow on the surviving uplink), never kills.
+  const auto first = model.fail_link_at(NodeId{0});
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(model.failed_link_count(), 2U);
+  EXPECT_TRUE(model.can_route(NodeId{0}, NodeId{7}));
+  EXPECT_GT(model.flow(key(1, 1)).alloc_gbps, 0.0);
+  // The second failure cuts the edge switch off the fabric: fail-stop.
+  const auto second = model.fail_link_at(NodeId{0});
+  ASSERT_EQ(second.size(), 1U);
+  EXPECT_EQ(second.front(), key(1, 1));
+  EXPECT_FALSE(model.can_route(NodeId{0}, NodeId{7}));
+  model.recover_link_at(NodeId{0});
+  EXPECT_EQ(model.failed_link_count(), 0U);
+  EXPECT_TRUE(model.can_route(NodeId{0}, NodeId{7}));
+}
+
+TEST_F(FlowModelTest, LifecycleEdgeCases) {
+  FlowNetworkModel model = make_two_tier();
+  model.remove_flow(key(9, 9));  // unknown key: no-op by contract
+  model.add_flow(key(1, 1), NodeId{0}, NodeId{1}, 1.0);
+  EXPECT_THROW(model.add_flow(key(1, 1), NodeId{0}, NodeId{2}, 1.0),
+               std::invalid_argument);  // duplicate registration
+  EXPECT_THROW((void)model.flow(key(9, 9)), std::out_of_range);
+}
+
+// ---- Factory ---------------------------------------------------------------
+
+TEST(MakeNetworkModel, ParsesTopologyNames) {
+  const Topology topology = eight_metros();
+  NetworkOptions options;
+  EXPECT_EQ(make_network_model(topology, options)->name(), "constant-latency");
+  options.topology = "two-tier-edge";
+  EXPECT_EQ(make_network_model(topology, options)->name(), "flow-network");
+  options.topology = "fat-tree-k4";
+  EXPECT_EQ(make_network_model(topology, options)->name(), "flow-network");
+  options.topology = "fat-tree-kX";
+  EXPECT_THROW((void)make_network_model(topology, options), std::invalid_argument);
+  options.topology = "nonsense";
+  EXPECT_THROW((void)make_network_model(topology, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

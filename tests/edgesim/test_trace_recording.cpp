@@ -1,0 +1,133 @@
+// Round-trip of the trace-recording hook: any composed workload's request
+// stream, dumped to CSV by TraceRecordingModel (or the REPRO_TRACE_DUMP
+// environment variable at the environment level), must replay verbatim
+// through TraceReplayModel.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "edgesim/topology.hpp"
+#include "edgesim/vnf.hpp"
+#include "edgesim/workload_model.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::edgesim {
+namespace {
+
+struct World {
+  World() : topology(make_world_topology({})), vnfs(VnfCatalog::standard()),
+            sfcs(SfcCatalog::standard(vnfs)) {}
+  Topology topology;
+  VnfCatalog vnfs;
+  SfcCatalog sfcs;
+};
+
+TEST(HotspotOverlay, BoostsExactlyOneRegionDuringItsWindow) {
+  World world;
+  WorkloadOptions options;
+  options.seed = 7;
+  HotspotOptions hotspot;
+  hotspot.region = 2;
+  hotspot.magnitude = 6.0;
+  hotspot.start_s = 100.0;
+  hotspot.duration_s = 50.0;
+  HotspotOverlay overlay(
+      world.topology, world.sfcs, options,
+      std::make_unique<PoissonDiurnalModel>(world.topology, world.sfcs, options),
+      hotspot);
+  EXPECT_EQ(overlay.name(), "incast(poisson-diurnal)");
+  EXPECT_EQ(overlay.hotspot_region(), NodeId{2});
+  const double base_in = overlay.inner().region_rate(NodeId{2}, 120.0);
+  const double base_out = overlay.inner().region_rate(NodeId{3}, 120.0);
+  EXPECT_DOUBLE_EQ(overlay.region_rate(NodeId{2}, 120.0), base_in * 6.0);
+  EXPECT_DOUBLE_EQ(overlay.region_rate(NodeId{3}, 120.0), base_out);  // other region
+  EXPECT_DOUBLE_EQ(overlay.region_rate(NodeId{2}, 99.0),
+                   overlay.inner().region_rate(NodeId{2}, 99.0));  // before window
+  EXPECT_DOUBLE_EQ(overlay.region_rate(NodeId{2}, 150.0),
+                   overlay.inner().region_rate(NodeId{2}, 150.0));  // after window
+  EXPECT_GE(overlay.peak_total_rate(), overlay.inner().peak_total_rate());
+}
+
+TEST(TraceRecording, StreamIsUnchangedAndReplaysVerbatim) {
+  World world;
+  WorkloadOptions options;
+  options.seed = 42;
+
+  // Reference stream: the bare model.
+  PoissonDiurnalModel reference(world.topology, world.sfcs, options);
+  std::vector<Request> expected;
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    expected.push_back(reference.next(t));
+    t = expected.back().arrival_time;
+  }
+
+  // Recorded stream: identical model wrapped in the recorder.
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.csv";
+  TraceRecordingModel recorder(
+      std::make_unique<PoissonDiurnalModel>(world.topology, world.sfcs, options), path);
+  EXPECT_EQ(recorder.name(), "trace-recording(poisson-diurnal)");
+  t = 0.0;
+  for (const Request& want : expected) {
+    const Request got = recorder.next(t);
+    EXPECT_EQ(got.arrival_time, want.arrival_time);  // recording never perturbs
+    EXPECT_EQ(got.source_region, want.source_region);
+    EXPECT_EQ(got.rate_rps, want.rate_rps);
+    t = got.arrival_time;
+  }
+  EXPECT_EQ(recorder.rows_recorded(), expected.size());
+
+  // Replay: loop 0 of TraceReplayModel must reproduce every field bit-exactly
+  // (the recorder writes round-trip-precision doubles).
+  auto trace = std::make_shared<const std::vector<TraceRow>>(
+      TraceReplayModel::load(path));
+  ASSERT_EQ(trace->size(), expected.size());
+  TraceReplayModel replay(world.topology, world.sfcs, options, trace);
+  t = 0.0;
+  for (const Request& want : expected) {
+    const Request got = replay.next(t);
+    EXPECT_EQ(got.arrival_time, want.arrival_time);
+    EXPECT_EQ(got.source_region, want.source_region);
+    EXPECT_EQ(got.sfc, want.sfc);
+    EXPECT_EQ(got.rate_rps, want.rate_rps);
+    EXPECT_EQ(got.duration_s, want.duration_s);
+    t = got.arrival_time;
+  }
+  EXPECT_EQ(replay.loops_completed(), 0U);
+
+  // Cloning drops the recorder (documented: cloned streams would interleave
+  // rows non-deterministically in one file).
+  EXPECT_EQ(recorder.clone()->name(), "poisson-diurnal");
+}
+
+TEST(TraceRecording, EnvDumpHookCapturesAComposedScenario) {
+  const std::string path = ::testing::TempDir() + "trace_env_dump.csv";
+  ASSERT_EQ(setenv("REPRO_TRACE_DUMP", path.c_str(), 1), 0);
+  std::size_t requests_seen = 0;
+  std::vector<double> arrivals;
+  {
+    core::VnfEnv env(
+        exp::ScenarioCatalog::instance().build("geo-distributed+incast", Config{}));
+    env.reset(11);
+    EXPECT_EQ(env.workload().name(), "trace-recording(incast(poisson-diurnal))");
+    for (int r = 0; r < 25; ++r) {
+      ASSERT_TRUE(env.begin_next_request());
+      ++requests_seen;
+      arrivals.push_back(env.pending_request().arrival_time);
+      while (env.has_pending_chain()) (void)env.step(env.reject_action());
+    }
+  }
+  ASSERT_EQ(unsetenv("REPRO_TRACE_DUMP"), 0);
+
+  const std::vector<TraceRow> trace = TraceReplayModel::load(path);
+  ASSERT_EQ(trace.size(), requests_seen);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].offset_s, arrivals[i]);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

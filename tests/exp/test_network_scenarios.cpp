@@ -1,0 +1,127 @@
+// Scenario-level tests of the flow network model: catalog plumbing of the
+// topology/incast/cross-rack/link-failure knobs, deterministic rack-correlated
+// link failures, and determinism invariant #11's flow half — flow-model
+// episodes are bit-identical across evaluation thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/runner.hpp"
+#include "edgesim/events.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+void expect_result_eq(const core::EpisodeResult& a, const core::EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+TEST(NetworkScenarios, CatalogPlumbsTopologyAndOverlayKeys) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+incast+cross-rack+link-failure",
+      Config{{"topology", "fat-tree-k4"},
+             {"rack_size", "2"},
+             {"incast_region", "3"},
+             {"incast_magnitude", "8"},
+             {"cross_rack_payload_mbit", "64"},
+             {"link_fail_node", "1"},
+             {"link_fail_at_s", "900"},
+             {"link_recover_at_s", "2700"}});
+  EXPECT_EQ(options.network.topology, "fat-tree-k4");
+  EXPECT_EQ(options.network.flow.rack_size, 2U);
+  EXPECT_DOUBLE_EQ(options.network.flow.payload_mbit, 64.0);
+  EXPECT_DOUBLE_EQ(options.network.flow.core_gbps, 20.0);  // 40 x 0.5 default
+  ASSERT_EQ(options.events.size(), 2U);
+  EXPECT_EQ(options.events.events()[0].kind, edgesim::EventKind::kLinkFailure);
+  EXPECT_EQ(options.events.events()[1].kind, edgesim::EventKind::kLinkRecovery);
+
+  core::VnfEnv env(options);
+  EXPECT_EQ(env.cluster().network().name(), "flow-network");
+  EXPECT_EQ(env.workload().name(), "incast(poisson-diurnal)");
+}
+
+TEST(NetworkScenarios, LinkFailureIsANoOpUnderTheConstantModel) {
+  core::VnfEnv env(ScenarioCatalog::instance().build(
+      "geo-distributed+link-failure", Config{{"link_fail_at_s", "60"}}));
+  env.reset(1);
+  // Drive past the event with a place-anything policy: nothing may be killed
+  // because the constant model has no links to fail.
+  while (env.now() < 120.0 && env.begin_next_request())
+    while (env.has_pending_chain()) {
+      const auto& mask = env.action_mask();
+      int action = env.reject_action();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) { action = static_cast<int>(a); break; }
+      (void)env.step(action);
+    }
+  EXPECT_GE(env.events_applied(), 1U);
+  EXPECT_EQ(env.metrics().chains_killed(), 0U);
+}
+
+TEST(NetworkScenarios, RackFailureKillsOrReroutesDeterministically) {
+  const Config overrides{{"topology", "two-tier-edge"}, {"link_fail_at_s", "600"},
+                         {"link_recover_at_s", "1200"}};
+  auto run_once = [&] {
+    core::VnfEnv env(ScenarioCatalog::instance().build(
+        "geo-distributed+link-failure", overrides));
+    env.reset(5);
+    while (env.now() < 1500.0 && env.begin_next_request())
+      while (env.has_pending_chain()) {
+        const auto& mask = env.action_mask();
+        int action = env.reject_action();
+        for (std::size_t a = 0; a < mask.size(); ++a)
+          if (mask[a]) { action = static_cast<int>(a); break; }
+        (void)env.step(action);
+      }
+    return std::pair<std::size_t, double>{env.metrics().chains_killed(),
+                                          env.metrics().total_cost()};
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  // The two-tier fabric has no redundancy: chains crossing the failed rack
+  // uplink die fail-stop, identically on every run.
+  EXPECT_GT(first.first, 0U);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(NetworkScenarios, FlowModelEpisodesAreThreadCountInvariant) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+incast+link-failure",
+      Config{{"topology", "fat-tree-k4"}, {"link_fail_at_s", "300"},
+             {"incast_start_s", "60"}, {"incast_duration_s", "600"}});
+  core::VnfEnv env(options);
+  const auto manager =
+      ManagerRegistry::instance().create("greedy_latency", env);
+
+  core::EpisodeOptions episode;
+  episode.duration_s = 900.0;
+  episode.seed = 3;
+  const EvalReport one = evaluate_parallel(options, *manager, episode, 3, 1);
+  const EvalReport four = evaluate_parallel(options, *manager, episode, 3, 4);
+  ASSERT_EQ(one.per_seed.size(), four.per_seed.size());
+  for (std::size_t i = 0; i < one.per_seed.size(); ++i)
+    expect_result_eq(one.per_seed[i], four.per_seed[i],
+                     "repeat " + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace vnfm::exp
