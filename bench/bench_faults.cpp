@@ -1,0 +1,242 @@
+// Fault-process bench: effect and determinism of the generative fault
+// subsystem (edgesim::FaultModel).
+//
+// Three sections, two of which are CI gates (non-zero exit on failure):
+//
+//   impact    — GATE: the same base scenario with and without +mtbf-faults:
+//               availability (mean fraction of nodes up sampled at each
+//               arrival), chains_killed (must be nonzero under faults — the
+//               processes actually bite), and acceptance/cost deltas.
+//   threads   — GATE: +mtbf-faults+link-flaps evaluated through
+//               exp::evaluate_parallel at 1/2/4 eval threads — every
+//               deterministic per-seed stat must be bit-identical across
+//               thread counts (determinism invariant #12).
+//   stream    — GATE: two models built from identical (topology, seed,
+//               options) must emit byte-identical event streams; a third
+//               with a different fault_seed must diverge.
+//
+// Knobs: REPRO_FAULT_MTBF_S / REPRO_FAULT_MTTR_S / REPRO_FAULT_SEED override
+// the overlay's mtbf_s / mttr_s / fault_seed; REPRO_FULL lengthens episodes.
+// Emits BENCH_faults.json for CI artifact tracking.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/heuristics.hpp"
+#include "edgesim/fault_model.hpp"
+#include "support.hpp"
+
+using namespace vnfm;
+
+namespace {
+
+/// FNV-1a over raw bytes, chained across calls.
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::string(value) : fallback;
+}
+
+struct Rollout {
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  std::size_t decisions = 0;
+  std::size_t accepted = 0;
+  std::size_t arrivals = 0;
+  std::size_t chains_killed = 0;
+  std::uint64_t fault_events = 0;
+  double total_cost = 0.0;
+  double availability = 1.0;  ///< mean up-fraction sampled at each arrival
+};
+
+/// Seeded random-valid-action rollout mixing features, masks, and rewards
+/// into a digest, sampling node availability at every arrival.
+Rollout run_rollout(core::VnfEnv& env, std::uint64_t episode_seed,
+                    std::size_t requests) {
+  Rollout out;
+  env.reset(episode_seed);
+  Rng rng(99);
+  std::vector<int> valid;
+  const std::size_t n = env.topology().node_count();
+  double up_fraction_sum = 0.0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (!env.begin_next_request()) break;
+    ++out.arrivals;
+    std::size_t up = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!env.cluster().node_failed(edgesim::NodeId{static_cast<std::uint32_t>(i)}))
+        ++up;
+    up_fraction_sum += static_cast<double>(up) / static_cast<double>(n);
+    core::StepResult step;
+    do {
+      const auto features = env.features();
+      const auto& mask = env.action_mask();
+      mix_bytes(out.digest, features.data(), features.size() * sizeof(float));
+      mix_bytes(out.digest, mask.data(), mask.size());
+      valid.clear();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) valid.push_back(static_cast<int>(a));
+      step = env.step(valid[rng.uniform_index(valid.size())]);
+      mix_bytes(out.digest, &step.reward, sizeof(step.reward));
+      ++out.decisions;
+    } while (!step.chain_done);
+  }
+  out.accepted = env.metrics().accepted();
+  out.chains_killed = env.metrics().chains_killed();
+  out.fault_events = env.fault_events_applied();
+  out.total_cost = env.metrics().total_cost();
+  if (out.arrivals > 0)
+    out.availability = up_fraction_sum / static_cast<double>(out.arrivals);
+  return out;
+}
+
+/// Bit-exact equality of every deterministic EpisodeResult field.
+bool result_bits_equal(const core::EpisodeResult& a, const core::EpisodeResult& b) {
+  const auto eq = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  return eq(a.total_reward, b.total_reward) && a.requests == b.requests &&
+         eq(a.cost_per_request, b.cost_per_request) && eq(a.total_cost, b.total_cost) &&
+         eq(a.acceptance_ratio, b.acceptance_ratio) &&
+         eq(a.mean_latency_ms, b.mean_latency_ms) &&
+         eq(a.p95_latency_ms, b.p95_latency_ms) &&
+         eq(a.sla_violation_ratio, b.sla_violation_ratio) &&
+         eq(a.mean_utilization, b.mean_utilization) &&
+         a.deployments == b.deployments && eq(a.running_cost, b.running_cost) &&
+         eq(a.revenue, b.revenue);
+}
+
+/// Digest of one drained fault-event stream (full ScheduledEvent payloads).
+std::uint64_t stream_digest(const std::vector<edgesim::ScheduledEvent>& events) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const edgesim::ScheduledEvent& event : events) {
+    mix_bytes(hash, &event.time_s, sizeof(event.time_s));
+    mix_bytes(hash, &event.kind, sizeof(event.kind));
+    mix_bytes(hash, &event.node, sizeof(event.node));
+    mix_bytes(hash, &event.factor, sizeof(event.factor));
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  const bool full = std::getenv("REPRO_FULL") != nullptr;
+
+  // Aggressive defaults so the short bench episode (~20 simulated minutes)
+  // still sees multiple failures: mean node up-time 10 minutes, repair 5.
+  const std::string mtbf_s = env_or("REPRO_FAULT_MTBF_S", "600");
+  const std::string mttr_s = env_or("REPRO_FAULT_MTTR_S", "300");
+  const std::string fault_seed = env_or("REPRO_FAULT_SEED", "0");
+  const Config fault_overrides{
+      {"mtbf_s", mtbf_s}, {"mttr_s", mttr_s}, {"fault_seed", fault_seed}, {"seed", "1"}};
+
+  std::cout << "=== bench_faults: generative fault processes ===\n"
+            << "mtbf_s=" << mtbf_s << " mttr_s=" << mttr_s
+            << " fault_seed=" << fault_seed << "\n\n";
+
+  // ---- Gate 1: fault impact vs the fault-free control ----------------------
+  const std::size_t impact_requests = full ? 8'000 : 2'500;
+  core::VnfEnv clean_env(
+      exp::ScenarioCatalog::instance().build("geo-distributed", Config{{"seed", "1"}}));
+  core::VnfEnv faulty_env(exp::ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults", fault_overrides));
+  const Rollout clean = run_rollout(clean_env, 7, impact_requests);
+  const Rollout faulty = run_rollout(faulty_env, 7, impact_requests);
+  const bool impact_ok = faulty.chains_killed > 0 && faulty.fault_events > 0;
+  const double cost_delta = faulty.total_cost - clean.total_cost;
+  std::cout << "[impact] geo-distributed, " << impact_requests << " requests\n"
+            << "  fault-free: availability=1 accepted=" << clean.accepted
+            << " cost=" << clean.total_cost << "\n"
+            << "  +mtbf-faults: availability=" << faulty.availability
+            << " accepted=" << faulty.accepted << " cost=" << faulty.total_cost
+            << " chains_killed=" << faulty.chains_killed
+            << " fault_events=" << faulty.fault_events << "\n"
+            << "  cost delta=" << cost_delta << " -> "
+            << (impact_ok ? "faults bite" : "NO FAULTS OBSERVED (gate fails)") << "\n";
+
+  // ---- Gate 2: eval-thread-count bit-identity ------------------------------
+  const core::EnvOptions thread_options = exp::ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults+link-flaps", fault_overrides);
+  core::EpisodeOptions episode;
+  episode.duration_s = full ? 7'200.0 : 1'800.0;
+  episode.training = false;
+  episode.seed = 1;
+  core::GreedyLatencyManager greedy;
+  const std::size_t repeats = 4;
+  std::vector<exp::EvalReport> reports;
+  for (const std::size_t threads : {1U, 2U, 4U})
+    reports.push_back(
+        exp::evaluate_parallel(thread_options, greedy, episode, repeats, threads));
+  bool threads_ok = true;
+  for (std::size_t t = 1; t < reports.size(); ++t)
+    for (std::size_t s = 0; s < repeats; ++s)
+      threads_ok = threads_ok &&
+                   result_bits_equal(reports[0].per_seed[s], reports[t].per_seed[s]);
+  std::cout << "\n[threads] +mtbf-faults+link-flaps at 1/2/4 eval threads: "
+            << (threads_ok ? "bit-identical" : "DIVERGED (gate fails)") << "\n";
+
+  // ---- Gate 3: stream determinism ------------------------------------------
+  const edgesim::Topology topology = clean_env.topology();
+  const edgesim::FaultContext context{.seed = 42, .rack_size = 4};
+  const edgesim::FaultContext other_context{.seed = 42, .rack_size = 4};
+  edgesim::MtbfFaultOptions stream_options;
+  auto model_a = edgesim::mtbf_fault_factory(stream_options)(topology, context);
+  auto model_b = edgesim::mtbf_fault_factory(stream_options)(topology, other_context);
+  edgesim::MtbfFaultOptions reseeded = stream_options;
+  reseeded.fault_seed = 1;
+  auto model_c = edgesim::mtbf_fault_factory(reseeded)(topology, context);
+  const double horizon = 7.0 * 86'400.0;
+  const std::uint64_t digest_a =
+      stream_digest(edgesim::drain_fault_stream(*model_a, horizon, 10'000));
+  const std::uint64_t digest_b =
+      stream_digest(edgesim::drain_fault_stream(*model_b, horizon, 10'000));
+  const std::uint64_t digest_c =
+      stream_digest(edgesim::drain_fault_stream(*model_c, horizon, 10'000));
+  const bool stream_ok = digest_a == digest_b && digest_a != digest_c;
+  std::cout << "[stream] same-seed streams " << (digest_a == digest_b ? "match" : "DIVERGED")
+            << ", reseeded stream "
+            << (digest_a != digest_c ? "differs" : "COLLIDED") << "\n";
+
+  std::ofstream json("BENCH_faults.json");
+  json << "{\n  \"mtbf_s\": " << mtbf_s << ",\n  \"mttr_s\": " << mttr_s
+       << ",\n  \"fault_seed\": " << fault_seed
+       << ",\n  \"impact\": {\"availability\": " << faulty.availability
+       << ", \"chains_killed\": " << faulty.chains_killed
+       << ", \"fault_events\": " << faulty.fault_events
+       << ", \"clean_accepted\": " << clean.accepted
+       << ", \"faulty_accepted\": " << faulty.accepted
+       << ", \"clean_cost\": " << clean.total_cost
+       << ", \"faulty_cost\": " << faulty.total_cost
+       << ", \"cost_delta\": " << cost_delta << "},\n  \"threads_bit_identical\": "
+       << (threads_ok ? "true" : "false")
+       << ",\n  \"stream_deterministic\": " << (stream_ok ? "true" : "false")
+       << "\n}\n";
+  std::cout << "JSON written to BENCH_faults.json\n";
+
+  if (!impact_ok) {
+    std::cout << "FAIL: fault processes produced no observable damage\n";
+    return 1;
+  }
+  if (!threads_ok) {
+    std::cout << "FAIL: fault-overlay stats diverged across eval thread counts\n";
+    return 1;
+  }
+  if (!stream_ok) {
+    std::cout << "FAIL: fault stream determinism violated\n";
+    return 1;
+  }
+  return 0;
+}

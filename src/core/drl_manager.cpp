@@ -14,8 +14,8 @@ rl::DqnConfig default_dqn_config(const VnfEnv& env, std::uint64_t seed) {
   // construct from static layout instead: per-row block + catalogs + globals.
   // feature_rows() is candidate_k under pruning, so model size is independent
   // of cluster scale there.
-  config.state_dim = env.feature_rows() * 6 + env.vnfs().size() +
-                     env.sfcs().size() + 8;
+  config.state_dim = env.feature_rows() * env.per_node_features() +
+                     env.vnfs().size() + env.sfcs().size() + 8;
   config.action_dim = static_cast<std::size_t>(env.action_count());
   config.hidden_dims = {64, 64};
   config.learning_rate = 1e-3F;

@@ -23,6 +23,9 @@ constexpr double kResidualCapacityNorm = 4.0;  // in units of one instance
 constexpr double kRateNormRps = 15.0;
 constexpr double kDurationNormS = 1200.0;
 constexpr std::size_t kPerNodeFeatures = 6;
+// fault_features block: capacity scale is mapped so nominal (1.0) sits at 0.5
+// and anything >= 2x nominal saturates.
+constexpr double kCapacityScaleNorm = 2.0;
 
 // Candidate-pruning score bands over free effective CPU.
 constexpr std::size_t kScoreBands = 64;
@@ -64,6 +67,16 @@ void VnfEnv::rebuild() {
   if (!network) throw std::invalid_argument("network model factory returned null");
   cluster_ = std::make_unique<edgesim::ClusterState>(topology_, vnfs_, sfcs_,
                                                      options_.cluster, std::move(network));
+  if (options_.fault_model) {
+    edgesim::FaultContext fault_context;
+    fault_context.seed = fault_stream_seed(options_.seed, episode_seed_);
+    fault_context.rack_size = options_.network.flow.rack_size;
+    faults_ = options_.fault_model(topology_, fault_context);
+    if (!faults_) throw std::invalid_argument("fault model factory returned null");
+  } else {
+    faults_.reset();
+  }
+  fault_events_applied_ = 0;
   metrics_ = edgesim::MetricsCollector(options_.cost);
   next_event_ = 0;
   pending_deploy_cost_ = 0.0;
@@ -101,30 +114,47 @@ std::optional<int> VnfEnv::action_for_node(edgesim::NodeId node) const {
   return std::nullopt;
 }
 
+void VnfEnv::apply_event(const edgesim::ScheduledEvent& event) {
+  if (event.time_s > cluster_->now()) {
+    cluster_->advance_to(event.time_s);
+    metrics_.on_running_cost(cluster_->drain_running_cost());
+  }
+  switch (event.kind) {
+    case edgesim::EventKind::kNodeFailure:
+      metrics_.on_chains_killed(cluster_->fail_node(event.node));
+      break;
+    case edgesim::EventKind::kNodeRecovery:
+      cluster_->recover_node(event.node);
+      break;
+    case edgesim::EventKind::kCapacityScale:
+      cluster_->set_capacity_scale(event.node, event.factor);
+      break;
+    case edgesim::EventKind::kLinkFailure:
+      metrics_.on_chains_killed(cluster_->fail_rack_uplink(event.node));
+      break;
+    case edgesim::EventKind::kLinkRecovery:
+      cluster_->recover_rack_uplinks(event.node);
+      break;
+  }
+}
+
 void VnfEnv::apply_events_until(double up_to) {
   const auto& events = options_.events.events();
-  while (next_event_ < events.size() && events[next_event_].time_s <= up_to) {
-    const edgesim::ScheduledEvent& event = events[next_event_++];
-    if (event.time_s > cluster_->now()) {
-      cluster_->advance_to(event.time_s);
-      metrics_.on_running_cost(cluster_->drain_running_cost());
-    }
-    switch (event.kind) {
-      case edgesim::EventKind::kNodeFailure:
-        metrics_.on_chains_killed(cluster_->fail_node(event.node));
-        break;
-      case edgesim::EventKind::kNodeRecovery:
-        cluster_->recover_node(event.node);
-        break;
-      case edgesim::EventKind::kCapacityScale:
-        cluster_->set_capacity_scale(event.node, event.factor);
-        break;
-      case edgesim::EventKind::kLinkFailure:
-        metrics_.on_chains_killed(cluster_->fail_rack_uplink(event.node));
-        break;
-      case edgesim::EventKind::kLinkRecovery:
-        cluster_->recover_rack_uplinks(event.node);
-        break;
+  // Two time-ordered streams — the scripted schedule and the generated fault
+  // process — merged on the fly; scripted events win ties so legacy scripts
+  // replay exactly as before regardless of what the fault model emits.
+  while (true) {
+    const bool scripted_ready =
+        next_event_ < events.size() && events[next_event_].time_s <= up_to;
+    const bool generated_ready = faults_ && faults_->next_time() <= up_to;
+    if (scripted_ready &&
+        (!generated_ready || events[next_event_].time_s <= faults_->next_time())) {
+      apply_event(events[next_event_++]);
+    } else if (generated_ready) {
+      apply_event(faults_->pop());
+      ++fault_events_applied_;
+    } else {
+      break;
     }
   }
 }
@@ -160,9 +190,13 @@ double VnfEnv::prev_hop_latency_ms(NodeId node) const {
   return cluster_->network().hop_latency_ms(pending_nodes_.back(), node);
 }
 
+std::size_t VnfEnv::per_node_features() const noexcept {
+  return kPerNodeFeatures + (options_.fault_features ? 2 : 0);
+}
+
 void VnfEnv::refresh_decision_state() {
   features_.clear();
-  features_.reserve(feature_rows() * kPerNodeFeatures + vnfs_.size() + sfcs_.size() + 8);
+  features_.reserve(feature_rows() * per_node_features() + vnfs_.size() + sfcs_.size() + 8);
   mask_.assign(static_cast<std::size_t>(action_count()), 0);
   if (options_.candidate_k > 0) {
     refresh_pruned();
@@ -193,6 +227,10 @@ void VnfEnv::refresh_dense() {
     const double proc = cluster_->estimated_proc_delay_ms(node, type, request.rate_rps);
     features_.push_back(clamp01(std::isfinite(proc) ? proc / kProcDelayNormMs : 1.0));
     features_.push_back(clamp01(prev_hop_latency_ms(node) / kLatencyNormMs));
+    if (options_.fault_features) {
+      features_.push_back(cluster_->node_failed(node) ? 1.0F : 0.0F);
+      features_.push_back(clamp01(cluster_->capacity_scale(node) / kCapacityScaleNorm));
+    }
     const bool link_ok =
         pending_nodes_.empty() ||
         cluster_->can_link(pending_nodes_.back(), node, request.rate_rps);
@@ -213,6 +251,10 @@ void VnfEnv::write_node_features(NodeId node, VnfTypeId type,
       cluster_->estimated_proc_delay_cached_ms(node, type, request.rate_rps);
   features_.push_back(clamp01(std::isfinite(proc) ? proc / kProcDelayNormMs : 1.0));
   features_.push_back(clamp01(prev_hop_latency_ms(node) / kLatencyNormMs));
+  if (options_.fault_features) {
+    features_.push_back(cluster_->node_failed(node) ? 1.0F : 0.0F);
+    features_.push_back(clamp01(cluster_->capacity_scale(node) / kCapacityScaleNorm));
+  }
 }
 
 void VnfEnv::refresh_incremental() {
@@ -312,7 +354,7 @@ void VnfEnv::refresh_pruned() {
   }
   // Pad slots: zero rows, masked out.
   for (std::size_t s = candidates_.size(); s < k; ++s)
-    features_.insert(features_.end(), kPerNodeFeatures, 0.0F);
+    features_.insert(features_.end(), per_node_features(), 0.0F);
 }
 
 void VnfEnv::append_request_tail() {

@@ -19,6 +19,7 @@
 #include "edgesim/cluster.hpp"
 #include "edgesim/cost.hpp"
 #include "edgesim/events.hpp"
+#include "edgesim/fault_model.hpp"
 #include "edgesim/metrics.hpp"
 #include "edgesim/network_model.hpp"
 #include "edgesim/topology.hpp"
@@ -48,6 +49,17 @@ struct EnvOptions {
   /// Timed node-failure/recovery and capacity-change events, applied between
   /// request arrivals at fixed simulated instants (deterministic per seed).
   edgesim::EventSchedule events;
+  /// Generative fault-process factory invoked on every reset with the
+  /// episode-derived fault stream seed. Empty (default) = no generated
+  /// faults; the scripted `events` schedule is all the environment replays.
+  /// When set, the generated stream is merged with `events` in timestamp
+  /// order (scripted first on ties) and applied through the same code path.
+  edgesim::FaultModelFactory fault_model;
+  /// Fault-visibility feature block: when true every per-node feature row
+  /// gains two trailing floats — a failed flag and the node's CPU capacity
+  /// scale — in the dense, incremental, and candidate_k pruned layouts
+  /// alike. false (default) keeps the legacy layout byte-identical.
+  bool fault_features = false;
   /// Rewards are costs scaled by -reward_scale to keep |r| in DQN-friendly
   /// range; the scale cancels out of policy comparisons.
   double reward_scale = 0.25;
@@ -103,6 +115,10 @@ class VnfEnv {
   /// Per-node feature rows the net sees: candidate_k when pruning is on,
   /// otherwise the cluster's node count.
   [[nodiscard]] std::size_t feature_rows() const noexcept;
+  /// Width of one per-node feature row: 6 legacy floats, +2 (failed flag,
+  /// capacity scale) when EnvOptions::fault_features is on. Model input dims
+  /// are feature_rows() * per_node_features() + the request tail.
+  [[nodiscard]] std::size_t per_node_features() const noexcept;
   /// Real node behind action slot `slot` (identity when pruning is off;
   /// throws for pad slots — they are always masked out).
   [[nodiscard]] edgesim::NodeId candidate_node(int slot) const;
@@ -133,6 +149,16 @@ class VnfEnv {
   }
   /// Scheduled events applied since the last reset().
   [[nodiscard]] std::size_t events_applied() const noexcept { return next_event_; }
+  /// Generated fault events applied since the last reset() (0 when no
+  /// fault_model factory is configured).
+  [[nodiscard]] std::uint64_t fault_events_applied() const noexcept {
+    return fault_events_applied_;
+  }
+  /// The generative fault process of the current episode; nullptr when no
+  /// fault_model factory is configured.
+  [[nodiscard]] const edgesim::FaultModel* fault_process() const noexcept {
+    return faults_.get();
+  }
   [[nodiscard]] edgesim::SimTime now() const { return cluster_->now(); }
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
   /// Seed of the episode the environment was last reset() with.
@@ -145,6 +171,13 @@ class VnfEnv {
   [[nodiscard]] static constexpr std::uint64_t stream_seed(
       std::uint64_t options_seed, std::uint64_t episode_seed) noexcept {
     return options_seed ^ (episode_seed * 0x9E3779B97F4A7C15ULL + 1);
+  }
+  /// The fault-stream seed derived for the same (options_seed, episode_seed)
+  /// pair: the workload-stream seed XOR a fixed tag, so fault processes and
+  /// the arrival process draw from independent streams on every episode.
+  [[nodiscard]] static constexpr std::uint64_t fault_stream_seed(
+      std::uint64_t options_seed, std::uint64_t episode_seed) noexcept {
+    return stream_seed(options_seed, episode_seed) ^ 0xF4A17D15EA5EED5EULL;
   }
   [[nodiscard]] const edgesim::CostModel& cost_model() const noexcept { return options_.cost; }
 
@@ -184,8 +217,12 @@ class VnfEnv {
   /// Re-banding of one node after a cluster mutation (dirty-list drain).
   void update_band(std::uint32_t i);
   [[nodiscard]] std::size_t score_band(edgesim::NodeId node) const;
-  /// Applies every scheduled event with time <= up_to (advancing the cluster
-  /// to each event's instant first).
+  /// Applies one event to the cluster (shared by scripted and generated
+  /// streams).
+  void apply_event(const edgesim::ScheduledEvent& event);
+  /// Applies every scripted and generated event with time <= up_to in
+  /// timestamp order (scripted first on ties), advancing the cluster to each
+  /// event's instant first.
   void apply_events_until(double up_to);
   [[nodiscard]] double prev_hop_latency_ms(edgesim::NodeId node) const;
 
@@ -198,6 +235,8 @@ class VnfEnv {
   edgesim::MetricsCollector metrics_;
   std::uint64_t episode_seed_ = 0;
   std::size_t next_event_ = 0;  ///< cursor into options_.events
+  std::unique_ptr<edgesim::FaultModel> faults_;  ///< generated stream (may be null)
+  std::uint64_t fault_events_applied_ = 0;
 
   std::vector<float> features_;
   std::vector<std::uint8_t> mask_;

@@ -1,0 +1,319 @@
+#include "edgesim/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace vnfm::edgesim {
+
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+// Stream-selector tags: composed models built from the same episode seed and
+// the same fault_seed still draw disjoint per-entity streams.
+constexpr std::uint64_t kMtbfTag = 0x6D74626621ULL;   // "mtbf!"
+constexpr std::uint64_t kRackTag = 0x7261636B21ULL;   // "rack!"
+constexpr std::uint64_t kFlapTag = 0x666C617021ULL;   // "flap!"
+
+/// SplitMix64 finalizer: the per-entity seed mixer. Entity streams must be
+/// independent of consumption order, so every stream seed is a pure function
+/// of (episode seed, fault_seed, tag, entity index).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t entity_seed(const FaultContext& context, std::uint64_t fault_seed,
+                          std::uint64_t tag, std::uint64_t entity) noexcept {
+  return mix64(context.seed ^ mix64(fault_seed ^ tag) ^ mix64(entity * 0x9E3779B97F4A7C15ULL));
+}
+
+void check_positive(double value, const char* what) {
+  if (!(value > 0.0) || !std::isfinite(value))
+    throw std::invalid_argument(std::string(what) + " must be positive and finite");
+}
+
+std::size_t resolve_rack_size(std::size_t option, const FaultContext& context) {
+  const std::size_t size = option > 0 ? option : context.rack_size;
+  if (size == 0) throw std::invalid_argument("rack size must be >= 1");
+  return size;
+}
+
+}  // namespace
+
+// ---- MtbfFaultModel ---------------------------------------------------------
+
+bool MtbfFaultModel::later(const Pending& a, const Pending& b) noexcept {
+  // std::push_heap builds a max-heap; invert for earliest-(time, node)-first.
+  if (a.time_s != b.time_s) return a.time_s > b.time_s;
+  return a.node > b.node;
+}
+
+MtbfFaultModel::MtbfFaultModel(const Topology& topology, const FaultContext& context,
+                               MtbfFaultOptions options)
+    : options_(options) {
+  check_positive(options_.mtbf_s, "mtbf_s");
+  check_positive(options_.mttr_s, "mttr_s");
+  const std::size_t n = topology.node_count();
+  rng_.reserve(n);
+  down_.assign(n, 0);
+  heap_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rng_.emplace_back(entity_seed(context, options_.fault_seed, kMtbfTag, i));
+    // First failure after one full up-time from t = 0.
+    heap_.push_back({rng_.back().exponential(1.0 / options_.mtbf_s),
+                     static_cast<std::uint32_t>(i)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+SimTime MtbfFaultModel::next_time() const {
+  return heap_.empty() ? kNever : heap_.front().time_s;
+}
+
+ScheduledEvent MtbfFaultModel::pop() {
+  if (heap_.empty()) throw std::logic_error("pop() on an exhausted fault stream");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Pending p = heap_.back();
+  heap_.pop_back();
+  const NodeId node{p.node};
+  ScheduledEvent event;
+  event.time_s = p.time_s;
+  event.node = node;
+  double next_delay = 0.0;
+  if (down_[p.node] == 0) {
+    event.kind = EventKind::kNodeFailure;
+    down_[p.node] = 1;
+    next_delay = rng_[p.node].exponential(1.0 / options_.mttr_s);
+  } else {
+    event.kind = EventKind::kNodeRecovery;
+    down_[p.node] = 0;
+    next_delay = rng_[p.node].exponential(1.0 / options_.mtbf_s);
+  }
+  heap_.push_back({p.time_s + next_delay, p.node});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++emitted_;
+  return event;
+}
+
+// ---- RackFaultModel ---------------------------------------------------------
+
+bool RackFaultModel::later(const Pending& a, const Pending& b) noexcept {
+  if (a.time_s != b.time_s) return a.time_s > b.time_s;
+  return a.rack > b.rack;
+}
+
+RackFaultModel::RackFaultModel(const Topology& topology, const FaultContext& context,
+                               RackFaultOptions options)
+    : options_(options), host_count_(topology.node_count()) {
+  check_positive(options_.mtbf_s, "mtbf_s");
+  check_positive(options_.mttr_s, "mttr_s");
+  options_.rack_size = resolve_rack_size(options_.rack_size, context);
+  const std::size_t racks =
+      (host_count_ + options_.rack_size - 1) / options_.rack_size;
+  rng_.reserve(racks);
+  down_.assign(racks, 0);
+  heap_.reserve(racks);
+  for (std::size_t r = 0; r < racks; ++r) {
+    rng_.emplace_back(entity_seed(context, options_.fault_seed, kRackTag, r));
+    heap_.push_back({rng_.back().exponential(1.0 / options_.mtbf_s),
+                     static_cast<std::uint32_t>(r)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+std::uint32_t RackFaultModel::rack_anchor(std::size_t rack) const {
+  return static_cast<std::uint32_t>(rack * options_.rack_size);
+}
+
+SimTime RackFaultModel::next_time() const {
+  if (!queue_.empty()) return queue_.front().time_s;
+  return heap_.empty() ? kNever : heap_.front().time_s;
+}
+
+void RackFaultModel::refill_queue() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Pending p = heap_.back();
+  heap_.pop_back();
+  const bool failing = down_[p.rack] == 0;
+  down_[p.rack] = failing ? 1 : 0;
+  const double next_delay = failing ? rng_[p.rack].exponential(1.0 / options_.mttr_s)
+                                    : rng_[p.rack].exponential(1.0 / options_.mtbf_s);
+  heap_.push_back({p.time_s + next_delay, p.rack});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+
+  if (options_.mode == RackFaultMode::kUplinks) {
+    // One event per transition: the anchor host names the rack whose ToR
+    // uplinks fail/recover (ClusterState::fail_rack_uplink plumbing).
+    queue_.push_back({.time_s = p.time_s,
+                      .kind = failing ? EventKind::kLinkFailure
+                                      : EventKind::kLinkRecovery,
+                      .node = NodeId{rack_anchor(p.rack)}});
+    return;
+  }
+  // Whole-rack host transition: every host of the rack at the same instant,
+  // ascending host id — the correlation the statistical suite asserts.
+  const std::size_t first = p.rack * options_.rack_size;
+  const std::size_t last = std::min(first + options_.rack_size, host_count_);
+  for (std::size_t h = first; h < last; ++h)
+    queue_.push_back({.time_s = p.time_s,
+                      .kind = failing ? EventKind::kNodeFailure
+                                      : EventKind::kNodeRecovery,
+                      .node = NodeId{static_cast<std::uint32_t>(h)}});
+}
+
+ScheduledEvent RackFaultModel::pop() {
+  if (queue_.empty()) {
+    if (heap_.empty()) throw std::logic_error("pop() on an exhausted fault stream");
+    refill_queue();
+  }
+  const ScheduledEvent event = queue_.front();
+  queue_.pop_front();
+  ++emitted_;
+  return event;
+}
+
+// ---- LinkFlapModel ----------------------------------------------------------
+
+bool LinkFlapModel::later(const Pending& a, const Pending& b) noexcept {
+  if (a.time_s != b.time_s) return a.time_s > b.time_s;
+  return a.rack > b.rack;
+}
+
+LinkFlapModel::LinkFlapModel(const Topology& topology, const FaultContext& context,
+                             LinkFlapOptions options)
+    : options_(options) {
+  check_positive(options_.mtbf_s, "mtbf_s");
+  check_positive(options_.mttr_s, "mttr_s");
+  check_positive(options_.down_cap_s, "down_cap_s");
+  rack_size_ = resolve_rack_size(options_.rack_size, context);
+  const std::size_t racks = (topology.node_count() + rack_size_ - 1) / rack_size_;
+  rng_.reserve(racks);
+  down_.assign(racks, 0);
+  heap_.reserve(racks);
+  for (std::size_t r = 0; r < racks; ++r) {
+    rng_.emplace_back(entity_seed(context, options_.fault_seed, kFlapTag, r));
+    heap_.push_back({rng_.back().exponential(1.0 / options_.mtbf_s),
+                     static_cast<std::uint32_t>(r)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+SimTime LinkFlapModel::next_time() const {
+  return heap_.empty() ? kNever : heap_.front().time_s;
+}
+
+ScheduledEvent LinkFlapModel::pop() {
+  if (heap_.empty()) throw std::logic_error("pop() on an exhausted fault stream");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Pending p = heap_.back();
+  heap_.pop_back();
+  ScheduledEvent event;
+  event.time_s = p.time_s;
+  event.node = NodeId{static_cast<std::uint32_t>(p.rack * rack_size_)};
+  double next_delay = 0.0;
+  if (down_[p.rack] == 0) {
+    event.kind = EventKind::kLinkFailure;
+    down_[p.rack] = 1;
+    // Bounded repair: a flap is always over within down_cap_s.
+    next_delay =
+        std::min(rng_[p.rack].exponential(1.0 / options_.mttr_s), options_.down_cap_s);
+  } else {
+    event.kind = EventKind::kLinkRecovery;
+    down_[p.rack] = 0;
+    next_delay = rng_[p.rack].exponential(1.0 / options_.mtbf_s);
+  }
+  heap_.push_back({p.time_s + next_delay, p.rack});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++emitted_;
+  return event;
+}
+
+// ---- CompositeFaultModel ----------------------------------------------------
+
+CompositeFaultModel::CompositeFaultModel(
+    std::vector<std::unique_ptr<FaultModel>> children)
+    : children_(std::move(children)) {
+  for (const auto& child : children_)
+    if (!child) throw std::invalid_argument("composite fault model child is null");
+}
+
+SimTime CompositeFaultModel::next_time() const {
+  SimTime earliest = kNever;
+  for (const auto& child : children_) earliest = std::min(earliest, child->next_time());
+  return earliest;
+}
+
+ScheduledEvent CompositeFaultModel::pop() {
+  FaultModel* winner = nullptr;
+  SimTime earliest = kNever;
+  // Ties break toward the lowest child index (strict <): registration order.
+  for (const auto& child : children_) {
+    const SimTime t = child->next_time();
+    if (t < earliest) {
+      earliest = t;
+      winner = child.get();
+    }
+  }
+  if (winner == nullptr)
+    throw std::logic_error("pop() on an exhausted fault stream");
+  ++emitted_;
+  return winner->pop();
+}
+
+std::string CompositeFaultModel::name() const {
+  std::string out = "composite(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += children_[i]->name();
+  }
+  return out + ")";
+}
+
+// ---- Factories --------------------------------------------------------------
+
+FaultModelFactory mtbf_fault_factory(MtbfFaultOptions options) {
+  return [options](const Topology& topology, const FaultContext& context) {
+    return std::make_unique<MtbfFaultModel>(topology, context, options);
+  };
+}
+
+FaultModelFactory rack_fault_factory(RackFaultOptions options) {
+  return [options](const Topology& topology, const FaultContext& context) {
+    return std::make_unique<RackFaultModel>(topology, context, options);
+  };
+}
+
+FaultModelFactory link_flap_factory(LinkFlapOptions options) {
+  return [options](const Topology& topology, const FaultContext& context) {
+    return std::make_unique<LinkFlapModel>(topology, context, options);
+  };
+}
+
+FaultModelFactory compose_fault_factories(FaultModelFactory inner,
+                                          FaultModelFactory outer) {
+  if (!outer) return inner;
+  if (!inner) return outer;
+  return [inner = std::move(inner), outer = std::move(outer)](
+             const Topology& topology, const FaultContext& context) {
+    std::vector<std::unique_ptr<FaultModel>> children;
+    children.push_back(inner(topology, context));
+    children.push_back(outer(topology, context));
+    return std::make_unique<CompositeFaultModel>(std::move(children));
+  };
+}
+
+std::vector<ScheduledEvent> drain_fault_stream(FaultModel& model, SimTime horizon_s,
+                                               std::size_t max_events) {
+  std::vector<ScheduledEvent> out;
+  while (out.size() < max_events && model.next_time() <= horizon_s)
+    out.push_back(model.pop());
+  return out;
+}
+
+}  // namespace vnfm::edgesim

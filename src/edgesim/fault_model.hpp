@@ -1,0 +1,259 @@
+// Generative fault processes: seed-derived failure/repair event streams,
+// the stochastic counterpart of the scripted EventSchedule.
+//
+// A FaultModel emits ScheduledEvents on demand (next_time() / pop()) in
+// non-decreasing time order. core::VnfEnv merges the generated stream with
+// its scripted EventSchedule in deterministic timestamp order (scripted
+// events first on ties) and applies both exactly where scripted events are
+// applied today — between request arrivals at fixed simulated instants.
+//
+//  - MtbfFaultModel   independent per-node failure/repair renewal processes:
+//                     up-times ~ Exp(mean mtbf_s), down-times ~ Exp(mean
+//                     mttr_s), each node on its own seed-derived RNG stream
+//                     so the composed stream never depends on interleaving.
+//  - RackFaultModel   rack-correlated failures: one draw downs a whole rack —
+//                     either every host of the rack fail-stop (kHosts) or the
+//                     rack's ToR uplinks via kLinkFailure (kUplinks, the PR 8
+//                     plumbing; a no-op under the constant network model).
+//  - LinkFlapModel    per-rack uplink flap processes with BOUNDED repair
+//                     times: down-time = min(Exp(mttr_s), down_cap_s), so a
+//                     flapping uplink is always back within the cap.
+//  - CompositeFaultModel  merges child streams in (time, child index) order.
+//
+// Determinism contract: a model built twice from the same (topology, context,
+// options) emits byte-identical event streams; event times are derived only
+// from per-entity RNG streams seeded by mixing (context.seed, fault_seed,
+// entity index), never from consumption order, thread ids, or wall clock.
+//
+// A FaultModelFactory is how environments own models: core::EnvOptions
+// carries a factory (copyable, so options still copy across actor and
+// evaluator threads) and VnfEnv invokes it on every reset with the
+// episode-derived fault stream seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "edgesim/events.hpp"
+#include "edgesim/topology.hpp"
+
+namespace vnfm::edgesim {
+
+/// Per-reset inputs a fault-model factory receives from the environment:
+/// the episode-derived stream seed plus the fabric's rack width (so
+/// rack-correlated models group hosts exactly like the two-tier fabric).
+struct FaultContext {
+  std::uint64_t seed = 0;      ///< episode-derived fault stream seed
+  std::size_t rack_size = 4;   ///< hosts per rack (NetworkOptions::flow)
+};
+
+/// Abstract generative fault process. Implementations emit a deterministic,
+/// time-ordered (non-decreasing) event stream derived only from their seed.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Simulated time of the next event the process will emit; infinity when
+  /// the stream is exhausted (the built-in processes never exhaust).
+  [[nodiscard]] virtual SimTime next_time() const = 0;
+
+  /// Emits the next event and advances the stream. Precondition: next_time()
+  /// is finite.
+  virtual ScheduledEvent pop() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Events emitted (pop() calls) so far.
+  [[nodiscard]] virtual std::uint64_t emitted_count() const = 0;
+};
+
+/// Builds a fault model for a freshly reset environment. `context.seed` is
+/// already the episode-derived fault stream seed. An empty factory means no
+/// generated faults (legacy behaviour, byte-identical).
+using FaultModelFactory = std::function<std::unique_ptr<FaultModel>(
+    const Topology& topology, const FaultContext& context)>;
+
+struct MtbfFaultOptions {
+  double mtbf_s = 4.0 * 3600.0;  ///< mean up-time between failures
+  double mttr_s = 600.0;         ///< mean down-time until repair
+  /// Extra stream selector mixed into the episode seed: two overlays with
+  /// different fault_seed values draw disjoint streams on the same episode.
+  std::uint64_t fault_seed = 0;
+};
+
+/// Independent per-node failure/repair renewal processes. Node i alternates
+/// up-times ~ Exp(mean mtbf_s) and down-times ~ Exp(mean mttr_s) on its own
+/// RNG stream seeded from (context.seed, fault_seed, i); events are emitted
+/// in (time, node) order via a binary heap.
+class MtbfFaultModel final : public FaultModel {
+ public:
+  MtbfFaultModel(const Topology& topology, const FaultContext& context,
+                 MtbfFaultOptions options);
+
+  [[nodiscard]] SimTime next_time() const override;
+  ScheduledEvent pop() override;
+  [[nodiscard]] std::string name() const override { return "mtbf-faults"; }
+  [[nodiscard]] std::uint64_t emitted_count() const noexcept override {
+    return emitted_;
+  }
+
+  [[nodiscard]] const MtbfFaultOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pending {
+    SimTime time_s = 0.0;
+    std::uint32_t node = 0;
+  };
+  static bool later(const Pending& a, const Pending& b) noexcept;
+
+  MtbfFaultOptions options_;
+  std::vector<Rng> rng_;           ///< per node
+  std::vector<std::uint8_t> down_; ///< per node: next event is a recovery
+  std::vector<Pending> heap_;      ///< min-heap on (time, node)
+  std::uint64_t emitted_ = 0;
+};
+
+/// What one rack-failure draw takes down.
+enum class RackFaultMode : std::uint8_t {
+  kHosts,    ///< fail-stop every host of the rack (constant-model friendly)
+  kUplinks,  ///< fail the rack's ToR uplinks (kLinkFailure; flow models only)
+};
+
+struct RackFaultOptions {
+  double mtbf_s = 12.0 * 3600.0;  ///< mean up-time per rack
+  double mttr_s = 900.0;          ///< mean down-time per rack
+  std::uint64_t fault_seed = 0;   ///< extra stream selector (see MtbfFaultOptions)
+  RackFaultMode mode = RackFaultMode::kHosts;
+  /// Hosts per rack; 0 = inherit FaultContext::rack_size (the fabric width).
+  std::size_t rack_size = 0;
+};
+
+/// Rack-correlated failure/repair processes: racks are contiguous host-index
+/// groups of rack_size (exactly the two-tier fabric's assignment). One draw
+/// downs the whole rack — every host transitions at the same instant
+/// (kHosts), or the rack's ToR uplink fails via the anchor host (kUplinks).
+class RackFaultModel final : public FaultModel {
+ public:
+  RackFaultModel(const Topology& topology, const FaultContext& context,
+                 RackFaultOptions options);
+
+  [[nodiscard]] SimTime next_time() const override;
+  ScheduledEvent pop() override;
+  [[nodiscard]] std::string name() const override { return "rack-faults"; }
+  [[nodiscard]] std::uint64_t emitted_count() const noexcept override {
+    return emitted_;
+  }
+
+  [[nodiscard]] const RackFaultOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t rack_count() const noexcept { return rng_.size(); }
+  /// First host index of rack `rack` (its uplink-failure anchor).
+  [[nodiscard]] std::uint32_t rack_anchor(std::size_t rack) const;
+
+ private:
+  struct Pending {
+    SimTime time_s = 0.0;
+    std::uint32_t rack = 0;
+  };
+  static bool later(const Pending& a, const Pending& b) noexcept;
+  /// Expands the earliest rack transition into per-host (or uplink) events.
+  void refill_queue();
+
+  RackFaultOptions options_;
+  std::size_t host_count_ = 0;
+  std::vector<Rng> rng_;           ///< per rack
+  std::vector<std::uint8_t> down_; ///< per rack
+  std::vector<Pending> heap_;      ///< min-heap on (time, rack)
+  std::deque<ScheduledEvent> queue_;  ///< expanded events awaiting pop()
+  std::uint64_t emitted_ = 0;
+};
+
+struct LinkFlapOptions {
+  double mtbf_s = 2.0 * 3600.0;  ///< mean up-time between flaps per rack uplink
+  double mttr_s = 120.0;         ///< mean down-time of one flap
+  double down_cap_s = 600.0;     ///< hard bound on any single down-time
+  std::uint64_t fault_seed = 0;  ///< extra stream selector (see MtbfFaultOptions)
+  /// Racks per flap process; 0 = inherit FaultContext::rack_size.
+  std::size_t rack_size = 0;
+};
+
+/// Per-rack uplink flap processes with bounded repair: each rack's uplink
+/// alternates up-times ~ Exp(mean mtbf_s) and down-times min(Exp(mean
+/// mttr_s), down_cap_s), emitting kLinkFailure/kLinkRecovery anchored at the
+/// rack's first host. A no-op stream under the constant network model (link
+/// events don't apply there), real rerouting/kills under flow fabrics.
+class LinkFlapModel final : public FaultModel {
+ public:
+  LinkFlapModel(const Topology& topology, const FaultContext& context,
+                LinkFlapOptions options);
+
+  [[nodiscard]] SimTime next_time() const override;
+  ScheduledEvent pop() override;
+  [[nodiscard]] std::string name() const override { return "link-flaps"; }
+  [[nodiscard]] std::uint64_t emitted_count() const noexcept override {
+    return emitted_;
+  }
+
+  [[nodiscard]] const LinkFlapOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t rack_count() const noexcept { return rng_.size(); }
+
+ private:
+  struct Pending {
+    SimTime time_s = 0.0;
+    std::uint32_t rack = 0;
+  };
+  static bool later(const Pending& a, const Pending& b) noexcept;
+
+  LinkFlapOptions options_;
+  std::size_t rack_size_ = 4;
+  std::vector<Rng> rng_;           ///< per rack
+  std::vector<std::uint8_t> down_; ///< per rack
+  std::vector<Pending> heap_;      ///< min-heap on (time, rack)
+  std::uint64_t emitted_ = 0;
+};
+
+/// Deterministic merge of several fault processes: the earliest child event
+/// wins, ties broken by child index (registration order).
+class CompositeFaultModel final : public FaultModel {
+ public:
+  explicit CompositeFaultModel(std::vector<std::unique_ptr<FaultModel>> children);
+
+  [[nodiscard]] SimTime next_time() const override;
+  ScheduledEvent pop() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t emitted_count() const noexcept override {
+    return emitted_;
+  }
+
+  [[nodiscard]] std::size_t child_count() const noexcept { return children_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<FaultModel>> children_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Factory for per-node MTBF/MTTR failure/repair processes.
+[[nodiscard]] FaultModelFactory mtbf_fault_factory(MtbfFaultOptions options = {});
+
+/// Factory for rack-correlated failure/repair processes.
+[[nodiscard]] FaultModelFactory rack_fault_factory(RackFaultOptions options = {});
+
+/// Factory for bounded-repair link-flap processes.
+[[nodiscard]] FaultModelFactory link_flap_factory(LinkFlapOptions options = {});
+
+/// Composes two factories into one emitting the merged stream (empty inner =
+/// just `outer`; scenario overlays chain fault processes through this).
+[[nodiscard]] FaultModelFactory compose_fault_factories(FaultModelFactory inner,
+                                                        FaultModelFactory outer);
+
+/// Drains up to `max_events` events with time <= horizon_s from a fresh model
+/// into a time-ordered vector (tests, stream comparisons, trace dumps).
+[[nodiscard]] std::vector<ScheduledEvent> drain_fault_stream(FaultModel& model,
+                                                             SimTime horizon_s,
+                                                             std::size_t max_events);
+
+}  // namespace vnfm::edgesim

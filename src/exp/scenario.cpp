@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/csv.hpp"
+#include "edgesim/fault_model.hpp"
 #include "edgesim/workload_model.hpp"
 
 namespace vnfm::exp {
@@ -21,7 +22,7 @@ const char* const kEnvOverrideKeys[] = {
     "w_sla_violation", "w_rejection",      "w_revenue",        "w_migration",
     "reward_scale",   "dense_features",    "candidate_k",      "topology",
     "rack_size",      "link_gbps",         "core_gbps",        "link_delay_ms",
-    "payload_mbit",   "seed"};
+    "payload_mbit",   "fault_features",    "seed"};
 
 }  // namespace
 
@@ -93,6 +94,7 @@ core::EnvOptions apply_env_overrides(core::EnvOptions options, const Config& ove
 
   options.reward_scale = overrides.get_double("reward_scale", options.reward_scale);
   options.dense_features = overrides.get_bool("dense_features", options.dense_features);
+  options.fault_features = overrides.get_bool("fault_features", options.fault_features);
   options.candidate_k = overrides.get_size("candidate_k", options.candidate_k);
   options.seed = overrides.get_uint64("seed", options.seed);
   return options;
@@ -453,6 +455,81 @@ ScenarioCatalog::ScenarioCatalog() {
                  overrides.get_double("capacity_factor", 0.5));
              const double restore_at = overrides.get_double("capacity_restore_s", 5400.0);
              if (restore_at > 0.0) options.events.scale_capacity(restore_at, node, 1.0);
+           }});
+
+  // Generative fault overlays. All three read the shared `mtbf_s`/`mttr_s`/
+  // `fault_seed` keys (per the catalog grammar, composed overlays then share
+  // one override value — their built-in defaults differ instead), and all
+  // compose through compose_fault_factories so `+mtbf-faults+link-flaps`
+  // yields one merged deterministic stream.
+  add_overlay(
+      {.name = "mtbf-faults",
+       .description =
+           "stochastic per-node fail-stop/repair processes on top of any "
+           "base: every node alternates up-times ~ Exp(`mtbf_s`, default 4h) "
+           "and down-times ~ Exp(`mttr_s`, default 10min) on its own "
+           "seed-derived stream (`fault_seed` selects a different stream on "
+           "the same episode)",
+       .option_keys = {"mtbf_s", "mttr_s", "fault_seed"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             edgesim::MtbfFaultOptions faults;
+             faults.mtbf_s = overrides.get_double("mtbf_s", faults.mtbf_s);
+             faults.mttr_s = overrides.get_double("mttr_s", faults.mttr_s);
+             faults.fault_seed = overrides.get_uint64("fault_seed", faults.fault_seed);
+             options.fault_model = edgesim::compose_fault_factories(
+                 options.fault_model, edgesim::mtbf_fault_factory(faults));
+           }});
+  add_overlay(
+      {.name = "rack-faults",
+       .description =
+           "rack-correlated failures: one draw downs a whole rack of "
+           "`rack_fault_size` hosts (0 = the fabric's rack_size) — every host "
+           "fail-stop (`rack_fault_mode=hosts`, the default) or the rack's "
+           "ToR uplinks (`rack_fault_mode=uplinks`, flow fabrics only) — with "
+           "rack up-times ~ Exp(`mtbf_s`, default 12h) and down-times ~ "
+           "Exp(`mttr_s`, default 15min)",
+       .option_keys = {"mtbf_s", "mttr_s", "fault_seed", "rack_fault_mode",
+                       "rack_fault_size"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             edgesim::RackFaultOptions faults;
+             faults.mtbf_s = overrides.get_double("mtbf_s", faults.mtbf_s);
+             faults.mttr_s = overrides.get_double("mttr_s", faults.mttr_s);
+             faults.fault_seed = overrides.get_uint64("fault_seed", faults.fault_seed);
+             faults.rack_size = overrides.get_size("rack_fault_size", faults.rack_size);
+             const std::string mode =
+                 overrides.get_string("rack_fault_mode", "hosts");
+             if (mode == "hosts") {
+               faults.mode = edgesim::RackFaultMode::kHosts;
+             } else if (mode == "uplinks") {
+               faults.mode = edgesim::RackFaultMode::kUplinks;
+             } else {
+               throw std::invalid_argument("rack_fault_mode must be 'hosts' or "
+                                           "'uplinks', got '" + mode + "'");
+             }
+             options.fault_model = edgesim::compose_fault_factories(
+                 options.fault_model, edgesim::rack_fault_factory(faults));
+           }});
+  add_overlay(
+      {.name = "link-flaps",
+       .description =
+           "per-rack uplink flap processes with bounded repair: each rack's "
+           "ToR uplink alternates up-times ~ Exp(`mtbf_s`, default 2h) and "
+           "down-times min(Exp(`mttr_s`, default 2min), `flap_down_cap_s`) — "
+           "a no-op under the constant network model, real reroutes/kills "
+           "under flow fabrics",
+       .option_keys = {"mtbf_s", "mttr_s", "fault_seed", "flap_down_cap_s"},
+       .apply =
+           [](core::EnvOptions& options, const Config& overrides) {
+             edgesim::LinkFlapOptions faults;
+             faults.mtbf_s = overrides.get_double("mtbf_s", faults.mtbf_s);
+             faults.mttr_s = overrides.get_double("mttr_s", faults.mttr_s);
+             faults.fault_seed = overrides.get_uint64("fault_seed", faults.fault_seed);
+             faults.down_cap_s =
+                 overrides.get_double("flap_down_cap_s", faults.down_cap_s);
+             options.fault_model = edgesim::compose_fault_factories(
+                 options.fault_model, edgesim::link_flap_factory(faults));
            }});
 }
 

@@ -103,6 +103,38 @@ TEST(NetworkGolden, TrainingArchiveIsByteIdenticalToPrePr) {
   EXPECT_EQ(crc32(buffer), 0x2C9C978DU);
 }
 
+TEST(NetworkGolden, FaultFeatureLayoutDigestIsPinned) {
+  // The fault-visibility feature block reshapes every per-node row (6 -> 8
+  // floats); these digests pin the enabled layout so future PRs can't
+  // silently reorder or renormalise it. Captured when the fault subsystem
+  // landed. The first case has no fault model — the block is constant
+  // (failed=0, scale=0.5) and the digest isolates pure layout; the second
+  // runs a generated MTBF stream, pinning stream timing and feature dynamics
+  // together.
+  core::VnfEnv layout_env(exp::ScenarioCatalog::instance().build(
+      "geo-distributed", Config{{"fault_features", "true"}}));
+  EXPECT_EQ(env_digest(layout_env, 1, 120), 0xC3F46DFE0BC7DF28ULL);
+
+  core::VnfEnv storm_env(exp::ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults",
+      Config{{"fault_features", "true"}, {"mtbf_s", "600"}, {"mttr_s", "300"}}));
+  EXPECT_EQ(env_digest(storm_env, 1, 120), 0xE9BCA5530C35225EULL);
+}
+
+TEST(NetworkGolden, FaultFeaturesOffKeepsTheLegacyLayoutByteIdentical) {
+  // Counterpart guard: constructing the fault overlay WITHOUT fault_features
+  // must leave the feature layout untouched — same row width, and a
+  // fault-free episode prefix must digest identically to the legacy env.
+  core::VnfEnv legacy(exp::ScenarioCatalog::instance().build("geo-distributed", {}));
+  core::VnfEnv overlay(exp::ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults", Config{{"mtbf_s", "1000000000"}}));
+  // An (effectively) never-firing fault process: the rollout must be
+  // bit-identical to the fault-free environment, proving the merge loop and
+  // the disabled feature flag add zero bytes to the default path.
+  EXPECT_EQ(env_digest(legacy, 1, 120), env_digest(overlay, 1, 120));
+  EXPECT_EQ(legacy.state_dim(), overlay.state_dim());
+}
+
 TEST(NetworkGolden, FlowModelActuallyChangesTheRollout) {
   // Sanity counterpart: the digests above would be vacuous if the flow model
   // somehow fed through the same code path. Same scenario and seed, flow

@@ -1,0 +1,226 @@
+// Statistical and determinism gate for the generative fault processes
+// (edgesim::FaultModel): empirical inter-failure/repair means must match the
+// configured MTBF/MTTR, rack draws must move whole racks atomically, and
+// streams must be a pure function of their seeds.
+#include "edgesim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace vnfm::edgesim {
+namespace {
+
+bool events_equal(const ScheduledEvent& a, const ScheduledEvent& b) {
+  return std::memcmp(&a.time_s, &b.time_s, sizeof(a.time_s)) == 0 &&
+         a.kind == b.kind && a.node == b.node &&
+         std::memcmp(&a.factor, &b.factor, sizeof(a.factor)) == 0;
+}
+
+bool streams_equal(const std::vector<ScheduledEvent>& a,
+                   const std::vector<ScheduledEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!events_equal(a[i], b[i])) return false;
+  return true;
+}
+
+class FaultModelTest : public ::testing::Test {
+ protected:
+  Topology topo_ = make_world_topology({.node_count = 8});
+  FaultContext context_{.seed = 42, .rack_size = 4};
+};
+
+// ---- Statistical properties -------------------------------------------------
+
+TEST_F(FaultModelTest, EmpiricalUpAndDownTimesMatchMtbfAndMttr) {
+  // Long horizon so every node cycles hundreds of times; the sample mean of
+  // an Exp(mean m) over ~n draws concentrates within a few m/sqrt(n).
+  const MtbfFaultOptions options{.mtbf_s = 4'000.0, .mttr_s = 500.0};
+  MtbfFaultModel model(topo_, context_, options);
+  const double horizon = 4'000.0 * 1'000.0;
+  std::map<std::uint32_t, double> last_failure;
+  std::map<std::uint32_t, double> last_recovery;
+  double up_sum = 0.0, down_sum = 0.0;
+  std::size_t up_n = 0, down_n = 0;
+  while (model.next_time() <= horizon) {
+    const ScheduledEvent event = model.pop();
+    const auto node = index(event.node);
+    if (event.kind == EventKind::kNodeFailure) {
+      // Up-time: recovery (or t=0) -> failure.
+      const auto it = last_recovery.find(node);
+      up_sum += event.time_s - (it == last_recovery.end() ? 0.0 : it->second);
+      ++up_n;
+      last_failure[node] = event.time_s;
+    } else {
+      ASSERT_EQ(event.kind, EventKind::kNodeRecovery);
+      down_sum += event.time_s - last_failure.at(node);
+      ++down_n;
+      last_recovery[node] = event.time_s;
+    }
+  }
+  ASSERT_GT(up_n, 2'000U);
+  ASSERT_GT(down_n, 2'000U);
+  // ~8000 samples each: 5% tolerance is > 4 standard errors.
+  EXPECT_NEAR(up_sum / static_cast<double>(up_n), options.mtbf_s,
+              0.05 * options.mtbf_s);
+  EXPECT_NEAR(down_sum / static_cast<double>(down_n), options.mttr_s,
+              0.05 * options.mttr_s);
+}
+
+TEST_F(FaultModelTest, LinkFlapDownTimesAreBoundedAndMeanShrinks) {
+  // With a cap well below the exponential mean, every observed down-time
+  // must respect the cap and the empirical mean must land below the
+  // uncapped mttr_s.
+  const LinkFlapOptions options{
+      .mtbf_s = 1'000.0, .mttr_s = 400.0, .down_cap_s = 300.0};
+  LinkFlapModel model(topo_, context_, options);
+  std::map<std::uint32_t, double> down_at;
+  double down_sum = 0.0;
+  std::size_t down_n = 0;
+  while (model.next_time() <= 1'000.0 * 2'000.0) {
+    const ScheduledEvent event = model.pop();
+    const auto anchor = index(event.node);
+    if (event.kind == EventKind::kLinkFailure) {
+      down_at[anchor] = event.time_s;
+    } else {
+      ASSERT_EQ(event.kind, EventKind::kLinkRecovery);
+      const double down = event.time_s - down_at.at(anchor);
+      EXPECT_LE(down, options.down_cap_s + 1e-9);
+      down_sum += down;
+      ++down_n;
+    }
+  }
+  ASSERT_GT(down_n, 1'000U);
+  EXPECT_LT(down_sum / static_cast<double>(down_n), options.mttr_s);
+  // E[min(Exp(400), 300)] = 400 * (1 - e^(-300/400)) ~ 211.
+  EXPECT_NEAR(down_sum / static_cast<double>(down_n), 211.3, 15.0);
+}
+
+// ---- Rack correlation -------------------------------------------------------
+
+TEST_F(FaultModelTest, RackDrawMovesEveryHostOfTheRackAtOneInstant) {
+  RackFaultModel model(topo_, context_, {.mtbf_s = 2'000.0, .mttr_s = 400.0});
+  ASSERT_EQ(model.rack_count(), 2U);  // 8 hosts / rack_size 4
+  const auto events = drain_fault_stream(model, 2'000.0 * 200.0, 100'000);
+  ASSERT_FALSE(events.empty());
+  // Events of one rack transition are contiguous: same timestamp and kind,
+  // hosts ascending and covering the rack exactly.
+  for (std::size_t i = 0; i < events.size();) {
+    const std::uint32_t anchor = index(events[i].node);
+    const std::uint32_t rack = anchor / 4;
+    EXPECT_EQ(anchor % 4, 0U) << "rack group must start at its anchor host";
+    for (std::uint32_t h = 0; h < 4; ++h) {
+      ASSERT_LT(i + h, events.size());
+      EXPECT_EQ(index(events[i + h].node), rack * 4 + h);
+      EXPECT_EQ(std::memcmp(&events[i + h].time_s, &events[i].time_s,
+                            sizeof(double)),
+                0)
+          << "whole rack must transition at one instant";
+      EXPECT_EQ(events[i + h].kind, events[i].kind);
+    }
+    i += 4;
+  }
+}
+
+TEST_F(FaultModelTest, RackUplinkModeEmitsOneLinkEventPerTransition) {
+  RackFaultModel model(topo_, context_,
+                       {.mtbf_s = 2'000.0, .mttr_s = 400.0,
+                        .mode = RackFaultMode::kUplinks});
+  const auto events = drain_fault_stream(model, 2'000.0 * 100.0, 10'000);
+  ASSERT_FALSE(events.empty());
+  for (const ScheduledEvent& event : events) {
+    EXPECT_TRUE(event.kind == EventKind::kLinkFailure ||
+                event.kind == EventKind::kLinkRecovery);
+    EXPECT_EQ(index(event.node) % 4, 0U) << "uplink events anchor at the rack head";
+  }
+}
+
+TEST_F(FaultModelTest, RackSizeZeroInheritsTheFabricWidthFromContext) {
+  FaultContext wide = context_;
+  wide.rack_size = 8;
+  RackFaultModel model(topo_, wide, {.rack_size = 0});
+  EXPECT_EQ(model.rack_count(), 1U);
+  RackFaultModel narrow(topo_, wide, {.rack_size = 2});
+  EXPECT_EQ(narrow.rack_count(), 4U);
+}
+
+// ---- Seed determinism -------------------------------------------------------
+
+TEST_F(FaultModelTest, IdenticalSeedsEmitByteIdenticalStreams) {
+  const MtbfFaultOptions options{.mtbf_s = 900.0, .mttr_s = 200.0};
+  MtbfFaultModel a(topo_, context_, options);
+  MtbfFaultModel b(topo_, context_, options);
+  EXPECT_TRUE(streams_equal(drain_fault_stream(a, 100'000.0, 5'000),
+                            drain_fault_stream(b, 100'000.0, 5'000)));
+}
+
+TEST_F(FaultModelTest, DisjointSeedsEmitDistinctStreams) {
+  const MtbfFaultOptions options{.mtbf_s = 900.0, .mttr_s = 200.0};
+  MtbfFaultModel base(topo_, context_, options);
+  FaultContext reseeded = context_;
+  reseeded.seed = 43;
+  MtbfFaultModel other_episode(topo_, reseeded, options);
+  MtbfFaultOptions overlay = options;
+  overlay.fault_seed = 1;
+  MtbfFaultModel other_overlay(topo_, context_, overlay);
+  const auto reference = drain_fault_stream(base, 100'000.0, 5'000);
+  EXPECT_FALSE(
+      streams_equal(reference, drain_fault_stream(other_episode, 100'000.0, 5'000)));
+  EXPECT_FALSE(
+      streams_equal(reference, drain_fault_stream(other_overlay, 100'000.0, 5'000)));
+}
+
+TEST_F(FaultModelTest, StreamsAreTimeOrderedWithDeterministicTieBreak) {
+  MtbfFaultModel model(topo_, context_, {.mtbf_s = 500.0, .mttr_s = 100.0});
+  const auto events = drain_fault_stream(model, 500.0 * 500.0, 50'000);
+  ASSERT_GT(events.size(), 1'000U);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time_s, events[i].time_s);
+}
+
+TEST_F(FaultModelTest, CompositeMergesChildrenInTimeOrder) {
+  std::vector<std::unique_ptr<FaultModel>> children;
+  children.push_back(std::make_unique<MtbfFaultModel>(
+      topo_, context_, MtbfFaultOptions{.mtbf_s = 700.0, .mttr_s = 150.0}));
+  children.push_back(std::make_unique<LinkFlapModel>(
+      topo_, context_, LinkFlapOptions{.mtbf_s = 900.0, .mttr_s = 120.0}));
+  CompositeFaultModel composite(std::move(children));
+  EXPECT_EQ(composite.child_count(), 2U);
+  const auto events = drain_fault_stream(composite, 700.0 * 100.0, 20'000);
+  ASSERT_FALSE(events.empty());
+  std::set<EventKind> kinds;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) EXPECT_LE(events[i - 1].time_s, events[i].time_s);
+    kinds.insert(events[i].kind);
+  }
+  // Both processes must be represented in the merged stream.
+  EXPECT_TRUE(kinds.count(EventKind::kNodeFailure) > 0);
+  EXPECT_TRUE(kinds.count(EventKind::kLinkFailure) > 0);
+}
+
+TEST_F(FaultModelTest, FactoriesComposeAndRejectBadOptions) {
+  const FaultModelFactory composed = compose_fault_factories(
+      mtbf_fault_factory({.mtbf_s = 700.0}), link_flap_factory({.mtbf_s = 900.0}));
+  const auto model = composed(topo_, context_);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "composite(mtbf-faults+link-flaps)");
+  // Empty halves collapse to the other side instead of wrapping.
+  EXPECT_EQ(compose_fault_factories({}, {}), nullptr);
+  const auto single = compose_fault_factories({}, mtbf_fault_factory({}))(topo_, context_);
+  EXPECT_EQ(single->name(), "mtbf-faults");
+  EXPECT_THROW(MtbfFaultModel(topo_, context_, {.mtbf_s = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(MtbfFaultModel(topo_, context_, {.mttr_s = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinkFlapModel(topo_, context_, {.down_cap_s = 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfm::edgesim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,19 @@ const Config& small_scenario_overrides() {
 Experiment small_experiment(const std::string& manager_name) {
   Experiment experiment = Experiment::scenario("geo-distributed",
                                                small_scenario_overrides());
+  experiment.manager(manager_name).seed(11).train_duration(150.0);
+  return experiment;
+}
+
+/// A fault-storm variant of small_experiment: generative MTBF faults
+/// aggressive enough (mean node up-time 200 s, 4 nodes, 150 s episodes) that
+/// every training episode sees failures mid-flight, with the fault-visibility
+/// feature block on — the kill-at-K drill then resumes mid-storm.
+Experiment fault_storm_experiment(const std::string& manager_name) {
+  Experiment experiment = Experiment::scenario(
+      "geo-distributed+mtbf-faults",
+      Config{{"nodes", "4"}, {"arrival_rate", "2.0"}, {"seed", "17"},
+             {"mtbf_s", "200"}, {"mttr_s", "90"}, {"fault_features", "true"}});
   experiment.manager(manager_name).seed(11).train_duration(150.0);
   return experiment;
 }
@@ -63,23 +77,25 @@ void expect_identical_curves(const std::vector<core::EpisodeResult>& a,
 /// Facade-level kill-and-resume: train(total) straight vs train(kill_at) with
 /// periodic checkpoints, then a brand-new Experiment resumed from the newest
 /// archive training the rest. Curves, seeds, and manager state must match.
-void facade_drill(const std::string& manager_name, std::size_t train_threads,
+/// `make` builds the (scenario, manager) experiment so scripted and
+/// fault-storm variants share the same drill.
+void facade_drill(const std::function<Experiment()>& make, std::size_t train_threads,
                   const std::string& label) {
   const std::size_t total = 8;
   const std::size_t kill_at = 4;
 
-  Experiment reference = small_experiment(manager_name);
+  Experiment reference = make();
   if (train_threads > 0) reference.train_threads(train_threads);
   reference.train(total);
 
   const std::string dir = fresh_dir(label);
-  Experiment interrupted = small_experiment(manager_name);
+  Experiment interrupted = make();
   if (train_threads > 0) interrupted.train_threads(train_threads);
   interrupted.checkpoint_every(kill_at).checkpoint_dir(dir).train(kill_at);
 
   const std::string archive = core::latest_checkpoint(dir);
   ASSERT_FALSE(archive.empty()) << label;
-  Experiment resumed = small_experiment(manager_name);
+  Experiment resumed = make();
   if (train_threads > 0) resumed.train_threads(train_threads);
   resumed.resume(archive);
   ASSERT_EQ(resumed.learning_curve().size(), kill_at) << label;
@@ -92,6 +108,11 @@ void facade_drill(const std::string& manager_name, std::size_t train_threads,
   EXPECT_EQ(reference.train_stats().episodes, resumed.train_stats().episodes) << label;
   EXPECT_EQ(reference.train_stats().transitions, resumed.train_stats().transitions)
       << label;
+}
+
+void facade_drill(const std::string& manager_name, std::size_t train_threads,
+                  const std::string& label) {
+  facade_drill([&] { return small_experiment(manager_name); }, train_threads, label);
 }
 
 TEST(ExperimentCheckpoint, DqnPipelineResumesAtOneActorThread) {
@@ -111,6 +132,21 @@ TEST(ExperimentCheckpoint, TabularInlineLoopResumes) {
 
 TEST(ExperimentCheckpoint, ActorCriticInlineLoopResumes) {
   facade_drill("actor_critic", 0, "a2c_inline");
+}
+
+TEST(ExperimentCheckpoint, DqnResumesMidFaultStorm) {
+  // Determinism invariant #12's resume half: killing at episode 4 of a run
+  // whose every episode is under sustained generated node failures (and
+  // fault-visibility features) must resume byte-identically — the fault
+  // stream is a pure function of (options seed, episode seed), never of
+  // process lifetime.
+  facade_drill([] { return fault_storm_experiment("dqn"); }, 1, "dqn_fault_storm_1");
+  facade_drill([] { return fault_storm_experiment("dqn"); }, 4, "dqn_fault_storm_4");
+}
+
+TEST(ExperimentCheckpoint, TabularInlineLoopResumesMidFaultStorm) {
+  facade_drill([] { return fault_storm_experiment("tabular_q"); }, 0,
+               "tabular_fault_storm");
 }
 
 TEST(ExperimentCheckpoint, SaveCheckpointSnapshotsOnDemand) {

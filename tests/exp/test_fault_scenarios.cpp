@@ -1,0 +1,214 @@
+// Scenario-level tests of the generative fault subsystem: catalog plumbing of
+// the +mtbf-faults/+rack-faults/+link-flaps overlays and the fault_features
+// knob, scripted/generated stream merging, the fault-visibility feature
+// block, and determinism invariant #12 — fault-overlay episodes bit-identical
+// across evaluation AND actor thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/runner.hpp"
+#include "edgesim/fault_model.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+
+namespace vnfm::exp {
+namespace {
+
+void expect_result_eq(const core::EpisodeResult& a, const core::EpisodeResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.total_reward, b.total_reward) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cost_per_request, b.cost_per_request) << label;
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.acceptance_ratio, b.acceptance_ratio) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_ratio, b.sla_violation_ratio) << label;
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization) << label;
+  EXPECT_EQ(a.deployments, b.deployments) << label;
+  EXPECT_EQ(a.running_cost, b.running_cost) << label;
+  EXPECT_EQ(a.revenue, b.revenue) << label;
+}
+
+/// Aggressive fault knobs so short test episodes actually see failures.
+const Config kFastFaults{{"mtbf_s", "300"}, {"mttr_s", "120"}};
+
+/// Drives a place-first-valid policy until `until_s`; returns chains killed.
+std::size_t drive_until(core::VnfEnv& env, double until_s) {
+  while (env.now() < until_s && env.begin_next_request())
+    while (env.has_pending_chain()) {
+      const auto& mask = env.action_mask();
+      int action = env.reject_action();
+      for (std::size_t a = 0; a < mask.size(); ++a)
+        if (mask[a]) { action = static_cast<int>(a); break; }
+      (void)env.step(action);
+    }
+  return env.metrics().chains_killed();
+}
+
+TEST(FaultScenarios, CatalogPlumbsEveryFaultOverlay) {
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults+rack-faults+link-flaps",
+      Config{{"mtbf_s", "900"},
+             {"mttr_s", "120"},
+             {"fault_seed", "7"},
+             {"rack_fault_mode", "uplinks"},
+             {"rack_fault_size", "2"},
+             {"flap_down_cap_s", "60"},
+             {"fault_features", "true"}});
+  ASSERT_TRUE(static_cast<bool>(options.fault_model));
+  EXPECT_TRUE(options.fault_features);
+
+  core::VnfEnv env(options);
+  env.reset(1);
+  ASSERT_NE(env.fault_process(), nullptr);
+  EXPECT_EQ(env.fault_process()->name(),
+            "composite(composite(mtbf-faults+rack-faults)+link-flaps)");
+}
+
+TEST(FaultScenarios, RackFaultModeRejectsUnknownValues) {
+  EXPECT_THROW(ScenarioCatalog::instance().build(
+                   "geo-distributed+rack-faults",
+                   Config{{"rack_fault_mode", "everything"}}),
+               std::invalid_argument);
+}
+
+TEST(FaultScenarios, MtbfFaultsKillChainsDeterministically) {
+  auto run_once = [] {
+    core::VnfEnv env(ScenarioCatalog::instance().build(
+        "geo-distributed+mtbf-faults", kFastFaults));
+    env.reset(5);
+    const std::size_t killed = drive_until(env, 1'800.0);
+    return std::tuple<std::size_t, std::uint64_t, double>{
+        killed, env.fault_events_applied(), env.metrics().total_cost()};
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_GT(std::get<0>(first), 0U);
+  EXPECT_GT(std::get<1>(first), 0U);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultScenarios, GeneratedStreamMergesWithScriptedSchedule) {
+  // A scripted node-failure overlay composed with a generative process: both
+  // must apply through the same deterministic path.
+  Config overrides = kFastFaults;
+  overrides.set("fail_node", "2");
+  overrides.set("fail_at_s", "200");
+  overrides.set("recover_at_s", "400");
+  core::VnfEnv env(ScenarioCatalog::instance().build(
+      "geo-distributed+node-failure+mtbf-faults", overrides));
+  env.reset(5);
+  drive_until(env, 1'200.0);
+  EXPECT_EQ(env.events_applied(), 2U) << "both scripted events must apply";
+  EXPECT_GT(env.fault_events_applied(), 0U);
+}
+
+TEST(FaultScenarios, FaultFeaturesAppendTwoFloatsPerNodeRow) {
+  const Config base{{"nodes", "6"}};
+  Config with = base;
+  with.set("fault_features", "true");
+  core::VnfEnv legacy(ScenarioCatalog::instance().build("geo-distributed", base));
+  core::VnfEnv visible(ScenarioCatalog::instance().build("geo-distributed", with));
+  legacy.reset(1);
+  visible.reset(1);
+  ASSERT_TRUE(legacy.begin_next_request());
+  ASSERT_TRUE(visible.begin_next_request());
+  // Same tail block, +2 floats per node row.
+  EXPECT_EQ(visible.state_dim(), legacy.state_dim() + 2 * 6);
+  // With no faults yet: failed flag 0, capacity scale 1.0 -> 0.5 normalised.
+  const auto features = visible.features();
+  const std::size_t row = 8;  // 6 legacy + 2 fault floats
+  for (std::size_t node = 0; node < 6; ++node) {
+    EXPECT_EQ(features[node * row + 6], 0.0F) << "node " << node;
+    EXPECT_EQ(features[node * row + 7], 0.5F) << "node " << node;
+  }
+}
+
+TEST(FaultScenarios, FailedFlagTracksClusterStateUnderFaultFeatures) {
+  Config overrides{{"nodes", "6"}, {"fault_features", "true"},
+                   {"fail_node", "3"}, {"fail_at_s", "10"}, {"recover_at_s", "0"}};
+  core::VnfEnv env(ScenarioCatalog::instance().build(
+      "geo-distributed+node-failure", overrides));
+  env.reset(1);
+  // Drive past the scripted failure, then inspect node 3's fault block.
+  while (env.now() < 60.0 && env.begin_next_request())
+    while (env.has_pending_chain()) (void)env.step(env.reject_action());
+  ASSERT_TRUE(env.cluster().node_failed(edgesim::NodeId{3}));
+  ASSERT_TRUE(env.begin_next_request());
+  const auto features = env.features();
+  EXPECT_EQ(features[3 * 8 + 6], 1.0F);
+}
+
+TEST(FaultScenarios, FaultFeaturesComposeWithCandidatePruning) {
+  const Config overrides{{"nodes", "40"}, {"candidate_k", "8"},
+                         {"fault_features", "true"}, {"mtbf_s", "300"},
+                         {"mttr_s", "120"}};
+  core::VnfEnv env(ScenarioCatalog::instance().build(
+      "large-scale-1k+mtbf-faults", overrides));
+  env.reset(1);
+  ASSERT_TRUE(env.begin_next_request());
+  // Pruned layout: candidate_k rows of (6 + 2) floats + request tail; the
+  // mask stays candidate_k + 1 wide.
+  EXPECT_EQ(env.feature_rows(), 8U);
+  EXPECT_EQ(env.action_mask().size(), 9U);
+  const std::size_t tail = env.state_dim() - 8U * 8U;
+  EXPECT_GT(tail, 0U);
+  while (env.has_pending_chain()) (void)env.step(env.reject_action());
+  drive_until(env, 900.0);
+  EXPECT_GT(env.fault_events_applied(), 0U);
+}
+
+// ---- Determinism invariant #12 ---------------------------------------------
+
+TEST(FaultScenarios, FaultOverlayEpisodesAreEvalThreadCountInvariant) {
+  Config overrides = kFastFaults;
+  overrides.set("fault_features", "true");
+  const core::EnvOptions options = ScenarioCatalog::instance().build(
+      "geo-distributed+mtbf-faults+link-flaps", overrides);
+  core::VnfEnv env(options);
+  const auto manager = ManagerRegistry::instance().create("greedy_latency", env);
+
+  core::EpisodeOptions episode;
+  episode.duration_s = 1'200.0;
+  episode.seed = 3;
+  const EvalReport one = evaluate_parallel(options, *manager, episode, 3, 1);
+  const EvalReport four = evaluate_parallel(options, *manager, episode, 3, 4);
+  ASSERT_EQ(one.per_seed.size(), four.per_seed.size());
+  for (std::size_t i = 0; i < one.per_seed.size(); ++i)
+    expect_result_eq(one.per_seed[i], four.per_seed[i],
+                     "repeat " + std::to_string(i));
+  // Vacuity guard: the fault processes must actually fire in these episodes.
+  core::VnfEnv probe(options);
+  probe.reset(core::eval_seed(options.seed, 0));
+  drive_until(probe, episode.duration_s);
+  EXPECT_GT(probe.fault_events_applied(), 0U);
+}
+
+TEST(FaultScenarios, FaultOverlayTrainingIsActorThreadCountInvariant) {
+  std::vector<std::vector<core::EpisodeResult>> curves;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto experiment = Experiment::scenario(
+        "geo-distributed+mtbf-faults",
+        Config{{"nodes", "4"}, {"arrival_rate", "1.5"}, {"mtbf_s", "300"},
+               {"mttr_s", "120"}, {"fault_features", "true"}});
+    experiment.manager("dqn")
+        .seed(11)
+        .train_threads(threads)
+        .train_duration(600.0)
+        .train(4);
+    EXPECT_TRUE(experiment.train_stats().parallel) << threads << " threads";
+    curves.push_back(experiment.learning_curve());
+  }
+  ASSERT_EQ(curves[0].size(), curves[1].size());
+  for (std::size_t i = 0; i < curves[0].size(); ++i)
+    expect_result_eq(curves[0][i], curves[1][i], "episode " + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace vnfm::exp
