@@ -1,10 +1,14 @@
 // Grad-step perf regression harness: micro-benchmarks the learner's batched
 // DQN gradient step through the data-parallel gradient engine at 1/2/4
 // learner threads, emits BENCH_grad_step.json for CI artifact tracking, and
-// asserts the engine's core contract — the final learner state after N
-// identical steps is byte-identical for every thread count (exit 1 on any
-// divergence; the speedup itself is reported, not gated, because CI runner
-// core counts vary).
+// gates two contracts:
+//  1. determinism — the final learner state after N identical steps must be
+//     byte-identical for every thread count (exit 1 on any divergence);
+//  2. scaling — on hosts with >= 4 hardware cores, 4 learner threads must
+//     not be SLOWER than 1 (exit 1 otherwise; single-core runners only
+//     report, since no parallel gain is physically possible there).
+// The JSON also records which SIMD path the matmul kernels dispatched to
+// (avx2/neon/scalar) so artifact diffs across runners are explainable.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -115,16 +119,26 @@ int main() {
           ? samples.front().us_per_step / samples.back().us_per_step
           : 0.0;
   const unsigned cores = std::thread::hardware_concurrency();
+  // Scaling gate: with >= 4 real cores the engine must not regress under
+  // 4 learner threads (the inline blocks<workers fallback plus the single
+  // wake per phased grad step exist precisely to keep this true).
+  const bool gate_active = cores >= 4;
+  const bool scaling_ok = !gate_active || speedup >= 1.0;
   std::cout << "speedup 4 vs 1 learner threads: " << speedup << "x on " << cores
             << " hardware core(s)"
             << (cores < 4 ? " (parallel gain needs >= 4 cores)" : "") << "\n";
+  std::cout << "simd path: " << nn::to_string(nn::matmul_simd_path()) << "\n";
   std::cout << "learner state bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  if (gate_active)
+    std::cout << "4-thread >= 1-thread gate: " << (scaling_ok ? "pass" : "FAIL — REGRESSION")
+              << "\n";
 
   std::ofstream json("BENCH_grad_step.json");
   json << "{\n  \"batch_size\": " << bench_config().batch_size
        << ",\n  \"block_rows\": " << nn::kGradBlockRows
        << ",\n  \"hardware_cores\": " << cores
+       << ",\n  \"simd\": \"" << nn::to_string(nn::matmul_simd_path()) << "\""
        << ",\n  \"timed_steps\": " << timed_steps << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     json << "    {\"learner_threads\": " << samples[i].learner_threads
@@ -133,7 +147,9 @@ int main() {
          << (i + 1 < samples.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"speedup_4_vs_1\": " << speedup
-       << ",\n  \"bit_identical\": " << (identical ? "true" : "false") << "\n}\n";
+       << ",\n  \"four_vs_one_gate\": \""
+       << (gate_active ? (scaling_ok ? "pass" : "fail") : "skipped")
+       << "\",\n  \"bit_identical\": " << (identical ? "true" : "false") << "\n}\n";
   std::cout << "JSON written to BENCH_grad_step.json\n";
-  return identical ? 0 : 1;
+  return identical && scaling_ok ? 0 : 1;
 }

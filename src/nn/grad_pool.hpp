@@ -10,6 +10,14 @@
 // decide which CPU computes a block, never what the block computes or the
 // order partial sums combine (determinism invariant #8 in
 // docs/ARCHITECTURE.md).
+//
+// The same engine now carries a grad step past the gradient: `run_phases`
+// batches the backward pass, the optimizer step, and the target-network
+// soft update into ONE pool wake, with a serial `prepare` hook (gradient
+// reduction, grad clipping, Adam bias bookkeeping) between phases. The
+// elementwise phases split parameters into fixed kOptBlockElems-element
+// blocks — elementwise updates have no cross-element float reduction, so
+// any schedule of those blocks is bit-identical by construction.
 #pragma once
 
 #include <atomic>
@@ -19,6 +27,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -36,6 +45,26 @@ inline constexpr std::size_t kGradBlockRows = 8;
   return (rows + kGradBlockRows - 1) / kGradBlockRows;
 }
 
+/// Elements per optimizer / soft-update block. Unlike kGradBlockRows this
+/// one does NOT affect numerics (the updates are elementwise — no float
+/// reduction crosses a block boundary, so any split is bit-identical); it
+/// is still a fixed compile-time constant so scheduling remains the only
+/// thing worker count can change.
+inline constexpr std::size_t kOptBlockElems = 4096;
+
+/// One fixed-size slice of a parameter list's flattened elements:
+/// `count` elements starting at `offset` within parameter `param`.
+struct ElemBlock {
+  std::size_t param = 0;
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
+/// Splits parameters of the given sizes into kOptBlockElems-element blocks
+/// (last block of each parameter may be short). Block order is ascending
+/// (param, offset) — fixed, like everything else that touches numerics.
+[[nodiscard]] std::vector<ElemBlock> make_elem_blocks(std::span<const std::size_t> sizes);
+
 /// A small persistent worker pool executing per-block closures. The calling
 /// thread participates as worker 0; `workers - 1` helper threads are spawned
 /// once and parked between jobs, so a pool adds no per-step thread-creation
@@ -43,6 +72,20 @@ inline constexpr std::size_t kGradBlockRows = 8;
 /// is ever spawned — the 1-worker pool is the sequential path.
 class GradWorkPool {
  public:
+  using BlockFn = void (*)(void* ctx, std::size_t block, std::size_t worker);
+  using SerialFn = void (*)(void* ctx);
+
+  /// One phase of a batched job: an optional serial `prepare` hook run on
+  /// the caller after the previous phase fully completed, then `blocks`
+  /// parallel invocations of `invoke`. Build instances with `make_phase`.
+  struct Phase {
+    std::size_t blocks = 0;
+    BlockFn invoke = nullptr;
+    void* ctx = nullptr;
+    SerialFn prepare = nullptr;
+    void* prepare_ctx = nullptr;
+  };
+
   /// Creates a pool of `workers` workers (>= 1; 0 is clamped to 1).
   explicit GradWorkPool(std::size_t workers);
   ~GradWorkPool();
@@ -63,30 +106,66 @@ class GradWorkPool {
   /// per gradient step on the training hot path.
   template <typename Fn>
   void run(std::size_t blocks, Fn&& fn) {
-    run_impl(
-        blocks,
-        [](void* ctx, std::size_t block, std::size_t worker) {
-          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(block, worker);
-        },
-        std::addressof(fn));
+    const Phase phase = make_phase(blocks, fn);
+    run_phases({&phase, 1});
+  }
+
+  /// Runs a sequence of phases as ONE pool job (a single wake/park
+  /// handshake instead of one per phase). For each phase, in order: the
+  /// previous phase's blocks all complete (a barrier — later phases may
+  /// read what earlier ones wrote), the phase's serial `prepare` hook runs
+  /// on the calling thread, then its blocks are distributed over the
+  /// workers like `run`. If no phase has at least `workers()` blocks the
+  /// whole job runs inline on the caller — helper threads could not shorten
+  /// the critical path, and the wake/park handshake would only add latency.
+  /// The inline and pooled paths execute the same blocks with the same
+  /// decomposition, so results are bit-identical either way. The first
+  /// exception (from a prepare hook or a block) aborts remaining work and
+  /// is rethrown here.
+  void run_phases(std::span<const Phase> phases);
+
+  /// Builds a Phase from lvalue callables (they must outlive run_phases).
+  template <typename Fn>
+  [[nodiscard]] static Phase make_phase(std::size_t blocks, Fn& fn) {
+    return Phase{blocks, &block_trampoline<Fn>, std::addressof(fn), nullptr, nullptr};
+  }
+  template <typename Prep, typename Fn>
+  [[nodiscard]] static Phase make_phase(Prep& prepare, std::size_t blocks, Fn& fn) {
+    return Phase{blocks, &block_trampoline<Fn>, std::addressof(fn), &serial_trampoline<Prep>,
+                 std::addressof(prepare)};
   }
 
  private:
-  using BlockFn = void (*)(void* ctx, std::size_t block, std::size_t worker);
+  template <typename Fn>
+  static void block_trampoline(void* ctx, std::size_t block, std::size_t worker) {
+    (*static_cast<std::remove_reference_t<Fn>*>(ctx))(block, worker);
+  }
+  template <typename Fn>
+  static void serial_trampoline(void* ctx) {
+    (*static_cast<std::remove_reference_t<Fn>*>(ctx))();
+  }
 
-  void run_impl(std::size_t blocks, BlockFn invoke, void* ctx);
   void worker_loop(std::size_t worker);
+  void run_blocks(std::size_t phase, std::size_t worker);
+  void record_error(std::size_t worker) noexcept;
+  void ensure_phase_capacity(std::size_t phases);
 
   std::size_t workers_;
   std::vector<std::thread> helpers_;  // workers_ - 1 parked threads
 
   std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  BlockFn job_invoke_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::size_t job_blocks_ = 0;
-  std::atomic<std::size_t> next_block_{0};
+  std::condition_variable start_cv_;  // new job + phase-open gate
+  std::condition_variable done_cv_;   // per-phase completion + job drain
+  const Phase* job_phases_ = nullptr;
+  std::size_t job_phase_count_ = 0;
+  std::size_t phases_open_ = 0;  // phases whose blocks may be claimed
+  // Per-phase claim/done counters. Kept per phase (not one shared counter)
+  // so a straggler worker finishing its last claim of phase p can never
+  // race with the counter of phase p+1.
+  std::size_t phase_capacity_ = 0;
+  std::unique_ptr<std::atomic<std::size_t>[]> phase_next_;
+  std::unique_ptr<std::atomic<std::size_t>[]> phase_done_;
+  std::atomic<bool> abort_{false};
   std::size_t helpers_running_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;

@@ -69,7 +69,8 @@ void ActivationLayer::backward(const Matrix& d_out, Matrix& d_in) const {
 }
 
 void ActivationLayer::forward_block(const Matrix& x, Matrix& y) const {
-  y.resize(x.rows(), x.cols());
+  // Every branch below assigns every element: overwrite semantics, no memset.
+  y.resize_for_overwrite(x.rows(), x.cols());
   const auto in = x.flat();
   const auto out = y.flat();
   switch (kind_) {
@@ -89,7 +90,7 @@ void ActivationLayer::backward_block(const Matrix& pre_act, const Matrix& d_out,
                                      Matrix& d_in) const {
   if (d_out.rows() != pre_act.rows() || d_out.cols() != pre_act.cols())
     throw std::invalid_argument("activation backward shape mismatch");
-  d_in.resize(d_out.rows(), d_out.cols());
+  d_in.resize_for_overwrite(d_out.rows(), d_out.cols());
   const auto pre = pre_act.flat();
   const auto grad_out = d_out.flat();
   const auto grad_in = d_in.flat();

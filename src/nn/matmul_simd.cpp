@@ -1,0 +1,322 @@
+// ISA-specific matmul kernels. See matmul_simd.hpp for the bit-identity
+// rules. This translation unit is the only one compiled with -mavx2 on x86
+// (CMakeLists.txt sets it per-source); matrix.cpp only calls into the AVX2
+// entry points after a runtime __builtin_cpu_supports("avx2") check, so the
+// rest of the binary keeps the baseline ISA.
+#include "nn/matmul_simd.hpp"
+
+#include "nn/matrix.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace vnfm::nn::detail {
+
+bool avx2_compiled() noexcept {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool neon_compiled() noexcept {
+#if defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+
+namespace {
+
+/// Reduce one 256-bit accumulator exactly the way the scalar kernel reduces
+/// its 8 lanes (fixed combine tree), then fold in the k%8 scalar tail.
+inline float reduce8_avx2(__m256 acc, const float* a_row, const float* b_row,
+                          std::size_t k8, std::size_t k) {
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+              ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (std::size_t p = k8; p < k; ++p) sum += a_row[p] * b_row[p];
+  return sum;
+}
+
+/// One (i, j) output cell of matmul_a_bt: the scalar kernel's 8-lane
+/// accumulate (mul then add, never fma) plus the fixed combine tree.
+inline float dot8_avx2(const float* a_row, const float* b_row, std::size_t k8,
+                       std::size_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < k8; p += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a_row + p), _mm256_loadu_ps(b_row + p));
+    acc = _mm256_add_ps(acc, prod);
+  }
+  return reduce8_avx2(acc, a_row, b_row, k8, k);
+}
+
+}  // namespace
+
+void matmul_avx2(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t n8 = n - (n % 8);
+  const std::size_t k4 = k - (k % 4);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.row(i).data();
+    const float* a_row = a.row(i).data();
+    // out[j] += a_ip * b[j] is independent per element, so any vector width
+    // is bit-identical to scalar as long as each product is mul-then-add (no
+    // fma) and, for a fixed j, products are added in ascending-p order. The
+    // 4-deep p unroll keeps that order — it only cuts out-row load/store
+    // traffic by 4x and lets independent j iterations overlap.
+    std::size_t p = 0;
+    for (; p < k4; p += 4) {
+      const float a_ip0 = a_row[p], a_ip1 = a_row[p + 1];
+      const float a_ip2 = a_row[p + 2], a_ip3 = a_row[p + 3];
+      const float* b0 = b.row(p).data();
+      const float* b1 = b.row(p + 1).data();
+      const float* b2 = b.row(p + 2).data();
+      const float* b3 = b.row(p + 3).data();
+      const __m256 av0 = _mm256_set1_ps(a_ip0), av1 = _mm256_set1_ps(a_ip1);
+      const __m256 av2 = _mm256_set1_ps(a_ip2), av3 = _mm256_set1_ps(a_ip3);
+      for (std::size_t j = 0; j < n8; j += 8) {
+        __m256 acc = _mm256_loadu_ps(out_row + j);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av0, _mm256_loadu_ps(b0 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av1, _mm256_loadu_ps(b1 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av2, _mm256_loadu_ps(b2 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av3, _mm256_loadu_ps(b3 + j)));
+        _mm256_storeu_ps(out_row + j, acc);
+      }
+      for (std::size_t j = n8; j < n; ++j) {
+        float acc = out_row[j];
+        acc += a_ip0 * b0[j];
+        acc += a_ip1 * b1[j];
+        acc += a_ip2 * b2[j];
+        acc += a_ip3 * b3[j];
+        out_row[j] = acc;
+      }
+    }
+    for (; p < k; ++p) {
+      const float a_ip = a_row[p];
+      const float* b_row = b.row(p).data();
+      const __m256 a_vec = _mm256_set1_ps(a_ip);
+      for (std::size_t j = 0; j < n8; j += 8) {
+        const __m256 prod = _mm256_mul_ps(a_vec, _mm256_loadu_ps(b_row + j));
+        _mm256_storeu_ps(out_row + j, _mm256_add_ps(_mm256_loadu_ps(out_row + j), prod));
+      }
+      for (std::size_t j = n8; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void matmul_at_b_avx2(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const std::size_t n8 = n - (n % 8);
+  const std::size_t k4 = k - (k % 4);
+  // Same contract as matmul_avx2: for a fixed (i, j), products are added in
+  // ascending-p order (the scalar kernel's loop nest is p-outer), so the
+  // 4-deep p unroll below is bit-identical.
+  std::size_t p = 0;
+  for (; p < k4; p += 4) {
+    const float* a0 = a.row(p).data();
+    const float* a1 = a.row(p + 1).data();
+    const float* a2 = a.row(p + 2).data();
+    const float* a3 = a.row(p + 3).data();
+    const float* b0 = b.row(p).data();
+    const float* b1 = b.row(p + 1).data();
+    const float* b2 = b.row(p + 2).data();
+    const float* b3 = b.row(p + 3).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      float* out_row = out.row(i).data();
+      const __m256 av0 = _mm256_set1_ps(a0[i]), av1 = _mm256_set1_ps(a1[i]);
+      const __m256 av2 = _mm256_set1_ps(a2[i]), av3 = _mm256_set1_ps(a3[i]);
+      for (std::size_t j = 0; j < n8; j += 8) {
+        __m256 acc = _mm256_loadu_ps(out_row + j);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av0, _mm256_loadu_ps(b0 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av1, _mm256_loadu_ps(b1 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av2, _mm256_loadu_ps(b2 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av3, _mm256_loadu_ps(b3 + j)));
+        _mm256_storeu_ps(out_row + j, acc);
+      }
+      for (std::size_t j = n8; j < n; ++j) {
+        float acc = out_row[j];
+        acc += a0[i] * b0[j];
+        acc += a1[i] * b1[j];
+        acc += a2[i] * b2[j];
+        acc += a3[i] * b3[j];
+        out_row[j] = acc;
+      }
+    }
+  }
+  for (; p < k; ++p) {
+    const float* a_row = a.row(p).data();
+    const float* b_row = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      float* out_row = out.row(i).data();
+      const __m256 a_vec = _mm256_set1_ps(a_pi);
+      for (std::size_t j = 0; j < n8; j += 8) {
+        const __m256 prod = _mm256_mul_ps(a_vec, _mm256_loadu_ps(b_row + j));
+        _mm256_storeu_ps(out_row + j, _mm256_add_ps(_mm256_loadu_ps(out_row + j), prod));
+      }
+      for (std::size_t j = n8; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt_avx2(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const std::size_t k8 = k - (k % 8);
+  const std::size_t m2 = m - (m % 2);
+  const std::size_t n4 = n - (n % 4);
+  // Register-blocked 2x4 output tile: 8 independent accumulator chains hide
+  // the vector-add latency that bounds a single chain. Each output cell
+  // still accumulates its own lanes in ascending-p order with mul-then-add
+  // and reduces through the fixed combine tree, so blocking changes WHICH
+  // cells compute concurrently, never the order of any cell's additions —
+  // bit-identical to the scalar kernel.
+  for (std::size_t i = 0; i < m2; i += 2) {
+    const float* a0 = a.row(i).data();
+    const float* a1 = a.row(i + 1).data();
+    float* o0 = out.row(i).data();
+    float* o1 = out.row(i + 1).data();
+    std::size_t j = 0;
+    for (; j < n4; j += 4) {
+      const float* b0 = b.row(j).data();
+      const float* b1 = b.row(j + 1).data();
+      const float* b2 = b.row(j + 2).data();
+      const float* b3 = b.row(j + 3).data();
+      __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+      __m256 acc02 = _mm256_setzero_ps(), acc03 = _mm256_setzero_ps();
+      __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+      __m256 acc12 = _mm256_setzero_ps(), acc13 = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k8; p += 8) {
+        const __m256 av0 = _mm256_loadu_ps(a0 + p);
+        const __m256 av1 = _mm256_loadu_ps(a1 + p);
+        const __m256 bv0 = _mm256_loadu_ps(b0 + p);
+        const __m256 bv1 = _mm256_loadu_ps(b1 + p);
+        const __m256 bv2 = _mm256_loadu_ps(b2 + p);
+        const __m256 bv3 = _mm256_loadu_ps(b3 + p);
+        acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(av0, bv0));
+        acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(av0, bv1));
+        acc02 = _mm256_add_ps(acc02, _mm256_mul_ps(av0, bv2));
+        acc03 = _mm256_add_ps(acc03, _mm256_mul_ps(av0, bv3));
+        acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(av1, bv0));
+        acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(av1, bv1));
+        acc12 = _mm256_add_ps(acc12, _mm256_mul_ps(av1, bv2));
+        acc13 = _mm256_add_ps(acc13, _mm256_mul_ps(av1, bv3));
+      }
+      o0[j] = reduce8_avx2(acc00, a0, b0, k8, k);
+      o0[j + 1] = reduce8_avx2(acc01, a0, b1, k8, k);
+      o0[j + 2] = reduce8_avx2(acc02, a0, b2, k8, k);
+      o0[j + 3] = reduce8_avx2(acc03, a0, b3, k8, k);
+      o1[j] = reduce8_avx2(acc10, a1, b0, k8, k);
+      o1[j + 1] = reduce8_avx2(acc11, a1, b1, k8, k);
+      o1[j + 2] = reduce8_avx2(acc12, a1, b2, k8, k);
+      o1[j + 3] = reduce8_avx2(acc13, a1, b3, k8, k);
+    }
+    for (; j < n; ++j) {
+      const float* b_row = b.row(j).data();
+      o0[j] = dot8_avx2(a0, b_row, k8, k);
+      o1[j] = dot8_avx2(a1, b_row, k8, k);
+    }
+  }
+  for (std::size_t i = m2; i < m; ++i) {
+    const float* a_row = a.row(i).data();
+    float* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < n; ++j)
+      out_row[j] = dot8_avx2(a_row, b.row(j).data(), k8, k);
+  }
+}
+
+#else  // !__AVX2__
+
+void matmul_avx2(const Matrix&, const Matrix&, Matrix&) {}
+void matmul_at_b_avx2(const Matrix&, const Matrix&, Matrix&) {}
+void matmul_a_bt_avx2(const Matrix&, const Matrix&, Matrix&) {}
+
+#endif
+
+#if defined(__ARM_NEON)
+
+void matmul_neon(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t n4 = n - (n % 4);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.row(i).data();
+    const float* a_row = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      const float* b_row = b.row(p).data();
+      // vmulq+vaddq, NOT vmlaq/vfmaq: the fused forms skip the intermediate
+      // rounding and would diverge from the scalar kernel.
+      const float32x4_t a_vec = vdupq_n_f32(a_ip);
+      for (std::size_t j = 0; j < n4; j += 4) {
+        const float32x4_t prod = vmulq_f32(a_vec, vld1q_f32(b_row + j));
+        vst1q_f32(out_row + j, vaddq_f32(vld1q_f32(out_row + j), prod));
+      }
+      for (std::size_t j = n4; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void matmul_at_b_neon(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const std::size_t n4 = n - (n % 4);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.row(p).data();
+    const float* b_row = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      float* out_row = out.row(i).data();
+      const float32x4_t a_vec = vdupq_n_f32(a_pi);
+      for (std::size_t j = 0; j < n4; j += 4) {
+        const float32x4_t prod = vmulq_f32(a_vec, vld1q_f32(b_row + j));
+        vst1q_f32(out_row + j, vaddq_f32(vld1q_f32(out_row + j), prod));
+      }
+      for (std::size_t j = n4; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt_neon(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const std::size_t k8 = k - (k % 8);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i).data();
+    float* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.row(j).data();
+      // Two NEON quads hold the scalar kernel's 8 lanes (acc0 = l0..l3,
+      // acc1 = l4..l7). vmulq+vaddq, never vmlaq/vfmaq — see above.
+      float32x4_t acc0 = vdupq_n_f32(0.0F);
+      float32x4_t acc1 = vdupq_n_f32(0.0F);
+      for (std::size_t p = 0; p < k8; p += 8) {
+        acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(a_row + p), vld1q_f32(b_row + p)));
+        acc1 = vaddq_f32(acc1, vmulq_f32(vld1q_f32(a_row + p + 4), vld1q_f32(b_row + p + 4)));
+      }
+      float lanes[8];
+      vst1q_f32(lanes, acc0);
+      vst1q_f32(lanes + 4, acc1);
+      float sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                  ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+      for (std::size_t p = k8; p < k; ++p) sum += a_row[p] * b_row[p];
+      out_row[j] = sum;
+    }
+  }
+}
+
+#else  // !__ARM_NEON
+
+void matmul_neon(const Matrix&, const Matrix&, Matrix&) {}
+void matmul_at_b_neon(const Matrix&, const Matrix&, Matrix&) {}
+void matmul_a_bt_neon(const Matrix&, const Matrix&, Matrix&) {}
+
+#endif
+
+}  // namespace vnfm::nn::detail

@@ -1,0 +1,48 @@
+// Internal: ISA-specific matmul kernel variants behind the dispatch in
+// matrix.cpp. Not part of the public nn surface — include matrix.hpp.
+//
+// Every variant here must be bit-identical to the scalar reference kernels
+// in matrix.cpp. The rules that make that possible:
+//
+//  * matmul_a_bt reduces each dot product in 8 fixed lanes combined by the
+//    tree ((l0+l1)+(l2+l3))+((l4+l5)+(l6+l7)). One 256-bit fp32 AVX2 vector
+//    (or two NEON quads) holds exactly those 8 lanes, so vector mul+add per
+//    iteration performs the same float operations in the same order as the
+//    scalar unroll — only more of them per instruction.
+//  * mul+add, never fma: a fused multiply-add skips the intermediate
+//    rounding step of the separate multiply, producing different bits. The
+//    SIMD translation units are compiled without FMA codegen
+//    (-mavx2 only, -ffp-contract=off) and use explicit mul/add intrinsics.
+//  * matmul / matmul_at_b accumulate independent output elements
+//    (out[j] += a * b[j]); there is no cross-lane reduction, so any vector
+//    width is bit-identical to scalar for free.
+#pragma once
+
+#include <cstddef>
+
+namespace vnfm::nn {
+class Matrix;
+}  // namespace vnfm::nn
+
+namespace vnfm::nn::detail {
+
+// True when the AVX2 variants below were compiled into this binary (x86
+// builds where the compiler accepted -mavx2). A runtime CPU check is still
+// required before calling them.
+[[nodiscard]] bool avx2_compiled() noexcept;
+// True when the NEON variants were compiled in (aarch64: NEON is baseline).
+[[nodiscard]] bool neon_compiled() noexcept;
+
+// Compute-only kernel bodies: shape validation and output sizing/zeroing
+// already happened in the public wrappers (matrix.cpp). Callers guarantee
+// `out` is correctly sized, zero-filled for the accumulate kernels, and
+// that the host supports the ISA.
+void matmul_avx2(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_at_b_avx2(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_a_bt_avx2(const Matrix& a, const Matrix& b, Matrix& out);
+
+void matmul_neon(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_at_b_neon(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_a_bt_neon(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace vnfm::nn::detail

@@ -4,7 +4,38 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/matmul_simd.hpp"
+
 namespace vnfm::nn {
+
+namespace {
+
+SimdPath detect_simd_path() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (detail::avx2_compiled() && __builtin_cpu_supports("avx2")) return SimdPath::kAvx2;
+#endif
+  if (detail::neon_compiled()) return SimdPath::kNeon;
+  return SimdPath::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(SimdPath path) noexcept {
+  switch (path) {
+    case SimdPath::kAvx2:
+      return "avx2";
+    case SimdPath::kNeon:
+      return "neon";
+    case SimdPath::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+SimdPath matmul_simd_path() noexcept {
+  static const SimdPath path = detect_simd_path();
+  return path;
+}
 
 Matrix Matrix::from_row(std::span<const float> values) {
   Matrix m(1, values.size());
@@ -12,49 +43,57 @@ Matrix Matrix::from_row(std::span<const float> values) {
   return m;
 }
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape mismatch");
-  out.resize(a.rows(), b.cols());
+namespace {
+
+// Compute-only scalar kernel bodies, shared by the public wrappers and the
+// `_scalar` reference entry points. Shapes are validated and `out` is sized
+// (and zeroed, for the accumulate kernels) by the caller.
+//
+// The accumulate kernels deliberately have NO `a_ip == 0` skip branch: the
+// old skip silently dropped `0 * Inf = NaN`, masking exploding-gradient
+// bugs instead of surfacing them, and put a data-dependent branch in the
+// inner loop. For finite inputs adding the `0 * b` terms is bit-neutral
+// (the accumulator starts at +0.0 and `x + 0.0*b` cannot change x's bits
+// for finite b: the product is ±0.0 and +0.0 + -0.0 == +0.0), so removing
+// the branch changed no finite result.
+
+void matmul_kernel_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   for (std::size_t i = 0; i < m; ++i) {
     float* out_row = out.row(i).data();
     const float* a_row = a.row(i).data();
     for (std::size_t p = 0; p < k; ++p) {
       const float a_ip = a_row[p];
-      if (a_ip == 0.0F) continue;
       const float* b_row = b.row(p).data();
       for (std::size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
     }
   }
 }
 
-void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
-  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape mismatch");
-  out.resize(a.cols(), b.cols());
+void matmul_at_b_kernel_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   for (std::size_t p = 0; p < k; ++p) {
     const float* a_row = a.row(p).data();
     const float* b_row = b.row(p).data();
     for (std::size_t i = 0; i < m; ++i) {
       const float a_pi = a_row[i];
-      if (a_pi == 0.0F) continue;
       float* out_row = out.row(i).data();
       for (std::size_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
     }
   }
 }
 
-void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
-  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape mismatch");
-  out.resize(a.rows(), b.rows());
+void matmul_a_bt_kernel_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   // The dot-product reduction runs in 8 independent lanes combined in a
   // fixed tree: strict left-to-right float summation cannot be vectorised
   // (FP addition is not associative, so the compiler must not reorder it),
   // and this kernel is the training hot path — every forward pass of every
   // Linear layer lands here. The lane split is part of the numeric
-  // definition: results are deterministic and identical on every run and
-  // thread count, just not bit-equal to a serial summation.
+  // definition: results are deterministic and identical on every run,
+  // thread count, and SIMD path (the AVX2/NEON kernels implement exactly
+  // these lanes and this combine tree), just not bit-equal to a serial
+  // summation.
   const std::size_t k8 = k - (k % 8);
   for (std::size_t i = 0; i < m; ++i) {
     const float* a_row = a.row(i).data();
@@ -78,6 +117,86 @@ void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
       out_row[j] = acc;
     }
   }
+}
+
+void check_matmul_shapes(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape mismatch");
+}
+void check_matmul_at_b_shapes(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape mismatch");
+}
+void check_matmul_a_bt_shapes(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape mismatch");
+}
+
+}  // namespace
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_shapes(a, b);
+  out.resize(a.rows(), b.cols());  // accumulate kernel: explicit zero-fill
+  switch (matmul_simd_path()) {
+    case SimdPath::kAvx2:
+      detail::matmul_avx2(a, b, out);
+      return;
+    case SimdPath::kNeon:
+      detail::matmul_neon(a, b, out);
+      return;
+    case SimdPath::kScalar:
+      break;
+  }
+  matmul_kernel_scalar(a, b, out);
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_at_b_shapes(a, b);
+  out.resize(a.cols(), b.cols());  // accumulate kernel: explicit zero-fill
+  switch (matmul_simd_path()) {
+    case SimdPath::kAvx2:
+      detail::matmul_at_b_avx2(a, b, out);
+      return;
+    case SimdPath::kNeon:
+      detail::matmul_at_b_neon(a, b, out);
+      return;
+    case SimdPath::kScalar:
+      break;
+  }
+  matmul_at_b_kernel_scalar(a, b, out);
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_a_bt_shapes(a, b);
+  // WRITE kernel: every element is assigned, so skip the zero-fill — this
+  // is every Linear forward on the act/serve hot path.
+  out.resize_for_overwrite(a.rows(), b.rows());
+  switch (matmul_simd_path()) {
+    case SimdPath::kAvx2:
+      detail::matmul_a_bt_avx2(a, b, out);
+      return;
+    case SimdPath::kNeon:
+      detail::matmul_a_bt_neon(a, b, out);
+      return;
+    case SimdPath::kScalar:
+      break;
+  }
+  matmul_a_bt_kernel_scalar(a, b, out);
+}
+
+void matmul_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_shapes(a, b);
+  out.resize(a.rows(), b.cols());
+  matmul_kernel_scalar(a, b, out);
+}
+
+void matmul_at_b_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_at_b_shapes(a, b);
+  out.resize(a.cols(), b.cols());
+  matmul_at_b_kernel_scalar(a, b, out);
+}
+
+void matmul_a_bt_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_a_bt_shapes(a, b);
+  out.resize_for_overwrite(a.rows(), b.rows());
+  matmul_a_bt_kernel_scalar(a, b, out);
 }
 
 void add_row_vector(Matrix& m, std::span<const float> bias) {

@@ -4,10 +4,21 @@
 // small batched GEMMs (batch x feature), so a cache-friendly ikj matmul and
 // a few elementwise kernels are all that is required. Keeping the surface
 // small makes the backprop code easy to audit.
+//
+// Kernel output contracts (each kernel states which it follows):
+//
+//  * WRITE kernels fully overwrite their output: every element is assigned,
+//    so callers may hand them a matrix with unspecified contents
+//    (`resize_for_overwrite`) and skip the O(mn) zero-fill.
+//  * ACCUMULATE kernels add into their output. The matmul variants below
+//    zero their own output internally before accumulating; `column_sums`
+//    does not — it requires a caller-zeroed span so gradient blocks can sum
+//    into one accumulator across calls.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <vector>
@@ -48,10 +59,25 @@ class Matrix {
   [[nodiscard]] std::span<const float> flat() const noexcept { return {data_.data(), data_.size()}; }
 
   void fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Reshapes to (rows, cols) and zero-fills every element — on every call,
+  /// even when the shape is unchanged. ACCUMULATE consumers (e.g. the d_out
+  /// buffers the learners sum per-row loss gradients into) rely on this.
   void resize(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, 0.0F);
+  }
+
+  /// Reshapes to (rows, cols) WITHOUT zero-filling: element contents are
+  /// unspecified afterwards. Only valid for outputs a WRITE kernel (or an
+  /// explicit copy) fully overwrites before anything reads them. This is a
+  /// no-op when the shape is already right, which removes the O(rows*cols)
+  /// memset `resize` pays on every forward pass of the act/serve hot path.
+  void resize_for_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
   }
 
   /// Builds a 1 x n matrix from a vector (for single-state forward passes).
@@ -63,20 +89,46 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Vector instruction set the dispatched matmul kernels use on this host.
+enum class SimdPath : std::uint8_t { kScalar, kAvx2, kNeon };
+
+[[nodiscard]] const char* to_string(SimdPath path) noexcept;
+
+/// Path the matmul kernels dispatch to, decided once per process from
+/// compile-time ISA availability plus a runtime CPU check. Every path is
+/// bit-identical to `kScalar` by construction (see matmul_simd.cpp).
+[[nodiscard]] SimdPath matmul_simd_path() noexcept;
+
 /// out = a * b; shapes (m,k) x (k,n) -> (m,n). Aliasing is not allowed.
+/// ACCUMULATE kernel over a self-zeroed output: zeroes `out`, then adds
+/// rank-1 updates in ascending p order; every zero `a` element still
+/// contributes `0 * b` so non-finite values in `b` propagate instead of
+/// being silently skipped.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a^T * b; shapes (k,m) x (k,n) -> (m,n). Used for weight gradients.
+/// ACCUMULATE kernel over a self-zeroed output (same contract as `matmul`).
 void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a * b^T; shapes (m,k) x (n,k) -> (m,n). Used for input gradients
 /// and for the forward pass with row-major [out,in] weights.
+/// WRITE kernel: every output element is assigned exactly once, so the
+/// output is never pre-zeroed.
 void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// Adds a length-n bias row to every row of the (m,n) matrix.
+/// Reference scalar implementations of the three matmul kernels. The
+/// dispatched SIMD paths are required to be bit-identical to these; tests
+/// gate that equivalence (tests/nn/test_matrix.cpp).
+void matmul_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_at_b_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_a_bt_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds a length-n bias row to every row of the (m,n) matrix (in place).
 void add_row_vector(Matrix& m, std::span<const float> bias);
 
-/// Accumulates column sums of (m,n) into the length-n output span.
+/// ACCUMULATE kernel: adds column sums of (m,n) into the length-n output
+/// span. The span is NOT zeroed here — callers must zero it first (the
+/// gradient accumulators sum several blocks into one span across calls).
 void column_sums(const Matrix& m, std::span<float> out);
 
 /// out += scale * m (elementwise); shapes must match.

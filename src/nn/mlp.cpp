@@ -39,6 +39,10 @@ Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
     params_.push_back(&output_layer_->weights());
     params_.push_back(&output_layer_->bias());
   }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(params_.size());
+  for (const Param* p : params_) sizes.push_back(p->size());
+  elem_blocks_ = make_elem_blocks(sizes);
 }
 
 void Mlp::init(Rng& rng) {
@@ -68,7 +72,7 @@ void Mlp::forward(const Matrix& input, Matrix& output) const {
   advantage_head_->forward(*current, adv_out_);
   const std::size_t batch = adv_out_.rows();
   const std::size_t actions = adv_out_.cols();
-  output.resize(batch, actions);
+  output.resize_for_overwrite(batch, actions);
   for (std::size_t i = 0; i < batch; ++i) {
     const float* adv = adv_out_.row(i).data();
     float mean = 0.0F;
@@ -154,8 +158,8 @@ void Mlp::backward_block(const Matrix& d_output, MlpWorkspace& ws,
     const std::size_t rows = d_output.rows();
     const std::size_t actions = d_output.cols();
     // dV_i = sum_j dQ_ij ; dA_ij = dQ_ij - mean_j(dQ_ij).
-    ws.d_value.resize(rows, 1);
-    ws.d_adv.resize(rows, actions);
+    ws.d_value.resize_for_overwrite(rows, 1);
+    ws.d_adv.resize_for_overwrite(rows, actions);
     for (std::size_t r = 0; r < rows; ++r) {
       const float* dq = d_output.row(r).data();
       float sum = 0.0F;
@@ -285,14 +289,19 @@ void Mlp::copy_weights_from(const Mlp& other) {
 }
 
 void Mlp::soft_update_from(const Mlp& other, float tau) {
-  auto dst = parameters();
-  auto src = other.parameters();
-  if (dst.size() != src.size()) throw std::invalid_argument("architecture mismatch in update");
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    auto d = dst[i]->value.flat();
-    auto s = src[i]->value.flat();
-    for (std::size_t j = 0; j < d.size(); ++j) d[j] = tau * s[j] + (1.0F - tau) * d[j];
-  }
+  if (params_.size() != other.params_.size())
+    throw std::invalid_argument("architecture mismatch in update");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i]->value.size() != other.params_[i]->value.size())
+      throw std::invalid_argument("architecture mismatch in update");
+  for (std::size_t b = 0; b < elem_blocks_.size(); ++b) soft_update_block(other, tau, b);
+}
+
+void Mlp::soft_update_block(const Mlp& other, float tau, std::size_t block) noexcept {
+  const ElemBlock& eb = elem_blocks_[block];
+  const auto d = params_[eb.param]->value.flat().subspan(eb.offset, eb.count);
+  const auto s = other.params_[eb.param]->value.flat().subspan(eb.offset, eb.count);
+  for (std::size_t j = 0; j < eb.count; ++j) d[j] = tau * s[j] + (1.0F - tau) * d[j];
 }
 
 void Mlp::save(std::ostream& os) const {

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "nn/grad_pool.hpp"
 #include "nn/layers.hpp"
 
 namespace vnfm::nn {
@@ -142,6 +143,17 @@ class Mlp {
   /// Polyak averaging: w <- tau * other.w + (1 - tau) * w.
   void soft_update_from(const Mlp& other, float tau);
 
+  /// Number of fixed kOptBlockElems-element blocks covering all parameters
+  /// (the soft-update parallelism unit; see soft_update_block).
+  [[nodiscard]] std::size_t param_block_count() const noexcept { return elem_blocks_.size(); }
+
+  /// Polyak-averages one element block (split as in param_block_count()).
+  /// Elementwise, so running the blocks on any workers in any order is
+  /// bit-identical to soft_update_from — which is implemented as exactly
+  /// these blocks in ascending order. Skips soft_update_from's architecture
+  /// validation; callers pair networks they already know are clones.
+  void soft_update_block(const Mlp& other, float tau, std::size_t block) noexcept;
+
   /// Serialises config + weights (portable text format).
   void save(std::ostream& os) const;
   /// Restores a network previously written by save().
@@ -168,6 +180,8 @@ class Mlp {
   // constructor. The pointees live in trunk_'s heap buffer and the head
   // unique_ptrs, so the pointers stay valid under move.
   std::vector<Param*> params_;
+  // Fixed element-block split over params_ (soft_update_block), built once.
+  std::vector<ElemBlock> elem_blocks_;
 
   // Forward caches (mutable: forward is const but not thread-safe; see
   // forward's comment).

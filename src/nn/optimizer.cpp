@@ -6,26 +6,42 @@
 
 namespace vnfm::nn {
 
+namespace {
+
+std::vector<ElemBlock> blocks_for(const std::vector<Param*>& params) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(params.size());
+  for (const Param* p : params) sizes.push_back(p->size());
+  return make_elem_blocks(sizes);
+}
+
+}  // namespace
+
 Sgd::Sgd(std::vector<Param*> params, Options options)
     : params_(std::move(params)), options_(options) {
   if (params_.empty()) throw std::invalid_argument("optimizer with no parameters");
   velocity_.reserve(params_.size());
   for (const Param* p : params_) velocity_.emplace_back(p->size(), 0.0F);
+  blocks_ = blocks_for(params_);
 }
 
 void Sgd::step() {
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto values = params_[i]->value.flat();
-    const auto grads = params_[i]->grad.flat();
-    auto& vel = velocity_[i];
-    for (std::size_t j = 0; j < values.size(); ++j) {
-      float g = grads[j] + options_.weight_decay * values[j];
-      if (options_.momentum != 0.0F) {
-        vel[j] = options_.momentum * vel[j] + g;
-        g = vel[j];
-      }
-      values[j] -= options_.learning_rate * g;
+  begin_step();
+  for (std::size_t b = 0; b < blocks_.size(); ++b) step_block(b);
+}
+
+void Sgd::step_block(std::size_t block) noexcept {
+  const ElemBlock& eb = blocks_[block];
+  const auto values = params_[eb.param]->value.flat().subspan(eb.offset, eb.count);
+  const auto grads = params_[eb.param]->grad.flat().subspan(eb.offset, eb.count);
+  float* vel = velocity_[eb.param].data() + eb.offset;
+  for (std::size_t j = 0; j < eb.count; ++j) {
+    float g = grads[j] + options_.weight_decay * values[j];
+    if (options_.momentum != 0.0F) {
+      vel[j] = options_.momentum * vel[j] + g;
+      g = vel[j];
     }
+    values[j] -= options_.learning_rate * g;
   }
 }
 
@@ -65,26 +81,34 @@ Adam::Adam(std::vector<Param*> params, Options options)
     m_.emplace_back(p->size(), 0.0F);
     v_.emplace_back(p->size(), 0.0F);
   }
+  blocks_ = blocks_for(params_);
+}
+
+void Adam::begin_step() noexcept {
+  ++step_count_;
+  const auto t = static_cast<float>(step_count_);
+  bias1_ = 1.0F - std::pow(options_.beta1, t);
+  bias2_ = 1.0F - std::pow(options_.beta2, t);
 }
 
 void Adam::step() {
-  ++step_count_;
-  const auto t = static_cast<float>(step_count_);
-  const float bias1 = 1.0F - std::pow(options_.beta1, t);
-  const float bias2 = 1.0F - std::pow(options_.beta2, t);
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto values = params_[i]->value.flat();
-    const auto grads = params_[i]->grad.flat();
-    auto& m = m_[i];
-    auto& v = v_[i];
-    for (std::size_t j = 0; j < values.size(); ++j) {
-      const float g = grads[j] + options_.weight_decay * values[j];
-      m[j] = options_.beta1 * m[j] + (1.0F - options_.beta1) * g;
-      v[j] = options_.beta2 * v[j] + (1.0F - options_.beta2) * g * g;
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      values[j] -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
-    }
+  begin_step();
+  for (std::size_t b = 0; b < blocks_.size(); ++b) step_block(b);
+}
+
+void Adam::step_block(std::size_t block) noexcept {
+  const ElemBlock& eb = blocks_[block];
+  const auto values = params_[eb.param]->value.flat().subspan(eb.offset, eb.count);
+  const auto grads = params_[eb.param]->grad.flat().subspan(eb.offset, eb.count);
+  float* m = m_[eb.param].data() + eb.offset;
+  float* v = v_[eb.param].data() + eb.offset;
+  for (std::size_t j = 0; j < eb.count; ++j) {
+    const float g = grads[j] + options_.weight_decay * values[j];
+    m[j] = options_.beta1 * m[j] + (1.0F - options_.beta1) * g;
+    v[j] = options_.beta2 * v[j] + (1.0F - options_.beta2) * g * g;
+    const float m_hat = m[j] / bias1_;
+    const float v_hat = v[j] / bias2_;
+    values[j] -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
   }
 }
 

@@ -1,9 +1,18 @@
 // First-order optimizers operating on Param views exposed by a network.
+//
+// Both optimizers expose a block API next to the classic step(): the update
+// is elementwise, so the parameter tensors are split into fixed
+// kOptBlockElems-element blocks (see grad_pool.hpp) and step_block(b) may
+// run on any worker in any order — no float reduction crosses a block
+// boundary, so every schedule is bit-identical to a serial step(). step()
+// itself is begin_step() + all blocks in ascending order, so single-thread
+// callers and checkpointed state are unchanged.
 #pragma once
 
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "nn/grad_pool.hpp"
 #include "nn/layers.hpp"
 
 namespace vnfm::nn {
@@ -22,6 +31,13 @@ class Sgd {
   /// Applies one update from the accumulated gradients (does not zero them).
   void step();
 
+  /// Block API for phased GradWorkPool jobs: run begin_step() once on the
+  /// caller, then step_block for every block in [0, block_count()) on any
+  /// workers. Elementwise — bit-identical to step() for any schedule.
+  void begin_step() noexcept {}
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  void step_block(std::size_t block) noexcept;
+
   [[nodiscard]] const Options& options() const noexcept { return options_; }
   void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
 
@@ -29,6 +45,7 @@ class Sgd {
   std::vector<Param*> params_;
   Options options_;
   std::vector<std::vector<float>> velocity_;
+  std::vector<ElemBlock> blocks_;
 };
 
 /// Adam (Kingma & Ba, 2015) with bias correction.
@@ -47,6 +64,15 @@ class Adam {
   /// Applies one update from the accumulated gradients (does not zero them).
   void step();
 
+  /// Block API for phased GradWorkPool jobs: begin_step() advances the step
+  /// counter and caches the bias corrections (serial, once per step — call
+  /// it from the phase's prepare hook), then step_block for every block in
+  /// [0, block_count()) on any workers. Elementwise — bit-identical to
+  /// step() for any schedule.
+  void begin_step() noexcept;
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  void step_block(std::size_t block) noexcept;
+
   [[nodiscard]] const Options& options() const noexcept { return options_; }
   void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
   [[nodiscard]] std::size_t steps_taken() const noexcept { return step_count_; }
@@ -63,7 +89,10 @@ class Adam {
   Options options_;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
+  std::vector<ElemBlock> blocks_;
   std::size_t step_count_ = 0;
+  float bias1_ = 1.0F;  // cached by begin_step for step_block
+  float bias2_ = 1.0F;
 };
 
 }  // namespace vnfm::nn

@@ -1,6 +1,7 @@
 #include "rl/actor_critic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -42,6 +43,13 @@ ActorCriticAgent::ActorCriticAgent(ActorCriticConfig config)
                                           nn::Adam::Options{.learning_rate = config_.actor_lr});
   critic_opt_ = std::make_unique<nn::Adam>(
       critic_.parameters(), nn::Adam::Options{.learning_rate = config_.critic_lr});
+  pool_ = std::make_unique<nn::GradWorkPool>(1);
+}
+
+void ActorCriticAgent::set_learner_threads(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  if (pool_->workers() == workers) return;
+  pool_ = std::make_unique<nn::GradWorkPool>(workers);
 }
 
 std::vector<float> ActorCriticAgent::masked_probs(
@@ -152,34 +160,40 @@ double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
   const float bootstrap = done ? 0.0F : state_value(next_state);
   const float td_error = reward + config_.gamma * bootstrap - value;
 
-  // Both updates run through the block-wise gradient engine (one row = one
-  // block; see set_learner_threads), same as the DQN/REINFORCE learners.
+  // Both updates run through the block-wise gradient engine, same as the
+  // DQN/REINFORCE learners, fused into ONE phased pool job: critic
+  // backward -> critic Adam -> actor backward -> actor Adam, with the
+  // serial reductions in the prepare hooks. Phase order matches the old
+  // sequential code exactly, so results are unchanged.
+  nn::Matrix input = nn::Matrix::from_row(pending_state_);
+  nn::Matrix critic_out(1, 1);
+  nn::Matrix critic_grad(1, 1);
+  nn::Matrix logits(1, config_.action_dim);
+  nn::Matrix actor_grad(1, config_.action_dim, 0.0F);
+
   // Critic: minimise 0.5 * td^2 -> d(loss)/dV = -td.
-  {
-    nn::Matrix input = nn::Matrix::from_row(pending_state_);
-    nn::Matrix out(1, 1);
-    critic_.forward_block(input, 0, 1, out, critic_ws_);
-    nn::Matrix grad(1, 1);
-    grad.at(0, 0) = -td_error;
+  auto critic_backward = [&](std::size_t, std::size_t) {
+    critic_.forward_block(input, 0, 1, critic_out, critic_ws_);
+    critic_grad.at(0, 0) = -td_error;
     critic_accum_.reset(critic_);
-    critic_.backward_block(grad, critic_ws_, critic_accum_);
+    critic_.backward_block(critic_grad, critic_ws_, critic_accum_);
+  };
+  auto critic_reduce = [&] {
     critic_.zero_grad();
     critic_.apply_gradients(critic_accum_);
     critic_.clip_grad_norm(config_.grad_clip_norm);
-    critic_opt_->step();
-  }
+    critic_opt_->begin_step();
+  };
+  auto critic_adam = [&](std::size_t b, std::size_t) { critic_opt_->step_block(b); };
 
   // Actor: policy gradient with the TD error as advantage (+ entropy).
-  {
-    nn::Matrix input = nn::Matrix::from_row(pending_state_);
-    nn::Matrix logits(1, config_.action_dim);
+  auto actor_backward = [&](std::size_t, std::size_t) {
     actor_.forward_block(input, 0, 1, logits, actor_ws_);
     const auto probs = masked_probs(logits.row(0), pending_mask_);
     float entropy = 0.0F;
     for (const float p : probs)
       if (p > 1e-8F) entropy -= p * std::log(p);
-    nn::Matrix grad(1, config_.action_dim, 0.0F);
-    float* g = grad.row(0).data();
+    float* g = actor_grad.row(0).data();
     for (std::size_t a = 0; a < probs.size(); ++a) {
       if (!pending_mask_.empty() && !pending_mask_[a]) continue;
       const float indicator = static_cast<int>(a) == pending_action_ ? 1.0F : 0.0F;
@@ -188,12 +202,22 @@ double ActorCriticAgent::learn(float reward, std::span<const float> next_state,
         g[a] += config_.entropy_bonus * probs[a] * (std::log(probs[a]) + entropy);
     }
     actor_accum_.reset(actor_);
-    actor_.backward_block(grad, actor_ws_, actor_accum_);
+    actor_.backward_block(actor_grad, actor_ws_, actor_accum_);
+  };
+  auto actor_reduce = [&] {
     actor_.zero_grad();
     actor_.apply_gradients(actor_accum_);
     actor_.clip_grad_norm(config_.grad_clip_norm);
-    actor_opt_->step();
-  }
+    actor_opt_->begin_step();
+  };
+  auto actor_adam = [&](std::size_t b, std::size_t) { actor_opt_->step_block(b); };
+
+  const std::array<nn::GradWorkPool::Phase, 4> phases = {
+      nn::GradWorkPool::make_phase(1, critic_backward),
+      nn::GradWorkPool::make_phase(critic_reduce, critic_opt_->block_count(), critic_adam),
+      nn::GradWorkPool::make_phase(1, actor_backward),
+      nn::GradWorkPool::make_phase(actor_reduce, actor_opt_->block_count(), actor_adam)};
+  pool_->run_phases({phases.data(), phases.size()});
   ++updates_;
   grad_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

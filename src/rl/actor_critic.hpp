@@ -53,16 +53,14 @@ class ActorCriticAgent {
   [[nodiscard]] const ActorCriticConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
 
-  /// Engine hook mirroring DqnAgent/ReinforceAgent: A2C's one-step updates
-  /// are single-row batches — one gradient block — so any learner-thread
-  /// count is trivially bit-identical; the value is accepted (0 clamps to 1)
-  /// and the updates still run through the block-wise engine path. Runtime
-  /// execution config: never serialized.
-  void set_learner_threads(std::size_t workers) noexcept {
-    learner_threads_ = workers == 0 ? 1 : workers;
-  }
+  /// Engine hook mirroring DqnAgent/ReinforceAgent: rebuilds the worker
+  /// pool (0 clamps to 1). A2C's one-step updates are single-row batches —
+  /// one gradient block — so any learner-thread count is trivially
+  /// bit-identical; with fewer blocks than workers the phased job runs
+  /// inline on the caller. Runtime execution config: never serialized.
+  void set_learner_threads(std::size_t workers);
   [[nodiscard]] std::size_t learner_threads() const noexcept {
-    return learner_threads_;
+    return pool_->workers();
   }
 
   /// Cumulative wall-clock seconds spent in learn()'s gradient work. Not
@@ -102,7 +100,7 @@ class ActorCriticAgent {
   int pending_action_ = 0;
 
   // ---- Data-parallel gradient engine state (never serialized) --------------
-  std::size_t learner_threads_ = 1;
+  std::unique_ptr<nn::GradWorkPool> pool_;  // never null; 1 worker by default
   nn::MlpWorkspace critic_ws_;
   nn::MlpWorkspace actor_ws_;
   nn::GradAccumulator critic_accum_;

@@ -1,6 +1,7 @@
 #include "rl/dqn.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <limits>
 #include <stdexcept>
@@ -203,10 +204,10 @@ double DqnAgent::train_step() {
     loss = train_on_batch(batch, {}, nullptr);
   }
   ++grad_steps_;
-  if (config_.soft_target_tau > 0.0F) {
-    target_.soft_update_from(online_, config_.soft_target_tau);
-  } else if (config_.target_update_period > 0 &&
-             grad_steps_ % config_.target_update_period == 0) {
+  // With soft_target_tau > 0 the Polyak update already ran inside
+  // train_on_batch's phased pool job; only the periodic hard copy is left.
+  if (config_.soft_target_tau <= 0.0F && config_.target_update_period > 0 &&
+      grad_steps_ % config_.target_update_period == 0) {
     target_.copy_weights_from(online_);
   }
   grad_seconds_ +=
@@ -299,19 +300,36 @@ double DqnAgent::train_on_batch(const std::vector<const Transition*>& batch,
     accums_[b].reset(online_);
     online_.backward_block(ws.d_out, ws.online, accums_[b]);
   };
-  pool_->run(blocks, run_block);
-
-  // Fixed block-index reduction: the only cross-block float summation.
-  online_.zero_grad();
+  // One pool wake carries the whole grad step: backward blocks, then the
+  // Adam step, then (when configured) the target soft update — instead of a
+  // wake per stage. The serial reduction below runs on the caller between
+  // the barrier-separated phases.
   double loss = 0.0;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    online_.apply_gradients(accums_[b]);
-    loss += block_loss_[b];
-  }
-  loss /= static_cast<double>(n);
+  auto reduce_then_begin_adam = [&] {
+    // Fixed block-index reduction: the only cross-block float summation.
+    online_.zero_grad();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      online_.apply_gradients(accums_[b]);
+      loss += block_loss_[b];
+    }
+    loss /= static_cast<double>(n);
+    online_.clip_grad_norm(config_.grad_clip_norm);
+    optimizer_->begin_step();
+  };
+  auto adam_block = [&](std::size_t b, std::size_t) { optimizer_->step_block(b); };
+  auto soft_update_block = [&](std::size_t b, std::size_t) {
+    target_.soft_update_block(online_, config_.soft_target_tau, b);
+  };
 
-  online_.clip_grad_norm(config_.grad_clip_norm);
-  optimizer_->step();
+  std::array<nn::GradWorkPool::Phase, 3> phases;
+  std::size_t phase_count = 0;
+  phases[phase_count++] = nn::GradWorkPool::make_phase(blocks, run_block);
+  phases[phase_count++] = nn::GradWorkPool::make_phase(reduce_then_begin_adam,
+                                                       optimizer_->block_count(), adam_block);
+  if (config_.soft_target_tau > 0.0F)
+    phases[phase_count++] =
+        nn::GradWorkPool::make_phase(target_.param_block_count(), soft_update_block);
+  pool_->run_phases({phases.data(), phase_count});
   return loss;
 }
 

@@ -1,6 +1,7 @@
 #include "rl/policy_gradient.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -216,12 +217,20 @@ double ReinforceAgent::finish_episode() {
     accums_[b].reset(policy_);
     policy_.backward_block(d_out, ws, accums_[b]);
   };
-  pool_->run(blocks, run_block);
-
-  policy_.zero_grad();
-  for (std::size_t b = 0; b < blocks; ++b) policy_.apply_gradients(accums_[b]);
-  policy_.clip_grad_norm(config_.grad_clip_norm);
-  optimizer_->step();
+  // Backward blocks and the Adam step share ONE pool wake; the fixed
+  // block-index reduction runs serially on the caller between the phases.
+  auto reduce_then_begin_adam = [&] {
+    policy_.zero_grad();
+    for (std::size_t b = 0; b < blocks; ++b) policy_.apply_gradients(accums_[b]);
+    policy_.clip_grad_norm(config_.grad_clip_norm);
+    optimizer_->begin_step();
+  };
+  auto adam_block = [&](std::size_t b, std::size_t) { optimizer_->step_block(b); };
+  const std::array<nn::GradWorkPool::Phase, 2> phases = {
+      nn::GradWorkPool::make_phase(blocks, run_block),
+      nn::GradWorkPool::make_phase(reduce_then_begin_adam, optimizer_->block_count(),
+                                   adam_block)};
+  pool_->run_phases({phases.data(), phases.size()});
   ++grad_steps_;
   grad_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

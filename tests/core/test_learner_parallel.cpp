@@ -52,6 +52,20 @@ MakeManager make_dqn(bool prioritized) {
   };
 }
 
+MakeManager make_dqn_soft_target() {
+  // Polyak target updates + a small batch: every grad step runs the
+  // parallel soft-update phase, and with batch_size 16 (2 gradient blocks)
+  // the learners=4 cell exercises the blocks<workers inline fallback while
+  // learners=2 takes the pooled path — both must match the (1,1) reference.
+  return [](const EnvOptions& env_options) -> std::unique_ptr<Manager> {
+    VnfEnv env(env_options);
+    rl::DqnConfig config = small_dqn_config(env, false);
+    config.soft_target_tau = 0.01F;
+    config.batch_size = 16;
+    return std::make_unique<DqnManager>(env, config);
+  };
+}
+
 MakeManager make_a2c() {
   return [](const EnvOptions& env_options) -> std::unique_ptr<Manager> {
     VnfEnv env(env_options);
@@ -169,6 +183,13 @@ TEST(LearnerParallel, DqnUniformReplayBitIdenticalAcrossLearnerThreads) {
 
 TEST(LearnerParallel, DqnPrioritizedReplayBitIdenticalAcrossLearnerThreads) {
   run_cross(make_dqn(true), "dqn_per");
+}
+
+TEST(LearnerParallel, DqnSoftTargetUpdateBitIdenticalAcrossLearnerThreads) {
+  // Covers the phased grad step end to end: backward blocks, the blocked
+  // Adam step, and the blocked Polyak soft update all inside one pool job —
+  // curves, learner state, and archives byte-identical at any thread count.
+  run_cross(make_dqn_soft_target(), "dqn_soft");
 }
 
 TEST(LearnerParallel, A2cBitIdenticalAcrossLearnerThreads) {

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,6 +76,141 @@ TEST(GradWorkPool, WorkerExceptionPropagates) {
   std::atomic<int> count{0};
   pool.run(4, [&](std::size_t, std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 4);
+}
+
+TEST(GradWorkPool, InlineFallbackWhenFewerBlocksThanWorkers) {
+  // With blocks < workers the job must run inline on the caller: every
+  // invocation on worker 0 and on the calling thread (no wake/park latency).
+  GradWorkPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> worker_ids;
+  std::vector<std::thread::id> thread_ids;
+  pool.run(3, [&](std::size_t block, std::size_t worker) {
+    EXPECT_EQ(block, worker_ids.size());
+    worker_ids.push_back(worker);
+    thread_ids.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(worker_ids.size(), 3u);
+  for (const std::size_t w : worker_ids) EXPECT_EQ(w, 0u);
+  for (const auto& id : thread_ids) EXPECT_EQ(id, caller);
+}
+
+TEST(GradWorkPool, RunPhasesBarrierOrderingAndPrepare) {
+  // Three phases: blocks of phase p+1 must observe ALL writes of phase p
+  // (barrier), and each prepare hook runs exactly once, on the caller,
+  // after the previous phase completed.
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    GradWorkPool pool(workers);
+    const auto caller = std::this_thread::get_id();
+    constexpr std::size_t kBlocks = 16;  // >= workers: pooled path when workers > 1
+    std::vector<int> stage1(kBlocks, 0);
+    std::vector<int> stage2(kBlocks, 0);
+    int prepare_runs = 0;
+    long prepare_sum = -1;
+
+    auto phase1 = [&](std::size_t b, std::size_t) { stage1[b] = static_cast<int>(b) + 1; };
+    auto prepare = [&] {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      ++prepare_runs;
+      prepare_sum = 0;
+      for (const int v : stage1) prepare_sum += v;  // sees every phase-1 write
+    };
+    auto phase2 = [&](std::size_t b, std::size_t) {
+      stage2[b] = stage1[b] * 2;  // cross-phase read
+    };
+    std::atomic<long> total{0};
+    auto phase3 = [&](std::size_t b, std::size_t) { total.fetch_add(stage2[b]); };
+
+    const std::array<GradWorkPool::Phase, 3> phases = {
+        GradWorkPool::make_phase(kBlocks, phase1),
+        GradWorkPool::make_phase(prepare, kBlocks, phase2),
+        GradWorkPool::make_phase(kBlocks, phase3)};
+    pool.run_phases({phases.data(), phases.size()});
+
+    constexpr long kExpectedSum = kBlocks * (kBlocks + 1) / 2;
+    EXPECT_EQ(prepare_runs, 1);
+    EXPECT_EQ(prepare_sum, kExpectedSum);
+    EXPECT_EQ(total.load(), 2 * kExpectedSum) << workers << " workers";
+  }
+}
+
+TEST(GradWorkPool, RunPhasesWholeJobInlineWhenEveryPhaseIsSmall) {
+  // max blocks over all phases < workers -> the entire phased job runs
+  // inline on the caller, including prepare hooks.
+  GradWorkPool pool(8);
+  const auto caller = std::this_thread::get_id();
+  std::size_t invocations = 0;
+  auto block_fn = [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++invocations;
+  };
+  auto prepare = [&] { EXPECT_EQ(invocations, 3u); };
+  const std::array<GradWorkPool::Phase, 2> phases = {
+      GradWorkPool::make_phase(3, block_fn),
+      GradWorkPool::make_phase(prepare, 5, block_fn)};
+  pool.run_phases({phases.data(), phases.size()});
+  EXPECT_EQ(invocations, 8u);
+}
+
+TEST(GradWorkPool, RunPhasesBlockExceptionPropagatesAndPoolSurvives) {
+  GradWorkPool pool(3);
+  auto ok = [&](std::size_t, std::size_t) {};
+  auto boom = [&](std::size_t b, std::size_t) {
+    if (b == 2) throw std::runtime_error("phase boom");
+  };
+  const std::array<GradWorkPool::Phase, 2> phases = {GradWorkPool::make_phase(6, boom),
+                                                     GradWorkPool::make_phase(6, ok)};
+  EXPECT_THROW(pool.run_phases({phases.data(), phases.size()}), std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run(6, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(GradWorkPool, RunPhasesPrepareExceptionPropagatesAndSkipsWork) {
+  GradWorkPool pool(3);
+  std::atomic<int> phase2_runs{0};
+  auto phase1 = [&](std::size_t, std::size_t) {};
+  auto prepare = [&]() { throw std::runtime_error("prepare boom"); };
+  auto phase2 = [&](std::size_t, std::size_t) { phase2_runs.fetch_add(1); };
+  const std::array<GradWorkPool::Phase, 2> phases = {
+      GradWorkPool::make_phase(6, phase1),
+      GradWorkPool::make_phase(prepare, 6, phase2)};
+  EXPECT_THROW(pool.run_phases({phases.data(), phases.size()}), std::runtime_error);
+  // Blocks after a failed prepare are skipped (abort), not executed.
+  EXPECT_EQ(phase2_runs.load(), 0);
+}
+
+TEST(GradWorkPool, RunPhasesHandlesZeroBlockPhases) {
+  GradWorkPool pool(2);
+  std::atomic<int> runs{0};
+  int prepare_runs = 0;
+  auto empty = [&](std::size_t, std::size_t) { FAIL() << "zero-block phase ran"; };
+  auto prepare = [&] { ++prepare_runs; };
+  auto work = [&](std::size_t, std::size_t) { runs.fetch_add(1); };
+  const std::array<GradWorkPool::Phase, 3> phases = {
+      GradWorkPool::make_phase(0, empty), GradWorkPool::make_phase(prepare, 4, work),
+      GradWorkPool::make_phase(0, empty)};
+  pool.run_phases({phases.data(), phases.size()});
+  EXPECT_EQ(runs.load(), 4);
+  EXPECT_EQ(prepare_runs, 1);
+}
+
+TEST(ElemBlocks, SplitsParamsIntoFixedSizeBlocks) {
+  const std::array<std::size_t, 3> sizes = {kOptBlockElems * 2 + 100, 7, kOptBlockElems};
+  const auto blocks = make_elem_blocks({sizes.data(), sizes.size()});
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[0].param, 0u);
+  EXPECT_EQ(blocks[0].offset, 0u);
+  EXPECT_EQ(blocks[0].count, kOptBlockElems);
+  EXPECT_EQ(blocks[1].offset, kOptBlockElems);
+  EXPECT_EQ(blocks[1].count, kOptBlockElems);
+  EXPECT_EQ(blocks[2].offset, 2 * kOptBlockElems);
+  EXPECT_EQ(blocks[2].count, 100u);
+  EXPECT_EQ(blocks[3].param, 1u);
+  EXPECT_EQ(blocks[3].count, 7u);
+  EXPECT_EQ(blocks[4].param, 2u);
+  EXPECT_EQ(blocks[4].count, kOptBlockElems);
 }
 
 TEST(MlpBlocks, ForwardBlockMatchesMonolithicForwardBitForBit) {

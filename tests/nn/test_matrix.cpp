@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -153,6 +158,146 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
                       std::make_tuple(4, 4, 4), std::make_tuple(7, 3, 9),
                       std::make_tuple(16, 32, 8), std::make_tuple(33, 17, 5)));
+
+TEST(Matrix, ResizeZeroFillsEvenWhenShapeUnchanged) {
+  Matrix m(2, 3, 7.0F);
+  m.resize(2, 3);  // documented contract: zero-fill on EVERY call
+  for (const float v : m.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Matrix, ResizeForOverwriteKeepsShapeAndSkipsZeroFill) {
+  Matrix m(2, 3, 7.0F);
+  m.resize_for_overwrite(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m.resize_for_overwrite(4, 5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 20u);
+  // Contents are unspecified; a full overwrite must leave no trace of them.
+  m.fill(1.0F);
+  for (const float v : m.flat()) EXPECT_EQ(v, 1.0F);
+}
+
+TEST(Matrix, SimdPathReportsAValidName) {
+  const SimdPath path = matmul_simd_path();
+  const char* name = to_string(path);
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string(name) == "avx2" || std::string(name) == "neon" ||
+              std::string(name) == "scalar")
+      << name;
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) EXPECT_EQ(path, SimdPath::kAvx2);
+#endif
+}
+
+// Regression for the removed `if (a == 0) continue;` skip branches: a zero
+// activation times an Inf gradient is NaN and must POISON the result, not
+// be silently dropped (silent drops masked exploding-gradient bugs).
+TEST(Matrix, ZeroTimesInfPoisonsMatmul) {
+  Matrix a(1, 2);
+  a.at(0, 0) = 0.0F;
+  a.at(0, 1) = 1.0F;
+  Matrix b(2, 2);
+  b.at(0, 0) = std::numeric_limits<float>::infinity();
+  b.at(0, 1) = 1.0F;
+  b.at(1, 0) = 1.0F;
+  b.at(1, 1) = 1.0F;
+  Matrix out;
+  matmul(a, b, out);  // out[0][0] = 0 * Inf + 1 * 1 = NaN
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+  EXPECT_FLOAT_EQ(out.at(0, 1), 2.0F);
+  Matrix out_scalar;
+  matmul_scalar(a, b, out_scalar);
+  EXPECT_TRUE(std::isnan(out_scalar.at(0, 0)));
+}
+
+TEST(Matrix, ZeroTimesInfPoisonsWeightGradient) {
+  // matmul_at_b is the dW kernel: an Inf activation row must poison the
+  // weight gradient even where d_out is exactly zero.
+  Matrix d_out(1, 2);  // (batch=1, out=2): gradient zero for output 0
+  d_out.at(0, 0) = 0.0F;
+  d_out.at(0, 1) = 1.0F;
+  Matrix x(1, 2);  // (batch=1, in=2): exploded activation
+  x.at(0, 0) = std::numeric_limits<float>::infinity();
+  x.at(0, 1) = 1.0F;
+  Matrix dw;
+  matmul_at_b(d_out, x, dw);  // dW = d_out^T * x
+  EXPECT_TRUE(std::isnan(dw.at(0, 0))) << "0 * Inf must not be skipped";
+  EXPECT_EQ(dw.at(0, 1), 0.0F);
+  EXPECT_TRUE(std::isinf(dw.at(1, 0)));
+  EXPECT_FLOAT_EQ(dw.at(1, 1), 1.0F);
+  Matrix dw_scalar;
+  matmul_at_b_scalar(d_out, x, dw_scalar);
+  EXPECT_TRUE(std::isnan(dw_scalar.at(0, 0)));
+}
+
+// ---- Scalar-vs-dispatched bit-equality -------------------------------------
+// The dispatched kernels (AVX2 on this CI's x86 runners, NEON on aarch64,
+// scalar otherwise) must produce the exact bit patterns of the scalar
+// reference. Tail shapes matter most: k % 8 != 0, k < 8, and empty.
+
+void expect_bit_identical(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.flat().size(); ++i) {
+    const auto got_bits = std::bit_cast<std::uint32_t>(got.flat()[i]);
+    const auto want_bits = std::bit_cast<std::uint32_t>(want.flat()[i]);
+    EXPECT_EQ(got_bits, want_bits) << "element " << i;
+  }
+}
+
+class SimdBitEquality
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(SimdBitEquality, MatmulABtDispatchedMatchesScalarBitForBit) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix dispatched, scalar;
+  matmul_a_bt(a, b, dispatched);
+  matmul_a_bt_scalar(a, b, scalar);
+  expect_bit_identical(dispatched, scalar);
+}
+
+TEST_P(SimdBitEquality, MatmulDispatchedMatchesScalarBitForBit) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n + 1);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix dispatched, scalar;
+  matmul(a, b, dispatched);
+  matmul_scalar(a, b, scalar);
+  expect_bit_identical(dispatched, scalar);
+}
+
+TEST_P(SimdBitEquality, MatmulAtBDispatchedMatchesScalarBitForBit) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n + 2);
+  const Matrix a = random_matrix(k, m, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix dispatched, scalar;
+  matmul_at_b(a, b, dispatched);
+  matmul_at_b_scalar(a, b, scalar);
+  expect_bit_identical(dispatched, scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TailShapes, SimdBitEquality,
+    ::testing::Values(std::make_tuple(3, 0, 2),     // empty reduction
+                      std::make_tuple(0, 8, 0),     // empty output
+                      std::make_tuple(2, 1, 2),     // k < 8
+                      std::make_tuple(5, 7, 3),     // k < 8 ragged
+                      std::make_tuple(4, 8, 4),     // exactly one vector
+                      std::make_tuple(3, 9, 5),     // k % 8 == 1
+                      std::make_tuple(6, 13, 7),    // k % 8 == 5, odd n
+                      std::make_tuple(8, 16, 8),    // two vectors
+                      std::make_tuple(9, 23, 11),   // ragged everything
+                      std::make_tuple(64, 67, 33),  // large ragged
+                      std::make_tuple(16, 128, 32)  // DQN-shaped
+                      ));
 
 }  // namespace
 }  // namespace vnfm::nn

@@ -128,5 +128,98 @@ TEST(Adam, TrainsMlpToFitXor) {
   EXPECT_LT(loss, 1e-3);
 }
 
+// ---- Block API bit-identity -------------------------------------------------
+// Adam/Sgd step_block over the fixed kOptBlockElems split must reproduce the
+// serial step() bit for bit, regardless of block execution order or the pool
+// worker count (the updates are elementwise; nothing crosses a block edge).
+
+MlpConfig blocky_config() {
+  // 128 x 80 weight = 10240 elements: 2 full element blocks + a 2048 tail,
+  // so the split is actually exercised (not one block per parameter).
+  MlpConfig config;
+  config.input_dim = 128;
+  config.hidden_dims = {80};
+  config.output_dim = 6;
+  config.activation = Activation::kReLU;
+  return config;
+}
+
+void fill_grads(Mlp& net, std::uint64_t seed) {
+  Rng rng(seed);
+  for (Param* p : net.parameters())
+    for (float& g : p->grad.flat()) g = static_cast<float>(rng.normal());
+}
+
+std::vector<std::vector<float>> snapshot_values(Mlp& net) {
+  std::vector<std::vector<float>> values;
+  for (Param* p : net.parameters())
+    values.emplace_back(p->value.flat().begin(), p->value.flat().end());
+  return values;
+}
+
+template <typename Optimizer>
+void expect_blocked_steps_match_serial(typename Optimizer::Options options) {
+  Mlp serial_net(blocky_config()), blocked_net(blocky_config());
+  Rng rng(11);
+  serial_net.init(rng);
+  blocked_net.copy_weights_from(serial_net);
+  Optimizer serial_opt(serial_net.parameters(), options);
+  Optimizer blocked_opt(blocked_net.parameters(), options);
+  ASSERT_GT(blocked_opt.block_count(), 2u);
+
+  GradWorkPool pool(4);
+  for (int step = 0; step < 3; ++step) {
+    fill_grads(serial_net, 100 + static_cast<std::uint64_t>(step));
+    fill_grads(blocked_net, 100 + static_cast<std::uint64_t>(step));
+    serial_opt.step();
+    // Blocked: begin once on the caller, blocks across pool workers.
+    blocked_opt.begin_step();
+    pool.run(blocked_opt.block_count(),
+             [&](std::size_t b, std::size_t) { blocked_opt.step_block(b); });
+    EXPECT_EQ(snapshot_values(serial_net), snapshot_values(blocked_net))
+        << "diverged at step " << step;
+  }
+}
+
+TEST(Adam, BlockedStepBitIdenticalToSerialStep) {
+  expect_blocked_steps_match_serial<Adam>({.learning_rate = 1e-3F, .weight_decay = 1e-4F});
+}
+
+TEST(Sgd, BlockedStepBitIdenticalToSerialStep) {
+  expect_blocked_steps_match_serial<Sgd>(
+      {.learning_rate = 1e-2F, .momentum = 0.9F, .weight_decay = 1e-4F});
+}
+
+TEST(Adam, BlockedStepOrderIndependent) {
+  // Reverse block order must still match (elementwise independence).
+  Mlp forward_net(blocky_config()), reverse_net(blocky_config());
+  Rng rng(13);
+  forward_net.init(rng);
+  reverse_net.copy_weights_from(forward_net);
+  Adam forward_opt(forward_net.parameters(), {});
+  Adam reverse_opt(reverse_net.parameters(), {});
+  fill_grads(forward_net, 5);
+  fill_grads(reverse_net, 5);
+  forward_opt.step();
+  reverse_opt.begin_step();
+  for (std::size_t b = reverse_opt.block_count(); b-- > 0;) reverse_opt.step_block(b);
+  EXPECT_EQ(snapshot_values(forward_net), snapshot_values(reverse_net));
+}
+
+TEST(Mlp, BlockedSoftUpdateBitIdenticalToSoftUpdateFrom) {
+  Mlp reference_dst(blocky_config()), blocked_dst(blocky_config()), src(blocky_config());
+  Rng rng(17);
+  reference_dst.init(rng);
+  src.init(rng);
+  blocked_dst.copy_weights_from(reference_dst);
+  ASSERT_GT(blocked_dst.param_block_count(), 2u);
+
+  reference_dst.soft_update_from(src, 0.01F);
+  GradWorkPool pool(4);
+  pool.run(blocked_dst.param_block_count(),
+           [&](std::size_t b, std::size_t) { blocked_dst.soft_update_block(src, 0.01F, b); });
+  EXPECT_EQ(snapshot_values(reference_dst), snapshot_values(blocked_dst));
+}
+
 }  // namespace
 }  // namespace vnfm::nn
