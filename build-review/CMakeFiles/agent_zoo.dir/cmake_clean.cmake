@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_zoo.dir/examples/agent_zoo.cpp.o"
+  "CMakeFiles/agent_zoo.dir/examples/agent_zoo.cpp.o.d"
+  "agent_zoo"
+  "agent_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_env_step.dir/bench/bench_env_step.cpp.o"
+  "CMakeFiles/bench_env_step.dir/bench/bench_env_step.cpp.o.d"
+  "bench_env_step"
+  "bench_env_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_env_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faults.dir/bench/bench_faults.cpp.o"
+  "CMakeFiles/bench_faults.dir/bench/bench_faults.cpp.o.d"
+  "bench_faults"
+  "bench_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

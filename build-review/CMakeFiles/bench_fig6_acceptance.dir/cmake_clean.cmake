@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_acceptance.dir/bench/bench_fig6_acceptance.cpp.o"
+  "CMakeFiles/bench_fig6_acceptance.dir/bench/bench_fig6_acceptance.cpp.o.d"
+  "bench_fig6_acceptance"
+  "bench_fig6_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_diurnal.dir/bench/bench_fig8_diurnal.cpp.o"
+  "CMakeFiles/bench_fig8_diurnal.dir/bench/bench_fig8_diurnal.cpp.o.d"
+  "bench_fig8_diurnal"
+  "bench_fig8_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grad_step.dir/bench/bench_grad_step.cpp.o"
+  "CMakeFiles/bench_grad_step.dir/bench/bench_grad_step.cpp.o.d"
+  "bench_grad_step"
+  "bench_grad_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grad_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

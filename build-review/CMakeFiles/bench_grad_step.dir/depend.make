@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_grad_step.
+# This may be replaced when dependencies are built.

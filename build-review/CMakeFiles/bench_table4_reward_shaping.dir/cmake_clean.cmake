@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_reward_shaping.dir/bench/bench_table4_reward_shaping.cpp.o"
+  "CMakeFiles/bench_table4_reward_shaping.dir/bench/bench_table4_reward_shaping.cpp.o.d"
+  "bench_table4_reward_shaping"
+  "bench_table4_reward_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reward_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

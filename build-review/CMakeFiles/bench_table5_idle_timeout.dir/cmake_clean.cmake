@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_idle_timeout.dir/bench/bench_table5_idle_timeout.cpp.o"
+  "CMakeFiles/bench_table5_idle_timeout.dir/bench/bench_table5_idle_timeout.cpp.o.d"
+  "bench_table5_idle_timeout"
+  "bench_table5_idle_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_idle_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpointing.dir/examples/checkpointing.cpp.o"
+  "CMakeFiles/checkpointing.dir/examples/checkpointing.cpp.o.d"
+  "checkpointing"
+  "checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

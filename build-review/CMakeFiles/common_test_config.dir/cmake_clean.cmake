@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_config.dir/tests/common/test_config.cpp.o"
+  "CMakeFiles/common_test_config.dir/tests/common/test_config.cpp.o.d"
+  "common_test_config"
+  "common_test_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_csv.dir/tests/common/test_csv.cpp.o"
+  "CMakeFiles/common_test_csv.dir/tests/common/test_csv.cpp.o.d"
+  "common_test_csv"
+  "common_test_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_log.dir/tests/common/test_log.cpp.o"
+  "CMakeFiles/common_test_log.dir/tests/common/test_log.cpp.o.d"
+  "common_test_log"
+  "common_test_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

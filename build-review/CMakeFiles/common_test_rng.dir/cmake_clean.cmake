@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_rng.dir/tests/common/test_rng.cpp.o"
+  "CMakeFiles/common_test_rng.dir/tests/common/test_rng.cpp.o.d"
+  "common_test_rng"
+  "common_test_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

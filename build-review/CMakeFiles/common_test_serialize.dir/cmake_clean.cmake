@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_serialize.dir/tests/common/test_serialize.cpp.o"
+  "CMakeFiles/common_test_serialize.dir/tests/common/test_serialize.cpp.o.d"
+  "common_test_serialize"
+  "common_test_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_stats.dir/tests/common/test_stats.cpp.o"
+  "CMakeFiles/common_test_stats.dir/tests/common/test_stats.cpp.o.d"
+  "common_test_stats"
+  "common_test_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

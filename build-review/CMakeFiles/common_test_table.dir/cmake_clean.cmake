@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_table.dir/tests/common/test_table.cpp.o"
+  "CMakeFiles/common_test_table.dir/tests/common/test_table.cpp.o.d"
+  "common_test_table"
+  "common_test_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

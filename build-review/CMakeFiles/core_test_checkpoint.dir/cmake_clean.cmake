@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_checkpoint.dir/tests/core/test_checkpoint.cpp.o"
+  "CMakeFiles/core_test_checkpoint.dir/tests/core/test_checkpoint.cpp.o.d"
+  "core_test_checkpoint"
+  "core_test_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_checkpoint_inspect.dir/tests/core/test_checkpoint_inspect.cpp.o"
+  "CMakeFiles/core_test_checkpoint_inspect.dir/tests/core/test_checkpoint_inspect.cpp.o.d"
+  "core_test_checkpoint_inspect"
+  "core_test_checkpoint_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_checkpoint_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

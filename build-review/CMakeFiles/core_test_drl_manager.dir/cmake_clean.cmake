@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_drl_manager.dir/tests/core/test_drl_manager.cpp.o"
+  "CMakeFiles/core_test_drl_manager.dir/tests/core/test_drl_manager.cpp.o.d"
+  "core_test_drl_manager"
+  "core_test_drl_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_drl_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_env_incremental.dir/tests/core/test_env_incremental.cpp.o"
+  "CMakeFiles/core_test_env_incremental.dir/tests/core/test_env_incremental.cpp.o.d"
+  "core_test_env_incremental"
+  "core_test_env_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_env_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

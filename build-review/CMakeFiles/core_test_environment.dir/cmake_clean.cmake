@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_environment.dir/tests/core/test_environment.cpp.o"
+  "CMakeFiles/core_test_environment.dir/tests/core/test_environment.cpp.o.d"
+  "core_test_environment"
+  "core_test_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

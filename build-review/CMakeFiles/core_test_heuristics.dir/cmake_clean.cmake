@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_heuristics.dir/tests/core/test_heuristics.cpp.o"
+  "CMakeFiles/core_test_heuristics.dir/tests/core/test_heuristics.cpp.o.d"
+  "core_test_heuristics"
+  "core_test_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

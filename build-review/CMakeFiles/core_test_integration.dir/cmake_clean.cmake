@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_integration.dir/tests/core/test_integration.cpp.o"
+  "CMakeFiles/core_test_integration.dir/tests/core/test_integration.cpp.o.d"
+  "core_test_integration"
+  "core_test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_learner_parallel.dir/tests/core/test_learner_parallel.cpp.o"
+  "CMakeFiles/core_test_learner_parallel.dir/tests/core/test_learner_parallel.cpp.o.d"
+  "core_test_learner_parallel"
+  "core_test_learner_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_learner_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_migration.dir/tests/core/test_migration.cpp.o"
+  "CMakeFiles/core_test_migration.dir/tests/core/test_migration.cpp.o.d"
+  "core_test_migration"
+  "core_test_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

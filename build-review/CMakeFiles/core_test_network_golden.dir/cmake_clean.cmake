@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_network_golden.dir/tests/core/test_network_golden.cpp.o"
+  "CMakeFiles/core_test_network_golden.dir/tests/core/test_network_golden.cpp.o.d"
+  "core_test_network_golden"
+  "core_test_network_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_network_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_runner.dir/tests/core/test_runner.cpp.o"
+  "CMakeFiles/core_test_runner.dir/tests/core/test_runner.cpp.o.d"
+  "core_test_runner"
+  "core_test_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_serve_shed.dir/tests/core/test_serve_shed.cpp.o"
+  "CMakeFiles/core_test_serve_shed.dir/tests/core/test_serve_shed.cpp.o.d"
+  "core_test_serve_shed"
+  "core_test_serve_shed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_serve_shed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_train_driver.dir/tests/core/test_train_driver.cpp.o"
+  "CMakeFiles/core_test_train_driver.dir/tests/core/test_train_driver.cpp.o.d"
+  "core_test_train_driver"
+  "core_test_train_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_train_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_autoscaling.dir/examples/diurnal_autoscaling.cpp.o"
+  "CMakeFiles/diurnal_autoscaling.dir/examples/diurnal_autoscaling.cpp.o.d"
+  "diurnal_autoscaling"
+  "diurnal_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

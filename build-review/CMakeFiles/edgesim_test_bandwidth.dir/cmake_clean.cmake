@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_bandwidth.dir/tests/edgesim/test_bandwidth.cpp.o"
+  "CMakeFiles/edgesim_test_bandwidth.dir/tests/edgesim/test_bandwidth.cpp.o.d"
+  "edgesim_test_bandwidth"
+  "edgesim_test_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_cluster.dir/tests/edgesim/test_cluster.cpp.o"
+  "CMakeFiles/edgesim_test_cluster.dir/tests/edgesim/test_cluster.cpp.o.d"
+  "edgesim_test_cluster"
+  "edgesim_test_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

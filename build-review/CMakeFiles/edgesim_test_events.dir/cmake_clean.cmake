@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_events.dir/tests/edgesim/test_events.cpp.o"
+  "CMakeFiles/edgesim_test_events.dir/tests/edgesim/test_events.cpp.o.d"
+  "edgesim_test_events"
+  "edgesim_test_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_metrics.dir/tests/edgesim/test_metrics.cpp.o"
+  "CMakeFiles/edgesim_test_metrics.dir/tests/edgesim/test_metrics.cpp.o.d"
+  "edgesim_test_metrics"
+  "edgesim_test_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_migration.dir/tests/edgesim/test_migration.cpp.o"
+  "CMakeFiles/edgesim_test_migration.dir/tests/edgesim/test_migration.cpp.o.d"
+  "edgesim_test_migration"
+  "edgesim_test_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_migration_fuzz.dir/tests/edgesim/test_migration_fuzz.cpp.o"
+  "CMakeFiles/edgesim_test_migration_fuzz.dir/tests/edgesim/test_migration_fuzz.cpp.o.d"
+  "edgesim_test_migration_fuzz"
+  "edgesim_test_migration_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_migration_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

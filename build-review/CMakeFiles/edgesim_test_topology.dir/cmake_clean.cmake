@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_topology.dir/tests/edgesim/test_topology.cpp.o"
+  "CMakeFiles/edgesim_test_topology.dir/tests/edgesim/test_topology.cpp.o.d"
+  "edgesim_test_topology"
+  "edgesim_test_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_trace_recording.dir/tests/edgesim/test_trace_recording.cpp.o"
+  "CMakeFiles/edgesim_test_trace_recording.dir/tests/edgesim/test_trace_recording.cpp.o.d"
+  "edgesim_test_trace_recording"
+  "edgesim_test_trace_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_trace_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

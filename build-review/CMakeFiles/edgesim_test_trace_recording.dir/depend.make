@@ -1,0 +1,2 @@
+# Empty dependencies file for edgesim_test_trace_recording.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_types.dir/tests/edgesim/test_types.cpp.o"
+  "CMakeFiles/edgesim_test_types.dir/tests/edgesim/test_types.cpp.o.d"
+  "edgesim_test_types"
+  "edgesim_test_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_vnf.dir/tests/edgesim/test_vnf.cpp.o"
+  "CMakeFiles/edgesim_test_vnf.dir/tests/edgesim/test_vnf.cpp.o.d"
+  "edgesim_test_vnf"
+  "edgesim_test_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_workload.dir/tests/edgesim/test_workload.cpp.o"
+  "CMakeFiles/edgesim_test_workload.dir/tests/edgesim/test_workload.cpp.o.d"
+  "edgesim_test_workload"
+  "edgesim_test_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test_workload_model.dir/tests/edgesim/test_workload_model.cpp.o"
+  "CMakeFiles/edgesim_test_workload_model.dir/tests/edgesim/test_workload_model.cpp.o.d"
+  "edgesim_test_workload_model"
+  "edgesim_test_workload_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test_workload_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

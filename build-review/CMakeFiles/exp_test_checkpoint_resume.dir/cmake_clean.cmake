@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_checkpoint_resume.dir/tests/exp/test_checkpoint_resume.cpp.o"
+  "CMakeFiles/exp_test_checkpoint_resume.dir/tests/exp/test_checkpoint_resume.cpp.o.d"
+  "exp_test_checkpoint_resume"
+  "exp_test_checkpoint_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_checkpoint_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_test_checkpoint_resume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_experiment.dir/tests/exp/test_experiment.cpp.o"
+  "CMakeFiles/exp_test_experiment.dir/tests/exp/test_experiment.cpp.o.d"
+  "exp_test_experiment"
+  "exp_test_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

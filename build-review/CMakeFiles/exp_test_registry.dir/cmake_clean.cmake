@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_registry.dir/tests/exp/test_registry.cpp.o"
+  "CMakeFiles/exp_test_registry.dir/tests/exp/test_registry.cpp.o.d"
+  "exp_test_registry"
+  "exp_test_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

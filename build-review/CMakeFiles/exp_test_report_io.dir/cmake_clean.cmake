@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_report_io.dir/tests/exp/test_report_io.cpp.o"
+  "CMakeFiles/exp_test_report_io.dir/tests/exp/test_report_io.cpp.o.d"
+  "exp_test_report_io"
+  "exp_test_report_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_report_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

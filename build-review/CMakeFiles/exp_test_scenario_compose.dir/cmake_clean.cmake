@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_scenario_compose.dir/tests/exp/test_scenario_compose.cpp.o"
+  "CMakeFiles/exp_test_scenario_compose.dir/tests/exp/test_scenario_compose.cpp.o.d"
+  "exp_test_scenario_compose"
+  "exp_test_scenario_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_scenario_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_scenario_errors.dir/tests/exp/test_scenario_errors.cpp.o"
+  "CMakeFiles/exp_test_scenario_errors.dir/tests/exp/test_scenario_errors.cpp.o.d"
+  "exp_test_scenario_errors"
+  "exp_test_scenario_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_scenario_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_scenarios.dir/tests/exp/test_scenarios.cpp.o"
+  "CMakeFiles/exp_test_scenarios.dir/tests/exp/test_scenarios.cpp.o.d"
+  "exp_test_scenarios"
+  "exp_test_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_seeds.dir/tests/exp/test_seeds.cpp.o"
+  "CMakeFiles/exp_test_seeds.dir/tests/exp/test_seeds.cpp.o.d"
+  "exp_test_seeds"
+  "exp_test_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

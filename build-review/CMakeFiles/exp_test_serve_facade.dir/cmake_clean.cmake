@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_serve_facade.dir/tests/exp/test_serve_facade.cpp.o"
+  "CMakeFiles/exp_test_serve_facade.dir/tests/exp/test_serve_facade.cpp.o.d"
+  "exp_test_serve_facade"
+  "exp_test_serve_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_serve_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_test_train_parallel.dir/tests/exp/test_train_parallel.cpp.o"
+  "CMakeFiles/exp_test_train_parallel.dir/tests/exp/test_train_parallel.cpp.o.d"
+  "exp_test_train_parallel"
+  "exp_test_train_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_test_train_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_placement.dir/examples/geo_placement.cpp.o"
+  "CMakeFiles/geo_placement.dir/examples/geo_placement.cpp.o.d"
+  "geo_placement"
+  "geo_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

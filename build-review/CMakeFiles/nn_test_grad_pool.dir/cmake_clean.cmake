@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_grad_pool.dir/tests/nn/test_grad_pool.cpp.o"
+  "CMakeFiles/nn_test_grad_pool.dir/tests/nn/test_grad_pool.cpp.o.d"
+  "nn_test_grad_pool"
+  "nn_test_grad_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_grad_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_layers.dir/tests/nn/test_layers.cpp.o"
+  "CMakeFiles/nn_test_layers.dir/tests/nn/test_layers.cpp.o.d"
+  "nn_test_layers"
+  "nn_test_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_loss.dir/tests/nn/test_loss.cpp.o"
+  "CMakeFiles/nn_test_loss.dir/tests/nn/test_loss.cpp.o.d"
+  "nn_test_loss"
+  "nn_test_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

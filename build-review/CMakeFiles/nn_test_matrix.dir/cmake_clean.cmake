@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_matrix.dir/tests/nn/test_matrix.cpp.o"
+  "CMakeFiles/nn_test_matrix.dir/tests/nn/test_matrix.cpp.o.d"
+  "nn_test_matrix"
+  "nn_test_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

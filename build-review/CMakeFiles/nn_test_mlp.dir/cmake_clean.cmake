@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_mlp.dir/tests/nn/test_mlp.cpp.o"
+  "CMakeFiles/nn_test_mlp.dir/tests/nn/test_mlp.cpp.o.d"
+  "nn_test_mlp"
+  "nn_test_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test_optimizer.dir/tests/nn/test_optimizer.cpp.o"
+  "CMakeFiles/nn_test_optimizer.dir/tests/nn/test_optimizer.cpp.o.d"
+  "nn_test_optimizer"
+  "nn_test_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

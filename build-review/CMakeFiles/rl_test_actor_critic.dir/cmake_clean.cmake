@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_actor_critic.dir/tests/rl/test_actor_critic.cpp.o"
+  "CMakeFiles/rl_test_actor_critic.dir/tests/rl/test_actor_critic.cpp.o.d"
+  "rl_test_actor_critic"
+  "rl_test_actor_critic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_actor_critic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rl_test_actor_critic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_dqn.dir/tests/rl/test_dqn.cpp.o"
+  "CMakeFiles/rl_test_dqn.dir/tests/rl/test_dqn.cpp.o.d"
+  "rl_test_dqn"
+  "rl_test_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_policy_gradient.dir/tests/rl/test_policy_gradient.cpp.o"
+  "CMakeFiles/rl_test_policy_gradient.dir/tests/rl/test_policy_gradient.cpp.o.d"
+  "rl_test_policy_gradient"
+  "rl_test_policy_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_policy_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

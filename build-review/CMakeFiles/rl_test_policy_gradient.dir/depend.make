@@ -1,0 +1,2 @@
+# Empty dependencies file for rl_test_policy_gradient.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_replay.dir/tests/rl/test_replay.cpp.o"
+  "CMakeFiles/rl_test_replay.dir/tests/rl/test_replay.cpp.o.d"
+  "rl_test_replay"
+  "rl_test_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_schedule.dir/tests/rl/test_schedule.cpp.o"
+  "CMakeFiles/rl_test_schedule.dir/tests/rl/test_schedule.cpp.o.d"
+  "rl_test_schedule"
+  "rl_test_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

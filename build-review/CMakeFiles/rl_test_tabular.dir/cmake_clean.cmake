@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test_tabular.dir/tests/rl/test_tabular.cpp.o"
+  "CMakeFiles/rl_test_tabular.dir/tests/rl/test_tabular.cpp.o.d"
+  "rl_test_tabular"
+  "rl_test_tabular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

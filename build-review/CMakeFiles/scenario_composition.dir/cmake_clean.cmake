@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_composition.dir/examples/scenario_composition.cpp.o"
+  "CMakeFiles/scenario_composition.dir/examples/scenario_composition.cpp.o.d"
+  "scenario_composition"
+  "scenario_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

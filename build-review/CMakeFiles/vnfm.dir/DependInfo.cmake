@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "CMakeFiles/vnfm.dir/src/common/config.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/config.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "CMakeFiles/vnfm.dir/src/common/csv.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/csv.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/vnfm.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/vnfm.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "CMakeFiles/vnfm.dir/src/common/serialize.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/serialize.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/vnfm.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/vnfm.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "CMakeFiles/vnfm.dir/src/core/checkpoint.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/drl_manager.cpp" "CMakeFiles/vnfm.dir/src/core/drl_manager.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/drl_manager.cpp.o.d"
+  "/root/repo/src/core/environment.cpp" "CMakeFiles/vnfm.dir/src/core/environment.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/environment.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "CMakeFiles/vnfm.dir/src/core/heuristics.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/heuristics.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "CMakeFiles/vnfm.dir/src/core/migration.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/migration.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "CMakeFiles/vnfm.dir/src/core/runner.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/runner.cpp.o.d"
+  "/root/repo/src/core/serve_driver.cpp" "CMakeFiles/vnfm.dir/src/core/serve_driver.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/serve_driver.cpp.o.d"
+  "/root/repo/src/core/train_driver.cpp" "CMakeFiles/vnfm.dir/src/core/train_driver.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/core/train_driver.cpp.o.d"
+  "/root/repo/src/edgesim/cluster.cpp" "CMakeFiles/vnfm.dir/src/edgesim/cluster.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/cluster.cpp.o.d"
+  "/root/repo/src/edgesim/events.cpp" "CMakeFiles/vnfm.dir/src/edgesim/events.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/events.cpp.o.d"
+  "/root/repo/src/edgesim/fault_model.cpp" "CMakeFiles/vnfm.dir/src/edgesim/fault_model.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/fault_model.cpp.o.d"
+  "/root/repo/src/edgesim/link.cpp" "CMakeFiles/vnfm.dir/src/edgesim/link.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/link.cpp.o.d"
+  "/root/repo/src/edgesim/metrics.cpp" "CMakeFiles/vnfm.dir/src/edgesim/metrics.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/metrics.cpp.o.d"
+  "/root/repo/src/edgesim/network_model.cpp" "CMakeFiles/vnfm.dir/src/edgesim/network_model.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/network_model.cpp.o.d"
+  "/root/repo/src/edgesim/topology.cpp" "CMakeFiles/vnfm.dir/src/edgesim/topology.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/topology.cpp.o.d"
+  "/root/repo/src/edgesim/types.cpp" "CMakeFiles/vnfm.dir/src/edgesim/types.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/types.cpp.o.d"
+  "/root/repo/src/edgesim/vnf.cpp" "CMakeFiles/vnfm.dir/src/edgesim/vnf.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/vnf.cpp.o.d"
+  "/root/repo/src/edgesim/workload.cpp" "CMakeFiles/vnfm.dir/src/edgesim/workload.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/workload.cpp.o.d"
+  "/root/repo/src/edgesim/workload_model.cpp" "CMakeFiles/vnfm.dir/src/edgesim/workload_model.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/edgesim/workload_model.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "CMakeFiles/vnfm.dir/src/exp/experiment.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/registry.cpp" "CMakeFiles/vnfm.dir/src/exp/registry.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/exp/registry.cpp.o.d"
+  "/root/repo/src/exp/report_io.cpp" "CMakeFiles/vnfm.dir/src/exp/report_io.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/exp/report_io.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "CMakeFiles/vnfm.dir/src/exp/scenario.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/exp/scenario.cpp.o.d"
+  "/root/repo/src/nn/grad_pool.cpp" "CMakeFiles/vnfm.dir/src/nn/grad_pool.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/grad_pool.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/vnfm.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/vnfm.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matmul_simd.cpp" "CMakeFiles/vnfm.dir/src/nn/matmul_simd.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/matmul_simd.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "CMakeFiles/vnfm.dir/src/nn/matrix.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/vnfm.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/vnfm.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/rl/actor_critic.cpp" "CMakeFiles/vnfm.dir/src/rl/actor_critic.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/actor_critic.cpp.o.d"
+  "/root/repo/src/rl/dqn.cpp" "CMakeFiles/vnfm.dir/src/rl/dqn.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/dqn.cpp.o.d"
+  "/root/repo/src/rl/policy_gradient.cpp" "CMakeFiles/vnfm.dir/src/rl/policy_gradient.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/policy_gradient.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "CMakeFiles/vnfm.dir/src/rl/replay.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/replay.cpp.o.d"
+  "/root/repo/src/rl/schedule.cpp" "CMakeFiles/vnfm.dir/src/rl/schedule.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/schedule.cpp.o.d"
+  "/root/repo/src/rl/tabular.cpp" "CMakeFiles/vnfm.dir/src/rl/tabular.cpp.o" "gcc" "CMakeFiles/vnfm.dir/src/rl/tabular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

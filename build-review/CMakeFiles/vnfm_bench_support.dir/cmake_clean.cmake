@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfm_bench_support.dir/bench/support.cpp.o"
+  "CMakeFiles/vnfm_bench_support.dir/bench/support.cpp.o.d"
+  "libvnfm_bench_support.a"
+  "libvnfm_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfm_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvnfm_bench_support.a"
+)

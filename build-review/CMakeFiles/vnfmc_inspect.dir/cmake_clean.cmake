@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfmc_inspect.dir/tools/vnfmc_inspect.cpp.o"
+  "CMakeFiles/vnfmc_inspect.dir/tools/vnfmc_inspect.cpp.o.d"
+  "vnfmc_inspect"
+  "vnfmc_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfmc_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
